@@ -1,0 +1,67 @@
+//! Fig. 4: Hierarchical Roofline Model for Mixtral 8x7B's grouped-query attention
+//! block in the decode stage on the L4 instance (context length 512), with f16 and
+//! int4 KV-cache operational-intensity markers and the P1 turning point.
+//!
+//! Run with `cargo run --release -p moe-bench --bin fig04_hrm_attention`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_hardware::{DType, NodeSpec};
+use moe_hrm::HierarchicalRoofline;
+use moe_model::{LayerOps, MoeModelConfig};
+
+fn main() {
+    let node = NodeSpec::l4_single();
+    let hrm = HierarchicalRoofline::from_node(&node);
+    let context_len = 512;
+
+    let f16 = LayerOps::new(MoeModelConfig::mixtral_8x7b());
+    let int4 = LayerOps::new(MoeModelConfig::mixtral_8x7b().with_kv_dtype(DType::Int4));
+    let i_f16 = f16.attention_core_decode(64, context_len).operational_intensity();
+    let i_int4 = int4.attention_core_decode(64, context_len).operational_intensity();
+    let p1 = hrm.turning_point_p1(hrm.gpu(), hrm.cpu()).expect("two-level HRM");
+
+    let mut plot = moe_hrm::plot::hrm_plot(&hrm, hrm.gpu(), hrm.cpu(), "Fig. 4", 0.1, 10_000.0, 41)
+        .expect("valid grid");
+    plot.add_marker("Attention f16", i_f16);
+    plot.add_marker("Attention int4", i_int4);
+    plot.add_marker("P1", p1);
+
+    println!("== Fig. 4: HRM for GQA attention (decode, ctx={context_len}) on L4 ==");
+    println!("markers (operational intensity in FLOPs/byte):");
+    for m in &plot.markers {
+        println!("  {:<16} {}", m.name, fmt3(m.intensity));
+    }
+    println!(
+        "\nattention intensity sits below P1 = {} FLOPs/byte for both data types, so the",
+        fmt3(p1)
+    );
+    println!("paper (and this reproduction) run decode attention on the CPU.\n");
+
+    let widths = [14usize, 16, 16, 16, 16, 16];
+    print_header(
+        &["I (FLOP/B)", "CPU mem roof", "GPU mem roof", "CPU-GPU roof", "CPU peak", "GPU peak"],
+        &widths,
+    );
+    let series_names =
+        ["CPU Mem Bdw", "GPU Mem Bdw", "CPU-GPU Mem Bdw", "CPU Peak FLOPS", "GPU Peak FLOPS"];
+    let grid: Vec<f64> = plot.series[0].points.iter().map(|p| p.0).collect();
+    for (row_idx, intensity) in grid.iter().enumerate() {
+        if row_idx % 4 != 0 {
+            continue; // keep the printed table compact; the CSV has every point
+        }
+        let mut cells = vec![fmt3(*intensity)];
+        for name in series_names {
+            let value = plot.series_named(name).map(|s| s.points[row_idx].1).unwrap_or(0.0);
+            cells.push(fmt3(value));
+        }
+        print_row(&cells, &widths);
+    }
+    for (row_idx, intensity) in grid.iter().enumerate() {
+        let mut fields = vec![fmt3(*intensity)];
+        for name in series_names {
+            fields.push(fmt3(plot.series_named(name).map(|s| s.points[row_idx].1).unwrap_or(0.0)));
+        }
+        print_csv(&fields);
+    }
+    println!("\n(values in GFLOPS/s; roofs as in the paper's Fig. 4)");
+}

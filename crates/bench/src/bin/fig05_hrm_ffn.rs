@@ -1,0 +1,57 @@
+//! Fig. 5: Hierarchical Roofline Model for Mixtral 8x7B's MoE FFN block in the
+//! decode stage on the L4 instance, with batch-size markers (N ∈ {32, 128, 1024,
+//! 16384}), the kernel performance at μ=128 and the turning points P1/P2.
+//!
+//! Run with `cargo run --release -p moe-bench --bin fig05_hrm_ffn`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_hardware::NodeSpec;
+use moe_hrm::HierarchicalRoofline;
+use moe_model::{LayerOps, MoeModelConfig};
+
+fn main() {
+    let node = NodeSpec::l4_single();
+    let hrm = HierarchicalRoofline::from_node(&node);
+    let ops = LayerOps::new(MoeModelConfig::mixtral_8x7b());
+    let mu = 128u64;
+
+    // Local (GPU-memory) operational intensity of the FFN kernel at micro-batch μ.
+    let kernel = ops.moe_ffn(mu);
+    let local_intensity = kernel.operational_intensity();
+    let p1 = hrm.turning_point_p1(hrm.gpu(), hrm.cpu()).expect("two-level HRM");
+    let p2 = hrm
+        .turning_point_p2(hrm.gpu(), hrm.cpu(), local_intensity)
+        .expect("two-level HRM");
+    let balance = hrm
+        .balance_point(hrm.gpu(), hrm.cpu(), local_intensity)
+        .expect("two-level HRM");
+
+    println!("== Fig. 5: HRM for the MoE FFN block (decode) on L4, kernel at mu={mu} ==");
+    println!("P1 = {} FLOPs/byte   P2 = {} FLOPs/byte   balance point = {} FLOPs/byte", fmt3(p1), fmt3(p2), fmt3(balance));
+    println!("kernel performance at mu=128: {} GFLOPS/s (local intensity {})\n",
+        fmt3(hrm.attainable_local(hrm.gpu(), local_intensity).unwrap().as_gflops_per_sec()),
+        fmt3(local_intensity));
+
+    // Cross-level intensity for different batch sizes N: FLOPs per byte of expert
+    // weights streamed from CPU memory (the weights are read once per batch).
+    let widths = [10usize, 18, 20, 22];
+    print_header(&["N", "I_cpu (FLOP/B)", "roof-limited GF/s", "binding roof"], &widths);
+    for n in [32u64, 128, 512, 1024, 4096, 16384] {
+        let batch_cost = ops.moe_ffn(n);
+        let cross_intensity = batch_cost.intensity_wrt(ops.ffn_weight_bytes());
+        let attainable = hrm
+            .attainable_cross(hrm.gpu(), hrm.cpu(), local_intensity, cross_intensity)
+            .unwrap()
+            .as_gflops_per_sec();
+        let roof = hrm
+            .binding_roof(hrm.gpu(), hrm.cpu(), local_intensity, cross_intensity)
+            .unwrap();
+        print_row(
+            &[n.to_string(), fmt3(cross_intensity), fmt3(attainable), format!("{roof:?}")],
+            &widths,
+        );
+        print_csv(&[n.to_string(), fmt3(cross_intensity), fmt3(attainable), format!("{roof:?}")]);
+    }
+    println!("\nBelow P1 ({}) offloading to the GPU is not worthwhile; between P1 and P2 the", fmt3(p1));
+    println!("CPU-GPU link binds; beyond the balance point larger N no longer helps (paper §3.3).");
+}

@@ -1,0 +1,45 @@
+//! Fig. 7: end-to-end generation throughput on MTBench for every system under the
+//! evaluation settings S1, S2, S6 and S7, sweeping the generation length over
+//! {32, 64, 128, 256}.
+//!
+//! Run with `cargo run --release -p moe-bench --bin fig07_mtbench_e2e`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_workload::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec::mtbench();
+    let gen_lens = [32u64, 64, 128, 256];
+    let settings = [EvalSetting::S1, EvalSetting::S2, EvalSetting::S6, EvalSetting::S7];
+    let systems = SystemKind::all();
+    let widths = [22usize, 10, 10, 10, 10];
+
+    for setting in settings {
+        println!("\n== MTBench @ {setting} ({}, {}) ==", setting.model().name, setting.node().describe());
+        let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+        let header: Vec<&str> = ["system", "gen=32", "gen=64", "gen=128", "gen=256"].to_vec();
+        print_header(&header, &widths);
+        for system in systems {
+            // The paper only reports the unpadded MoE-Lightning for S1/S2 (footnote 8).
+            if system == SystemKind::MoeLightning
+                && !matches!(setting, EvalSetting::S1 | EvalSetting::S2)
+            {
+                continue;
+            }
+            let mut cells = vec![system.name().to_owned()];
+            let mut csv = vec![setting.to_string(), system.name().to_owned()];
+            for gen in gen_lens {
+                let cell = match evaluator.evaluate(system, &spec, gen) {
+                    Ok(result) => fmt3(result.throughput),
+                    Err(_) => "n/a".to_owned(),
+                };
+                csv.push(cell.clone());
+                cells.push(cell);
+            }
+            print_row(&cells, &widths);
+            print_csv(&csv);
+        }
+    }
+    println!("\n(throughput in generated tokens/s; higher is better)");
+}

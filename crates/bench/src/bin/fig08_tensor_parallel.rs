@@ -1,0 +1,50 @@
+//! Fig. 8: MoE-Lightning generation throughput for DBRX with tensor parallelism on
+//! 2×T4 (S8) and 4×T4 (S9), MTBench prompts, generation lengths {32, 64, 128, 256}.
+//! Also reports the Mixtral 8x22B S6→S7 scaling shown in Fig. 7.
+//!
+//! Run with `cargo run --release -p moe-bench --bin fig08_tensor_parallel`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_workload::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec::mtbench();
+    let gen_lens = [32u64, 64, 128, 256];
+    let widths = [28usize, 10, 10, 10, 10];
+
+    for (pair, system) in [
+        ([EvalSetting::S8, EvalSetting::S9], SystemKind::MoeLightning),
+        ([EvalSetting::S6, EvalSetting::S7], SystemKind::MoeLightningPadded),
+    ] {
+        println!("\n== {} with {} ==", pair[0].model().name, system.name());
+        print_header(&["configuration", "gen=32", "gen=64", "gen=128", "gen=256"], &widths);
+        let mut per_setting: Vec<Vec<f64>> = Vec::new();
+        for setting in pair {
+            let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+            let mut cells = vec![format!("{} ({})", setting, setting.node().describe())];
+            let mut csv = vec![setting.to_string(), system.name().to_owned()];
+            let mut row = Vec::new();
+            for gen in gen_lens {
+                let throughput = evaluator
+                    .evaluate(system, &spec, gen)
+                    .map(|r| r.throughput)
+                    .unwrap_or(0.0);
+                row.push(throughput);
+                cells.push(fmt3(throughput));
+                csv.push(fmt3(throughput));
+            }
+            per_setting.push(row);
+            print_row(&cells, &widths);
+            print_csv(&csv);
+        }
+        if per_setting.len() == 2 {
+            let mut cells = vec!["scaling (4xT4 / 2xT4)".to_owned()];
+            for (a, b) in per_setting[0].iter().zip(&per_setting[1]) {
+                cells.push(if *a > 0.0 { format!("{:.2}x", b / a) } else { "n/a".into() });
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    println!("\n(throughput in generated tokens/s)");
+}

@@ -1,0 +1,55 @@
+//! Fig. 10: how the optimal policy changes with the hardware — ratio of weights and
+//! KV cache kept in CPU memory (and the attention placement) as functions of the
+//! CPU-GPU interconnect bandwidth and the CPU scaling ratio, for Mixtral 8x7B on a
+//! 2×A100-80G node (prompt 512, generation 32).
+//!
+//! Run with `cargo run --release -p moe-bench --bin fig10_policy_heatmap`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_hardware::NodeSpec;
+use moe_lightning::MoeModelConfig;
+use moe_policy::{PolicyOptimizer, SearchSpace, WorkloadShape};
+
+fn main() {
+    let workload = WorkloadShape::new(512, 32);
+    let bandwidths = [100.0f64, 200.0, 300.0, 400.0, 500.0];
+    let cpu_ratios = [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let widths = [16usize, 12, 18, 18, 12];
+
+    println!("== Fig. 10: best policy vs hardware (Mixtral 8x7B, 2xA100-80G, prompt=512, gen=32) ==");
+    print_header(
+        &["link GB/s", "CPU scale", "weights on CPU", "KV on CPU", "attention"],
+        &widths,
+    );
+    for link in bandwidths {
+        for ratio in cpu_ratios {
+            let node = NodeSpec::a100_case_study(link, ratio);
+            let optimizer = PolicyOptimizer::new(node, MoeModelConfig::mixtral_8x7b())
+                .with_search_space(SearchSpace::default());
+            match optimizer.search(&workload) {
+                Ok(result) => {
+                    let p = result.policy;
+                    let weights_on_cpu = 1.0 - p.weights_gpu_ratio;
+                    let kv_on_cpu = if p.attention_on_gpu { 1.0 - p.kv_gpu_ratio } else { 1.0 };
+                    let attn = if p.attention_on_gpu { "GPU" } else { "CPU" };
+                    let cells = vec![
+                        format!("{link:.0}"),
+                        format!("{ratio:.0}"),
+                        fmt3(weights_on_cpu),
+                        fmt3(kv_on_cpu),
+                        attn.to_owned(),
+                    ];
+                    print_csv(&cells);
+                    print_row(&cells, &widths);
+                }
+                Err(e) => print_row(
+                    &[format!("{link:.0}"), format!("{ratio:.0}"), format!("n/a ({e})"), "-".into(), "-".into()],
+                    &widths,
+                ),
+            }
+        }
+        println!();
+    }
+    println!("Expected shape (paper §6.3): faster CPU-GPU links shift weights onto the CPU;");
+    println!("KV-cache offloading (and CPU attention) only pays off once the CPU is scaled up.");
+}

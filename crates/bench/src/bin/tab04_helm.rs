@@ -1,0 +1,58 @@
+//! Tab. 4: generation throughput, micro-batch size μ and micro-batch count N/μ for
+//! the HELM synthetic-reasoning and summarization workloads under settings S1 and S2.
+//!
+//! Run with `cargo run --release -p moe-bench --bin tab04_helm`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_workload::WorkloadSpec;
+
+fn main() {
+    let workloads = [WorkloadSpec::synthetic_reasoning(), WorkloadSpec::summarization()];
+    let settings = [EvalSetting::S1, EvalSetting::S2];
+    let systems = [
+        SystemKind::FlexGenCpuAttention,
+        SystemKind::FlexGen,
+        SystemKind::DeepSpeedZero,
+        SystemKind::MoeLightningPadded,
+    ];
+    let widths = [22usize, 14, 8, 8];
+
+    for spec in &workloads {
+        let gen = spec.default_gen_lens[0];
+        for setting in settings {
+            println!("\n== {} @ {setting} (gen_len = {gen}) ==", spec.name);
+            let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+            print_header(&["system", "tokens/s", "mu", "N/mu"], &widths);
+            for system in systems {
+                match evaluator.evaluate(system, spec, gen) {
+                    Ok(result) => {
+                        let mu = result.policy.micro_batch_size;
+                        let n_over_mu = result.policy.num_micro_batches();
+                        print_row(
+                            &[
+                                system.name().to_owned(),
+                                fmt3(result.throughput),
+                                mu.to_string(),
+                                n_over_mu.to_string(),
+                            ],
+                            &widths,
+                        );
+                        print_csv(&[
+                            spec.name.clone(),
+                            setting.to_string(),
+                            system.name().to_owned(),
+                            fmt3(result.throughput),
+                            mu.to_string(),
+                            n_over_mu.to_string(),
+                        ]);
+                    }
+                    Err(e) => print_row(
+                        &[system.name().to_owned(), format!("n/a ({e})"), "-".into(), "-".into()],
+                        &widths,
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Tab. 5: policy/schedule ablation on MTBench @ S1 with generation length 128 —
+//! FlexGen with its own policy, FlexGen with MoE-Lightning's policy, FlexGen with
+//! MoE-Lightning's policy and a larger batch, and MoE-Lightning(p).
+//!
+//! Run with `cargo run --release -p moe-bench --bin tab05_policy_ablation`.
+
+use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_lightning::{EvalSetting, Policy, SystemEvaluator, SystemKind};
+use moe_workload::WorkloadSpec;
+
+fn main() {
+    let setting = EvalSetting::S1;
+    let spec = WorkloadSpec::mtbench();
+    let gen = 128u64;
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    let widths = [38usize, 8, 8, 14, 10];
+    println!("== Policy ablation, MTBench @ S1, generation length {gen} ==");
+    print_header(&["variant", "mu", "N", "tokens/s", "speedup"], &widths);
+
+    let shape = evaluator.workload_shape(SystemKind::FlexGen, &spec, gen);
+    let flexgen_policy = evaluator
+        .policy_for(SystemKind::FlexGen, &shape)
+        .expect("FlexGen policy feasible on S1");
+    let our_policy = evaluator
+        .policy_for(SystemKind::MoeLightningPadded, &shape)
+        .expect("MoE-Lightning policy feasible on S1");
+    let our_policy_larger_n = Policy {
+        batch_size: our_policy.batch_size * 2,
+        ..our_policy
+    };
+
+    let rows: Vec<(&str, SystemKind, Policy)> = vec![
+        ("FlexGen w/ their policy", SystemKind::FlexGen, flexgen_policy),
+        ("FlexGen w/ our policy", SystemKind::FlexGen, our_policy),
+        ("FlexGen w/ our policy + larger N", SystemKind::FlexGen, our_policy_larger_n),
+        ("MoE-Lightning (p)", SystemKind::MoeLightningPadded, our_policy),
+    ];
+
+    let mut baseline = None;
+    for (label, system, policy) in rows {
+        match evaluator.evaluate_with_policy(system, policy, &spec, gen) {
+            Ok(result) => {
+                let baseline_throughput = *baseline.get_or_insert(result.throughput);
+                print_row(
+                    &[
+                        label.to_owned(),
+                        policy.micro_batch_size.to_string(),
+                        policy.batch_size.to_string(),
+                        fmt3(result.throughput),
+                        format!("{:.2}x", result.throughput / baseline_throughput),
+                    ],
+                    &widths,
+                );
+                print_csv(&[
+                    label.to_owned(),
+                    policy.micro_batch_size.to_string(),
+                    policy.batch_size.to_string(),
+                    fmt3(result.throughput),
+                ]);
+            }
+            Err(e) => print_row(
+                &[label.to_owned(), "-".into(), "-".into(), format!("n/a ({e})"), "-".into()],
+                &widths,
+            ),
+        }
+    }
+}

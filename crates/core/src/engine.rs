@@ -1,0 +1,327 @@
+//! The end-to-end evaluator: combines policy generation, the HRM cost model and the
+//! simulated pipeline schedules into the generation-throughput numbers reported in
+//! the paper's evaluation (Fig. 7, Fig. 8, Tab. 4, Tab. 5).
+
+use crate::system::SystemKind;
+use moe_hardware::{NodeSpec, Seconds};
+use moe_model::MoeModelConfig;
+use moe_policy::{
+    CostModel, DeepSpeedPolicy, FlexGenPolicy, Policy, PolicyOptimizer, WorkloadShape,
+};
+use moe_schedule::{DecodeScheduleBuilder, ScheduleKind};
+use moe_sim::simulate;
+use moe_workload::{BatchRunReport, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of layers actually simulated by the discrete-event engine; the decode-step
+/// makespan is extrapolated linearly to the full depth (layer pipelines are
+/// homogeneous, so the approximation error is limited to the prologue of the first
+/// simulated layer).
+const SIMULATED_LAYERS: u32 = 4;
+
+/// Errors produced by the evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// No feasible policy exists for the system on this node/workload.
+    NoFeasiblePolicy {
+        /// The system being evaluated.
+        system: SystemKind,
+    },
+    /// The schedule simulation failed (indicates an internal bug).
+    Simulation {
+        /// Formatted simulator error.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoFeasiblePolicy { system } => {
+                write!(f, "no feasible policy for {system} on this node and workload")
+            }
+            EngineError::Simulation { message } => write!(f, "schedule simulation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of evaluating one system on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemEvaluation {
+    /// The system evaluated.
+    pub system: SystemKind,
+    /// The policy it ran with.
+    pub policy: Policy,
+    /// The schedule it used.
+    pub schedule: ScheduleKind,
+    /// Prefill/decode time and token accounting for one batch.
+    pub report: BatchRunReport,
+    /// Generation throughput in tokens/s (the paper's metric).
+    pub throughput: f64,
+}
+
+/// Evaluates inference systems on a (model, node) pair.
+#[derive(Debug, Clone)]
+pub struct SystemEvaluator {
+    node: NodeSpec,
+    model: MoeModelConfig,
+    cost: CostModel,
+}
+
+impl SystemEvaluator {
+    /// Creates an evaluator.
+    pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
+        let cost = CostModel::new(node.clone(), model.clone());
+        SystemEvaluator { node, model, cost }
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The node this evaluator targets.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// The model this evaluator targets.
+    pub fn model(&self) -> &MoeModelConfig {
+        &self.model
+    }
+
+    /// The workload shape a system sees for a given workload spec: padded systems
+    /// process every prompt at the maximum length, the others at the average length.
+    pub fn workload_shape(&self, system: SystemKind, spec: &WorkloadSpec, gen_len: u64) -> WorkloadShape {
+        if system.pads_requests() {
+            WorkloadShape::new(spec.max_prompt_len, gen_len)
+        } else {
+            WorkloadShape::new(spec.avg_prompt_len, gen_len)
+        }
+    }
+
+    /// Generates the policy a system would use for a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoFeasiblePolicy`] if the system cannot run at all.
+    pub fn policy_for(
+        &self,
+        system: SystemKind,
+        workload: &WorkloadShape,
+    ) -> Result<Policy, EngineError> {
+        let err = || EngineError::NoFeasiblePolicy { system };
+        match system {
+            SystemKind::MoeLightning | SystemKind::MoeLightningPadded => {
+                PolicyOptimizer::new(self.node.clone(), self.model.clone())
+                    .search(workload)
+                    .map(|r| r.policy)
+                    .map_err(|_| err())
+            }
+            SystemKind::FlexGen => FlexGenPolicy::new(self.node.clone(), self.model.clone())
+                .generate(workload)
+                .ok_or_else(err),
+            SystemKind::FlexGenCpuAttention => {
+                FlexGenPolicy::with_cpu_attention(self.node.clone(), self.model.clone())
+                    .generate(workload)
+                    .ok_or_else(err)
+            }
+            SystemKind::DeepSpeedZero => DeepSpeedPolicy::new(self.node.clone(), self.model.clone())
+                .generate(workload)
+                .ok_or_else(err),
+        }
+    }
+
+    /// Simulated decode-step latency (all layers, one token per sequence) of a policy
+    /// under a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Simulation`] if the schedule cannot be simulated.
+    pub fn decode_step_latency(
+        &self,
+        schedule: ScheduleKind,
+        policy: &Policy,
+        workload: &WorkloadShape,
+    ) -> Result<Seconds, EngineError> {
+        let layers = self.model.num_layers.min(SIMULATED_LAYERS);
+        let builder = DecodeScheduleBuilder::new(&self.cost, *policy, *workload).with_layers(layers);
+        let graph = builder
+            .build(schedule)
+            .map_err(|e| EngineError::Simulation { message: e.to_string() })?;
+        let result = simulate(&graph).map_err(|e| EngineError::Simulation { message: e.to_string() })?;
+        let scale = f64::from(self.model.num_layers) / f64::from(layers);
+        Ok(result.makespan.scale(scale))
+    }
+
+    /// Evaluates a system on a workload with an explicit policy (used by the Tab. 5
+    /// ablation, which mixes FlexGen's schedule with MoE-Lightning's policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn evaluate_with_policy(
+        &self,
+        system: SystemKind,
+        policy: Policy,
+        spec: &WorkloadSpec,
+        gen_len: u64,
+    ) -> Result<SystemEvaluation, EngineError> {
+        let workload = self.workload_shape(system, spec, gen_len);
+        let schedule = system.schedule();
+        let step = self.decode_step_latency(schedule, &policy, &workload)?;
+        let decode_time = step.scale(gen_len as f64);
+        let prefill_time = self.cost.prefill_time(&policy, &workload);
+        let report = BatchRunReport {
+            requests: policy.batch_size,
+            prompt_tokens: policy.batch_size * workload.prompt_len,
+            generated_tokens: policy.batch_size * gen_len,
+            prefill_time,
+            decode_time,
+        };
+        Ok(SystemEvaluation {
+            system,
+            policy,
+            schedule,
+            throughput: report.generation_throughput(),
+            report,
+        })
+    }
+
+    /// Evaluates a system end to end: policy generation, prefill estimate and the
+    /// simulated decode pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no policy fits or the simulation fails.
+    pub fn evaluate(
+        &self,
+        system: SystemKind,
+        spec: &WorkloadSpec,
+        gen_len: u64,
+    ) -> Result<SystemEvaluation, EngineError> {
+        let workload = self.workload_shape(system, spec, gen_len);
+        let policy = self.policy_for(system, &workload)?;
+        self.evaluate_with_policy(system, policy, spec, gen_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::EvalSetting;
+
+    fn s1() -> SystemEvaluator {
+        SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
+    }
+
+    #[test]
+    fn moe_lightning_beats_all_baselines_on_s1_mtbench() {
+        // The headline Fig. 7 comparison at generation length 128.
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        let ml = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 128).unwrap();
+        for baseline in [SystemKind::FlexGen, SystemKind::FlexGenCpuAttention, SystemKind::DeepSpeedZero] {
+            let b = eval.evaluate(baseline, &spec, 128).unwrap();
+            assert!(
+                ml.throughput > b.throughput,
+                "MoE-Lightning(p) ({:.1} tok/s) must beat {} ({:.1} tok/s)",
+                ml.throughput,
+                baseline,
+                b.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn unpadded_moe_lightning_beats_padded_variant() {
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        let padded = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 64).unwrap();
+        let unpadded = eval.evaluate(SystemKind::MoeLightning, &spec, 64).unwrap();
+        assert!(
+            unpadded.throughput > padded.throughput,
+            "padding wastes memory and attention compute: {} vs {}",
+            unpadded.throughput,
+            padded.throughput
+        );
+    }
+
+    #[test]
+    fn workload_shape_depends_on_padding() {
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        assert_eq!(eval.workload_shape(SystemKind::MoeLightning, &spec, 32).prompt_len, 77);
+        assert_eq!(eval.workload_shape(SystemKind::FlexGen, &spec, 32).prompt_len, 418);
+    }
+
+    #[test]
+    fn evaluation_report_is_internally_consistent() {
+        let eval = s1();
+        let spec = WorkloadSpec::synthetic_reasoning();
+        let e = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 50).unwrap();
+        assert_eq!(e.report.generated_tokens, e.policy.batch_size * 50);
+        assert_eq!(e.report.prompt_tokens, e.policy.batch_size * 256);
+        assert!(e.report.prefill_time.as_secs() > 0.0);
+        assert!(e.report.decode_time.as_secs() > 0.0);
+        assert!((e.throughput - e.report.generation_throughput()).abs() < 1e-9);
+        assert_eq!(e.schedule, ScheduleKind::CgoPipe);
+    }
+
+    #[test]
+    fn no_feasible_policy_is_reported_for_impossible_nodes() {
+        let node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(4.0));
+        let eval = SystemEvaluator::new(node, MoeModelConfig::mixtral_8x7b());
+        let err = eval.evaluate(SystemKind::FlexGen, &WorkloadSpec::mtbench(), 32).unwrap_err();
+        assert!(matches!(err, EngineError::NoFeasiblePolicy { system: SystemKind::FlexGen }));
+        assert!(err.to_string().contains("FlexGen"));
+    }
+
+    #[test]
+    fn tab5_ablation_ordering_holds() {
+        // Tab. 5: FlexGen w/ our policy > FlexGen w/ their policy, and
+        // MoE-Lightning(p) > FlexGen w/ our policy (same policy, better schedule).
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        let gen = 128;
+        let flexgen_theirs = eval.evaluate(SystemKind::FlexGen, &spec, gen).unwrap();
+        let our_policy = eval
+            .policy_for(
+                SystemKind::MoeLightningPadded,
+                &eval.workload_shape(SystemKind::MoeLightningPadded, &spec, gen),
+            )
+            .unwrap();
+        let flexgen_ours = eval
+            .evaluate_with_policy(SystemKind::FlexGen, our_policy, &spec, gen)
+            .unwrap();
+        let ml = eval
+            .evaluate_with_policy(SystemKind::MoeLightningPadded, our_policy, &spec, gen)
+            .unwrap();
+        assert!(flexgen_ours.throughput >= flexgen_theirs.throughput * 0.95,
+            "our policy should not hurt FlexGen: {} vs {}", flexgen_ours.throughput, flexgen_theirs.throughput);
+        assert!(ml.throughput > flexgen_ours.throughput,
+            "CGOPipe must beat FlexGen's schedule under the same policy: {} vs {}",
+            ml.throughput, flexgen_ours.throughput);
+    }
+
+    #[test]
+    fn tensor_parallelism_scales_throughput_s6_to_s7() {
+        // Fig. 7 right: Mixtral 8x22B throughput grows strongly from 2×T4 to 4×T4.
+        let spec = WorkloadSpec::mtbench();
+        let s6 = SystemEvaluator::new(EvalSetting::S6.node(), EvalSetting::S6.model())
+            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
+            .unwrap();
+        let s7 = SystemEvaluator::new(EvalSetting::S7.node(), EvalSetting::S7.model())
+            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
+            .unwrap();
+        assert!(
+            s7.throughput > 1.5 * s6.throughput,
+            "4xT4 ({:.2}) should be well above 2xT4 ({:.2})",
+            s7.throughput,
+            s6.throughput
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! MoE-Lightning: the top-level engine of the reproduction.
+//!
+//! This crate ties the substrates together into the comparison the paper reports:
+//!
+//! * [`settings::EvalSetting`] — the Tab. 2 model × hardware settings (S1–S9).
+//! * [`system::SystemKind`] — MoE-Lightning, MoE-Lightning(p), FlexGen, FlexGen(c)
+//!   and DeepSpeed ZeRO-Inference, each a (policy generator, schedule, padding)
+//!   triple.
+//! * [`engine::SystemEvaluator`] — generates each system's policy, simulates its
+//!   decode pipeline on the discrete-event simulator and reports generation
+//!   throughput.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+//! use moe_workload::WorkloadSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let setting = EvalSetting::S1;
+//! let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+//! let result = evaluator.evaluate(SystemKind::MoeLightningPadded, &WorkloadSpec::mtbench(), 128)?;
+//! println!("{}: {:.1} tokens/s with {}", result.system, result.throughput, result.policy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod settings;
+pub mod system;
+
+pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
+pub use settings::EvalSetting;
+pub use system::SystemKind;
+
+// Re-export the most used building blocks so downstream users need only this crate.
+pub use moe_hardware::{ByteSize, NodeSpec, Seconds};
+pub use moe_model::MoeModelConfig;
+pub use moe_policy::{Policy, PolicyOptimizer, WorkloadShape};
+pub use moe_runtime::{EngineConfig, PipelinedMoeEngine};
+pub use moe_schedule::ScheduleKind;
+pub use moe_workload::WorkloadSpec;

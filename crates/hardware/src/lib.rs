@@ -1,0 +1,117 @@
+//! Hardware specifications, strongly-typed units and evaluation presets for the
+//! MoE-Lightning reproduction.
+//!
+//! This crate is the foundation of the workspace: every other crate expresses
+//! capacities, bandwidths, work and time in the newtypes defined here, and builds
+//! analyses on top of the [`NodeSpec`] hardware descriptions.
+//!
+//! # Overview
+//!
+//! * [`units`] — [`ByteSize`], [`FlopCount`], [`Bandwidth`], [`ComputeRate`],
+//!   [`Seconds`] with physically meaningful arithmetic (`bytes / bandwidth = time`).
+//! * [`dtype`] — element data types ([`DType`]) and their byte widths.
+//! * [`devices`] — [`GpuSpec`], [`CpuSpec`], [`LinkSpec`] with presets for the GPUs
+//!   (T4, L4, A100) and hosts used in the paper's evaluation.
+//! * [`node`] — [`NodeSpec`], a host with one or more GPUs, including the tensor
+//!   parallelism aggregates from §4.3 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use moe_hardware::{NodeSpec, ByteSize};
+//!
+//! // The paper's S1 setting: one 16 GB T4 with a 24-core Xeon host.
+//! let node = NodeSpec::t4_single();
+//! assert_eq!(node.total_gpu_memory(), ByteSize::from_gib(16.0));
+//! assert!(node.cpu_memory() > node.total_gpu_memory());
+//!
+//! // Time to stream one layer's worth of expert weights over PCIe:
+//! let layer = ByteSize::from_gib(1.6);
+//! let t = layer / node.total_h2d_bandwidth();
+//! assert!(t.as_secs() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod dtype;
+pub mod node;
+pub mod units;
+
+pub use devices::{CpuSpec, GpuSpec, LinkSpec};
+pub use dtype::{DType, ParseDTypeError};
+pub use node::NodeSpec;
+pub use units::{Bandwidth, ByteSize, ComputeRate, FlopCount, Seconds};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn byte_size_add_is_commutative(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+            let x = ByteSize::from_bytes(a);
+            let y = ByteSize::from_bytes(b);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn byte_size_scale_is_monotonic(a in 0u64..1 << 40, f in 0.0f64..8.0, g in 0.0f64..8.0) {
+            let x = ByteSize::from_bytes(a);
+            let (lo, hi) = if f <= g { (f, g) } else { (g, f) };
+            prop_assert!(x.scale(lo) <= x.scale(hi));
+        }
+
+        #[test]
+        fn transfer_time_scales_linearly_with_bytes(
+            bytes in 1u64..1 << 38,
+            gbps in 1.0f64..600.0,
+        ) {
+            let bw = Bandwidth::from_gb_per_sec(gbps);
+            let t1 = (ByteSize::from_bytes(bytes) / bw).as_secs();
+            let t2 = (ByteSize::from_bytes(bytes * 2) / bw).as_secs();
+            prop_assert!((t2 - 2.0 * t1).abs() <= 1e-9 * t2.max(1e-30));
+        }
+
+        #[test]
+        fn compute_time_inverse_in_rate(flops in 1.0f64..1e15, tflops in 0.1f64..500.0) {
+            let w = FlopCount::from_flops(flops);
+            let slow = ComputeRate::from_tflops_per_sec(tflops);
+            let fast = ComputeRate::from_tflops_per_sec(tflops * 2.0);
+            prop_assert!((w / fast).as_secs() <= (w / slow).as_secs());
+        }
+
+        #[test]
+        fn dtype_bytes_for_matches_width(n in 0u64..1_000_000) {
+            for dt in DType::all() {
+                let bytes = dt.bytes_for(n) as f64;
+                let exact = n as f64 * dt.bytes_per_element();
+                prop_assert!(bytes >= exact && bytes < exact + 1.0);
+            }
+        }
+
+        #[test]
+        fn cpu_scaling_preserves_efficiency(ratio in 0.1f64..16.0) {
+            let base = CpuSpec::case_study_base();
+            let scaled = base.scaled(ratio);
+            prop_assert_eq!(scaled.compute_efficiency, base.compute_efficiency);
+            prop_assert!(
+                (scaled.peak_flops.as_flops_per_sec()
+                    - base.peak_flops.as_flops_per_sec() * ratio)
+                    .abs()
+                    < 1.0
+            );
+        }
+
+        #[test]
+        fn node_gpu_memory_scales_with_count(count in 1u32..9) {
+            let node = NodeSpec::t4_multi(count);
+            prop_assert_eq!(
+                node.total_gpu_memory(),
+                node.gpu.memory * u64::from(count)
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the memory-management substrate.
+
+use moe_hardware::ByteSize;
+use std::fmt;
+
+/// Errors produced by memory pools, the paged weight store and the KV cache manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// An allocation did not fit into the pool.
+    OutOfMemory {
+        /// Name of the pool that rejected the allocation.
+        pool: String,
+        /// Bytes requested.
+        requested: ByteSize,
+        /// Bytes still available.
+        available: ByteSize,
+    },
+    /// An allocation handle was not found (double free or foreign handle).
+    UnknownAllocation {
+        /// The handle's numeric id.
+        id: u64,
+    },
+    /// A referenced layer does not exist in the weight store.
+    UnknownLayer {
+        /// The layer index.
+        layer: usize,
+    },
+    /// A referenced page does not exist.
+    UnknownPage {
+        /// The page id.
+        page: u64,
+    },
+    /// A referenced sequence does not exist in the KV cache.
+    UnknownSequence {
+        /// The sequence id.
+        sequence: u64,
+    },
+    /// An operation was issued in an invalid state (e.g. completing a transfer that
+    /// was never started).
+    InvalidState {
+        /// Explanation of the violated protocol.
+        message: String,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { pool, requested, available } => write!(
+                f,
+                "out of memory in pool `{pool}`: requested {requested}, only {available} available"
+            ),
+            MemoryError::UnknownAllocation { id } => write!(f, "unknown allocation handle {id}"),
+            MemoryError::UnknownLayer { layer } => write!(f, "unknown layer index {layer}"),
+            MemoryError::UnknownPage { page } => write!(f, "unknown weight page {page}"),
+            MemoryError::UnknownSequence { sequence } => write!(f, "unknown sequence {sequence}"),
+            MemoryError::InvalidState { message } => write!(f, "invalid state: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_quantities() {
+        let e = MemoryError::OutOfMemory {
+            pool: "GPU".to_owned(),
+            requested: ByteSize::from_gib(2.0),
+            available: ByteSize::from_gib(1.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("GPU") && s.contains("2.00 GiB") && s.contains("1.00 GiB"));
+    }
+
+    #[test]
+    fn error_implements_std_error_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<MemoryError>();
+    }
+}

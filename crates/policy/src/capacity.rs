@@ -1,0 +1,250 @@
+//! Memory-capacity model: the feasibility constraints of the policy search.
+//!
+//! The optimizer of §4.2 minimizes per-layer latency *without violating the CPU and
+//! GPU memory constraints*. This module computes, for a candidate policy and
+//! workload, how much GPU HBM and host DRAM the run would need: static weights, the
+//! double-buffered streamed weights, KV cache on both sides, activation workspace
+//! (decode and prefill peaks) and the pinned staging area.
+
+use crate::policy::{Policy, WorkloadShape};
+use moe_hardware::{ByteSize, NodeSpec};
+use moe_model::MoeModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Memory requirement breakdown of a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRequirement {
+    /// Static weights resident on the GPU (`r_w` of all layers plus embeddings).
+    pub gpu_static_weights: ByteSize,
+    /// The `2 × W_L` double buffer for streamed weights.
+    pub gpu_weight_buffer: ByteSize,
+    /// KV cache kept in GPU HBM (`r_c`).
+    pub gpu_kv_cache: ByteSize,
+    /// Peak activation workspace on the GPU (max of decode and prefill).
+    pub gpu_activations: ByteSize,
+    /// Weights resident in host DRAM.
+    pub cpu_weights: ByteSize,
+    /// KV cache kept in host DRAM.
+    pub cpu_kv_cache: ByteSize,
+    /// Pinned staging buffers and host-side intermediate tensors.
+    pub cpu_staging: ByteSize,
+}
+
+impl MemoryRequirement {
+    /// Total GPU HBM required.
+    pub fn gpu_total(&self) -> ByteSize {
+        self.gpu_static_weights + self.gpu_weight_buffer + self.gpu_kv_cache + self.gpu_activations
+    }
+
+    /// Total host DRAM required.
+    pub fn cpu_total(&self) -> ByteSize {
+        self.cpu_weights + self.cpu_kv_cache + self.cpu_staging
+    }
+}
+
+/// Computes memory requirements and feasibility for policies.
+#[derive(Debug, Clone)]
+pub struct CapacityModel {
+    node: NodeSpec,
+    model: MoeModelConfig,
+}
+
+impl CapacityModel {
+    /// Creates a capacity model for `model` on `node`.
+    pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
+        CapacityModel { node, model }
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// Memory requirement of `policy` under `workload`.
+    pub fn requirement(&self, policy: &Policy, workload: &WorkloadShape) -> MemoryRequirement {
+        let m = &self.model;
+        let dtype = m.weight_dtype.bytes_per_element();
+        let rw = policy.weights_gpu_ratio.clamp(0.0, 1.0);
+        let rc = policy.kv_gpu_ratio.clamp(0.0, 1.0);
+
+        let layer_weights_all = m.layer_weight_bytes() * u64::from(m.num_layers);
+        let embeddings = ByteSize::from_bytes(m.weight_dtype.bytes_for(m.embedding_params()));
+
+        // Static GPU weights: r_w of the decoder weights plus the embedding/LM head,
+        // which the implementation always keeps on the GPU.
+        let gpu_static_weights = layer_weights_all.scale(rw) + embeddings;
+        let streamed_per_layer = if policy.ffn_on_gpu {
+            m.layer_weight_bytes().scale(1.0 - rw)
+        } else {
+            m.attention_weight_bytes().scale(1.0 - rw)
+        };
+        let gpu_weight_buffer = streamed_per_layer * 2;
+
+        // KV cache for the whole batch at the maximum context length.
+        let kv_total =
+            m.kv_bytes_per_token() * policy.batch_size * workload.max_context();
+        let gpu_kv_cache = kv_total.scale(rc);
+        let cpu_kv_cache = kv_total.scale(1.0 - rc);
+
+        // Activation workspace. Decode: one micro-batch of hidden/QKV/FFN
+        // intermediates (double-buffered). Prefill: a micro-batch of full prompts.
+        let mu = policy.micro_batch_size;
+        let per_token_act = (2 * u64::from(m.d_model)
+            + u64::from(m.num_q_heads) * u64::from(m.head_dim)
+            + 2 * u64::from(m.num_kv_heads) * u64::from(m.head_dim)
+            + u64::from(m.top_k) * u64::from(m.d_ff)) as f64
+            * dtype;
+        let decode_act = ByteSize::from_bytes((2.0 * mu as f64 * per_token_act) as u64);
+        let prefill_act =
+            ByteSize::from_bytes((mu as f64 * workload.prompt_len as f64 * per_token_act) as u64);
+        let gpu_activations = decode_act.max(prefill_act);
+
+        // CPU side: all weights not on the GPU, the CPU share of the KV cache, pinned
+        // staging (two weight pages) and host copies of per-micro-batch activations.
+        let cpu_weights = layer_weights_all.scale(1.0 - rw);
+        let page = streamed_per_layer.scale(1.0 / policy.num_micro_batches().max(1) as f64);
+        let host_act = m.qkv_bytes(policy.batch_size) + m.hidden_state_bytes(policy.batch_size);
+        let cpu_staging = page * 2 + host_act;
+
+        MemoryRequirement {
+            gpu_static_weights,
+            gpu_weight_buffer,
+            gpu_kv_cache,
+            gpu_activations,
+            cpu_weights,
+            cpu_kv_cache,
+            cpu_staging,
+        }
+    }
+
+    /// Whether `policy` fits the node's GPU and CPU memory for `workload`.
+    pub fn is_feasible(&self, policy: &Policy, workload: &WorkloadShape) -> bool {
+        let req = self.requirement(policy, workload);
+        req.gpu_total() <= self.node.total_gpu_memory() && req.cpu_total() <= self.node.cpu_memory()
+    }
+
+    /// The largest batch size (multiple of `micro_batch`) that still fits, or `None`
+    /// if even a single micro-batch does not fit.
+    pub fn max_feasible_batch(
+        &self,
+        template: &Policy,
+        workload: &WorkloadShape,
+        limit: u64,
+    ) -> Option<u64> {
+        let mu = template.micro_batch_size;
+        let mut best = None;
+        let mut n = mu;
+        while n <= limit {
+            let candidate = Policy { batch_size: n, ..*template };
+            if self.is_feasible(&candidate, workload) {
+                best = Some(n);
+            } else {
+                break;
+            }
+            n += mu;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s1() -> CapacityModel {
+        CapacityModel::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b())
+    }
+
+    fn mtbench() -> WorkloadShape {
+        WorkloadShape::new(77, 128)
+    }
+
+    #[test]
+    fn full_gpu_residency_is_infeasible_on_a_t4() {
+        // Mixtral 8x7B weighs ~87 GiB in f16; r_w = 1 cannot fit a 16 GB GPU.
+        let cap = s1();
+        let mut p = Policy::offload_default(32, 32);
+        p.weights_gpu_ratio = 1.0;
+        assert!(!cap.is_feasible(&p, &mtbench()));
+    }
+
+    #[test]
+    fn paper_s1_policy_is_feasible() {
+        // The paper's MoE-Lightning(p) policy for MTBench@S1 (gen 128) uses μ=36,
+        // N=504 with full offloading — this must fit 16 GB GPU / 192 GB CPU.
+        let cap = s1();
+        let p = Policy::offload_default(504, 36);
+        let req = cap.requirement(&p, &mtbench());
+        assert!(cap.is_feasible(&p, &mtbench()), "requirement: GPU {} CPU {}", req.gpu_total(), req.cpu_total());
+        assert!(req.gpu_total() < ByteSize::from_gib(16.0));
+        assert!(req.cpu_total() < ByteSize::from_gib(192.0));
+    }
+
+    #[test]
+    fn gpu_requirement_grows_with_micro_batch_and_prompt() {
+        let cap = s1();
+        let small = cap.requirement(&Policy::offload_default(64, 8), &WorkloadShape::new(256, 64));
+        let large_mu = cap.requirement(&Policy::offload_default(64, 64), &WorkloadShape::new(256, 64));
+        let long_prompt = cap.requirement(&Policy::offload_default(64, 8), &WorkloadShape::new(1984, 64));
+        assert!(large_mu.gpu_activations > small.gpu_activations);
+        assert!(long_prompt.gpu_activations > small.gpu_activations);
+    }
+
+    #[test]
+    fn cpu_requirement_grows_with_batch_size() {
+        let cap = s1();
+        let w = mtbench();
+        let small = cap.requirement(&Policy::offload_default(64, 32), &w);
+        let large = cap.requirement(&Policy::offload_default(2048, 32), &w);
+        assert!(large.cpu_kv_cache > small.cpu_kv_cache);
+        assert_eq!(large.cpu_weights, small.cpu_weights, "weights independent of N");
+    }
+
+    #[test]
+    fn kv_ratio_moves_cache_between_devices() {
+        let cap = s1();
+        let w = mtbench();
+        let mut p = Policy::offload_default(128, 32);
+        p.kv_gpu_ratio = 0.5;
+        let req = cap.requirement(&p, &w);
+        assert!(req.gpu_kv_cache > ByteSize::ZERO);
+        assert!(req.cpu_kv_cache > ByteSize::ZERO);
+        let total_half = req.gpu_kv_cache + req.cpu_kv_cache;
+        p.kv_gpu_ratio = 0.0;
+        let req0 = cap.requirement(&p, &w);
+        assert_eq!(req0.gpu_kv_cache, ByteSize::ZERO);
+        assert_eq!(total_half, req0.cpu_kv_cache + req0.gpu_kv_cache);
+    }
+
+    #[test]
+    fn max_feasible_batch_respects_cpu_memory() {
+        let cap = s1();
+        let w = WorkloadShape::new(77, 256);
+        let template = Policy::offload_default(32, 32);
+        let max = cap.max_feasible_batch(&template, &w, 1 << 20).expect("some batch fits");
+        assert!(max > 32, "should fit far more than one micro-batch");
+        // The next multiple must not fit.
+        let over = Policy { batch_size: max + 32, ..template };
+        assert!(!cap.is_feasible(&over, &w));
+    }
+
+    #[test]
+    fn max_feasible_batch_none_when_nothing_fits() {
+        // A node with a tiny CPU cannot even hold the model weights.
+        let node = NodeSpec::t4_single().with_cpu_memory(ByteSize::from_gib(8.0));
+        let cap = CapacityModel::new(node, MoeModelConfig::mixtral_8x7b());
+        let template = Policy::offload_default(32, 32);
+        assert_eq!(cap.max_feasible_batch(&template, &mtbench(), 1 << 16), None);
+    }
+
+    #[test]
+    fn requirement_totals_are_sums_of_parts() {
+        let cap = s1();
+        let req = cap.requirement(&Policy::offload_default(128, 32), &mtbench());
+        assert_eq!(
+            req.gpu_total(),
+            req.gpu_static_weights + req.gpu_weight_buffer + req.gpu_kv_cache + req.gpu_activations
+        );
+        assert_eq!(req.cpu_total(), req.cpu_weights + req.cpu_kv_cache + req.cpu_staging);
+    }
+}

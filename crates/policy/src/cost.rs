@@ -1,0 +1,490 @@
+//! The HRM-based cost model (Eqs. 12–14 of the paper).
+//!
+//! For every task of the decode pipeline the model computes the theoretical FLOPs
+//! and bytes (via [`moe_model::ops::LayerOps`]) and bounds its duration with the
+//! appropriate roofs of the node's Hierarchical Roofline Model:
+//! `T_x = max(comm_x, comp_x)` per computation (Eq. 14), per-layer latency
+//! `T = max(comm_cpu_to_gpu, T_cpu, T_gpu)` (Eq. 12). The same per-task durations
+//! feed the discrete-event schedules in `moe-schedule`, so the analytic estimate and
+//! the simulated pipelines share one source of truth.
+
+use crate::policy::{Policy, WorkloadShape};
+use moe_hardware::{Bandwidth, ByteSize, ComputeRate, DType, NodeSpec, Seconds};
+use moe_model::{LayerOps, MoeModelConfig, OpCost};
+use serde::{Deserialize, Serialize};
+
+/// Fixed launch overhead added to every GPU kernel (models CUDA launch latency and
+/// synchronization cost).
+const KERNEL_LAUNCH_OVERHEAD: Seconds = Seconds::ZERO;
+
+/// Per-task durations and aggregate latency estimates for one model on one node.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    node: NodeSpec,
+    model: MoeModelConfig,
+    ops: LayerOps,
+}
+
+/// Breakdown of the estimated per-layer decode latency (Eq. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerLatencyBreakdown {
+    /// Total host→device traffic time for one layer of one decode step.
+    pub comm_h2d: Seconds,
+    /// Total device→host traffic time.
+    pub comm_d2h: Seconds,
+    /// Total CPU compute time.
+    pub cpu_compute: Seconds,
+    /// Total GPU compute time.
+    pub gpu_compute: Seconds,
+    /// The binding term (the max of the four, Eq. 12).
+    pub total: Seconds,
+}
+
+impl LayerLatencyBreakdown {
+    /// Which of the four resources binds this layer.
+    pub fn bottleneck(&self) -> BottleneckResource {
+        let pairs = [
+            (BottleneckResource::HostToDevice, self.comm_h2d),
+            (BottleneckResource::DeviceToHost, self.comm_d2h),
+            (BottleneckResource::CpuCompute, self.cpu_compute),
+            (BottleneckResource::GpuCompute, self.gpu_compute),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(r, _)| r)
+            .unwrap_or(BottleneckResource::GpuCompute)
+    }
+}
+
+/// The resource that binds a layer's decode latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BottleneckResource {
+    /// CPU→GPU PCIe traffic.
+    HostToDevice,
+    /// GPU→CPU PCIe traffic.
+    DeviceToHost,
+    /// CPU kernels (attention / FFN on CPU).
+    CpuCompute,
+    /// GPU kernels.
+    GpuCompute,
+}
+
+impl CostModel {
+    /// Creates a cost model for `model` running on `node`.
+    pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
+        let ops = LayerOps::new(model.clone());
+        CostModel { node, model, ops }
+    }
+
+    /// The node this model describes.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &MoeModelConfig {
+        &self.model
+    }
+
+    /// The per-operator FLOPs/bytes calculator.
+    pub fn ops(&self) -> &LayerOps {
+        &self.ops
+    }
+
+    // --- device rates -----------------------------------------------------------
+
+    fn gpu_flops(&self) -> ComputeRate {
+        match self.model.weight_dtype {
+            DType::F32 => self.node.total_gpu_flops_f32(),
+            _ => self.node.total_gpu_flops_f16(),
+        }
+    }
+
+    fn gpu_bw(&self) -> Bandwidth {
+        self.node.total_gpu_memory_bandwidth()
+    }
+
+    fn cpu_flops(&self) -> ComputeRate {
+        self.node.cpu_flops()
+    }
+
+    fn cpu_bw(&self) -> Bandwidth {
+        self.node.cpu_memory_bandwidth()
+    }
+
+    fn h2d(&self) -> Bandwidth {
+        self.node.total_h2d_bandwidth()
+    }
+
+    fn d2h(&self) -> Bandwidth {
+        self.node.total_d2h_bandwidth()
+    }
+
+    fn link_latency(&self) -> Seconds {
+        Seconds::from_micros(self.node.link.latency_us)
+    }
+
+    fn roofline_time(cost: &OpCost, flops: ComputeRate, bw: Bandwidth) -> Seconds {
+        let comp = cost.flops / flops;
+        let comm = cost.total_bytes() / bw;
+        comp.max(comm) + KERNEL_LAUNCH_OVERHEAD
+    }
+
+    // --- per-task durations (decode stage) ---------------------------------------
+
+    /// GPU pre-attention task (`A_x`): layer norm + QKV projection for `tokens`.
+    pub fn pre_attention_gpu(&self, tokens: u64) -> Seconds {
+        Self::roofline_time(&self.ops.pre_attention(tokens), self.gpu_flops(), self.gpu_bw())
+    }
+
+    /// GPU post-attention task (`C_x`): O projection + router + MoE FFN for `tokens`.
+    pub fn post_attention_gpu(&self, tokens: u64) -> Seconds {
+        Self::roofline_time(&self.ops.post_attention(tokens), self.gpu_flops(), self.gpu_bw())
+    }
+
+    /// GPU post-attention task when the FFN runs on CPU (only the O projection and
+    /// router remain on GPU).
+    pub fn post_attention_gpu_without_ffn(&self, tokens: u64) -> Seconds {
+        let cost = self.ops.o_projection(tokens).combine(&self.ops.router(tokens));
+        Self::roofline_time(&cost, self.gpu_flops(), self.gpu_bw())
+    }
+
+    /// CPU attention task (`B_x`): GQA softmax over the CPU-resident KV cache.
+    pub fn attention_cpu(&self, tokens: u64, context_len: u64) -> Seconds {
+        Self::roofline_time(
+            &self.ops.attention_core_decode(tokens, context_len),
+            self.cpu_flops(),
+            self.cpu_bw(),
+        )
+    }
+
+    /// GPU attention task (for `A_g = 1` policies): same computation against HBM.
+    pub fn attention_gpu(&self, tokens: u64, context_len: u64) -> Seconds {
+        Self::roofline_time(
+            &self.ops.attention_core_decode(tokens, context_len),
+            self.gpu_flops(),
+            self.gpu_bw(),
+        )
+    }
+
+    /// CPU MoE FFN (for `F_g = 0` policies).
+    pub fn ffn_cpu(&self, tokens: u64) -> Seconds {
+        Self::roofline_time(&self.ops.moe_ffn(tokens), self.cpu_flops(), self.cpu_bw())
+    }
+
+    /// D2H transfer of the QKV projections for `tokens` tokens (transfer D1).
+    pub fn qkv_offload(&self, tokens: u64) -> Seconds {
+        self.model.qkv_bytes(tokens) / self.d2h() + self.link_latency()
+    }
+
+    /// H2D transfer of the post-attention hidden states for `tokens` tokens
+    /// (transfer D2).
+    pub fn hidden_upload(&self, tokens: u64) -> Seconds {
+        self.model.hidden_state_bytes(tokens) / self.h2d() + self.link_latency()
+    }
+
+    /// H2D transfer of the KV cache slice needed to run attention on GPU for a
+    /// micro-batch (transfer D4). Only the CPU-resident fraction must move.
+    pub fn kv_transfer(&self, tokens: u64, context_len: u64, cpu_fraction: f64) -> Seconds {
+        let bytes = self
+            .ops
+            .attention_core_decode(tokens, context_len)
+            .kv_bytes
+            .scale(cpu_fraction.clamp(0.0, 1.0));
+        bytes / self.h2d() + self.link_latency()
+    }
+
+    /// H2D transfer time for an arbitrary number of weight bytes (one page or a whole
+    /// layer, transfer D3).
+    pub fn weight_transfer(&self, bytes: ByteSize) -> Seconds {
+        bytes / self.h2d() + self.link_latency()
+    }
+
+    /// Host-side copy from pageable DRAM into the pinned staging buffer.
+    pub fn pinned_copy(&self, bytes: ByteSize) -> Seconds {
+        bytes / self.cpu_bw()
+    }
+
+    /// Bytes of one layer's weights that must be streamed to the GPU under `policy`.
+    ///
+    /// When the FFN runs on the GPU the full layer (minus the static fraction `r_w`)
+    /// must be streamed; when only attention/projections run on the GPU, just the
+    /// attention weights are needed.
+    pub fn streamed_layer_bytes(&self, policy: &Policy) -> ByteSize {
+        let needed = if policy.ffn_on_gpu {
+            self.model.layer_weight_bytes()
+        } else {
+            self.model.attention_weight_bytes()
+        };
+        needed.scale(1.0 - policy.weights_gpu_ratio.clamp(0.0, 1.0))
+    }
+
+    // --- aggregates ---------------------------------------------------------------
+
+    /// Estimated latency of one layer of one decode step under `policy`, following
+    /// Eq. 12: the pipeline is bound by the slowest of the H2D stream, the D2H
+    /// stream, the CPU and the GPU.
+    pub fn layer_decode_latency(&self, policy: &Policy, workload: &WorkloadShape) -> LayerLatencyBreakdown {
+        let mu = policy.micro_batch_size;
+        let n_ub = policy.num_micro_batches();
+        let last = policy.batch_size - mu * (n_ub - 1);
+        let ctx = workload.avg_decode_context();
+
+        // Helper that sums a per-micro-batch cost over all micro-batches, handling the
+        // (possibly smaller) last micro-batch.
+        let sum_over_ubs = |f: &dyn Fn(u64) -> Seconds| -> Seconds {
+            f(mu).scale((n_ub - 1) as f64) + f(last)
+        };
+
+        // GPU compute.
+        let mut gpu_compute = sum_over_ubs(&|t| self.pre_attention_gpu(t));
+        if policy.ffn_on_gpu {
+            gpu_compute += sum_over_ubs(&|t| self.post_attention_gpu(t));
+        } else {
+            gpu_compute += sum_over_ubs(&|t| self.post_attention_gpu_without_ffn(t));
+        }
+        if policy.attention_on_gpu {
+            gpu_compute += sum_over_ubs(&|t| self.attention_gpu(t, ctx));
+        }
+
+        // CPU compute.
+        let mut cpu_compute = Seconds::ZERO;
+        if !policy.attention_on_gpu {
+            cpu_compute += sum_over_ubs(&|t| self.attention_cpu(t, ctx));
+        }
+        if !policy.ffn_on_gpu {
+            cpu_compute += sum_over_ubs(&|t| self.ffn_cpu(t));
+        }
+
+        // Host→device traffic: weights once per layer, plus per-micro-batch hidden
+        // uploads (CPU attention) or KV transfers (GPU attention with CPU KV).
+        let mut comm_h2d = self.weight_transfer(self.streamed_layer_bytes(policy));
+        if policy.attention_on_gpu {
+            let cpu_fraction = 1.0 - policy.kv_gpu_ratio;
+            comm_h2d += sum_over_ubs(&|t| self.kv_transfer(t, ctx, cpu_fraction));
+        } else {
+            comm_h2d += sum_over_ubs(&|t| self.hidden_upload(t));
+        }
+
+        // Device→host traffic: QKV offload (CPU attention) and new-KV write-back for
+        // the CPU-resident KV fraction.
+        let mut comm_d2h = Seconds::ZERO;
+        if !policy.attention_on_gpu {
+            comm_d2h += sum_over_ubs(&|t| self.qkv_offload(t));
+        } else {
+            let cpu_fraction = 1.0 - policy.kv_gpu_ratio;
+            let append = self.model.kv_bytes_per_token_per_layer() * policy.batch_size;
+            comm_d2h += append.scale(cpu_fraction) / self.d2h();
+        }
+
+        let total = comm_h2d.max(comm_d2h).max(cpu_compute).max(gpu_compute);
+        LayerLatencyBreakdown { comm_h2d, comm_d2h, cpu_compute, gpu_compute, total }
+    }
+
+    /// Estimated latency of one full decode step (all layers) for the whole batch.
+    pub fn decode_step_latency(&self, policy: &Policy, workload: &WorkloadShape) -> Seconds {
+        let per_layer = self.layer_decode_latency(policy, workload).total;
+        per_layer.scale(f64::from(self.model.num_layers))
+    }
+
+    /// Estimated decode throughput in generated tokens per second.
+    pub fn decode_throughput(&self, policy: &Policy, workload: &WorkloadShape) -> f64 {
+        let step = self.decode_step_latency(policy, workload);
+        if step.is_zero() {
+            return 0.0;
+        }
+        policy.batch_size as f64 / step.as_secs()
+    }
+
+    /// Estimated prefill time for the whole batch of `policy.batch_size` requests
+    /// with `workload.prompt_len`-token prompts.
+    ///
+    /// Prefill is compute-bound on the GPU and overlaps weight streaming (§4,
+    /// footnote 7), so the estimate is the max of compute time and the one-shot
+    /// streaming of all non-resident weights.
+    pub fn prefill_time(&self, policy: &Policy, workload: &WorkloadShape) -> Seconds {
+        let flops_per_layer = self
+            .ops
+            .prefill_layer(policy.batch_size, workload.prompt_len)
+            .flops;
+        let compute =
+            flops_per_layer.scale(f64::from(self.model.num_layers)) / self.gpu_flops();
+        let stream_bytes = self
+            .model
+            .total_weight_bytes()
+            .scale(1.0 - policy.weights_gpu_ratio.clamp(0.0, 1.0));
+        let streaming = stream_bytes / self.h2d();
+        // KV cache produced during prefill is offloaded to the CPU.
+        let kv_offload = (self.model.kv_bytes_per_token() * policy.batch_size * workload.prompt_len)
+            .scale(1.0 - policy.kv_gpu_ratio)
+            / self.d2h();
+        compute.max(streaming).max(kv_offload)
+    }
+
+    /// End-to-end generation throughput (tokens/s) for one batch: generated tokens
+    /// divided by prefill + decode time — the paper's evaluation metric.
+    pub fn generation_throughput(&self, policy: &Policy, workload: &WorkloadShape) -> f64 {
+        let decode = self
+            .decode_step_latency(policy, workload)
+            .scale(workload.gen_len as f64);
+        let total = self.prefill_time(policy, workload) + decode;
+        if total.is_zero() {
+            return 0.0;
+        }
+        (policy.batch_size as f64 * workload.gen_len as f64) / total.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s1_cost() -> CostModel {
+        CostModel::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b())
+    }
+
+    fn mtbench() -> WorkloadShape {
+        WorkloadShape::new(77, 128)
+    }
+
+    #[test]
+    fn cpu_attention_beats_kv_transfer_plus_gpu_attention() {
+        // §6.2 / Fig. 9: the CPU GQA kernel is ~3-4x faster than transferring the KV
+        // cache over PCIe, because DRAM bandwidth exceeds PCIe bandwidth by about
+        // that ratio.
+        let cm = s1_cost();
+        for ctx in [128, 512, 2048] {
+            let cpu = cm.attention_cpu(64, ctx);
+            let transfer = cm.kv_transfer(64, ctx, 1.0);
+            assert!(
+                cpu.as_secs() < transfer.as_secs(),
+                "ctx={ctx}: CPU attention {cpu} should beat KV transfer {transfer}"
+            );
+        }
+    }
+
+    #[test]
+    fn ffn_latency_is_flat_in_micro_batch_size_when_memory_bound() {
+        // Fig. 9: the MoE FFN kernel is memory-bound in decode, so its latency barely
+        // changes from μ=32 to μ=256.
+        let cm = CostModel::new(NodeSpec::l4_single(), MoeModelConfig::mixtral_8x7b());
+        let t32 = cm.post_attention_gpu(32).as_secs();
+        let t256 = cm.post_attention_gpu(256).as_secs();
+        assert!(t256 < 1.5 * t32, "memory-bound FFN should not scale with μ: {t32} vs {t256}");
+    }
+
+    #[test]
+    fn weight_transfer_dominates_single_micro_batch_layers() {
+        // With a small batch, streaming the layer weights takes far longer than the
+        // GPU compute — the core memory-constrained regime of the paper.
+        let cm = s1_cost();
+        let policy = Policy::offload_default(32, 32);
+        let breakdown = cm.layer_decode_latency(&policy, &mtbench());
+        assert_eq!(breakdown.bottleneck(), BottleneckResource::HostToDevice);
+        assert!(breakdown.comm_h2d.as_secs() > 5.0 * breakdown.gpu_compute.as_secs());
+    }
+
+    #[test]
+    fn larger_batches_amortize_weight_transfer() {
+        let cm = s1_cost();
+        let w = mtbench();
+        let small = cm.decode_throughput(&Policy::offload_default(32, 32), &w);
+        let large = cm.decode_throughput(&Policy::offload_default(512, 32), &w);
+        assert!(large > 4.0 * small, "throughput should grow with N: {small} -> {large}");
+    }
+
+    #[test]
+    fn throughput_saturates_at_the_balance_point() {
+        // Beyond some batch size another resource (CPU attention or PCIe hidden-state
+        // traffic) binds and throughput stops improving linearly.
+        let cm = s1_cost();
+        let w = mtbench();
+        let t1k = cm.decode_throughput(&Policy::offload_default(1024, 64), &w);
+        let t8k = cm.decode_throughput(&Policy::offload_default(8192, 64), &w);
+        assert!(t8k < 2.0 * t1k, "8x larger batch must not give 2x more throughput: {t1k} -> {t8k}");
+    }
+
+    #[test]
+    fn static_weights_reduce_streaming_and_latency() {
+        let cm = s1_cost();
+        let w = mtbench();
+        let off = Policy::offload_default(256, 32);
+        let mut partial = off;
+        partial.weights_gpu_ratio = 0.5;
+        assert!(cm.streamed_layer_bytes(&partial) < cm.streamed_layer_bytes(&off));
+        assert!(
+            cm.layer_decode_latency(&partial, &w).comm_h2d.as_secs()
+                < cm.layer_decode_latency(&off, &w).comm_h2d.as_secs()
+        );
+    }
+
+    #[test]
+    fn cpu_only_ffn_policy_streams_only_attention_weights() {
+        let cm = s1_cost();
+        let mut p = Policy::offload_default(64, 32);
+        p.ffn_on_gpu = false;
+        assert_eq!(cm.streamed_layer_bytes(&p), cm.model().attention_weight_bytes());
+        let breakdown = cm.layer_decode_latency(&p, &mtbench());
+        assert!(breakdown.cpu_compute > breakdown.gpu_compute, "FFN moved to CPU");
+    }
+
+    #[test]
+    fn gpu_attention_policy_pays_kv_transfer_instead_of_hidden_upload() {
+        let cm = s1_cost();
+        let w = WorkloadShape::new(512, 64);
+        let mut flexgen_like = Policy::offload_default(256, 32);
+        flexgen_like.attention_on_gpu = true;
+        let cgopipe_like = Policy::offload_default(256, 32);
+        let a = cm.layer_decode_latency(&flexgen_like, &w);
+        let b = cm.layer_decode_latency(&cgopipe_like, &w);
+        assert!(
+            a.comm_h2d.as_secs() > b.comm_h2d.as_secs(),
+            "KV transfer traffic must exceed hidden-state traffic"
+        );
+        assert!(a.total.as_secs() >= b.total.as_secs());
+    }
+
+    #[test]
+    fn prefill_time_grows_with_prompt_length() {
+        let cm = s1_cost();
+        let p = Policy::offload_default(128, 16);
+        let short = cm.prefill_time(&p, &WorkloadShape::new(64, 32));
+        let long = cm.prefill_time(&p, &WorkloadShape::new(1693, 32));
+        assert!(long.as_secs() > short.as_secs());
+    }
+
+    #[test]
+    fn generation_throughput_accounts_for_prefill_amortization() {
+        // Longer generation lengths amortize prefill: throughput at gen=64 exceeds
+        // throughput at gen=8 for the same policy.
+        let cm = s1_cost();
+        let p = Policy::offload_default(256, 32);
+        let short = cm.generation_throughput(&p, &WorkloadShape::new(242, 8));
+        let long = cm.generation_throughput(&p, &WorkloadShape::new(242, 64));
+        assert!(long > short);
+    }
+
+    #[test]
+    fn tensor_parallel_node_has_higher_throughput_ceiling() {
+        // Fig. 8: more GPUs => more aggregate HBM and link bandwidth => higher
+        // decode throughput for the same policy.
+        let two = CostModel::new(NodeSpec::t4_multi(2), MoeModelConfig::dbrx());
+        let four = CostModel::new(NodeSpec::t4_multi(4), MoeModelConfig::dbrx());
+        let p = Policy::offload_default(256, 32);
+        let w = mtbench();
+        assert!(four.decode_throughput(&p, &w) > 1.5 * two.decode_throughput(&p, &w));
+    }
+
+    #[test]
+    fn breakdown_bottleneck_identifies_largest_term() {
+        let b = LayerLatencyBreakdown {
+            comm_h2d: Seconds::from_millis(5.0),
+            comm_d2h: Seconds::from_millis(1.0),
+            cpu_compute: Seconds::from_millis(9.0),
+            gpu_compute: Seconds::from_millis(2.0),
+            total: Seconds::from_millis(9.0),
+        };
+        assert_eq!(b.bottleneck(), BottleneckResource::CpuCompute);
+    }
+}

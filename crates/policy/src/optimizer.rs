@@ -1,0 +1,343 @@
+//! The policy optimizer of §4.2: a pruned exhaustive search over the policy space
+//! `(N, μ, A_g, F_g, r_w, r_c)` that maximizes modeled generation throughput subject
+//! to the GPU/CPU memory constraints.
+//!
+//! The paper solves the same problem with a small MILP; the search space after
+//! pruning is a few tens of thousands of candidates, so exhaustive evaluation of the
+//! closed-form cost model reaches the same optimum in well under a second and keeps
+//! the implementation dependency-free.
+
+use crate::capacity::CapacityModel;
+use crate::cost::CostModel;
+use crate::policy::{Policy, WorkloadShape};
+use moe_hardware::NodeSpec;
+use moe_model::MoeModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Objective optimized by the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize end-to-end generation throughput (prefill + decode), the paper's
+    /// evaluation metric.
+    GenerationThroughput,
+    /// Maximize decode-only throughput (equivalently, minimize per-layer decode
+    /// latency per token — the optimizer target described in §4.2).
+    DecodeThroughput,
+}
+
+/// Configuration of the search grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Candidate micro-batch sizes (`μ`).
+    pub micro_batch_sizes: Vec<u64>,
+    /// Candidate numbers of micro-batches per batch (`N / μ`).
+    pub micro_batch_counts: Vec<u64>,
+    /// Candidate fractions of weights held statically on the GPU (`r_w`).
+    pub weight_ratios: Vec<f64>,
+    /// Candidate fractions of KV cache held on the GPU (`r_c`).
+    pub kv_ratios: Vec<f64>,
+    /// Whether to consider running attention on the GPU (`A_g = 1`).
+    pub allow_gpu_attention: bool,
+    /// Whether to consider running the MoE FFN on the CPU (`F_g = 0`).
+    pub allow_cpu_ffn: bool,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            micro_batch_sizes: vec![1, 2, 4, 8, 12, 16, 24, 32, 36, 48, 64, 80, 96, 128, 160, 200, 256],
+            micro_batch_counts: vec![1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64, 96, 128],
+            weight_ratios: vec![0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0],
+            kv_ratios: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            allow_gpu_attention: true,
+            allow_cpu_ffn: true,
+        }
+    }
+}
+
+impl SearchSpace {
+    /// A smaller grid for quick searches in tests and examples.
+    pub fn coarse() -> Self {
+        SearchSpace {
+            micro_batch_sizes: vec![8, 16, 32, 64, 128],
+            micro_batch_counts: vec![1, 2, 4, 8, 16, 32],
+            weight_ratios: vec![0.0, 0.5, 1.0],
+            kv_ratios: vec![0.0, 1.0],
+            allow_gpu_attention: true,
+            allow_cpu_ffn: false,
+        }
+    }
+}
+
+/// The result of a policy search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The best policy found.
+    pub policy: Policy,
+    /// Modeled objective value (tokens/s) of the best policy.
+    pub throughput: f64,
+    /// Number of candidate policies evaluated (after feasibility filtering).
+    pub evaluated: usize,
+    /// Number of candidates rejected by the memory constraints.
+    pub infeasible: usize,
+}
+
+/// Errors produced by the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// No candidate policy satisfied the memory constraints.
+    NoFeasiblePolicy {
+        /// Number of candidates examined.
+        candidates: usize,
+    },
+}
+
+impl std::fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerError::NoFeasiblePolicy { candidates } => write!(
+                f,
+                "no feasible policy found among {candidates} candidates (model too large for this node?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+/// The policy optimizer.
+#[derive(Debug, Clone)]
+pub struct PolicyOptimizer {
+    cost: CostModel,
+    capacity: CapacityModel,
+    space: SearchSpace,
+    objective: Objective,
+}
+
+impl PolicyOptimizer {
+    /// Creates an optimizer with the default search space and the paper's
+    /// generation-throughput objective.
+    pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
+        PolicyOptimizer {
+            cost: CostModel::new(node.clone(), model.clone()),
+            capacity: CapacityModel::new(node, model),
+            space: SearchSpace::default(),
+            objective: Objective::GenerationThroughput,
+        }
+    }
+
+    /// Overrides the search space.
+    pub fn with_search_space(mut self, space: SearchSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Overrides the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The underlying capacity model.
+    pub fn capacity_model(&self) -> &CapacityModel {
+        &self.capacity
+    }
+
+    fn score(&self, policy: &Policy, workload: &WorkloadShape) -> f64 {
+        match self.objective {
+            Objective::GenerationThroughput => self.cost.generation_throughput(policy, workload),
+            Objective::DecodeThroughput => self.cost.decode_throughput(policy, workload),
+        }
+    }
+
+    /// Evaluates a single candidate (objective value, or `None` if infeasible).
+    pub fn evaluate(&self, policy: &Policy, workload: &WorkloadShape) -> Option<f64> {
+        if policy.validate().is_err() || !self.capacity.is_feasible(policy, workload) {
+            return None;
+        }
+        Some(self.score(policy, workload))
+    }
+
+    /// Searches the policy space and returns the best feasible policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::NoFeasiblePolicy`] when nothing fits the node.
+    pub fn search(&self, workload: &WorkloadShape) -> Result<SearchResult, OptimizerError> {
+        let mut best: Option<(Policy, f64)> = None;
+        let mut evaluated = 0usize;
+        let mut infeasible = 0usize;
+        let mut candidates = 0usize;
+
+        for &mu in &self.space.micro_batch_sizes {
+            for &n_ub in &self.space.micro_batch_counts {
+                let batch = mu * n_ub;
+                for attention_on_gpu in attention_options(self.space.allow_gpu_attention) {
+                    for ffn_on_gpu in ffn_options(self.space.allow_cpu_ffn) {
+                        for &rw in &self.space.weight_ratios {
+                            // r_c only matters when attention runs on the GPU; when it
+                            // runs on the CPU the KV cache stays there (r_c = 0).
+                            let kv_options: &[f64] =
+                                if attention_on_gpu { &self.space.kv_ratios } else { &[0.0] };
+                            for &rc in kv_options {
+                                candidates += 1;
+                                let policy = Policy {
+                                    batch_size: batch,
+                                    micro_batch_size: mu,
+                                    attention_on_gpu,
+                                    ffn_on_gpu,
+                                    weights_gpu_ratio: rw,
+                                    kv_gpu_ratio: rc,
+                                };
+                                match self.evaluate(&policy, workload) {
+                                    Some(score) => {
+                                        evaluated += 1;
+                                        let better = best
+                                            .as_ref()
+                                            .map_or(true, |(_, best_score)| score > *best_score);
+                                        if better {
+                                            best = Some((policy, score));
+                                        }
+                                    }
+                                    None => infeasible += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((policy, throughput)) => Ok(SearchResult { policy, throughput, evaluated, infeasible }),
+            None => Err(OptimizerError::NoFeasiblePolicy { candidates }),
+        }
+    }
+}
+
+fn attention_options(allow_gpu: bool) -> Vec<bool> {
+    if allow_gpu {
+        vec![false, true]
+    } else {
+        vec![false]
+    }
+}
+
+fn ffn_options(allow_cpu: bool) -> Vec<bool> {
+    if allow_cpu {
+        vec![true, false]
+    } else {
+        vec![true]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mtbench(gen: u64) -> WorkloadShape {
+        WorkloadShape::new(77, gen)
+    }
+
+    #[test]
+    fn s1_search_prefers_cpu_attention_and_gpu_ffn() {
+        // §4.2: "for our major setting, we always get A_g = 0 and F_g = 1".
+        let opt = PolicyOptimizer::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b());
+        let result = opt.search(&mtbench(128)).expect("a feasible policy exists");
+        assert!(!result.policy.attention_on_gpu, "best policy: {}", result.policy);
+        assert!(result.policy.ffn_on_gpu, "best policy: {}", result.policy);
+        assert!(result.policy.num_micro_batches() > 1, "pipelining requires several micro-batches");
+        assert!(result.throughput > 0.0);
+        assert!(result.evaluated > 0 && result.infeasible > 0);
+    }
+
+    #[test]
+    fn search_fails_gracefully_when_model_cannot_fit() {
+        let node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(4.0));
+        let opt = PolicyOptimizer::new(node, MoeModelConfig::mixtral_8x7b());
+        let err = opt.search(&mtbench(32)).unwrap_err();
+        assert!(matches!(err, OptimizerError::NoFeasiblePolicy { .. }));
+        assert!(err.to_string().contains("no feasible policy"));
+    }
+
+    #[test]
+    fn more_cpu_memory_never_hurts_throughput() {
+        // Fig. 1: larger CPU memory allows bigger batches and therefore at least as
+        // much throughput.
+        let small_node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(96.0));
+        let big_node = NodeSpec::t4_single();
+        let w = mtbench(128);
+        let space = SearchSpace::coarse();
+        let small = PolicyOptimizer::new(small_node, MoeModelConfig::mixtral_8x7b())
+            .with_search_space(space.clone())
+            .search(&w)
+            .unwrap();
+        let big = PolicyOptimizer::new(big_node, MoeModelConfig::mixtral_8x7b())
+            .with_search_space(space)
+            .search(&w)
+            .unwrap();
+        assert!(big.throughput >= small.throughput * 0.999);
+    }
+
+    #[test]
+    fn ample_gpu_memory_is_exploited_on_a100_nodes() {
+        // §6.3: with 2xA100-80G the optimizer should use the abundant HBM — either by
+        // pinning weights statically (`r_w > 0`) or by keeping (part of) the KV cache
+        // on the GPU — and must beat the naive everything-offloaded policy.
+        let node = NodeSpec::a100_case_study(300.0, 4.0);
+        let opt = PolicyOptimizer::new(node, MoeModelConfig::mixtral_8x7b());
+        let w = WorkloadShape::new(512, 32);
+        let result = opt.search(&w).unwrap();
+        let uses_gpu_memory = result.policy.weights_gpu_ratio > 0.0
+            || result.policy.kv_gpu_ratio > 0.0
+            || result.policy.attention_on_gpu;
+        assert!(uses_gpu_memory, "expected HBM to be exploited, got {}", result.policy);
+        let naive = opt
+            .evaluate(&Policy::offload_default(256, 32), &w)
+            .expect("naive policy is feasible on A100s");
+        assert!(result.throughput >= naive, "optimizer must not lose to the naive policy");
+    }
+
+    #[test]
+    fn evaluate_rejects_invalid_and_oversized_policies() {
+        let opt = PolicyOptimizer::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b());
+        let w = mtbench(64);
+        let mut invalid = Policy::offload_default(32, 32);
+        invalid.weights_gpu_ratio = 2.0;
+        assert_eq!(opt.evaluate(&invalid, &w), None);
+        let mut oversized = Policy::offload_default(32, 32);
+        oversized.weights_gpu_ratio = 1.0;
+        assert_eq!(opt.evaluate(&oversized, &w), None);
+        assert!(opt.evaluate(&Policy::offload_default(128, 32), &w).is_some());
+    }
+
+    #[test]
+    fn decode_objective_ignores_prefill() {
+        let opt_gen = PolicyOptimizer::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b())
+            .with_search_space(SearchSpace::coarse());
+        let opt_dec = opt_gen.clone().with_objective(Objective::DecodeThroughput);
+        let w = WorkloadShape::new(1693, 64); // long prompts make prefill expensive
+        let gen = opt_gen.search(&w).unwrap();
+        let dec = opt_dec.search(&w).unwrap();
+        // Decode-only throughput is an upper bound on generation throughput for the
+        // same policy, so the decode-objective optimum is at least as large.
+        assert!(dec.throughput >= gen.throughput * 0.999);
+    }
+
+    #[test]
+    fn search_result_policy_is_always_feasible_and_valid() {
+        let opt = PolicyOptimizer::new(NodeSpec::l4_single(), MoeModelConfig::mixtral_8x7b())
+            .with_search_space(SearchSpace::coarse());
+        for gen in [32, 128, 256] {
+            let w = mtbench(gen);
+            let r = opt.search(&w).unwrap();
+            assert!(r.policy.validate().is_ok());
+            assert!(opt.capacity_model().is_feasible(&r.policy, &w));
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! A functional, pipelined offloading engine for the tiny reference MoE model.
+//!
+//! This is the executable counterpart of CGOPipe: real (small) tensors flow through
+//! the same task structure the paper describes — GPU pre-attention, QKV offload,
+//! CPU attention over the KV cache, hidden-state upload, GPU post-attention, with
+//! paged weight prefetch double-buffered two layers ahead — driven by the
+//! multi-threaded [`OffloadExecutor`]. Its output is checked against the purely
+//! sequential [`ReferenceMoeModel`] forward pass, which validates that the pipeline's
+//! dependency structure is correct (no stale hidden states, no missing weights, no
+//! KV-cache races).
+
+use crate::executor::{JobId, LaneId, OffloadExecutor};
+use moe_hardware::ByteSize;
+use moe_memory::{BufferSlot, MemoryPool, PagedKvCache, PagedWeightStore, SequenceId, WeightLayout};
+use moe_model::reference::{argmax, ReferenceMoeModel, SequenceCache};
+use moe_model::MoeModelConfig;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors produced by the pipelined engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The configuration or inputs were invalid.
+    InvalidInput {
+        /// Explanation of the violated requirement.
+        message: String,
+    },
+    /// The memory substrate rejected an allocation or protocol step.
+    Memory {
+        /// The underlying memory error, formatted.
+        message: String,
+    },
+    /// One or more pipeline tasks failed.
+    TaskFailed {
+        /// Collected task error messages.
+        messages: Vec<String>,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            RuntimeError::Memory { message } => write!(f, "memory error: {message}"),
+            RuntimeError::TaskFailed { messages } => {
+                write!(f, "{} pipeline task(s) failed: {}", messages.len(), messages.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<moe_memory::MemoryError> for RuntimeError {
+    fn from(e: moe_memory::MemoryError) -> Self {
+        RuntimeError::Memory { message: e.to_string() }
+    }
+}
+
+/// Configuration of the pipelined engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Number of sequences processed per micro-batch.
+    pub micro_batch_size: usize,
+    /// Number of pages each layer's streamed weights are split into.
+    pub weight_pages_per_layer: usize,
+    /// Fraction of weights held statically in the simulated GPU pool.
+    pub weights_gpu_ratio: f64,
+    /// Simulated GPU memory capacity.
+    pub gpu_memory: ByteSize,
+    /// Simulated host memory capacity.
+    pub cpu_memory: ByteSize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            micro_batch_size: 2,
+            weight_pages_per_layer: 4,
+            weights_gpu_ratio: 0.0,
+            gpu_memory: ByteSize::from_mib(64.0),
+            cpu_memory: ByteSize::from_mib(512.0),
+        }
+    }
+}
+
+/// Result of a pipelined generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationOutput {
+    /// Generated token ids, one vector per input sequence.
+    pub tokens: Vec<Vec<u32>>,
+    /// Bytes moved host→device (weight pages + hidden states).
+    pub h2d_bytes: ByteSize,
+    /// Bytes moved device→host (QKV offloads).
+    pub d2h_bytes: ByteSize,
+    /// Total pipeline jobs executed.
+    pub jobs_executed: u64,
+    /// Peak simulated GPU pool usage.
+    pub gpu_peak: ByteSize,
+}
+
+/// The pipelined offloading engine.
+#[derive(Debug)]
+pub struct PipelinedMoeEngine {
+    model: Arc<ReferenceMoeModel>,
+    config: EngineConfig,
+}
+
+struct StepState {
+    hidden: Vec<Vec<f32>>,
+    qkv: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)>,
+    attn: Vec<Vec<f32>>,
+    logits: Vec<Vec<f32>>,
+}
+
+impl PipelinedMoeEngine {
+    /// Creates an engine around a reference model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidInput`] for nonsensical configurations.
+    pub fn new(model: ReferenceMoeModel, config: EngineConfig) -> Result<Self, RuntimeError> {
+        if config.micro_batch_size == 0 {
+            return Err(RuntimeError::InvalidInput {
+                message: "micro_batch_size must be at least 1".to_owned(),
+            });
+        }
+        if config.weight_pages_per_layer == 0 {
+            return Err(RuntimeError::InvalidInput {
+                message: "weight_pages_per_layer must be at least 1".to_owned(),
+            });
+        }
+        if !(0.0..=1.0).contains(&config.weights_gpu_ratio) {
+            return Err(RuntimeError::InvalidInput {
+                message: format!("weights_gpu_ratio must be in [0,1], got {}", config.weights_gpu_ratio),
+            });
+        }
+        Ok(PipelinedMoeEngine { model: Arc::new(model), config })
+    }
+
+    /// The model configuration.
+    pub fn model_config(&self) -> &MoeModelConfig {
+        self.model.config()
+    }
+
+    /// Generates `gen_len` tokens greedily for every prompt, running the decode stage
+    /// through the CGOPipe-style pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/invalid prompts, memory protocol violations, or
+    /// failed pipeline tasks.
+    pub fn generate(&self, prompts: &[Vec<u32>], gen_len: usize) -> Result<GenerationOutput, RuntimeError> {
+        if prompts.is_empty() {
+            return Err(RuntimeError::InvalidInput { message: "need at least one prompt".to_owned() });
+        }
+        if prompts.iter().any(Vec::is_empty) {
+            return Err(RuntimeError::InvalidInput { message: "prompts must be non-empty".to_owned() });
+        }
+        let cfg = self.model.config().clone();
+        if prompts.iter().flatten().any(|&t| t >= cfg.vocab_size) {
+            return Err(RuntimeError::InvalidInput {
+                message: format!("prompt token out of vocabulary (vocab size {})", cfg.vocab_size),
+            });
+        }
+
+        // --- memory substrate -------------------------------------------------------
+        let gpu_pool = MemoryPool::new("sim-gpu", self.config.gpu_memory);
+        let cpu_pool = MemoryPool::new("sim-cpu", self.config.cpu_memory);
+        let pinned_pool = MemoryPool::new("sim-pinned", self.config.cpu_memory);
+        let layout = WeightLayout {
+            num_layers: cfg.num_layers as usize,
+            layer_bytes: cfg.layer_weight_bytes(),
+            gpu_static_fraction: self.config.weights_gpu_ratio,
+            pages_per_layer: self.config.weight_pages_per_layer,
+        };
+        let weight_store = Arc::new(Mutex::new(PagedWeightStore::new(
+            layout,
+            gpu_pool.clone(),
+            cpu_pool.clone(),
+            pinned_pool,
+        )?));
+        let mut kv_accounting = PagedKvCache::new(cpu_pool.clone(), 16, cfg.kv_bytes_per_token());
+
+        // --- prefill (sequential, as in the paper prefill is not pipelined further) --
+        let num_seqs = prompts.len();
+        let mut caches: Vec<SequenceCache> = Vec::with_capacity(num_seqs);
+        let mut last_logits: Vec<Vec<f32>> = Vec::with_capacity(num_seqs);
+        for (s, prompt) in prompts.iter().enumerate() {
+            let mut cache = SequenceCache::new(&cfg);
+            let mut logits = Vec::new();
+            for &token in prompt {
+                logits = self
+                    .model
+                    .forward_token(token, &mut cache)
+                    .map_err(|e| RuntimeError::TaskFailed { messages: vec![e.to_string()] })?;
+            }
+            kv_accounting.add_sequence(SequenceId(s as u64), prompt.len() as u64)?;
+            caches.push(cache);
+            last_logits.push(logits);
+        }
+
+        // --- pipelined decode --------------------------------------------------------
+        let executor = OffloadExecutor::new();
+        let h2d_bytes = Arc::new(AtomicU64::new(0));
+        let d2h_bytes = Arc::new(AtomicU64::new(0));
+        let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let caches = Arc::new(Mutex::new(caches));
+        // Which layer currently occupies each of the two GPU prefetch buffer slots;
+        // persists across decode steps (the tail layers of step t are evicted by the
+        // head layers of step t+1, exactly like the steady-state of Algorithm 1).
+        let slot_occupancy: Arc<Mutex<[Option<usize>; 2]>> = Arc::new(Mutex::new([None, None]));
+
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::with_capacity(gen_len); num_seqs];
+        let micro_batches: Vec<Vec<usize>> = (0..num_seqs)
+            .collect::<Vec<_>>()
+            .chunks(self.config.micro_batch_size)
+            .map(<[usize]>::to_vec)
+            .collect();
+
+        for step in 0..gen_len {
+            // Greedy next token from the previous logits.
+            let next_tokens: Vec<u32> = last_logits.iter().map(|l| argmax(l)).collect();
+            for (s, &t) in next_tokens.iter().enumerate() {
+                outputs[s].push(t);
+                kv_accounting.append_token(SequenceId(s as u64))?;
+            }
+            if step + 1 == gen_len {
+                break; // no need to run another forward pass for logits we discard
+            }
+
+            let state = Arc::new(Mutex::new(StepState {
+                hidden: next_tokens
+                    .iter()
+                    .map(|&t| self.model.embed(t).expect("token validated against vocab"))
+                    .collect(),
+                qkv: vec![(Vec::new(), Vec::new(), Vec::new()); num_seqs],
+                attn: vec![Vec::new(); num_seqs],
+                logits: vec![Vec::new(); num_seqs],
+            }));
+
+            self.submit_decode_step(
+                &executor,
+                &state,
+                &caches,
+                &micro_batches,
+                &weight_store,
+                &slot_occupancy,
+                &h2d_bytes,
+                &d2h_bytes,
+                &errors,
+            );
+            executor.wait_all();
+
+            let failures = std::mem::take(&mut *errors.lock());
+            if !failures.is_empty() {
+                return Err(RuntimeError::TaskFailed { messages: failures });
+            }
+            last_logits = std::mem::take(&mut state.lock().logits);
+        }
+
+        let jobs = executor.submitted();
+        executor.shutdown();
+        Ok(GenerationOutput {
+            tokens: outputs,
+            h2d_bytes: ByteSize::from_bytes(h2d_bytes.load(Ordering::SeqCst)),
+            d2h_bytes: ByteSize::from_bytes(d2h_bytes.load(Ordering::SeqCst)),
+            jobs_executed: jobs,
+            gpu_peak: gpu_pool.peak(),
+        })
+    }
+
+    /// Submits all jobs of one decode step (all layers, all micro-batches) plus the
+    /// final-norm/logits job, following the CGOPipe task structure.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_decode_step(
+        &self,
+        executor: &OffloadExecutor,
+        state: &Arc<Mutex<StepState>>,
+        caches: &Arc<Mutex<Vec<SequenceCache>>>,
+        micro_batches: &[Vec<usize>],
+        weight_store: &Arc<Mutex<PagedWeightStore>>,
+        slot_occupancy: &Arc<Mutex<[Option<usize>; 2]>>,
+        h2d_bytes: &Arc<AtomicU64>,
+        d2h_bytes: &Arc<AtomicU64>,
+        errors: &Arc<Mutex<Vec<String>>>,
+    ) {
+        let cfg = self.model.config().clone();
+        let num_layers = cfg.num_layers as usize;
+        let nq = cfg.num_q_heads as usize;
+        let hd = cfg.head_dim as usize;
+        let top_k = cfg.top_k as usize;
+        let qkv_bytes_per_seq = cfg.qkv_bytes(1).as_bytes();
+        let hidden_bytes_per_seq = cfg.hidden_state_bytes(1).as_bytes();
+
+        // Last post-attention job of each layer (double-buffer release dependency).
+        let mut last_post_of_layer: Vec<Option<JobId>> = vec![None; num_layers];
+        // Per-micro-batch post-attention job of the previous layer.
+        let mut prev_post: Vec<Option<JobId>> = vec![None; micro_batches.len()];
+
+        for layer_idx in 0..num_layers {
+            // Weight prefetch job: release the layer that used this slot two layers
+            // ago, then stream this layer's pages through pinned memory.
+            let release_dep: Vec<JobId> = if layer_idx >= 2 {
+                last_post_of_layer[layer_idx - 2].into_iter().collect()
+            } else {
+                Vec::new()
+            };
+            let store = Arc::clone(weight_store);
+            let occupancy = Arc::clone(slot_occupancy);
+            let bytes_counter = Arc::clone(h2d_bytes);
+            let errs = Arc::clone(errors);
+            let weights_job = executor.submit(LaneId::HostToDevice, &release_dep, move || {
+                let mut store = store.lock();
+                let slot = BufferSlot::for_layer(layer_idx);
+                let slot_idx = usize::from(slot == BufferSlot::B);
+                let mut occupancy = occupancy.lock();
+                if let Some(occupant) = occupancy[slot_idx] {
+                    if occupant != layer_idx {
+                        if let Err(e) = store.release_layer(occupant) {
+                            errs.lock().push(format!("release layer {occupant}: {e}"));
+                            return;
+                        }
+                    }
+                }
+                occupancy[slot_idx] = Some(layer_idx);
+                match store.plan_layer_prefetch(layer_idx, BufferSlot::for_layer(layer_idx)) {
+                    Ok(transfers) => {
+                        for t in transfers {
+                            // Simulate the copy: touch a buffer of the page size.
+                            let _staging = vec![0u8; (t.bytes.as_bytes() as usize).min(1 << 20)];
+                            if t.to == moe_memory::PageLocation::GpuHbm {
+                                bytes_counter.fetch_add(t.bytes.as_bytes(), Ordering::Relaxed);
+                            }
+                            if let Err(e) = store.complete_transfer(&t) {
+                                errs.lock().push(format!("complete transfer: {e}"));
+                                return;
+                            }
+                        }
+                    }
+                    Err(e) => errs.lock().push(format!("prefetch layer {layer_idx}: {e}")),
+                }
+            });
+
+            for (mb_idx, members) in micro_batches.iter().enumerate() {
+                // GPU pre-attention.
+                let mut deps: Vec<JobId> = vec![weights_job];
+                if let Some(p) = prev_post[mb_idx] {
+                    deps.push(p);
+                }
+                let model = Arc::clone(&self.model);
+                let st = Arc::clone(state);
+                let errs = Arc::clone(errors);
+                let mb = members.clone();
+                let pre_job = executor.submit(LaneId::Gpu, &deps, move || {
+                    let mut st = st.lock();
+                    for &s in &mb {
+                        let hidden = st.hidden[s].clone();
+                        match model.layers[layer_idx].pre_attention(&hidden) {
+                            Ok(qkv) => st.qkv[s] = qkv,
+                            Err(e) => errs.lock().push(format!("pre-attention({layer_idx},{s}): {e}")),
+                        }
+                    }
+                });
+
+                // QKV offload to host.
+                let counter = Arc::clone(d2h_bytes);
+                let mb_len = members.len() as u64;
+                let qkv_job = executor.submit(LaneId::DeviceToHost, &[pre_job], move || {
+                    counter.fetch_add(qkv_bytes_per_seq * mb_len, Ordering::Relaxed);
+                });
+
+                // CPU attention over the KV cache.
+                let model = Arc::clone(&self.model);
+                let st = Arc::clone(state);
+                let cc = Arc::clone(caches);
+                let errs = Arc::clone(errors);
+                let mb = members.clone();
+                let attn_job = executor.submit(LaneId::Cpu, &[qkv_job], move || {
+                    let mut st = st.lock();
+                    let mut caches = cc.lock();
+                    for &s in &mb {
+                        let (q, k, v) = st.qkv[s].clone();
+                        let result = model.layers[layer_idx].attention_with_cache(
+                            caches[s].layer_mut(layer_idx),
+                            &q,
+                            &k,
+                            &v,
+                            nq,
+                            hd,
+                        );
+                        match result {
+                            Ok(out) => st.attn[s] = out,
+                            Err(e) => errs.lock().push(format!("attention({layer_idx},{s}): {e}")),
+                        }
+                    }
+                });
+
+                // Hidden-state upload back to the GPU.
+                let counter = Arc::clone(h2d_bytes);
+                let hidden_job = executor.submit(LaneId::HostToDevice, &[attn_job], move || {
+                    counter.fetch_add(hidden_bytes_per_seq * mb_len, Ordering::Relaxed);
+                });
+
+                // GPU post-attention (O projection, router, experts, residuals).
+                let model = Arc::clone(&self.model);
+                let st = Arc::clone(state);
+                let errs = Arc::clone(errors);
+                let mb = members.clone();
+                let is_last_layer = layer_idx + 1 == num_layers;
+                let final_norm = self.model.final_norm.clone();
+                let post_job = executor.submit(LaneId::Gpu, &[hidden_job], move || {
+                    let mut st = st.lock();
+                    for &s in &mb {
+                        let hidden = st.hidden[s].clone();
+                        let attn = st.attn[s].clone();
+                        match model.layers[layer_idx].post_attention(&hidden, &attn, top_k) {
+                            Ok(new_hidden) => {
+                                if is_last_layer {
+                                    // Final RMSNorm + weight-tied LM head.
+                                    let logits = moe_tensor::Tensor::from_vec(&[1, new_hidden.len()], new_hidden.clone())
+                                        .and_then(|h| moe_tensor::ops::rms_norm(&h, &final_norm, 1e-6))
+                                        .and_then(|h| moe_tensor::ops::matvec(&model.embedding, h.row(0)?));
+                                    match logits {
+                                        Ok(l) => st.logits[s] = l,
+                                        Err(e) => errs.lock().push(format!("lm-head({s}): {e}")),
+                                    }
+                                }
+                                st.hidden[s] = new_hidden;
+                            }
+                            Err(e) => errs.lock().push(format!("post-attention({layer_idx},{s}): {e}")),
+                        }
+                    }
+                });
+                prev_post[mb_idx] = Some(post_job);
+                last_post_of_layer[layer_idx] = Some(post_job);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_engine(config: EngineConfig) -> PipelinedMoeEngine {
+        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
+        PipelinedMoeEngine::new(model, config).expect("valid config")
+    }
+
+    fn reference_tokens(prompt: &[u32], gen_len: usize) -> Vec<u32> {
+        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
+        model.generate_greedy(prompt, gen_len).expect("reference generation")
+    }
+
+    #[test]
+    fn pipelined_generation_matches_sequential_reference() {
+        let engine = tiny_engine(EngineConfig::default());
+        let prompts = vec![vec![1u32, 2, 3], vec![9, 8], vec![42, 17, 5, 11]];
+        let out = engine.generate(&prompts, 6).unwrap();
+        assert_eq!(out.tokens.len(), 3);
+        for (prompt, generated) in prompts.iter().zip(&out.tokens) {
+            assert_eq!(generated, &reference_tokens(prompt, 6), "pipeline must match the reference");
+        }
+    }
+
+    #[test]
+    fn pipeline_moves_weight_and_activation_bytes() {
+        let engine = tiny_engine(EngineConfig::default());
+        let out = engine.generate(&[vec![3, 1, 4]], 4).unwrap();
+        let cfg = MoeModelConfig::tiny();
+        // Three pipelined decode passes (the last token needs no further pass), each
+        // streaming all four layers' weights.
+        let expected_weight_bytes = cfg.layer_weight_bytes().as_bytes() * 4 * 3;
+        assert!(
+            out.h2d_bytes.as_bytes() >= expected_weight_bytes,
+            "h2d bytes {} must include weight streaming {}",
+            out.h2d_bytes,
+            expected_weight_bytes
+        );
+        assert!(out.d2h_bytes > ByteSize::ZERO);
+        assert!(out.jobs_executed > 0);
+        assert!(out.gpu_peak > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn different_micro_batch_sizes_give_identical_results() {
+        let prompts = vec![vec![5u32, 6], vec![7, 8], vec![9, 10], vec![11, 12], vec![13]];
+        let out1 = tiny_engine(EngineConfig { micro_batch_size: 1, ..EngineConfig::default() })
+            .generate(&prompts, 5)
+            .unwrap();
+        let out5 = tiny_engine(EngineConfig { micro_batch_size: 5, ..EngineConfig::default() })
+            .generate(&prompts, 5)
+            .unwrap();
+        assert_eq!(out1.tokens, out5.tokens, "micro-batching must not change results");
+    }
+
+    #[test]
+    fn static_weight_fraction_reduces_streamed_bytes() {
+        let prompts = vec![vec![1u32, 2, 3]];
+        let streamed = tiny_engine(EngineConfig::default()).generate(&prompts, 4).unwrap();
+        let half_static = tiny_engine(EngineConfig { weights_gpu_ratio: 0.5, ..EngineConfig::default() })
+            .generate(&prompts, 4)
+            .unwrap();
+        assert!(half_static.h2d_bytes < streamed.h2d_bytes);
+        assert_eq!(half_static.tokens, streamed.tokens);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let engine = tiny_engine(EngineConfig::default());
+        assert!(matches!(engine.generate(&[], 4), Err(RuntimeError::InvalidInput { .. })));
+        assert!(matches!(engine.generate(&[vec![]], 4), Err(RuntimeError::InvalidInput { .. })));
+        assert!(matches!(engine.generate(&[vec![9999]], 4), Err(RuntimeError::InvalidInput { .. })));
+        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).unwrap();
+        assert!(PipelinedMoeEngine::new(model.clone(), EngineConfig { micro_batch_size: 0, ..EngineConfig::default() }).is_err());
+        assert!(PipelinedMoeEngine::new(model.clone(), EngineConfig { weight_pages_per_layer: 0, ..EngineConfig::default() }).is_err());
+        assert!(PipelinedMoeEngine::new(model, EngineConfig { weights_gpu_ratio: 1.5, ..EngineConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn engine_fails_cleanly_when_gpu_pool_too_small() {
+        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).unwrap();
+        let engine = PipelinedMoeEngine::new(
+            model,
+            EngineConfig { gpu_memory: ByteSize::from_bytes(1), ..EngineConfig::default() },
+        )
+        .unwrap();
+        assert!(matches!(engine.generate(&[vec![1, 2]], 2), Err(RuntimeError::Memory { .. })));
+    }
+
+    #[test]
+    fn zero_generation_length_produces_empty_outputs() {
+        let engine = tiny_engine(EngineConfig::default());
+        let out = engine.generate(&[vec![1, 2, 3]], 0).unwrap();
+        assert_eq!(out.tokens, vec![Vec::<u32>::new()]);
+    }
+}

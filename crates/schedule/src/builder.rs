@@ -1,0 +1,616 @@
+//! Decode-stage pipeline schedules as task graphs (Fig. 6 and Algorithm 1 of the
+//! paper).
+//!
+//! Each builder turns a policy + workload into a [`TaskGraph`] over the four lanes
+//! of the discrete-event simulator, with task durations taken from the HRM cost
+//! model. The schedules differ only in *ordering and granularity* — which is exactly
+//! the paper's point: CGOPipe's paged-weight interleaving and two-ahead pre-attention
+//! remove the bubbles the baseline orderings leave on the GPU and PCIe lanes.
+
+use moe_hardware::Seconds;
+use moe_memory::pages::split_into_pages;
+use moe_policy::{CostModel, Policy, WorkloadShape};
+use moe_sim::{Lane, SimError, TaskGraph, TaskId, TaskKind};
+use serde::{Deserialize, Serialize};
+
+/// The pipeline schedules compared in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// MoE-Lightning's CGOPipe: CPU attention, paged weights interleaved with hidden
+    /// uploads, pre-attention launched two micro-batches ahead (Algorithm 1).
+    CgoPipe,
+    /// FastDecode-style overlap (S2): CPU attention overlapped with GPU compute, but
+    /// un-paged whole-layer weight transfers issued at the start of each layer.
+    FastDecodeOverlap,
+    /// FlexGen(c)-style (S3): CPU attention, un-paged weight transfer issued after a
+    /// layer's hidden uploads, blocking the next layer.
+    FlexGenCpuAttention,
+    /// FlexGen-style (S4): GPU attention with per-micro-batch KV-cache prefetch over
+    /// PCIe and un-paged weight transfers.
+    FlexGenGpuAttention,
+    /// DeepSpeed ZeRO-Inference-style layer streaming: one (micro-)batch, GPU
+    /// attention, KV on GPU, whole-layer weight streaming.
+    LayerStreaming,
+}
+
+impl ScheduleKind {
+    /// All schedule kinds in the order shown in Fig. 6 (plus layer streaming).
+    pub fn all() -> [ScheduleKind; 5] {
+        [
+            ScheduleKind::CgoPipe,
+            ScheduleKind::FastDecodeOverlap,
+            ScheduleKind::FlexGenCpuAttention,
+            ScheduleKind::FlexGenGpuAttention,
+            ScheduleKind::LayerStreaming,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::CgoPipe => "CGOPipe (MoE-Lightning)",
+            ScheduleKind::FastDecodeOverlap => "S2 (FastDecode-style)",
+            ScheduleKind::FlexGenCpuAttention => "S3 (FlexGen(c))",
+            ScheduleKind::FlexGenGpuAttention => "S4 (FlexGen)",
+            ScheduleKind::LayerStreaming => "Layer streaming (DeepSpeed)",
+        }
+    }
+
+    /// Whether the schedule runs attention on the CPU.
+    pub fn uses_cpu_attention(&self) -> bool {
+        matches!(
+            self,
+            ScheduleKind::CgoPipe | ScheduleKind::FastDecodeOverlap | ScheduleKind::FlexGenCpuAttention
+        )
+    }
+}
+
+/// Builds decode-step task graphs for a (model, node, policy, workload) combination.
+#[derive(Debug, Clone)]
+pub struct DecodeScheduleBuilder<'a> {
+    cost: &'a CostModel,
+    policy: Policy,
+    workload: WorkloadShape,
+    num_layers: u32,
+}
+
+impl<'a> DecodeScheduleBuilder<'a> {
+    /// Creates a builder. The policy and workload are copied.
+    pub fn new(cost: &'a CostModel, policy: Policy, workload: WorkloadShape) -> Self {
+        let num_layers = cost.model().num_layers;
+        DecodeScheduleBuilder { cost, policy, workload, num_layers }
+    }
+
+    /// Restricts the graph to the first `layers` layers (useful for the Fig. 6
+    /// single-/few-layer visualization).
+    pub fn with_layers(mut self, layers: u32) -> Self {
+        self.num_layers = layers.min(self.cost.model().num_layers).max(1);
+        self
+    }
+
+    /// The policy used by this builder.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    fn ctx(&self) -> u64 {
+        self.workload.avg_decode_context()
+    }
+
+    fn micro_batch_tokens(&self, j: u64) -> u64 {
+        let mu = self.policy.micro_batch_size;
+        let n_ub = self.policy.num_micro_batches();
+        if j + 1 == n_ub {
+            self.policy.batch_size - mu * (n_ub - 1)
+        } else {
+            mu
+        }
+    }
+
+    /// Builds the task graph of one decode step under the given schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates task-graph construction errors (none are expected for valid
+    /// policies; they would indicate a bug in the builder).
+    pub fn build(&self, kind: ScheduleKind) -> Result<TaskGraph, SimError> {
+        match kind {
+            ScheduleKind::CgoPipe => self.build_cpu_attention_pipeline(true, WeightOrder::Interleaved),
+            ScheduleKind::FastDecodeOverlap => {
+                self.build_cpu_attention_pipeline(true, WeightOrder::WholeAtStart)
+            }
+            ScheduleKind::FlexGenCpuAttention => {
+                self.build_cpu_attention_pipeline(false, WeightOrder::WholeAtEnd)
+            }
+            ScheduleKind::FlexGenGpuAttention => self.build_gpu_attention_pipeline(),
+            ScheduleKind::LayerStreaming => self.build_layer_streaming(),
+        }
+    }
+
+    /// CPU-attention pipelines (CGOPipe, S2, S3). `two_ahead` enables CGOPipe's
+    /// pre-attention stagger; `weight_order` selects how the next layer's weights are
+    /// placed on the H2D lane.
+    fn build_cpu_attention_pipeline(
+        &self,
+        two_ahead: bool,
+        weight_order: WeightOrder,
+    ) -> Result<TaskGraph, SimError> {
+        let mut g = TaskGraph::new();
+        let n_ub = self.policy.num_micro_batches();
+        let layers = u64::from(self.num_layers);
+        let total = layers * n_ub;
+        let ctx = self.ctx();
+        let streamed = self.cost.streamed_layer_bytes(&self.policy);
+
+        // Per global pipeline step g = layer * n_ub + j.
+        let layer_of = |g: u64| g / n_ub;
+        let ub_of = |g: u64| g % n_ub;
+        let mut hidden: Vec<Option<TaskId>> = vec![None; total as usize];
+        let mut post: Vec<Option<TaskId>> = vec![None; total as usize];
+        // Last weight-transfer task of each layer (compute of that layer depends on it).
+        let mut weights_done: Vec<Option<TaskId>> = vec![None; layers as usize];
+
+        // Prologue: layer 0 weights arrive before the step starts (steady state keeps
+        // the H2D lane one layer ahead); model them as an initial transfer.
+        if !streamed.is_zero() {
+            let t = g.add_task(
+                Lane::HostToDevice,
+                self.cost.weight_transfer(streamed),
+                TaskKind::WeightTransfer,
+                "W(0)",
+                &[],
+            )?;
+            weights_done[0] = Some(t);
+        }
+
+        // CGOPipe launches pre-attention two micro-batches ahead of the corresponding
+        // post-attention (Algorithm 1): the GPU lane order becomes
+        // A(0) A(1) C(0) A(2) C(1) A(3) ... which keeps the GPU busy while the CPU
+        // attends the in-flight micro-batches. The simpler variants use no stagger.
+        let stagger = if two_ahead && n_ub >= 2 { 2u64 } else { 0 };
+        // Weight page sizes for interleaved mode.
+        let pages = split_into_pages(streamed, n_ub as usize);
+
+        // Closure creating the GPU post-attention task of global step `gidx`.
+        let create_post = |g: &mut TaskGraph,
+                               gidx: u64,
+                               hidden: &[Option<TaskId>],
+                               weights_done: &[Option<TaskId>]|
+         -> Result<TaskId, SimError> {
+            let (i, j) = (layer_of(gidx), ub_of(gidx));
+            let tokens = self.micro_batch_tokens(j);
+            let mut deps: Vec<TaskId> = Vec::new();
+            if let Some(h) = hidden[gidx as usize] {
+                deps.push(h);
+            }
+            if let Some(w) = weights_done[i as usize] {
+                deps.push(w);
+            }
+            g.add_task(
+                Lane::GpuCompute,
+                if self.policy.ffn_on_gpu {
+                    self.cost.post_attention_gpu(tokens)
+                } else {
+                    self.cost.post_attention_gpu_without_ffn(tokens)
+                },
+                TaskKind::PostAttention,
+                format!("C({i},{j})"),
+                &deps,
+            )
+        };
+
+        for gidx in 0..(total + stagger) {
+            // With the stagger, post-attention of step g - 2 is enqueued on the GPU
+            // lane *before* pre-attention of step g.
+            if stagger > 0 && gidx >= stagger && gidx - stagger < total {
+                let target = gidx - stagger;
+                let id = create_post(&mut g, target, &hidden, &weights_done)?;
+                post[target as usize] = Some(id);
+            }
+            if gidx >= total {
+                continue;
+            }
+            let (i, j) = (layer_of(gidx), ub_of(gidx));
+            let tokens = self.micro_batch_tokens(j);
+
+            // S2-style: whole next-layer weights at the *start* of layer i's H2D traffic.
+            if weight_order == WeightOrder::WholeAtStart
+                && j == 0
+                && i + 1 < layers
+                && !streamed.is_zero()
+            {
+                let t = g.add_task(
+                    Lane::HostToDevice,
+                    self.cost.weight_transfer(streamed),
+                    TaskKind::WeightTransfer,
+                    format!("W({})", i + 1),
+                    &[],
+                )?;
+                weights_done[(i + 1) as usize] = Some(t);
+            }
+
+            // GPU pre-attention.
+            let mut pre_deps: Vec<TaskId> = Vec::new();
+            if i > 0 {
+                if let Some(p) = post[(gidx - n_ub) as usize] {
+                    pre_deps.push(p);
+                }
+            }
+            if let Some(w) = weights_done[i as usize] {
+                pre_deps.push(w);
+            }
+            let pre_id = g.add_task(
+                Lane::GpuCompute,
+                self.cost.pre_attention_gpu(tokens),
+                TaskKind::PreAttention,
+                format!("A({i},{j})"),
+                &pre_deps,
+            )?;
+
+            // QKV offload to the CPU.
+            let qkv_id = g.add_task(
+                Lane::DeviceToHost,
+                self.cost.qkv_offload(tokens),
+                TaskKind::QkvOffload,
+                format!("QKV({i},{j})"),
+                &[pre_id],
+            )?;
+
+            // CPU attention.
+            let attn_id = g.add_task(
+                Lane::CpuCompute,
+                self.cost.attention_cpu(tokens, ctx),
+                TaskKind::Attention,
+                format!("B({i},{j})"),
+                &[qkv_id],
+            )?;
+
+            // Hidden states back to the GPU.
+            let hidden_id = g.add_task(
+                Lane::HostToDevice,
+                self.cost.hidden_upload(tokens),
+                TaskKind::HiddenTransfer,
+                format!("H({i},{j})"),
+                &[attn_id],
+            )?;
+            hidden[gidx as usize] = Some(hidden_id);
+
+            // Interleaved weight page for the next layer (CGOPipe).
+            if weight_order == WeightOrder::Interleaved && i + 1 < layers {
+                let page_bytes = pages[j as usize];
+                if !page_bytes.is_zero() {
+                    let t = g.add_task(
+                        Lane::HostToDevice,
+                        self.cost.weight_transfer(page_bytes),
+                        TaskKind::WeightTransfer,
+                        format!("Wp({},{j})", i + 1),
+                        &[],
+                    )?;
+                    weights_done[(i + 1) as usize] = Some(t);
+                }
+            }
+
+            // S3-style: whole next-layer weights *after* this layer's hidden uploads.
+            if weight_order == WeightOrder::WholeAtEnd
+                && j + 1 == n_ub
+                && i + 1 < layers
+                && !streamed.is_zero()
+            {
+                let t = g.add_task(
+                    Lane::HostToDevice,
+                    self.cost.weight_transfer(streamed),
+                    TaskKind::WeightTransfer,
+                    format!("W({})", i + 1),
+                    &[],
+                )?;
+                weights_done[(i + 1) as usize] = Some(t);
+            }
+
+            // Without the stagger the post-attention task follows immediately.
+            if stagger == 0 {
+                let id = create_post(&mut g, gidx, &hidden, &weights_done)?;
+                post[gidx as usize] = Some(id);
+            }
+        }
+        Ok(g)
+    }
+
+    /// S4: GPU attention with per-micro-batch KV prefetch over PCIe.
+    fn build_gpu_attention_pipeline(&self) -> Result<TaskGraph, SimError> {
+        let mut g = TaskGraph::new();
+        let n_ub = self.policy.num_micro_batches();
+        let layers = u64::from(self.num_layers);
+        let ctx = self.ctx();
+        let streamed = self.cost.streamed_layer_bytes(&self.policy);
+        let kv_cpu_fraction = 1.0 - self.policy.kv_gpu_ratio;
+
+        let mut weights_done: Vec<Option<TaskId>> = vec![None; layers as usize];
+        if !streamed.is_zero() {
+            weights_done[0] = Some(g.add_task(
+                Lane::HostToDevice,
+                self.cost.weight_transfer(streamed),
+                TaskKind::WeightTransfer,
+                "W(0)",
+                &[],
+            )?);
+        }
+
+        let mut prev_post: Vec<Option<TaskId>> = vec![None; n_ub as usize];
+        for i in 0..layers {
+            let mut kv_ready: Vec<Option<TaskId>> = vec![None; n_ub as usize];
+            // KV prefetch for every micro-batch of this layer, then the (un-paged)
+            // weights of the next layer — the S4 H2D ordering of Fig. 6.
+            for j in 0..n_ub {
+                let tokens = self.micro_batch_tokens(j);
+                let duration = self.cost.kv_transfer(tokens, ctx, kv_cpu_fraction);
+                if !duration.is_zero() && kv_cpu_fraction > 0.0 {
+                    kv_ready[j as usize] = Some(g.add_task(
+                        Lane::HostToDevice,
+                        duration,
+                        TaskKind::KvTransfer,
+                        format!("KV({i},{j})"),
+                        &[],
+                    )?);
+                }
+            }
+            if i + 1 < layers && !streamed.is_zero() {
+                weights_done[(i + 1) as usize] = Some(g.add_task(
+                    Lane::HostToDevice,
+                    self.cost.weight_transfer(streamed),
+                    TaskKind::WeightTransfer,
+                    format!("W({})", i + 1),
+                    &[],
+                )?);
+            }
+
+            for j in 0..n_ub {
+                let tokens = self.micro_batch_tokens(j);
+                let mut deps: Vec<TaskId> = Vec::new();
+                if let Some(w) = weights_done[i as usize] {
+                    deps.push(w);
+                }
+                if let Some(kv) = kv_ready[j as usize] {
+                    deps.push(kv);
+                }
+                if let Some(p) = prev_post[j as usize] {
+                    deps.push(p);
+                }
+                let duration = self.cost.pre_attention_gpu(tokens)
+                    + self.cost.attention_gpu(tokens, ctx)
+                    + self.cost.post_attention_gpu(tokens);
+                let compute = g.add_task(
+                    Lane::GpuCompute,
+                    duration,
+                    TaskKind::PostAttention,
+                    format!("L({i},{j})"),
+                    &deps,
+                )?;
+                // New KV entries written back to the CPU-resident cache.
+                if kv_cpu_fraction > 0.0 {
+                    let append = self
+                        .cost
+                        .model()
+                        .kv_bytes_per_token_per_layer()
+                        .scale(kv_cpu_fraction)
+                        * tokens;
+                    g.add_task(
+                        Lane::DeviceToHost,
+                        append / self.cost.node().total_d2h_bandwidth(),
+                        TaskKind::QkvOffload,
+                        format!("KVout({i},{j})"),
+                        &[compute],
+                    )?;
+                }
+                prev_post[j as usize] = Some(compute);
+            }
+        }
+        Ok(g)
+    }
+
+    /// DeepSpeed-style layer streaming: a single batch, GPU attention, KV resident on
+    /// the GPU, whole-layer weight streaming overlapped with compute.
+    fn build_layer_streaming(&self) -> Result<TaskGraph, SimError> {
+        let mut g = TaskGraph::new();
+        let layers = u64::from(self.num_layers);
+        let tokens = self.policy.batch_size;
+        let ctx = self.ctx();
+        let streamed = self.cost.streamed_layer_bytes(&self.policy);
+
+        let mut prev_compute: Option<TaskId> = None;
+        let mut prev_weights: Option<TaskId> = None;
+        for i in 0..layers {
+            let weights = if streamed.is_zero() {
+                None
+            } else {
+                Some(g.add_task(
+                    Lane::HostToDevice,
+                    self.cost.weight_transfer(streamed),
+                    TaskKind::WeightTransfer,
+                    format!("W({i})"),
+                    &[],
+                )?)
+            };
+            let mut deps: Vec<TaskId> = Vec::new();
+            if let Some(w) = weights.or(prev_weights) {
+                deps.push(w);
+            }
+            if let Some(c) = prev_compute {
+                deps.push(c);
+            }
+            let duration = self.cost.pre_attention_gpu(tokens)
+                + self.cost.attention_gpu(tokens, ctx)
+                + self.cost.post_attention_gpu(tokens);
+            prev_compute = Some(g.add_task(
+                Lane::GpuCompute,
+                duration,
+                TaskKind::PostAttention,
+                format!("L({i})"),
+                &deps,
+            )?);
+            prev_weights = weights;
+        }
+        Ok(g)
+    }
+
+    /// Convenience: simulates one decode step under `kind` and returns the makespan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn decode_step_makespan(&self, kind: ScheduleKind) -> Result<Seconds, SimError> {
+        let graph = self.build(kind)?;
+        Ok(moe_sim::simulate(&graph)?.makespan)
+    }
+}
+
+/// Placement of the next layer's weight transfer on the H2D lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WeightOrder {
+    /// Pages interleaved with hidden uploads (CGOPipe).
+    Interleaved,
+    /// One whole-layer transfer issued before the layer's hidden uploads (S2).
+    WholeAtStart,
+    /// One whole-layer transfer issued after the layer's hidden uploads (S3).
+    WholeAtEnd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_hardware::NodeSpec;
+    use moe_model::MoeModelConfig;
+    use moe_sim::simulate;
+
+    fn cost() -> CostModel {
+        CostModel::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b())
+    }
+
+    fn builder(cost: &CostModel) -> DecodeScheduleBuilder<'_> {
+        DecodeScheduleBuilder::new(cost, Policy::offload_default(256, 32), WorkloadShape::new(77, 128))
+            .with_layers(4)
+    }
+
+    #[test]
+    fn all_schedules_build_and_simulate() {
+        let cost = cost();
+        let b = builder(&cost);
+        for kind in ScheduleKind::all() {
+            let graph = b.build(kind).unwrap();
+            assert!(!graph.is_empty(), "{} produced no tasks", kind.name());
+            let result = simulate(&graph).unwrap();
+            assert!(result.makespan.as_secs() > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn cgopipe_beats_all_baseline_schedules() {
+        // The headline claim: same policy, same hardware, CGOPipe's ordering gives the
+        // shortest decode step.
+        let cost = cost();
+        let b = builder(&cost);
+        let cgo = b.decode_step_makespan(ScheduleKind::CgoPipe).unwrap();
+        for kind in [
+            ScheduleKind::FastDecodeOverlap,
+            ScheduleKind::FlexGenCpuAttention,
+            ScheduleKind::FlexGenGpuAttention,
+        ] {
+            let other = b.decode_step_makespan(kind).unwrap();
+            assert!(
+                cgo.as_secs() <= other.as_secs() * 1.001,
+                "CGOPipe ({cgo}) should not lose to {} ({other})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cgopipe_has_fewer_gpu_bubbles_than_unpaged_variants() {
+        let cost = cost();
+        let b = builder(&cost);
+        let bubbles = |kind: ScheduleKind| {
+            let r = simulate(&b.build(kind).unwrap()).unwrap();
+            r.lane(Lane::GpuCompute).bubble.as_secs() / r.makespan.as_secs()
+        };
+        let cgo = bubbles(ScheduleKind::CgoPipe);
+        let s3 = bubbles(ScheduleKind::FlexGenCpuAttention);
+        assert!(cgo <= s3 + 1e-9, "CGOPipe bubble fraction {cgo} vs S3 {s3}");
+    }
+
+    #[test]
+    fn s4_moves_more_bytes_over_h2d_than_cgopipe() {
+        // FlexGen's KV prefetch consumes PCIe bandwidth that CGOPipe leaves for the
+        // weights (§4.1).
+        let cost = cost();
+        let policy = Policy {
+            attention_on_gpu: true,
+            ..Policy::offload_default(256, 32)
+        };
+        let w = WorkloadShape::new(512, 64);
+        let b_s4 = DecodeScheduleBuilder::new(&cost, policy, w).with_layers(4);
+        let b_cgo = DecodeScheduleBuilder::new(&cost, Policy::offload_default(256, 32), w).with_layers(4);
+        let h2d_busy = |b: &DecodeScheduleBuilder<'_>, kind| {
+            let r = simulate(&b.build(kind).unwrap()).unwrap();
+            r.lane(Lane::HostToDevice).busy.as_secs()
+        };
+        assert!(
+            h2d_busy(&b_s4, ScheduleKind::FlexGenGpuAttention)
+                > h2d_busy(&b_cgo, ScheduleKind::CgoPipe)
+        );
+    }
+
+    #[test]
+    fn layer_streaming_is_weight_transfer_bound() {
+        let cost = cost();
+        let policy = Policy {
+            batch_size: 64,
+            micro_batch_size: 64,
+            attention_on_gpu: true,
+            ffn_on_gpu: true,
+            weights_gpu_ratio: 0.0,
+            kv_gpu_ratio: 1.0,
+        };
+        let b = DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(77, 32)).with_layers(6);
+        let graph = b.build(ScheduleKind::LayerStreaming).unwrap();
+        let r = simulate(&graph).unwrap();
+        let h2d = r.lane(Lane::HostToDevice);
+        let gpu = r.lane(Lane::GpuCompute);
+        assert!(h2d.busy.as_secs() > 5.0 * gpu.busy.as_secs(), "weights dominate: {h2d:?} vs {gpu:?}");
+        assert!(h2d.utilization > 0.9);
+    }
+
+    #[test]
+    fn task_counts_scale_with_layers_and_micro_batches() {
+        let cost = cost();
+        let b2 = builder(&cost).with_layers(2);
+        let b4 = builder(&cost).with_layers(4);
+        let g2 = b2.build(ScheduleKind::CgoPipe).unwrap();
+        let g4 = b4.build(ScheduleKind::CgoPipe).unwrap();
+        assert!(g4.len() > g2.len());
+        // 5 tasks per (layer, micro-batch) plus weight pages and the prologue.
+        let n_ub = b4.policy().num_micro_batches() as usize;
+        assert!(g4.len() >= 4 * n_ub * 5);
+    }
+
+    #[test]
+    fn fully_resident_weights_produce_no_weight_tasks() {
+        let cost = CostModel::new(NodeSpec::a100_case_study(300.0, 4.0), MoeModelConfig::mixtral_8x7b());
+        let policy = Policy {
+            weights_gpu_ratio: 1.0,
+            ..Policy::offload_default(64, 32)
+        };
+        let b = DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(128, 32)).with_layers(3);
+        let g = b.build(ScheduleKind::CgoPipe).unwrap();
+        assert!(g
+            .tasks()
+            .iter()
+            .all(|t| t.kind != TaskKind::WeightTransfer));
+    }
+
+    #[test]
+    fn schedule_kind_metadata() {
+        assert_eq!(ScheduleKind::all().len(), 5);
+        assert!(ScheduleKind::CgoPipe.uses_cpu_attention());
+        assert!(!ScheduleKind::FlexGenGpuAttention.uses_cpu_attention());
+        assert!(ScheduleKind::LayerStreaming.name().contains("DeepSpeed"));
+    }
+}

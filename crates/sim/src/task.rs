@@ -1,0 +1,274 @@
+//! Tasks, lanes and task graphs for the heterogeneous-node simulator.
+//!
+//! The decode-stage pipeline of the paper uses four serial execution *lanes*
+//! (Fig. 6): the GPU compute stream, the CPU compute pool, and the two PCIe copy
+//! directions (host→device and device→host). A schedule is a set of tasks, each
+//! bound to one lane with a fixed duration, connected by dependency edges; each lane
+//! executes its tasks strictly in the order they were enqueued (CUDA-stream
+//! semantics), which is exactly what makes naive orderings leave bubbles.
+
+use moe_hardware::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serial execution lane of the simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Lane {
+    /// The GPU compute stream.
+    GpuCompute,
+    /// The CPU compute pool (all cores, treated as one serial attention worker pool).
+    CpuCompute,
+    /// PCIe copies from host (CPU) memory to device (GPU) memory.
+    HostToDevice,
+    /// PCIe copies from device memory to host memory.
+    DeviceToHost,
+}
+
+impl Lane {
+    /// All lanes, in display order.
+    pub fn all() -> [Lane; 4] {
+        [Lane::GpuCompute, Lane::CpuCompute, Lane::HostToDevice, Lane::DeviceToHost]
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Lane::GpuCompute => "GPU",
+            Lane::CpuCompute => "CPU",
+            Lane::HostToDevice => "HtoD",
+            Lane::DeviceToHost => "DtoH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Semantic category of a task, used for per-kind statistics and the Fig. 6 style
+/// timeline output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// GPU pre-attention work (layer norm + QKV projection), `A_x` in Fig. 6.
+    PreAttention,
+    /// Attention core (softmax over the KV cache), `B_x` in Fig. 6.
+    Attention,
+    /// GPU post-attention work (O projection + router + MoE FFN), `C_x` in Fig. 6.
+    PostAttention,
+    /// Weight page transfer from host to device.
+    WeightTransfer,
+    /// KV-cache block transfer from host to device.
+    KvTransfer,
+    /// Hidden-state upload from host to device (`Hidden HtoD`, transfer D2).
+    HiddenTransfer,
+    /// QKV offload from device to host (`QKV DtoH`, transfer D1).
+    QkvOffload,
+    /// Host-side copy from pageable DRAM into pinned staging memory.
+    PinnedStaging,
+    /// Anything else (prologue, synchronization, prefill chunks).
+    Other,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskKind::PreAttention => "pre-attn",
+            TaskKind::Attention => "attention",
+            TaskKind::PostAttention => "post-attn",
+            TaskKind::WeightTransfer => "weights",
+            TaskKind::KvTransfer => "kv-transfer",
+            TaskKind::HiddenTransfer => "hidden-h2d",
+            TaskKind::QkvOffload => "qkv-d2h",
+            TaskKind::PinnedStaging => "pinned-copy",
+            TaskKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a task within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// A single unit of work bound to a lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The task's id (its index in the graph).
+    pub id: TaskId,
+    /// The lane the task executes on.
+    pub lane: Lane,
+    /// Execution time of the task once started.
+    pub duration: Seconds,
+    /// Tasks that must finish before this one may start (in addition to earlier tasks
+    /// on the same lane).
+    pub deps: Vec<TaskId>,
+    /// Semantic category.
+    pub kind: TaskKind,
+    /// Human-readable label, e.g. `"C(2,3)"` for post-attention of layer 2,
+    /// micro-batch 3.
+    pub label: String,
+}
+
+/// Errors produced while building or simulating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A dependency refers to a task id that has not been added yet.
+    UnknownDependency {
+        /// The task declaring the dependency.
+        task: usize,
+        /// The missing dependency id.
+        dependency: usize,
+    },
+    /// The graph cannot make progress (circular wait across lanes and dependencies).
+    Deadlock {
+        /// Number of tasks that completed before the deadlock.
+        completed: usize,
+        /// Total number of tasks.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDependency { task, dependency } => {
+                write!(f, "task {task} depends on unknown task {dependency}")
+            }
+            SimError::Deadlock { completed, total } => write!(
+                f,
+                "schedule deadlocked after {completed} of {total} tasks (dependency cycle across lanes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A buildable set of tasks with lane bindings and dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a task; dependencies must reference previously added tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDependency`] if a dependency id is out of range.
+    pub fn add_task(
+        &mut self,
+        lane: Lane,
+        duration: Seconds,
+        kind: TaskKind,
+        label: impl Into<String>,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SimError> {
+        let id = TaskId(self.tasks.len());
+        for dep in deps {
+            if dep.0 >= self.tasks.len() {
+                return Err(SimError::UnknownDependency { task: id.0, dependency: dep.0 });
+            }
+        }
+        self.tasks.push(Task {
+            id,
+            lane,
+            duration,
+            deps: deps.to_vec(),
+            kind,
+            label: label.into(),
+        });
+        Ok(id)
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The tasks in insertion order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Looks up a task.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.0)
+    }
+
+    /// Tasks bound to a given lane, in enqueue (FIFO) order.
+    pub fn lane_queue(&self, lane: Lane) -> Vec<TaskId> {
+        self.tasks.iter().filter(|t| t.lane == lane).map(|t| t.id).collect()
+    }
+
+    /// Sum of all task durations on a lane (lower bound on that lane's busy time).
+    pub fn lane_work(&self, lane: Lane) -> Seconds {
+        self.tasks.iter().filter(|t| t.lane == lane).map(|t| t.duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_task_assigns_sequential_ids() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Lane::GpuCompute, Seconds::from_millis(1.0), TaskKind::PreAttention, "a", &[]).unwrap();
+        let b = g.add_task(Lane::CpuCompute, Seconds::from_millis(2.0), TaskKind::Attention, "b", &[a]).unwrap();
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.task(b).unwrap().deps, vec![a]);
+        assert!(g.task(TaskId(5)).is_none());
+    }
+
+    #[test]
+    fn forward_dependencies_are_rejected() {
+        let mut g = TaskGraph::new();
+        let err = g
+            .add_task(Lane::GpuCompute, Seconds::ZERO, TaskKind::Other, "x", &[TaskId(3)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownDependency { dependency: 3, .. }));
+    }
+
+    #[test]
+    fn lane_queue_preserves_fifo_order_and_filters_lane() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Lane::HostToDevice, Seconds::from_millis(1.0), TaskKind::WeightTransfer, "w0", &[]).unwrap();
+        let _b = g.add_task(Lane::GpuCompute, Seconds::from_millis(1.0), TaskKind::PostAttention, "c0", &[]).unwrap();
+        let c = g.add_task(Lane::HostToDevice, Seconds::from_millis(1.0), TaskKind::HiddenTransfer, "h1", &[]).unwrap();
+        assert_eq!(g.lane_queue(Lane::HostToDevice), vec![a, c]);
+        assert_eq!(g.lane_queue(Lane::DeviceToHost), vec![]);
+    }
+
+    #[test]
+    fn lane_work_sums_durations() {
+        let mut g = TaskGraph::new();
+        g.add_task(Lane::GpuCompute, Seconds::from_millis(3.0), TaskKind::Other, "x", &[]).unwrap();
+        g.add_task(Lane::GpuCompute, Seconds::from_millis(4.0), TaskKind::Other, "y", &[]).unwrap();
+        g.add_task(Lane::CpuCompute, Seconds::from_millis(9.0), TaskKind::Other, "z", &[]).unwrap();
+        assert!((g.lane_work(Lane::GpuCompute).as_millis() - 7.0).abs() < 1e-9);
+        assert!((g.lane_work(Lane::CpuCompute).as_millis() - 9.0).abs() < 1e-9);
+        assert!(g.lane_work(Lane::DeviceToHost).is_zero());
+    }
+
+    #[test]
+    fn display_of_lanes_kinds_and_errors() {
+        assert_eq!(Lane::GpuCompute.to_string(), "GPU");
+        assert_eq!(Lane::HostToDevice.to_string(), "HtoD");
+        assert_eq!(TaskKind::WeightTransfer.to_string(), "weights");
+        assert_eq!(Lane::all().len(), 4);
+        let e = SimError::Deadlock { completed: 2, total: 5 };
+        assert!(e.to_string().contains("2 of 5"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Grouped-Query Attention (GQA) kernels.
+//!
+//! The paper's CGOPipe schedule runs the attention *softmax part* on the CPU against
+//! the CPU-resident KV cache (§4.1), exactly the computation implemented here. Both
+//! the decode kernel (one query token per sequence) and a prefill kernel (causal,
+//! full sequence) are provided so the functional runtime can execute real forward
+//! passes.
+
+use crate::error::TensorError;
+use crate::ops::softmax_inplace;
+use crate::tensor::Tensor;
+
+/// Single-token (decode-stage) grouped-query attention.
+///
+/// * `query` — `[n_q_heads, head_dim]`, the query projections of one new token.
+/// * `k_cache`/`v_cache` — `[n_kv_heads, ctx_len, head_dim]`, the cached keys and
+///   values of the `ctx_len` previous tokens (3-D, flattened row-major).
+///
+/// Query heads are divided evenly across KV heads (`n_q_heads % n_kv_heads == 0`);
+/// each group of `n_q_heads / n_kv_heads` query heads attends to the same KV head,
+/// which is what makes GQA's operational intensity higher than vanilla multi-head
+/// attention (paper §3.3).
+///
+/// Returns the attention output `[n_q_heads, head_dim]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if shapes are inconsistent or head counts don't divide.
+pub fn gqa_attention_decode(
+    query: &Tensor,
+    k_cache: &Tensor,
+    v_cache: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (n_q_heads, head_dim) = query.as_2d()?;
+    let kv_shape = k_cache.shape();
+    if kv_shape.len() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, got: kv_shape.len() });
+    }
+    if v_cache.shape() != kv_shape {
+        return Err(TensorError::ShapeMismatch {
+            expected: kv_shape.to_vec(),
+            got: v_cache.shape().to_vec(),
+            context: "gqa_attention_decode value cache",
+        });
+    }
+    let (n_kv_heads, ctx_len, kv_dim) = (kv_shape[0], kv_shape[1], kv_shape[2]);
+    if kv_dim != head_dim {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![head_dim],
+            got: vec![kv_dim],
+            context: "gqa_attention_decode head dimension",
+        });
+    }
+    if n_kv_heads == 0 || n_q_heads % n_kv_heads != 0 {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "query heads ({n_q_heads}) must be a positive multiple of kv heads ({n_kv_heads})"
+            ),
+        });
+    }
+    if ctx_len == 0 {
+        return Err(TensorError::InvalidArgument {
+            message: "attention requires at least one cached token".to_owned(),
+        });
+    }
+
+    let group = n_q_heads / n_kv_heads;
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let k_data = k_cache.data();
+    let v_data = v_cache.data();
+    let q_data = query.data();
+
+    let mut out = Tensor::zeros(&[n_q_heads, head_dim]);
+    let out_data = out.data_mut();
+    let mut scores = vec![0.0f32; ctx_len];
+
+    for qh in 0..n_q_heads {
+        let kvh = qh / group;
+        let q_row = &q_data[qh * head_dim..(qh + 1) * head_dim];
+        let k_head = &k_data[kvh * ctx_len * head_dim..(kvh + 1) * ctx_len * head_dim];
+        let v_head = &v_data[kvh * ctx_len * head_dim..(kvh + 1) * ctx_len * head_dim];
+
+        for (t, score) in scores.iter_mut().enumerate() {
+            let k_row = &k_head[t * head_dim..(t + 1) * head_dim];
+            *score = q_row.iter().zip(k_row).map(|(a, b)| a * b).sum::<f32>() * scale;
+        }
+        softmax_inplace(&mut scores);
+
+        let out_row = &mut out_data[qh * head_dim..(qh + 1) * head_dim];
+        for (t, &w) in scores.iter().enumerate() {
+            let v_row = &v_head[t * head_dim..(t + 1) * head_dim];
+            for (o, &v) in out_row.iter_mut().zip(v_row) {
+                *o += w * v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Causal self-attention over a full prompt (prefill stage), single KV head group.
+///
+/// * `q`, `k`, `v` — `[seq_len, head_dim]` projections for one attention head.
+///
+/// Position `t` attends to positions `0..=t`. Returns `[seq_len, head_dim]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the three inputs do not share the same 2-D shape.
+pub fn causal_attention_prefill(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor, TensorError> {
+    let (seq_len, head_dim) = q.as_2d()?;
+    if k.shape() != q.shape() || v.shape() != q.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: q.shape().to_vec(),
+            got: k.shape().to_vec(),
+            context: "causal_attention_prefill",
+        });
+    }
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut out = Tensor::zeros(&[seq_len, head_dim]);
+    let q_data = q.data();
+    let k_data = k.data();
+    let v_data = v.data();
+    let out_data = out.data_mut();
+    let mut scores = Vec::with_capacity(seq_len);
+
+    for t in 0..seq_len {
+        scores.clear();
+        let q_row = &q_data[t * head_dim..(t + 1) * head_dim];
+        for s in 0..=t {
+            let k_row = &k_data[s * head_dim..(s + 1) * head_dim];
+            scores.push(q_row.iter().zip(k_row).map(|(a, b)| a * b).sum::<f32>() * scale);
+        }
+        softmax_inplace(&mut scores);
+        let out_row = &mut out_data[t * head_dim..(t + 1) * head_dim];
+        for (s, &w) in scores.iter().enumerate() {
+            let v_row = &v_data[s * head_dim..(s + 1) * head_dim];
+            for (o, &vv) in out_row.iter_mut().zip(v_row) {
+                *o += w * vv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cached_token_returns_its_value() {
+        // With one token in the cache the softmax weight is 1 regardless of the query,
+        // so the output must equal the cached value vector.
+        let q = Tensor::from_vec(&[2, 3], vec![0.3; 6]).unwrap();
+        let k = Tensor::from_vec(&[1, 1, 3], vec![1.0, -1.0, 0.5]).unwrap();
+        let v = Tensor::from_vec(&[1, 1, 3], vec![7.0, 8.0, 9.0]).unwrap();
+        let out = gqa_attention_decode(&q, &k, &v).unwrap();
+        assert_eq!(out.row(0).unwrap(), &[7.0, 8.0, 9.0]);
+        assert_eq!(out.row(1).unwrap(), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn attention_output_is_convex_combination_of_values() {
+        let q = Tensor::randn(&[4, 8], 1.0, 1);
+        let k = Tensor::randn(&[2, 5, 8], 1.0, 2);
+        let v = Tensor::full(&[2, 5, 8], 3.0);
+        // All values identical => any convex combination equals that value.
+        let out = gqa_attention_decode(&q, &k, &v).unwrap();
+        for x in out.data() {
+            assert!((x - 3.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn strong_key_match_dominates_output() {
+        // Query aligned with the second cached key: output should be close to the
+        // second value row.
+        let q = Tensor::from_vec(&[1, 2], vec![10.0, 0.0]).unwrap();
+        let k = Tensor::from_vec(&[1, 2, 2], vec![-10.0, 0.0, 10.0, 0.0]).unwrap();
+        let v = Tensor::from_vec(&[1, 2, 2], vec![1.0, 1.0, 5.0, -5.0]).unwrap();
+        let out = gqa_attention_decode(&q, &k, &v).unwrap();
+        let row = out.row(0).unwrap();
+        assert!((row[0] - 5.0).abs() < 1e-2);
+        assert!((row[1] + 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gqa_groups_share_kv_heads() {
+        // 4 query heads over 2 kv heads: heads 0,1 use kv head 0; heads 2,3 use kv head 1.
+        let q = Tensor::from_vec(&[4, 1], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let k = Tensor::from_vec(&[2, 1, 1], vec![1.0, 1.0]).unwrap();
+        let v = Tensor::from_vec(&[2, 1, 1], vec![2.0, 9.0]).unwrap();
+        let out = gqa_attention_decode(&q, &k, &v).unwrap();
+        assert_eq!(out.data(), &[2.0, 2.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn rejects_inconsistent_shapes() {
+        let q = Tensor::zeros(&[4, 8]);
+        let k = Tensor::zeros(&[2, 5, 8]);
+        let v_bad = Tensor::zeros(&[2, 4, 8]);
+        assert!(gqa_attention_decode(&q, &k, &v_bad).is_err());
+        let k_bad_dim = Tensor::zeros(&[2, 5, 7]);
+        assert!(gqa_attention_decode(&q, &k_bad_dim, &Tensor::zeros(&[2, 5, 7])).is_err());
+        let k_bad_heads = Tensor::zeros(&[3, 5, 8]);
+        assert!(gqa_attention_decode(&q, &k_bad_heads, &Tensor::zeros(&[3, 5, 8])).is_err());
+        let k_2d = Tensor::zeros(&[5, 8]);
+        assert!(gqa_attention_decode(&q, &k_2d, &k_2d).is_err());
+        let empty_ctx = Tensor::zeros(&[2, 0, 8]);
+        assert!(gqa_attention_decode(&q, &empty_ctx, &empty_ctx).is_err());
+    }
+
+    #[test]
+    fn prefill_first_token_attends_only_to_itself() {
+        let q = Tensor::randn(&[3, 4], 1.0, 3);
+        let k = Tensor::randn(&[3, 4], 1.0, 4);
+        let v = Tensor::randn(&[3, 4], 1.0, 5);
+        let out = causal_attention_prefill(&q, &k, &v).unwrap();
+        // Row 0 can only see value row 0.
+        let expected: Vec<f32> = v.row(0).unwrap().to_vec();
+        for (o, e) in out.row(0).unwrap().iter().zip(&expected) {
+            assert!((o - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn prefill_validates_shapes() {
+        let q = Tensor::zeros(&[3, 4]);
+        assert!(causal_attention_prefill(&q, &Tensor::zeros(&[3, 5]), &Tensor::zeros(&[3, 4])).is_err());
+    }
+
+    #[test]
+    fn prefill_last_row_matches_decode_kernel() {
+        // The last prefill position sees the full context, which is exactly what the
+        // decode kernel computes for a single query over the same K/V.
+        let seq = 6;
+        let dim = 4;
+        let q = Tensor::randn(&[seq, dim], 1.0, 10);
+        let k = Tensor::randn(&[seq, dim], 1.0, 11);
+        let v = Tensor::randn(&[seq, dim], 1.0, 12);
+        let prefill = causal_attention_prefill(&q, &k, &v).unwrap();
+
+        let q_last = Tensor::from_vec(&[1, dim], q.row(seq - 1).unwrap().to_vec()).unwrap();
+        let k3 = k.reshape(&[1, seq, dim]).unwrap();
+        let v3 = v.reshape(&[1, seq, dim]).unwrap();
+        let decode = gqa_attention_decode(&q_last, &k3, &v3).unwrap();
+
+        for (a, b) in prefill.row(seq - 1).unwrap().iter().zip(decode.row(0).unwrap()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not agree.
+    ShapeMismatch {
+        /// The shape that was required.
+        expected: Vec<usize>,
+        /// The shape (or length) that was provided.
+        got: Vec<usize>,
+        /// The operation that detected the mismatch.
+        context: &'static str,
+    },
+    /// A tensor had the wrong number of dimensions.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        got: usize,
+    },
+    /// An index exceeded the valid range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the dimension indexed into.
+        len: usize,
+    },
+    /// An argument was invalid for reasons other than shape (e.g. `k = 0` in top-k).
+    InvalidArgument {
+        /// Explanation of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got, context } => {
+                write!(f, "shape mismatch in {context}: expected {expected:?}, got {got:?}")
+            }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "rank mismatch: expected {expected}-d tensor, got {got}-d")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            TensorError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let errors = [
+            TensorError::ShapeMismatch {
+                expected: vec![2, 2],
+                got: vec![3],
+                context: "test",
+            },
+            TensorError::RankMismatch { expected: 2, got: 1 },
+            TensorError::IndexOutOfBounds { index: 9, len: 3 },
+            TensorError::InvalidArgument { message: "k must be positive".to_owned() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TensorError>();
+    }
+}

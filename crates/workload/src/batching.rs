@@ -1,0 +1,225 @@
+//! Request batching — Algorithm 2 of the paper (Appendix A.2).
+//!
+//! For variable-length prompts, requests are sorted by input length (descending) and
+//! greedily assigned to the micro-batch with the fewest tokens so far, subject to a
+//! per-micro-batch request cap (`ubs`) and KV-cache size limit. Requests that cannot
+//! fit are *aborted* (deferred to the next batch), exactly as in the paper's
+//! pseudo-code.
+
+use crate::spec::Request;
+use serde::{Deserialize, Serialize};
+
+/// One micro-batch produced by the batching algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroBatch {
+    /// The requests assigned to this micro-batch.
+    pub requests: Vec<Request>,
+}
+
+impl MicroBatch {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the micro-batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Sum of prompt tokens across requests.
+    pub fn prompt_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.input_len).sum()
+    }
+
+    /// KV-cache tokens needed at the end of generation.
+    pub fn max_cache_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.max_context()).sum()
+    }
+}
+
+/// Result of running Algorithm 2 on a request queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchingResult {
+    /// The formed micro-batches.
+    pub micro_batches: Vec<MicroBatch>,
+    /// Requests deferred to the next batch (cache-size or capacity overflow).
+    pub aborted: Vec<Request>,
+}
+
+impl BatchingResult {
+    /// Total number of scheduled requests.
+    pub fn scheduled_requests(&self) -> usize {
+        self.micro_batches.iter().map(MicroBatch::len).sum()
+    }
+
+    /// The largest and smallest per-micro-batch prompt token counts (imbalance
+    /// indicator).
+    pub fn prompt_token_spread(&self) -> (u64, u64) {
+        let counts: Vec<u64> = self.micro_batches.iter().map(MicroBatch::prompt_tokens).collect();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        (min, max)
+    }
+}
+
+/// Parameters of the batching algorithm (inputs of Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchingConfig {
+    /// Number of micro-batches to form (`n_ub`).
+    pub num_micro_batches: usize,
+    /// Maximum number of requests per micro-batch (`ubs`).
+    pub max_requests_per_micro_batch: usize,
+    /// Generation length per request (`gen_len`).
+    pub gen_len: u64,
+    /// Maximum KV-cache tokens per micro-batch (`cache_size`).
+    pub cache_tokens_per_micro_batch: u64,
+}
+
+/// Runs Algorithm 2: balanced assignment of requests to micro-batches.
+///
+/// # Panics
+///
+/// Panics if `num_micro_batches` or `max_requests_per_micro_batch` is zero.
+pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
+    assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
+    assert!(cfg.max_requests_per_micro_batch > 0, "need a positive per-micro-batch capacity");
+
+    // partitions[i] collects requests; partition_sums[i] tracks assigned prompt tokens.
+    let mut partitions: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
+    let mut partition_sums: Vec<u64> = vec![0; cfg.num_micro_batches];
+    let mut open: Vec<usize> = (0..cfg.num_micro_batches).collect();
+    let mut finished: Vec<(usize, Vec<Request>)> = Vec::new();
+    let mut aborted = Vec::new();
+
+    let mut sorted: Vec<Request> = queue.to_vec();
+    sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
+
+    for req in sorted {
+        if open.is_empty() {
+            aborted.push(req);
+            continue;
+        }
+        // Pick the open partition with the fewest prompt tokens.
+        let &idx = open
+            .iter()
+            .min_by_key(|&&i| (partition_sums[i], i))
+            .expect("open is non-empty");
+        let projected_cache = partition_sums[idx]
+            + req.input_len
+            + (1 + partitions[idx].len() as u64) * cfg.gen_len;
+        if projected_cache > cfg.cache_tokens_per_micro_batch {
+            aborted.push(req);
+            continue;
+        }
+        partitions[idx].push(req);
+        partition_sums[idx] += req.input_len;
+        if partitions[idx].len() == cfg.max_requests_per_micro_batch {
+            // The micro-batch is full: move it to the finished list and close it.
+            finished.push((idx, std::mem::take(&mut partitions[idx])));
+            open.retain(|&i| i != idx);
+        }
+    }
+
+    // Emit full micro-batches first (in the order they filled up), then the remaining
+    // partially filled ones in index order.
+    let mut micro_batches: Vec<MicroBatch> =
+        finished.into_iter().map(|(_, requests)| MicroBatch { requests }).collect();
+    for requests in partitions.into_iter().filter(|p| !p.is_empty()) {
+        micro_batches.push(MicroBatch { requests });
+    }
+
+    BatchingResult { micro_batches, aborted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn cfg(n_ub: usize, ubs: usize, gen: u64, cache: u64) -> BatchingConfig {
+        BatchingConfig {
+            num_micro_batches: n_ub,
+            max_requests_per_micro_batch: ubs,
+            gen_len: gen,
+            cache_tokens_per_micro_batch: cache,
+        }
+    }
+
+    fn req(id: u64, len: u64) -> Request {
+        Request { id, input_len: len, gen_len: 32 }
+    }
+
+    #[test]
+    fn balances_tokens_across_micro_batches() {
+        let reqs = WorkloadSpec::mtbench().sample_requests(256, 32, 11);
+        let result = batch_requests(&reqs, &cfg(8, 32, 32, u64::MAX));
+        assert_eq!(result.scheduled_requests(), 256);
+        assert!(result.aborted.is_empty());
+        assert_eq!(result.micro_batches.len(), 8);
+        let (min, max) = result.prompt_token_spread();
+        assert!(
+            max - min <= WorkloadSpec::mtbench().max_prompt_len,
+            "greedy balancing keeps the spread below one max-length request: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn respects_per_micro_batch_request_cap() {
+        let reqs: Vec<Request> = (0..20).map(|i| req(i, 100)).collect();
+        let result = batch_requests(&reqs, &cfg(4, 4, 16, u64::MAX));
+        // Only 4×4 = 16 requests fit; the remaining 4 are aborted.
+        assert_eq!(result.scheduled_requests(), 16);
+        assert_eq!(result.aborted.len(), 4);
+        assert!(result.micro_batches.iter().all(|mb| mb.len() <= 4));
+    }
+
+    #[test]
+    fn respects_cache_size_limit() {
+        let reqs: Vec<Request> = (0..8).map(|i| req(i, 1000)).collect();
+        // Cache only fits one 1000-token prompt plus generation per micro-batch.
+        let result = batch_requests(&reqs, &cfg(2, 8, 32, 1100));
+        assert_eq!(result.scheduled_requests(), 2);
+        assert_eq!(result.aborted.len(), 6);
+        for mb in &result.micro_batches {
+            assert!(mb.max_cache_tokens() <= 1100);
+        }
+    }
+
+    #[test]
+    fn longest_requests_are_spread_over_different_micro_batches() {
+        let mut reqs: Vec<Request> = (0..4).map(|i| req(i, 400)).collect();
+        reqs.extend((4..12).map(|i| req(i, 10)));
+        let result = batch_requests(&reqs, &cfg(4, 3, 8, u64::MAX));
+        // The four long requests must land in four different micro-batches.
+        let long_counts: Vec<usize> = result
+            .micro_batches
+            .iter()
+            .map(|mb| mb.requests.iter().filter(|r| r.input_len == 400).count())
+            .collect();
+        assert!(long_counts.iter().all(|&c| c <= 1), "long requests clumped: {long_counts:?}");
+    }
+
+    #[test]
+    fn empty_queue_produces_no_micro_batches() {
+        let result = batch_requests(&[], &cfg(4, 8, 32, 1000));
+        assert!(result.micro_batches.is_empty());
+        assert!(result.aborted.is_empty());
+        assert_eq!(result.prompt_token_spread(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one micro-batch")]
+    fn zero_micro_batches_panics() {
+        batch_requests(&[], &cfg(0, 8, 32, 1000));
+    }
+
+    #[test]
+    fn micro_batch_accessors() {
+        let mb = MicroBatch { requests: vec![req(0, 10), req(1, 20)] };
+        assert_eq!(mb.len(), 2);
+        assert!(!mb.is_empty());
+        assert_eq!(mb.prompt_tokens(), 30);
+        assert_eq!(mb.max_cache_tokens(), 30 + 64);
+    }
+}

@@ -1,0 +1,121 @@
+//! Throughput metrics: the paper's evaluation measures *generation throughput* —
+//! generated tokens divided by total time (prefill + decode).
+
+use moe_hardware::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running (or simulating) one batch of requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchRunReport {
+    /// Number of requests in the batch.
+    pub requests: u64,
+    /// Prompt tokens processed during prefill.
+    pub prompt_tokens: u64,
+    /// Tokens generated during decode.
+    pub generated_tokens: u64,
+    /// Time spent in the prefill stage.
+    pub prefill_time: Seconds,
+    /// Time spent in the decode stage.
+    pub decode_time: Seconds,
+}
+
+impl BatchRunReport {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Seconds {
+        self.prefill_time + self.decode_time
+    }
+
+    /// Generation throughput in tokens/s (the paper's headline metric):
+    /// generated tokens / (prefill time + decode time).
+    pub fn generation_throughput(&self) -> f64 {
+        let t = self.total_time().as_secs();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.generated_tokens as f64 / t
+    }
+
+    /// Decode-only throughput in tokens/s.
+    pub fn decode_throughput(&self) -> f64 {
+        let t = self.decode_time.as_secs();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.generated_tokens as f64 / t
+    }
+
+    /// Average latency per generated token per request (seconds/token).
+    pub fn per_token_latency(&self) -> Seconds {
+        if self.generated_tokens == 0 || self.requests == 0 {
+            return Seconds::ZERO;
+        }
+        Seconds::from_secs(
+            self.decode_time.as_secs() / (self.generated_tokens as f64 / self.requests as f64),
+        )
+    }
+
+    /// Combines two reports (e.g. successive batches of one long run).
+    pub fn combine(&self, other: &BatchRunReport) -> BatchRunReport {
+        BatchRunReport {
+            requests: self.requests + other.requests,
+            prompt_tokens: self.prompt_tokens + other.prompt_tokens,
+            generated_tokens: self.generated_tokens + other.generated_tokens,
+            prefill_time: self.prefill_time + other.prefill_time,
+            decode_time: self.decode_time + other.decode_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BatchRunReport {
+        BatchRunReport {
+            requests: 500,
+            prompt_tokens: 500 * 77,
+            generated_tokens: 500 * 128,
+            prefill_time: Seconds::from_secs(100.0),
+            decode_time: Seconds::from_secs(1900.0),
+        }
+    }
+
+    #[test]
+    fn generation_throughput_divides_by_total_time() {
+        let r = report();
+        assert!((r.generation_throughput() - 32.0).abs() < 1e-9);
+        assert!((r.decode_throughput() - 64000.0 / 1900.0).abs() < 1e-9);
+        assert!(r.decode_throughput() > r.generation_throughput());
+    }
+
+    #[test]
+    fn per_token_latency_accounts_for_batching() {
+        let r = report();
+        // 128 tokens per request over 1900 s => ~14.8 s per token per request.
+        assert!((r.per_token_latency().as_secs() - 1900.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let zero = BatchRunReport {
+            requests: 0,
+            prompt_tokens: 0,
+            generated_tokens: 0,
+            prefill_time: Seconds::ZERO,
+            decode_time: Seconds::ZERO,
+        };
+        assert_eq!(zero.generation_throughput(), 0.0);
+        assert_eq!(zero.decode_throughput(), 0.0);
+        assert_eq!(zero.per_token_latency(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn combine_adds_all_fields() {
+        let r = report();
+        let double = r.combine(&r);
+        assert_eq!(double.requests, 1000);
+        assert_eq!(double.generated_tokens, 128_000);
+        assert!((double.total_time().as_secs() - 4000.0).abs() < 1e-9);
+        assert!((double.generation_throughput() - r.generation_throughput()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Workload specifications and synthetic request generation.
+//!
+//! The paper evaluates three workloads (Tab. 3): MTBench (replicated to thousands of
+//! requests), HELM synthetic reasoning and HELM summarization (CNN/DailyMail). Only
+//! the prompt-length statistics matter for throughput, so each workload is described
+//! by its average and maximum prompt length and requests are sampled from a
+//! truncated distribution matching those statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A single inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id within a generated batch.
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// Number of tokens to generate.
+    pub gen_len: u64,
+}
+
+impl Request {
+    /// Total context length once generation finishes.
+    pub fn max_context(&self) -> u64 {
+        self.input_len + self.gen_len
+    }
+}
+
+/// A benchmark workload description (Tab. 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name, e.g. `"MTBench"`.
+    pub name: String,
+    /// Average prompt length `s_avg`.
+    pub avg_prompt_len: u64,
+    /// Maximum prompt length `s_max`.
+    pub max_prompt_len: u64,
+    /// Default generation length(s) evaluated by the paper.
+    pub default_gen_lens: Vec<u64>,
+}
+
+impl WorkloadSpec {
+    /// MTBench: 80 multi-turn questions replicated for batch inference
+    /// (`s_avg` = 77, `s_max` = 418, gen ∈ {32, 64, 128, 256}).
+    pub fn mtbench() -> Self {
+        WorkloadSpec {
+            name: "MTBench".to_owned(),
+            avg_prompt_len: 77,
+            max_prompt_len: 418,
+            default_gen_lens: vec![32, 64, 128, 256],
+        }
+    }
+
+    /// HELM synthetic reasoning (`s_avg` = 242, `s_max` = 256, gen = 50).
+    pub fn synthetic_reasoning() -> Self {
+        WorkloadSpec {
+            name: "Synthetic Reasoning".to_owned(),
+            avg_prompt_len: 242,
+            max_prompt_len: 256,
+            default_gen_lens: vec![50],
+        }
+    }
+
+    /// HELM summarization (`s_avg` = 1693, `s_max` = 1984, gen = 64).
+    pub fn summarization() -> Self {
+        WorkloadSpec {
+            name: "Summarization".to_owned(),
+            avg_prompt_len: 1693,
+            max_prompt_len: 1984,
+            default_gen_lens: vec![64],
+        }
+    }
+
+    /// All three paper workloads.
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![Self::mtbench(), Self::synthetic_reasoning(), Self::summarization()]
+    }
+
+    /// Samples `count` requests with the given generation length.
+    ///
+    /// Prompt lengths are drawn from a two-sided triangular-ish distribution around
+    /// the average, clamped to `[1, max_prompt_len]`, so the sample mean matches
+    /// `avg_prompt_len` and the maximum never exceeds `max_prompt_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn sample_requests(&self, count: usize, gen_len: u64, seed: u64) -> Vec<Request> {
+        assert!(count > 0, "cannot sample an empty workload");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let avg = self.avg_prompt_len as f64;
+        let max = self.max_prompt_len as f64;
+        // Spread below/above the mean: keep the mean by mirroring the offsets.
+        let down = (avg - 1.0).min(avg * 0.6);
+        let up = (max - avg).min(avg * 0.6 * ((max - avg) / (avg - 1.0).max(1.0)).min(1.0));
+        (0..count)
+            .map(|i| {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let len = if u < 0.0 { avg + u * down } else { avg + u * up };
+                Request {
+                    id: i as u64,
+                    input_len: (len.round().max(1.0) as u64).min(self.max_prompt_len),
+                    gen_len,
+                }
+            })
+            .collect()
+    }
+
+    /// Samples requests whose prompts are all padded to the maximum length, the way
+    /// FlexGen (and MoE-Lightning(p)) handle variable-length batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn padded_requests(&self, count: usize, gen_len: u64) -> Vec<Request> {
+        assert!(count > 0, "cannot sample an empty workload");
+        (0..count)
+            .map(|i| Request { id: i as u64, input_len: self.max_prompt_len, gen_len })
+            .collect()
+    }
+
+    /// Average prompt length of a request list (tokens).
+    pub fn mean_prompt(requests: &[Request]) -> f64 {
+        if requests.is_empty() {
+            return 0.0;
+        }
+        requests.iter().map(|r| r.input_len as f64).sum::<f64>() / requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_3() {
+        let mt = WorkloadSpec::mtbench();
+        assert_eq!((mt.avg_prompt_len, mt.max_prompt_len), (77, 418));
+        assert_eq!(mt.default_gen_lens, vec![32, 64, 128, 256]);
+        let sr = WorkloadSpec::synthetic_reasoning();
+        assert_eq!((sr.avg_prompt_len, sr.max_prompt_len), (242, 256));
+        let sum = WorkloadSpec::summarization();
+        assert_eq!((sum.avg_prompt_len, sum.max_prompt_len), (1693, 1984));
+        assert_eq!(WorkloadSpec::all().len(), 3);
+    }
+
+    #[test]
+    fn sampled_requests_respect_bounds_and_mean() {
+        for spec in WorkloadSpec::all() {
+            let reqs = spec.sample_requests(2000, 64, 7);
+            assert_eq!(reqs.len(), 2000);
+            assert!(reqs.iter().all(|r| r.input_len >= 1 && r.input_len <= spec.max_prompt_len));
+            assert!(reqs.iter().all(|r| r.gen_len == 64));
+            let mean = WorkloadSpec::mean_prompt(&reqs);
+            let rel = (mean - spec.avg_prompt_len as f64).abs() / spec.avg_prompt_len as f64;
+            assert!(rel < 0.25, "{}: mean {mean} too far from {}", spec.name, spec.avg_prompt_len);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::mtbench();
+        assert_eq!(spec.sample_requests(50, 32, 1), spec.sample_requests(50, 32, 1));
+        assert_ne!(spec.sample_requests(50, 32, 1), spec.sample_requests(50, 32, 2));
+    }
+
+    #[test]
+    fn padded_requests_all_use_max_prompt() {
+        let spec = WorkloadSpec::mtbench();
+        let reqs = spec.padded_requests(10, 128);
+        assert!(reqs.iter().all(|r| r.input_len == 418));
+        assert_eq!(reqs[3].max_context(), 418 + 128);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_sequential() {
+        let reqs = WorkloadSpec::synthetic_reasoning().sample_requests(100, 50, 3);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn mean_prompt_of_empty_slice_is_zero() {
+        assert_eq!(WorkloadSpec::mean_prompt(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn sampling_zero_requests_panics() {
+        WorkloadSpec::mtbench().sample_requests(0, 32, 1);
+    }
+}

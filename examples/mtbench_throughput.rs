@@ -1,0 +1,54 @@
+//! MTBench throughput sweep (a small version of the paper's Fig. 7): evaluates every
+//! system across generation lengths on the S1 setting, including the request
+//! batching step (Algorithm 2) that forms balanced micro-batches from the sampled
+//! variable-length prompts.
+//!
+//! Run with `cargo run --release --example mtbench_throughput`.
+
+use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_workload::{batch_requests, BatchingConfig, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setting = EvalSetting::S1;
+    let spec = WorkloadSpec::mtbench();
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+
+    println!("MTBench @ {setting} — generation throughput (tokens/s)\n");
+    print!("{:<20}", "system");
+    for gen in [32u64, 64, 128, 256] {
+        print!("{:>10}", format!("gen={gen}"));
+    }
+    println!();
+    for system in SystemKind::all() {
+        print!("{:<20}", system.name());
+        for gen in [32u64, 64, 128, 256] {
+            match evaluator.evaluate(system, &spec, gen) {
+                Ok(r) => print!("{:>10.1}", r.throughput),
+                Err(_) => print!("{:>10}", "n/a"),
+            }
+        }
+        println!();
+    }
+
+    // Show how MoE-Lightning forms its micro-batches for the best gen=128 policy.
+    let result = evaluator.evaluate(SystemKind::MoeLightning, &spec, 128)?;
+    let requests = spec.sample_requests(result.policy.batch_size as usize, 128, 42);
+    let batches = batch_requests(
+        &requests,
+        &BatchingConfig {
+            num_micro_batches: result.policy.num_micro_batches() as usize,
+            max_requests_per_micro_batch: result.policy.micro_batch_size as usize,
+            gen_len: 128,
+            cache_tokens_per_micro_batch: u64::MAX,
+        },
+    );
+    let (min, max) = batches.prompt_token_spread();
+    println!(
+        "\nAlgorithm 2 packed {} requests into {} micro-batches (prompt tokens per micro-batch: {}..{})",
+        batches.scheduled_requests(),
+        batches.micro_batches.len(),
+        min,
+        max
+    );
+    Ok(())
+}

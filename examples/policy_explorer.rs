@@ -1,0 +1,37 @@
+//! Policy exploration (paper §6.3 / Fig. 10): how the optimal offloading policy for
+//! Mixtral 8x7B on a 2×A100-80G node changes as the CPU-GPU interconnect bandwidth
+//! and the CPU capabilities are scaled.
+//!
+//! Run with `cargo run --release --example policy_explorer`.
+
+use moe_hardware::NodeSpec;
+use moe_lightning::MoeModelConfig;
+use moe_policy::{PolicyOptimizer, SearchSpace, WorkloadShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadShape::new(512, 32);
+    println!("Best policy for Mixtral 8x7B on 2xA100-80G (prompt 512, gen 32)\n");
+    println!(
+        "{:>12} {:>10} {:>16} {:>12} {:>10} {:>10}",
+        "link GB/s", "CPU scale", "weights on CPU", "KV on CPU", "attn", "tokens/s"
+    );
+    for link in [100.0, 300.0, 500.0] {
+        for cpu_scale in [1.0, 4.0, 10.0] {
+            let node = NodeSpec::a100_case_study(link, cpu_scale);
+            let optimizer = PolicyOptimizer::new(node, MoeModelConfig::mixtral_8x7b())
+                .with_search_space(SearchSpace::coarse());
+            let result = optimizer.search(&workload)?;
+            let p = result.policy;
+            println!(
+                "{:>12.0} {:>10.0} {:>16.2} {:>12.2} {:>10} {:>10.0}",
+                link,
+                cpu_scale,
+                1.0 - p.weights_gpu_ratio,
+                if p.attention_on_gpu { 1.0 - p.kv_gpu_ratio } else { 1.0 },
+                if p.attention_on_gpu { "GPU" } else { "CPU" },
+                result.throughput
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: search an offloading policy for Mixtral 8x7B on a single 16 GB T4
+//! (the paper's S1 setting) and estimate the end-to-end generation throughput of
+//! MoE-Lightning against the FlexGen and DeepSpeed baselines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_workload::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setting = EvalSetting::S1;
+    let workload = WorkloadSpec::mtbench();
+    let gen_len = 128;
+
+    println!(
+        "Setting {setting}: {} on {}",
+        setting.model().name,
+        setting.node().describe()
+    );
+    println!(
+        "Model weights: {} — GPU memory: {} (offloading required)\n",
+        setting.model().total_weight_bytes(),
+        setting.node().total_gpu_memory()
+    );
+
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    for system in SystemKind::all() {
+        let result = evaluator.evaluate(system, &workload, gen_len)?;
+        println!(
+            "{:<18} {:>8.1} tokens/s   (policy: {})",
+            result.system.name(),
+            result.throughput,
+            result.policy
+        );
+    }
+
+    println!("\nMoE-Lightning's CGOPipe schedule plus the HRM-searched policy should come out on top.");
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Facade crate for the MoE-Lightning reproduction workspace.
+//!
+//! Re-exports the top-level engine crate as [`lightning`] plus the individual
+//! substrate crates, so downstream users (and the workspace-level examples and
+//! integration tests) can depend on a single package.
+
+#![forbid(unsafe_code)]
+
+pub use moe_hardware as hardware;
+pub use moe_hrm as hrm;
+pub use moe_lightning as lightning;
+pub use moe_memory as memory;
+pub use moe_model as model;
+pub use moe_policy as policy;
+pub use moe_runtime as runtime;
+pub use moe_schedule as schedule;
+pub use moe_sim as sim;
+pub use moe_tensor as tensor;
+pub use moe_workload as workload;
