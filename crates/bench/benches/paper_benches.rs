@@ -74,11 +74,15 @@ fn bench_batching(c: &mut Criterion) {
     let cfg = BatchingConfig {
         num_micro_batches: 14,
         max_requests_per_micro_batch: 36,
-        gen_len: 128,
+        max_scheduled_requests: usize::MAX,
         cache_tokens_per_micro_batch: 1 << 20,
     };
     c.bench_function("workload/batch_2048_requests", |b| {
-        b.iter_batched(|| requests.clone(), |reqs| batch_requests(&reqs, &cfg), BatchSize::SmallInput)
+        b.iter_batched(
+            || requests.clone(),
+            |reqs| batch_requests(&reqs, &cfg),
+            BatchSize::SmallInput,
+        )
     });
 }
 
@@ -91,7 +95,9 @@ fn bench_kernels(c: &mut Criterion) {
     });
     let a = Tensor::randn(&[64, 64], 1.0, 4);
     let m = Tensor::randn(&[64, 64], 1.0, 5);
-    c.bench_function("tensor/matmul_64", |b| b.iter(|| ops::matmul(&a, &m).unwrap()));
+    c.bench_function("tensor/matmul_64", |b| {
+        b.iter(|| ops::matmul(&a, &m).unwrap())
+    });
 }
 
 criterion_group!(

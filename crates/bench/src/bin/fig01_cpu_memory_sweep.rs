@@ -15,7 +15,12 @@ fn main() {
     let widths = [14usize, 24, 24, 18];
     println!("== Fig. 1: throughput vs CPU memory (Mixtral 8x7B, 1xT4, MTBench, gen={gen}) ==");
     print_header(
-        &["CPU mem (GiB)", "FlexGen w/ their policy", "FlexGen w/ our policy", "MoE-Lightning"],
+        &[
+            "CPU mem (GiB)",
+            "FlexGen w/ their policy",
+            "FlexGen w/ our policy",
+            "MoE-Lightning",
+        ],
         &widths,
     );
 
@@ -28,14 +33,16 @@ fn main() {
             .unwrap_or(0.0);
         // "Existing system with our policy": FlexGen's schedule driven by the policy
         // the HRM optimizer picks for this node.
-        let ours_on_flexgen = evaluator
-            .workload_shape(SystemKind::MoeLightningPadded, &spec, gen)
-            .clone();
+        let ours_on_flexgen = evaluator.workload_shape(SystemKind::MoeLightningPadded, &spec, gen);
         let our_policy = evaluator.policy_for(SystemKind::MoeLightningPadded, &ours_on_flexgen);
         let flexgen_our_policy = our_policy
             .as_ref()
             .ok()
-            .and_then(|p| evaluator.evaluate_with_policy(SystemKind::FlexGen, *p, &spec, gen).ok())
+            .and_then(|p| {
+                evaluator
+                    .evaluate_with_policy(SystemKind::FlexGen, *p, &spec, gen)
+                    .ok()
+            })
             .map(|r| r.throughput)
             .unwrap_or(0.0);
         let moe_lightning = evaluator

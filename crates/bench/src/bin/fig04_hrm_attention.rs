@@ -16,9 +16,15 @@ fn main() {
 
     let f16 = LayerOps::new(MoeModelConfig::mixtral_8x7b());
     let int4 = LayerOps::new(MoeModelConfig::mixtral_8x7b().with_kv_dtype(DType::Int4));
-    let i_f16 = f16.attention_core_decode(64, context_len).operational_intensity();
-    let i_int4 = int4.attention_core_decode(64, context_len).operational_intensity();
-    let p1 = hrm.turning_point_p1(hrm.gpu(), hrm.cpu()).expect("two-level HRM");
+    let i_f16 = f16
+        .attention_core_decode(64, context_len)
+        .operational_intensity();
+    let i_int4 = int4
+        .attention_core_decode(64, context_len)
+        .operational_intensity();
+    let p1 = hrm
+        .turning_point_p1(hrm.gpu(), hrm.cpu())
+        .expect("two-level HRM");
 
     let mut plot = moe_hrm::plot::hrm_plot(&hrm, hrm.gpu(), hrm.cpu(), "Fig. 4", 0.1, 10_000.0, 41)
         .expect("valid grid");
@@ -39,11 +45,23 @@ fn main() {
 
     let widths = [14usize, 16, 16, 16, 16, 16];
     print_header(
-        &["I (FLOP/B)", "CPU mem roof", "GPU mem roof", "CPU-GPU roof", "CPU peak", "GPU peak"],
+        &[
+            "I (FLOP/B)",
+            "CPU mem roof",
+            "GPU mem roof",
+            "CPU-GPU roof",
+            "CPU peak",
+            "GPU peak",
+        ],
         &widths,
     );
-    let series_names =
-        ["CPU Mem Bdw", "GPU Mem Bdw", "CPU-GPU Mem Bdw", "CPU Peak FLOPS", "GPU Peak FLOPS"];
+    let series_names = [
+        "CPU Mem Bdw",
+        "GPU Mem Bdw",
+        "CPU-GPU Mem Bdw",
+        "CPU Peak FLOPS",
+        "GPU Peak FLOPS",
+    ];
     let grid: Vec<f64> = plot.series[0].points.iter().map(|p| p.0).collect();
     for (row_idx, intensity) in grid.iter().enumerate() {
         if row_idx % 4 != 0 {
@@ -51,7 +69,10 @@ fn main() {
         }
         let mut cells = vec![fmt3(*intensity)];
         for name in series_names {
-            let value = plot.series_named(name).map(|s| s.points[row_idx].1).unwrap_or(0.0);
+            let value = plot
+                .series_named(name)
+                .map(|s| s.points[row_idx].1)
+                .unwrap_or(0.0);
             cells.push(fmt3(value));
         }
         print_row(&cells, &widths);
@@ -59,7 +80,11 @@ fn main() {
     for (row_idx, intensity) in grid.iter().enumerate() {
         let mut fields = vec![fmt3(*intensity)];
         for name in series_names {
-            fields.push(fmt3(plot.series_named(name).map(|s| s.points[row_idx].1).unwrap_or(0.0)));
+            fields.push(fmt3(
+                plot.series_named(name)
+                    .map(|s| s.points[row_idx].1)
+                    .unwrap_or(0.0),
+            ));
         }
         print_csv(&fields);
     }

@@ -18,7 +18,9 @@ fn main() {
     // Local (GPU-memory) operational intensity of the FFN kernel at micro-batch μ.
     let kernel = ops.moe_ffn(mu);
     let local_intensity = kernel.operational_intensity();
-    let p1 = hrm.turning_point_p1(hrm.gpu(), hrm.cpu()).expect("two-level HRM");
+    let p1 = hrm
+        .turning_point_p1(hrm.gpu(), hrm.cpu())
+        .expect("two-level HRM");
     let p2 = hrm
         .turning_point_p2(hrm.gpu(), hrm.cpu(), local_intensity)
         .expect("two-level HRM");
@@ -27,15 +29,29 @@ fn main() {
         .expect("two-level HRM");
 
     println!("== Fig. 5: HRM for the MoE FFN block (decode) on L4, kernel at mu={mu} ==");
-    println!("P1 = {} FLOPs/byte   P2 = {} FLOPs/byte   balance point = {} FLOPs/byte", fmt3(p1), fmt3(p2), fmt3(balance));
-    println!("kernel performance at mu=128: {} GFLOPS/s (local intensity {})\n",
-        fmt3(hrm.attainable_local(hrm.gpu(), local_intensity).unwrap().as_gflops_per_sec()),
-        fmt3(local_intensity));
+    println!(
+        "P1 = {} FLOPs/byte   P2 = {} FLOPs/byte   balance point = {} FLOPs/byte",
+        fmt3(p1),
+        fmt3(p2),
+        fmt3(balance)
+    );
+    println!(
+        "kernel performance at mu=128: {} GFLOPS/s (local intensity {})\n",
+        fmt3(
+            hrm.attainable_local(hrm.gpu(), local_intensity)
+                .unwrap()
+                .as_gflops_per_sec()
+        ),
+        fmt3(local_intensity)
+    );
 
     // Cross-level intensity for different batch sizes N: FLOPs per byte of expert
     // weights streamed from CPU memory (the weights are read once per batch).
     let widths = [10usize, 18, 20, 22];
-    print_header(&["N", "I_cpu (FLOP/B)", "roof-limited GF/s", "binding roof"], &widths);
+    print_header(
+        &["N", "I_cpu (FLOP/B)", "roof-limited GF/s", "binding roof"],
+        &widths,
+    );
     for n in [32u64, 128, 512, 1024, 4096, 16384] {
         let batch_cost = ops.moe_ffn(n);
         let cross_intensity = batch_cost.intensity_wrt(ops.ffn_weight_bytes());
@@ -47,11 +63,24 @@ fn main() {
             .binding_roof(hrm.gpu(), hrm.cpu(), local_intensity, cross_intensity)
             .unwrap();
         print_row(
-            &[n.to_string(), fmt3(cross_intensity), fmt3(attainable), format!("{roof:?}")],
+            &[
+                n.to_string(),
+                fmt3(cross_intensity),
+                fmt3(attainable),
+                format!("{roof:?}"),
+            ],
             &widths,
         );
-        print_csv(&[n.to_string(), fmt3(cross_intensity), fmt3(attainable), format!("{roof:?}")]);
+        print_csv(&[
+            n.to_string(),
+            fmt3(cross_intensity),
+            fmt3(attainable),
+            format!("{roof:?}"),
+        ]);
     }
-    println!("\nBelow P1 ({}) offloading to the GPU is not worthwhile; between P1 and P2 the", fmt3(p1));
+    println!(
+        "\nBelow P1 ({}) offloading to the GPU is not worthwhile; between P1 and P2 the",
+        fmt3(p1)
+    );
     println!("CPU-GPU link binds; beyond the balance point larger N no longer helps (paper §3.3).");
 }

@@ -14,7 +14,10 @@ fn main() {
     let setting = EvalSetting::S1;
     let cost = CostModel::new(setting.node(), setting.model());
     let policy = Policy::offload_default(256, 32);
-    let gpu_attention_policy = Policy { attention_on_gpu: true, ..policy };
+    let gpu_attention_policy = Policy {
+        attention_on_gpu: true,
+        ..policy
+    };
     let workload = WorkloadShape::new(418, 128);
     let layers = 4;
 
@@ -24,7 +27,15 @@ fn main() {
     );
     let widths = [28usize, 12, 12, 12, 12, 12, 12];
     print_header(
-        &["schedule", "makespan ms", "GPU busy", "GPU bubble", "CPU busy", "HtoD busy", "DtoH busy"],
+        &[
+            "schedule",
+            "makespan ms",
+            "GPU busy",
+            "GPU bubble",
+            "CPU busy",
+            "HtoD busy",
+            "DtoH busy",
+        ],
         &widths,
     );
 
@@ -38,7 +49,11 @@ fn main() {
     ];
     for kind in kinds {
         // S4 and layer streaming are GPU-attention schedules; give them the matching policy.
-        let p = if kind.uses_cpu_attention() { policy } else { gpu_attention_policy };
+        let p = if kind.uses_cpu_attention() {
+            policy
+        } else {
+            gpu_attention_policy
+        };
         let builder = DecodeScheduleBuilder::new(&cost, p, workload).with_layers(layers);
         let graph = builder.build(kind).expect("schedule builds");
         let result = simulate(&graph).expect("schedule simulates");

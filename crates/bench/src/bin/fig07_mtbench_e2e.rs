@@ -1,6 +1,12 @@
 //! Fig. 7: end-to-end generation throughput on MTBench for every system under the
 //! evaluation settings S1, S2, S6 and S7, sweeping the generation length over
-//! {32, 64, 128, 256}.
+//! {32, 64, 128, 256}, plus the per-request latency profile (TTFT and per-token
+//! time) of the request-level serving loop.
+//!
+//! Every cell is produced by serving a queue of requests through Algorithm 2
+//! micro-batched rounds (`ServingSession`), not by the single-shot uniform
+//! estimate — padded systems see max-length prompts, the others the
+//! variable-length MTBench distribution.
 //!
 //! Run with `cargo run --release -p moe-bench --bin fig07_mtbench_e2e`.
 
@@ -8,18 +14,42 @@ use moe_bench::{fmt3, print_csv, print_header, print_row};
 use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
+/// Requests per served queue (the paper replicates MTBench to thousands of
+/// requests; 1000 keeps the discrete-event simulation fast while still spanning
+/// multiple serving rounds for the baselines).
+const QUEUE_LEN: usize = 1000;
+/// Seed for the variable-length queue synthesis.
+const SEED: u64 = 7;
+/// Generation length used for the latency table.
+const LATENCY_GEN_LEN: u64 = 128;
+
 fn main() {
     let spec = WorkloadSpec::mtbench();
     let gen_lens = [32u64, 64, 128, 256];
-    let settings = [EvalSetting::S1, EvalSetting::S2, EvalSetting::S6, EvalSetting::S7];
+    let settings = [
+        EvalSetting::S1,
+        EvalSetting::S2,
+        EvalSetting::S6,
+        EvalSetting::S7,
+    ];
     let systems = SystemKind::all();
     let widths = [22usize, 10, 10, 10, 10];
+    let lat_widths = [22usize, 12, 12, 12, 10, 10];
 
     for setting in settings {
-        println!("\n== MTBench @ {setting} ({}, {}) ==", setting.model().name, setting.node().describe());
+        println!(
+            "\n== MTBench @ {setting} ({}, {}) ==",
+            setting.model().name,
+            setting.node().describe()
+        );
         let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-        let header: Vec<&str> = ["system", "gen=32", "gen=64", "gen=128", "gen=256"].to_vec();
-        print_header(&header, &widths);
+        print_header(
+            &["system", "gen=32", "gen=64", "gen=128", "gen=256"],
+            &widths,
+        );
+        // Keep the gen=128 reports around: the latency table below reads the same
+        // runs instead of re-serving identical queues.
+        let mut latency_reports = Vec::new();
         for system in systems {
             // The paper only reports the unpadded MoE-Lightning for S1/S2 (footnote 8).
             if system == SystemKind::MoeLightning
@@ -30,9 +60,20 @@ fn main() {
             let mut cells = vec![system.name().to_owned()];
             let mut csv = vec![setting.to_string(), system.name().to_owned()];
             for gen in gen_lens {
-                let cell = match evaluator.evaluate(system, &spec, gen) {
-                    Ok(result) => fmt3(result.throughput),
-                    Err(_) => "n/a".to_owned(),
+                let cell = match evaluator.serve(system, &spec, QUEUE_LEN, gen, SEED) {
+                    Ok(report) => {
+                        let cell = fmt3(report.generation_throughput());
+                        if gen == LATENCY_GEN_LEN {
+                            latency_reports.push((system, Ok(report)));
+                        }
+                        cell
+                    }
+                    Err(e) => {
+                        if gen == LATENCY_GEN_LEN {
+                            latency_reports.push((system, Err(e)));
+                        }
+                        "n/a".to_owned()
+                    }
                 };
                 csv.push(cell.clone());
                 cells.push(cell);
@@ -40,6 +81,57 @@ fn main() {
             print_row(&cells, &widths);
             print_csv(&csv);
         }
+
+        println!("\n-- per-request latency @ gen={LATENCY_GEN_LEN} ({QUEUE_LEN}-request queue) --");
+        print_header(
+            &[
+                "system",
+                "ttft_p50 s",
+                "ttft_p90 s",
+                "tok_lat s",
+                "rounds",
+                "aborted",
+            ],
+            &lat_widths,
+        );
+        for (system, outcome) in latency_reports {
+            match outcome {
+                Ok(report) => {
+                    let ttft = report.ttft();
+                    let tok = report.per_token();
+                    let row = [
+                        system.name().to_owned(),
+                        fmt3(ttft.p50.as_secs()),
+                        fmt3(ttft.p90.as_secs()),
+                        fmt3(tok.mean.as_secs()),
+                        report.rounds.len().to_string(),
+                        report.aborted.len().to_string(),
+                    ];
+                    print_csv(&[
+                        setting.to_string(),
+                        format!("{}-latency", system.name()),
+                        row[1].clone(),
+                        row[2].clone(),
+                        row[3].clone(),
+                        row[4].clone(),
+                        row[5].clone(),
+                    ]);
+                    print_row(row.as_ref(), &lat_widths);
+                }
+                Err(e) => print_row(
+                    &[
+                        system.name().to_owned(),
+                        format!("n/a ({e})"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &lat_widths,
+                ),
+            }
+        }
     }
-    println!("\n(throughput in generated tokens/s; higher is better)");
+    println!("\n(throughput in generated tokens/s; higher is better. ttft = time to first");
+    println!("token including queueing; tok_lat = mean per-token decode latency per request)");
 }

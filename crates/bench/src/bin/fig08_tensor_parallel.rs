@@ -15,10 +15,16 @@ fn main() {
 
     for (pair, system) in [
         ([EvalSetting::S8, EvalSetting::S9], SystemKind::MoeLightning),
-        ([EvalSetting::S6, EvalSetting::S7], SystemKind::MoeLightningPadded),
+        (
+            [EvalSetting::S6, EvalSetting::S7],
+            SystemKind::MoeLightningPadded,
+        ),
     ] {
         println!("\n== {} with {} ==", pair[0].model().name, system.name());
-        print_header(&["configuration", "gen=32", "gen=64", "gen=128", "gen=256"], &widths);
+        print_header(
+            &["configuration", "gen=32", "gen=64", "gen=128", "gen=256"],
+            &widths,
+        );
         let mut per_setting: Vec<Vec<f64>> = Vec::new();
         for setting in pair {
             let evaluator = SystemEvaluator::new(setting.node(), setting.model());
@@ -41,7 +47,11 @@ fn main() {
         if per_setting.len() == 2 {
             let mut cells = vec!["scaling (4xT4 / 2xT4)".to_owned()];
             for (a, b) in per_setting[0].iter().zip(&per_setting[1]) {
-                cells.push(if *a > 0.0 { format!("{:.2}x", b / a) } else { "n/a".into() });
+                cells.push(if *a > 0.0 {
+                    format!("{:.2}x", b / a)
+                } else {
+                    "n/a".into()
+                });
             }
             print_row(&cells, &widths);
         }

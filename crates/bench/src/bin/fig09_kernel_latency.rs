@@ -15,14 +15,33 @@ fn main() {
     let contexts = [128u64, 256, 512, 1024, 2048];
     let widths = [10usize, 10, 16, 16, 16];
 
-    println!("== Fig. 9: kernel latency comparison on {} ({}) ==", setting, setting.node().describe());
-    print_header(&["mu", "context", "MoE FFN (ms)", "KV transfer (ms)", "CPU attn (ms)"], &widths);
+    println!(
+        "== Fig. 9: kernel latency comparison on {} ({}) ==",
+        setting,
+        setting.node().describe()
+    );
+    print_header(
+        &[
+            "mu",
+            "context",
+            "MoE FFN (ms)",
+            "KV transfer (ms)",
+            "CPU attn (ms)",
+        ],
+        &widths,
+    );
     for mu in micro_batches {
         for ctx in contexts {
             let ffn = cost.post_attention_gpu(mu).as_millis();
             let kv = cost.kv_transfer(mu, ctx, 1.0).as_millis();
             let attn = cost.attention_cpu(mu, ctx).as_millis();
-            let cells = vec![mu.to_string(), ctx.to_string(), fmt3(ffn), fmt3(kv), fmt3(attn)];
+            let cells = vec![
+                mu.to_string(),
+                ctx.to_string(),
+                fmt3(ffn),
+                fmt3(kv),
+                fmt3(attn),
+            ];
             print_csv(&cells);
             print_row(&cells, &widths);
         }

@@ -16,9 +16,17 @@ fn main() {
     let cpu_ratios = [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0];
     let widths = [16usize, 12, 18, 18, 12];
 
-    println!("== Fig. 10: best policy vs hardware (Mixtral 8x7B, 2xA100-80G, prompt=512, gen=32) ==");
+    println!(
+        "== Fig. 10: best policy vs hardware (Mixtral 8x7B, 2xA100-80G, prompt=512, gen=32) =="
+    );
     print_header(
-        &["link GB/s", "CPU scale", "weights on CPU", "KV on CPU", "attention"],
+        &[
+            "link GB/s",
+            "CPU scale",
+            "weights on CPU",
+            "KV on CPU",
+            "attention",
+        ],
         &widths,
     );
     for link in bandwidths {
@@ -30,7 +38,11 @@ fn main() {
                 Ok(result) => {
                     let p = result.policy;
                     let weights_on_cpu = 1.0 - p.weights_gpu_ratio;
-                    let kv_on_cpu = if p.attention_on_gpu { 1.0 - p.kv_gpu_ratio } else { 1.0 };
+                    let kv_on_cpu = if p.attention_on_gpu {
+                        1.0 - p.kv_gpu_ratio
+                    } else {
+                        1.0
+                    };
                     let attn = if p.attention_on_gpu { "GPU" } else { "CPU" };
                     let cells = vec![
                         format!("{link:.0}"),
@@ -43,7 +55,13 @@ fn main() {
                     print_row(&cells, &widths);
                 }
                 Err(e) => print_row(
-                    &[format!("{link:.0}"), format!("{ratio:.0}"), format!("n/a ({e})"), "-".into(), "-".into()],
+                    &[
+                        format!("{link:.0}"),
+                        format!("{ratio:.0}"),
+                        format!("n/a ({e})"),
+                        "-".into(),
+                        "-".into(),
+                    ],
                     &widths,
                 ),
             }

@@ -1,5 +1,6 @@
 //! Tab. 4: generation throughput, micro-batch size μ and micro-batch count N/μ for
-//! the HELM synthetic-reasoning and summarization workloads under settings S1 and S2.
+//! the HELM synthetic-reasoning and summarization workloads under settings S1 and S2,
+//! served as request queues through the Algorithm 2 micro-batching loop.
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab04_helm`.
 
@@ -7,8 +8,16 @@ use moe_bench::{fmt3, print_csv, print_header, print_row};
 use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
+/// Requests per served queue.
+const QUEUE_LEN: usize = 1000;
+/// Seed for queue synthesis.
+const SEED: u64 = 13;
+
 fn main() {
-    let workloads = [WorkloadSpec::synthetic_reasoning(), WorkloadSpec::summarization()];
+    let workloads = [
+        WorkloadSpec::synthetic_reasoning(),
+        WorkloadSpec::summarization(),
+    ];
     let settings = [EvalSetting::S1, EvalSetting::S2];
     let systems = [
         SystemKind::FlexGenCpuAttention,
@@ -16,25 +25,28 @@ fn main() {
         SystemKind::DeepSpeedZero,
         SystemKind::MoeLightningPadded,
     ];
-    let widths = [22usize, 14, 8, 8];
+    let widths = [22usize, 14, 8, 8, 12];
 
     for spec in &workloads {
         let gen = spec.default_gen_lens[0];
         for setting in settings {
             println!("\n== {} @ {setting} (gen_len = {gen}) ==", spec.name);
             let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-            print_header(&["system", "tokens/s", "mu", "N/mu"], &widths);
+            print_header(&["system", "tokens/s", "mu", "N/mu", "ttft_p50 s"], &widths);
             for system in systems {
-                match evaluator.evaluate(system, spec, gen) {
-                    Ok(result) => {
-                        let mu = result.policy.micro_batch_size;
-                        let n_over_mu = result.policy.num_micro_batches();
+                match evaluator.serve(system, spec, QUEUE_LEN, gen, SEED) {
+                    Ok(report) => {
+                        let mu = report.policy.micro_batch_size;
+                        let n_over_mu = report.policy.num_micro_batches();
+                        let throughput = report.generation_throughput();
+                        let ttft = report.ttft().p50;
                         print_row(
                             &[
                                 system.name().to_owned(),
-                                fmt3(result.throughput),
+                                fmt3(throughput),
                                 mu.to_string(),
                                 n_over_mu.to_string(),
+                                fmt3(ttft.as_secs()),
                             ],
                             &widths,
                         );
@@ -42,13 +54,20 @@ fn main() {
                             spec.name.clone(),
                             setting.to_string(),
                             system.name().to_owned(),
-                            fmt3(result.throughput),
+                            fmt3(throughput),
                             mu.to_string(),
                             n_over_mu.to_string(),
+                            fmt3(ttft.as_secs()),
                         ]);
                     }
                     Err(e) => print_row(
-                        &[system.name().to_owned(), format!("n/a ({e})"), "-".into(), "-".into()],
+                        &[
+                            system.name().to_owned(),
+                            format!("n/a ({e})"),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ],
                         &widths,
                     ),
                 }

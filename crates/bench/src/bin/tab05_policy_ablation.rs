@@ -1,12 +1,16 @@
 //! Tab. 5: policy/schedule ablation on MTBench @ S1 with generation length 128 —
 //! FlexGen with its own policy, FlexGen with MoE-Lightning's policy, FlexGen with
-//! MoE-Lightning's policy and a larger batch, and MoE-Lightning(p).
+//! MoE-Lightning's policy and a larger batch, and MoE-Lightning(p). Every variant
+//! serves the same request queue through the Algorithm 2 micro-batching loop.
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab05_policy_ablation`.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, Policy, SystemEvaluator, SystemKind};
+use moe_lightning::{EvalSetting, Policy, ServingSession, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
+
+/// Requests per served queue.
+const QUEUE_LEN: usize = 1000;
 
 fn main() {
     let setting = EvalSetting::S1;
@@ -30,24 +34,40 @@ fn main() {
     };
 
     let rows: Vec<(&str, SystemKind, Policy)> = vec![
-        ("FlexGen w/ their policy", SystemKind::FlexGen, flexgen_policy),
+        (
+            "FlexGen w/ their policy",
+            SystemKind::FlexGen,
+            flexgen_policy,
+        ),
         ("FlexGen w/ our policy", SystemKind::FlexGen, our_policy),
-        ("FlexGen w/ our policy + larger N", SystemKind::FlexGen, our_policy_larger_n),
-        ("MoE-Lightning (p)", SystemKind::MoeLightningPadded, our_policy),
+        (
+            "FlexGen w/ our policy + larger N",
+            SystemKind::FlexGen,
+            our_policy_larger_n,
+        ),
+        (
+            "MoE-Lightning (p)",
+            SystemKind::MoeLightningPadded,
+            our_policy,
+        ),
     ];
 
     let mut baseline = None;
     for (label, system, policy) in rows {
-        match evaluator.evaluate_with_policy(system, policy, &spec, gen) {
-            Ok(result) => {
-                let baseline_throughput = *baseline.get_or_insert(result.throughput);
+        // All ablation variants pad requests, so they serve identical queues.
+        let queue = spec.request_queue(QUEUE_LEN, gen, 0, system.pads_requests());
+        let session = ServingSession::with_policy(&evaluator, system, policy, shape);
+        match session.serve(queue) {
+            Ok(report) => {
+                let throughput = report.generation_throughput();
+                let baseline_throughput = *baseline.get_or_insert(throughput);
                 print_row(
                     &[
                         label.to_owned(),
                         policy.micro_batch_size.to_string(),
                         policy.batch_size.to_string(),
-                        fmt3(result.throughput),
-                        format!("{:.2}x", result.throughput / baseline_throughput),
+                        fmt3(throughput),
+                        format!("{:.2}x", throughput / baseline_throughput),
                     ],
                     &widths,
                 );
@@ -55,11 +75,17 @@ fn main() {
                     label.to_owned(),
                     policy.micro_batch_size.to_string(),
                     policy.batch_size.to_string(),
-                    fmt3(result.throughput),
+                    fmt3(throughput),
                 ]);
             }
             Err(e) => print_row(
-                &[label.to_owned(), "-".into(), "-".into(), format!("n/a ({e})"), "-".into()],
+                &[
+                    label.to_owned(),
+                    "-".into(),
+                    "-".into(),
+                    format!("n/a ({e})"),
+                    "-".into(),
+                ],
                 &widths,
             ),
         }

@@ -14,11 +14,12 @@ use moe_workload::{BatchRunReport, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Number of layers actually simulated by the discrete-event engine; the decode-step
-/// makespan is extrapolated linearly to the full depth (layer pipelines are
-/// homogeneous, so the approximation error is limited to the prologue of the first
-/// simulated layer).
-const SIMULATED_LAYERS: u32 = 4;
+/// Default number of layers actually simulated by the discrete-event engine; the
+/// decode-step makespan is extrapolated linearly to the full depth (layer pipelines
+/// are homogeneous, so the approximation error is limited to the prologue of the
+/// first simulated layer). Override per evaluator with
+/// [`SystemEvaluator::with_simulated_layers`].
+pub const DEFAULT_SIMULATED_LAYERS: u32 = 4;
 
 /// Errors produced by the evaluator.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,9 +40,14 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::NoFeasiblePolicy { system } => {
-                write!(f, "no feasible policy for {system} on this node and workload")
+                write!(
+                    f,
+                    "no feasible policy for {system} on this node and workload"
+                )
             }
-            EngineError::Simulation { message } => write!(f, "schedule simulation failed: {message}"),
+            EngineError::Simulation { message } => {
+                write!(f, "schedule simulation failed: {message}")
+            }
         }
     }
 }
@@ -69,13 +75,45 @@ pub struct SystemEvaluator {
     node: NodeSpec,
     model: MoeModelConfig,
     cost: CostModel,
+    simulated_layers: u32,
 }
 
 impl SystemEvaluator {
-    /// Creates an evaluator.
+    /// Creates an evaluator. The discrete-event simulation covers
+    /// [`DEFAULT_SIMULATED_LAYERS`] layers (or the full model if shallower) and is
+    /// extrapolated linearly to the model's depth.
     pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
         let cost = CostModel::new(node.clone(), model.clone());
-        SystemEvaluator { node, model, cost }
+        let simulated_layers = DEFAULT_SIMULATED_LAYERS.min(model.num_layers);
+        SystemEvaluator {
+            node,
+            model,
+            cost,
+            simulated_layers,
+        }
+    }
+
+    /// Overrides how many layers the discrete-event engine simulates before the
+    /// makespan is extrapolated to the full depth. More layers cost simulation time
+    /// but shrink the prologue approximation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is zero or exceeds the model's layer count.
+    pub fn with_simulated_layers(mut self, layers: u32) -> Self {
+        assert!(layers >= 1, "must simulate at least one layer");
+        assert!(
+            layers <= self.model.num_layers,
+            "cannot simulate {layers} layers of a {}-layer model",
+            self.model.num_layers
+        );
+        self.simulated_layers = layers;
+        self
+    }
+
+    /// Number of layers the discrete-event engine simulates before extrapolation.
+    pub fn simulated_layers(&self) -> u32 {
+        self.simulated_layers
     }
 
     /// The underlying cost model.
@@ -95,7 +133,12 @@ impl SystemEvaluator {
 
     /// The workload shape a system sees for a given workload spec: padded systems
     /// process every prompt at the maximum length, the others at the average length.
-    pub fn workload_shape(&self, system: SystemKind, spec: &WorkloadSpec, gen_len: u64) -> WorkloadShape {
+    pub fn workload_shape(
+        &self,
+        system: SystemKind,
+        spec: &WorkloadSpec,
+        gen_len: u64,
+    ) -> WorkloadShape {
         if system.pads_requests() {
             WorkloadShape::new(spec.max_prompt_len, gen_len)
         } else {
@@ -129,9 +172,11 @@ impl SystemEvaluator {
                     .generate(workload)
                     .ok_or_else(err)
             }
-            SystemKind::DeepSpeedZero => DeepSpeedPolicy::new(self.node.clone(), self.model.clone())
-                .generate(workload)
-                .ok_or_else(err),
+            SystemKind::DeepSpeedZero => {
+                DeepSpeedPolicy::new(self.node.clone(), self.model.clone())
+                    .generate(workload)
+                    .ok_or_else(err)
+            }
         }
     }
 
@@ -147,12 +192,38 @@ impl SystemEvaluator {
         policy: &Policy,
         workload: &WorkloadShape,
     ) -> Result<Seconds, EngineError> {
-        let layers = self.model.num_layers.min(SIMULATED_LAYERS);
-        let builder = DecodeScheduleBuilder::new(&self.cost, *policy, *workload).with_layers(layers);
+        self.decode_step_latency_with_occupancy(schedule, policy, workload, None)
+    }
+
+    /// Simulated decode-step latency with explicit per-micro-batch occupancies
+    /// (active sequences per micro-batch). `None` falls back to the policy's
+    /// uniform split; the request-level serving loop passes the actual Algorithm 2
+    /// assignment so pipeline bubbles reflect real imbalance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Simulation`] if the schedule cannot be simulated.
+    pub fn decode_step_latency_with_occupancy(
+        &self,
+        schedule: ScheduleKind,
+        policy: &Policy,
+        workload: &WorkloadShape,
+        occupancy: Option<&[u64]>,
+    ) -> Result<Seconds, EngineError> {
+        let layers = self.model.num_layers.min(self.simulated_layers);
+        let mut builder =
+            DecodeScheduleBuilder::new(&self.cost, *policy, *workload).with_layers(layers);
+        if let Some(tokens) = occupancy {
+            builder = builder.with_micro_batch_tokens(tokens);
+        }
         let graph = builder
             .build(schedule)
-            .map_err(|e| EngineError::Simulation { message: e.to_string() })?;
-        let result = simulate(&graph).map_err(|e| EngineError::Simulation { message: e.to_string() })?;
+            .map_err(|e| EngineError::Simulation {
+                message: e.to_string(),
+            })?;
+        let result = simulate(&graph).map_err(|e| EngineError::Simulation {
+            message: e.to_string(),
+        })?;
         let scale = f64::from(self.model.num_layers) / f64::from(layers);
         Ok(result.makespan.scale(scale))
     }
@@ -223,8 +294,14 @@ mod tests {
         // The headline Fig. 7 comparison at generation length 128.
         let eval = s1();
         let spec = WorkloadSpec::mtbench();
-        let ml = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 128).unwrap();
-        for baseline in [SystemKind::FlexGen, SystemKind::FlexGenCpuAttention, SystemKind::DeepSpeedZero] {
+        let ml = eval
+            .evaluate(SystemKind::MoeLightningPadded, &spec, 128)
+            .unwrap();
+        for baseline in [
+            SystemKind::FlexGen,
+            SystemKind::FlexGenCpuAttention,
+            SystemKind::DeepSpeedZero,
+        ] {
             let b = eval.evaluate(baseline, &spec, 128).unwrap();
             assert!(
                 ml.throughput > b.throughput,
@@ -240,7 +317,9 @@ mod tests {
     fn unpadded_moe_lightning_beats_padded_variant() {
         let eval = s1();
         let spec = WorkloadSpec::mtbench();
-        let padded = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 64).unwrap();
+        let padded = eval
+            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
+            .unwrap();
         let unpadded = eval.evaluate(SystemKind::MoeLightning, &spec, 64).unwrap();
         assert!(
             unpadded.throughput > padded.throughput,
@@ -254,15 +333,25 @@ mod tests {
     fn workload_shape_depends_on_padding() {
         let eval = s1();
         let spec = WorkloadSpec::mtbench();
-        assert_eq!(eval.workload_shape(SystemKind::MoeLightning, &spec, 32).prompt_len, 77);
-        assert_eq!(eval.workload_shape(SystemKind::FlexGen, &spec, 32).prompt_len, 418);
+        assert_eq!(
+            eval.workload_shape(SystemKind::MoeLightning, &spec, 32)
+                .prompt_len,
+            77
+        );
+        assert_eq!(
+            eval.workload_shape(SystemKind::FlexGen, &spec, 32)
+                .prompt_len,
+            418
+        );
     }
 
     #[test]
     fn evaluation_report_is_internally_consistent() {
         let eval = s1();
         let spec = WorkloadSpec::synthetic_reasoning();
-        let e = eval.evaluate(SystemKind::MoeLightningPadded, &spec, 50).unwrap();
+        let e = eval
+            .evaluate(SystemKind::MoeLightningPadded, &spec, 50)
+            .unwrap();
         assert_eq!(e.report.generated_tokens, e.policy.batch_size * 50);
         assert_eq!(e.report.prompt_tokens, e.policy.batch_size * 256);
         assert!(e.report.prefill_time.as_secs() > 0.0);
@@ -275,8 +364,15 @@ mod tests {
     fn no_feasible_policy_is_reported_for_impossible_nodes() {
         let node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(4.0));
         let eval = SystemEvaluator::new(node, MoeModelConfig::mixtral_8x7b());
-        let err = eval.evaluate(SystemKind::FlexGen, &WorkloadSpec::mtbench(), 32).unwrap_err();
-        assert!(matches!(err, EngineError::NoFeasiblePolicy { system: SystemKind::FlexGen }));
+        let err = eval
+            .evaluate(SystemKind::FlexGen, &WorkloadSpec::mtbench(), 32)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::NoFeasiblePolicy {
+                system: SystemKind::FlexGen
+            }
+        ));
         assert!(err.to_string().contains("FlexGen"));
     }
 
@@ -300,11 +396,58 @@ mod tests {
         let ml = eval
             .evaluate_with_policy(SystemKind::MoeLightningPadded, our_policy, &spec, gen)
             .unwrap();
-        assert!(flexgen_ours.throughput >= flexgen_theirs.throughput * 0.95,
-            "our policy should not hurt FlexGen: {} vs {}", flexgen_ours.throughput, flexgen_theirs.throughput);
-        assert!(ml.throughput > flexgen_ours.throughput,
+        assert!(
+            flexgen_ours.throughput >= flexgen_theirs.throughput * 0.95,
+            "our policy should not hurt FlexGen: {} vs {}",
+            flexgen_ours.throughput,
+            flexgen_theirs.throughput
+        );
+        assert!(
+            ml.throughput > flexgen_ours.throughput,
             "CGOPipe must beat FlexGen's schedule under the same policy: {} vs {}",
-            ml.throughput, flexgen_ours.throughput);
+            ml.throughput,
+            flexgen_ours.throughput
+        );
+    }
+
+    #[test]
+    fn simulated_layers_knob_is_clamped_and_overridable() {
+        let eval = s1();
+        assert_eq!(eval.simulated_layers(), DEFAULT_SIMULATED_LAYERS);
+        let deeper = s1().with_simulated_layers(8);
+        assert_eq!(deeper.simulated_layers(), 8);
+        // More simulated layers shrink the extrapolated prologue share, so the
+        // estimate can only move by a bounded amount.
+        let spec = WorkloadSpec::mtbench();
+        let workload = deeper.workload_shape(SystemKind::MoeLightningPadded, &spec, 64);
+        let policy = deeper
+            .policy_for(SystemKind::MoeLightningPadded, &workload)
+            .unwrap();
+        let coarse = eval
+            .decode_step_latency(ScheduleKind::CgoPipe, &policy, &workload)
+            .unwrap();
+        let fine = deeper
+            .decode_step_latency(ScheduleKind::CgoPipe, &policy, &workload)
+            .unwrap();
+        let rel = (coarse.as_secs() - fine.as_secs()).abs() / fine.as_secs();
+        assert!(
+            rel < 0.35,
+            "extrapolation should be stable: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot simulate")]
+    fn simulated_layers_above_model_depth_panics() {
+        let eval = s1();
+        let depth = eval.model().num_layers;
+        let _ = eval.with_simulated_layers(depth + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_simulated_layers_panics() {
+        let _ = s1().with_simulated_layers(0);
     }
 
     #[test]

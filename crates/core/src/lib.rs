@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod serving;
 pub mod settings;
 pub mod system;
 
 pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
+pub use serving::{RoundReport, ServingReport, ServingSession};
 pub use settings::EvalSetting;
 pub use system::SystemKind;
 

@@ -76,10 +76,22 @@ mod tests {
 
     #[test]
     fn settings_match_table_2() {
-        assert_eq!(EvalSetting::S1.node().total_gpu_memory(), ByteSize::from_gib(16.0));
-        assert_eq!(EvalSetting::S2.node().total_gpu_memory(), ByteSize::from_gib(24.0));
-        assert_eq!(EvalSetting::S6.node().total_gpu_memory(), ByteSize::from_gib(32.0));
-        assert_eq!(EvalSetting::S7.node().total_gpu_memory(), ByteSize::from_gib(64.0));
+        assert_eq!(
+            EvalSetting::S1.node().total_gpu_memory(),
+            ByteSize::from_gib(16.0)
+        );
+        assert_eq!(
+            EvalSetting::S2.node().total_gpu_memory(),
+            ByteSize::from_gib(24.0)
+        );
+        assert_eq!(
+            EvalSetting::S6.node().total_gpu_memory(),
+            ByteSize::from_gib(32.0)
+        );
+        assert_eq!(
+            EvalSetting::S7.node().total_gpu_memory(),
+            ByteSize::from_gib(64.0)
+        );
         assert_eq!(EvalSetting::S8.model().name, "DBRX");
         assert_eq!(EvalSetting::S6.model().name, "Mixtral-8x22B");
         assert_eq!(EvalSetting::S1.model().name, "Mixtral-8x7B");

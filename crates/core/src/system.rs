@@ -69,7 +69,10 @@ impl SystemKind {
 
     /// Whether the system searches policies with the paper's HRM-based optimizer.
     pub fn uses_hrm_optimizer(&self) -> bool {
-        matches!(self, SystemKind::MoeLightning | SystemKind::MoeLightningPadded)
+        matches!(
+            self,
+            SystemKind::MoeLightning | SystemKind::MoeLightningPadded
+        )
     }
 }
 
@@ -86,9 +89,18 @@ mod tests {
     #[test]
     fn schedules_match_system_design() {
         assert_eq!(SystemKind::MoeLightning.schedule(), ScheduleKind::CgoPipe);
-        assert_eq!(SystemKind::FlexGen.schedule(), ScheduleKind::FlexGenGpuAttention);
-        assert_eq!(SystemKind::FlexGenCpuAttention.schedule(), ScheduleKind::FlexGenCpuAttention);
-        assert_eq!(SystemKind::DeepSpeedZero.schedule(), ScheduleKind::LayerStreaming);
+        assert_eq!(
+            SystemKind::FlexGen.schedule(),
+            ScheduleKind::FlexGenGpuAttention
+        );
+        assert_eq!(
+            SystemKind::FlexGenCpuAttention.schedule(),
+            ScheduleKind::FlexGenCpuAttention
+        );
+        assert_eq!(
+            SystemKind::DeepSpeedZero.schedule(),
+            ScheduleKind::LayerStreaming
+        );
     }
 
     #[test]

@@ -284,7 +284,12 @@ mod tests {
 
     #[test]
     fn gpu_faster_than_cpu_in_all_presets() {
-        for gpu in [GpuSpec::t4(), GpuSpec::l4(), GpuSpec::a100_80g(), GpuSpec::a100_40g()] {
+        for gpu in [
+            GpuSpec::t4(),
+            GpuSpec::l4(),
+            GpuSpec::a100_80g(),
+            GpuSpec::a100_40g(),
+        ] {
             for cpu in [CpuSpec::xeon_24core_192gb(), CpuSpec::xeon_32core_416gb()] {
                 assert!(
                     gpu.peak_flops_f16.as_flops_per_sec() > cpu.peak_flops.as_flops_per_sec(),
@@ -293,7 +298,8 @@ mod tests {
                     cpu.name
                 );
                 assert!(
-                    gpu.memory_bandwidth.as_bytes_per_sec() > cpu.memory_bandwidth.as_bytes_per_sec()
+                    gpu.memory_bandwidth.as_bytes_per_sec()
+                        > cpu.memory_bandwidth.as_bytes_per_sec()
                 );
             }
         }

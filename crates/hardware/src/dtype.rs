@@ -9,11 +9,12 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Element data type for model tensors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DType {
     /// 32-bit IEEE-754 float.
     F32,
     /// 16-bit IEEE-754 float (or bfloat16 — same width).
+    #[default]
     F16,
     /// 8-bit integer quantization.
     Int8,
@@ -61,12 +62,6 @@ impl DType {
     }
 }
 
-impl Default for DType {
-    fn default() -> Self {
-        DType::F16
-    }
-}
-
 impl fmt::Display for DType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -106,7 +101,9 @@ impl FromStr for DType {
             "f16" | "float16" | "fp16" | "bf16" | "bfloat16" => Ok(DType::F16),
             "int8" | "i8" | "q8" => Ok(DType::Int8),
             "int4" | "i4" | "q4" => Ok(DType::Int4),
-            _ => Err(ParseDTypeError { input: s.to_owned() }),
+            _ => Err(ParseDTypeError {
+                input: s.to_owned(),
+            }),
         }
     }
 }

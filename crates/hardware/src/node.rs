@@ -30,7 +30,13 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Creates a node with a single GPU and a dedicated link.
     pub fn single_gpu(gpu: GpuSpec, cpu: CpuSpec, link: LinkSpec) -> Self {
-        NodeSpec { gpu, gpu_count: 1, cpu, link, link_contention: 1.0 }
+        NodeSpec {
+            gpu,
+            gpu_count: 1,
+            cpu,
+            link,
+            link_contention: 1.0,
+        }
     }
 
     /// Creates a node with `gpu_count` identical GPUs.
@@ -43,12 +49,22 @@ impl NodeSpec {
         // Multiple accelerators behind one root complex rarely sustain the full sum of
         // their link rates when streaming from the same DRAM pool.
         let link_contention = if gpu_count <= 1 { 1.0 } else { 0.85 };
-        NodeSpec { gpu, gpu_count, cpu, link, link_contention }
+        NodeSpec {
+            gpu,
+            gpu_count,
+            cpu,
+            link,
+            link_contention,
+        }
     }
 
     /// Single T4 GPU node (evaluation setting S1 hardware).
     pub fn t4_single() -> Self {
-        NodeSpec::single_gpu(GpuSpec::t4(), CpuSpec::xeon_24core_192gb(), LinkSpec::pcie_gen3_x16())
+        NodeSpec::single_gpu(
+            GpuSpec::t4(),
+            CpuSpec::xeon_24core_192gb(),
+            LinkSpec::pcie_gen3_x16(),
+        )
     }
 
     /// Single L4 GPU node (evaluation setting S2 hardware; Fig. 3).
@@ -94,17 +110,23 @@ impl NodeSpec {
     /// Aggregate achievable GPU memory bandwidth (tensor parallelism multiplies the
     /// per-GPU bandwidth by the device count).
     pub fn total_gpu_memory_bandwidth(&self) -> Bandwidth {
-        self.gpu.effective_memory_bandwidth().scale(f64::from(self.gpu_count))
+        self.gpu
+            .effective_memory_bandwidth()
+            .scale(f64::from(self.gpu_count))
     }
 
     /// Aggregate achievable f16 compute rate across all GPUs.
     pub fn total_gpu_flops_f16(&self) -> ComputeRate {
-        self.gpu.effective_flops_f16().scale(f64::from(self.gpu_count))
+        self.gpu
+            .effective_flops_f16()
+            .scale(f64::from(self.gpu_count))
     }
 
     /// Aggregate achievable f32 compute rate across all GPUs.
     pub fn total_gpu_flops_f32(&self) -> ComputeRate {
-        self.gpu.effective_flops_f32().scale(f64::from(self.gpu_count))
+        self.gpu
+            .effective_flops_f32()
+            .scale(f64::from(self.gpu_count))
     }
 
     /// Aggregate achievable host-to-device bandwidth, accounting for link contention.
@@ -153,7 +175,11 @@ impl NodeSpec {
         assert!(gpu_count > 0, "a node needs at least one GPU");
         let mut node = self.clone();
         node.gpu_count = gpu_count;
-        node.link_contention = if gpu_count <= 1 { 1.0 } else { self.link_contention.min(0.85) };
+        node.link_contention = if gpu_count <= 1 {
+            1.0
+        } else {
+            self.link_contention.min(0.85)
+        };
         node
     }
 
@@ -201,7 +227,10 @@ mod tests {
         let four = NodeSpec::t4_multi(4);
         let ratio = four.total_h2d_bandwidth().as_bytes_per_sec()
             / one.total_h2d_bandwidth().as_bytes_per_sec();
-        assert!(ratio > 3.0 && ratio < 4.0, "contention should shave the 4x link aggregate, got {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 4.0,
+            "contention should shave the 4x link aggregate, got {ratio}"
+        );
     }
 
     #[test]

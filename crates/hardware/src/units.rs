@@ -29,7 +29,9 @@ const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 /// assert_eq!(gpu_mem.as_bytes(), 16 * 1024 * 1024 * 1024);
 /// assert!((gpu_mem.as_gib() - 16.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -642,8 +644,12 @@ mod tests {
 
     #[test]
     fn division_by_zero_rates_is_infinite_time() {
-        assert!((ByteSize::from_bytes(1) / Bandwidth::ZERO).as_secs().is_infinite());
-        assert!((FlopCount::from_flops(1.0) / ComputeRate::ZERO).as_secs().is_infinite());
+        assert!((ByteSize::from_bytes(1) / Bandwidth::ZERO)
+            .as_secs()
+            .is_infinite());
+        assert!((FlopCount::from_flops(1.0) / ComputeRate::ZERO)
+            .as_secs()
+            .is_infinite());
     }
 
     #[test]
@@ -669,7 +675,10 @@ mod tests {
     fn negative_inputs_clamp_to_zero() {
         assert_eq!(FlopCount::from_flops(-1.0).as_flops(), 0.0);
         assert_eq!(Bandwidth::from_gb_per_sec(-5.0).as_gb_per_sec(), 0.0);
-        assert_eq!(ComputeRate::from_tflops_per_sec(-5.0).as_flops_per_sec(), 0.0);
+        assert_eq!(
+            ComputeRate::from_tflops_per_sec(-5.0).as_flops_per_sec(),
+            0.0
+        );
         assert_eq!(Seconds::from_secs(-5.0).as_secs(), 0.0);
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for HrmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HrmError::UnknownLevel(l) => write!(f, "unknown memory level {l}"),
-            HrmError::SameLevel(l) => write!(f, "cross-level query requires two distinct levels, got {l} twice"),
+            HrmError::SameLevel(l) => write!(
+                f,
+                "cross-level query requires two distinct levels, got {l} twice"
+            ),
         }
     }
 }
@@ -91,7 +94,10 @@ impl HierarchicalRoofline {
             levels.len() - 1,
             "need exactly one cross-level bandwidth per adjacent level pair"
         );
-        HierarchicalRoofline { levels, cross: cross_bandwidths }
+        HierarchicalRoofline {
+            levels,
+            cross: cross_bandwidths,
+        }
     }
 
     /// Builds the two-level GPU/CPU HRM used throughout the paper from a hardware
@@ -149,7 +155,11 @@ impl HierarchicalRoofline {
         if from == to {
             return Err(HrmError::SameLevel(from));
         }
-        let (lo, hi) = if from.0 < to.0 { (from.0, to.0) } else { (to.0, from.0) };
+        let (lo, hi) = if from.0 < to.0 {
+            (from.0, to.0)
+        } else {
+            (to.0, from.0)
+        };
         let min_bw = self.cross[lo..hi]
             .iter()
             .copied()
@@ -163,7 +173,11 @@ impl HierarchicalRoofline {
     /// # Errors
     ///
     /// Returns an error for an unknown level.
-    pub fn attainable_local(&self, level: LevelId, intensity: f64) -> Result<ComputeRate, HrmError> {
+    pub fn attainable_local(
+        &self,
+        level: LevelId,
+        intensity: f64,
+    ) -> Result<ComputeRate, HrmError> {
         Ok(self.level(level)?.roofline().attainable(intensity))
     }
 
@@ -187,7 +201,9 @@ impl HierarchicalRoofline {
         let local = self.attainable_local(exec_level, local_intensity)?;
         let link = self.cross_bandwidth(data_level, exec_level)?;
         let cross_bound = link.as_bytes_per_sec() * cross_intensity.max(0.0);
-        Ok(ComputeRate::from_flops_per_sec(local.as_flops_per_sec().min(cross_bound)))
+        Ok(ComputeRate::from_flops_per_sec(
+            local.as_flops_per_sec().min(cross_bound),
+        ))
     }
 
     /// Turning point **P1** (Eq. 9): the cross-level operational intensity `Ī^j`
@@ -202,7 +218,11 @@ impl HierarchicalRoofline {
     /// # Errors
     ///
     /// Returns an error for unknown or identical levels.
-    pub fn turning_point_p1(&self, exec_level: LevelId, data_level: LevelId) -> Result<f64, HrmError> {
+    pub fn turning_point_p1(
+        &self,
+        exec_level: LevelId,
+        data_level: LevelId,
+    ) -> Result<f64, HrmError> {
         let data = self.level(data_level)?;
         let link = self.cross_bandwidth(data_level, exec_level)?;
         if link.is_zero() {
@@ -372,7 +392,10 @@ mod tests {
         let p1 = hrm.turning_point_p1(hrm.gpu(), hrm.cpu()).unwrap();
         let p2 = hrm.turning_point_p2(hrm.gpu(), hrm.cpu(), 64.0).unwrap();
         assert!(p1 < p2, "P1 ({p1}) must be below P2 ({p2})");
-        assert!(p1 > 10.0 && p1 < 200.0, "P1 should be tens of FLOPs/byte, got {p1}");
+        assert!(
+            p1 > 10.0 && p1 < 200.0,
+            "P1 should be tens of FLOPs/byte, got {p1}"
+        );
     }
 
     #[test]
@@ -390,7 +413,10 @@ mod tests {
         let b1 = hrm.balance_point(hrm.gpu(), hrm.cpu(), 8.0).unwrap();
         let b2 = hrm.balance_point(hrm.gpu(), hrm.cpu(), 16.0).unwrap();
         assert!((b2 / b1 - 2.0).abs() < 1e-9);
-        assert!(b1 > 8.0, "GPU HBM is faster than the link, so balance point exceeds local intensity");
+        assert!(
+            b1 > 8.0,
+            "GPU HBM is faster than the link, so balance point exceeds local intensity"
+        );
     }
 
     #[test]
@@ -425,9 +451,18 @@ mod tests {
             },
         ];
         let hrm = HierarchicalRoofline::new(levels.clone(), vec![Bandwidth::ZERO]);
-        assert!(hrm.turning_point_p1(LevelId(0), LevelId(1)).unwrap().is_infinite());
-        assert!(hrm.turning_point_p2(LevelId(0), LevelId(1), 10.0).unwrap().is_infinite());
-        assert!(hrm.balance_point(LevelId(0), LevelId(1), 10.0).unwrap().is_infinite());
+        assert!(hrm
+            .turning_point_p1(LevelId(0), LevelId(1))
+            .unwrap()
+            .is_infinite());
+        assert!(hrm
+            .turning_point_p2(LevelId(0), LevelId(1), 10.0)
+            .unwrap()
+            .is_infinite());
+        assert!(hrm
+            .balance_point(LevelId(0), LevelId(1), 10.0)
+            .unwrap()
+            .is_infinite());
         // Three-level hierarchy: cross bandwidth across non-adjacent levels is the
         // bottleneck of the path.
         levels.push(MemoryLevel {
@@ -438,7 +473,10 @@ mod tests {
         });
         let hrm3 = HierarchicalRoofline::new(
             levels,
-            vec![Bandwidth::from_gb_per_sec(32.0), Bandwidth::from_gb_per_sec(3.0)],
+            vec![
+                Bandwidth::from_gb_per_sec(32.0),
+                Bandwidth::from_gb_per_sec(3.0),
+            ],
         );
         let path = hrm3.cross_bandwidth(LevelId(2), LevelId(0)).unwrap();
         assert!((path.as_gb_per_sec() - 3.0).abs() < 1e-9);
@@ -458,7 +496,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(HrmError::UnknownLevel(LevelId(3)).to_string().contains("L3"));
-        assert!(HrmError::SameLevel(LevelId(0)).to_string().contains("distinct"));
+        assert!(HrmError::UnknownLevel(LevelId(3))
+            .to_string()
+            .contains("L3"));
+        assert!(HrmError::SameLevel(LevelId(0))
+            .to_string()
+            .contains("distinct"));
     }
 }

@@ -58,7 +58,10 @@ pub struct RooflinePlot {
 impl RooflinePlot {
     /// Adds a vertical marker.
     pub fn add_marker(&mut self, name: impl Into<String>, intensity: f64) {
-        self.markers.push(IntensityMarker { name: name.into(), intensity });
+        self.markers.push(IntensityMarker {
+            name: name.into(),
+            intensity,
+        });
     }
 
     /// Looks up a series by name.
@@ -92,7 +95,9 @@ pub fn hrm_plot(
     let grid = log_space(intensity_lo, intensity_hi, samples);
 
     let ramp = |bw_bytes_per_sec: f64| -> Vec<(f64, f64)> {
-        grid.iter().map(|&i| (i, bw_bytes_per_sec * i / 1e9)).collect()
+        grid.iter()
+            .map(|&i| (i, bw_bytes_per_sec * i / 1e9))
+            .collect()
     };
     let flat = |flops_per_sec: f64| -> Vec<(f64, f64)> {
         grid.iter().map(|&i| (i, flops_per_sec / 1e9)).collect()
@@ -121,7 +126,11 @@ pub fn hrm_plot(
         },
     ];
 
-    Ok(RooflinePlot { title: title.into(), series, markers: Vec::new() })
+    Ok(RooflinePlot {
+        title: title.into(),
+        series,
+        markers: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +160,10 @@ mod tests {
         let hi = roof.points.last().unwrap();
         let slope_lo = lo.1 / lo.0;
         let slope_hi = hi.1 / hi.0;
-        assert!((slope_lo - slope_hi).abs() / slope_lo < 1e-9, "memory roof must be a line through the origin");
+        assert!(
+            (slope_lo - slope_hi).abs() / slope_lo < 1e-9,
+            "memory roof must be a line through the origin"
+        );
     }
 
     #[test]
@@ -176,10 +188,16 @@ mod tests {
 
     #[test]
     fn value_near_picks_closest_sample() {
-        let s = RoofSeries { name: "x".into(), points: vec![(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)] };
+        let s = RoofSeries {
+            name: "x".into(),
+            points: vec![(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)],
+        };
         assert_eq!(s.value_near(1.9), Some(20.0));
         assert_eq!(s.value_near(100.0), Some(40.0));
-        let empty = RoofSeries { name: "e".into(), points: vec![] };
+        let empty = RoofSeries {
+            name: "e".into(),
+            points: vec![],
+        };
         assert_eq!(empty.value_near(1.0), None);
     }
 

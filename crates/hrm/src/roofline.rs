@@ -35,7 +35,10 @@ pub enum BoundKind {
 impl Roofline {
     /// Creates a roofline from a peak compute rate and bandwidth.
     pub fn new(peak_compute: ComputeRate, peak_bandwidth: Bandwidth) -> Self {
-        Roofline { peak_compute, peak_bandwidth }
+        Roofline {
+            peak_compute,
+            peak_bandwidth,
+        }
     }
 
     /// Attainable performance (FLOPs/s) at operational intensity `intensity`
@@ -133,7 +136,11 @@ mod tests {
         let r = roof();
         assert_eq!(r.attainable(500.0).as_tflops_per_sec(), 100.0);
         assert_eq!(r.bound_kind(500.0), BoundKind::ComputeBound);
-        assert_eq!(r.bound_kind(100.0), BoundKind::ComputeBound, "ridge itself is compute bound");
+        assert_eq!(
+            r.bound_kind(100.0),
+            BoundKind::ComputeBound,
+            "ridge itself is compute bound"
+        );
     }
 
     #[test]

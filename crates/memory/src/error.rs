@@ -46,7 +46,11 @@ pub enum MemoryError {
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryError::OutOfMemory { pool, requested, available } => write!(
+            MemoryError::OutOfMemory {
+                pool,
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of memory in pool `{pool}`: requested {requested}, only {available} available"
             ),

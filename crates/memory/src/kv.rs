@@ -56,7 +56,12 @@ impl PagedKvCache {
     /// Panics if `block_tokens` is zero.
     pub fn new(pool: MemoryPool, block_tokens: u64, bytes_per_token: ByteSize) -> Self {
         assert!(block_tokens > 0, "block size must be at least one token");
-        PagedKvCache { pool, block_tokens, bytes_per_token, sequences: HashMap::new() }
+        PagedKvCache {
+            pool,
+            block_tokens,
+            bytes_per_token,
+            sequences: HashMap::new(),
+        }
     }
 
     /// Bytes of one block.
@@ -105,7 +110,13 @@ impl PagedKvCache {
                 }
             }
         }
-        self.sequences.insert(id, SequenceState { tokens: initial_tokens, blocks });
+        self.sequences.insert(
+            id,
+            SequenceState {
+                tokens: initial_tokens,
+                blocks,
+            },
+        );
         Ok(())
     }
 
@@ -218,12 +229,20 @@ mod tests {
         kv.add_sequence(SequenceId(7), 4).unwrap();
         assert_eq!(kv.stats().blocks, 1);
         kv.append_token(SequenceId(7)).unwrap();
-        assert_eq!(kv.stats().blocks, 2, "fifth token spills into a second block");
+        assert_eq!(
+            kv.stats().blocks,
+            2,
+            "fifth token spills into a second block"
+        );
         assert_eq!(kv.sequence_tokens(SequenceId(7)).unwrap(), 5);
         for _ in 0..3 {
             kv.append_token(SequenceId(7)).unwrap();
         }
-        assert_eq!(kv.stats().blocks, 2, "block is filled before allocating another");
+        assert_eq!(
+            kv.stats().blocks,
+            2,
+            "block is filled before allocating another"
+        );
     }
 
     #[test]
@@ -249,7 +268,10 @@ mod tests {
         assert!(pool.used().is_zero(), "failed registration must roll back");
         // 3 blocks fit.
         kv.add_sequence(SequenceId(2), 48).unwrap();
-        assert!(kv.append_token(SequenceId(2)).is_err(), "no room for a fourth block");
+        assert!(
+            kv.append_token(SequenceId(2)).is_err(),
+            "no room for a fourth block"
+        );
     }
 
     #[test]

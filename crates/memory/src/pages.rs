@@ -94,7 +94,13 @@ impl PageTable {
             self.next_id += 1;
             self.pages.insert(
                 id,
-                WeightPage { id, layer, index, size, location: PageLocation::CpuDram },
+                WeightPage {
+                    id,
+                    layer,
+                    index,
+                    size,
+                    location: PageLocation::CpuDram,
+                },
             );
             ids.push(id);
         }
@@ -124,7 +130,9 @@ impl PageTable {
 
     /// Updates a page's location. Returns the previous location.
     pub fn set_location(&mut self, id: PageId, location: PageLocation) -> Option<PageLocation> {
-        self.pages.get_mut(&id).map(|p| std::mem::replace(&mut p.location, location))
+        self.pages
+            .get_mut(&id)
+            .map(|p| std::mem::replace(&mut p.location, location))
     }
 
     /// Total bytes of a layer's pages currently at `location`.
@@ -204,8 +212,14 @@ mod tests {
         assert!(table.layer_pages(7).is_empty());
 
         // Everything starts in CPU DRAM.
-        assert_eq!(table.layer_bytes_at(0, PageLocation::CpuDram), ByteSize::from_mib(100.0));
-        assert_eq!(table.layer_bytes_at(0, PageLocation::GpuHbm), ByteSize::ZERO);
+        assert_eq!(
+            table.layer_bytes_at(0, PageLocation::CpuDram),
+            ByteSize::from_mib(100.0)
+        );
+        assert_eq!(
+            table.layer_bytes_at(0, PageLocation::GpuHbm),
+            ByteSize::ZERO
+        );
 
         // Move one page to the GPU.
         let prev = table.set_location(l0[0], PageLocation::GpuHbm).unwrap();
@@ -218,7 +232,9 @@ mod tests {
     #[test]
     fn set_location_on_unknown_page_returns_none() {
         let mut table = PageTable::new();
-        assert!(table.set_location(PageId(99), PageLocation::GpuHbm).is_none());
+        assert!(table
+            .set_location(PageId(99), PageLocation::GpuHbm)
+            .is_none());
         assert!(table.page(PageId(99)).is_none());
     }
 

@@ -171,7 +171,11 @@ mod tests {
         p.allocate(ByteSize::from_mib(900.0)).unwrap();
         let err = p.allocate(ByteSize::from_mib(200.0)).unwrap_err();
         match err {
-            MemoryError::OutOfMemory { requested, available, .. } => {
+            MemoryError::OutOfMemory {
+                requested,
+                available,
+                ..
+            } => {
                 assert_eq!(requested, ByteSize::from_mib(200.0));
                 assert_eq!(available, ByteSize::from_mib(124.0));
             }
@@ -186,7 +190,10 @@ mod tests {
         let p = pool(1.0);
         let a = p.allocate(ByteSize::from_mib(1.0)).unwrap();
         p.free(a).unwrap();
-        assert!(matches!(p.free(a), Err(MemoryError::UnknownAllocation { .. })));
+        assert!(matches!(
+            p.free(a),
+            Err(MemoryError::UnknownAllocation { .. })
+        ));
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl BufferSlot {
 
     /// Slot used for `layer` under the alternating assignment.
     pub fn for_layer(layer: usize) -> BufferSlot {
-        if layer % 2 == 0 {
+        if layer.is_multiple_of(2) {
             BufferSlot::A
         } else {
             BufferSlot::B
@@ -70,7 +70,8 @@ pub struct WeightLayout {
 impl WeightLayout {
     /// Bytes of one layer placed statically on the GPU.
     pub fn static_bytes_per_layer(&self) -> ByteSize {
-        self.layer_bytes.scale(self.gpu_static_fraction.clamp(0.0, 1.0))
+        self.layer_bytes
+            .scale(self.gpu_static_fraction.clamp(0.0, 1.0))
     }
 
     /// Bytes of one layer streamed from the CPU (`W_L` in Appendix A.1).
@@ -131,7 +132,9 @@ impl PagedWeightStore {
         cpu_pool: MemoryPool,
         pinned_pool: MemoryPool,
     ) -> Result<Self, MemoryError> {
-        layout.validate().map_err(|message| MemoryError::InvalidState { message })?;
+        layout
+            .validate()
+            .map_err(|message| MemoryError::InvalidState { message })?;
 
         let mut table = PageTable::new();
         for _ in 0..layout.num_layers {
@@ -211,7 +214,10 @@ impl PagedWeightStore {
 
         let mut transfers = Vec::with_capacity(self.layout.pages_per_layer * 2);
         for &page_id in self.table.layer_pages(layer) {
-            let page = self.table.page(page_id).ok_or(MemoryError::UnknownPage { page: page_id.0 })?;
+            let page = self
+                .table
+                .page(page_id)
+                .ok_or(MemoryError::UnknownPage { page: page_id.0 })?;
             if page.location == PageLocation::GpuHbm || page.size.is_zero() {
                 continue; // already resident (or nothing to move for a fully static layout)
             }
@@ -238,11 +244,13 @@ impl PagedWeightStore {
     /// Returns an error if the page is unknown or the hop does not match the page's
     /// current location (protocol violation).
     pub fn complete_transfer(&mut self, transfer: &PageTransfer) -> Result<(), MemoryError> {
-        let location = self
-            .table
-            .page(transfer.page)
-            .map(|p| p.location)
-            .ok_or(MemoryError::UnknownPage { page: transfer.page.0 })?;
+        let location =
+            self.table
+                .page(transfer.page)
+                .map(|p| p.location)
+                .ok_or(MemoryError::UnknownPage {
+                    page: transfer.page.0,
+                })?;
         if location != transfer.from {
             return Err(MemoryError::InvalidState {
                 message: format!(
@@ -333,18 +341,28 @@ mod tests {
         assert_eq!(l.static_bytes_per_layer(), ByteSize::from_mib(256.0));
         assert_eq!(l.streamed_bytes_per_layer(), ByteSize::from_mib(768.0));
         assert!(l.validate().is_ok());
-        let bad = WeightLayout { gpu_static_fraction: 1.5, ..l };
+        let bad = WeightLayout {
+            gpu_static_fraction: 1.5,
+            ..l
+        };
         assert!(bad.validate().is_err());
-        let bad = WeightLayout { pages_per_layer: 0, ..layout() };
+        let bad = WeightLayout {
+            pages_per_layer: 0,
+            ..layout()
+        };
         assert!(bad.validate().is_err());
-        let bad = WeightLayout { num_layers: 0, ..layout() };
+        let bad = WeightLayout {
+            num_layers: 0,
+            ..layout()
+        };
         assert!(bad.validate().is_err());
     }
 
     #[test]
     fn construction_accounts_gpu_and_cpu_memory() {
         let (gpu, cpu, pinned) = pools();
-        let store = PagedWeightStore::new(layout(), gpu.clone(), cpu.clone(), pinned.clone()).unwrap();
+        let store =
+            PagedWeightStore::new(layout(), gpu.clone(), cpu.clone(), pinned.clone()).unwrap();
         // GPU: 4 layers × 256 MiB static + 2 × 768 MiB buffer = 2560 MiB.
         assert_eq!(gpu.used(), ByteSize::from_mib(2560.0));
         assert_eq!(store.gpu_resident_bytes(), ByteSize::from_mib(2560.0));
@@ -406,7 +424,10 @@ mod tests {
         }
         store.release_layer(0).unwrap();
         assert!(!store.layer_ready(0));
-        assert!(store.release_layer(0).is_err(), "double release is a protocol violation");
+        assert!(
+            store.release_layer(0).is_err(),
+            "double release is a protocol violation"
+        );
         assert!(store.release_layer(9).is_err());
     }
 
@@ -444,7 +465,10 @@ mod tests {
     #[test]
     fn full_gpu_static_fraction_means_no_transfers() {
         let (gpu, cpu, pinned) = pools();
-        let l = WeightLayout { gpu_static_fraction: 1.0, ..layout() };
+        let l = WeightLayout {
+            gpu_static_fraction: 1.0,
+            ..layout()
+        };
         let mut store = PagedWeightStore::new(l, gpu, cpu, pinned).unwrap();
         let transfers = store.plan_layer_prefetch(0, BufferSlot::A).unwrap();
         assert!(transfers.is_empty());

@@ -115,12 +115,18 @@ impl MoeModelConfig {
     /// Returns a copy with a different KV-cache data type (e.g. int4 quantization,
     /// compared in Fig. 4 of the paper).
     pub fn with_kv_dtype(&self, dtype: DType) -> MoeModelConfig {
-        MoeModelConfig { kv_dtype: dtype, ..self.clone() }
+        MoeModelConfig {
+            kv_dtype: dtype,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different weight data type.
     pub fn with_weight_dtype(&self, dtype: DType) -> MoeModelConfig {
-        MoeModelConfig { weight_dtype: dtype, ..self.clone() }
+        MoeModelConfig {
+            weight_dtype: dtype,
+            ..self.clone()
+        }
     }
 
     // --- parameter counts -------------------------------------------------------
@@ -181,7 +187,10 @@ impl MoeModelConfig {
 
     /// Bytes of the attention weights of one layer.
     pub fn attention_weight_bytes(&self) -> ByteSize {
-        ByteSize::from_bytes(self.weight_dtype.bytes_for(self.attention_params_per_layer()))
+        ByteSize::from_bytes(
+            self.weight_dtype
+                .bytes_for(self.attention_params_per_layer()),
+        )
     }
 
     /// Bytes of one expert's weights.
@@ -223,7 +232,10 @@ impl MoeModelConfig {
 
     /// Bytes of the hidden-state activations for `tokens` tokens (one layer boundary).
     pub fn hidden_state_bytes(&self, tokens: u64) -> ByteSize {
-        ByteSize::from_bytes(self.weight_dtype.bytes_for(tokens * u64::from(self.d_model)))
+        ByteSize::from_bytes(
+            self.weight_dtype
+                .bytes_for(tokens * u64::from(self.d_model)),
+        )
     }
 
     /// Bytes of the Q, K and V projections for `tokens` tokens, i.e. the intermediate
@@ -240,7 +252,10 @@ impl MoeModelConfig {
     ///
     /// Panics if the configuration has zero KV heads.
     pub fn gqa_group_size(&self) -> u32 {
-        assert!(self.num_kv_heads > 0, "model must have at least one KV head");
+        assert!(
+            self.num_kv_heads > 0,
+            "model must have at least one KV head"
+        );
         self.num_q_heads / self.num_kv_heads
     }
 
@@ -256,7 +271,7 @@ impl MoeModelConfig {
         if self.num_kv_heads == 0 || self.num_q_heads == 0 {
             return Err("head counts must be positive".to_owned());
         }
-        if self.num_q_heads % self.num_kv_heads != 0 {
+        if !self.num_q_heads.is_multiple_of(self.num_kv_heads) {
             return Err(format!(
                 "query heads ({}) must be a multiple of KV heads ({})",
                 self.num_q_heads, self.num_kv_heads
@@ -287,7 +302,8 @@ mod tests {
             MoeModelConfig::dbrx(),
             MoeModelConfig::tiny(),
         ] {
-            cfg.validate().expect("preset must be internally consistent");
+            cfg.validate()
+                .expect("preset must be internally consistent");
         }
     }
 
@@ -318,7 +334,10 @@ mod tests {
         let active = (cfg.active_params_per_layer() * u64::from(cfg.num_layers)
             + cfg.embedding_params()) as f64
             / 1e9;
-        assert!((12.0..14.0).contains(&active), "got {active} B active params");
+        assert!(
+            (12.0..14.0).contains(&active),
+            "got {active} B active params"
+        );
     }
 
     #[test]
@@ -326,8 +345,7 @@ mod tests {
         // The paper's intro quotes >256 GB for the 8x22B expert FFN weights; with f16
         // that is ~270 GB of parameters at 2 bytes => check the parameter count.
         let cfg = MoeModelConfig::mixtral_8x22b();
-        let expert_bytes =
-            cfg.expert_weight_bytes_per_layer().as_gib() * f64::from(cfg.num_layers);
+        let expert_bytes = cfg.expert_weight_bytes_per_layer().as_gib() * f64::from(cfg.num_layers);
         assert!(expert_bytes > 250.0, "expert FFN only {expert_bytes} GiB");
     }
 
@@ -354,7 +372,10 @@ mod tests {
         let cfg = MoeModelConfig::mixtral_8x7b();
         let ratio = cfg.expert_weight_bytes_per_layer().as_bytes() as f64
             / cfg.layer_weight_bytes().as_bytes() as f64;
-        assert!(ratio > 0.9, "experts should dominate layer weights, got {ratio}");
+        assert!(
+            ratio > 0.9,
+            "experts should dominate layer weights, got {ratio}"
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ mod proptests {
         fn expected_experts_touched_is_bounded(tokens in 0u64..100_000) {
             let ops = LayerOps::new(MoeModelConfig::dbrx());
             let e = ops.expected_experts_touched(tokens);
-            prop_assert!(e >= 0.0 && e <= 16.0 + 1e-9);
+            prop_assert!((0.0..=16.0 + 1e-9).contains(&e));
             if tokens >= 1 {
                 prop_assert!(e >= 4.0 - 1e-9, "at least top_k experts touched");
             }

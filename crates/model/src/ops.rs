@@ -180,9 +180,8 @@ impl LayerOps {
     /// grow with micro-batch size (Fig. 5 of the paper).
     pub fn moe_ffn(&self, tokens: u64) -> OpCost {
         let per_expert = self.cfg.params_per_expert();
-        let flops =
-            2.0 * (tokens as f64) * f64::from(self.cfg.top_k) * per_expert as f64
-                + 3.0 * (tokens as f64) * f64::from(self.cfg.top_k) * f64::from(self.cfg.d_ff);
+        let flops = 2.0 * (tokens as f64) * f64::from(self.cfg.top_k) * per_expert as f64
+            + 3.0 * (tokens as f64) * f64::from(self.cfg.top_k) * f64::from(self.cfg.d_ff);
         let experts_touched = self.expected_experts_touched(tokens);
         let weight_bytes = ByteSize::from_bytes(
             (self.cfg.weight_dtype.bytes_for(per_expert) as f64 * experts_touched).round() as u64,
@@ -243,7 +242,11 @@ impl LayerOps {
     /// on GPU with weights held in CPU memory.
     pub fn ffn_weight_bytes(&self) -> ByteSize {
         self.cfg.expert_weight_bytes_per_layer()
-            + ByteSize::from_bytes(self.cfg.weight_dtype.bytes_for(self.cfg.router_params_per_layer()))
+            + ByteSize::from_bytes(
+                self.cfg
+                    .weight_dtype
+                    .bytes_for(self.cfg.router_params_per_layer()),
+            )
     }
 
     /// Bytes of attention weights (QKVO projections) of one layer.
@@ -267,7 +270,10 @@ mod tests {
         let i1 = ops.attention_core_decode(1, 512).operational_intensity();
         let i64 = ops.attention_core_decode(64, 512).operational_intensity();
         let rel = (i1 - i64).abs() / i1;
-        assert!(rel < 1e-9, "attention intensity must not depend on batch: {i1} vs {i64}");
+        assert!(
+            rel < 1e-9,
+            "attention intensity must not depend on batch: {i1} vs {i64}"
+        );
     }
 
     #[test]
@@ -276,7 +282,10 @@ mod tests {
         // 4·g·ctx·hd / (2·ctx·hd·2) = g per byte-pair ≈ 2·g / bytes_per_elem = 4.
         let ops = mixtral_ops();
         let i = ops.attention_core_decode(1, 4096).operational_intensity();
-        assert!((3.0..6.0).contains(&i), "f16 GQA intensity should be ≈4, got {i}");
+        assert!(
+            (3.0..6.0).contains(&i),
+            "f16 GQA intensity should be ≈4, got {i}"
+        );
     }
 
     #[test]
@@ -294,7 +303,10 @@ mod tests {
         let ops = mixtral_ops();
         let small = ops.moe_ffn(8).operational_intensity();
         let large = ops.moe_ffn(512).operational_intensity();
-        assert!(large > 4.0 * small, "FFN intensity must grow with batch: {small} -> {large}");
+        assert!(
+            large > 4.0 * small,
+            "FFN intensity must grow with batch: {small} -> {large}"
+        );
     }
 
     #[test]
@@ -310,7 +322,10 @@ mod tests {
         let ops = mixtral_ops();
         assert_eq!(ops.expected_experts_touched(0), 0.0);
         let one = ops.expected_experts_touched(1);
-        assert!((one - 2.0).abs() < 1e-9, "one token touches top_k experts, got {one}");
+        assert!(
+            (one - 2.0).abs() < 1e-9,
+            "one token touches top_k experts, got {one}"
+        );
         let many = ops.expected_experts_touched(10_000);
         assert!((many - 8.0).abs() < 1e-6);
         assert!(ops.expected_experts_touched(4) < ops.expected_experts_touched(16));
@@ -344,7 +359,10 @@ mod tests {
         };
         let f512 = ops.prefill_layer(1, 512).flops.as_flops() - linear_part(512);
         let f1024 = ops.prefill_layer(1, 1024).flops.as_flops() - linear_part(1024);
-        assert!(f1024 > 3.5 * f512, "attention term should be quadratic: {f512} -> {f1024}");
+        assert!(
+            f1024 > 3.5 * f512,
+            "attention term should be quadratic: {f512} -> {f1024}"
+        );
     }
 
     #[test]

@@ -12,6 +12,9 @@ use moe_tensor::attention::gqa_attention_decode;
 use moe_tensor::ops::{matvec, rms_norm, silu, softmax_inplace, top_k};
 use moe_tensor::{Tensor, TensorError};
 
+/// The `(q, k, v)` projection vectors of one token.
+pub type QkvVectors = (Vec<f32>, Vec<f32>, Vec<f32>);
+
 /// Weights of a single SwiGLU expert FFN.
 #[derive(Debug, Clone)]
 pub struct ExpertWeights {
@@ -110,7 +113,7 @@ impl LayerWeights {
     /// # Errors
     ///
     /// Propagates tensor shape errors.
-    pub fn pre_attention(&self, hidden: &[f32]) -> Result<(Vec<f32>, Vec<f32>, Vec<f32>), TensorError> {
+    pub fn pre_attention(&self, hidden: &[f32]) -> Result<QkvVectors, TensorError> {
         let d = hidden.len();
         let x = Tensor::from_vec(&[1, d], hidden.to_vec())?;
         let x_norm = rms_norm(&x, &self.attn_norm, 1e-6)?;
@@ -154,7 +157,11 @@ impl LayerWeights {
                 *acc += weight * val;
             }
         }
-        Ok(after_attn.iter().zip(&ffn_out).map(|(a, f)| a + f).collect())
+        Ok(after_attn
+            .iter()
+            .zip(&ffn_out)
+            .map(|(a, f)| a + f)
+            .collect())
     }
 
     /// Attention phase (the CPU task `B` of CGOPipe): appends the new token's K/V to
@@ -193,9 +200,18 @@ impl LayerWeights {
             wv: Tensor::randn(&[d, kvd], std, seed.wrapping_mul(31).wrapping_add(3)),
             wo: Tensor::randn(&[qd, d], std, seed.wrapping_mul(31).wrapping_add(4)),
             ffn_norm: vec![1.0; d],
-            router: Tensor::randn(&[d, cfg.num_experts as usize], 0.5, seed.wrapping_mul(31).wrapping_add(5)),
+            router: Tensor::randn(
+                &[d, cfg.num_experts as usize],
+                0.5,
+                seed.wrapping_mul(31).wrapping_add(5),
+            ),
             experts: (0..cfg.num_experts)
-                .map(|e| ExpertWeights::random(cfg, seed.wrapping_mul(131).wrapping_add(u64::from(e) * 7)))
+                .map(|e| {
+                    ExpertWeights::random(
+                        cfg,
+                        seed.wrapping_mul(131).wrapping_add(u64::from(e) * 7),
+                    )
+                })
                 .collect(),
         }
     }
@@ -278,7 +294,10 @@ impl LayerKvCache {
             v_data.extend_from_slice(&self.v[h]);
         }
         let shape = [self.num_kv_heads, self.len, self.head_dim];
-        Ok((Tensor::from_vec(&shape, k_data)?, Tensor::from_vec(&shape, v_data)?))
+        Ok((
+            Tensor::from_vec(&shape, k_data)?,
+            Tensor::from_vec(&shape, v_data)?,
+        ))
     }
 }
 
@@ -374,7 +393,9 @@ impl ReferenceMoeModel {
     pub fn route(&self, layer: &LayerWeights, x: &[f32]) -> Result<RoutingDecision, TensorError> {
         let mut logits = matvec(&transpose(&layer.router)?, x)?;
         softmax_inplace(&mut logits);
-        Ok(RoutingDecision { experts: top_k_experts(&logits, self.cfg.top_k as usize)? })
+        Ok(RoutingDecision {
+            experts: top_k_experts(&logits, self.cfg.top_k as usize)?,
+        })
     }
 
     /// Runs one decoder layer for a single token of a single sequence, appending to
@@ -474,7 +495,16 @@ pub fn top_k_experts(scores: &[f32], k: usize) -> Result<Vec<(usize, f32)>, Tens
     let total: f32 = selected.iter().map(|(_, w)| *w).sum();
     Ok(selected
         .into_iter()
-        .map(|(i, w)| (i, if total > 0.0 { w / total } else { 1.0 / k as f32 }))
+        .map(|(i, w)| {
+            (
+                i,
+                if total > 0.0 {
+                    w / total
+                } else {
+                    1.0 / k as f32
+                },
+            )
+        })
         .collect())
 }
 
@@ -607,7 +637,10 @@ mod tests {
     fn expert_forward_validates_input_length() {
         let m = tiny_model();
         assert!(m.layers[0].experts[0].forward(&[0.0; 3]).is_err());
-        assert_eq!(m.layers[0].experts[0].forward(&[0.1; 32]).unwrap().len(), 32);
+        assert_eq!(
+            m.layers[0].experts[0].forward(&[0.1; 32]).unwrap().len(),
+            32
+        );
     }
 
     #[test]

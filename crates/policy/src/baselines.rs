@@ -65,12 +65,17 @@ impl FlexGenPolicy {
         // activations fit the GPU, scaled down relative to MoE-Lightning because
         // FlexGen also stages KV blocks for the next micro-batch in GPU memory.
         let mut micro = 1u64;
-        for candidate in [1u64, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256] {
-            let p = Policy { batch_size: candidate, micro_batch_size: candidate, ..template };
+        for candidate in [
+            1u64, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+        ] {
+            let p = Policy {
+                batch_size: candidate,
+                micro_batch_size: candidate,
+                ..template
+            };
             // Reserve room for the prefetched KV blocks of one micro-batch by
             // inflating the activation check with the KV bytes of that micro-batch.
-            let kv_extra = self
-                .capacity_kv_bytes(candidate, workload);
+            let kv_extra = self.capacity_kv_bytes(candidate, workload);
             if self.fits_with_extra_gpu(&p, workload, kv_extra) {
                 micro = candidate;
             }
@@ -78,9 +83,18 @@ impl FlexGenPolicy {
 
         // Batch: as many micro-batches as CPU memory allows (FlexGen's "process as
         // many requests as possible" strategy).
-        let template = Policy { micro_batch_size: micro, batch_size: micro, ..template };
-        let batch = self.capacity.max_feasible_batch(&template, workload, micro * 4096)?;
-        Some(Policy { batch_size: batch, ..template })
+        let template = Policy {
+            micro_batch_size: micro,
+            batch_size: micro,
+            ..template
+        };
+        let batch = self
+            .capacity
+            .max_feasible_batch(&template, workload, micro * 4096)?;
+        Some(Policy {
+            batch_size: batch,
+            ..template
+        })
     }
 
     fn capacity_kv_bytes(&self, micro: u64, workload: &WorkloadShape) -> ByteSize {
@@ -88,7 +102,12 @@ impl FlexGenPolicy {
         self.model.kv_bytes_per_token_per_layer() * micro * workload.max_context()
     }
 
-    fn fits_with_extra_gpu(&self, policy: &Policy, workload: &WorkloadShape, extra: ByteSize) -> bool {
+    fn fits_with_extra_gpu(
+        &self,
+        policy: &Policy,
+        workload: &WorkloadShape,
+        extra: ByteSize,
+    ) -> bool {
         let req = self.capacity.requirement(policy, workload);
         req.gpu_total() + extra * 2 <= self.capacity.node().total_gpu_memory()
             && req.cpu_total() <= self.capacity.node().cpu_memory()
@@ -106,7 +125,9 @@ pub struct DeepSpeedPolicy {
 impl DeepSpeedPolicy {
     /// Creates a generator.
     pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
-        DeepSpeedPolicy { capacity: CapacityModel::new(node, model) }
+        DeepSpeedPolicy {
+            capacity: CapacityModel::new(node, model),
+        }
     }
 
     /// Generates the policy for a workload: `N = μ`, both as large as GPU memory
@@ -115,7 +136,9 @@ impl DeepSpeedPolicy {
     /// Returns `None` if not even a single-request batch fits.
     pub fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
         let mut best = None;
-        for candidate in [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 102, 128, 156, 192, 256, 384, 512] {
+        for candidate in [
+            1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 102, 128, 156, 192, 256, 384, 512,
+        ] {
             let policy = Policy {
                 batch_size: candidate,
                 micro_batch_size: candidate,
@@ -144,20 +167,32 @@ mod tests {
     fn flexgen_uses_gpu_attention_and_large_batches() {
         let (node, model) = s1();
         let gen = FlexGenPolicy::new(node, model);
-        let policy = gen.generate(&WorkloadShape::new(418, 128)).expect("feasible");
+        let policy = gen
+            .generate(&WorkloadShape::new(418, 128))
+            .expect("feasible");
         assert!(policy.attention_on_gpu);
         assert!(policy.ffn_on_gpu);
         assert_eq!(policy.weights_gpu_ratio, 0.0);
-        assert!(policy.num_micro_batches() >= 4, "FlexGen amortizes with many micro-batches: {policy}");
-        assert!(policy.batch_size >= 1024, "FlexGen fills CPU memory with requests: {policy}");
+        assert!(
+            policy.num_micro_batches() >= 4,
+            "FlexGen amortizes with many micro-batches: {policy}"
+        );
+        assert!(
+            policy.batch_size >= 1024,
+            "FlexGen fills CPU memory with requests: {policy}"
+        );
     }
 
     #[test]
     fn flexgen_c_differs_only_in_attention_placement() {
         let (node, model) = s1();
         let w = WorkloadShape::new(418, 128);
-        let gpu_attn = FlexGenPolicy::new(node.clone(), model.clone()).generate(&w).unwrap();
-        let cpu_attn = FlexGenPolicy::with_cpu_attention(node, model).generate(&w).unwrap();
+        let gpu_attn = FlexGenPolicy::new(node.clone(), model.clone())
+            .generate(&w)
+            .unwrap();
+        let cpu_attn = FlexGenPolicy::with_cpu_attention(node, model)
+            .generate(&w)
+            .unwrap();
         assert!(gpu_attn.attention_on_gpu);
         assert!(!cpu_attn.attention_on_gpu);
     }
@@ -166,11 +201,16 @@ mod tests {
     fn deepspeed_uses_single_micro_batch() {
         let (node, model) = s1();
         let gen = DeepSpeedPolicy::new(node, model);
-        let policy = gen.generate(&WorkloadShape::new(242, 50)).expect("feasible");
+        let policy = gen
+            .generate(&WorkloadShape::new(242, 50))
+            .expect("feasible");
         assert_eq!(policy.num_micro_batches(), 1, "{policy}");
         assert!(policy.attention_on_gpu);
         assert_eq!(policy.kv_gpu_ratio, 1.0);
-        assert!(policy.batch_size >= 32, "DeepSpeed fills GPU memory: {policy}");
+        assert!(
+            policy.batch_size >= 32,
+            "DeepSpeed fills GPU memory: {policy}"
+        );
     }
 
     #[test]
@@ -189,7 +229,9 @@ mod tests {
         assert!(FlexGenPolicy::new(node.clone(), model.clone())
             .generate(&WorkloadShape::new(128, 32))
             .is_none());
-        assert!(DeepSpeedPolicy::new(node, model).generate(&WorkloadShape::new(128, 32)).is_none());
+        assert!(DeepSpeedPolicy::new(node, model)
+            .generate(&WorkloadShape::new(128, 32))
+            .is_none());
     }
 
     #[test]
@@ -203,7 +245,9 @@ mod tests {
         )
         .generate(&w)
         .unwrap();
-        let large = FlexGenPolicy::new(NodeSpec::t4_single(), model).generate(&w).unwrap();
+        let large = FlexGenPolicy::new(NodeSpec::t4_single(), model)
+            .generate(&w)
+            .unwrap();
         assert!(large.batch_size > small.batch_size);
     }
 }

@@ -81,8 +81,7 @@ impl CapacityModel {
         let gpu_weight_buffer = streamed_per_layer * 2;
 
         // KV cache for the whole batch at the maximum context length.
-        let kv_total =
-            m.kv_bytes_per_token() * policy.batch_size * workload.max_context();
+        let kv_total = m.kv_bytes_per_token() * policy.batch_size * workload.max_context();
         let gpu_kv_cache = kv_total.scale(rc);
         let cpu_kv_cache = kv_total.scale(1.0 - rc);
 
@@ -135,7 +134,10 @@ impl CapacityModel {
         let mut best = None;
         let mut n = mu;
         while n <= limit {
-            let candidate = Policy { batch_size: n, ..*template };
+            let candidate = Policy {
+                batch_size: n,
+                ..*template
+            };
             if self.is_feasible(&candidate, workload) {
                 best = Some(n);
             } else {
@@ -175,7 +177,12 @@ mod tests {
         let cap = s1();
         let p = Policy::offload_default(504, 36);
         let req = cap.requirement(&p, &mtbench());
-        assert!(cap.is_feasible(&p, &mtbench()), "requirement: GPU {} CPU {}", req.gpu_total(), req.cpu_total());
+        assert!(
+            cap.is_feasible(&p, &mtbench()),
+            "requirement: GPU {} CPU {}",
+            req.gpu_total(),
+            req.cpu_total()
+        );
         assert!(req.gpu_total() < ByteSize::from_gib(16.0));
         assert!(req.cpu_total() < ByteSize::from_gib(192.0));
     }
@@ -183,9 +190,18 @@ mod tests {
     #[test]
     fn gpu_requirement_grows_with_micro_batch_and_prompt() {
         let cap = s1();
-        let small = cap.requirement(&Policy::offload_default(64, 8), &WorkloadShape::new(256, 64));
-        let large_mu = cap.requirement(&Policy::offload_default(64, 64), &WorkloadShape::new(256, 64));
-        let long_prompt = cap.requirement(&Policy::offload_default(64, 8), &WorkloadShape::new(1984, 64));
+        let small = cap.requirement(
+            &Policy::offload_default(64, 8),
+            &WorkloadShape::new(256, 64),
+        );
+        let large_mu = cap.requirement(
+            &Policy::offload_default(64, 64),
+            &WorkloadShape::new(256, 64),
+        );
+        let long_prompt = cap.requirement(
+            &Policy::offload_default(64, 8),
+            &WorkloadShape::new(1984, 64),
+        );
         assert!(large_mu.gpu_activations > small.gpu_activations);
         assert!(long_prompt.gpu_activations > small.gpu_activations);
     }
@@ -197,7 +213,10 @@ mod tests {
         let small = cap.requirement(&Policy::offload_default(64, 32), &w);
         let large = cap.requirement(&Policy::offload_default(2048, 32), &w);
         assert!(large.cpu_kv_cache > small.cpu_kv_cache);
-        assert_eq!(large.cpu_weights, small.cpu_weights, "weights independent of N");
+        assert_eq!(
+            large.cpu_weights, small.cpu_weights,
+            "weights independent of N"
+        );
     }
 
     #[test]
@@ -221,10 +240,15 @@ mod tests {
         let cap = s1();
         let w = WorkloadShape::new(77, 256);
         let template = Policy::offload_default(32, 32);
-        let max = cap.max_feasible_batch(&template, &w, 1 << 20).expect("some batch fits");
+        let max = cap
+            .max_feasible_batch(&template, &w, 1 << 20)
+            .expect("some batch fits");
         assert!(max > 32, "should fit far more than one micro-batch");
         // The next multiple must not fit.
-        let over = Policy { batch_size: max + 32, ..template };
+        let over = Policy {
+            batch_size: max + 32,
+            ..template
+        };
         assert!(!cap.is_feasible(&over, &w));
     }
 
@@ -245,6 +269,9 @@ mod tests {
             req.gpu_total(),
             req.gpu_static_weights + req.gpu_weight_buffer + req.gpu_kv_cache + req.gpu_activations
         );
-        assert_eq!(req.cpu_total(), req.cpu_weights + req.cpu_kv_cache + req.cpu_staging);
+        assert_eq!(
+            req.cpu_total(),
+            req.cpu_weights + req.cpu_kv_cache + req.cpu_staging
+        );
     }
 }

@@ -51,7 +51,11 @@ impl LayerLatencyBreakdown {
         ];
         pairs
             .into_iter()
-            .max_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1.as_secs()
+                    .partial_cmp(&b.1.as_secs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(r, _)| r)
             .unwrap_or(BottleneckResource::GpuCompute)
     }
@@ -135,18 +139,29 @@ impl CostModel {
 
     /// GPU pre-attention task (`A_x`): layer norm + QKV projection for `tokens`.
     pub fn pre_attention_gpu(&self, tokens: u64) -> Seconds {
-        Self::roofline_time(&self.ops.pre_attention(tokens), self.gpu_flops(), self.gpu_bw())
+        Self::roofline_time(
+            &self.ops.pre_attention(tokens),
+            self.gpu_flops(),
+            self.gpu_bw(),
+        )
     }
 
     /// GPU post-attention task (`C_x`): O projection + router + MoE FFN for `tokens`.
     pub fn post_attention_gpu(&self, tokens: u64) -> Seconds {
-        Self::roofline_time(&self.ops.post_attention(tokens), self.gpu_flops(), self.gpu_bw())
+        Self::roofline_time(
+            &self.ops.post_attention(tokens),
+            self.gpu_flops(),
+            self.gpu_bw(),
+        )
     }
 
     /// GPU post-attention task when the FFN runs on CPU (only the O projection and
     /// router remain on GPU).
     pub fn post_attention_gpu_without_ffn(&self, tokens: u64) -> Seconds {
-        let cost = self.ops.o_projection(tokens).combine(&self.ops.router(tokens));
+        let cost = self
+            .ops
+            .o_projection(tokens)
+            .combine(&self.ops.router(tokens));
         Self::roofline_time(&cost, self.gpu_flops(), self.gpu_bw())
     }
 
@@ -225,7 +240,11 @@ impl CostModel {
     /// Estimated latency of one layer of one decode step under `policy`, following
     /// Eq. 12: the pipeline is bound by the slowest of the H2D stream, the D2H
     /// stream, the CPU and the GPU.
-    pub fn layer_decode_latency(&self, policy: &Policy, workload: &WorkloadShape) -> LayerLatencyBreakdown {
+    pub fn layer_decode_latency(
+        &self,
+        policy: &Policy,
+        workload: &WorkloadShape,
+    ) -> LayerLatencyBreakdown {
         let mu = policy.micro_batch_size;
         let n_ub = policy.num_micro_batches();
         let last = policy.batch_size - mu * (n_ub - 1);
@@ -233,9 +252,8 @@ impl CostModel {
 
         // Helper that sums a per-micro-batch cost over all micro-batches, handling the
         // (possibly smaller) last micro-batch.
-        let sum_over_ubs = |f: &dyn Fn(u64) -> Seconds| -> Seconds {
-            f(mu).scale((n_ub - 1) as f64) + f(last)
-        };
+        let sum_over_ubs =
+            |f: &dyn Fn(u64) -> Seconds| -> Seconds { f(mu).scale((n_ub - 1) as f64) + f(last) };
 
         // GPU compute.
         let mut gpu_compute = sum_over_ubs(&|t| self.pre_attention_gpu(t));
@@ -279,7 +297,13 @@ impl CostModel {
         }
 
         let total = comm_h2d.max(comm_d2h).max(cpu_compute).max(gpu_compute);
-        LayerLatencyBreakdown { comm_h2d, comm_d2h, cpu_compute, gpu_compute, total }
+        LayerLatencyBreakdown {
+            comm_h2d,
+            comm_d2h,
+            cpu_compute,
+            gpu_compute,
+            total,
+        }
     }
 
     /// Estimated latency of one full decode step (all layers) for the whole batch.
@@ -308,17 +332,17 @@ impl CostModel {
             .ops
             .prefill_layer(policy.batch_size, workload.prompt_len)
             .flops;
-        let compute =
-            flops_per_layer.scale(f64::from(self.model.num_layers)) / self.gpu_flops();
+        let compute = flops_per_layer.scale(f64::from(self.model.num_layers)) / self.gpu_flops();
         let stream_bytes = self
             .model
             .total_weight_bytes()
             .scale(1.0 - policy.weights_gpu_ratio.clamp(0.0, 1.0));
         let streaming = stream_bytes / self.h2d();
         // KV cache produced during prefill is offloaded to the CPU.
-        let kv_offload = (self.model.kv_bytes_per_token() * policy.batch_size * workload.prompt_len)
-            .scale(1.0 - policy.kv_gpu_ratio)
-            / self.d2h();
+        let kv_offload =
+            (self.model.kv_bytes_per_token() * policy.batch_size * workload.prompt_len)
+                .scale(1.0 - policy.kv_gpu_ratio)
+                / self.d2h();
         compute.max(streaming).max(kv_offload)
     }
 
@@ -371,7 +395,10 @@ mod tests {
         let cm = CostModel::new(NodeSpec::l4_single(), MoeModelConfig::mixtral_8x7b());
         let t32 = cm.post_attention_gpu(32).as_secs();
         let t256 = cm.post_attention_gpu(256).as_secs();
-        assert!(t256 < 1.5 * t32, "memory-bound FFN should not scale with μ: {t32} vs {t256}");
+        assert!(
+            t256 < 1.5 * t32,
+            "memory-bound FFN should not scale with μ: {t32} vs {t256}"
+        );
     }
 
     #[test]
@@ -391,7 +418,10 @@ mod tests {
         let w = mtbench();
         let small = cm.decode_throughput(&Policy::offload_default(32, 32), &w);
         let large = cm.decode_throughput(&Policy::offload_default(512, 32), &w);
-        assert!(large > 4.0 * small, "throughput should grow with N: {small} -> {large}");
+        assert!(
+            large > 4.0 * small,
+            "throughput should grow with N: {small} -> {large}"
+        );
     }
 
     #[test]
@@ -402,7 +432,10 @@ mod tests {
         let w = mtbench();
         let t1k = cm.decode_throughput(&Policy::offload_default(1024, 64), &w);
         let t8k = cm.decode_throughput(&Policy::offload_default(8192, 64), &w);
-        assert!(t8k < 2.0 * t1k, "8x larger batch must not give 2x more throughput: {t1k} -> {t8k}");
+        assert!(
+            t8k < 2.0 * t1k,
+            "8x larger batch must not give 2x more throughput: {t1k} -> {t8k}"
+        );
     }
 
     #[test]
@@ -424,9 +457,15 @@ mod tests {
         let cm = s1_cost();
         let mut p = Policy::offload_default(64, 32);
         p.ffn_on_gpu = false;
-        assert_eq!(cm.streamed_layer_bytes(&p), cm.model().attention_weight_bytes());
+        assert_eq!(
+            cm.streamed_layer_bytes(&p),
+            cm.model().attention_weight_bytes()
+        );
         let breakdown = cm.layer_decode_latency(&p, &mtbench());
-        assert!(breakdown.cpu_compute > breakdown.gpu_compute, "FFN moved to CPU");
+        assert!(
+            breakdown.cpu_compute > breakdown.gpu_compute,
+            "FFN moved to CPU"
+        );
     }
 
     #[test]

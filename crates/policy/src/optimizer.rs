@@ -45,8 +45,12 @@ pub struct SearchSpace {
 impl Default for SearchSpace {
     fn default() -> Self {
         SearchSpace {
-            micro_batch_sizes: vec![1, 2, 4, 8, 12, 16, 24, 32, 36, 48, 64, 80, 96, 128, 160, 200, 256],
-            micro_batch_counts: vec![1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64, 96, 128],
+            micro_batch_sizes: vec![
+                1, 2, 4, 8, 12, 16, 24, 32, 36, 48, 64, 80, 96, 128, 160, 200, 256,
+            ],
+            micro_batch_counts: vec![
+                1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64, 96, 128,
+            ],
             weight_ratios: vec![0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0],
             kv_ratios: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             allow_gpu_attention: true,
@@ -182,8 +186,11 @@ impl PolicyOptimizer {
                         for &rw in &self.space.weight_ratios {
                             // r_c only matters when attention runs on the GPU; when it
                             // runs on the CPU the KV cache stays there (r_c = 0).
-                            let kv_options: &[f64] =
-                                if attention_on_gpu { &self.space.kv_ratios } else { &[0.0] };
+                            let kv_options: &[f64] = if attention_on_gpu {
+                                &self.space.kv_ratios
+                            } else {
+                                &[0.0]
+                            };
                             for &rc in kv_options {
                                 candidates += 1;
                                 let policy = Policy {
@@ -199,7 +206,7 @@ impl PolicyOptimizer {
                                         evaluated += 1;
                                         let better = best
                                             .as_ref()
-                                            .map_or(true, |(_, best_score)| score > *best_score);
+                                            .is_none_or(|(_, best_score)| score > *best_score);
                                         if better {
                                             best = Some((policy, score));
                                         }
@@ -214,7 +221,12 @@ impl PolicyOptimizer {
         }
 
         match best {
-            Some((policy, throughput)) => Ok(SearchResult { policy, throughput, evaluated, infeasible }),
+            Some((policy, throughput)) => Ok(SearchResult {
+                policy,
+                throughput,
+                evaluated,
+                infeasible,
+            }),
             None => Err(OptimizerError::NoFeasiblePolicy { candidates }),
         }
     }
@@ -249,9 +261,16 @@ mod tests {
         // §4.2: "for our major setting, we always get A_g = 0 and F_g = 1".
         let opt = PolicyOptimizer::new(NodeSpec::t4_single(), MoeModelConfig::mixtral_8x7b());
         let result = opt.search(&mtbench(128)).expect("a feasible policy exists");
-        assert!(!result.policy.attention_on_gpu, "best policy: {}", result.policy);
+        assert!(
+            !result.policy.attention_on_gpu,
+            "best policy: {}",
+            result.policy
+        );
         assert!(result.policy.ffn_on_gpu, "best policy: {}", result.policy);
-        assert!(result.policy.num_micro_batches() > 1, "pipelining requires several micro-batches");
+        assert!(
+            result.policy.num_micro_batches() > 1,
+            "pipelining requires several micro-batches"
+        );
         assert!(result.throughput > 0.0);
         assert!(result.evaluated > 0 && result.infeasible > 0);
     }
@@ -269,7 +288,8 @@ mod tests {
     fn more_cpu_memory_never_hurts_throughput() {
         // Fig. 1: larger CPU memory allows bigger batches and therefore at least as
         // much throughput.
-        let small_node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(96.0));
+        let small_node =
+            NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(96.0));
         let big_node = NodeSpec::t4_single();
         let w = mtbench(128);
         let space = SearchSpace::coarse();
@@ -296,11 +316,18 @@ mod tests {
         let uses_gpu_memory = result.policy.weights_gpu_ratio > 0.0
             || result.policy.kv_gpu_ratio > 0.0
             || result.policy.attention_on_gpu;
-        assert!(uses_gpu_memory, "expected HBM to be exploited, got {}", result.policy);
+        assert!(
+            uses_gpu_memory,
+            "expected HBM to be exploited, got {}",
+            result.policy
+        );
         let naive = opt
             .evaluate(&Policy::offload_default(256, 32), &w)
             .expect("naive policy is feasible on A100s");
-        assert!(result.throughput >= naive, "optimizer must not lose to the naive policy");
+        assert!(
+            result.throughput >= naive,
+            "optimizer must not lose to the naive policy"
+        );
     }
 
     #[test]
@@ -313,7 +340,9 @@ mod tests {
         let mut oversized = Policy::offload_default(32, 32);
         oversized.weights_gpu_ratio = 1.0;
         assert_eq!(opt.evaluate(&oversized, &w), None);
-        assert!(opt.evaluate(&Policy::offload_default(128, 32), &w).is_some());
+        assert!(opt
+            .evaluate(&Policy::offload_default(128, 32), &w)
+            .is_some());
     }
 
     #[test]

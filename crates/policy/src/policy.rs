@@ -34,7 +34,10 @@ pub struct WorkloadShape {
 impl WorkloadShape {
     /// Creates a workload shape.
     pub fn new(prompt_len: u64, gen_len: u64) -> Self {
-        WorkloadShape { prompt_len, gen_len }
+        WorkloadShape {
+            prompt_len,
+            gen_len,
+        }
     }
 
     /// Maximum context length reached during decoding.
@@ -123,10 +126,16 @@ impl Policy {
             ));
         }
         if !(0.0..=1.0).contains(&self.weights_gpu_ratio) {
-            return Err(format!("weights_gpu_ratio must be in [0,1], got {}", self.weights_gpu_ratio));
+            return Err(format!(
+                "weights_gpu_ratio must be in [0,1], got {}",
+                self.weights_gpu_ratio
+            ));
         }
         if !(0.0..=1.0).contains(&self.kv_gpu_ratio) {
-            return Err(format!("kv_gpu_ratio must be in [0,1], got {}", self.kv_gpu_ratio));
+            return Err(format!(
+                "kv_gpu_ratio must be in [0,1], got {}",
+                self.kv_gpu_ratio
+            ));
         }
         Ok(())
     }
@@ -201,6 +210,8 @@ mod tests {
     fn display_is_compact_and_informative() {
         let p = Policy::offload_default(504, 36);
         let s = p.to_string();
-        assert!(s.contains("N=504") && s.contains("μ=36") && s.contains("CPU") && s.contains("GPU"));
+        assert!(
+            s.contains("N=504") && s.contains("μ=36") && s.contains("CPU") && s.contains("GPU")
+        );
     }
 }

@@ -11,7 +11,9 @@
 
 use crate::executor::{JobId, LaneId, OffloadExecutor};
 use moe_hardware::ByteSize;
-use moe_memory::{BufferSlot, MemoryPool, PagedKvCache, PagedWeightStore, SequenceId, WeightLayout};
+use moe_memory::{
+    BufferSlot, MemoryPool, PagedKvCache, PagedWeightStore, SequenceId, WeightLayout,
+};
 use moe_model::reference::{argmax, ReferenceMoeModel, SequenceCache};
 use moe_model::MoeModelConfig;
 use parking_lot::Mutex;
@@ -45,7 +47,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidInput { message } => write!(f, "invalid input: {message}"),
             RuntimeError::Memory { message } => write!(f, "memory error: {message}"),
             RuntimeError::TaskFailed { messages } => {
-                write!(f, "{} pipeline task(s) failed: {}", messages.len(), messages.join("; "))
+                write!(
+                    f,
+                    "{} pipeline task(s) failed: {}",
+                    messages.len(),
+                    messages.join("; ")
+                )
             }
         }
     }
@@ -55,7 +62,9 @@ impl std::error::Error for RuntimeError {}
 
 impl From<moe_memory::MemoryError> for RuntimeError {
     fn from(e: moe_memory::MemoryError) -> Self {
-        RuntimeError::Memory { message: e.to_string() }
+        RuntimeError::Memory {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -134,10 +143,16 @@ impl PipelinedMoeEngine {
         }
         if !(0.0..=1.0).contains(&config.weights_gpu_ratio) {
             return Err(RuntimeError::InvalidInput {
-                message: format!("weights_gpu_ratio must be in [0,1], got {}", config.weights_gpu_ratio),
+                message: format!(
+                    "weights_gpu_ratio must be in [0,1], got {}",
+                    config.weights_gpu_ratio
+                ),
             });
         }
-        Ok(PipelinedMoeEngine { model: Arc::new(model), config })
+        Ok(PipelinedMoeEngine {
+            model: Arc::new(model),
+            config,
+        })
     }
 
     /// The model configuration.
@@ -152,17 +167,28 @@ impl PipelinedMoeEngine {
     ///
     /// Returns an error for empty/invalid prompts, memory protocol violations, or
     /// failed pipeline tasks.
-    pub fn generate(&self, prompts: &[Vec<u32>], gen_len: usize) -> Result<GenerationOutput, RuntimeError> {
+    pub fn generate(
+        &self,
+        prompts: &[Vec<u32>],
+        gen_len: usize,
+    ) -> Result<GenerationOutput, RuntimeError> {
         if prompts.is_empty() {
-            return Err(RuntimeError::InvalidInput { message: "need at least one prompt".to_owned() });
+            return Err(RuntimeError::InvalidInput {
+                message: "need at least one prompt".to_owned(),
+            });
         }
         if prompts.iter().any(Vec::is_empty) {
-            return Err(RuntimeError::InvalidInput { message: "prompts must be non-empty".to_owned() });
+            return Err(RuntimeError::InvalidInput {
+                message: "prompts must be non-empty".to_owned(),
+            });
         }
         let cfg = self.model.config().clone();
         if prompts.iter().flatten().any(|&t| t >= cfg.vocab_size) {
             return Err(RuntimeError::InvalidInput {
-                message: format!("prompt token out of vocabulary (vocab size {})", cfg.vocab_size),
+                message: format!(
+                    "prompt token out of vocabulary (vocab size {})",
+                    cfg.vocab_size
+                ),
             });
         }
 
@@ -192,10 +218,11 @@ impl PipelinedMoeEngine {
             let mut cache = SequenceCache::new(&cfg);
             let mut logits = Vec::new();
             for &token in prompt {
-                logits = self
-                    .model
-                    .forward_token(token, &mut cache)
-                    .map_err(|e| RuntimeError::TaskFailed { messages: vec![e.to_string()] })?;
+                logits = self.model.forward_token(token, &mut cache).map_err(|e| {
+                    RuntimeError::TaskFailed {
+                        messages: vec![e.to_string()],
+                    }
+                })?;
             }
             kv_accounting.add_sequence(SequenceId(s as u64), prompt.len() as u64)?;
             caches.push(cache);
@@ -360,7 +387,9 @@ impl PipelinedMoeEngine {
                         let hidden = st.hidden[s].clone();
                         match model.layers[layer_idx].pre_attention(&hidden) {
                             Ok(qkv) => st.qkv[s] = qkv,
-                            Err(e) => errs.lock().push(format!("pre-attention({layer_idx},{s}): {e}")),
+                            Err(e) => errs
+                                .lock()
+                                .push(format!("pre-attention({layer_idx},{s}): {e}")),
                         }
                     }
                 });
@@ -420,9 +449,14 @@ impl PipelinedMoeEngine {
                             Ok(new_hidden) => {
                                 if is_last_layer {
                                     // Final RMSNorm + weight-tied LM head.
-                                    let logits = moe_tensor::Tensor::from_vec(&[1, new_hidden.len()], new_hidden.clone())
-                                        .and_then(|h| moe_tensor::ops::rms_norm(&h, &final_norm, 1e-6))
-                                        .and_then(|h| moe_tensor::ops::matvec(&model.embedding, h.row(0)?));
+                                    let logits = moe_tensor::Tensor::from_vec(
+                                        &[1, new_hidden.len()],
+                                        new_hidden.clone(),
+                                    )
+                                    .and_then(|h| moe_tensor::ops::rms_norm(&h, &final_norm, 1e-6))
+                                    .and_then(|h| {
+                                        moe_tensor::ops::matvec(&model.embedding, h.row(0)?)
+                                    });
                                     match logits {
                                         Ok(l) => st.logits[s] = l,
                                         Err(e) => errs.lock().push(format!("lm-head({s}): {e}")),
@@ -430,7 +464,9 @@ impl PipelinedMoeEngine {
                                 }
                                 st.hidden[s] = new_hidden;
                             }
-                            Err(e) => errs.lock().push(format!("post-attention({layer_idx},{s}): {e}")),
+                            Err(e) => errs
+                                .lock()
+                                .push(format!("post-attention({layer_idx},{s}): {e}")),
                         }
                     }
                 });
@@ -446,13 +482,17 @@ mod tests {
     use super::*;
 
     fn tiny_engine(config: EngineConfig) -> PipelinedMoeEngine {
-        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
+        let model =
+            ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
         PipelinedMoeEngine::new(model, config).expect("valid config")
     }
 
     fn reference_tokens(prompt: &[u32], gen_len: usize) -> Vec<u32> {
-        let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
-        model.generate_greedy(prompt, gen_len).expect("reference generation")
+        let model =
+            ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).expect("tiny config valid");
+        model
+            .generate_greedy(prompt, gen_len)
+            .expect("reference generation")
     }
 
     #[test]
@@ -462,7 +502,11 @@ mod tests {
         let out = engine.generate(&prompts, 6).unwrap();
         assert_eq!(out.tokens.len(), 3);
         for (prompt, generated) in prompts.iter().zip(&out.tokens) {
-            assert_eq!(generated, &reference_tokens(prompt, 6), "pipeline must match the reference");
+            assert_eq!(
+                generated,
+                &reference_tokens(prompt, 6),
+                "pipeline must match the reference"
+            );
         }
     }
 
@@ -487,23 +531,43 @@ mod tests {
 
     #[test]
     fn different_micro_batch_sizes_give_identical_results() {
-        let prompts = vec![vec![5u32, 6], vec![7, 8], vec![9, 10], vec![11, 12], vec![13]];
-        let out1 = tiny_engine(EngineConfig { micro_batch_size: 1, ..EngineConfig::default() })
-            .generate(&prompts, 5)
-            .unwrap();
-        let out5 = tiny_engine(EngineConfig { micro_batch_size: 5, ..EngineConfig::default() })
-            .generate(&prompts, 5)
-            .unwrap();
-        assert_eq!(out1.tokens, out5.tokens, "micro-batching must not change results");
+        let prompts = vec![
+            vec![5u32, 6],
+            vec![7, 8],
+            vec![9, 10],
+            vec![11, 12],
+            vec![13],
+        ];
+        let out1 = tiny_engine(EngineConfig {
+            micro_batch_size: 1,
+            ..EngineConfig::default()
+        })
+        .generate(&prompts, 5)
+        .unwrap();
+        let out5 = tiny_engine(EngineConfig {
+            micro_batch_size: 5,
+            ..EngineConfig::default()
+        })
+        .generate(&prompts, 5)
+        .unwrap();
+        assert_eq!(
+            out1.tokens, out5.tokens,
+            "micro-batching must not change results"
+        );
     }
 
     #[test]
     fn static_weight_fraction_reduces_streamed_bytes() {
         let prompts = vec![vec![1u32, 2, 3]];
-        let streamed = tiny_engine(EngineConfig::default()).generate(&prompts, 4).unwrap();
-        let half_static = tiny_engine(EngineConfig { weights_gpu_ratio: 0.5, ..EngineConfig::default() })
+        let streamed = tiny_engine(EngineConfig::default())
             .generate(&prompts, 4)
             .unwrap();
+        let half_static = tiny_engine(EngineConfig {
+            weights_gpu_ratio: 0.5,
+            ..EngineConfig::default()
+        })
+        .generate(&prompts, 4)
+        .unwrap();
         assert!(half_static.h2d_bytes < streamed.h2d_bytes);
         assert_eq!(half_static.tokens, streamed.tokens);
     }
@@ -511,13 +575,43 @@ mod tests {
     #[test]
     fn invalid_inputs_are_rejected() {
         let engine = tiny_engine(EngineConfig::default());
-        assert!(matches!(engine.generate(&[], 4), Err(RuntimeError::InvalidInput { .. })));
-        assert!(matches!(engine.generate(&[vec![]], 4), Err(RuntimeError::InvalidInput { .. })));
-        assert!(matches!(engine.generate(&[vec![9999]], 4), Err(RuntimeError::InvalidInput { .. })));
+        assert!(matches!(
+            engine.generate(&[], 4),
+            Err(RuntimeError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            engine.generate(&[vec![]], 4),
+            Err(RuntimeError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            engine.generate(&[vec![9999]], 4),
+            Err(RuntimeError::InvalidInput { .. })
+        ));
         let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).unwrap();
-        assert!(PipelinedMoeEngine::new(model.clone(), EngineConfig { micro_batch_size: 0, ..EngineConfig::default() }).is_err());
-        assert!(PipelinedMoeEngine::new(model.clone(), EngineConfig { weight_pages_per_layer: 0, ..EngineConfig::default() }).is_err());
-        assert!(PipelinedMoeEngine::new(model, EngineConfig { weights_gpu_ratio: 1.5, ..EngineConfig::default() }).is_err());
+        assert!(PipelinedMoeEngine::new(
+            model.clone(),
+            EngineConfig {
+                micro_batch_size: 0,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
+        assert!(PipelinedMoeEngine::new(
+            model.clone(),
+            EngineConfig {
+                weight_pages_per_layer: 0,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
+        assert!(PipelinedMoeEngine::new(
+            model,
+            EngineConfig {
+                weights_gpu_ratio: 1.5,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -525,10 +619,16 @@ mod tests {
         let model = ReferenceMoeModel::random(&MoeModelConfig::tiny(), 7).unwrap();
         let engine = PipelinedMoeEngine::new(
             model,
-            EngineConfig { gpu_memory: ByteSize::from_bytes(1), ..EngineConfig::default() },
+            EngineConfig {
+                gpu_memory: ByteSize::from_bytes(1),
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
-        assert!(matches!(engine.generate(&[vec![1, 2]], 2), Err(RuntimeError::Memory { .. })));
+        assert!(matches!(
+            engine.generate(&[vec![1, 2]], 2),
+            Err(RuntimeError::Memory { .. })
+        ));
     }
 
     #[test]

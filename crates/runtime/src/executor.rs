@@ -31,7 +31,12 @@ pub enum LaneId {
 impl LaneId {
     /// All lanes.
     pub fn all() -> [LaneId; 4] {
-        [LaneId::Gpu, LaneId::Cpu, LaneId::HostToDevice, LaneId::DeviceToHost]
+        [
+            LaneId::Gpu,
+            LaneId::Cpu,
+            LaneId::HostToDevice,
+            LaneId::DeviceToHost,
+        ]
     }
 }
 
@@ -98,7 +103,10 @@ impl fmt::Debug for OffloadExecutor {
 impl OffloadExecutor {
     /// Spawns the four lane workers.
     pub fn new() -> Self {
-        let shared = Arc::new(Shared { progress: Mutex::new(Progress::default()), condvar: Condvar::new() });
+        let shared = Arc::new(Shared {
+            progress: Mutex::new(Progress::default()),
+            condvar: Condvar::new(),
+        });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for lane in LaneId::all() {
@@ -125,7 +133,11 @@ impl OffloadExecutor {
             senders.push((lane, tx));
             handles.push(handle);
         }
-        OffloadExecutor { senders, shared, handles }
+        OffloadExecutor {
+            senders,
+            shared,
+            handles,
+        }
     }
 
     /// Submits a job to `lane`.
@@ -154,14 +166,20 @@ impl OffloadExecutor {
             progress.submitted += 1;
             id
         };
-        let job = Job { id, deps: deps.to_vec(), work: Box::new(work) };
+        let job = Job {
+            id,
+            deps: deps.to_vec(),
+            work: Box::new(work),
+        };
         let sender = self
             .senders
             .iter()
             .find(|(l, _)| *l == lane)
             .map(|(_, s)| s)
             .expect("all lanes have workers");
-        sender.send(job).expect("lane worker terminated unexpectedly");
+        sender
+            .send(job)
+            .expect("lane worker terminated unexpectedly");
         id
     }
 
@@ -252,7 +270,11 @@ mod tests {
             o2.store(v2.load(Ordering::SeqCst), Ordering::SeqCst);
         });
         exec.wait(b);
-        assert_eq!(observed.load(Ordering::SeqCst), 7, "GPU job must see the transfer's effect");
+        assert_eq!(
+            observed.load(Ordering::SeqCst),
+            7,
+            "GPU job must see the transfer's effect"
+        );
     }
 
     #[test]
@@ -261,12 +283,22 @@ mod tests {
         // well below the sum of their durations.
         let exec = OffloadExecutor::new();
         let start = std::time::Instant::now();
-        for lane in [LaneId::Gpu, LaneId::Cpu, LaneId::HostToDevice, LaneId::DeviceToHost] {
-            exec.submit(lane, &[], || std::thread::sleep(std::time::Duration::from_millis(50)));
+        for lane in [
+            LaneId::Gpu,
+            LaneId::Cpu,
+            LaneId::HostToDevice,
+            LaneId::DeviceToHost,
+        ] {
+            exec.submit(lane, &[], || {
+                std::thread::sleep(std::time::Duration::from_millis(50))
+            });
         }
         exec.wait_all();
         let elapsed = start.elapsed();
-        assert!(elapsed.as_millis() < 160, "lanes did not overlap: {elapsed:?}");
+        assert!(
+            elapsed.as_millis() < 160,
+            "lanes did not overlap: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl ScheduleKind {
     pub fn uses_cpu_attention(&self) -> bool {
         matches!(
             self,
-            ScheduleKind::CgoPipe | ScheduleKind::FastDecodeOverlap | ScheduleKind::FlexGenCpuAttention
+            ScheduleKind::CgoPipe
+                | ScheduleKind::FastDecodeOverlap
+                | ScheduleKind::FlexGenCpuAttention
         )
     }
 }
@@ -72,13 +74,36 @@ pub struct DecodeScheduleBuilder<'a> {
     policy: Policy,
     workload: WorkloadShape,
     num_layers: u32,
+    /// Decode tokens (= active sequences) per micro-batch. Defaults to the uniform
+    /// split the policy implies (`μ` per micro-batch, remainder in the last); the
+    /// request-level serving loop overrides it with the actual per-micro-batch
+    /// occupancy so schedule bubbles reflect real imbalance.
+    ub_tokens: Vec<u64>,
 }
 
 impl<'a> DecodeScheduleBuilder<'a> {
-    /// Creates a builder. The policy and workload are copied.
+    /// Creates a builder. The policy and workload are copied; micro-batch token
+    /// counts default to the policy's uniform split.
     pub fn new(cost: &'a CostModel, policy: Policy, workload: WorkloadShape) -> Self {
         let num_layers = cost.model().num_layers;
-        DecodeScheduleBuilder { cost, policy, workload, num_layers }
+        let mu = policy.micro_batch_size;
+        let n_ub = policy.num_micro_batches();
+        let ub_tokens = (0..n_ub)
+            .map(|j| {
+                if j + 1 == n_ub {
+                    policy.batch_size - mu * (n_ub - 1)
+                } else {
+                    mu
+                }
+            })
+            .collect();
+        DecodeScheduleBuilder {
+            cost,
+            policy,
+            workload,
+            num_layers,
+            ub_tokens,
+        }
     }
 
     /// Restricts the graph to the first `layers` layers (useful for the Fig. 6
@@ -88,23 +113,47 @@ impl<'a> DecodeScheduleBuilder<'a> {
         self
     }
 
+    /// Overrides the per-micro-batch token counts with heterogeneous occupancies
+    /// (one entry per micro-batch, each the number of active sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains a zero entry — an empty micro-batch
+    /// has no tasks and would silently skew the pipeline stagger.
+    pub fn with_micro_batch_tokens(mut self, tokens: &[u64]) -> Self {
+        assert!(!tokens.is_empty(), "need at least one micro-batch");
+        assert!(
+            tokens.iter().all(|&t| t > 0),
+            "micro-batch token counts must be positive"
+        );
+        self.ub_tokens = tokens.to_vec();
+        self
+    }
+
     /// The policy used by this builder.
     pub fn policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// The per-micro-batch decode token counts the graphs are built with.
+    pub fn micro_batch_tokens_per_batch(&self) -> &[u64] {
+        &self.ub_tokens
     }
 
     fn ctx(&self) -> u64 {
         self.workload.avg_decode_context()
     }
 
+    fn num_micro_batches(&self) -> u64 {
+        self.ub_tokens.len() as u64
+    }
+
     fn micro_batch_tokens(&self, j: u64) -> u64 {
-        let mu = self.policy.micro_batch_size;
-        let n_ub = self.policy.num_micro_batches();
-        if j + 1 == n_ub {
-            self.policy.batch_size - mu * (n_ub - 1)
-        } else {
-            mu
-        }
+        self.ub_tokens[j as usize]
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.ub_tokens.iter().sum()
     }
 
     /// Builds the task graph of one decode step under the given schedule.
@@ -115,7 +164,9 @@ impl<'a> DecodeScheduleBuilder<'a> {
     /// policies; they would indicate a bug in the builder).
     pub fn build(&self, kind: ScheduleKind) -> Result<TaskGraph, SimError> {
         match kind {
-            ScheduleKind::CgoPipe => self.build_cpu_attention_pipeline(true, WeightOrder::Interleaved),
+            ScheduleKind::CgoPipe => {
+                self.build_cpu_attention_pipeline(true, WeightOrder::Interleaved)
+            }
             ScheduleKind::FastDecodeOverlap => {
                 self.build_cpu_attention_pipeline(true, WeightOrder::WholeAtStart)
             }
@@ -136,7 +187,7 @@ impl<'a> DecodeScheduleBuilder<'a> {
         weight_order: WeightOrder,
     ) -> Result<TaskGraph, SimError> {
         let mut g = TaskGraph::new();
-        let n_ub = self.policy.num_micro_batches();
+        let n_ub = self.num_micro_batches();
         let layers = u64::from(self.num_layers);
         let total = layers * n_ub;
         let ctx = self.ctx();
@@ -173,9 +224,9 @@ impl<'a> DecodeScheduleBuilder<'a> {
 
         // Closure creating the GPU post-attention task of global step `gidx`.
         let create_post = |g: &mut TaskGraph,
-                               gidx: u64,
-                               hidden: &[Option<TaskId>],
-                               weights_done: &[Option<TaskId>]|
+                           gidx: u64,
+                           hidden: &[Option<TaskId>],
+                           weights_done: &[Option<TaskId>]|
          -> Result<TaskId, SimError> {
             let (i, j) = (layer_of(gidx), ub_of(gidx));
             let tokens = self.micro_batch_tokens(j);
@@ -318,7 +369,7 @@ impl<'a> DecodeScheduleBuilder<'a> {
     /// S4: GPU attention with per-micro-batch KV prefetch over PCIe.
     fn build_gpu_attention_pipeline(&self) -> Result<TaskGraph, SimError> {
         let mut g = TaskGraph::new();
-        let n_ub = self.policy.num_micro_batches();
+        let n_ub = self.num_micro_batches();
         let layers = u64::from(self.num_layers);
         let ctx = self.ctx();
         let streamed = self.cost.streamed_layer_bytes(&self.policy);
@@ -412,7 +463,7 @@ impl<'a> DecodeScheduleBuilder<'a> {
     fn build_layer_streaming(&self) -> Result<TaskGraph, SimError> {
         let mut g = TaskGraph::new();
         let layers = u64::from(self.num_layers);
-        let tokens = self.policy.batch_size;
+        let tokens = self.total_tokens();
         let ctx = self.ctx();
         let streamed = self.cost.streamed_layer_bytes(&self.policy);
 
@@ -486,8 +537,12 @@ mod tests {
     }
 
     fn builder(cost: &CostModel) -> DecodeScheduleBuilder<'_> {
-        DecodeScheduleBuilder::new(cost, Policy::offload_default(256, 32), WorkloadShape::new(77, 128))
-            .with_layers(4)
+        DecodeScheduleBuilder::new(
+            cost,
+            Policy::offload_default(256, 32),
+            WorkloadShape::new(77, 128),
+        )
+        .with_layers(4)
     }
 
     #[test]
@@ -547,7 +602,8 @@ mod tests {
         };
         let w = WorkloadShape::new(512, 64);
         let b_s4 = DecodeScheduleBuilder::new(&cost, policy, w).with_layers(4);
-        let b_cgo = DecodeScheduleBuilder::new(&cost, Policy::offload_default(256, 32), w).with_layers(4);
+        let b_cgo =
+            DecodeScheduleBuilder::new(&cost, Policy::offload_default(256, 32), w).with_layers(4);
         let h2d_busy = |b: &DecodeScheduleBuilder<'_>, kind| {
             let r = simulate(&b.build(kind).unwrap()).unwrap();
             r.lane(Lane::HostToDevice).busy.as_secs()
@@ -569,12 +625,16 @@ mod tests {
             weights_gpu_ratio: 0.0,
             kv_gpu_ratio: 1.0,
         };
-        let b = DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(77, 32)).with_layers(6);
+        let b =
+            DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(77, 32)).with_layers(6);
         let graph = b.build(ScheduleKind::LayerStreaming).unwrap();
         let r = simulate(&graph).unwrap();
         let h2d = r.lane(Lane::HostToDevice);
         let gpu = r.lane(Lane::GpuCompute);
-        assert!(h2d.busy.as_secs() > 5.0 * gpu.busy.as_secs(), "weights dominate: {h2d:?} vs {gpu:?}");
+        assert!(
+            h2d.busy.as_secs() > 5.0 * gpu.busy.as_secs(),
+            "weights dominate: {h2d:?} vs {gpu:?}"
+        );
         assert!(h2d.utilization > 0.9);
     }
 
@@ -593,17 +653,68 @@ mod tests {
 
     #[test]
     fn fully_resident_weights_produce_no_weight_tasks() {
-        let cost = CostModel::new(NodeSpec::a100_case_study(300.0, 4.0), MoeModelConfig::mixtral_8x7b());
+        let cost = CostModel::new(
+            NodeSpec::a100_case_study(300.0, 4.0),
+            MoeModelConfig::mixtral_8x7b(),
+        );
         let policy = Policy {
             weights_gpu_ratio: 1.0,
             ..Policy::offload_default(64, 32)
         };
-        let b = DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(128, 32)).with_layers(3);
+        let b =
+            DecodeScheduleBuilder::new(&cost, policy, WorkloadShape::new(128, 32)).with_layers(3);
         let g = b.build(ScheduleKind::CgoPipe).unwrap();
-        assert!(g
+        assert!(g.tasks().iter().all(|t| t.kind != TaskKind::WeightTransfer));
+    }
+
+    #[test]
+    fn heterogeneous_micro_batch_tokens_change_the_schedule() {
+        let cost = cost();
+        let uniform = builder(&cost);
+        // Same total tokens, skewed across micro-batches: the imbalance must be
+        // visible in the simulated pipeline rather than silently averaged away.
+        let skewed_tokens: Vec<u64> = vec![120, 60, 40, 20, 10, 3, 2, 1];
+        assert_eq!(skewed_tokens.iter().sum::<u64>(), 256);
+        let skewed = builder(&cost).with_micro_batch_tokens(&skewed_tokens);
+        assert_eq!(
+            skewed.micro_batch_tokens_per_batch(),
+            skewed_tokens.as_slice()
+        );
+        for kind in [ScheduleKind::CgoPipe, ScheduleKind::FlexGenGpuAttention] {
+            let t_uniform = uniform.decode_step_makespan(kind).unwrap();
+            let t_skewed = skewed.decode_step_makespan(kind).unwrap();
+            let rel = (t_skewed.as_secs() - t_uniform.as_secs()).abs() / t_uniform.as_secs();
+            assert!(
+                rel > 1e-3,
+                "{}: occupancy skew must change the makespan: {t_skewed} vs {t_uniform}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_micro_batches_than_policy_are_honoured() {
+        let cost = cost();
+        // A tail round of the serving loop may fill only 3 of the policy's 8
+        // micro-batches.
+        let b = builder(&cost).with_micro_batch_tokens(&[32, 31, 5]);
+        let g = b.build(ScheduleKind::CgoPipe).unwrap();
+        let r = simulate(&g).unwrap();
+        assert!(r.makespan.as_secs() > 0.0);
+        // 5 pipeline tasks per (layer, micro-batch): 4 layers × 3 micro-batches.
+        let pipeline_tasks = g
             .tasks()
             .iter()
-            .all(|t| t.kind != TaskKind::WeightTransfer));
+            .filter(|t| t.kind != TaskKind::WeightTransfer)
+            .count();
+        assert_eq!(pipeline_tasks, 4 * 3 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_occupancy_micro_batch_panics() {
+        let cost = cost();
+        let _ = builder(&cost).with_micro_batch_tokens(&[32, 0, 5]);
     }
 
     #[test]

@@ -24,8 +24,9 @@ pub struct TimelineEntry {
     pub finish: Seconds,
 }
 
-/// Busy/idle statistics for one lane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Busy/idle statistics for one lane. `Default` is the all-zero record of a lane
+/// that executed nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LaneStats {
     /// Total time the lane spent executing tasks.
     pub busy: Seconds,
@@ -54,12 +55,7 @@ pub struct SimulationResult {
 impl SimulationResult {
     /// Statistics of one lane (zeroed if the lane executed nothing).
     pub fn lane(&self, lane: Lane) -> LaneStats {
-        self.lanes.get(&lane).copied().unwrap_or(LaneStats {
-            busy: Seconds::ZERO,
-            bubble: Seconds::ZERO,
-            utilization: 0.0,
-            tasks: 0,
-        })
+        self.lanes.get(&lane).copied().unwrap_or_default()
     }
 
     /// Busy time of a task kind.
@@ -74,7 +70,10 @@ impl SimulationResult {
 
     /// Finish time of a specific task, if it ran.
     pub fn finish_of(&self, task: TaskId) -> Option<Seconds> {
-        self.timeline.iter().find(|e| e.task == task).map(|e| e.finish)
+        self.timeline
+            .iter()
+            .find(|e| e.task == task)
+            .map(|e| e.finish)
     }
 }
 
@@ -93,8 +92,10 @@ pub fn simulate(graph: &TaskGraph) -> Result<SimulationResult, SimError> {
     let mut finish_time: Vec<Option<Seconds>> = vec![None; total];
     let mut lane_free: HashMap<Lane, Seconds> = HashMap::new();
     let mut lane_cursor: HashMap<Lane, usize> = HashMap::new();
-    let lane_queues: HashMap<Lane, Vec<TaskId>> =
-        Lane::all().into_iter().map(|l| (l, graph.lane_queue(l))).collect();
+    let lane_queues: HashMap<Lane, Vec<TaskId>> = Lane::all()
+        .into_iter()
+        .map(|l| (l, graph.lane_queue(l)))
+        .collect();
 
     let mut timeline = Vec::with_capacity(total);
     let mut completed = 0usize;
@@ -172,7 +173,10 @@ pub fn simulate(graph: &TaskGraph) -> Result<SimulationResult, SimError> {
             .iter()
             .map(|e| e.start)
             .fold(Seconds::from_secs(f64::INFINITY), Seconds::min);
-        let last = entries.iter().map(|e| e.finish).fold(Seconds::ZERO, Seconds::max);
+        let last = entries
+            .iter()
+            .map(|e| e.finish)
+            .fold(Seconds::ZERO, Seconds::max);
         let span = last - first;
         let bubble = span - busy;
         let utilization = if makespan.is_zero() {
@@ -180,7 +184,15 @@ pub fn simulate(graph: &TaskGraph) -> Result<SimulationResult, SimError> {
         } else {
             busy.as_secs() / makespan.as_secs()
         };
-        lanes.insert(lane, LaneStats { busy, bubble, utilization, tasks: entries.len() });
+        lanes.insert(
+            lane,
+            LaneStats {
+                busy,
+                bubble,
+                utilization,
+                tasks: entries.len(),
+            },
+        );
     }
 
     let mut kind_busy: HashMap<TaskKind, Seconds> = HashMap::new();
@@ -189,7 +201,12 @@ pub fn simulate(graph: &TaskGraph) -> Result<SimulationResult, SimError> {
         *slot += e.finish - e.start;
     }
 
-    Ok(SimulationResult { timeline, makespan, lanes, kind_busy })
+    Ok(SimulationResult {
+        timeline,
+        makespan,
+        lanes,
+        kind_busy,
+    })
 }
 
 #[cfg(test)]
@@ -211,11 +228,29 @@ mod tests {
     #[test]
     fn independent_tasks_on_different_lanes_overlap() {
         let mut g = TaskGraph::new();
-        g.add_task(Lane::GpuCompute, ms(10.0), TaskKind::PostAttention, "gpu", &[]).unwrap();
-        g.add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "cpu", &[]).unwrap();
-        g.add_task(Lane::HostToDevice, ms(10.0), TaskKind::WeightTransfer, "w", &[]).unwrap();
+        g.add_task(
+            Lane::GpuCompute,
+            ms(10.0),
+            TaskKind::PostAttention,
+            "gpu",
+            &[],
+        )
+        .unwrap();
+        g.add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "cpu", &[])
+            .unwrap();
+        g.add_task(
+            Lane::HostToDevice,
+            ms(10.0),
+            TaskKind::WeightTransfer,
+            "w",
+            &[],
+        )
+        .unwrap();
         let r = simulate(&g).unwrap();
-        assert!((r.makespan.as_millis() - 10.0).abs() < 1e-9, "perfect overlap expected");
+        assert!(
+            (r.makespan.as_millis() - 10.0).abs() < 1e-9,
+            "perfect overlap expected"
+        );
         for lane in [Lane::GpuCompute, Lane::CpuCompute, Lane::HostToDevice] {
             assert!((r.lane(lane).utilization - 1.0).abs() < 1e-9);
         }
@@ -224,8 +259,12 @@ mod tests {
     #[test]
     fn same_lane_tasks_serialize_in_fifo_order() {
         let mut g = TaskGraph::new();
-        let a = g.add_task(Lane::GpuCompute, ms(5.0), TaskKind::Other, "a", &[]).unwrap();
-        let b = g.add_task(Lane::GpuCompute, ms(5.0), TaskKind::Other, "b", &[]).unwrap();
+        let a = g
+            .add_task(Lane::GpuCompute, ms(5.0), TaskKind::Other, "a", &[])
+            .unwrap();
+        let b = g
+            .add_task(Lane::GpuCompute, ms(5.0), TaskKind::Other, "b", &[])
+            .unwrap();
         let r = simulate(&g).unwrap();
         assert!((r.makespan.as_millis() - 10.0).abs() < 1e-9);
         assert!(r.finish_of(a).unwrap().as_millis() <= r.finish_of(b).unwrap().as_millis());
@@ -234,8 +273,24 @@ mod tests {
     #[test]
     fn dependencies_across_lanes_are_respected() {
         let mut g = TaskGraph::new();
-        let transfer = g.add_task(Lane::HostToDevice, ms(4.0), TaskKind::WeightTransfer, "w", &[]).unwrap();
-        let compute = g.add_task(Lane::GpuCompute, ms(3.0), TaskKind::PostAttention, "c", &[transfer]).unwrap();
+        let transfer = g
+            .add_task(
+                Lane::HostToDevice,
+                ms(4.0),
+                TaskKind::WeightTransfer,
+                "w",
+                &[],
+            )
+            .unwrap();
+        let compute = g
+            .add_task(
+                Lane::GpuCompute,
+                ms(3.0),
+                TaskKind::PostAttention,
+                "c",
+                &[transfer],
+            )
+            .unwrap();
         let r = simulate(&g).unwrap();
         let t_entry = r.timeline.iter().find(|e| e.task == compute).unwrap();
         assert!((t_entry.start.as_millis() - 4.0).abs() < 1e-9);
@@ -247,34 +302,71 @@ mod tests {
         // Lane GPU: [x (depends on slow CPU task), y (independent)].
         // FIFO stream semantics: y cannot jump ahead of x even though it is ready.
         let mut g = TaskGraph::new();
-        let slow = g.add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "slow", &[]).unwrap();
-        let x = g.add_task(Lane::GpuCompute, ms(1.0), TaskKind::Other, "x", &[slow]).unwrap();
-        let y = g.add_task(Lane::GpuCompute, ms(1.0), TaskKind::Other, "y", &[]).unwrap();
+        let slow = g
+            .add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "slow", &[])
+            .unwrap();
+        let x = g
+            .add_task(Lane::GpuCompute, ms(1.0), TaskKind::Other, "x", &[slow])
+            .unwrap();
+        let y = g
+            .add_task(Lane::GpuCompute, ms(1.0), TaskKind::Other, "y", &[])
+            .unwrap();
         let r = simulate(&g).unwrap();
         let y_entry = r.timeline.iter().find(|e| e.task == y).unwrap();
-        assert!(y_entry.start.as_millis() >= 11.0 - 1e-9, "y must wait behind x");
+        assert!(
+            y_entry.start.as_millis() >= 11.0 - 1e-9,
+            "y must wait behind x"
+        );
         assert!(r.finish_of(x).unwrap().as_millis() <= y_entry.start.as_millis() + 1e-9);
     }
 
     #[test]
     fn bubbles_are_reported_for_gaps_within_a_lane() {
         let mut g = TaskGraph::new();
-        let slow = g.add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "slow", &[]).unwrap();
-        g.add_task(Lane::GpuCompute, ms(2.0), TaskKind::PreAttention, "a", &[]).unwrap();
-        g.add_task(Lane::GpuCompute, ms(2.0), TaskKind::PostAttention, "c", &[slow]).unwrap();
+        let slow = g
+            .add_task(Lane::CpuCompute, ms(10.0), TaskKind::Attention, "slow", &[])
+            .unwrap();
+        g.add_task(Lane::GpuCompute, ms(2.0), TaskKind::PreAttention, "a", &[])
+            .unwrap();
+        g.add_task(
+            Lane::GpuCompute,
+            ms(2.0),
+            TaskKind::PostAttention,
+            "c",
+            &[slow],
+        )
+        .unwrap();
         let r = simulate(&g).unwrap();
         let gpu = r.lane(Lane::GpuCompute);
         assert!((gpu.busy.as_millis() - 4.0).abs() < 1e-9);
-        assert!((gpu.bubble.as_millis() - 8.0).abs() < 1e-9, "gap from t=2 to t=10");
+        assert!(
+            (gpu.bubble.as_millis() - 8.0).abs() < 1e-9,
+            "gap from t=2 to t=10"
+        );
         assert_eq!(gpu.tasks, 2);
     }
 
     #[test]
     fn kind_busy_accumulates_across_lanes() {
         let mut g = TaskGraph::new();
-        g.add_task(Lane::HostToDevice, ms(3.0), TaskKind::WeightTransfer, "w1", &[]).unwrap();
-        g.add_task(Lane::HostToDevice, ms(2.0), TaskKind::WeightTransfer, "w2", &[]).unwrap();
-        g.add_task(Lane::GpuCompute, ms(1.0), TaskKind::PreAttention, "a", &[]).unwrap();
+        g.add_task(
+            Lane::HostToDevice,
+            ms(3.0),
+            TaskKind::WeightTransfer,
+            "w1",
+            &[],
+        )
+        .unwrap();
+        g.add_task(
+            Lane::HostToDevice,
+            ms(2.0),
+            TaskKind::WeightTransfer,
+            "w2",
+            &[],
+        )
+        .unwrap();
+        g.add_task(Lane::GpuCompute, ms(1.0), TaskKind::PreAttention, "a", &[])
+            .unwrap();
         let r = simulate(&g).unwrap();
         assert!((r.kind_time(TaskKind::WeightTransfer).as_millis() - 5.0).abs() < 1e-9);
         assert!(r.kind_time(TaskKind::KvTransfer).is_zero());
@@ -289,21 +381,47 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut prev: Option<TaskId> = None;
         for i in 0..16 {
-            let lane = if i % 2 == 0 { Lane::GpuCompute } else { Lane::CpuCompute };
+            let lane = if i % 2 == 0 {
+                Lane::GpuCompute
+            } else {
+                Lane::CpuCompute
+            };
             let deps: Vec<TaskId> = prev.into_iter().collect();
-            prev = Some(g.add_task(lane, ms(1.0), TaskKind::Other, format!("t{i}"), &deps).unwrap());
+            prev = Some(
+                g.add_task(lane, ms(1.0), TaskKind::Other, format!("t{i}"), &deps)
+                    .unwrap(),
+            );
         }
         let r = simulate(&g).unwrap();
         assert_eq!(r.timeline.len(), 16);
-        assert!((r.makespan.as_millis() - 16.0).abs() < 1e-9, "strict chain serializes fully");
+        assert!(
+            (r.makespan.as_millis() - 16.0).abs() < 1e-9,
+            "strict chain serializes fully"
+        );
     }
 
     #[test]
     fn timeline_is_sorted_by_start_time() {
         let mut g = TaskGraph::new();
-        let w = g.add_task(Lane::HostToDevice, ms(5.0), TaskKind::WeightTransfer, "w", &[]).unwrap();
-        g.add_task(Lane::GpuCompute, ms(1.0), TaskKind::PostAttention, "c", &[w]).unwrap();
-        g.add_task(Lane::CpuCompute, ms(1.0), TaskKind::Attention, "b", &[]).unwrap();
+        let w = g
+            .add_task(
+                Lane::HostToDevice,
+                ms(5.0),
+                TaskKind::WeightTransfer,
+                "w",
+                &[],
+            )
+            .unwrap();
+        g.add_task(
+            Lane::GpuCompute,
+            ms(1.0),
+            TaskKind::PostAttention,
+            "c",
+            &[w],
+        )
+        .unwrap();
+        g.add_task(Lane::CpuCompute, ms(1.0), TaskKind::Attention, "b", &[])
+            .unwrap();
         let r = simulate(&g).unwrap();
         for pair in r.timeline.windows(2) {
             assert!(pair[0].start.as_secs() <= pair[1].start.as_secs());

@@ -67,7 +67,8 @@ mod proptests {
                 deps.sort();
                 deps.dedup();
             }
-            g.add_task(lane, duration, TaskKind::Other, format!("t{i}"), &deps).unwrap();
+            g.add_task(lane, duration, TaskKind::Other, format!("t{i}"), &deps)
+                .unwrap();
         }
         g
     }

@@ -27,7 +27,12 @@ pub enum Lane {
 impl Lane {
     /// All lanes, in display order.
     pub fn all() -> [Lane; 4] {
-        [Lane::GpuCompute, Lane::CpuCompute, Lane::HostToDevice, Lane::DeviceToHost]
+        [
+            Lane::GpuCompute,
+            Lane::CpuCompute,
+            Lane::HostToDevice,
+            Lane::DeviceToHost,
+        ]
     }
 }
 
@@ -170,7 +175,10 @@ impl TaskGraph {
         let id = TaskId(self.tasks.len());
         for dep in deps {
             if dep.0 >= self.tasks.len() {
-                return Err(SimError::UnknownDependency { task: id.0, dependency: dep.0 });
+                return Err(SimError::UnknownDependency {
+                    task: id.0,
+                    dependency: dep.0,
+                });
             }
         }
         self.tasks.push(Task {
@@ -206,12 +214,20 @@ impl TaskGraph {
 
     /// Tasks bound to a given lane, in enqueue (FIFO) order.
     pub fn lane_queue(&self, lane: Lane) -> Vec<TaskId> {
-        self.tasks.iter().filter(|t| t.lane == lane).map(|t| t.id).collect()
+        self.tasks
+            .iter()
+            .filter(|t| t.lane == lane)
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Sum of all task durations on a lane (lower bound on that lane's busy time).
     pub fn lane_work(&self, lane: Lane) -> Seconds {
-        self.tasks.iter().filter(|t| t.lane == lane).map(|t| t.duration).sum()
+        self.tasks
+            .iter()
+            .filter(|t| t.lane == lane)
+            .map(|t| t.duration)
+            .sum()
     }
 }
 
@@ -222,8 +238,24 @@ mod tests {
     #[test]
     fn add_task_assigns_sequential_ids() {
         let mut g = TaskGraph::new();
-        let a = g.add_task(Lane::GpuCompute, Seconds::from_millis(1.0), TaskKind::PreAttention, "a", &[]).unwrap();
-        let b = g.add_task(Lane::CpuCompute, Seconds::from_millis(2.0), TaskKind::Attention, "b", &[a]).unwrap();
+        let a = g
+            .add_task(
+                Lane::GpuCompute,
+                Seconds::from_millis(1.0),
+                TaskKind::PreAttention,
+                "a",
+                &[],
+            )
+            .unwrap();
+        let b = g
+            .add_task(
+                Lane::CpuCompute,
+                Seconds::from_millis(2.0),
+                TaskKind::Attention,
+                "b",
+                &[a],
+            )
+            .unwrap();
         assert_eq!(a, TaskId(0));
         assert_eq!(b, TaskId(1));
         assert_eq!(g.len(), 2);
@@ -236,17 +268,50 @@ mod tests {
     fn forward_dependencies_are_rejected() {
         let mut g = TaskGraph::new();
         let err = g
-            .add_task(Lane::GpuCompute, Seconds::ZERO, TaskKind::Other, "x", &[TaskId(3)])
+            .add_task(
+                Lane::GpuCompute,
+                Seconds::ZERO,
+                TaskKind::Other,
+                "x",
+                &[TaskId(3)],
+            )
             .unwrap_err();
-        assert!(matches!(err, SimError::UnknownDependency { dependency: 3, .. }));
+        assert!(matches!(
+            err,
+            SimError::UnknownDependency { dependency: 3, .. }
+        ));
     }
 
     #[test]
     fn lane_queue_preserves_fifo_order_and_filters_lane() {
         let mut g = TaskGraph::new();
-        let a = g.add_task(Lane::HostToDevice, Seconds::from_millis(1.0), TaskKind::WeightTransfer, "w0", &[]).unwrap();
-        let _b = g.add_task(Lane::GpuCompute, Seconds::from_millis(1.0), TaskKind::PostAttention, "c0", &[]).unwrap();
-        let c = g.add_task(Lane::HostToDevice, Seconds::from_millis(1.0), TaskKind::HiddenTransfer, "h1", &[]).unwrap();
+        let a = g
+            .add_task(
+                Lane::HostToDevice,
+                Seconds::from_millis(1.0),
+                TaskKind::WeightTransfer,
+                "w0",
+                &[],
+            )
+            .unwrap();
+        let _b = g
+            .add_task(
+                Lane::GpuCompute,
+                Seconds::from_millis(1.0),
+                TaskKind::PostAttention,
+                "c0",
+                &[],
+            )
+            .unwrap();
+        let c = g
+            .add_task(
+                Lane::HostToDevice,
+                Seconds::from_millis(1.0),
+                TaskKind::HiddenTransfer,
+                "h1",
+                &[],
+            )
+            .unwrap();
         assert_eq!(g.lane_queue(Lane::HostToDevice), vec![a, c]);
         assert_eq!(g.lane_queue(Lane::DeviceToHost), vec![]);
     }
@@ -254,9 +319,30 @@ mod tests {
     #[test]
     fn lane_work_sums_durations() {
         let mut g = TaskGraph::new();
-        g.add_task(Lane::GpuCompute, Seconds::from_millis(3.0), TaskKind::Other, "x", &[]).unwrap();
-        g.add_task(Lane::GpuCompute, Seconds::from_millis(4.0), TaskKind::Other, "y", &[]).unwrap();
-        g.add_task(Lane::CpuCompute, Seconds::from_millis(9.0), TaskKind::Other, "z", &[]).unwrap();
+        g.add_task(
+            Lane::GpuCompute,
+            Seconds::from_millis(3.0),
+            TaskKind::Other,
+            "x",
+            &[],
+        )
+        .unwrap();
+        g.add_task(
+            Lane::GpuCompute,
+            Seconds::from_millis(4.0),
+            TaskKind::Other,
+            "y",
+            &[],
+        )
+        .unwrap();
+        g.add_task(
+            Lane::CpuCompute,
+            Seconds::from_millis(9.0),
+            TaskKind::Other,
+            "z",
+            &[],
+        )
+        .unwrap();
         assert!((g.lane_work(Lane::GpuCompute).as_millis() - 7.0).abs() < 1e-9);
         assert!((g.lane_work(Lane::CpuCompute).as_millis() - 9.0).abs() < 1e-9);
         assert!(g.lane_work(Lane::DeviceToHost).is_zero());
@@ -268,7 +354,10 @@ mod tests {
         assert_eq!(Lane::HostToDevice.to_string(), "HtoD");
         assert_eq!(TaskKind::WeightTransfer.to_string(), "weights");
         assert_eq!(Lane::all().len(), 4);
-        let e = SimError::Deadlock { completed: 2, total: 5 };
+        let e = SimError::Deadlock {
+            completed: 2,
+            total: 5,
+        };
         assert!(e.to_string().contains("2 of 5"));
     }
 }

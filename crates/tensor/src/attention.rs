@@ -34,7 +34,10 @@ pub fn gqa_attention_decode(
     let (n_q_heads, head_dim) = query.as_2d()?;
     let kv_shape = k_cache.shape();
     if kv_shape.len() != 3 {
-        return Err(TensorError::RankMismatch { expected: 3, got: kv_shape.len() });
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            got: kv_shape.len(),
+        });
     }
     if v_cache.shape() != kv_shape {
         return Err(TensorError::ShapeMismatch {
@@ -225,7 +228,9 @@ mod tests {
     #[test]
     fn prefill_validates_shapes() {
         let q = Tensor::zeros(&[3, 4]);
-        assert!(causal_attention_prefill(&q, &Tensor::zeros(&[3, 5]), &Tensor::zeros(&[3, 4])).is_err());
+        assert!(
+            causal_attention_prefill(&q, &Tensor::zeros(&[3, 5]), &Tensor::zeros(&[3, 4])).is_err()
+        );
     }
 
     #[test]
@@ -244,7 +249,12 @@ mod tests {
         let v3 = v.reshape(&[1, seq, dim]).unwrap();
         let decode = gqa_attention_decode(&q_last, &k3, &v3).unwrap();
 
-        for (a, b) in prefill.row(seq - 1).unwrap().iter().zip(decode.row(0).unwrap()) {
+        for (a, b) in prefill
+            .row(seq - 1)
+            .unwrap()
+            .iter()
+            .zip(decode.row(0).unwrap())
+        {
             assert!((a - b).abs() < 1e-5);
         }
     }

@@ -38,11 +38,21 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { expected, got, context } => {
-                write!(f, "shape mismatch in {context}: expected {expected:?}, got {got:?}")
+            TensorError::ShapeMismatch {
+                expected,
+                got,
+                context,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected:?}, got {got:?}"
+                )
             }
             TensorError::RankMismatch { expected, got } => {
-                write!(f, "rank mismatch: expected {expected}-d tensor, got {got}-d")
+                write!(
+                    f,
+                    "rank mismatch: expected {expected}-d tensor, got {got}-d"
+                )
             }
             TensorError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for length {len}")
@@ -68,9 +78,14 @@ mod tests {
                 got: vec![3],
                 context: "test",
             },
-            TensorError::RankMismatch { expected: 2, got: 1 },
+            TensorError::RankMismatch {
+                expected: 2,
+                got: 1,
+            },
             TensorError::IndexOutOfBounds { index: 9, len: 3 },
-            TensorError::InvalidArgument { message: "k must be positive".to_owned() },
+            TensorError::InvalidArgument {
+                message: "k must be positive".to_owned(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -158,7 +158,9 @@ pub fn silu_tensor(x: &Tensor) -> Tensor {
 /// `scores`.
 pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<(usize, f32)>, TensorError> {
     if k == 0 {
-        return Err(TensorError::InvalidArgument { message: "top_k requires k >= 1".to_owned() });
+        return Err(TensorError::InvalidArgument {
+            message: "top_k requires k >= 1".to_owned(),
+        });
     }
     if k > scores.len() {
         return Err(TensorError::InvalidArgument {
@@ -166,7 +168,11 @@ pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<(usize, f32)>, TensorError>
         });
     }
     let mut indexed: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    indexed.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     indexed.truncate(k);
     Ok(indexed)
 }

@@ -32,13 +32,19 @@ impl Tensor {
     /// ```
     pub fn zeros(shape: &[usize]) -> Tensor {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Tensor {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -56,7 +62,10 @@ impl Tensor {
                 context: "Tensor::from_vec",
             });
         }
-        Ok(Tensor { shape: shape.to_vec(), data })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Creates a tensor with values drawn from a normal distribution `N(0, std²)`,
@@ -74,7 +83,10 @@ impl Tensor {
                 (s - 6.0) * std
             })
             .collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -128,7 +140,10 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] if the tensor is not 2-D.
     pub fn as_2d(&self) -> Result<(usize, usize), TensorError> {
         if self.shape.len() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, got: self.shape.len() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.shape.len(),
+            });
         }
         Ok((self.shape[0], self.shape[1]))
     }
@@ -141,7 +156,10 @@ impl Tensor {
     pub fn row(&self, row: usize) -> Result<&[f32], TensorError> {
         let (rows, cols) = self.as_2d()?;
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: row, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: row,
+                len: rows,
+            });
         }
         Ok(&self.data[row * cols..(row + 1) * cols])
     }
@@ -154,7 +172,10 @@ impl Tensor {
     pub fn row_mut(&mut self, row: usize) -> Result<&mut [f32], TensorError> {
         let (rows, cols) = self.as_2d()?;
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: row, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: row,
+                len: rows,
+            });
         }
         Ok(&mut self.data[row * cols..(row + 1) * cols])
     }
@@ -173,7 +194,10 @@ impl Tensor {
                 context: "Tensor::reshape",
             });
         }
-        Ok(Tensor { shape: shape.to_vec(), data: self.data.clone() })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
     }
 
     /// Element-wise addition.
@@ -196,12 +220,18 @@ impl Tensor {
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, factor: f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|x| x * factor).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
     }
 
     /// Applies a function element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
     }
 
     /// Maximum absolute difference between two tensors of the same shape.
@@ -243,8 +273,16 @@ impl Tensor {
                 context,
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| f(*a, *b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| f(*a, *b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 }
 
@@ -297,7 +335,10 @@ mod tests {
         t.row_mut(0).unwrap()[2] = 9.0;
         assert_eq!(t.row(0).unwrap(), &[1.0, 2.0, 9.0]);
         assert!(t.row(2).is_err());
-        assert!(Tensor::zeros(&[3]).row(0).is_err(), "row access requires 2-D");
+        assert!(
+            Tensor::zeros(&[3]).row(0).is_err(),
+            "row access requires 2-D"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl BatchingResult {
     /// The largest and smallest per-micro-batch prompt token counts (imbalance
     /// indicator).
     pub fn prompt_token_spread(&self) -> (u64, u64) {
-        let counts: Vec<u64> = self.micro_batches.iter().map(MicroBatch::prompt_tokens).collect();
+        let counts: Vec<u64> = self
+            .micro_batches
+            .iter()
+            .map(MicroBatch::prompt_tokens)
+            .collect();
         let max = counts.iter().copied().max().unwrap_or(0);
         let min = counts.iter().copied().min().unwrap_or(0);
         (min, max)
@@ -64,14 +68,19 @@ impl BatchingResult {
 }
 
 /// Parameters of the batching algorithm (inputs of Algorithm 2).
+///
+/// The paper's pseudo-code also takes a uniform `gen_len`; here each [`Request`]
+/// carries its own, so the KV-cache projection uses the per-request
+/// `max_context()` instead.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BatchingConfig {
     /// Number of micro-batches to form (`n_ub`).
     pub num_micro_batches: usize,
     /// Maximum number of requests per micro-batch (`ubs`).
     pub max_requests_per_micro_batch: usize,
-    /// Generation length per request (`gen_len`).
-    pub gen_len: u64,
+    /// Maximum requests across all micro-batches (the policy's batch size `N`;
+    /// binds when `N` is not a multiple of `ubs`, so `n_ub × ubs > N`).
+    pub max_scheduled_requests: usize,
     /// Maximum KV-cache tokens per micro-batch (`cache_size`).
     pub cache_tokens_per_micro_batch: u64,
 }
@@ -83,11 +92,17 @@ pub struct BatchingConfig {
 /// Panics if `num_micro_batches` or `max_requests_per_micro_batch` is zero.
 pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
     assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
-    assert!(cfg.max_requests_per_micro_batch > 0, "need a positive per-micro-batch capacity");
+    assert!(
+        cfg.max_requests_per_micro_batch > 0,
+        "need a positive per-micro-batch capacity"
+    );
 
-    // partitions[i] collects requests; partition_sums[i] tracks assigned prompt tokens.
+    // partitions[i] collects requests; partition_sums[i] tracks assigned prompt
+    // tokens (the balancing criterion); cache_sums[i] tracks the end-of-generation
+    // KV tokens the partition has reserved (the admission criterion).
     let mut partitions: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
     let mut partition_sums: Vec<u64> = vec![0; cfg.num_micro_batches];
+    let mut cache_sums: Vec<u64> = vec![0; cfg.num_micro_batches];
     let mut open: Vec<usize> = (0..cfg.num_micro_batches).collect();
     let mut finished: Vec<(usize, Vec<Request>)> = Vec::new();
     let mut aborted = Vec::new();
@@ -95,8 +110,9 @@ pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult
     let mut sorted: Vec<Request> = queue.to_vec();
     sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
 
+    let mut scheduled = 0usize;
     for req in sorted {
-        if open.is_empty() {
+        if open.is_empty() || scheduled == cfg.max_scheduled_requests {
             aborted.push(req);
             continue;
         }
@@ -105,15 +121,15 @@ pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult
             .iter()
             .min_by_key(|&&i| (partition_sums[i], i))
             .expect("open is non-empty");
-        let projected_cache = partition_sums[idx]
-            + req.input_len
-            + (1 + partitions[idx].len() as u64) * cfg.gen_len;
+        let projected_cache = cache_sums[idx] + req.max_context();
         if projected_cache > cfg.cache_tokens_per_micro_batch {
             aborted.push(req);
             continue;
         }
         partitions[idx].push(req);
         partition_sums[idx] += req.input_len;
+        cache_sums[idx] += req.max_context();
+        scheduled += 1;
         if partitions[idx].len() == cfg.max_requests_per_micro_batch {
             // The micro-batch is full: move it to the finished list and close it.
             finished.push((idx, std::mem::take(&mut partitions[idx])));
@@ -123,13 +139,18 @@ pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult
 
     // Emit full micro-batches first (in the order they filled up), then the remaining
     // partially filled ones in index order.
-    let mut micro_batches: Vec<MicroBatch> =
-        finished.into_iter().map(|(_, requests)| MicroBatch { requests }).collect();
+    let mut micro_batches: Vec<MicroBatch> = finished
+        .into_iter()
+        .map(|(_, requests)| MicroBatch { requests })
+        .collect();
     for requests in partitions.into_iter().filter(|p| !p.is_empty()) {
         micro_batches.push(MicroBatch { requests });
     }
 
-    BatchingResult { micro_batches, aborted }
+    BatchingResult {
+        micro_batches,
+        aborted,
+    }
 }
 
 #[cfg(test)]
@@ -137,23 +158,27 @@ mod tests {
     use super::*;
     use crate::spec::WorkloadSpec;
 
-    fn cfg(n_ub: usize, ubs: usize, gen: u64, cache: u64) -> BatchingConfig {
+    fn cfg(n_ub: usize, ubs: usize, cache: u64) -> BatchingConfig {
         BatchingConfig {
             num_micro_batches: n_ub,
             max_requests_per_micro_batch: ubs,
-            gen_len: gen,
+            max_scheduled_requests: usize::MAX,
             cache_tokens_per_micro_batch: cache,
         }
     }
 
     fn req(id: u64, len: u64) -> Request {
-        Request { id, input_len: len, gen_len: 32 }
+        Request {
+            id,
+            input_len: len,
+            gen_len: 32,
+        }
     }
 
     #[test]
     fn balances_tokens_across_micro_batches() {
         let reqs = WorkloadSpec::mtbench().sample_requests(256, 32, 11);
-        let result = batch_requests(&reqs, &cfg(8, 32, 32, u64::MAX));
+        let result = batch_requests(&reqs, &cfg(8, 32, u64::MAX));
         assert_eq!(result.scheduled_requests(), 256);
         assert!(result.aborted.is_empty());
         assert_eq!(result.micro_batches.len(), 8);
@@ -167,7 +192,7 @@ mod tests {
     #[test]
     fn respects_per_micro_batch_request_cap() {
         let reqs: Vec<Request> = (0..20).map(|i| req(i, 100)).collect();
-        let result = batch_requests(&reqs, &cfg(4, 4, 16, u64::MAX));
+        let result = batch_requests(&reqs, &cfg(4, 4, u64::MAX));
         // Only 4×4 = 16 requests fit; the remaining 4 are aborted.
         assert_eq!(result.scheduled_requests(), 16);
         assert_eq!(result.aborted.len(), 4);
@@ -178,7 +203,7 @@ mod tests {
     fn respects_cache_size_limit() {
         let reqs: Vec<Request> = (0..8).map(|i| req(i, 1000)).collect();
         // Cache only fits one 1000-token prompt plus generation per micro-batch.
-        let result = batch_requests(&reqs, &cfg(2, 8, 32, 1100));
+        let result = batch_requests(&reqs, &cfg(2, 8, 1100));
         assert_eq!(result.scheduled_requests(), 2);
         assert_eq!(result.aborted.len(), 6);
         for mb in &result.micro_batches {
@@ -190,19 +215,62 @@ mod tests {
     fn longest_requests_are_spread_over_different_micro_batches() {
         let mut reqs: Vec<Request> = (0..4).map(|i| req(i, 400)).collect();
         reqs.extend((4..12).map(|i| req(i, 10)));
-        let result = batch_requests(&reqs, &cfg(4, 3, 8, u64::MAX));
+        let result = batch_requests(&reqs, &cfg(4, 3, u64::MAX));
         // The four long requests must land in four different micro-batches.
         let long_counts: Vec<usize> = result
             .micro_batches
             .iter()
             .map(|mb| mb.requests.iter().filter(|r| r.input_len == 400).count())
             .collect();
-        assert!(long_counts.iter().all(|&c| c <= 1), "long requests clumped: {long_counts:?}");
+        assert!(
+            long_counts.iter().all(|&c| c <= 1),
+            "long requests clumped: {long_counts:?}"
+        );
+    }
+
+    #[test]
+    fn single_request_exceeding_cache_limit_aborts_without_panicking() {
+        // One request whose prompt alone blows the per-micro-batch KV budget must be
+        // deferred (the paper's "abort"), not crash the batcher.
+        let giant = req(0, 10_000);
+        let result = batch_requests(&[giant], &cfg(4, 8, 1000));
+        assert!(result.micro_batches.is_empty());
+        assert_eq!(result.aborted, vec![giant]);
+        // Mixed with schedulable requests, only the oversized one is aborted.
+        let queue = [giant, req(1, 100), req(2, 200)];
+        let result = batch_requests(&queue, &cfg(4, 8, 1000));
+        assert_eq!(result.scheduled_requests(), 2);
+        assert_eq!(result.aborted, vec![giant]);
+    }
+
+    #[test]
+    fn all_equal_length_requests_produce_balanced_micro_batches() {
+        let reqs: Vec<Request> = (0..32).map(|i| req(i, 64)).collect();
+        let result = batch_requests(&reqs, &cfg(8, 8, u64::MAX));
+        assert_eq!(result.scheduled_requests(), 32);
+        assert!(result.aborted.is_empty());
+        assert_eq!(result.micro_batches.len(), 8);
+        // Perfect balance: every micro-batch holds exactly 4 requests / 256 tokens.
+        assert!(result.micro_batches.iter().all(|mb| mb.len() == 4));
+        let (min, max) = result.prompt_token_spread();
+        assert_eq!((min, max), (256, 256));
+    }
+
+    #[test]
+    fn total_request_cap_binds_before_per_micro_batch_caps() {
+        // n_ub × ubs = 12, but the total cap (a non-divisible batch size) is 10.
+        let reqs: Vec<Request> = (0..20).map(|i| req(i, 50)).collect();
+        let mut config = cfg(3, 4, u64::MAX);
+        config.max_scheduled_requests = 10;
+        let result = batch_requests(&reqs, &config);
+        assert_eq!(result.scheduled_requests(), 10);
+        assert_eq!(result.aborted.len(), 10);
+        assert!(result.micro_batches.iter().all(|mb| mb.len() <= 4));
     }
 
     #[test]
     fn empty_queue_produces_no_micro_batches() {
-        let result = batch_requests(&[], &cfg(4, 8, 32, 1000));
+        let result = batch_requests(&[], &cfg(4, 8, 1000));
         assert!(result.micro_batches.is_empty());
         assert!(result.aborted.is_empty());
         assert_eq!(result.prompt_token_spread(), (0, 0));
@@ -211,12 +279,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one micro-batch")]
     fn zero_micro_batches_panics() {
-        batch_requests(&[], &cfg(0, 8, 32, 1000));
+        batch_requests(&[], &cfg(0, 8, 1000));
     }
 
     #[test]
     fn micro_batch_accessors() {
-        let mb = MicroBatch { requests: vec![req(0, 10), req(1, 20)] };
+        let mb = MicroBatch {
+            requests: vec![req(0, 10), req(1, 20)],
+        };
         assert_eq!(mb.len(), 2);
         assert!(!mb.is_empty());
         assert_eq!(mb.prompt_tokens(), 30);

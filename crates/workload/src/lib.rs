@@ -16,7 +16,7 @@
 //!     &BatchingConfig {
 //!         num_micro_batches: 4,
 //!         max_requests_per_micro_batch: 32,
-//!         gen_len: 64,
+//!         max_scheduled_requests: usize::MAX,
 //!         cache_tokens_per_micro_batch: 1 << 20,
 //!     },
 //! );
@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod spec;
 
 pub use batching::{batch_requests, BatchingConfig, BatchingResult, MicroBatch};
-pub use metrics::BatchRunReport;
+pub use metrics::{BatchRunReport, LatencySummary, RequestLatency};
 pub use spec::{Request, WorkloadSpec};
 
 #[cfg(test)]
@@ -44,7 +44,11 @@ mod proptests {
         proptest::collection::vec((1u64..2048, 1u64..256), 1..200).prop_map(|v| {
             v.into_iter()
                 .enumerate()
-                .map(|(i, (input_len, gen_len))| Request { id: i as u64, input_len, gen_len })
+                .map(|(i, (input_len, gen_len))| Request {
+                    id: i as u64,
+                    input_len,
+                    gen_len,
+                })
                 .collect()
         })
     }
@@ -62,7 +66,7 @@ mod proptests {
             let result = batch_requests(&reqs, &BatchingConfig {
                 num_micro_batches: n_ub,
                 max_requests_per_micro_batch: ubs,
-                gen_len: 32,
+                max_scheduled_requests: usize::MAX,
                 cache_tokens_per_micro_batch: cache,
             });
             let mut seen: Vec<u64> = result
@@ -86,7 +90,7 @@ mod proptests {
             let cfg = BatchingConfig {
                 num_micro_batches: n_ub,
                 max_requests_per_micro_batch: ubs,
-                gen_len: 16,
+                max_scheduled_requests: usize::MAX,
                 cache_tokens_per_micro_batch: 1 << 20,
             };
             let result = batch_requests(&reqs, &cfg);
@@ -105,12 +109,12 @@ mod proptests {
             let cfg = BatchingConfig {
                 num_micro_batches: n_ub,
                 max_requests_per_micro_batch: 1024,
-                gen_len: 32,
+                max_scheduled_requests: usize::MAX,
                 cache_tokens_per_micro_batch: cache,
             };
             let result = batch_requests(&reqs, &cfg);
             for mb in &result.micro_batches {
-                let cache_needed = mb.prompt_tokens() + mb.len() as u64 * 32;
+                let cache_needed = mb.max_cache_tokens();
                 prop_assert!(cache_needed <= cache,
                     "micro-batch needs {} tokens but the budget is {}", cache_needed, cache);
             }

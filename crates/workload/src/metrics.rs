@@ -1,11 +1,18 @@
-//! Throughput metrics: the paper's evaluation measures *generation throughput* —
-//! generated tokens divided by total time (prefill + decode).
+//! Throughput and latency metrics.
+//!
+//! The paper's evaluation reports *generation throughput* — generated tokens
+//! divided by total time (prefill + decode) — per batch ([`BatchRunReport`]).
+//! Request-level serving additionally tracks per-request latency
+//! ([`RequestLatency`]): time to first token, average per-token time and
+//! completion time, summarized as percentiles ([`LatencySummary`]).
 
+use crate::spec::Request;
 use moe_hardware::Seconds;
 use serde::{Deserialize, Serialize};
 
-/// Outcome of running (or simulating) one batch of requests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Outcome of running (or simulating) one batch of requests. `Default` is the
+/// all-zero report, the identity of [`BatchRunReport::combine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BatchRunReport {
     /// Number of requests in the batch.
     pub requests: u64,
@@ -66,6 +73,91 @@ impl BatchRunReport {
     }
 }
 
+/// Per-request latency record produced by the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// The request this record describes.
+    pub request: Request,
+    /// Zero-based index of the serving round (batch) the request ran in.
+    pub round: usize,
+    /// Time from queue submission to the first generated token (includes queueing
+    /// behind earlier rounds plus this round's prefill and first decode step).
+    pub ttft: Seconds,
+    /// Average latency of one generated token once decoding has started.
+    pub per_token: Seconds,
+    /// Time from queue submission to the request's last generated token.
+    pub completion_time: Seconds,
+}
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Seconds,
+    /// 50th percentile (median).
+    pub p50: Seconds,
+    /// 90th percentile.
+    pub p90: Seconds,
+    /// 99th percentile.
+    pub p99: Seconds,
+    /// Largest sample.
+    pub max: Seconds,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (percentiles by nearest-rank; all-zero for an empty
+    /// slice).
+    pub fn from_samples(samples: &[Seconds]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: Seconds::ZERO,
+                p50: Seconds::ZERO,
+                p90: Seconds::ZERO,
+                p99: Seconds::ZERO,
+                max: Seconds::ZERO,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.iter().map(|s| s.as_secs()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            Seconds::from_secs(sorted[rank.clamp(1, sorted.len()) - 1])
+        };
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        LatencySummary {
+            count: sorted.len(),
+            mean: Seconds::from_secs(mean),
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+            max: Seconds::from_secs(*sorted.last().expect("non-empty")),
+        }
+    }
+
+    /// Summarizes the time-to-first-token of `latencies`.
+    pub fn ttft(latencies: &[RequestLatency]) -> Self {
+        Self::from_samples(&latencies.iter().map(|l| l.ttft).collect::<Vec<_>>())
+    }
+
+    /// Summarizes the average per-token latency of `latencies`.
+    pub fn per_token(latencies: &[RequestLatency]) -> Self {
+        Self::from_samples(&latencies.iter().map(|l| l.per_token).collect::<Vec<_>>())
+    }
+
+    /// Summarizes the completion time of `latencies`.
+    pub fn completion(latencies: &[RequestLatency]) -> Self {
+        Self::from_samples(
+            &latencies
+                .iter()
+                .map(|l| l.completion_time)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +209,55 @@ mod tests {
         assert_eq!(double.generated_tokens, 128_000);
         assert!((double.total_time().as_secs() - 4000.0).abs() < 1e-9);
         assert!((double.generation_throughput() - r.generation_throughput()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_use_nearest_rank() {
+        let samples: Vec<Seconds> = (1..=100)
+            .map(|i| Seconds::from_secs(f64::from(i)))
+            .collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.p50.as_secs() - 50.0).abs() < 1e-9);
+        assert!((s.p90.as_secs() - 90.0).abs() < 1e-9);
+        assert!((s.p99.as_secs() - 99.0).abs() < 1e-9);
+        assert!((s.max.as_secs() - 100.0).abs() < 1e-9);
+        assert!((s.mean.as_secs() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_of_empty_slice_is_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, Seconds::ZERO);
+        assert_eq!(s.p99, Seconds::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_selectors_pick_the_right_field() {
+        let req = Request {
+            id: 0,
+            input_len: 10,
+            gen_len: 4,
+        };
+        let latencies = [
+            RequestLatency {
+                request: req,
+                round: 0,
+                ttft: Seconds::from_secs(1.0),
+                per_token: Seconds::from_secs(0.5),
+                completion_time: Seconds::from_secs(3.0),
+            },
+            RequestLatency {
+                request: Request { id: 1, ..req },
+                round: 1,
+                ttft: Seconds::from_secs(3.0),
+                per_token: Seconds::from_secs(0.7),
+                completion_time: Seconds::from_secs(5.0),
+            },
+        ];
+        assert!((LatencySummary::ttft(&latencies).mean.as_secs() - 2.0).abs() < 1e-9);
+        assert!((LatencySummary::per_token(&latencies).mean.as_secs() - 0.6).abs() < 1e-9);
+        assert!((LatencySummary::completion(&latencies).max.as_secs() - 5.0).abs() < 1e-9);
     }
 }

@@ -75,7 +75,11 @@ impl WorkloadSpec {
 
     /// All three paper workloads.
     pub fn all() -> Vec<WorkloadSpec> {
-        vec![Self::mtbench(), Self::synthetic_reasoning(), Self::summarization()]
+        vec![
+            Self::mtbench(),
+            Self::synthetic_reasoning(),
+            Self::summarization(),
+        ]
     }
 
     /// Samples `count` requests with the given generation length.
@@ -98,7 +102,11 @@ impl WorkloadSpec {
         (0..count)
             .map(|i| {
                 let u: f64 = rng.gen_range(-1.0..1.0);
-                let len = if u < 0.0 { avg + u * down } else { avg + u * up };
+                let len = if u < 0.0 {
+                    avg + u * down
+                } else {
+                    avg + u * up
+                };
                 Request {
                     id: i as u64,
                     input_len: (len.round().max(1.0) as u64).min(self.max_prompt_len),
@@ -117,8 +125,33 @@ impl WorkloadSpec {
     pub fn padded_requests(&self, count: usize, gen_len: u64) -> Vec<Request> {
         assert!(count > 0, "cannot sample an empty workload");
         (0..count)
-            .map(|i| Request { id: i as u64, input_len: self.max_prompt_len, gen_len })
+            .map(|i| Request {
+                id: i as u64,
+                input_len: self.max_prompt_len,
+                gen_len,
+            })
             .collect()
+    }
+
+    /// Synthesizes the request queue a serving system sees for this workload:
+    /// padded systems receive every prompt at `max_prompt_len`, the others a
+    /// variable-length sample matching the workload's length statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn request_queue(
+        &self,
+        count: usize,
+        gen_len: u64,
+        seed: u64,
+        padded: bool,
+    ) -> Vec<Request> {
+        if padded {
+            self.padded_requests(count, gen_len)
+        } else {
+            self.sample_requests(count, gen_len, seed)
+        }
     }
 
     /// Average prompt length of a request list (tokens).
@@ -151,19 +184,32 @@ mod tests {
         for spec in WorkloadSpec::all() {
             let reqs = spec.sample_requests(2000, 64, 7);
             assert_eq!(reqs.len(), 2000);
-            assert!(reqs.iter().all(|r| r.input_len >= 1 && r.input_len <= spec.max_prompt_len));
+            assert!(reqs
+                .iter()
+                .all(|r| r.input_len >= 1 && r.input_len <= spec.max_prompt_len));
             assert!(reqs.iter().all(|r| r.gen_len == 64));
             let mean = WorkloadSpec::mean_prompt(&reqs);
             let rel = (mean - spec.avg_prompt_len as f64).abs() / spec.avg_prompt_len as f64;
-            assert!(rel < 0.25, "{}: mean {mean} too far from {}", spec.name, spec.avg_prompt_len);
+            assert!(
+                rel < 0.25,
+                "{}: mean {mean} too far from {}",
+                spec.name,
+                spec.avg_prompt_len
+            );
         }
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let spec = WorkloadSpec::mtbench();
-        assert_eq!(spec.sample_requests(50, 32, 1), spec.sample_requests(50, 32, 1));
-        assert_ne!(spec.sample_requests(50, 32, 1), spec.sample_requests(50, 32, 2));
+        assert_eq!(
+            spec.sample_requests(50, 32, 1),
+            spec.sample_requests(50, 32, 1)
+        );
+        assert_ne!(
+            spec.sample_requests(50, 32, 1),
+            spec.sample_requests(50, 32, 2)
+        );
     }
 
     #[test]
@@ -180,6 +226,16 @@ mod tests {
         for (i, r) in reqs.iter().enumerate() {
             assert_eq!(r.id, i as u64);
         }
+    }
+
+    #[test]
+    fn request_queue_switches_on_padding() {
+        let spec = WorkloadSpec::mtbench();
+        let padded = spec.request_queue(20, 64, 5, true);
+        assert!(padded.iter().all(|r| r.input_len == spec.max_prompt_len));
+        let sampled = spec.request_queue(20, 64, 5, false);
+        assert_eq!(sampled, spec.sample_requests(20, 64, 5));
+        assert!(sampled.iter().any(|r| r.input_len != spec.max_prompt_len));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &BatchingConfig {
             num_micro_batches: result.policy.num_micro_batches() as usize,
             max_requests_per_micro_batch: result.policy.micro_batch_size as usize,
-            gen_len: 128,
+            max_scheduled_requests: result.policy.batch_size as usize,
             cache_tokens_per_micro_batch: u64::MAX,
         },
     );

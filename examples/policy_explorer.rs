@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 link,
                 cpu_scale,
                 1.0 - p.weights_gpu_ratio,
-                if p.attention_on_gpu { 1.0 - p.kv_gpu_ratio } else { 1.0 },
+                if p.attention_on_gpu {
+                    1.0 - p.kv_gpu_ratio
+                } else {
+                    1.0
+                },
                 if p.attention_on_gpu { "GPU" } else { "CPU" },
                 result.throughput
             );

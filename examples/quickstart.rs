@@ -34,6 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nMoE-Lightning's CGOPipe schedule plus the HRM-searched policy should come out on top.");
+    println!(
+        "\nMoE-Lightning's CGOPipe schedule plus the HRM-searched policy should come out on top."
+    );
     Ok(())
 }

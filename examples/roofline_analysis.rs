@@ -11,7 +11,10 @@ use moe_lightning::MoeModelConfig;
 use moe_model::LayerOps;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (node, label) in [(NodeSpec::t4_single(), "T4 (S1)"), (NodeSpec::l4_single(), "L4 (S2)")] {
+    for (node, label) in [
+        (NodeSpec::t4_single(), "T4 (S1)"),
+        (NodeSpec::l4_single(), "L4 (S2)"),
+    ] {
         let hrm = HierarchicalRoofline::from_node(&node);
         let ops = LayerOps::new(MoeModelConfig::mixtral_8x7b());
 

@@ -15,21 +15,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = PipelinedMoeEngine::new(
         model,
-        EngineConfig { micro_batch_size: 2, weight_pages_per_layer: 4, ..EngineConfig::default() },
+        EngineConfig {
+            micro_batch_size: 2,
+            weight_pages_per_layer: 4,
+            ..EngineConfig::default()
+        },
     )?;
 
     let prompts = vec![vec![11u32, 42, 7], vec![3, 1, 4, 1, 5], vec![250, 100]];
     let gen_len = 12;
     let output = engine.generate(&prompts, gen_len)?;
 
-    println!("Pipelined offloading runtime ({} layers, {} experts, top-{}):\n", cfg.num_layers, cfg.num_experts, cfg.top_k);
+    println!(
+        "Pipelined offloading runtime ({} layers, {} experts, top-{}):\n",
+        cfg.num_layers, cfg.num_experts, cfg.top_k
+    );
     for (i, (prompt, generated)) in prompts.iter().zip(&output.tokens).enumerate() {
         let expected = reference.generate_greedy(prompt, gen_len)?;
         let matches = &expected == generated;
         println!("sequence {i}: prompt {prompt:?}");
         println!("  pipelined : {generated:?}");
         println!("  reference : {expected:?}   (match: {matches})");
-        assert!(matches, "pipelined output must equal the sequential reference");
+        assert!(
+            matches,
+            "pipelined output must equal the sequential reference"
+        );
     }
     println!("\npipeline statistics:");
     println!("  jobs executed      : {}", output.jobs_executed);

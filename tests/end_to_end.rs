@@ -21,7 +21,9 @@ fn moe_lightning_wins_on_s1_and_s2_for_every_generation_length() {
                 SystemKind::FlexGenCpuAttention,
                 SystemKind::DeepSpeedZero,
             ] {
-                let other = evaluator.evaluate(baseline, &spec, gen).expect("baseline feasible");
+                let other = evaluator
+                    .evaluate(baseline, &spec, gen)
+                    .expect("baseline feasible");
                 assert!(
                     ml.throughput > other.throughput,
                     "{setting} gen={gen}: MoE-Lightning(p) {:.1} must beat {} {:.1}",
@@ -40,11 +42,18 @@ fn helm_tasks_follow_the_table_4_ordering() {
     // micro-batch, on both HELM workloads under S1.
     let setting = EvalSetting::S1;
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-    for spec in [WorkloadSpec::synthetic_reasoning(), WorkloadSpec::summarization()] {
+    for spec in [
+        WorkloadSpec::synthetic_reasoning(),
+        WorkloadSpec::summarization(),
+    ] {
         let gen = spec.default_gen_lens[0];
-        let ml = evaluator.evaluate(SystemKind::MoeLightningPadded, &spec, gen).unwrap();
+        let ml = evaluator
+            .evaluate(SystemKind::MoeLightningPadded, &spec, gen)
+            .unwrap();
         let flexgen = evaluator.evaluate(SystemKind::FlexGen, &spec, gen).unwrap();
-        let deepspeed = evaluator.evaluate(SystemKind::DeepSpeedZero, &spec, gen).unwrap();
+        let deepspeed = evaluator
+            .evaluate(SystemKind::DeepSpeedZero, &spec, gen)
+            .unwrap();
         assert!(
             ml.throughput > flexgen.throughput,
             "{}: MoE-Lightning(p) {:.2} vs FlexGen {:.2}",
@@ -53,7 +62,11 @@ fn helm_tasks_follow_the_table_4_ordering() {
             flexgen.throughput
         );
         assert!(ml.throughput > deepspeed.throughput);
-        assert_eq!(deepspeed.policy.num_micro_batches(), 1, "DeepSpeed runs one micro-batch");
+        assert_eq!(
+            deepspeed.policy.num_micro_batches(),
+            1,
+            "DeepSpeed runs one micro-batch"
+        );
     }
 }
 
@@ -67,7 +80,11 @@ fn summarization_prompts_force_smaller_micro_batches_than_mtbench() {
         .evaluate(SystemKind::MoeLightningPadded, &WorkloadSpec::mtbench(), 64)
         .unwrap();
     let summarization = evaluator
-        .evaluate(SystemKind::MoeLightningPadded, &WorkloadSpec::summarization(), 64)
+        .evaluate(
+            SystemKind::MoeLightningPadded,
+            &WorkloadSpec::summarization(),
+            64,
+        )
         .unwrap();
     assert!(
         summarization.policy.micro_batch_size < mtbench.policy.micro_batch_size,
@@ -83,7 +100,10 @@ fn tensor_parallelism_raises_the_throughput_ceiling() {
     // Fig. 7/8: doubling the GPUs (S6→S7 for Mixtral 8x22B, S8→S9 for DBRX) gives a
     // clearly super-proportional-to-nothing improvement; we check at least 1.5x.
     let spec = WorkloadSpec::mtbench();
-    for (small, large) in [(EvalSetting::S6, EvalSetting::S7), (EvalSetting::S8, EvalSetting::S9)] {
+    for (small, large) in [
+        (EvalSetting::S6, EvalSetting::S7),
+        (EvalSetting::S8, EvalSetting::S9),
+    ] {
         let a = SystemEvaluator::new(small.node(), small.model())
             .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
             .unwrap();
@@ -113,7 +133,10 @@ fn more_cpu_memory_never_reduces_moe_lightning_throughput() {
             .evaluate(SystemKind::MoeLightningPadded, &spec, 128)
             .map(|r| r.throughput)
             .unwrap_or(0.0);
-        assert!(t >= last * 0.999, "throughput dropped from {last:.2} to {t:.2} at {cpu_gib} GiB");
+        assert!(
+            t >= last * 0.999,
+            "throughput dropped from {last:.2} to {t:.2} at {cpu_gib} GiB"
+        );
         last = t;
     }
     assert!(last > 0.0);

@@ -14,7 +14,11 @@ fn pipelined_runtime_matches_reference_on_a_sampled_workload() {
     let reference = model.clone();
     let engine = PipelinedMoeEngine::new(
         model,
-        EngineConfig { micro_batch_size: 3, weight_pages_per_layer: 2, ..EngineConfig::default() },
+        EngineConfig {
+            micro_batch_size: 3,
+            weight_pages_per_layer: 2,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
 
@@ -23,7 +27,11 @@ fn pipelined_runtime_matches_reference_on_a_sampled_workload() {
     let requests = WorkloadSpec::mtbench().sample_requests(6, 5, 123);
     let prompts: Vec<Vec<u32>> = requests
         .iter()
-        .map(|r| (0..(r.input_len % 6 + 1)).map(|i| ((r.id * 37 + i * 11) % 256) as u32).collect())
+        .map(|r| {
+            (0..(r.input_len % 6 + 1))
+                .map(|i| ((r.id * 37 + i * 11) % 256) as u32)
+                .collect()
+        })
         .collect();
 
     let gen_len = 5;
@@ -51,7 +59,10 @@ fn weight_streaming_traffic_scales_with_decode_steps() {
     let long = make_engine().generate(&[vec![1, 2, 3]], 9).unwrap();
     // 2 pipelined passes vs 8 pipelined passes → 4x the streamed weight bytes.
     let ratio = long.h2d_bytes.as_bytes() as f64 / short.h2d_bytes.as_bytes() as f64;
-    assert!((3.0..5.0).contains(&ratio), "expected ≈4x more H2D traffic, got {ratio:.2}x");
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "expected ≈4x more H2D traffic, got {ratio:.2}x"
+    );
 }
 
 #[test]

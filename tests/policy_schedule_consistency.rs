@@ -18,7 +18,11 @@ fn simulated_cgopipe_step_is_close_to_the_analytic_estimate() {
     let workload = WorkloadShape::new(77, 128);
     let layers = 4u32;
 
-    let analytic = cost.layer_decode_latency(&policy, &workload).total.as_secs() * f64::from(layers);
+    let analytic = cost
+        .layer_decode_latency(&policy, &workload)
+        .total
+        .as_secs()
+        * f64::from(layers);
     let simulated = DecodeScheduleBuilder::new(&cost, policy, workload)
         .with_layers(layers)
         .decode_step_makespan(ScheduleKind::CgoPipe)
@@ -36,8 +40,8 @@ fn optimizer_policy_runs_through_every_schedule_without_errors() {
     let node = NodeSpec::t4_single();
     let model = MoeModelConfig::mixtral_8x7b();
     let workload = WorkloadShape::new(242, 50);
-    let optimizer = PolicyOptimizer::new(node.clone(), model.clone())
-        .with_search_space(SearchSpace::coarse());
+    let optimizer =
+        PolicyOptimizer::new(node.clone(), model.clone()).with_search_space(SearchSpace::coarse());
     let policy = optimizer.search(&workload).unwrap().policy;
     let cost = CostModel::new(node, model);
     let builder = DecodeScheduleBuilder::new(&cost, policy, workload).with_layers(3);
@@ -63,10 +67,15 @@ fn cgopipe_weight_traffic_matches_the_streamed_layer_bytes() {
     let result = simulate(&graph).unwrap();
 
     let weight_time = result.kind_time(TaskKind::WeightTransfer).as_secs();
-    let per_layer = cost.weight_transfer(cost.streamed_layer_bytes(&policy)).as_secs();
+    let per_layer = cost
+        .weight_transfer(cost.streamed_layer_bytes(&policy))
+        .as_secs();
     let expected = per_layer * f64::from(layers);
     let rel = (weight_time - expected).abs() / expected;
-    assert!(rel < 0.05, "weight transfer time {weight_time:.4}s vs expected {expected:.4}s");
+    assert!(
+        rel < 0.05,
+        "weight transfer time {weight_time:.4}s vs expected {expected:.4}s"
+    );
 }
 
 #[test]
@@ -103,7 +112,13 @@ fn attention_placement_decision_matches_the_hrm_analysis() {
         assert!(attention_intensity < p1);
 
         let optimizer = PolicyOptimizer::new(node, MoeModelConfig::mixtral_8x7b());
-        let best = optimizer.search(&WorkloadShape::new(77, 128)).unwrap().policy;
-        assert!(!best.attention_on_gpu, "HRM analysis and optimizer must agree");
+        let best = optimizer
+            .search(&WorkloadShape::new(77, 128))
+            .unwrap()
+            .policy;
+        assert!(
+            !best.attention_on_gpu,
+            "HRM analysis and optimizer must agree"
+        );
     }
 }

@@ -1,0 +1,140 @@
+//! End-to-end tests of the request-level serving core: a variable-length MTBench
+//! queue served through Algorithm 2 micro-batches (the ISSUE 1 acceptance tests).
+
+use moe_lightning::{EvalSetting, ServingSession, SystemEvaluator, SystemKind};
+use moe_workload::{Request, WorkloadSpec};
+
+fn evaluator() -> SystemEvaluator {
+    SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
+}
+
+#[test]
+fn every_request_is_served_or_accounted_aborted() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let count = 1500;
+    let report = eval
+        .serve(SystemKind::MoeLightning, &spec, count, 128, 42)
+        .unwrap();
+
+    // (a) no request vanishes: served + aborted ids partition the input queue.
+    let mut ids: Vec<u64> = report
+        .latencies
+        .iter()
+        .map(|l| l.request.id)
+        .chain(report.aborted.iter().map(|r| r.id))
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..count as u64).collect::<Vec<u64>>());
+}
+
+#[test]
+fn generated_tokens_equal_sum_over_requests() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let report = eval
+        .serve(SystemKind::MoeLightning, &spec, 800, 64, 23)
+        .unwrap();
+
+    // (b) token accounting: totals equal the per-request and per-round sums.
+    let per_request: u64 = report.latencies.iter().map(|l| l.request.gen_len).sum();
+    let per_round: u64 = report
+        .rounds
+        .iter()
+        .map(|r| r.report.generated_tokens)
+        .sum();
+    assert_eq!(report.totals.generated_tokens, per_request);
+    assert_eq!(report.totals.generated_tokens, per_round);
+    assert!(report.totals.generated_tokens > 0);
+    let prompt_sum: u64 = report.latencies.iter().map(|l| l.request.input_len).sum();
+    assert_eq!(report.totals.prompt_tokens, prompt_sum);
+}
+
+#[test]
+fn unpadded_moe_lightning_beats_padded_on_the_serving_path() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let padded = eval
+        .serve(SystemKind::MoeLightningPadded, &spec, 1000, 64, 3)
+        .unwrap();
+    let unpadded = eval
+        .serve(SystemKind::MoeLightning, &spec, 1000, 64, 3)
+        .unwrap();
+
+    // (c) variable-length batching is the whole point: the unpadded system must
+    // win on the request-level path too.
+    assert!(
+        unpadded.generation_throughput() > padded.generation_throughput(),
+        "unpadded {} tok/s must beat padded {} tok/s",
+        unpadded.generation_throughput(),
+        padded.generation_throughput()
+    );
+}
+
+#[test]
+fn serving_reports_latency_percentiles() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let report = eval
+        .serve(SystemKind::MoeLightning, &spec, 1200, 128, 5)
+        .unwrap();
+    let ttft = report.ttft();
+    let tok = report.per_token();
+    assert_eq!(ttft.count, report.served_requests());
+    assert!(ttft.p50.as_secs() > 0.0);
+    assert!(ttft.p90 >= ttft.p50);
+    assert!(ttft.p99 >= ttft.p90);
+    assert!(tok.mean.as_secs() > 0.0);
+    // Completion is never earlier than the first token.
+    for l in &report.latencies {
+        assert!(l.completion_time >= l.ttft || l.request.gen_len == 0);
+    }
+}
+
+#[test]
+fn micro_batch_imbalance_shows_up_in_round_reports() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let report = eval
+        .serve(SystemKind::MoeLightning, &spec, 2000, 64, 19)
+        .unwrap();
+    for round in &report.rounds {
+        let (min, max) = round.prompt_token_spread;
+        assert!(max >= min);
+        // Algorithm 2's greedy balancing keeps the spread below one max-length
+        // request per the batching invariant.
+        assert!(
+            max - min <= spec.max_prompt_len,
+            "spread {min}..{max} too wide"
+        );
+        assert_eq!(
+            round.occupancy.iter().sum::<u64>(),
+            round.report.requests,
+            "occupancy must account for every request in the round"
+        );
+    }
+}
+
+#[test]
+fn oversized_requests_abort_and_the_rest_are_served() {
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 64).unwrap();
+    let budget = session.batching_config().cache_tokens_per_micro_batch;
+    let mut queue: Vec<Request> = (0..10)
+        .map(|i| Request {
+            id: i,
+            input_len: 100,
+            gen_len: 64,
+        })
+        .collect();
+    queue.push(Request {
+        id: 10,
+        input_len: budget,
+        gen_len: 64,
+    });
+    let report = session.serve(queue).unwrap();
+    assert_eq!(report.served_requests(), 10);
+    assert_eq!(report.aborted.len(), 1);
+    assert_eq!(report.aborted[0].id, 10);
+}

@@ -1,0 +1,123 @@
+//! Offline shim for `criterion`: supports `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter`/`iter_batched` and `BatchSize`.
+//! Each benchmark runs a short calibrated timing loop and prints a one-line
+//! median estimate — enough to compare hot paths offline without the real
+//! statistical machinery.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration input-size hint (accepted for API compatibility; the shim uses
+/// one batch per measurement regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in the real crate.
+    SmallInput,
+    /// Large inputs: one iteration per batch in the real crate.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, repeating it enough times to get a stable estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample takes
+        // ≥ ~1 ms, then record a handful of samples.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.samples.push(elapsed / iters as u32);
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..4 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..5 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        println!("bench {id:<48} median {:?}", bencher.median());
+        self
+    }
+}
+
+/// Declares a benchmark group (shim: a function running each benchmark in turn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; the shim ignores them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! Offline shim for `crossbeam`: only the `channel::{unbounded, Sender, Receiver}`
+//! subset the workspace uses, implemented over `std::sync::mpsc`.
+
+/// Multi-producer channels (`crossbeam::channel` subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: `Debug` without requiring `T: Debug`, so handles to
+    // non-Debug payloads (e.g. boxed closures) can still be `expect`ed.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the channel is disconnected.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is disconnected and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn disconnect_reports_errors() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            let (tx2, rx2) = unbounded::<u8>();
+            drop(tx2);
+            assert_eq!(rx2.recv(), Err(RecvError));
+        }
+    }
+}

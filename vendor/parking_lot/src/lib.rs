@@ -1,0 +1,123 @@
+//! Offline shim for `parking_lot`: the `Mutex`/`Condvar` subset the workspace uses,
+//! implemented over `std::sync` with parking_lot's poison-free API (`lock()`
+//! returns the guard directly; a poisoned std mutex is recovered transparently,
+//! matching parking_lot's behaviour of not propagating panics as poison).
+
+use std::ops::{Deref, DerefMut};
+use std::sync as std_sync;
+
+/// A mutual-exclusion primitive (poison-free facade over [`std::sync::Mutex`]).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std_sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard out.
+    inner: Option<std_sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std_sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std_sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+/// A condition variable with parking_lot's `wait(&mut guard)` signature.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std_sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std_sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard not already waiting");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(std_sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_mutates_and_releases() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (lock, cv) = &*shared;
+        *lock.lock() = true;
+        cv.notify_all();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for `serde`: exposes marker traits plus the no-op derive macros so
+//! `use serde::{Deserialize, Serialize}` and `#[derive(Serialize, Deserialize)]`
+//! compile without network access. The real crate can be swapped back in by
+//! pointing the workspace dependency at crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no-op in the offline shim).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no-op in the offline shim).
+pub trait Deserialize<'de> {}

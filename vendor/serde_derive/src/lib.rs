@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros accept the same input as the
+//! real crate (including `#[serde(...)]` attributes) and expand to nothing. The
+//! workspace only uses `#[derive(Serialize, Deserialize)]` as documentation of
+//! wire-format intent — nothing takes a `Serialize`/`Deserialize` bound — so empty
+//! expansions keep every type compiling without network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
