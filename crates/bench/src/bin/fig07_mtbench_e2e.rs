@@ -4,27 +4,47 @@
 //! time) of the request-level serving loop.
 //!
 //! Every cell is produced by serving a queue of requests through Algorithm 2
-//! micro-batched rounds (`ServingSession`), not by the single-shot uniform
-//! estimate — padded systems see max-length prompts, the others the
-//! variable-length MTBench distribution.
+//! micro-batching (`ServingSession`), not by the single-shot uniform estimate —
+//! padded systems see max-length prompts, the others the variable-length MTBench
+//! distribution. Each system is served in both scheduling modes side by side:
+//! `rtc` (round-to-completion, every request holds its slot for the round's
+//! longest generation) and `cont` (step-level continuous batching, completed
+//! requests release KV immediately and Algorithm 2 backfills mid-flight). A
+//! final table serves an *online* Poisson-arrival queue at S1 to show the
+//! queue-aware latency gap between the modes under load.
 //!
 //! Run with `cargo run --release -p moe-bench --bin fig07_mtbench_e2e`.
+//! Set `FIG07_QUEUE_LEN` (default 1000) to shrink the queues, e.g. for CI smoke
+//! runs.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
-use moe_workload::WorkloadSpec;
+use moe_lightning::{EvalSetting, ServingMode, ServingReport, SystemEvaluator, SystemKind};
+use moe_workload::{ArrivalProcess, WorkloadSpec};
+
+/// Seed for the variable-length queue synthesis.
+const SEED: u64 = 7;
+/// Generation length used for the latency tables.
+const LATENCY_GEN_LEN: u64 = 128;
+/// Both scheduling modes, reported side by side.
+const MODES: [ServingMode; 2] = [ServingMode::RoundToCompletion, ServingMode::Continuous];
 
 /// Requests per served queue (the paper replicates MTBench to thousands of
 /// requests; 1000 keeps the discrete-event simulation fast while still spanning
-/// multiple serving rounds for the baselines).
-const QUEUE_LEN: usize = 1000;
-/// Seed for the variable-length queue synthesis.
-const SEED: u64 = 7;
-/// Generation length used for the latency table.
-const LATENCY_GEN_LEN: u64 = 128;
+/// multiple serving rounds for the baselines). Overridable for smoke runs.
+fn queue_len() -> usize {
+    std::env::var("FIG07_QUEUE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn row_label(system: SystemKind, mode: ServingMode) -> String {
+    format!("{} [{}]", system.name(), mode.label())
+}
 
 fn main() {
     let spec = WorkloadSpec::mtbench();
+    let queue_len = queue_len();
     let gen_lens = [32u64, 64, 128, 256];
     let settings = [
         EvalSetting::S1,
@@ -33,8 +53,8 @@ fn main() {
         EvalSetting::S7,
     ];
     let systems = SystemKind::all();
-    let widths = [22usize, 10, 10, 10, 10];
-    let lat_widths = [22usize, 12, 12, 12, 10, 10];
+    let widths = [28usize, 10, 10, 10, 10];
+    let lat_widths = [28usize, 12, 12, 12, 10, 10];
 
     for setting in settings {
         println!(
@@ -44,12 +64,12 @@ fn main() {
         );
         let evaluator = SystemEvaluator::new(setting.node(), setting.model());
         print_header(
-            &["system", "gen=32", "gen=64", "gen=128", "gen=256"],
+            &["system [mode]", "gen=32", "gen=64", "gen=128", "gen=256"],
             &widths,
         );
         // Keep the gen=128 reports around: the latency table below reads the same
         // runs instead of re-serving identical queues.
-        let mut latency_reports = Vec::new();
+        let mut latency_reports: Vec<(String, Result<ServingReport, _>)> = Vec::new();
         for system in systems {
             // The paper only reports the unpadded MoE-Lightning for S1/S2 (footnote 8).
             if system == SystemKind::MoeLightning
@@ -57,35 +77,40 @@ fn main() {
             {
                 continue;
             }
-            let mut cells = vec![system.name().to_owned()];
-            let mut csv = vec![setting.to_string(), system.name().to_owned()];
-            for gen in gen_lens {
-                let cell = match evaluator.serve(system, &spec, QUEUE_LEN, gen, SEED) {
-                    Ok(report) => {
-                        let cell = fmt3(report.generation_throughput());
-                        if gen == LATENCY_GEN_LEN {
-                            latency_reports.push((system, Ok(report)));
+            for mode in MODES {
+                let label = row_label(system, mode);
+                let mut cells = vec![label.clone()];
+                let mut csv = vec![setting.to_string(), label.clone()];
+                for gen in gen_lens {
+                    let cell = match evaluator
+                        .serve_with_mode(system, &spec, queue_len, gen, SEED, mode)
+                    {
+                        Ok(report) => {
+                            let cell = fmt3(report.generation_throughput());
+                            if gen == LATENCY_GEN_LEN {
+                                latency_reports.push((label.clone(), Ok(report)));
+                            }
+                            cell
                         }
-                        cell
-                    }
-                    Err(e) => {
-                        if gen == LATENCY_GEN_LEN {
-                            latency_reports.push((system, Err(e)));
+                        Err(e) => {
+                            if gen == LATENCY_GEN_LEN {
+                                latency_reports.push((label.clone(), Err(e)));
+                            }
+                            "n/a".to_owned()
                         }
-                        "n/a".to_owned()
-                    }
-                };
-                csv.push(cell.clone());
-                cells.push(cell);
+                    };
+                    csv.push(cell.clone());
+                    cells.push(cell);
+                }
+                print_row(&cells, &widths);
+                print_csv(&csv);
             }
-            print_row(&cells, &widths);
-            print_csv(&csv);
         }
 
-        println!("\n-- per-request latency @ gen={LATENCY_GEN_LEN} ({QUEUE_LEN}-request queue) --");
+        println!("\n-- per-request latency @ gen={LATENCY_GEN_LEN} ({queue_len}-request queue) --");
         print_header(
             &[
-                "system",
+                "system [mode]",
                 "ttft_p50 s",
                 "ttft_p90 s",
                 "tok_lat s",
@@ -94,13 +119,13 @@ fn main() {
             ],
             &lat_widths,
         );
-        for (system, outcome) in latency_reports {
+        for (label, outcome) in latency_reports {
             match outcome {
                 Ok(report) => {
                     let ttft = report.ttft();
                     let tok = report.per_token();
                     let row = [
-                        system.name().to_owned(),
+                        label.clone(),
                         fmt3(ttft.p50.as_secs()),
                         fmt3(ttft.p90.as_secs()),
                         fmt3(tok.mean.as_secs()),
@@ -109,7 +134,7 @@ fn main() {
                     ];
                     print_csv(&[
                         setting.to_string(),
-                        format!("{}-latency", system.name()),
+                        format!("{label}-latency"),
                         row[1].clone(),
                         row[2].clone(),
                         row[3].clone(),
@@ -120,7 +145,7 @@ fn main() {
                 }
                 Err(e) => print_row(
                     &[
-                        system.name().to_owned(),
+                        label,
                         format!("n/a ({e})"),
                         "-".into(),
                         "-".into(),
@@ -132,6 +157,98 @@ fn main() {
             }
         }
     }
+
+    online_arrival_table(&spec, queue_len);
+
     println!("\n(throughput in generated tokens/s; higher is better. ttft = time to first");
-    println!("token including queueing; tok_lat = mean per-token decode latency per request)");
+    println!("token measured from each request's arrival; tok_lat = mean per-token decode");
+    println!("latency per request. [rtc] = round-to-completion, [cont] = continuous batching)");
+}
+
+/// Serves an online Poisson-arrival MTBench queue at S1 in both modes: the
+/// arrival rate is set to ~120% of the round-to-completion service rate, so the
+/// scheduler runs under sustained load and the continuous mode's earlier slot
+/// release shows up in queue-aware TTFT and completion time.
+fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize) {
+    let setting = EvalSetting::S1;
+    let system = SystemKind::MoeLightning;
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    let widths = [28usize, 12, 12, 14, 12];
+
+    let offline = match evaluator.serve_with_mode(
+        system,
+        spec,
+        queue_len,
+        LATENCY_GEN_LEN,
+        SEED,
+        ServingMode::RoundToCompletion,
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            println!("\n-- online Poisson arrivals @ {setting}: n/a ({e}) --");
+            return;
+        }
+    };
+    let service_rate = offline.served_requests() as f64 / offline.total_time().as_secs().max(1e-9);
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_sec: 1.2 * service_rate,
+    };
+
+    println!(
+        "\n-- online Poisson arrivals @ {setting}, {} , gen={LATENCY_GEN_LEN}, rate={:.3} req/s --",
+        system.name(),
+        1.2 * service_rate
+    );
+    print_header(
+        &[
+            "mode",
+            "ttft_p50 s",
+            "ttft_p99 s",
+            "completion s",
+            "tokens/s",
+        ],
+        &widths,
+    );
+    for mode in MODES {
+        match evaluator.serve_online(
+            system,
+            spec,
+            queue_len,
+            LATENCY_GEN_LEN,
+            SEED,
+            mode,
+            &arrivals,
+        ) {
+            Ok(report) => {
+                let ttft = report.ttft();
+                let completion = report.completion();
+                let row = [
+                    mode.to_string(),
+                    fmt3(ttft.p50.as_secs()),
+                    fmt3(ttft.p99.as_secs()),
+                    fmt3(completion.mean.as_secs()),
+                    fmt3(report.generation_throughput()),
+                ];
+                print_csv(&[
+                    setting.to_string(),
+                    format!("poisson-{}", mode.label()),
+                    row[1].clone(),
+                    row[2].clone(),
+                    row[3].clone(),
+                    row[4].clone(),
+                ]);
+                print_row(row.as_ref(), &widths);
+            }
+            Err(e) => print_row(
+                &[
+                    mode.to_string(),
+                    format!("n/a ({e})"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
+                &widths,
+            ),
+        }
+    }
 }

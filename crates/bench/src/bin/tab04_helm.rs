@@ -1,11 +1,12 @@
 //! Tab. 4: generation throughput, micro-batch size μ and micro-batch count N/μ for
 //! the HELM synthetic-reasoning and summarization workloads under settings S1 and S2,
-//! served as request queues through the Algorithm 2 micro-batching loop.
+//! served as request queues through the Algorithm 2 micro-batching loop in both
+//! scheduling modes (`rtc` = round-to-completion, `cont` = continuous batching).
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab04_helm`.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_lightning::{EvalSetting, ServingMode, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
 /// Requests per served queue.
@@ -25,51 +26,60 @@ fn main() {
         SystemKind::DeepSpeedZero,
         SystemKind::MoeLightningPadded,
     ];
-    let widths = [22usize, 14, 8, 8, 12];
+    let modes = [ServingMode::RoundToCompletion, ServingMode::Continuous];
+    let widths = [22usize, 6, 14, 8, 8, 12];
 
     for spec in &workloads {
         let gen = spec.default_gen_lens[0];
         for setting in settings {
             println!("\n== {} @ {setting} (gen_len = {gen}) ==", spec.name);
             let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-            print_header(&["system", "tokens/s", "mu", "N/mu", "ttft_p50 s"], &widths);
+            print_header(
+                &["system", "mode", "tokens/s", "mu", "N/mu", "ttft_p50 s"],
+                &widths,
+            );
             for system in systems {
-                match evaluator.serve(system, spec, QUEUE_LEN, gen, SEED) {
-                    Ok(report) => {
-                        let mu = report.policy.micro_batch_size;
-                        let n_over_mu = report.policy.num_micro_batches();
-                        let throughput = report.generation_throughput();
-                        let ttft = report.ttft().p50;
-                        print_row(
-                            &[
+                for mode in modes {
+                    match evaluator.serve_with_mode(system, spec, QUEUE_LEN, gen, SEED, mode) {
+                        Ok(report) => {
+                            let mu = report.policy.micro_batch_size;
+                            let n_over_mu = report.policy.num_micro_batches();
+                            let throughput = report.generation_throughput();
+                            let ttft = report.ttft().p50;
+                            print_row(
+                                &[
+                                    system.name().to_owned(),
+                                    mode.label().to_owned(),
+                                    fmt3(throughput),
+                                    mu.to_string(),
+                                    n_over_mu.to_string(),
+                                    fmt3(ttft.as_secs()),
+                                ],
+                                &widths,
+                            );
+                            print_csv(&[
+                                spec.name.clone(),
+                                setting.to_string(),
                                 system.name().to_owned(),
+                                mode.label().to_owned(),
                                 fmt3(throughput),
                                 mu.to_string(),
                                 n_over_mu.to_string(),
                                 fmt3(ttft.as_secs()),
+                            ]);
+                        }
+                        Err(e) => print_row(
+                            &[
+                                system.name().to_owned(),
+                                mode.label().to_owned(),
+                                format!("n/a ({e})"),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
                             ],
                             &widths,
-                        );
-                        print_csv(&[
-                            spec.name.clone(),
-                            setting.to_string(),
-                            system.name().to_owned(),
-                            fmt3(throughput),
-                            mu.to_string(),
-                            n_over_mu.to_string(),
-                            fmt3(ttft.as_secs()),
-                        ]);
+                        ),
                     }
-                    Err(e) => print_row(
-                        &[
-                            system.name().to_owned(),
-                            format!("n/a ({e})"),
-                            "-".into(),
-                            "-".into(),
-                            "-".into(),
-                        ],
-                        &widths,
-                    ),
                 }
             }
         }

@@ -1,12 +1,17 @@
 //! Tab. 5: policy/schedule ablation on MTBench @ S1 with generation length 128 —
 //! FlexGen with its own policy, FlexGen with MoE-Lightning's policy, FlexGen with
 //! MoE-Lightning's policy and a larger batch, and MoE-Lightning(p). Every variant
-//! serves the same request queue through the Algorithm 2 micro-batching loop.
+//! serves the same request queue through the Algorithm 2 micro-batching loop, in
+//! both scheduling modes (`rtc` = round-to-completion, `cont` = continuous
+//! batching); the speedup column is relative to the first variant in the same
+//! mode.
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab05_policy_ablation`.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, Policy, ServingSession, SystemEvaluator, SystemKind};
+use moe_lightning::{
+    EvalSetting, Policy, ServingMode, ServingSession, SystemEvaluator, SystemKind,
+};
 use moe_workload::WorkloadSpec;
 
 /// Requests per served queue.
@@ -17,9 +22,12 @@ fn main() {
     let spec = WorkloadSpec::mtbench();
     let gen = 128u64;
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-    let widths = [38usize, 8, 8, 14, 10];
+    let widths = [38usize, 6, 8, 8, 14, 10];
     println!("== Policy ablation, MTBench @ S1, generation length {gen} ==");
-    print_header(&["variant", "mu", "N", "tokens/s", "speedup"], &widths);
+    print_header(
+        &["variant", "mode", "mu", "N", "tokens/s", "speedup"],
+        &widths,
+    );
 
     let shape = evaluator.workload_shape(SystemKind::FlexGen, &spec, gen);
     let flexgen_policy = evaluator
@@ -52,42 +60,49 @@ fn main() {
         ),
     ];
 
-    let mut baseline = None;
+    let modes = [ServingMode::RoundToCompletion, ServingMode::Continuous];
+    let mut baselines: [Option<f64>; 2] = [None, None];
     for (label, system, policy) in rows {
-        // All ablation variants pad requests, so they serve identical queues.
-        let queue = spec.request_queue(QUEUE_LEN, gen, 0, system.pads_requests());
-        let session = ServingSession::with_policy(&evaluator, system, policy, shape);
-        match session.serve(queue) {
-            Ok(report) => {
-                let throughput = report.generation_throughput();
-                let baseline_throughput = *baseline.get_or_insert(throughput);
-                print_row(
-                    &[
+        for (mode_idx, mode) in modes.into_iter().enumerate() {
+            // All ablation variants pad requests, so they serve identical queues.
+            let queue = spec.request_queue(QUEUE_LEN, gen, 0, system.pads_requests());
+            let session =
+                ServingSession::with_policy(&evaluator, system, policy, shape).with_mode(mode);
+            match session.serve(queue) {
+                Ok(report) => {
+                    let throughput = report.generation_throughput();
+                    let baseline_throughput = *baselines[mode_idx].get_or_insert(throughput);
+                    print_row(
+                        &[
+                            label.to_owned(),
+                            mode.label().to_owned(),
+                            policy.micro_batch_size.to_string(),
+                            policy.batch_size.to_string(),
+                            fmt3(throughput),
+                            format!("{:.2}x", throughput / baseline_throughput),
+                        ],
+                        &widths,
+                    );
+                    print_csv(&[
                         label.to_owned(),
+                        mode.label().to_owned(),
                         policy.micro_batch_size.to_string(),
                         policy.batch_size.to_string(),
                         fmt3(throughput),
-                        format!("{:.2}x", throughput / baseline_throughput),
+                    ]);
+                }
+                Err(e) => print_row(
+                    &[
+                        label.to_owned(),
+                        mode.label().to_owned(),
+                        "-".into(),
+                        "-".into(),
+                        format!("n/a ({e})"),
+                        "-".into(),
                     ],
                     &widths,
-                );
-                print_csv(&[
-                    label.to_owned(),
-                    policy.micro_batch_size.to_string(),
-                    policy.batch_size.to_string(),
-                    fmt3(throughput),
-                ]);
+                ),
             }
-            Err(e) => print_row(
-                &[
-                    label.to_owned(),
-                    "-".into(),
-                    "-".into(),
-                    format!("n/a ({e})"),
-                    "-".into(),
-                ],
-                &widths,
-            ),
         }
     }
 }

@@ -246,13 +246,13 @@ impl SystemEvaluator {
         let step = self.decode_step_latency(schedule, &policy, &workload)?;
         let decode_time = step.scale(gen_len as f64);
         let prefill_time = self.cost.prefill_time(&policy, &workload);
-        let report = BatchRunReport {
-            requests: policy.batch_size,
-            prompt_tokens: policy.batch_size * workload.prompt_len,
-            generated_tokens: policy.batch_size * gen_len,
+        let report = BatchRunReport::uniform_round(
+            policy.batch_size,
+            policy.batch_size * workload.prompt_len,
+            policy.batch_size * gen_len,
             prefill_time,
             decode_time,
-        };
+        );
         Ok(SystemEvaluation {
             system,
             policy,

@@ -34,7 +34,7 @@ pub mod settings;
 pub mod system;
 
 pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
-pub use serving::{RoundReport, ServingReport, ServingSession};
+pub use serving::{RoundReport, ServingMode, ServingReport, ServingSession};
 pub use settings::EvalSetting;
 pub use system::SystemKind;
 

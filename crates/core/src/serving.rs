@@ -1,15 +1,34 @@
-//! Request-level serving: the continuous-batch loop that turns a queue of
-//! variable-length requests into successive micro-batched rounds.
+//! Request-level serving: the loops that turn a queue of variable-length
+//! requests into micro-batched work on the simulated pipeline.
 //!
 //! This is the execution model behind the paper's headline numbers (Fig. 7,
-//! Tab. 4/5): requests are pulled from a queue, assigned to micro-batches by
-//! Algorithm 2 (`moe_workload::batch_requests`) under the policy's micro-batch
-//! capacity (`ubs = μ`) and KV-cache budget, and each round runs prefill plus
-//! `gen_len` decode steps on the simulated pipeline. Requests that do not fit a
-//! round are deferred to the next one; requests that can never fit (a single
-//! prompt exceeding the per-micro-batch KV budget) are reported as aborted.
-//! The old single-shot uniform path ([`crate::SystemEvaluator::evaluate`])
-//! remains as the padded-systems special case.
+//! Tab. 4/5). Requests are pulled from a queue as they arrive (each [`Request`]
+//! carries an arrival time stamped by a `moe_workload::ArrivalProcess`), assigned
+//! to micro-batches by Algorithm 2 (`moe_workload::batch_requests` /
+//! `moe_workload::backfill_requests`) under the policy's micro-batch capacity
+//! (`ubs = μ`) and KV-cache budget, and decoded on the simulated pipeline. Two
+//! [`ServingMode`]s are supported:
+//!
+//! * [`ServingMode::RoundToCompletion`] — the classic offline loop: Algorithm 2
+//!   forms a round, every request in it holds its micro-batch slot for the
+//!   round's longest `gen_len`, and the queue is only reconsidered when the whole
+//!   round finishes. Simple, but short requests neither free KV capacity nor
+//!   admit queued work early (head-of-line blocking).
+//! * [`ServingMode::Continuous`] — step-level continuous batching: decode
+//!   advances in steps; the moment a request emits its last token its KV
+//!   reservation is released and Algorithm 2 is re-run over the waiting queue
+//!   (`backfill_requests`) to fill the freed slots mid-flight. Backfilled
+//!   requests pay a prefill that overlaps the already-streaming weights
+//!   (`CostModel::backfill_prefill_time`); only the first admission pays the
+//!   cold-start weight stream.
+//!
+//! In both modes, requests whose `input_len + gen_len` alone exceeds the
+//! per-micro-batch KV budget are classified as aborted *up front* (they could
+//! never be scheduled, so re-offering them every round would only add O(rounds ×
+//! queue) re-batching work), and all latency metrics are measured from each
+//! request's arrival time (queue-aware TTFT). The old single-shot uniform path
+//! ([`crate::SystemEvaluator::evaluate`]) remains as the padded-systems special
+//! case.
 
 use crate::engine::{EngineError, SystemEvaluator};
 use crate::system::SystemKind;
@@ -17,23 +36,62 @@ use moe_hardware::Seconds;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
 use moe_workload::{
-    batch_requests, BatchRunReport, BatchingConfig, LatencySummary, Request, RequestLatency,
-    WorkloadSpec,
+    backfill_requests, batch_requests, ArrivalProcess, BatchRunReport, BatchingConfig,
+    LatencySummary, PartitionState, Request, RequestLatency, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
-/// One serving round: a set of micro-batches formed by Algorithm 2 that prefills
-/// and then decodes to completion before the next round starts.
+/// How a [`ServingSession`] schedules decode work over time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServingMode {
+    /// Algorithm 2 forms a round; every request holds its slot until the round's
+    /// longest request finishes. The PR-1 behaviour and the default.
+    #[default]
+    RoundToCompletion,
+    /// Step-level continuous batching: completed requests release KV immediately
+    /// and Algorithm 2 backfills freed slots mid-flight.
+    Continuous,
+}
+
+impl ServingMode {
+    /// Short display label (`rtc` / `cont`) for table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServingMode::RoundToCompletion => "rtc",
+            ServingMode::Continuous => "cont",
+        }
+    }
+}
+
+impl std::fmt::Display for ServingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingMode::RoundToCompletion => f.write_str("round-to-completion"),
+            ServingMode::Continuous => f.write_str("continuous"),
+        }
+    }
+}
+
+/// One serving round (round-to-completion mode) or admission wave (continuous
+/// mode): a set of micro-batch assignments produced by Algorithm 2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
-    /// Zero-based round index.
+    /// Zero-based round / admission-wave index.
     pub round: usize,
-    /// Active sequences per micro-batch (the Algorithm 2 assignment).
+    /// Active sequences per micro-batch right after the assignment (in continuous
+    /// mode this includes requests admitted in earlier waves that are still
+    /// decoding).
     pub occupancy: Vec<u64>,
+    /// KV-cache tokens reserved per micro-batch right after the assignment; never
+    /// exceeds the session's per-micro-batch budget.
+    pub kv_reserved: Vec<u64>,
     /// Smallest and largest per-micro-batch prompt token counts (imbalance
     /// indicator).
     pub prompt_token_spread: (u64, u64),
-    /// Token and time accounting for the round.
+    /// Token and time accounting. In continuous mode the decode time accrued
+    /// between this wave and the next is attributed here, and `generated_tokens`
+    /// counts the tokens the wave's requests will generate in total.
     pub report: BatchRunReport,
 }
 
@@ -42,16 +100,18 @@ pub struct RoundReport {
 pub struct ServingReport {
     /// The system that served the queue.
     pub system: SystemKind,
+    /// The scheduling mode the session ran in.
+    pub mode: ServingMode,
     /// The policy the session ran with.
     pub policy: Policy,
     /// The pipeline schedule the session ran with.
     pub schedule: ScheduleKind,
-    /// Per-round accounting, in execution order.
+    /// Per-round (or per-admission-wave) accounting, in execution order.
     pub rounds: Vec<RoundReport>,
     /// Per-request latency records for every served request.
     pub latencies: Vec<RequestLatency>,
     /// Requests that could never be scheduled (individually exceed the
-    /// per-micro-batch KV-cache budget).
+    /// per-micro-batch KV-cache budget), in queue order.
     pub aborted: Vec<Request>,
     /// Combined token/time totals across all rounds.
     pub totals: BatchRunReport,
@@ -68,12 +128,14 @@ impl ServingReport {
         self.totals.generation_throughput()
     }
 
-    /// Wall-clock time from queue submission to the last round's completion.
+    /// Busy wall-clock time (prefill + decode, excluding idle waits for
+    /// arrivals).
     pub fn total_time(&self) -> Seconds {
         self.totals.total_time()
     }
 
-    /// Time-to-first-token summary over served requests.
+    /// Time-to-first-token summary over served requests, measured from each
+    /// request's arrival.
     pub fn ttft(&self) -> LatencySummary {
         LatencySummary::ttft(&self.latencies)
     }
@@ -83,14 +145,26 @@ impl ServingReport {
         LatencySummary::per_token(&self.latencies)
     }
 
-    /// Completion-time summary over served requests.
+    /// Completion-time summary over served requests, measured from each request's
+    /// arrival.
     pub fn completion(&self) -> LatencySummary {
         LatencySummary::completion(&self.latencies)
     }
 }
 
+/// A request decoding in the continuous-batching pipeline.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRequest {
+    request: Request,
+    partition: usize,
+    remaining: u64,
+    first_token: Option<Seconds>,
+    decode_start: Seconds,
+    wave: usize,
+}
+
 /// A serving session: one (system, policy, schedule) triple bound to an evaluator,
-/// ready to drain request queues.
+/// ready to drain request queues in either [`ServingMode`].
 #[derive(Debug, Clone)]
 pub struct ServingSession<'a> {
     evaluator: &'a SystemEvaluator,
@@ -98,6 +172,7 @@ pub struct ServingSession<'a> {
     policy: Policy,
     schedule: ScheduleKind,
     batching: BatchingConfig,
+    mode: ServingMode,
 }
 
 impl<'a> ServingSession<'a> {
@@ -145,7 +220,19 @@ impl<'a> ServingSession<'a> {
             policy,
             schedule: system.schedule(),
             batching,
+            mode: ServingMode::default(),
         }
+    }
+
+    /// Sets the scheduling mode (builder style).
+    pub fn with_mode(mut self, mode: ServingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The scheduling mode the session serves in.
+    pub fn mode(&self) -> ServingMode {
+        self.mode
     }
 
     /// The policy the session serves with.
@@ -158,31 +245,72 @@ impl<'a> ServingSession<'a> {
         &self.batching
     }
 
-    /// Serves `queue` to completion: forms micro-batched rounds via Algorithm 2,
-    /// runs prefill + decode per round on the simulated pipeline, defers requests
-    /// that do not fit a round, and aborts requests that can never fit.
+    /// Serves `queue` to completion in the session's [`ServingMode`].
     ///
     /// Every input request appears in the result exactly once: either in
     /// [`ServingReport::latencies`] (served) or [`ServingReport::aborted`].
+    /// Requests whose prompt plus generation alone exceeds the per-micro-batch KV
+    /// budget are classified as aborted up front, in queue order.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors from the schedule simulator.
     pub fn serve(&self, queue: Vec<Request>) -> Result<ServingReport, EngineError> {
-        let mut pending = queue;
+        // Permanently-oversized requests can never be scheduled; pulling them out
+        // here keeps every later Algorithm 2 pass free of requests it would only
+        // re-sort and re-reject.
+        let budget = self.batching.cache_tokens_per_micro_batch;
+        let (feasible, aborted): (Vec<Request>, Vec<Request>) =
+            queue.into_iter().partition(|r| r.max_context() <= budget);
+        match self.mode {
+            ServingMode::RoundToCompletion => self.serve_round_to_completion(feasible, aborted),
+            ServingMode::Continuous => self.serve_continuous(feasible, aborted),
+        }
+    }
+
+    /// Sorts by arrival time (ties by id) so both loops can ingest in order.
+    fn sort_by_arrival(queue: &mut [Request]) {
+        queue.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+    }
+
+    fn serve_round_to_completion(
+        &self,
+        mut queue: Vec<Request>,
+        mut aborted: Vec<Request>,
+    ) -> Result<ServingReport, EngineError> {
+        Self::sort_by_arrival(&mut queue);
+        let mut next = 0usize;
+        let mut pending: Vec<Request> = Vec::new();
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut latencies: Vec<RequestLatency> = Vec::new();
-        let mut aborted: Vec<Request> = Vec::new();
         let mut totals = BatchRunReport::default();
         let mut clock = Seconds::ZERO;
 
-        while !pending.is_empty() {
+        loop {
+            while next < queue.len() && queue[next].arrival <= clock {
+                pending.push(queue[next]);
+                next += 1;
+            }
+            if pending.is_empty() {
+                if next >= queue.len() {
+                    break;
+                }
+                // Idle until the next arrival; idle time is not billed to totals.
+                clock = queue[next].arrival;
+                continue;
+            }
+
             let formed = batch_requests(&pending, &self.batching);
             if formed.scheduled_requests() == 0 {
-                // Nothing fits: every remaining request individually exceeds the
-                // per-micro-batch KV budget. Abort them rather than loop forever.
-                aborted.extend(formed.aborted);
-                break;
+                // Unreachable after the oversized prefilter (any feasible request
+                // fits an empty round), kept as a defensive guard against loops.
+                aborted.append(&mut pending);
+                continue;
             }
 
             let round = rounds.len();
@@ -190,6 +318,11 @@ impl<'a> ServingSession<'a> {
                 .micro_batches
                 .iter()
                 .map(|mb| mb.len() as u64)
+                .collect();
+            let kv_reserved: Vec<u64> = formed
+                .micro_batches
+                .iter()
+                .map(|mb| mb.max_cache_tokens())
                 .collect();
             let requests: u64 = occupancy.iter().sum();
             let prompt_tokens: u64 = formed
@@ -237,9 +370,10 @@ impl<'a> ServingSession<'a> {
                 latencies.push(RequestLatency {
                     request: *request,
                     round,
-                    ttft: clock + prefill_time + step,
+                    ttft: clock + prefill_time + step - request.arrival,
                     per_token: step,
-                    completion_time: clock + prefill_time + step.scale(request.gen_len as f64),
+                    completion_time: clock + prefill_time + step.scale(request.gen_len as f64)
+                        - request.arrival,
                 });
             }
 
@@ -249,12 +383,14 @@ impl<'a> ServingSession<'a> {
                 generated_tokens,
                 prefill_time,
                 decode_time,
+                per_token_sum: step.scale(requests as f64),
             };
             totals = totals.combine(&report);
             clock = clock + prefill_time + decode_time;
             rounds.push(RoundReport {
                 round,
                 occupancy,
+                kv_reserved,
                 prompt_token_spread: formed.prompt_token_spread(),
                 report,
             });
@@ -263,6 +399,236 @@ impl<'a> ServingSession<'a> {
 
         Ok(ServingReport {
             system: self.system,
+            mode: ServingMode::RoundToCompletion,
+            policy: self.policy,
+            schedule: self.schedule,
+            rounds,
+            latencies,
+            aborted,
+            totals,
+        })
+    }
+
+    fn serve_continuous(
+        &self,
+        mut queue: Vec<Request>,
+        mut aborted: Vec<Request>,
+    ) -> Result<ServingReport, EngineError> {
+        Self::sort_by_arrival(&mut queue);
+        let cfg = &self.batching;
+        let mut next = 0usize;
+        let mut ready: Vec<Request> = Vec::new();
+        let mut active: Vec<ActiveRequest> = Vec::new();
+        let mut parts: Vec<PartitionState> = vec![PartitionState::default(); cfg.num_micro_batches];
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut latencies: Vec<RequestLatency> = Vec::new();
+        let mut totals = BatchRunReport::default();
+        let mut clock = Seconds::ZERO;
+        // The discrete-event simulation is deterministic in (occupancy, shape), so
+        // repeated configurations (common under uniform gen_len) hit this memo.
+        let mut step_memo: HashMap<(Vec<u64>, u64, u64), Seconds> = HashMap::new();
+
+        loop {
+            while next < queue.len() && queue[next].arrival <= clock {
+                ready.push(queue[next]);
+                next += 1;
+            }
+
+            // Re-run Algorithm 2 over the waiting queue to backfill freed slots.
+            if !ready.is_empty() {
+                let fill = backfill_requests(&ready, cfg, &parts);
+                let admitted = fill.admitted();
+                ready = fill.deferred;
+                if admitted > 0 {
+                    let wave = rounds.len();
+                    let count = admitted as u64;
+                    let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
+                    let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
+                    let max_gen = fill
+                        .assignments
+                        .iter()
+                        .flatten()
+                        .map(|r| r.gen_len)
+                        .max()
+                        .unwrap_or(0);
+                    let mean_prompt = prompt.div_ceil(count).max(1);
+                    let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+                    let policy = Policy {
+                        batch_size: count,
+                        micro_batch_size: self.policy.micro_batch_size.min(count),
+                        ..self.policy
+                    };
+                    // A wave admitted while requests are still decoding prefills
+                    // under the already-cycling weight stream; a wave admitted
+                    // into a drained pipeline (the first one, or after an idle
+                    // gap / a fully completed uniform wave) is a cold start and
+                    // pays the one-shot weight stream, exactly like a
+                    // round-to-completion round.
+                    let prefill = if active.is_empty() {
+                        self.evaluator.cost_model().prefill_time(&policy, &shape)
+                    } else {
+                        self.evaluator
+                            .cost_model()
+                            .backfill_prefill_time(&policy, &shape)
+                    };
+                    clock += prefill;
+                    for (partition, reqs) in fill.assignments.into_iter().enumerate() {
+                        for request in reqs {
+                            parts[partition].admit(&request);
+                            if request.gen_len == 0 {
+                                // Nothing to decode: complete at prefill end.
+                                parts[partition].release(&request);
+                                latencies.push(RequestLatency {
+                                    request,
+                                    round: wave,
+                                    ttft: clock - request.arrival,
+                                    per_token: Seconds::ZERO,
+                                    completion_time: clock - request.arrival,
+                                });
+                                continue;
+                            }
+                            active.push(ActiveRequest {
+                                request,
+                                partition,
+                                remaining: request.gen_len,
+                                first_token: None,
+                                decode_start: clock,
+                                wave,
+                            });
+                        }
+                    }
+                    let report = BatchRunReport {
+                        requests: count,
+                        prompt_tokens: prompt,
+                        generated_tokens: generated,
+                        prefill_time: prefill,
+                        decode_time: Seconds::ZERO,
+                        per_token_sum: Seconds::ZERO,
+                    };
+                    totals = totals.combine(&report);
+                    rounds.push(RoundReport {
+                        round: wave,
+                        occupancy: parts.iter().map(|p| p.requests as u64).collect(),
+                        kv_reserved: parts.iter().map(|p| p.cache_tokens).collect(),
+                        prompt_token_spread: {
+                            let min = parts.iter().map(|p| p.prompt_tokens).min().unwrap_or(0);
+                            let max = parts.iter().map(|p| p.prompt_tokens).max().unwrap_or(0);
+                            (min, max)
+                        },
+                        report,
+                    });
+                    // Arrivals may have landed during the prefill stall; ingest
+                    // and admit them before decoding on.
+                    continue;
+                }
+            }
+
+            if active.is_empty() {
+                if next >= queue.len() {
+                    // Nothing in flight and no future arrivals. Any leftover ready
+                    // requests were refused by an empty pipeline — unreachable
+                    // after the oversized prefilter, kept as a defensive guard.
+                    aborted.append(&mut ready);
+                    break;
+                }
+                if clock < queue[next].arrival {
+                    // Idle until the next arrival; idle time is not billed.
+                    clock = queue[next].arrival;
+                }
+                continue;
+            }
+
+            // Step latency at the current occupancy (empty micro-batches carry no
+            // tasks and are omitted from the simulated pipeline).
+            let occupancy: Vec<u64> = parts
+                .iter()
+                .filter(|p| p.requests > 0)
+                .map(|p| p.requests as u64)
+                .collect();
+            let total_active = active.len() as u64;
+            let prompt_sum: u64 = active.iter().map(|a| a.request.input_len).sum();
+            let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
+            let max_gen = active
+                .iter()
+                .map(|a| a.request.gen_len)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let key = (occupancy.clone(), mean_prompt, max_gen);
+            let step = match step_memo.get(&key) {
+                Some(&s) => s,
+                None => {
+                    let shape = WorkloadShape::new(mean_prompt, max_gen);
+                    let policy = Policy {
+                        batch_size: total_active,
+                        micro_batch_size: self.policy.micro_batch_size.min(total_active),
+                        ..self.policy
+                    };
+                    let s = self.evaluator.decode_step_latency_with_occupancy(
+                        self.schedule,
+                        &policy,
+                        &shape,
+                        Some(&occupancy),
+                    )?;
+                    step_memo.insert(key, s);
+                    s
+                }
+            };
+
+            // Advance to the next event: a completion frees KV (re-run Algorithm 2)
+            // or an arrival joins the waiting queue.
+            let mut steps = active
+                .iter()
+                .map(|a| a.remaining)
+                .min()
+                .expect("active is non-empty");
+            if next < queue.len() {
+                let gap = (queue[next].arrival - clock).as_secs();
+                let until_arrival = ((gap / step.as_secs()).ceil() as u64).max(1);
+                steps = steps.min(until_arrival);
+            }
+            let segment_start = clock;
+            let advance = step.scale(steps as f64);
+            clock += advance;
+            totals.decode_time += advance;
+            if let Some(last) = rounds.last_mut() {
+                last.report.decode_time += advance;
+            }
+            for a in active.iter_mut() {
+                if a.first_token.is_none() {
+                    a.first_token = Some(segment_start + step);
+                }
+                a.remaining -= steps;
+            }
+
+            // Retire completed requests, releasing their KV reservations so the
+            // next loop iteration can backfill the freed slots.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].remaining > 0 {
+                    i += 1;
+                    continue;
+                }
+                let done = active.swap_remove(i);
+                parts[done.partition].release(&done.request);
+                let per_token =
+                    (clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
+                latencies.push(RequestLatency {
+                    request: done.request,
+                    round: done.wave,
+                    ttft: done.first_token.expect("completed requests decoded")
+                        - done.request.arrival,
+                    per_token,
+                    completion_time: clock - done.request.arrival,
+                });
+                totals.per_token_sum += per_token;
+                rounds[done.wave].report.per_token_sum += per_token;
+            }
+        }
+
+        Ok(ServingReport {
+            system: self.system,
+            mode: ServingMode::Continuous,
             policy: self.policy,
             schedule: self.schedule,
             rounds,
@@ -275,7 +641,7 @@ impl<'a> ServingSession<'a> {
 
 impl SystemEvaluator {
     /// Serves a synthesized queue of `count` requests from `spec` through the
-    /// request-level serving loop and returns the aggregate report.
+    /// round-to-completion serving loop and returns the aggregate report.
     ///
     /// Padded systems see every prompt at the maximum length (the uniform special
     /// case); the others see a variable-length sample batched by Algorithm 2.
@@ -291,8 +657,58 @@ impl SystemEvaluator {
         gen_len: u64,
         seed: u64,
     ) -> Result<ServingReport, EngineError> {
+        self.serve_with_mode(
+            system,
+            spec,
+            count,
+            gen_len,
+            seed,
+            ServingMode::RoundToCompletion,
+        )
+    }
+
+    /// Serves a synthesized queue in an explicit [`ServingMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no policy fits or the simulation fails.
+    pub fn serve_with_mode(
+        &self,
+        system: SystemKind,
+        spec: &WorkloadSpec,
+        count: usize,
+        gen_len: u64,
+        seed: u64,
+        mode: ServingMode,
+    ) -> Result<ServingReport, EngineError> {
         let queue = spec.request_queue(count, gen_len, seed, system.pads_requests());
-        ServingSession::new(self, system, spec, gen_len)?.serve(queue)
+        ServingSession::new(self, system, spec, gen_len)?
+            .with_mode(mode)
+            .serve(queue)
+    }
+
+    /// Serves an *online* queue whose arrival times are stamped by `arrivals`, so
+    /// the scheduler is exercised under load rather than a pre-filled queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no policy fits or the simulation fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_online(
+        &self,
+        system: SystemKind,
+        spec: &WorkloadSpec,
+        count: usize,
+        gen_len: u64,
+        seed: u64,
+        mode: ServingMode,
+        arrivals: &ArrivalProcess,
+    ) -> Result<ServingReport, EngineError> {
+        let queue =
+            spec.timed_request_queue(count, gen_len, seed, system.pads_requests(), arrivals);
+        ServingSession::new(self, system, spec, gen_len)?
+            .with_mode(mode)
+            .serve(queue)
     }
 }
 
@@ -321,6 +737,41 @@ mod tests {
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..600).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn continuous_serving_accounts_for_every_request() {
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        let report = eval
+            .serve_with_mode(
+                SystemKind::MoeLightning,
+                &spec,
+                600,
+                64,
+                17,
+                ServingMode::Continuous,
+            )
+            .unwrap();
+        assert_eq!(report.mode, ServingMode::Continuous);
+        assert_eq!(report.served_requests() + report.aborted.len(), 600);
+        let mut ids: Vec<u64> = report
+            .latencies
+            .iter()
+            .map(|l| l.request.id)
+            .chain(report.aborted.iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..600).collect::<Vec<u64>>());
+        // Token accounting holds per wave and in total.
+        let expected: u64 = report.latencies.iter().map(|l| l.request.gen_len).sum();
+        assert_eq!(report.totals.generated_tokens, expected);
+        let per_wave: u64 = report
+            .rounds
+            .iter()
+            .map(|r| r.report.generated_tokens)
+            .sum();
+        assert_eq!(per_wave, expected);
     }
 
     #[test]
@@ -395,13 +846,7 @@ mod tests {
         let policy = Policy::offload_default(100, 36);
         let shape = WorkloadShape::new(77, 32);
         let session = ServingSession::with_policy(&eval, SystemKind::MoeLightning, policy, shape);
-        let queue: Vec<Request> = (0..150)
-            .map(|id| Request {
-                id,
-                input_len: 77,
-                gen_len: 32,
-            })
-            .collect();
+        let queue: Vec<Request> = (0..150).map(|id| Request::new(id, 77, 32)).collect();
         let report = session.serve(queue).unwrap();
         assert_eq!(report.served_requests(), 150);
         for round in &report.rounds {
@@ -419,27 +864,69 @@ mod tests {
     }
 
     #[test]
+    fn continuous_mode_caps_concurrent_requests_at_the_policy_batch() {
+        let eval = s1();
+        let policy = Policy::offload_default(100, 36);
+        let shape = WorkloadShape::new(77, 32);
+        let session = ServingSession::with_policy(&eval, SystemKind::MoeLightning, policy, shape)
+            .with_mode(ServingMode::Continuous);
+        let queue: Vec<Request> = (0..150).map(|id| Request::new(id, 77, 32)).collect();
+        let report = session.serve(queue).unwrap();
+        assert_eq!(report.served_requests(), 150);
+        for wave in &report.rounds {
+            assert!(
+                wave.occupancy.iter().sum::<u64>() <= policy.batch_size,
+                "wave {} holds {} concurrent requests > N={}",
+                wave.round,
+                wave.occupancy.iter().sum::<u64>(),
+                policy.batch_size
+            );
+            assert!(wave.occupancy.iter().all(|&o| o <= policy.micro_batch_size));
+        }
+    }
+
+    #[test]
     fn oversized_request_is_aborted_not_served() {
         let eval = s1();
         let spec = WorkloadSpec::mtbench();
         let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 32).unwrap();
         let budget = session.batching_config().cache_tokens_per_micro_batch;
-        let queue = vec![
-            Request {
-                id: 0,
-                input_len: 50,
-                gen_len: 32,
-            },
-            Request {
-                id: 1,
-                input_len: budget + 1,
-                gen_len: 32,
-            },
-        ];
+        let queue = vec![Request::new(0, 50, 32), Request::new(1, budget + 1, 32)];
         let report = session.serve(queue).unwrap();
         assert_eq!(report.served_requests(), 1);
         assert_eq!(report.aborted.len(), 1);
         assert_eq!(report.aborted[0].id, 1);
+    }
+
+    #[test]
+    fn permanently_oversized_requests_are_classified_up_front() {
+        // Regression for the O(rounds × queue) re-batching bug: oversized requests
+        // used to survive into `pending` every round (re-sorted by prompt length
+        // each time) and only landed in `aborted` — in *descending prompt order* —
+        // once everything else drained. They are now classified before the first
+        // round and keep their queue order.
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        for mode in [ServingMode::RoundToCompletion, ServingMode::Continuous] {
+            let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 32)
+                .unwrap()
+                .with_mode(mode);
+            let budget = session.batching_config().cache_tokens_per_micro_batch;
+            let queue = vec![
+                Request::new(0, 120, 32),
+                Request::new(1, budget + 1, 32),
+                Request::new(2, 80, 32),
+                Request::new(3, budget + 500, 32),
+            ];
+            let report = session.serve(queue).unwrap();
+            assert_eq!(report.served_requests(), 2);
+            let aborted_ids: Vec<u64> = report.aborted.iter().map(|r| r.id).collect();
+            assert_eq!(
+                aborted_ids,
+                vec![1, 3],
+                "{mode}: oversized requests must be aborted up front in queue order"
+            );
+        }
     }
 
     #[test]
@@ -459,5 +946,17 @@ mod tests {
             unpadded.generation_throughput(),
             padded.generation_throughput()
         );
+    }
+
+    #[test]
+    fn serving_mode_labels_are_stable() {
+        assert_eq!(ServingMode::RoundToCompletion.label(), "rtc");
+        assert_eq!(ServingMode::Continuous.label(), "cont");
+        assert_eq!(
+            ServingMode::RoundToCompletion.to_string(),
+            "round-to-completion"
+        );
+        assert_eq!(ServingMode::Continuous.to_string(), "continuous");
+        assert_eq!(ServingMode::default(), ServingMode::RoundToCompletion);
     }
 }

@@ -328,22 +328,39 @@ impl CostModel {
     /// footnote 7), so the estimate is the max of compute time and the one-shot
     /// streaming of all non-resident weights.
     pub fn prefill_time(&self, policy: &Policy, workload: &WorkloadShape) -> Seconds {
-        let flops_per_layer = self
-            .ops
-            .prefill_layer(policy.batch_size, workload.prompt_len)
-            .flops;
-        let compute = flops_per_layer.scale(f64::from(self.model.num_layers)) / self.gpu_flops();
+        let (compute, kv_offload) = self.prefill_components(policy, workload);
         let stream_bytes = self
             .model
             .total_weight_bytes()
             .scale(1.0 - policy.weights_gpu_ratio.clamp(0.0, 1.0));
         let streaming = stream_bytes / self.h2d();
+        compute.max(streaming).max(kv_offload)
+    }
+
+    /// Estimated prefill time for requests admitted into an *already running*
+    /// decode pipeline (continuous-batching backfill): the non-resident weights are
+    /// already cycling host→device for the in-flight micro-batches, so unlike
+    /// [`Self::prefill_time`] there is no one-shot weight-streaming term — only
+    /// prompt compute and KV offload bind.
+    pub fn backfill_prefill_time(&self, policy: &Policy, workload: &WorkloadShape) -> Seconds {
+        let (compute, kv_offload) = self.prefill_components(policy, workload);
+        compute.max(kv_offload)
+    }
+
+    /// Prompt-compute and KV-offload terms shared by the cold-start and backfill
+    /// prefill estimates.
+    fn prefill_components(&self, policy: &Policy, workload: &WorkloadShape) -> (Seconds, Seconds) {
+        let flops_per_layer = self
+            .ops
+            .prefill_layer(policy.batch_size, workload.prompt_len)
+            .flops;
+        let compute = flops_per_layer.scale(f64::from(self.model.num_layers)) / self.gpu_flops();
         // KV cache produced during prefill is offloaded to the CPU.
         let kv_offload =
             (self.model.kv_bytes_per_token() * policy.batch_size * workload.prompt_len)
                 .scale(1.0 - policy.kv_gpu_ratio)
                 / self.d2h();
-        compute.max(streaming).max(kv_offload)
+        (compute, kv_offload)
     }
 
     /// End-to-end generation throughput (tokens/s) for one batch: generated tokens
@@ -491,6 +508,31 @@ mod tests {
         let short = cm.prefill_time(&p, &WorkloadShape::new(64, 32));
         let long = cm.prefill_time(&p, &WorkloadShape::new(1693, 32));
         assert!(long.as_secs() > short.as_secs());
+    }
+
+    #[test]
+    fn backfill_prefill_never_exceeds_cold_start_prefill() {
+        let cm = s1_cost();
+        let p = Policy::offload_default(128, 16);
+        for prompt in [64, 418, 1693] {
+            let shape = WorkloadShape::new(prompt, 32);
+            let cold = cm.prefill_time(&p, &shape);
+            let backfill = cm.backfill_prefill_time(&p, &shape);
+            assert!(
+                backfill <= cold,
+                "backfill prefill ({backfill}) must not exceed cold start ({cold})"
+            );
+            assert!(backfill.as_secs() > 0.0);
+        }
+        // With everything offloaded (r_w = 0) the cold start streams all weights,
+        // which dominates a small backfill batch by a wide margin.
+        let small = Policy::offload_default(2, 2);
+        let shape = WorkloadShape::new(77, 32);
+        assert!(
+            cm.backfill_prefill_time(&small, &shape).as_secs()
+                < 0.5 * cm.prefill_time(&small, &shape).as_secs(),
+            "a 2-request backfill must avoid the one-shot weight stream"
+        );
     }
 
     #[test]

@@ -2,9 +2,15 @@
 //!
 //! For variable-length prompts, requests are sorted by input length (descending) and
 //! greedily assigned to the micro-batch with the fewest tokens so far, subject to a
-//! per-micro-batch request cap (`ubs`) and KV-cache size limit. Requests that cannot
-//! fit are *aborted* (deferred to the next batch), exactly as in the paper's
-//! pseudo-code.
+//! per-micro-batch request cap (`ubs`) and KV-cache size limit. When the
+//! token-minimal micro-batch lacks KV headroom, the request spills to the open
+//! micro-batch with the next-fewest tokens that can still hold it; only requests no
+//! open micro-batch can hold are *aborted* (deferred to the next batch).
+//!
+//! [`batch_requests`] forms a batch from scratch; [`backfill_requests`] runs the
+//! same assignment over micro-batches that already hold in-flight requests
+//! ([`PartitionState`]), which is how the continuous-batching scheduler re-runs
+//! Algorithm 2 mid-flight to fill slots freed by completed requests.
 
 use crate::spec::Request;
 use serde::{Deserialize, Serialize};
@@ -85,71 +91,151 @@ pub struct BatchingConfig {
     pub cache_tokens_per_micro_batch: u64,
 }
 
+/// Occupancy of one micro-batch that already holds in-flight requests, as seen by
+/// [`backfill_requests`]. The continuous-batching scheduler snapshots one entry per
+/// micro-batch before re-running Algorithm 2 over the waiting queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionState {
+    /// Requests currently decoding in this micro-batch.
+    pub requests: usize,
+    /// Prompt tokens of those requests (the balancing criterion).
+    pub prompt_tokens: u64,
+    /// End-of-generation KV tokens the micro-batch has reserved (the admission
+    /// criterion).
+    pub cache_tokens: u64,
+}
+
+impl PartitionState {
+    /// Adds one request to the occupancy snapshot.
+    pub fn admit(&mut self, req: &Request) {
+        self.requests += 1;
+        self.prompt_tokens += req.input_len;
+        self.cache_tokens += req.max_context();
+    }
+
+    /// Removes one completed request, releasing its KV reservation.
+    pub fn release(&mut self, req: &Request) {
+        self.requests = self.requests.saturating_sub(1);
+        self.prompt_tokens = self.prompt_tokens.saturating_sub(req.input_len);
+        self.cache_tokens = self.cache_tokens.saturating_sub(req.max_context());
+    }
+}
+
+/// Result of backfilling open micro-batch slots from a waiting queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackfillResult {
+    /// Newly admitted requests per micro-batch (parallel to the input state slice).
+    pub assignments: Vec<Vec<Request>>,
+    /// Requests that found no open micro-batch with a free slot and KV headroom.
+    pub deferred: Vec<Request>,
+    /// Indices of micro-batches that reached the request cap, in fill order.
+    pub filled_order: Vec<usize>,
+}
+
+impl BackfillResult {
+    /// Total number of newly admitted requests.
+    pub fn admitted(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs the Algorithm 2 assignment over micro-batches that may already hold
+/// in-flight requests: each queued request (longest prompt first) goes to the open
+/// micro-batch with the fewest prompt tokens *among those with KV headroom*,
+/// spilling to the next-fewest-token micro-batch instead of deferring when the
+/// token-minimal one is cache-saturated.
+///
+/// `occupied` holds one [`PartitionState`] per micro-batch; its `requests` counts
+/// bind against both `cfg.max_requests_per_micro_batch` and
+/// `cfg.max_scheduled_requests`.
+///
+/// # Panics
+///
+/// Panics if `num_micro_batches` or `max_requests_per_micro_batch` is zero, or if
+/// `occupied.len() != cfg.num_micro_batches`.
+pub fn backfill_requests(
+    queue: &[Request],
+    cfg: &BatchingConfig,
+    occupied: &[PartitionState],
+) -> BackfillResult {
+    assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
+    assert!(
+        cfg.max_requests_per_micro_batch > 0,
+        "need a positive per-micro-batch capacity"
+    );
+    assert_eq!(
+        occupied.len(),
+        cfg.num_micro_batches,
+        "need one occupancy entry per micro-batch"
+    );
+
+    let mut assignments: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
+    let mut state: Vec<PartitionState> = occupied.to_vec();
+    let mut filled_order = Vec::new();
+    let mut deferred = Vec::new();
+
+    let mut sorted: Vec<Request> = queue.to_vec();
+    sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
+
+    let mut scheduled: usize = state.iter().map(|p| p.requests).sum();
+    for req in sorted {
+        if scheduled >= cfg.max_scheduled_requests {
+            deferred.push(req);
+            continue;
+        }
+        // The open micro-batch with the fewest prompt tokens that still has KV
+        // headroom for this request. Checking headroom *before* the min-by-tokens
+        // selection is the spill fix: a cache-saturated token-minimal micro-batch
+        // no longer forces an abort while its neighbours have room.
+        let target = (0..cfg.num_micro_batches)
+            .filter(|&i| {
+                state[i].requests < cfg.max_requests_per_micro_batch
+                    && state[i].cache_tokens + req.max_context() <= cfg.cache_tokens_per_micro_batch
+            })
+            .min_by_key(|&i| (state[i].prompt_tokens, i));
+        let Some(idx) = target else {
+            deferred.push(req);
+            continue;
+        };
+        state[idx].admit(&req);
+        assignments[idx].push(req);
+        scheduled += 1;
+        if state[idx].requests == cfg.max_requests_per_micro_batch {
+            filled_order.push(idx);
+        }
+    }
+
+    BackfillResult {
+        assignments,
+        deferred,
+        filled_order,
+    }
+}
+
 /// Runs Algorithm 2: balanced assignment of requests to micro-batches.
 ///
 /// # Panics
 ///
 /// Panics if `num_micro_batches` or `max_requests_per_micro_batch` is zero.
 pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
-    assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
-    assert!(
-        cfg.max_requests_per_micro_batch > 0,
-        "need a positive per-micro-batch capacity"
-    );
-
-    // partitions[i] collects requests; partition_sums[i] tracks assigned prompt
-    // tokens (the balancing criterion); cache_sums[i] tracks the end-of-generation
-    // KV tokens the partition has reserved (the admission criterion).
-    let mut partitions: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
-    let mut partition_sums: Vec<u64> = vec![0; cfg.num_micro_batches];
-    let mut cache_sums: Vec<u64> = vec![0; cfg.num_micro_batches];
-    let mut open: Vec<usize> = (0..cfg.num_micro_batches).collect();
-    let mut finished: Vec<(usize, Vec<Request>)> = Vec::new();
-    let mut aborted = Vec::new();
-
-    let mut sorted: Vec<Request> = queue.to_vec();
-    sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
-
-    let mut scheduled = 0usize;
-    for req in sorted {
-        if open.is_empty() || scheduled == cfg.max_scheduled_requests {
-            aborted.push(req);
-            continue;
-        }
-        // Pick the open partition with the fewest prompt tokens.
-        let &idx = open
-            .iter()
-            .min_by_key(|&&i| (partition_sums[i], i))
-            .expect("open is non-empty");
-        let projected_cache = cache_sums[idx] + req.max_context();
-        if projected_cache > cfg.cache_tokens_per_micro_batch {
-            aborted.push(req);
-            continue;
-        }
-        partitions[idx].push(req);
-        partition_sums[idx] += req.input_len;
-        cache_sums[idx] += req.max_context();
-        scheduled += 1;
-        if partitions[idx].len() == cfg.max_requests_per_micro_batch {
-            // The micro-batch is full: move it to the finished list and close it.
-            finished.push((idx, std::mem::take(&mut partitions[idx])));
-            open.retain(|&i| i != idx);
-        }
-    }
+    let empty = vec![PartitionState::default(); cfg.num_micro_batches];
+    let mut fill = backfill_requests(queue, cfg, &empty);
 
     // Emit full micro-batches first (in the order they filled up), then the remaining
     // partially filled ones in index order.
-    let mut micro_batches: Vec<MicroBatch> = finished
-        .into_iter()
-        .map(|(_, requests)| MicroBatch { requests })
-        .collect();
-    for requests in partitions.into_iter().filter(|p| !p.is_empty()) {
+    let mut micro_batches: Vec<MicroBatch> = Vec::new();
+    for &idx in &fill.filled_order {
+        micro_batches.push(MicroBatch {
+            requests: std::mem::take(&mut fill.assignments[idx]),
+        });
+    }
+    for requests in fill.assignments.into_iter().filter(|p| !p.is_empty()) {
         micro_batches.push(MicroBatch { requests });
     }
 
     BatchingResult {
         micro_batches,
-        aborted,
+        aborted: fill.deferred,
     }
 }
 
@@ -157,6 +243,7 @@ pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult
 mod tests {
     use super::*;
     use crate::spec::WorkloadSpec;
+    use moe_hardware::Seconds;
 
     fn cfg(n_ub: usize, ubs: usize, cache: u64) -> BatchingConfig {
         BatchingConfig {
@@ -172,6 +259,7 @@ mod tests {
             id,
             input_len: len,
             gen_len: 32,
+            arrival: Seconds::ZERO,
         }
     }
 
@@ -241,6 +329,109 @@ mod tests {
         let result = batch_requests(&queue, &cfg(4, 8, 1000));
         assert_eq!(result.scheduled_requests(), 2);
         assert_eq!(result.aborted, vec![giant]);
+    }
+
+    #[test]
+    fn spills_to_another_open_micro_batch_when_token_min_lacks_cache_headroom() {
+        // Regression: p0's cache is saturated by a giant prompt (900 + 150 gen =
+        // 1050 of 1100), while p1 holds more prompt tokens (two 500-token fillers)
+        // but almost no generation, so it keeps cache headroom. The final small
+        // request's token-minimal micro-batch is p0 — which cannot hold it — and
+        // the fixed algorithm must spill it to p1 instead of aborting.
+        let giant = Request {
+            id: 0,
+            input_len: 900,
+            gen_len: 150,
+            arrival: Seconds::ZERO,
+        };
+        let fillers: Vec<Request> = (1..=2)
+            .map(|id| Request {
+                id,
+                input_len: 500,
+                gen_len: 1,
+                arrival: Seconds::ZERO,
+            })
+            .collect();
+        let small = Request {
+            id: 3,
+            input_len: 60,
+            gen_len: 1,
+            arrival: Seconds::ZERO,
+        };
+        let queue = [giant, fillers[0], fillers[1], small];
+        let result = batch_requests(&queue, &cfg(2, 8, 1100));
+        assert!(
+            result.aborted.is_empty(),
+            "small request must spill to the open micro-batch with headroom: {:?}",
+            result.aborted
+        );
+        assert_eq!(result.scheduled_requests(), 4);
+        // The spill lands next to the fillers, not the giant.
+        let small_mb = result
+            .micro_batches
+            .iter()
+            .find(|mb| mb.requests.iter().any(|r| r.id == 3))
+            .expect("small request scheduled");
+        assert!(small_mb.requests.iter().any(|r| r.id == 1));
+        for mb in &result.micro_batches {
+            assert!(mb.max_cache_tokens() <= 1100);
+        }
+    }
+
+    #[test]
+    fn backfill_extends_partially_occupied_micro_batches() {
+        // One micro-batch already decodes 2 requests worth 700 cache tokens; the
+        // other is empty. Backfill must respect both the existing reservation and
+        // the balance criterion.
+        let occupied = [
+            PartitionState {
+                requests: 2,
+                prompt_tokens: 600,
+                cache_tokens: 700,
+            },
+            PartitionState::default(),
+        ];
+        let queue: Vec<Request> = (0..3)
+            .map(|id| Request {
+                id,
+                input_len: 200,
+                gen_len: 100,
+                arrival: Seconds::ZERO,
+            })
+            .collect();
+        let fill = backfill_requests(&queue, &cfg(2, 4, 1000), &occupied);
+        // All three fit the empty micro-batch (3 × 300 = 900 ≤ 1000); the occupied
+        // one can only take one more (700 + 300 = 1000).
+        assert_eq!(fill.admitted(), 3);
+        assert!(fill.deferred.is_empty());
+        assert!(
+            fill.assignments[1].len() >= 2,
+            "balance favours the empty one"
+        );
+        let p0_new: u64 = fill.assignments[0].iter().map(Request::max_context).sum();
+        assert!(occupied[0].cache_tokens + p0_new <= 1000);
+    }
+
+    #[test]
+    fn backfill_counts_existing_occupancy_against_the_total_cap() {
+        let occupied = [PartitionState {
+            requests: 3,
+            prompt_tokens: 300,
+            cache_tokens: 400,
+        }];
+        let mut config = cfg(1, 8, u64::MAX);
+        config.max_scheduled_requests = 4;
+        let queue: Vec<Request> = (0..3)
+            .map(|id| Request {
+                id,
+                input_len: 100,
+                gen_len: 10,
+                arrival: Seconds::ZERO,
+            })
+            .collect();
+        let fill = backfill_requests(&queue, &config, &occupied);
+        assert_eq!(fill.admitted(), 1);
+        assert_eq!(fill.deferred.len(), 2);
     }
 
     #[test]

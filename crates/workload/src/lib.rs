@@ -1,9 +1,13 @@
 //! Workloads, request batching and metrics for the MoE-Lightning reproduction.
 //!
-//! * [`spec`] — the paper's three workloads (Tab. 3) and synthetic request sampling.
+//! * [`spec`] — the paper's three workloads (Tab. 3), synthetic request sampling
+//!   and online arrival processes (Poisson/burst) for serving under load.
 //! * [`batching`] — Algorithm 2 (Appendix A.2): balanced assignment of
-//!   variable-length requests to micro-batches under a KV-cache budget.
-//! * [`metrics`] — generation-throughput accounting (the evaluation metric).
+//!   variable-length requests to micro-batches under a KV-cache budget, with
+//!   spill to the next-fewest-token micro-batch and mid-flight backfill of
+//!   partially occupied micro-batches (continuous batching).
+//! * [`metrics`] — generation-throughput accounting (the evaluation metric) and
+//!   queue-aware per-request latency (TTFT, per-token, completion).
 //!
 //! # Examples
 //!
@@ -31,9 +35,12 @@ pub mod batching;
 pub mod metrics;
 pub mod spec;
 
-pub use batching::{batch_requests, BatchingConfig, BatchingResult, MicroBatch};
+pub use batching::{
+    backfill_requests, batch_requests, BackfillResult, BatchingConfig, BatchingResult, MicroBatch,
+    PartitionState,
+};
 pub use metrics::{BatchRunReport, LatencySummary, RequestLatency};
-pub use spec::{Request, WorkloadSpec};
+pub use spec::{ArrivalProcess, Request, WorkloadSpec};
 
 #[cfg(test)]
 mod proptests {
@@ -44,11 +51,7 @@ mod proptests {
         proptest::collection::vec((1u64..2048, 1u64..256), 1..200).prop_map(|v| {
             v.into_iter()
                 .enumerate()
-                .map(|(i, (input_len, gen_len))| Request {
-                    id: i as u64,
-                    input_len,
-                    gen_len,
-                })
+                .map(|(i, (input_len, gen_len))| Request::new(i as u64, input_len, gen_len))
                 .collect()
         })
     }

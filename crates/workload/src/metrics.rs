@@ -24,9 +24,40 @@ pub struct BatchRunReport {
     pub prefill_time: Seconds,
     /// Time spent in the decode stage.
     pub decode_time: Seconds,
+    /// Sum over requests of each request's mean per-token decode latency — the
+    /// accumulator behind the request-weighted [`Self::per_token_latency`], which
+    /// stays correct under [`Self::combine`] even when rounds have different
+    /// request counts (dividing the combined decode time by the *global* mean
+    /// tokens-per-request does not).
+    pub per_token_sum: Seconds,
 }
 
 impl BatchRunReport {
+    /// Builds the report of one uniform round: every request decodes
+    /// `generated_tokens / requests` tokens in lock-step over `decode_time`, so
+    /// each request's mean per-token latency is `decode_time · requests /
+    /// generated_tokens`.
+    pub fn uniform_round(
+        requests: u64,
+        prompt_tokens: u64,
+        generated_tokens: u64,
+        prefill_time: Seconds,
+        decode_time: Seconds,
+    ) -> Self {
+        let per_token_sum = if generated_tokens == 0 {
+            Seconds::ZERO
+        } else {
+            decode_time.scale(requests as f64 * requests as f64 / generated_tokens as f64)
+        };
+        BatchRunReport {
+            requests,
+            prompt_tokens,
+            generated_tokens,
+            prefill_time,
+            decode_time,
+            per_token_sum,
+        }
+    }
     /// Total wall-clock time.
     pub fn total_time(&self) -> Seconds {
         self.prefill_time + self.decode_time
@@ -51,9 +82,21 @@ impl BatchRunReport {
         self.generated_tokens as f64 / t
     }
 
-    /// Average latency per generated token per request (seconds/token).
+    /// Average latency per generated token per request (seconds/token), as the
+    /// request-weighted mean of each request's own per-token latency.
+    ///
+    /// Reports built by [`Self::uniform_round`] (or with an explicit
+    /// [`Self::per_token_sum`]) keep this exact across [`Self::combine`]; a report
+    /// assembled by hand with a zero accumulator falls back to the single-round
+    /// formula `decode_time / (generated_tokens / requests)`.
     pub fn per_token_latency(&self) -> Seconds {
-        if self.generated_tokens == 0 || self.requests == 0 {
+        if self.requests == 0 {
+            return Seconds::ZERO;
+        }
+        if self.per_token_sum > Seconds::ZERO {
+            return self.per_token_sum.scale(1.0 / self.requests as f64);
+        }
+        if self.generated_tokens == 0 {
             return Seconds::ZERO;
         }
         Seconds::from_secs(
@@ -69,6 +112,7 @@ impl BatchRunReport {
             generated_tokens: self.generated_tokens + other.generated_tokens,
             prefill_time: self.prefill_time + other.prefill_time,
             decode_time: self.decode_time + other.decode_time,
+            per_token_sum: self.per_token_sum + other.per_token_sum,
         }
     }
 }
@@ -78,14 +122,17 @@ impl BatchRunReport {
 pub struct RequestLatency {
     /// The request this record describes.
     pub request: Request,
-    /// Zero-based index of the serving round (batch) the request ran in.
+    /// Zero-based index of the serving round (round-to-completion mode) or
+    /// admission wave (continuous mode) the request was admitted in.
     pub round: usize,
-    /// Time from queue submission to the first generated token (includes queueing
-    /// behind earlier rounds plus this round's prefill and first decode step).
+    /// Time from the request's *arrival* to its first generated token — the
+    /// queue-aware TTFT: it includes waiting behind earlier work plus the
+    /// admitting round's prefill and first decode step.
     pub ttft: Seconds,
-    /// Average latency of one generated token once decoding has started.
+    /// Average latency of one generated token once decoding has started
+    /// (including any mid-flight prefill stalls from later admission waves).
     pub per_token: Seconds,
-    /// Time from queue submission to the request's last generated token.
+    /// Time from the request's arrival to its last generated token.
     pub completion_time: Seconds,
 }
 
@@ -163,13 +210,13 @@ mod tests {
     use super::*;
 
     fn report() -> BatchRunReport {
-        BatchRunReport {
-            requests: 500,
-            prompt_tokens: 500 * 77,
-            generated_tokens: 500 * 128,
-            prefill_time: Seconds::from_secs(100.0),
-            decode_time: Seconds::from_secs(1900.0),
-        }
+        BatchRunReport::uniform_round(
+            500,
+            500 * 77,
+            500 * 128,
+            Seconds::from_secs(100.0),
+            Seconds::from_secs(1900.0),
+        )
     }
 
     #[test]
@@ -189,16 +236,39 @@ mod tests {
 
     #[test]
     fn degenerate_reports_do_not_divide_by_zero() {
-        let zero = BatchRunReport {
-            requests: 0,
-            prompt_tokens: 0,
-            generated_tokens: 0,
-            prefill_time: Seconds::ZERO,
-            decode_time: Seconds::ZERO,
-        };
+        let zero = BatchRunReport::default();
         assert_eq!(zero.generation_throughput(), 0.0);
         assert_eq!(zero.decode_throughput(), 0.0);
         assert_eq!(zero.per_token_latency(), Seconds::ZERO);
+        let no_tokens = BatchRunReport {
+            requests: 4,
+            ..BatchRunReport::default()
+        };
+        assert_eq!(no_tokens.per_token_latency(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn per_token_latency_is_request_weighted_after_combine() {
+        // Round A: 2 requests × 32 tokens over 64 s of decode → 2 s/token each.
+        // Round B: 1 request × 128 tokens over 128 s of decode → 1 s/token.
+        // The request-weighted mean is (2·2 + 1·1)/3 = 5/3 s/token; dividing the
+        // combined decode time by the global mean tokens-per-request (the old
+        // formula) gives 192/(192/3) = 3 s/token, overstating it by 80%.
+        let a = BatchRunReport::uniform_round(2, 0, 64, Seconds::ZERO, Seconds::from_secs(64.0));
+        let b = BatchRunReport::uniform_round(1, 0, 128, Seconds::ZERO, Seconds::from_secs(128.0));
+        assert!((a.per_token_latency().as_secs() - 2.0).abs() < 1e-9);
+        assert!((b.per_token_latency().as_secs() - 1.0).abs() < 1e-9);
+        let combined = a.combine(&b);
+        assert!(
+            (combined.per_token_latency().as_secs() - 5.0 / 3.0).abs() < 1e-9,
+            "combined per-token latency must be the request-weighted mean, got {}",
+            combined.per_token_latency()
+        );
+        // Combining in the other order gives the same answer.
+        assert_eq!(
+            b.combine(&a).per_token_latency(),
+            combined.per_token_latency()
+        );
     }
 
     #[test]
@@ -235,11 +305,7 @@ mod tests {
 
     #[test]
     fn latency_summary_selectors_pick_the_right_field() {
-        let req = Request {
-            id: 0,
-            input_len: 10,
-            gen_len: 4,
-        };
+        let req = Request::new(0, 10, 4);
         let latencies = [
             RequestLatency {
                 request: req,

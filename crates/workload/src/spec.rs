@@ -5,13 +5,19 @@
 //! the prompt-length statistics matter for throughput, so each workload is described
 //! by its average and maximum prompt length and requests are sampled from a
 //! truncated distribution matching those statistics.
+//!
+//! For online serving, every [`Request`] additionally carries an arrival time
+//! stamped by an [`ArrivalProcess`] (all-at-once, Poisson, or bursty), so the
+//! serving scheduler is exercised under load instead of a pre-filled queue and
+//! latency metrics are measured from each request's arrival (queue-aware TTFT).
 
+use moe_hardware::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A single inference request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Unique id within a generated batch.
     pub id: u64,
@@ -19,12 +25,81 @@ pub struct Request {
     pub input_len: u64,
     /// Number of tokens to generate.
     pub gen_len: u64,
+    /// Time the request entered the serving queue (zero for offline batches).
+    pub arrival: Seconds,
 }
 
 impl Request {
+    /// A request arriving at time zero (the offline, pre-filled-queue case).
+    pub fn new(id: u64, input_len: u64, gen_len: u64) -> Self {
+        Request {
+            id,
+            input_len,
+            gen_len,
+            arrival: Seconds::ZERO,
+        }
+    }
+
     /// Total context length once generation finishes.
     pub fn max_context(&self) -> u64 {
         self.input_len + self.gen_len
+    }
+}
+
+/// How requests arrive at the serving queue over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Every request is queued at time zero (offline batch serving, the paper's
+    /// evaluation setup).
+    Immediate,
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_per_sec`
+    /// requests per second.
+    Poisson {
+        /// Mean arrival rate in requests per second (must be positive).
+        rate_per_sec: f64,
+    },
+    /// Bursty arrivals: groups of `size` requests land together every
+    /// `period_secs` seconds (the first burst at time zero).
+    Burst {
+        /// Requests per burst (must be positive).
+        size: usize,
+        /// Seconds between consecutive bursts.
+        period_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Stamps `requests` (in id order) with arrival times drawn from this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive Poisson rate or a zero burst size.
+    pub fn stamp(&self, requests: &mut [Request], seed: u64) {
+        match *self {
+            ArrivalProcess::Immediate => {
+                for r in requests.iter_mut() {
+                    r.arrival = Seconds::ZERO;
+                }
+            }
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                for r in requests.iter_mut() {
+                    // Inverse-CDF sampling of the exponential gap; 1-u keeps the
+                    // argument of ln strictly positive.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    t += -(1.0 - u).ln() / rate_per_sec;
+                    r.arrival = Seconds::from_secs(t);
+                }
+            }
+            ArrivalProcess::Burst { size, period_secs } => {
+                assert!(size > 0, "burst size must be positive");
+                for (i, r) in requests.iter_mut().enumerate() {
+                    r.arrival = Seconds::from_secs((i / size) as f64 * period_secs.max(0.0));
+                }
+            }
+        }
     }
 }
 
@@ -107,13 +182,34 @@ impl WorkloadSpec {
                 } else {
                     avg + u * up
                 };
-                Request {
-                    id: i as u64,
-                    input_len: (len.round().max(1.0) as u64).min(self.max_prompt_len),
+                Request::new(
+                    i as u64,
+                    (len.round().max(1.0) as u64).min(self.max_prompt_len),
                     gen_len,
-                }
+                )
             })
             .collect()
+    }
+
+    /// Samples `count` requests whose generation lengths are drawn uniformly from
+    /// the workload's `default_gen_lens` (prompts as in [`Self::sample_requests`]).
+    /// This is the heterogeneous-`gen_len` queue continuous batching is designed
+    /// for: short requests complete and free KV capacity while long ones decode on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or the workload has no default generation lengths.
+    pub fn sample_requests_mixed_gen(&self, count: usize, seed: u64) -> Vec<Request> {
+        assert!(
+            !self.default_gen_lens.is_empty(),
+            "workload has no default generation lengths"
+        );
+        let mut requests = self.sample_requests(count, self.default_gen_lens[0], seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+        for r in &mut requests {
+            r.gen_len = self.default_gen_lens[rng.gen_range(0..self.default_gen_lens.len())];
+        }
+        requests
     }
 
     /// Samples requests whose prompts are all padded to the maximum length, the way
@@ -125,11 +221,7 @@ impl WorkloadSpec {
     pub fn padded_requests(&self, count: usize, gen_len: u64) -> Vec<Request> {
         assert!(count > 0, "cannot sample an empty workload");
         (0..count)
-            .map(|i| Request {
-                id: i as u64,
-                input_len: self.max_prompt_len,
-                gen_len,
-            })
+            .map(|i| Request::new(i as u64, self.max_prompt_len, gen_len))
             .collect()
     }
 
@@ -152,6 +244,25 @@ impl WorkloadSpec {
         } else {
             self.sample_requests(count, gen_len, seed)
         }
+    }
+
+    /// Synthesizes a request queue and stamps it with arrival times from
+    /// `arrivals`, the online-serving counterpart of [`Self::request_queue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or the arrival process parameters are invalid.
+    pub fn timed_request_queue(
+        &self,
+        count: usize,
+        gen_len: u64,
+        seed: u64,
+        padded: bool,
+        arrivals: &ArrivalProcess,
+    ) -> Vec<Request> {
+        let mut queue = self.request_queue(count, gen_len, seed, padded);
+        arrivals.stamp(&mut queue, seed.wrapping_add(0x51_7c_c1_b7));
+        queue
     }
 
     /// Average prompt length of a request list (tokens).
@@ -241,6 +352,74 @@ mod tests {
     #[test]
     fn mean_prompt_of_empty_slice_is_zero() {
         assert_eq!(WorkloadSpec::mean_prompt(&[]), 0.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing_and_match_the_rate() {
+        let spec = WorkloadSpec::mtbench();
+        let queue = spec.timed_request_queue(
+            2000,
+            64,
+            11,
+            false,
+            &ArrivalProcess::Poisson { rate_per_sec: 4.0 },
+        );
+        let mut last = Seconds::ZERO;
+        for r in &queue {
+            assert!(r.arrival >= last, "arrival times must be non-decreasing");
+            last = r.arrival;
+        }
+        // 2000 arrivals at 4 rps take ~500 s; the sample mean gap is within 15%.
+        let span = queue.last().unwrap().arrival.as_secs();
+        assert!(
+            (span - 500.0).abs() / 500.0 < 0.15,
+            "2000 arrivals at 4 rps should span ~500 s, got {span}"
+        );
+    }
+
+    #[test]
+    fn burst_arrivals_land_in_groups() {
+        let mut queue = WorkloadSpec::mtbench().sample_requests(10, 32, 1);
+        ArrivalProcess::Burst {
+            size: 4,
+            period_secs: 10.0,
+        }
+        .stamp(&mut queue, 0);
+        let times: Vec<f64> = queue.iter().map(|r| r.arrival.as_secs()).collect();
+        assert_eq!(
+            times,
+            vec![0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0, 20.0, 20.0]
+        );
+    }
+
+    #[test]
+    fn immediate_arrivals_reset_to_zero() {
+        let mut queue = WorkloadSpec::mtbench().sample_requests(5, 32, 1);
+        ArrivalProcess::Poisson { rate_per_sec: 1.0 }.stamp(&mut queue, 3);
+        assert!(queue.iter().any(|r| r.arrival > Seconds::ZERO));
+        ArrivalProcess::Immediate.stamp(&mut queue, 3);
+        assert!(queue.iter().all(|r| r.arrival == Seconds::ZERO));
+    }
+
+    #[test]
+    fn mixed_gen_sampling_uses_the_workload_gen_lens() {
+        let spec = WorkloadSpec::mtbench();
+        let queue = spec.sample_requests_mixed_gen(500, 7);
+        assert_eq!(queue.len(), 500);
+        for r in &queue {
+            assert!(spec.default_gen_lens.contains(&r.gen_len));
+        }
+        // With 4 candidate lengths and 500 draws, every length shows up.
+        for gen in &spec.default_gen_lens {
+            assert!(
+                queue.iter().any(|r| r.gen_len == *gen),
+                "gen_len {gen} never sampled"
+            );
+        }
+        assert_eq!(
+            spec.sample_requests_mixed_gen(500, 7),
+            spec.sample_requests_mixed_gen(500, 7)
+        );
     }
 
     #[test]

@@ -121,18 +121,8 @@ fn oversized_requests_abort_and_the_rest_are_served() {
     let spec = WorkloadSpec::mtbench();
     let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 64).unwrap();
     let budget = session.batching_config().cache_tokens_per_micro_batch;
-    let mut queue: Vec<Request> = (0..10)
-        .map(|i| Request {
-            id: i,
-            input_len: 100,
-            gen_len: 64,
-        })
-        .collect();
-    queue.push(Request {
-        id: 10,
-        input_len: budget,
-        gen_len: 64,
-    });
+    let mut queue: Vec<Request> = (0..10).map(|i| Request::new(i, 100, 64)).collect();
+    queue.push(Request::new(10, budget, 64));
     let report = session.serve(queue).unwrap();
     assert_eq!(report.served_requests(), 10);
     assert_eq!(report.aborted.len(), 1);

@@ -196,7 +196,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    /// Size specification for [`vec()`](crate::collection::vec): a fixed length or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
