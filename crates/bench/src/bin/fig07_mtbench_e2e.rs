@@ -18,7 +18,9 @@
 //! runs.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, ServingMode, ServingReport, SystemEvaluator, SystemKind};
+use moe_lightning::{
+    EvalSetting, ServeSpec, ServingMode, ServingReport, SystemEvaluator, SystemKind,
+};
 use moe_workload::{ArrivalProcess, WorkloadSpec};
 
 /// Seed for the variable-length queue synthesis.
@@ -82,9 +84,12 @@ fn main() {
                 let mut cells = vec![label.clone()];
                 let mut csv = vec![setting.to_string(), label.clone()];
                 for gen in gen_lens {
-                    let cell = match evaluator
-                        .serve_with_mode(system, &spec, queue_len, gen, SEED, mode)
-                    {
+                    let scenario = ServeSpec::new(system, spec.clone())
+                        .with_count(queue_len)
+                        .with_gen_len(gen)
+                        .with_seed(SEED)
+                        .with_mode(mode);
+                    let cell = match evaluator.run(&scenario) {
                         Ok(report) => {
                             let cell = fmt3(report.generation_throughput());
                             if gen == LATENCY_GEN_LEN {
@@ -175,13 +180,11 @@ fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize) {
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
     let widths = [28usize, 12, 12, 14, 12];
 
-    let offline = match evaluator.serve_with_mode(
-        system,
-        spec,
-        queue_len,
-        LATENCY_GEN_LEN,
-        SEED,
-        ServingMode::RoundToCompletion,
+    let offline = match evaluator.run(
+        &ServeSpec::new(system, spec.clone())
+            .with_count(queue_len)
+            .with_gen_len(LATENCY_GEN_LEN)
+            .with_seed(SEED),
     ) {
         Ok(report) => report,
         Err(e) => {
@@ -210,14 +213,13 @@ fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize) {
         &widths,
     );
     for mode in MODES {
-        match evaluator.serve_online(
-            system,
-            spec,
-            queue_len,
-            LATENCY_GEN_LEN,
-            SEED,
-            mode,
-            &arrivals,
+        match evaluator.run(
+            &ServeSpec::new(system, spec.clone())
+                .with_count(queue_len)
+                .with_gen_len(LATENCY_GEN_LEN)
+                .with_seed(SEED)
+                .with_mode(mode)
+                .with_arrivals(arrivals),
         ) {
             Ok(report) => {
                 let ttft = report.ttft();

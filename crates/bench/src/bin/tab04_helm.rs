@@ -1,12 +1,14 @@
 //! Tab. 4: generation throughput, micro-batch size μ and micro-batch count N/μ for
 //! the HELM synthetic-reasoning and summarization workloads under settings S1 and S2,
-//! served as request queues through the Algorithm 2 micro-batching loop in both
+//! served as request queues through the micro-batching serving loop in both
 //! scheduling modes (`rtc` = round-to-completion, `cont` = continuous batching).
+//! Each system's policy comes from its `PolicyGenerator` (the `policy` column),
+//! iterated generically through `SystemEvaluator::policy_generator`.
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab04_helm`.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, ServingMode, SystemEvaluator, SystemKind};
+use moe_lightning::{EvalSetting, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
 /// Requests per served queue.
@@ -27,7 +29,7 @@ fn main() {
         SystemKind::MoeLightningPadded,
     ];
     let modes = [ServingMode::RoundToCompletion, ServingMode::Continuous];
-    let widths = [22usize, 6, 14, 8, 8, 12];
+    let widths = [22usize, 12, 6, 14, 8, 8, 12];
 
     for spec in &workloads {
         let gen = spec.default_gen_lens[0];
@@ -35,12 +37,26 @@ fn main() {
             println!("\n== {} @ {setting} (gen_len = {gen}) ==", spec.name);
             let evaluator = SystemEvaluator::new(setting.node(), setting.model());
             print_header(
-                &["system", "mode", "tokens/s", "mu", "N/mu", "ttft_p50 s"],
+                &[
+                    "system",
+                    "policy",
+                    "mode",
+                    "tokens/s",
+                    "mu",
+                    "N/mu",
+                    "ttft_p50 s",
+                ],
                 &widths,
             );
             for system in systems {
+                let generator = evaluator.policy_generator(system).name();
                 for mode in modes {
-                    match evaluator.serve_with_mode(system, spec, QUEUE_LEN, gen, SEED, mode) {
+                    let scenario = ServeSpec::new(system, spec.clone())
+                        .with_count(QUEUE_LEN)
+                        .with_gen_len(gen)
+                        .with_seed(SEED)
+                        .with_mode(mode);
+                    match evaluator.run(&scenario) {
                         Ok(report) => {
                             let mu = report.policy.micro_batch_size;
                             let n_over_mu = report.policy.num_micro_batches();
@@ -49,6 +65,7 @@ fn main() {
                             print_row(
                                 &[
                                     system.name().to_owned(),
+                                    generator.to_owned(),
                                     mode.label().to_owned(),
                                     fmt3(throughput),
                                     mu.to_string(),
@@ -61,6 +78,7 @@ fn main() {
                                 spec.name.clone(),
                                 setting.to_string(),
                                 system.name().to_owned(),
+                                generator.to_owned(),
                                 mode.label().to_owned(),
                                 fmt3(throughput),
                                 mu.to_string(),
@@ -71,6 +89,7 @@ fn main() {
                         Err(e) => print_row(
                             &[
                                 system.name().to_owned(),
+                                generator.to_owned(),
                                 mode.label().to_owned(),
                                 format!("n/a ({e})"),
                                 "-".into(),

@@ -1,27 +1,52 @@
-//! Tab. 5: policy/schedule ablation on MTBench @ S1 with generation length 128 —
-//! FlexGen with its own policy, FlexGen with MoE-Lightning's policy, FlexGen with
-//! MoE-Lightning's policy and a larger batch, and MoE-Lightning(p). Every variant
-//! serves the same request queue through the Algorithm 2 micro-batching loop, in
-//! both scheduling modes (`rtc` = round-to-completion, `cont` = continuous
+//! Tab. 5: the two ablation axes of the serving stack on MTBench @ S1.
+//!
+//! **Policy/schedule ablation** (generation length 128) — FlexGen with its own
+//! policy, FlexGen with MoE-Lightning's policy, FlexGen with MoE-Lightning's
+//! policy and a larger batch, and MoE-Lightning(p). Every variant serves the
+//! same request queue through the micro-batched serving loop, in both
+//! scheduling modes (`rtc` = round-to-completion, `cont` = continuous
 //! batching); the speedup column is relative to the first variant in the same
 //! mode.
+//!
+//! **Scheduler ablation** (mixed generation lengths) — the same unpadded
+//! MoE-Lightning system served with each batch-formation strategy behind the
+//! `Scheduler` trait: the paper's Algorithm 2, shortest-job-first,
+//! Orca/vLLM-style token-budget admission, and FlexGen-style FCFS with padded
+//! KV reservations. The `vs algo2` column is each scheduler's generation
+//! throughput relative to Algorithm 2 in the same mode.
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab05_policy_ablation`.
 
 use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{
-    EvalSetting, Policy, ServingMode, ServingSession, SystemEvaluator, SystemKind,
-};
-use moe_workload::WorkloadSpec;
+use moe_lightning::{EvalSetting, Policy, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
+use moe_workload::{builtin_schedulers, Scheduler, WorkloadSpec};
+use std::sync::Arc;
 
-/// Requests per served queue.
-const QUEUE_LEN: usize = 1000;
+/// Requests per served queue in the policy ablation — enough to saturate even
+/// the doubled batch, so "larger N" means more requests per round rather than
+/// an underfilled batch.
+const POLICY_QUEUE_LEN: usize = 8000;
+/// Requests per served queue in the scheduler ablation (a right-sized KV
+/// regime; the comparison is deterministic at this pinned size and seed).
+const ABLATION_QUEUE_LEN: usize = 1000;
+/// Queue-synthesis seed for the scheduler ablation — pinned to the same
+/// scenario the `tests/scheduler_ablation.rs` ordering test verifies.
+const ABLATION_SEED: u64 = 11;
+/// Both scheduling modes, reported side by side.
+const MODES: [ServingMode; 2] = [ServingMode::RoundToCompletion, ServingMode::Continuous];
 
 fn main() {
     let setting = EvalSetting::S1;
     let spec = WorkloadSpec::mtbench();
-    let gen = 128u64;
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    policy_ablation(&evaluator, &spec);
+    scheduler_ablation(&evaluator, &spec);
+}
+
+/// FlexGen's schedule with their/our policies vs MoE-Lightning(p): isolates the
+/// contribution of CGOPipe + the HRM policy, as in the paper's Tab. 5.
+fn policy_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
+    let gen = 128u64;
     let widths = [38usize, 6, 8, 8, 14, 10];
     println!("== Policy ablation, MTBench @ S1, generation length {gen} ==");
     print_header(
@@ -29,7 +54,7 @@ fn main() {
         &widths,
     );
 
-    let shape = evaluator.workload_shape(SystemKind::FlexGen, &spec, gen);
+    let shape = evaluator.workload_shape(SystemKind::FlexGen, spec, gen);
     let flexgen_policy = evaluator
         .policy_for(SystemKind::FlexGen, &shape)
         .expect("FlexGen policy feasible on S1");
@@ -60,15 +85,16 @@ fn main() {
         ),
     ];
 
-    let modes = [ServingMode::RoundToCompletion, ServingMode::Continuous];
     let mut baselines: [Option<f64>; 2] = [None, None];
     for (label, system, policy) in rows {
-        for (mode_idx, mode) in modes.into_iter().enumerate() {
+        for (mode_idx, mode) in MODES.into_iter().enumerate() {
             // All ablation variants pad requests, so they serve identical queues.
-            let queue = spec.request_queue(QUEUE_LEN, gen, 0, system.pads_requests());
-            let session =
-                ServingSession::with_policy(&evaluator, system, policy, shape).with_mode(mode);
-            match session.serve(queue) {
+            let scenario = ServeSpec::new(system, spec.clone())
+                .with_count(POLICY_QUEUE_LEN)
+                .with_gen_len(gen)
+                .with_mode(mode)
+                .with_policy(policy);
+            match evaluator.run(&scenario) {
                 Ok(report) => {
                     let throughput = report.generation_throughput();
                     let baseline_throughput = *baselines[mode_idx].get_or_insert(throughput);
@@ -105,4 +131,90 @@ fn main() {
             }
         }
     }
+}
+
+/// Every `Scheduler` implementation on the same mixed-`gen_len` MTBench queue
+/// (unpadded MoE-Lightning): the batch-formation axis the trait layer opened.
+fn scheduler_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
+    let widths = [14usize, 6, 12, 12, 14, 10, 10];
+    println!("\n== Scheduler ablation, MTBench @ S1, mixed gen_len, MoE-Lightning ==");
+    print_header(
+        &[
+            "scheduler",
+            "mode",
+            "tokens/s",
+            "ttft_p50 s",
+            "compl_mean s",
+            "aborted",
+            "vs algo2",
+        ],
+        &widths,
+    );
+
+    let schedulers: Vec<Arc<dyn Scheduler>> =
+        builtin_schedulers().into_iter().map(Arc::from).collect();
+    for mode in MODES {
+        let mut algo2_throughput: Option<f64> = None;
+        for scheduler in &schedulers {
+            let scenario = ServeSpec::new(SystemKind::MoeLightning, spec.clone())
+                .with_count(ABLATION_QUEUE_LEN)
+                .with_mixed_gen_lens()
+                .with_seed(ABLATION_SEED)
+                .with_mode(mode)
+                .with_scheduler(Arc::clone(scheduler));
+            match evaluator.run(&scenario) {
+                Ok(report) => {
+                    let throughput = report.generation_throughput();
+                    // The reference column is algo2 specifically, not merely the
+                    // first row that succeeded.
+                    if report.scheduler == "algo2" {
+                        algo2_throughput = Some(throughput);
+                    }
+                    let vs_algo2 = match algo2_throughput {
+                        Some(reference) => format!("{:.2}x", throughput / reference),
+                        None => "-".to_owned(),
+                    };
+                    print_row(
+                        &[
+                            report.scheduler.clone(),
+                            mode.label().to_owned(),
+                            fmt3(throughput),
+                            fmt3(report.ttft().p50.as_secs()),
+                            fmt3(report.completion().mean.as_secs()),
+                            report.aborted.len().to_string(),
+                            vs_algo2,
+                        ],
+                        &widths,
+                    );
+                    print_csv(&[
+                        "scheduler-ablation".to_owned(),
+                        report.scheduler.clone(),
+                        mode.label().to_owned(),
+                        fmt3(throughput),
+                        fmt3(report.ttft().p50.as_secs()),
+                        fmt3(report.completion().mean.as_secs()),
+                        report.aborted.len().to_string(),
+                    ]);
+                }
+                Err(e) => print_row(
+                    &[
+                        scheduler.name().to_owned(),
+                        mode.label().to_owned(),
+                        format!("n/a ({e})"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &widths,
+                ),
+            }
+        }
+    }
+    println!("\n(algo2 = the paper's Algorithm 2: longest prompt first, token-balanced;");
+    println!("sjf = shortest-job-first with token-balanced placement; token-budget =");
+    println!("Orca/vLLM-style FCFS admission with length-blind count-balanced placement;");
+    println!("fcfs-pad = FlexGen-style FCFS with KV reservations padded to the longest");
+    println!("prompt. Length-blind and padded strategies straddle or waste the KV");
+    println!("budget, costing extra rounds that token balance avoids.)");
 }

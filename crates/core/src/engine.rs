@@ -6,11 +6,12 @@ use crate::system::SystemKind;
 use moe_hardware::{NodeSpec, Seconds};
 use moe_model::MoeModelConfig;
 use moe_policy::{
-    CostModel, DeepSpeedPolicy, FlexGenPolicy, Policy, PolicyOptimizer, WorkloadShape,
+    CostModel, DeepSpeedPolicy, FlexGenPolicy, Policy, PolicyGenerator, PolicyOptimizer,
+    WorkloadShape,
 };
 use moe_schedule::{DecodeScheduleBuilder, ScheduleKind};
 use moe_sim::simulate;
-use moe_workload::{BatchRunReport, WorkloadSpec};
+use moe_workload::{BatchRunReport, BatchingConfigError, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -34,6 +35,12 @@ pub enum EngineError {
         /// Formatted simulator error.
         message: String,
     },
+    /// A serving session was configured with batching limits that can never
+    /// schedule a request (zero micro-batches, capacity, or cache budget).
+    InvalidBatchingConfig {
+        /// The violated constraint.
+        reason: BatchingConfigError,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -47,6 +54,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Simulation { message } => {
                 write!(f, "schedule simulation failed: {message}")
+            }
+            EngineError::InvalidBatchingConfig { reason } => {
+                write!(f, "invalid batching configuration: {reason}")
             }
         }
     }
@@ -146,6 +156,28 @@ impl SystemEvaluator {
         }
     }
 
+    /// The [`PolicyGenerator`] a system searches policies with: the HRM
+    /// optimizer for MoE-Lightning, the mimicking baseline generators for
+    /// FlexGen / FlexGen(c) / DeepSpeed. Returned as a trait object so callers
+    /// (e.g. the Tab. 4 binary) iterate over systems generically.
+    pub fn policy_generator(&self, system: SystemKind) -> Box<dyn PolicyGenerator> {
+        match system {
+            SystemKind::MoeLightning | SystemKind::MoeLightningPadded => {
+                Box::new(PolicyOptimizer::new(self.node.clone(), self.model.clone()))
+            }
+            SystemKind::FlexGen => {
+                Box::new(FlexGenPolicy::new(self.node.clone(), self.model.clone()))
+            }
+            SystemKind::FlexGenCpuAttention => Box::new(FlexGenPolicy::with_cpu_attention(
+                self.node.clone(),
+                self.model.clone(),
+            )),
+            SystemKind::DeepSpeedZero => {
+                Box::new(DeepSpeedPolicy::new(self.node.clone(), self.model.clone()))
+            }
+        }
+    }
+
     /// Generates the policy a system would use for a workload.
     ///
     /// # Errors
@@ -156,28 +188,9 @@ impl SystemEvaluator {
         system: SystemKind,
         workload: &WorkloadShape,
     ) -> Result<Policy, EngineError> {
-        let err = || EngineError::NoFeasiblePolicy { system };
-        match system {
-            SystemKind::MoeLightning | SystemKind::MoeLightningPadded => {
-                PolicyOptimizer::new(self.node.clone(), self.model.clone())
-                    .search(workload)
-                    .map(|r| r.policy)
-                    .map_err(|_| err())
-            }
-            SystemKind::FlexGen => FlexGenPolicy::new(self.node.clone(), self.model.clone())
-                .generate(workload)
-                .ok_or_else(err),
-            SystemKind::FlexGenCpuAttention => {
-                FlexGenPolicy::with_cpu_attention(self.node.clone(), self.model.clone())
-                    .generate(workload)
-                    .ok_or_else(err)
-            }
-            SystemKind::DeepSpeedZero => {
-                DeepSpeedPolicy::new(self.node.clone(), self.model.clone())
-                    .generate(workload)
-                    .ok_or_else(err)
-            }
-        }
+        self.policy_generator(system)
+            .generate(workload)
+            .ok_or(EngineError::NoFeasiblePolicy { system })
     }
 
     /// Simulated decode-step latency (all layers, one token per sequence) of a policy
@@ -210,11 +223,48 @@ impl SystemEvaluator {
         workload: &WorkloadShape,
         occupancy: Option<&[u64]>,
     ) -> Result<Seconds, EngineError> {
+        self.decode_step_latency_with_loads(schedule, policy, workload, occupancy, None)
+    }
+
+    /// Simulated decode-step latency with explicit per-micro-batch occupancies
+    /// *and* mean decode contexts (KV tokens each active sequence reads), so the
+    /// pipeline sees both kinds of imbalance a batch-formation strategy can
+    /// produce: sequence-count skew and token-load skew. `contexts` requires
+    /// `occupancy` of the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Simulation`] if `contexts` is given without an
+    /// `occupancy` of the same length, or if the schedule cannot be simulated.
+    pub fn decode_step_latency_with_loads(
+        &self,
+        schedule: ScheduleKind,
+        policy: &Policy,
+        workload: &WorkloadShape,
+        occupancy: Option<&[u64]>,
+        contexts: Option<&[u64]>,
+    ) -> Result<Seconds, EngineError> {
+        if let Some(ctx) = contexts {
+            let matching = occupancy.is_some_and(|occ| occ.len() == ctx.len());
+            if !matching {
+                return Err(EngineError::Simulation {
+                    message: format!(
+                        "per-micro-batch contexts ({} entries) require occupancies of the same \
+                         length, got {:?}",
+                        ctx.len(),
+                        occupancy.map(<[u64]>::len),
+                    ),
+                });
+            }
+        }
         let layers = self.model.num_layers.min(self.simulated_layers);
         let mut builder =
             DecodeScheduleBuilder::new(&self.cost, *policy, *workload).with_layers(layers);
         if let Some(tokens) = occupancy {
             builder = builder.with_micro_batch_tokens(tokens);
+        }
+        if let Some(ctx) = contexts {
+            builder = builder.with_micro_batch_contexts(ctx);
         }
         let graph = builder
             .build(schedule)
@@ -358,6 +408,50 @@ mod tests {
         assert!(e.report.decode_time.as_secs() > 0.0);
         assert!((e.throughput - e.report.generation_throughput()).abs() < 1e-9);
         assert_eq!(e.schedule, ScheduleKind::CgoPipe);
+    }
+
+    #[test]
+    fn policy_generators_are_named_and_consistent_with_policy_for() {
+        let eval = s1();
+        let names: Vec<&str> = [
+            SystemKind::MoeLightning,
+            SystemKind::FlexGen,
+            SystemKind::FlexGenCpuAttention,
+            SystemKind::DeepSpeedZero,
+        ]
+        .iter()
+        .map(|&s| eval.policy_generator(s).name())
+        .collect();
+        assert_eq!(names, vec!["hrm", "flexgen", "flexgen(c)", "deepspeed"]);
+        // policy_for is exactly the generator's output for every system.
+        let workload = WorkloadShape::new(418, 128);
+        for system in SystemKind::all() {
+            let direct = eval.policy_generator(system).generate(&workload);
+            assert_eq!(direct, eval.policy_for(system, &workload).ok());
+        }
+    }
+
+    #[test]
+    fn contexts_without_matching_occupancy_is_a_typed_error() {
+        let eval = s1();
+        let spec = WorkloadSpec::mtbench();
+        let workload = eval.workload_shape(SystemKind::MoeLightning, &spec, 64);
+        let policy = eval
+            .policy_for(SystemKind::MoeLightning, &workload)
+            .unwrap();
+        for occupancy in [None, Some([8u64, 8].as_slice())] {
+            let err = eval
+                .decode_step_latency_with_loads(
+                    ScheduleKind::CgoPipe,
+                    &policy,
+                    &workload,
+                    occupancy,
+                    Some(&[100, 100, 100]),
+                )
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Simulation { .. }));
+            assert!(err.to_string().contains("same length"));
+        }
     }
 
     #[test]

@@ -34,14 +34,17 @@ pub mod settings;
 pub mod system;
 
 pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
-pub use serving::{RoundReport, ServingMode, ServingReport, ServingSession};
+pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSession};
 pub use settings::EvalSetting;
 pub use system::SystemKind;
 
 // Re-export the most used building blocks so downstream users need only this crate.
 pub use moe_hardware::{ByteSize, NodeSpec, Seconds};
 pub use moe_model::MoeModelConfig;
-pub use moe_policy::{Policy, PolicyOptimizer, WorkloadShape};
+pub use moe_policy::{Policy, PolicyGenerator, PolicyOptimizer, WorkloadShape};
 pub use moe_runtime::{EngineConfig, PipelinedMoeEngine};
 pub use moe_schedule::ScheduleKind;
-pub use moe_workload::WorkloadSpec;
+pub use moe_workload::{
+    Algorithm2, ArrivalProcess, FcfsPadded, GenLens, Scheduler, ShortestJobFirst, TokenBudget,
+    WorkloadSpec,
+};

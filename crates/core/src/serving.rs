@@ -3,24 +3,30 @@
 //!
 //! This is the execution model behind the paper's headline numbers (Fig. 7,
 //! Tab. 4/5). Requests are pulled from a queue as they arrive (each [`Request`]
-//! carries an arrival time stamped by a `moe_workload::ArrivalProcess`), assigned
-//! to micro-batches by Algorithm 2 (`moe_workload::batch_requests` /
-//! `moe_workload::backfill_requests`) under the policy's micro-batch capacity
-//! (`ubs = μ`) and KV-cache budget, and decoded on the simulated pipeline. Two
+//! carries an arrival time stamped by a `moe_workload::ArrivalProcess`),
+//! assigned to micro-batches by a pluggable [`Scheduler`] (the paper's
+//! Algorithm 2 by default) under the policy's micro-batch capacity (`ubs = μ`)
+//! and KV-cache budget, and decoded on the simulated pipeline. Two
 //! [`ServingMode`]s are supported:
 //!
-//! * [`ServingMode::RoundToCompletion`] — the classic offline loop: Algorithm 2
-//!   forms a round, every request in it holds its micro-batch slot for the
-//!   round's longest `gen_len`, and the queue is only reconsidered when the whole
-//!   round finishes. Simple, but short requests neither free KV capacity nor
-//!   admit queued work early (head-of-line blocking).
+//! * [`ServingMode::RoundToCompletion`] — the classic offline loop: the
+//!   scheduler forms a round ([`Scheduler::plan`]), every request in it holds
+//!   its micro-batch slot for the round's longest `gen_len`, and the queue is
+//!   only reconsidered when the whole round finishes. Simple, but short
+//!   requests neither free KV capacity nor admit queued work early
+//!   (head-of-line blocking).
 //! * [`ServingMode::Continuous`] — step-level continuous batching: decode
 //!   advances in steps; the moment a request emits its last token its KV
-//!   reservation is released and Algorithm 2 is re-run over the waiting queue
-//!   (`backfill_requests`) to fill the freed slots mid-flight. Backfilled
+//!   reservation is released and the scheduler re-runs over the waiting queue
+//!   ([`Scheduler::backfill`]) to fill the freed slots mid-flight. Backfilled
 //!   requests pay a prefill that overlaps the already-streaming weights
 //!   (`CostModel::backfill_prefill_time`); only the first admission pays the
 //!   cold-start weight stream.
+//!
+//! A serving scenario — system, workload, queue size, generation lengths,
+//! seed, mode, arrival process, scheduler — is described declaratively by a
+//! [`ServeSpec`] and executed by [`SystemEvaluator::run`], which replaced the
+//! old `serve` / `serve_with_mode` / `serve_online` entry-point family.
 //!
 //! In both modes, requests whose `input_len + gen_len` alone exceeds the
 //! per-micro-batch KV budget are classified as aborted *up front* (they could
@@ -36,21 +42,22 @@ use moe_hardware::Seconds;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
 use moe_workload::{
-    backfill_requests, batch_requests, ArrivalProcess, BatchRunReport, BatchingConfig,
-    LatencySummary, PartitionState, Request, RequestLatency, WorkloadSpec,
+    Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary,
+    PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a [`ServingSession`] schedules decode work over time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ServingMode {
-    /// Algorithm 2 forms a round; every request holds its slot until the round's
-    /// longest request finishes. The PR-1 behaviour and the default.
+    /// The scheduler forms a round; every request holds its slot until the
+    /// round's longest request finishes. The PR-1 behaviour and the default.
     #[default]
     RoundToCompletion,
     /// Step-level continuous batching: completed requests release KV immediately
-    /// and Algorithm 2 backfills freed slots mid-flight.
+    /// and the scheduler backfills freed slots mid-flight.
     Continuous,
 }
 
@@ -74,7 +81,8 @@ impl std::fmt::Display for ServingMode {
 }
 
 /// One serving round (round-to-completion mode) or admission wave (continuous
-/// mode): a set of micro-batch assignments produced by Algorithm 2.
+/// mode): a set of micro-batch assignments produced by the session's
+/// [`Scheduler`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Zero-based round / admission-wave index.
@@ -102,6 +110,8 @@ pub struct ServingReport {
     pub system: SystemKind,
     /// The scheduling mode the session ran in.
     pub mode: ServingMode,
+    /// Name of the [`Scheduler`] that formed the batches (e.g. `"algo2"`).
+    pub scheduler: String,
     /// The policy the session ran with.
     pub policy: Policy,
     /// The pipeline schedule the session ran with.
@@ -173,6 +183,7 @@ pub struct ServingSession<'a> {
     schedule: ScheduleKind,
     batching: BatchingConfig,
     mode: ServingMode,
+    scheduler: Arc<dyn Scheduler>,
 }
 
 impl<'a> ServingSession<'a> {
@@ -221,6 +232,7 @@ impl<'a> ServingSession<'a> {
             schedule: system.schedule(),
             batching,
             mode: ServingMode::default(),
+            scheduler: Arc::new(Algorithm2),
         }
     }
 
@@ -230,9 +242,21 @@ impl<'a> ServingSession<'a> {
         self
     }
 
+    /// Sets the batch-formation strategy (builder style). Defaults to the
+    /// paper's [`Algorithm2`].
+    pub fn with_scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// The scheduling mode the session serves in.
     pub fn mode(&self) -> ServingMode {
         self.mode
+    }
+
+    /// The batch-formation strategy the session serves with.
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
     }
 
     /// The policy the session serves with.
@@ -254,8 +278,13 @@ impl<'a> ServingSession<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates simulation errors from the schedule simulator.
+    /// Returns [`EngineError::InvalidBatchingConfig`] if the session's batching
+    /// limits can never schedule a request, and propagates simulation errors
+    /// from the schedule simulator.
     pub fn serve(&self, queue: Vec<Request>) -> Result<ServingReport, EngineError> {
+        self.batching
+            .validate()
+            .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
         // Permanently-oversized requests can never be scheduled; pulling them out
         // here keeps every later Algorithm 2 pass free of requests it would only
         // re-sort and re-reject.
@@ -305,10 +334,12 @@ impl<'a> ServingSession<'a> {
                 continue;
             }
 
-            let formed = batch_requests(&pending, &self.batching);
+            let formed = self.scheduler.plan(&pending, &self.batching);
             if formed.scheduled_requests() == 0 {
-                // Unreachable after the oversized prefilter (any feasible request
-                // fits an empty round), kept as a defensive guard against loops.
+                // No scheduler progress on an empty pipeline: unreachable for
+                // Algorithm 2 after the oversized prefilter (any feasible request
+                // fits an empty round), but reachable for padded schedulers whose
+                // inflated KV charge exceeds the budget. Abort rather than loop.
                 aborted.append(&mut pending);
                 continue;
             }
@@ -323,6 +354,18 @@ impl<'a> ServingSession<'a> {
                 .micro_batches
                 .iter()
                 .map(|mb| mb.max_cache_tokens())
+                .collect();
+            // Mean decode context per micro-batch ((prompt + end-of-gen) / 2 per
+            // request): the scheduler's token balance, fed to the simulator so
+            // KV-heavy micro-batches straggle.
+            let contexts: Vec<u64> = formed
+                .micro_batches
+                .iter()
+                .map(|mb| {
+                    (mb.prompt_tokens() + mb.max_cache_tokens())
+                        .div_ceil(2 * mb.len() as u64)
+                        .max(1)
+                })
                 .collect();
             let requests: u64 = occupancy.iter().sum();
             let prompt_tokens: u64 = formed
@@ -353,11 +396,12 @@ impl<'a> ServingSession<'a> {
                 micro_batch_size: self.policy.micro_batch_size.min(requests),
                 ..self.policy
             };
-            let step = self.evaluator.decode_step_latency_with_occupancy(
+            let step = self.evaluator.decode_step_latency_with_loads(
                 self.schedule,
                 &policy,
                 &shape,
                 Some(&occupancy),
+                Some(&contexts),
             )?;
             let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
             let decode_time = step.scale(max_gen as f64);
@@ -400,6 +444,7 @@ impl<'a> ServingSession<'a> {
         Ok(ServingReport {
             system: self.system,
             mode: ServingMode::RoundToCompletion,
+            scheduler: self.scheduler.name().to_owned(),
             policy: self.policy,
             schedule: self.schedule,
             rounds,
@@ -424,9 +469,10 @@ impl<'a> ServingSession<'a> {
         let mut latencies: Vec<RequestLatency> = Vec::new();
         let mut totals = BatchRunReport::default();
         let mut clock = Seconds::ZERO;
-        // The discrete-event simulation is deterministic in (occupancy, shape), so
-        // repeated configurations (common under uniform gen_len) hit this memo.
-        let mut step_memo: HashMap<(Vec<u64>, u64, u64), Seconds> = HashMap::new();
+        // The discrete-event simulation is deterministic in (occupancy, context)
+        // per micro-batch, so repeated configurations (common under uniform
+        // gen_len) hit this memo.
+        let mut step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds> = HashMap::new();
 
         loop {
             while next < queue.len() && queue[next].arrival <= clock {
@@ -436,7 +482,7 @@ impl<'a> ServingSession<'a> {
 
             // Re-run Algorithm 2 over the waiting queue to backfill freed slots.
             if !ready.is_empty() {
-                let fill = backfill_requests(&ready, cfg, &parts);
+                let fill = self.scheduler.backfill(&ready, cfg, &parts);
                 let admitted = fill.admitted();
                 ready = fill.deferred;
                 if admitted > 0 {
@@ -526,8 +572,10 @@ impl<'a> ServingSession<'a> {
             if active.is_empty() {
                 if next >= queue.len() {
                     // Nothing in flight and no future arrivals. Any leftover ready
-                    // requests were refused by an empty pipeline — unreachable
-                    // after the oversized prefilter, kept as a defensive guard.
+                    // requests were refused by an empty pipeline — unreachable for
+                    // Algorithm 2 after the oversized prefilter, reachable for
+                    // padded schedulers whose inflated KV charge exceeds the
+                    // budget. Abort rather than loop.
                     aborted.append(&mut ready);
                     break;
                 }
@@ -538,12 +586,22 @@ impl<'a> ServingSession<'a> {
                 continue;
             }
 
-            // Step latency at the current occupancy (empty micro-batches carry no
-            // tasks and are omitted from the simulated pipeline).
+            // Step latency at the current occupancy and per-micro-batch KV load
+            // (empty micro-batches carry no tasks and are omitted from the
+            // simulated pipeline).
             let occupancy: Vec<u64> = parts
                 .iter()
                 .filter(|p| p.requests > 0)
                 .map(|p| p.requests as u64)
+                .collect();
+            let contexts: Vec<u64> = parts
+                .iter()
+                .filter(|p| p.requests > 0)
+                .map(|p| {
+                    (p.prompt_tokens + p.cache_tokens)
+                        .div_ceil(2 * p.requests as u64)
+                        .max(1)
+                })
                 .collect();
             let total_active = active.len() as u64;
             let prompt_sum: u64 = active.iter().map(|a| a.request.input_len).sum();
@@ -554,7 +612,7 @@ impl<'a> ServingSession<'a> {
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            let key = (occupancy.clone(), mean_prompt, max_gen);
+            let key = (occupancy.clone(), contexts.clone());
             let step = match step_memo.get(&key) {
                 Some(&s) => s,
                 None => {
@@ -564,11 +622,12 @@ impl<'a> ServingSession<'a> {
                         micro_batch_size: self.policy.micro_batch_size.min(total_active),
                         ..self.policy
                     };
-                    let s = self.evaluator.decode_step_latency_with_occupancy(
+                    let s = self.evaluator.decode_step_latency_with_loads(
                         self.schedule,
                         &policy,
                         &shape,
                         Some(&occupancy),
+                        Some(&contexts),
                     )?;
                     step_memo.insert(key, s);
                     s
@@ -629,6 +688,7 @@ impl<'a> ServingSession<'a> {
         Ok(ServingReport {
             system: self.system,
             mode: ServingMode::Continuous,
+            scheduler: self.scheduler.name().to_owned(),
             policy: self.policy,
             schedule: self.schedule,
             rounds,
@@ -639,75 +699,177 @@ impl<'a> ServingSession<'a> {
     }
 }
 
-impl SystemEvaluator {
-    /// Serves a synthesized queue of `count` requests from `spec` through the
-    /// round-to-completion serving loop and returns the aggregate report.
-    ///
-    /// Padded systems see every prompt at the maximum length (the uniform special
-    /// case); the others see a variable-length sample batched by Algorithm 2.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if no policy fits or the simulation fails.
-    pub fn serve(
-        &self,
-        system: SystemKind,
-        spec: &WorkloadSpec,
-        count: usize,
-        gen_len: u64,
-        seed: u64,
-    ) -> Result<ServingReport, EngineError> {
-        self.serve_with_mode(
+/// A declarative serving scenario: every axis of one serving run — system,
+/// workload, queue size, generation lengths, seed, mode, arrival process,
+/// scheduler and (optionally) an explicit policy — in one builder-style value
+/// consumed by [`SystemEvaluator::run`].
+///
+/// This replaced the `serve` / `serve_with_mode` / `serve_online` entry-point
+/// family: a new scenario axis becomes a new builder method instead of another
+/// positional argument on three signatures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use moe_lightning::{EvalSetting, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
+/// use moe_workload::{ArrivalProcess, TokenBudget, WorkloadSpec};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let evaluator = SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model());
+/// let report = evaluator.run(
+///     &ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+///         .with_count(1000)
+///         .with_mixed_gen_lens()
+///         .with_seed(7)
+///         .with_mode(ServingMode::Continuous)
+///         .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 1.0 })
+///         .with_scheduler(Arc::new(TokenBudget)),
+/// )?;
+/// println!(
+///     "{} [{}] {:.1} tok/s, TTFT p50 {:.1}s",
+///     report.scheduler,
+///     report.mode.label(),
+///     report.generation_throughput(),
+///     report.ttft().p50.as_secs(),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    system: SystemKind,
+    workload: WorkloadSpec,
+    count: usize,
+    gen: GenLens,
+    seed: u64,
+    mode: ServingMode,
+    arrivals: ArrivalProcess,
+    scheduler: Arc<dyn Scheduler>,
+    policy: Option<Policy>,
+}
+
+impl ServeSpec {
+    /// A scenario with defaults matching the paper's offline evaluation: 1000
+    /// requests, the workload's first default generation length (128 if it has
+    /// none), seed 0, round-to-completion mode, all requests arriving at time
+    /// zero, and [`Algorithm2`] batching with the system's searched policy.
+    pub fn new(system: SystemKind, workload: WorkloadSpec) -> Self {
+        let gen = GenLens::Uniform(workload.default_gen_lens.first().copied().unwrap_or(128));
+        ServeSpec {
             system,
-            spec,
-            count,
-            gen_len,
-            seed,
-            ServingMode::RoundToCompletion,
-        )
+            workload,
+            count: 1000,
+            gen,
+            seed: 0,
+            mode: ServingMode::default(),
+            arrivals: ArrivalProcess::Immediate,
+            scheduler: Arc::new(Algorithm2),
+            policy: None,
+        }
     }
 
-    /// Serves a synthesized queue in an explicit [`ServingMode`].
+    /// Sets the number of requests in the queue.
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Gives every request the same generation length.
+    pub fn with_gen_len(mut self, gen_len: u64) -> Self {
+        self.gen = GenLens::Uniform(gen_len);
+        self
+    }
+
+    /// Draws each request's generation length uniformly from the workload's
+    /// `default_gen_lens` (the heterogeneous queue continuous batching and the
+    /// scheduler ablation are designed for).
+    pub fn with_mixed_gen_lens(mut self) -> Self {
+        self.gen = GenLens::MixedDefaults;
+        self
+    }
+
+    /// Sets the queue-synthesis seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scheduling mode.
+    pub fn with_mode(mut self, mode: ServingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Stamps arrival times from `arrivals` (online serving under load).
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the batch-formation strategy.
+    pub fn with_scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the policy instead of searching one for the system (the Tab. 5
+    /// ablation mixes schedules and policies this way).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The system this scenario serves on.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// The scheduling mode this scenario runs in.
+    pub fn mode(&self) -> ServingMode {
+        self.mode
+    }
+
+    /// The name of the batch-formation strategy this scenario runs with.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+}
+
+impl SystemEvaluator {
+    /// Executes one serving scenario: synthesizes the request queue (padded
+    /// systems see every prompt at the maximum length), sizes or adopts the
+    /// policy, and drains the queue through a [`ServingSession`] in the
+    /// scenario's mode with the scenario's scheduler.
     ///
     /// # Errors
     ///
-    /// Returns an error if no policy fits or the simulation fails.
-    pub fn serve_with_mode(
-        &self,
-        system: SystemKind,
-        spec: &WorkloadSpec,
-        count: usize,
-        gen_len: u64,
-        seed: u64,
-        mode: ServingMode,
-    ) -> Result<ServingReport, EngineError> {
-        let queue = spec.request_queue(count, gen_len, seed, system.pads_requests());
-        ServingSession::new(self, system, spec, gen_len)?
-            .with_mode(mode)
-            .serve(queue)
-    }
-
-    /// Serves an *online* queue whose arrival times are stamped by `arrivals`, so
-    /// the scheduler is exercised under load rather than a pre-filled queue.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if no policy fits or the simulation fails.
-    #[allow(clippy::too_many_arguments)]
-    pub fn serve_online(
-        &self,
-        system: SystemKind,
-        spec: &WorkloadSpec,
-        count: usize,
-        gen_len: u64,
-        seed: u64,
-        mode: ServingMode,
-        arrivals: &ArrivalProcess,
-    ) -> Result<ServingReport, EngineError> {
-        let queue =
-            spec.timed_request_queue(count, gen_len, seed, system.pads_requests(), arrivals);
-        ServingSession::new(self, system, spec, gen_len)?
-            .with_mode(mode)
+    /// Returns an error if no policy fits, the batching configuration is
+    /// invalid, or the simulation fails.
+    pub fn run(&self, spec: &ServeSpec) -> Result<ServingReport, EngineError> {
+        // Policies (and thus KV budgets) are sized for the scenario's expected
+        // generation length — the mean of the defaults for mixed queues, where
+        // per-round admission control keeps the long-generation tail within
+        // budget and worst-case sizing would forfeit most of the batch.
+        let shape = self.workload_shape(
+            spec.system,
+            &spec.workload,
+            spec.gen.policy_gen_for(&spec.workload),
+        );
+        let policy = match spec.policy {
+            Some(policy) => policy,
+            None => self.policy_for(spec.system, &shape)?,
+        };
+        let queue = spec.workload.synthesize_queue(
+            spec.count,
+            spec.gen,
+            spec.seed,
+            spec.system.pads_requests(),
+            &spec.arrivals,
+        );
+        ServingSession::with_policy(self, spec.system, policy, shape)
+            .with_mode(spec.mode)
+            .with_scheduler(Arc::clone(&spec.scheduler))
             .serve(queue)
     }
 }
@@ -721,13 +883,18 @@ mod tests {
         SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
     }
 
+    /// An offline MTBench scenario on unpadded MoE-Lightning.
+    fn mtbench_spec(count: usize, gen_len: u64, seed: u64) -> ServeSpec {
+        ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_count(count)
+            .with_gen_len(gen_len)
+            .with_seed(seed)
+    }
+
     #[test]
     fn serving_accounts_for_every_request() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let report = eval
-            .serve(SystemKind::MoeLightning, &spec, 600, 64, 17)
-            .unwrap();
+        let report = eval.run(&mtbench_spec(600, 64, 17)).unwrap();
         assert_eq!(report.served_requests() + report.aborted.len(), 600);
         let mut ids: Vec<u64> = report
             .latencies
@@ -742,16 +909,8 @@ mod tests {
     #[test]
     fn continuous_serving_accounts_for_every_request() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
         let report = eval
-            .serve_with_mode(
-                SystemKind::MoeLightning,
-                &spec,
-                600,
-                64,
-                17,
-                ServingMode::Continuous,
-            )
+            .run(&mtbench_spec(600, 64, 17).with_mode(ServingMode::Continuous))
             .unwrap();
         assert_eq!(report.mode, ServingMode::Continuous);
         assert_eq!(report.served_requests() + report.aborted.len(), 600);
@@ -777,10 +936,7 @@ mod tests {
     #[test]
     fn generated_tokens_equal_sum_over_served_requests() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let report = eval
-            .serve(SystemKind::MoeLightning, &spec, 300, 32, 9)
-            .unwrap();
+        let report = eval.run(&mtbench_spec(300, 32, 9)).unwrap();
         let expected: u64 = report.latencies.iter().map(|l| l.request.gen_len).sum();
         assert_eq!(report.totals.generated_tokens, expected);
         let per_round: u64 = report
@@ -794,10 +950,7 @@ mod tests {
     #[test]
     fn rounds_respect_policy_capacity() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let report = eval
-            .serve(SystemKind::MoeLightning, &spec, 12_000, 64, 3)
-            .unwrap();
+        let report = eval.run(&mtbench_spec(12_000, 64, 3)).unwrap();
         assert!(
             report.rounds.len() > 1,
             "12k requests must not fit one round"
@@ -813,10 +966,7 @@ mod tests {
     #[test]
     fn latencies_grow_across_rounds() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let report = eval
-            .serve(SystemKind::MoeLightning, &spec, 12_000, 64, 5)
-            .unwrap();
+        let report = eval.run(&mtbench_spec(12_000, 64, 5)).unwrap();
         assert!(report.rounds.len() >= 2);
         let first_round_max = report
             .latencies
@@ -932,13 +1082,15 @@ mod tests {
     #[test]
     fn unpadded_serving_beats_padded_on_variable_length_queues() {
         let eval = s1();
-        let spec = WorkloadSpec::mtbench();
         let padded = eval
-            .serve(SystemKind::MoeLightningPadded, &spec, 500, 64, 11)
+            .run(
+                &ServeSpec::new(SystemKind::MoeLightningPadded, WorkloadSpec::mtbench())
+                    .with_count(500)
+                    .with_gen_len(64)
+                    .with_seed(11),
+            )
             .unwrap();
-        let unpadded = eval
-            .serve(SystemKind::MoeLightning, &spec, 500, 64, 11)
-            .unwrap();
+        let unpadded = eval.run(&mtbench_spec(500, 64, 11)).unwrap();
         assert!(padded.aborted.is_empty() && unpadded.aborted.is_empty());
         assert!(
             unpadded.generation_throughput() > padded.generation_throughput(),
@@ -946,6 +1098,82 @@ mod tests {
             unpadded.generation_throughput(),
             padded.generation_throughput()
         );
+    }
+
+    #[test]
+    fn reports_record_the_scheduler_that_produced_them() {
+        let eval = s1();
+        let report = eval.run(&mtbench_spec(100, 32, 1)).unwrap();
+        assert_eq!(report.scheduler, "algo2");
+        let report = eval
+            .run(&mtbench_spec(100, 32, 1).with_scheduler(Arc::new(moe_workload::TokenBudget)))
+            .unwrap();
+        assert_eq!(report.scheduler, "token-budget");
+    }
+
+    #[test]
+    fn serve_spec_defaults_match_the_offline_evaluation() {
+        let spec = ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench());
+        assert_eq!(spec.system(), SystemKind::MoeLightning);
+        assert_eq!(spec.mode(), ServingMode::RoundToCompletion);
+        assert_eq!(spec.scheduler_name(), "algo2");
+    }
+
+    #[test]
+    fn run_honours_an_explicit_policy_override() {
+        let eval = s1();
+        let policy = Policy::offload_default(60, 20);
+        let report = eval
+            .run(&mtbench_spec(120, 32, 3).with_policy(policy))
+            .unwrap();
+        assert_eq!(report.policy, policy);
+        for round in &report.rounds {
+            assert!(round.report.requests <= 60);
+        }
+    }
+
+    #[test]
+    fn online_arrivals_flow_through_the_spec() {
+        let eval = s1();
+        let report = eval
+            .run(
+                &mtbench_spec(80, 32, 5)
+                    .with_mode(ServingMode::Continuous)
+                    .with_arrivals(ArrivalProcess::Burst {
+                        size: 20,
+                        period_secs: 1000.0,
+                    }),
+            )
+            .unwrap();
+        assert_eq!(report.served_requests(), 80);
+        // Bursts spaced far apart: at least one request arrives (and is measured
+        // from) a non-zero time.
+        assert!(report
+            .latencies
+            .iter()
+            .any(|l| l.request.arrival > Seconds::ZERO));
+    }
+
+    #[test]
+    fn invalid_batching_config_returns_a_typed_error_instead_of_panicking() {
+        let eval = s1();
+        // A zero-context workload shape sizes a zero KV budget, which used to
+        // reach div_ceil/slicing as a nonsense config; it must now surface as a
+        // typed error from serve().
+        let session = ServingSession::with_policy(
+            &eval,
+            SystemKind::MoeLightning,
+            Policy::offload_default(8, 4),
+            WorkloadShape::new(0, 0),
+        );
+        let err = session.serve(vec![Request::new(0, 10, 10)]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidBatchingConfig {
+                reason: moe_workload::BatchingConfigError::ZeroCacheBudget
+            }
+        ));
+        assert!(err.to_string().contains("cache_tokens_per_micro_batch"));
     }
 
     #[test]

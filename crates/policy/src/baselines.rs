@@ -7,6 +7,7 @@
 //! their policy, their schedule with our policy, our schedule with our policy).
 
 use crate::capacity::CapacityModel;
+use crate::generator::PolicyGenerator;
 use crate::policy::{Policy, WorkloadShape};
 use moe_hardware::{ByteSize, NodeSpec};
 use moe_model::MoeModelConfig;
@@ -44,12 +45,38 @@ impl FlexGenPolicy {
         }
     }
 
+    fn capacity_kv_bytes(&self, micro: u64, workload: &WorkloadShape) -> ByteSize {
+        // KV bytes of one micro-batch for one layer (what S4 prefetches ahead).
+        self.model.kv_bytes_per_token_per_layer() * micro * workload.max_context()
+    }
+
+    fn fits_with_extra_gpu(
+        &self,
+        policy: &Policy,
+        workload: &WorkloadShape,
+        extra: ByteSize,
+    ) -> bool {
+        let req = self.capacity.requirement(policy, workload);
+        req.gpu_total() + extra * 2 <= self.capacity.node().total_gpu_memory()
+            && req.cpu_total() <= self.capacity.node().cpu_memory()
+    }
+}
+
+impl PolicyGenerator for FlexGenPolicy {
+    fn name(&self) -> &'static str {
+        if self.cpu_attention {
+            "flexgen(c)"
+        } else {
+            "flexgen"
+        }
+    }
+
     /// Generates the policy for a workload. FlexGen pads requests, so the effective
     /// prompt length is the *maximum* prompt length of the batch; pass it via
     /// `workload.prompt_len`.
     ///
     /// Returns `None` if not even a single-request batch fits the node.
-    pub fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
+    fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
         // FlexGen keeps weights and KV cache in CPU memory on the memory-constrained
         // nodes studied here (r_w = r_c = 0) and streams per layer.
         let template = Policy {
@@ -96,22 +123,6 @@ impl FlexGenPolicy {
             ..template
         })
     }
-
-    fn capacity_kv_bytes(&self, micro: u64, workload: &WorkloadShape) -> ByteSize {
-        // KV bytes of one micro-batch for one layer (what S4 prefetches ahead).
-        self.model.kv_bytes_per_token_per_layer() * micro * workload.max_context()
-    }
-
-    fn fits_with_extra_gpu(
-        &self,
-        policy: &Policy,
-        workload: &WorkloadShape,
-        extra: ByteSize,
-    ) -> bool {
-        let req = self.capacity.requirement(policy, workload);
-        req.gpu_total() + extra * 2 <= self.capacity.node().total_gpu_memory()
-            && req.cpu_total() <= self.capacity.node().cpu_memory()
-    }
 }
 
 /// Generates DeepSpeed ZeRO-Inference-style policies: weights pinned in CPU memory
@@ -129,12 +140,18 @@ impl DeepSpeedPolicy {
             capacity: CapacityModel::new(node, model),
         }
     }
+}
+
+impl PolicyGenerator for DeepSpeedPolicy {
+    fn name(&self) -> &'static str {
+        "deepspeed"
+    }
 
     /// Generates the policy for a workload: `N = μ`, both as large as GPU memory
     /// allows (DeepSpeed does not pipeline micro-batches, Tab. 4 shows `N/μ = 1`).
     ///
     /// Returns `None` if not even a single-request batch fits.
-    pub fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
+    fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
         let mut best = None;
         for candidate in [
             1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 102, 128, 156, 192, 256, 384, 512,

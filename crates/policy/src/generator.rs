@@ -1,0 +1,43 @@
+//! The [`PolicyGenerator`] trait: one front-end over every way a system turns a
+//! workload shape into an offloading policy.
+//!
+//! The paper's comparison (Tab. 4/5) pits the HRM-driven [`PolicyOptimizer`]
+//! against the FlexGen- and DeepSpeed-style baseline generators. Each produces a
+//! [`Policy`] from a [`WorkloadShape`] — this trait captures exactly that, so the
+//! evaluator and the table binaries iterate over baselines generically instead of
+//! matching on concrete generator types.
+//!
+//! [`PolicyOptimizer`]: crate::optimizer::PolicyOptimizer
+
+use crate::policy::{Policy, WorkloadShape};
+use std::fmt;
+
+/// A strategy that produces the offloading policy a system would run a workload
+/// with, or `None` when the workload does not fit the node at all.
+///
+/// # Examples
+///
+/// ```
+/// use moe_hardware::NodeSpec;
+/// use moe_model::MoeModelConfig;
+/// use moe_policy::{DeepSpeedPolicy, FlexGenPolicy, PolicyGenerator, WorkloadShape};
+///
+/// let node = NodeSpec::t4_single();
+/// let model = MoeModelConfig::mixtral_8x7b();
+/// let generators: Vec<Box<dyn PolicyGenerator>> = vec![
+///     Box::new(FlexGenPolicy::new(node.clone(), model.clone())),
+///     Box::new(DeepSpeedPolicy::new(node, model)),
+/// ];
+/// for generator in &generators {
+///     let policy = generator.generate(&WorkloadShape::new(418, 128)).expect("feasible on a T4");
+///     println!("{}: {policy}", generator.name());
+/// }
+/// ```
+pub trait PolicyGenerator: fmt::Debug {
+    /// Short stable identifier for table rows (`"hrm"`, `"flexgen"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Generates the policy for a workload, or `None` if not even a
+    /// single-request batch fits the node.
+    fn generate(&self, workload: &WorkloadShape) -> Option<Policy>;
+}

@@ -10,6 +10,9 @@
 //!   modeled throughput under the capacity constraints.
 //! * [`baselines`] — FlexGen-, FlexGen(c)- and DeepSpeed-style policy generators
 //!   used by the end-to-end comparison and the Tab. 5 ablation.
+//! * [`generator`] — the [`PolicyGenerator`] trait: one front-end over the
+//!   optimizer and every baseline generator, so evaluators iterate over policy
+//!   strategies generically.
 //!
 //! # Examples
 //!
@@ -35,12 +38,14 @@
 pub mod baselines;
 pub mod capacity;
 pub mod cost;
+pub mod generator;
 pub mod optimizer;
 pub mod policy;
 
 pub use baselines::{DeepSpeedPolicy, FlexGenPolicy};
 pub use capacity::{CapacityModel, MemoryRequirement};
 pub use cost::{BottleneckResource, CostModel, LayerLatencyBreakdown};
+pub use generator::PolicyGenerator;
 pub use optimizer::{Objective, OptimizerError, PolicyOptimizer, SearchResult, SearchSpace};
 pub use policy::{Placement, Policy, WorkloadShape};
 

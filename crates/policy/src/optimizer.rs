@@ -232,6 +232,18 @@ impl PolicyOptimizer {
     }
 }
 
+impl crate::generator::PolicyGenerator for PolicyOptimizer {
+    fn name(&self) -> &'static str {
+        "hrm"
+    }
+
+    /// Runs the full [`PolicyOptimizer::search`], discarding the search
+    /// statistics: `None` when no feasible policy exists.
+    fn generate(&self, workload: &WorkloadShape) -> Option<Policy> {
+        self.search(workload).ok().map(|r| r.policy)
+    }
+}
+
 fn attention_options(allow_gpu: bool) -> Vec<bool> {
     if allow_gpu {
         vec![false, true]

@@ -79,6 +79,11 @@ pub struct DecodeScheduleBuilder<'a> {
     /// request-level serving loop overrides it with the actual per-micro-batch
     /// occupancy so schedule bubbles reflect real imbalance.
     ub_tokens: Vec<u64>,
+    /// Mean decode context per micro-batch (tokens of KV each active sequence
+    /// reads per step). `None` falls back to the workload's uniform
+    /// `avg_decode_context()`; the serving loop passes per-micro-batch means so
+    /// attention load reflects the batcher's actual token balance.
+    ub_ctx: Option<Vec<u64>>,
 }
 
 impl<'a> DecodeScheduleBuilder<'a> {
@@ -103,6 +108,7 @@ impl<'a> DecodeScheduleBuilder<'a> {
             workload,
             num_layers,
             ub_tokens,
+            ub_ctx: None,
         }
     }
 
@@ -130,6 +136,30 @@ impl<'a> DecodeScheduleBuilder<'a> {
         self
     }
 
+    /// Overrides the mean decode context per micro-batch (call after
+    /// [`Self::with_micro_batch_tokens`]): attention and KV-transfer tasks of
+    /// micro-batch `j` are costed at `contexts[j]` instead of the workload's
+    /// uniform average, so imbalanced token assignments produce straggler
+    /// micro-batches in the simulated pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` does not hold exactly one positive entry per
+    /// micro-batch.
+    pub fn with_micro_batch_contexts(mut self, contexts: &[u64]) -> Self {
+        assert_eq!(
+            contexts.len(),
+            self.ub_tokens.len(),
+            "need one context entry per micro-batch"
+        );
+        assert!(
+            contexts.iter().all(|&c| c > 0),
+            "micro-batch contexts must be positive"
+        );
+        self.ub_ctx = Some(contexts.to_vec());
+        self
+    }
+
     /// The policy used by this builder.
     pub fn policy(&self) -> &Policy {
         &self.policy
@@ -142,6 +172,14 @@ impl<'a> DecodeScheduleBuilder<'a> {
 
     fn ctx(&self) -> u64 {
         self.workload.avg_decode_context()
+    }
+
+    /// Mean decode context of micro-batch `j` (per-micro-batch override, or the
+    /// workload's uniform average).
+    fn ctx_of(&self, j: u64) -> u64 {
+        self.ub_ctx
+            .as_ref()
+            .map_or_else(|| self.ctx(), |c| c[j as usize])
     }
 
     fn num_micro_batches(&self) -> u64 {
@@ -190,7 +228,6 @@ impl<'a> DecodeScheduleBuilder<'a> {
         let n_ub = self.num_micro_batches();
         let layers = u64::from(self.num_layers);
         let total = layers * n_ub;
-        let ctx = self.ctx();
         let streamed = self.cost.streamed_layer_bytes(&self.policy);
 
         // Per global pipeline step g = layer * n_ub + j.
@@ -307,10 +344,10 @@ impl<'a> DecodeScheduleBuilder<'a> {
                 &[pre_id],
             )?;
 
-            // CPU attention.
+            // CPU attention, costed at this micro-batch's mean decode context.
             let attn_id = g.add_task(
                 Lane::CpuCompute,
-                self.cost.attention_cpu(tokens, ctx),
+                self.cost.attention_cpu(tokens, self.ctx_of(j)),
                 TaskKind::Attention,
                 format!("B({i},{j})"),
                 &[qkv_id],
@@ -371,7 +408,6 @@ impl<'a> DecodeScheduleBuilder<'a> {
         let mut g = TaskGraph::new();
         let n_ub = self.num_micro_batches();
         let layers = u64::from(self.num_layers);
-        let ctx = self.ctx();
         let streamed = self.cost.streamed_layer_bytes(&self.policy);
         let kv_cpu_fraction = 1.0 - self.policy.kv_gpu_ratio;
 
@@ -393,7 +429,9 @@ impl<'a> DecodeScheduleBuilder<'a> {
             // weights of the next layer — the S4 H2D ordering of Fig. 6.
             for j in 0..n_ub {
                 let tokens = self.micro_batch_tokens(j);
-                let duration = self.cost.kv_transfer(tokens, ctx, kv_cpu_fraction);
+                let duration = self
+                    .cost
+                    .kv_transfer(tokens, self.ctx_of(j), kv_cpu_fraction);
                 if !duration.is_zero() && kv_cpu_fraction > 0.0 {
                     kv_ready[j as usize] = Some(g.add_task(
                         Lane::HostToDevice,
@@ -427,7 +465,7 @@ impl<'a> DecodeScheduleBuilder<'a> {
                     deps.push(p);
                 }
                 let duration = self.cost.pre_attention_gpu(tokens)
-                    + self.cost.attention_gpu(tokens, ctx)
+                    + self.cost.attention_gpu(tokens, self.ctx_of(j))
                     + self.cost.post_attention_gpu(tokens);
                 let compute = g.add_task(
                     Lane::GpuCompute,
@@ -715,6 +753,39 @@ mod tests {
     fn zero_occupancy_micro_batch_panics() {
         let cost = cost();
         let _ = builder(&cost).with_micro_batch_tokens(&[32, 0, 5]);
+    }
+
+    #[test]
+    fn heterogeneous_micro_batch_contexts_create_stragglers() {
+        let cost = cost();
+        // Same occupancy everywhere; one micro-batch carries far more KV per
+        // sequence. Its CPU attention must lengthen the step relative to the
+        // balanced assignment with the same total context.
+        let occupancy = [32u64, 32, 32, 32];
+        let balanced = builder(&cost)
+            .with_micro_batch_tokens(&occupancy)
+            .with_micro_batch_contexts(&[141, 141, 141, 141]);
+        let skewed = builder(&cost)
+            .with_micro_batch_tokens(&occupancy)
+            .with_micro_batch_contexts(&[420, 48, 48, 48]);
+        for kind in [ScheduleKind::CgoPipe, ScheduleKind::FlexGenCpuAttention] {
+            let t_balanced = balanced.decode_step_makespan(kind).unwrap();
+            let t_skewed = skewed.decode_step_makespan(kind).unwrap();
+            assert!(
+                t_skewed > t_balanced,
+                "{}: the KV-heavy micro-batch must straggle: {t_skewed} vs {t_balanced}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one context entry per micro-batch")]
+    fn mismatched_context_count_panics() {
+        let cost = cost();
+        let _ = builder(&cost)
+            .with_micro_batch_tokens(&[32, 32])
+            .with_micro_batch_contexts(&[100]);
     }
 
     #[test]

@@ -1,19 +1,24 @@
-//! Request batching — Algorithm 2 of the paper (Appendix A.2).
+//! Request batching — the shared data model of the batch-formation layer, plus
+//! Algorithm 2 of the paper (Appendix A.2) as free-function shorthand.
 //!
-//! For variable-length prompts, requests are sorted by input length (descending) and
-//! greedily assigned to the micro-batch with the fewest tokens so far, subject to a
-//! per-micro-batch request cap (`ubs`) and KV-cache size limit. When the
-//! token-minimal micro-batch lacks KV headroom, the request spills to the open
-//! micro-batch with the next-fewest tokens that can still hold it; only requests no
-//! open micro-batch can hold are *aborted* (deferred to the next batch).
+//! For variable-length prompts, Algorithm 2 sorts requests by input length
+//! (descending) and greedily assigns each to the micro-batch with the fewest
+//! tokens so far, subject to a per-micro-batch request cap (`ubs`) and KV-cache
+//! size limit. When the token-minimal micro-batch lacks KV headroom, the request
+//! spills to the open micro-batch with the next-fewest tokens that can still hold
+//! it; only requests no open micro-batch can hold are *aborted* (deferred to the
+//! next batch).
 //!
-//! [`batch_requests`] forms a batch from scratch; [`backfill_requests`] runs the
-//! same assignment over micro-batches that already hold in-flight requests
-//! ([`PartitionState`]), which is how the continuous-batching scheduler re-runs
-//! Algorithm 2 mid-flight to fill slots freed by completed requests.
+//! The assignment itself lives behind the [`crate::scheduler::Scheduler`] trait
+//! ([`crate::scheduler::Algorithm2`] is the paper's strategy); [`batch_requests`]
+//! and [`backfill_requests`] are convenience wrappers over it. The serving loop
+//! in the core crate is generic over the trait, so alternative strategies
+//! (FCFS-padded, token-budget, shortest-job-first) plug in without touching it.
 
+use crate::scheduler::{Algorithm2, Scheduler};
 use crate::spec::Request;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One micro-batch produced by the batching algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,6 +96,68 @@ pub struct BatchingConfig {
     pub cache_tokens_per_micro_batch: u64,
 }
 
+/// Why a [`BatchingConfig`] is unusable (see [`BatchingConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchingConfigError {
+    /// `num_micro_batches` is zero — nothing could ever be scheduled, and the
+    /// assignment engine would index an empty partition vector.
+    ZeroMicroBatches,
+    /// `max_requests_per_micro_batch` is zero — no micro-batch could admit a
+    /// request.
+    ZeroMicroBatchCapacity,
+    /// `max_scheduled_requests` is zero — every request would be deferred
+    /// forever.
+    ZeroScheduledRequests,
+    /// `cache_tokens_per_micro_batch` is zero — no request (every prompt is at
+    /// least one token) could ever fit the KV budget.
+    ZeroCacheBudget,
+}
+
+impl fmt::Display for BatchingConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchingConfigError::ZeroMicroBatches => f.write_str("num_micro_batches is zero"),
+            BatchingConfigError::ZeroMicroBatchCapacity => {
+                f.write_str("max_requests_per_micro_batch is zero")
+            }
+            BatchingConfigError::ZeroScheduledRequests => {
+                f.write_str("max_scheduled_requests is zero")
+            }
+            BatchingConfigError::ZeroCacheBudget => {
+                f.write_str("cache_tokens_per_micro_batch is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchingConfigError {}
+
+impl BatchingConfig {
+    /// Checks that the configuration can schedule at least one request: all four
+    /// limits must be positive. The scheduling engine `assert!`s the same
+    /// conditions; callers that assemble configurations from external input
+    /// (policies, specs) should validate first and surface the typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), BatchingConfigError> {
+        if self.num_micro_batches == 0 {
+            return Err(BatchingConfigError::ZeroMicroBatches);
+        }
+        if self.max_requests_per_micro_batch == 0 {
+            return Err(BatchingConfigError::ZeroMicroBatchCapacity);
+        }
+        if self.max_scheduled_requests == 0 {
+            return Err(BatchingConfigError::ZeroScheduledRequests);
+        }
+        if self.cache_tokens_per_micro_batch == 0 {
+            return Err(BatchingConfigError::ZeroCacheBudget);
+        }
+        Ok(())
+    }
+}
+
 /// Occupancy of one micro-batch that already holds in-flight requests, as seen by
 /// [`backfill_requests`]. The continuous-batching scheduler snapshots one entry per
 /// micro-batch before re-running Algorithm 2 over the waiting queue.
@@ -137,6 +204,25 @@ impl BackfillResult {
     pub fn admitted(&self) -> usize {
         self.assignments.iter().map(Vec::len).sum()
     }
+
+    /// Converts a from-scratch assignment (empty pre-occupancy) into a
+    /// [`BatchingResult`]: full micro-batches first (in the order they filled
+    /// up), then the remaining partially filled ones in index order.
+    pub fn into_batching_result(mut self) -> BatchingResult {
+        let mut micro_batches: Vec<MicroBatch> = Vec::new();
+        for &idx in &self.filled_order {
+            micro_batches.push(MicroBatch {
+                requests: std::mem::take(&mut self.assignments[idx]),
+            });
+        }
+        for requests in self.assignments.into_iter().filter(|p| !p.is_empty()) {
+            micro_batches.push(MicroBatch { requests });
+        }
+        BatchingResult {
+            micro_batches,
+            aborted: self.deferred,
+        }
+    }
 }
 
 /// Runs the Algorithm 2 assignment over micro-batches that may already hold
@@ -158,85 +244,17 @@ pub fn backfill_requests(
     cfg: &BatchingConfig,
     occupied: &[PartitionState],
 ) -> BackfillResult {
-    assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
-    assert!(
-        cfg.max_requests_per_micro_batch > 0,
-        "need a positive per-micro-batch capacity"
-    );
-    assert_eq!(
-        occupied.len(),
-        cfg.num_micro_batches,
-        "need one occupancy entry per micro-batch"
-    );
-
-    let mut assignments: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
-    let mut state: Vec<PartitionState> = occupied.to_vec();
-    let mut filled_order = Vec::new();
-    let mut deferred = Vec::new();
-
-    let mut sorted: Vec<Request> = queue.to_vec();
-    sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
-
-    let mut scheduled: usize = state.iter().map(|p| p.requests).sum();
-    for req in sorted {
-        if scheduled >= cfg.max_scheduled_requests {
-            deferred.push(req);
-            continue;
-        }
-        // The open micro-batch with the fewest prompt tokens that still has KV
-        // headroom for this request. Checking headroom *before* the min-by-tokens
-        // selection is the spill fix: a cache-saturated token-minimal micro-batch
-        // no longer forces an abort while its neighbours have room.
-        let target = (0..cfg.num_micro_batches)
-            .filter(|&i| {
-                state[i].requests < cfg.max_requests_per_micro_batch
-                    && state[i].cache_tokens + req.max_context() <= cfg.cache_tokens_per_micro_batch
-            })
-            .min_by_key(|&i| (state[i].prompt_tokens, i));
-        let Some(idx) = target else {
-            deferred.push(req);
-            continue;
-        };
-        state[idx].admit(&req);
-        assignments[idx].push(req);
-        scheduled += 1;
-        if state[idx].requests == cfg.max_requests_per_micro_batch {
-            filled_order.push(idx);
-        }
-    }
-
-    BackfillResult {
-        assignments,
-        deferred,
-        filled_order,
-    }
+    Algorithm2.backfill(queue, cfg, occupied)
 }
 
 /// Runs Algorithm 2: balanced assignment of requests to micro-batches.
+/// Shorthand for [`crate::scheduler::Algorithm2`]'s [`Scheduler::plan`].
 ///
 /// # Panics
 ///
 /// Panics if `num_micro_batches` or `max_requests_per_micro_batch` is zero.
 pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
-    let empty = vec![PartitionState::default(); cfg.num_micro_batches];
-    let mut fill = backfill_requests(queue, cfg, &empty);
-
-    // Emit full micro-batches first (in the order they filled up), then the remaining
-    // partially filled ones in index order.
-    let mut micro_batches: Vec<MicroBatch> = Vec::new();
-    for &idx in &fill.filled_order {
-        micro_batches.push(MicroBatch {
-            requests: std::mem::take(&mut fill.assignments[idx]),
-        });
-    }
-    for requests in fill.assignments.into_iter().filter(|p| !p.is_empty()) {
-        micro_batches.push(MicroBatch { requests });
-    }
-
-    BatchingResult {
-        micro_batches,
-        aborted: fill.deferred,
-    }
+    Algorithm2.plan(queue, cfg)
 }
 
 #[cfg(test)]
@@ -436,15 +454,24 @@ mod tests {
 
     #[test]
     fn all_equal_length_requests_produce_balanced_micro_batches() {
+        // 32 requests with a per-micro-batch capacity of 8 need only 4 of the 8
+        // configured micro-batches: an underfilled batch concentrates into few,
+        // full micro-batches (the pipeline depth was sized for a full batch)
+        // instead of spreading thin, and balances perfectly within them.
         let reqs: Vec<Request> = (0..32).map(|i| req(i, 64)).collect();
         let result = batch_requests(&reqs, &cfg(8, 8, u64::MAX));
         assert_eq!(result.scheduled_requests(), 32);
         assert!(result.aborted.is_empty());
-        assert_eq!(result.micro_batches.len(), 8);
-        // Perfect balance: every micro-batch holds exactly 4 requests / 256 tokens.
-        assert!(result.micro_batches.iter().all(|mb| mb.len() == 4));
+        assert_eq!(result.micro_batches.len(), 4);
+        assert!(result.micro_batches.iter().all(|mb| mb.len() == 8));
         let (min, max) = result.prompt_token_spread();
-        assert_eq!((min, max), (256, 256));
+        assert_eq!((min, max), (512, 512));
+        // A saturated queue (64 requests = 8 × 8) opens every micro-batch — the
+        // paper's Algorithm 2 setting.
+        let reqs: Vec<Request> = (0..64).map(|i| req(i, 64)).collect();
+        let result = batch_requests(&reqs, &cfg(8, 8, u64::MAX));
+        assert_eq!(result.micro_batches.len(), 8);
+        assert!(result.micro_batches.iter().all(|mb| mb.len() == 8));
     }
 
     #[test]
@@ -471,6 +498,33 @@ mod tests {
     #[should_panic(expected = "at least one micro-batch")]
     fn zero_micro_batches_panics() {
         batch_requests(&[], &cfg(0, 8, 1000));
+    }
+
+    #[test]
+    fn validate_rejects_every_zero_limit() {
+        let good = cfg(4, 8, 1000);
+        assert_eq!(good.validate(), Ok(()));
+        assert_eq!(
+            cfg(0, 8, 1000).validate(),
+            Err(BatchingConfigError::ZeroMicroBatches)
+        );
+        assert_eq!(
+            cfg(4, 0, 1000).validate(),
+            Err(BatchingConfigError::ZeroMicroBatchCapacity)
+        );
+        assert_eq!(
+            cfg(4, 8, 0).validate(),
+            Err(BatchingConfigError::ZeroCacheBudget)
+        );
+        let mut zero_total = cfg(4, 8, 1000);
+        zero_total.max_scheduled_requests = 0;
+        assert_eq!(
+            zero_total.validate(),
+            Err(BatchingConfigError::ZeroScheduledRequests)
+        );
+        assert!(BatchingConfigError::ZeroCacheBudget
+            .to_string()
+            .contains("cache_tokens_per_micro_batch"));
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //!
 //! * [`spec`] — the paper's three workloads (Tab. 3), synthetic request sampling
 //!   and online arrival processes (Poisson/burst) for serving under load.
-//! * [`batching`] — Algorithm 2 (Appendix A.2): balanced assignment of
-//!   variable-length requests to micro-batches under a KV-cache budget, with
-//!   spill to the next-fewest-token micro-batch and mid-flight backfill of
-//!   partially occupied micro-batches (continuous batching).
+//! * [`batching`] — the batch-formation data model (micro-batches, limits,
+//!   partition occupancy) plus Algorithm 2 (Appendix A.2) as free-function
+//!   shorthand.
+//! * [`scheduler`] — the pluggable [`Scheduler`] trait with four strategies:
+//!   the paper's [`Algorithm2`], FlexGen-style [`FcfsPadded`], Orca/vLLM-style
+//!   [`TokenBudget`] and a latency-oriented [`ShortestJobFirst`].
 //! * [`metrics`] — generation-throughput accounting (the evaluation metric) and
 //!   queue-aware per-request latency (TTFT, per-token, completion).
 //!
@@ -33,14 +35,18 @@
 
 pub mod batching;
 pub mod metrics;
+pub mod scheduler;
 pub mod spec;
 
 pub use batching::{
-    backfill_requests, batch_requests, BackfillResult, BatchingConfig, BatchingResult, MicroBatch,
-    PartitionState,
+    backfill_requests, batch_requests, BackfillResult, BatchingConfig, BatchingConfigError,
+    BatchingResult, MicroBatch, PartitionState,
 };
 pub use metrics::{BatchRunReport, LatencySummary, RequestLatency};
-pub use spec::{ArrivalProcess, Request, WorkloadSpec};
+pub use scheduler::{
+    builtin_schedulers, Algorithm2, FcfsPadded, Scheduler, ShortestJobFirst, TokenBudget,
+};
+pub use spec::{ArrivalProcess, GenLens, Request, WorkloadSpec};
 
 #[cfg(test)]
 mod proptests {

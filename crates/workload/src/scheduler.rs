@@ -1,0 +1,796 @@
+//! Pluggable batch-formation strategies: the [`Scheduler`] trait and its
+//! implementations.
+//!
+//! Batch formation — which waiting requests are admitted, and into which
+//! micro-batch — is the paper's central ablation axis (Tab. 5), so it is
+//! factored behind a trait: the serving loop (`ServingSession` in the core
+//! crate) calls [`Scheduler::plan`] to form a round from scratch and
+//! [`Scheduler::backfill`] to re-fill partially occupied micro-batches
+//! mid-flight (continuous batching), without knowing which strategy runs.
+//!
+//! Four strategies are provided:
+//!
+//! * [`Algorithm2`] — the paper's batcher: longest prompt first, each request to
+//!   the open micro-batch with the fewest prompt tokens that has KV headroom.
+//! * [`FcfsPadded`] — FlexGen-style fixed padded batches: arrival order, each
+//!   micro-batch filled to capacity before the next opens, and every request
+//!   charged the KV of the longest prompt in the queue.
+//! * [`TokenBudget`] — Orca/vLLM-style greedy admission: arrival order,
+//!   length-blind count-balanced placement under the KV token budget.
+//! * [`ShortestJobFirst`] — shortest generation first with Algorithm 2's
+//!   balanced placement, a latency-oriented variant.
+//!
+//! All four share one assignment engine parameterized by admission order,
+//! placement rule and KV accounting, so every implementation upholds the same
+//! invariants: requests are conserved (admitted + deferred = input), no
+//! micro-batch exceeds its request cap or KV budget, and admission never
+//! exceeds `max_scheduled_requests`.
+
+use crate::batching::{BackfillResult, BatchingConfig, BatchingResult, PartitionState};
+use crate::spec::Request;
+use std::fmt;
+
+/// A batch-formation strategy: decides which queued requests are admitted and
+/// into which micro-batch, under the capacity limits of a [`BatchingConfig`].
+///
+/// Implementations must conserve requests (every input request ends up admitted
+/// or deferred exactly once) and respect the per-micro-batch request cap, the
+/// per-micro-batch KV-cache budget and the total `max_scheduled_requests` cap.
+///
+/// # Examples
+///
+/// ```
+/// use moe_workload::{Algorithm2, BatchingConfig, Scheduler, WorkloadSpec};
+///
+/// let queue = WorkloadSpec::mtbench().sample_requests(64, 32, 7);
+/// let cfg = BatchingConfig {
+///     num_micro_batches: 4,
+///     max_requests_per_micro_batch: 16,
+///     max_scheduled_requests: usize::MAX,
+///     cache_tokens_per_micro_batch: 1 << 20,
+/// };
+/// let result = Algorithm2.plan(&queue, &cfg);
+/// assert_eq!(result.scheduled_requests(), 64);
+/// assert!(result.aborted.is_empty());
+/// ```
+pub trait Scheduler: fmt::Debug + Send + Sync {
+    /// Short stable identifier recorded in serving reports and table rows.
+    fn name(&self) -> &'static str;
+
+    /// Runs the assignment over micro-batches that may already hold in-flight
+    /// requests (`occupied`, one entry per micro-batch): the continuous-batching
+    /// path that re-fills slots freed by completed requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`BatchingConfig::validate`]) or if
+    /// `occupied.len() != cfg.num_micro_batches`. The serving layer validates
+    /// configurations up front and returns a typed error instead.
+    fn backfill(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult;
+
+    /// Forms a batch from scratch: full micro-batches first (in fill order),
+    /// then partially filled ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Scheduler::backfill`].
+    fn plan(&self, queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
+        let empty = vec![PartitionState::default(); cfg.num_micro_batches];
+        self.backfill(queue, cfg, &empty).into_batching_result()
+    }
+}
+
+/// Admission order over the waiting queue.
+#[derive(Debug, Clone, Copy)]
+enum Order {
+    /// Longest prompt first (Algorithm 2's sort), ties by id.
+    LongestPromptFirst,
+    /// Arrival time, ties by id (first come, first served).
+    Arrival,
+    /// Shortest generation first, ties by prompt length then id.
+    ShortestJobFirst,
+}
+
+/// Placement rule for an admitted request.
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    /// The eligible micro-batch with the fewest prompt tokens (Algorithm 2's
+    /// balance criterion), ties by index.
+    Balanced,
+    /// The lowest-indexed eligible micro-batch (sequential fill).
+    FirstFit,
+    /// The eligible micro-batch with the fewest *requests*, ties by index —
+    /// length-blind balance, the natural port of engines that schedule a flat
+    /// batch and never weigh prompt lengths against pipeline stages.
+    CountBalanced,
+}
+
+/// The shared assignment engine behind every [`Scheduler`] implementation.
+///
+/// `padded` charges each request the KV footprint of the longest prompt in the
+/// queue instead of its own (`FcfsPadded`'s padding waste); the charge is an
+/// upper bound on real usage, so budget invariants hold for actual sizes too.
+fn run_assignment(
+    queue: &[Request],
+    cfg: &BatchingConfig,
+    occupied: &[PartitionState],
+    order: Order,
+    placement: Placement,
+    padded: bool,
+) -> BackfillResult {
+    assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
+    assert!(
+        cfg.max_requests_per_micro_batch > 0,
+        "need a positive per-micro-batch capacity"
+    );
+    assert_eq!(
+        occupied.len(),
+        cfg.num_micro_batches,
+        "need one occupancy entry per micro-batch"
+    );
+
+    let mut assignments: Vec<Vec<Request>> = vec![Vec::new(); cfg.num_micro_batches];
+    let mut state: Vec<PartitionState> = occupied.to_vec();
+    let mut filled_order = Vec::new();
+    let mut deferred = Vec::new();
+
+    let pad = if padded {
+        queue.iter().map(|r| r.input_len).max().unwrap_or(0)
+    } else {
+        0
+    };
+
+    let mut sorted: Vec<Request> = queue.to_vec();
+    match order {
+        Order::LongestPromptFirst => {
+            sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
+        }
+        Order::Arrival => {
+            sorted.sort_by(|a, b| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+        Order::ShortestJobFirst => {
+            sorted.sort_by(|a, b| {
+                a.gen_len
+                    .cmp(&b.gen_len)
+                    .then(a.input_len.cmp(&b.input_len))
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+    }
+
+    let kv_cost = |r: &Request| {
+        if padded {
+            pad.max(r.input_len) + r.gen_len
+        } else {
+            r.max_context()
+        }
+    };
+
+    // The policy sizes `num_micro_batches` for a *full* batch; an underfilled
+    // queue opens only as many micro-batches as its work requires — by request
+    // slots and by total KV footprint — so small batches run as few, full
+    // micro-batches instead of spreading thin across a pipeline depth chosen
+    // for `N` requests. Micro-batches already holding in-flight requests stay
+    // open regardless (continuous backfill), and a saturated queue opens all of
+    // them, which is exactly the paper's Algorithm 2 setting. The KV term is a
+    // bin-packing lower bound (fragmentation can need more bins), so the open
+    // set also grows on demand below: a request no open micro-batch can hold
+    // opens the next empty one rather than being deferred.
+    let in_flight: usize = state.iter().map(|p| p.requests).sum();
+    // Only the requests the total cap can still admit count towards the sizing
+    // (in admission order); sizing on the full queue would re-open the whole
+    // pipeline for work that cannot be scheduled this round.
+    let admissible = sorted
+        .len()
+        .min(cfg.max_scheduled_requests.saturating_sub(in_flight));
+    let slots_needed = (in_flight + admissible).div_ceil(cfg.max_requests_per_micro_batch);
+    let kv_needed: u64 = state.iter().map(|p| p.cache_tokens).sum::<u64>()
+        + sorted[..admissible].iter().map(kv_cost).sum::<u64>();
+    let cache_slots_needed = if cfg.cache_tokens_per_micro_batch == 0 {
+        cfg.num_micro_batches
+    } else {
+        kv_needed.div_ceil(cfg.cache_tokens_per_micro_batch) as usize
+    };
+    let target_open = slots_needed
+        .max(cache_slots_needed)
+        .max(1)
+        .min(cfg.num_micro_batches);
+    let mut open: Vec<usize> = (0..cfg.num_micro_batches)
+        .filter(|&i| state[i].requests > 0)
+        .collect();
+    let empty_needed = target_open.saturating_sub(open.len());
+    let mut closed: std::collections::VecDeque<usize> = (0..cfg.num_micro_batches)
+        .filter(|&i| state[i].requests == 0)
+        .collect();
+    open.extend(closed.drain(..empty_needed.min(closed.len())));
+    open.sort_unstable();
+
+    let mut scheduled = in_flight;
+    for req in sorted {
+        if scheduled >= cfg.max_scheduled_requests {
+            deferred.push(req);
+            continue;
+        }
+        let cost = kv_cost(&req);
+        // Eligibility: a free request slot and KV headroom for this request.
+        // Checking headroom *before* the placement choice is the spill behaviour:
+        // a cache-saturated micro-batch never forces a defer while its neighbours
+        // have room.
+        let fits = |i: usize| {
+            state[i].requests < cfg.max_requests_per_micro_batch
+                && state[i].cache_tokens + cost <= cfg.cache_tokens_per_micro_batch
+        };
+        let target = match placement {
+            Placement::Balanced => open
+                .iter()
+                .copied()
+                .filter(|&i| fits(i))
+                .min_by_key(|&i| (state[i].prompt_tokens, i)),
+            Placement::FirstFit => open.iter().copied().find(|&i| fits(i)),
+            Placement::CountBalanced => open
+                .iter()
+                .copied()
+                .filter(|&i| fits(i))
+                .min_by_key(|&i| (state[i].requests, i)),
+        };
+        let idx = match target {
+            Some(idx) => idx,
+            // No open micro-batch can hold the request: open the first closed
+            // one that can (the up-front sizing is a lower bound). The same
+            // `fits` check applies — a closed micro-batch may carry residual
+            // KV reservations even with no requests in flight.
+            None => match closed.iter().position(|&i| fits(i)) {
+                Some(pos) => {
+                    let next = closed.remove(pos).expect("position is in bounds");
+                    open.push(next);
+                    open.sort_unstable();
+                    next
+                }
+                None => {
+                    deferred.push(req);
+                    continue;
+                }
+            },
+        };
+        state[idx].requests += 1;
+        state[idx].prompt_tokens += req.input_len;
+        state[idx].cache_tokens += cost;
+        assignments[idx].push(req);
+        scheduled += 1;
+        if state[idx].requests == cfg.max_requests_per_micro_batch {
+            filled_order.push(idx);
+        }
+    }
+
+    BackfillResult {
+        assignments,
+        deferred,
+        filled_order,
+    }
+}
+
+/// The paper's Algorithm 2 (Appendix A.2): requests sorted by prompt length
+/// (descending) and greedily assigned to the micro-batch with the fewest prompt
+/// tokens so far among those with KV headroom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Algorithm2;
+
+impl Scheduler for Algorithm2 {
+    fn name(&self) -> &'static str {
+        "algo2"
+    }
+
+    fn backfill(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            Order::LongestPromptFirst,
+            Placement::Balanced,
+            false,
+        )
+    }
+}
+
+/// FlexGen-style fixed padded batches: requests admitted first come, first
+/// served, each micro-batch filled to its request cap before the next opens,
+/// and every request charged the KV-cache footprint of the *longest* prompt in
+/// the queue (padding waste). No length sorting, no balancing.
+///
+/// The padded charge applies at each admission decision; a serving loop that
+/// tracks reservations itself (e.g. continuous mode's [`PartitionState`]
+/// accounting) records the *real* footprint for in-flight requests, so this
+/// models FlexGen conservatively — a real padded engine would hold the padded
+/// reservation for the request's whole lifetime. Round-to-completion mode,
+/// where every round is planned from scratch, applies the padding in full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FcfsPadded;
+
+impl Scheduler for FcfsPadded {
+    fn name(&self) -> &'static str {
+        "fcfs-pad"
+    }
+
+    fn backfill(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            Order::Arrival,
+            Placement::FirstFit,
+            true,
+        )
+    }
+}
+
+/// Orca/vLLM-style greedy token-budget admission: requests admitted first come,
+/// first served at their real (unpadded) KV footprint, each placed in the
+/// micro-batch with the fewest requests that still has KV headroom. Those
+/// engines schedule a flat batch with no micro-batch pipeline, so the port is
+/// *length-blind*: it balances request counts but not prompt tokens, leaving
+/// the KV-heavy straggler micro-batches Algorithm 2's token balance avoids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenBudget;
+
+impl Scheduler for TokenBudget {
+    fn name(&self) -> &'static str {
+        "token-budget"
+    }
+
+    fn backfill(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            Order::Arrival,
+            Placement::CountBalanced,
+            false,
+        )
+    }
+}
+
+/// Shortest-job-first: requests with the fewest tokens still to generate are
+/// admitted first (ties broken by shorter prompt), with Algorithm 2's balanced
+/// placement. Minimizes mean completion time at the cost of starving long
+/// generations under sustained load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShortestJobFirst;
+
+impl Scheduler for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn backfill(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            Order::ShortestJobFirst,
+            Placement::Balanced,
+            false,
+        )
+    }
+}
+
+/// All built-in schedulers, in the order used by the Tab. 5 ablation.
+pub fn builtin_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Algorithm2),
+        Box::new(ShortestJobFirst),
+        Box::new(TokenBudget),
+        Box::new(FcfsPadded),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_hardware::Seconds;
+
+    fn cfg(n_ub: usize, ubs: usize, cache: u64) -> BatchingConfig {
+        BatchingConfig {
+            num_micro_batches: n_ub,
+            max_requests_per_micro_batch: ubs,
+            max_scheduled_requests: usize::MAX,
+            cache_tokens_per_micro_batch: cache,
+        }
+    }
+
+    fn req(id: u64, input: u64, gen: u64) -> Request {
+        Request {
+            id,
+            input_len: input,
+            gen_len: gen,
+            arrival: Seconds::ZERO,
+        }
+    }
+
+    #[test]
+    fn scheduler_names_are_stable() {
+        assert_eq!(Algorithm2.name(), "algo2");
+        assert_eq!(FcfsPadded.name(), "fcfs-pad");
+        assert_eq!(TokenBudget.name(), "token-budget");
+        assert_eq!(ShortestJobFirst.name(), "sjf");
+        let names: Vec<&str> = builtin_schedulers().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["algo2", "sjf", "token-budget", "fcfs-pad"]);
+    }
+
+    #[test]
+    fn fcfs_fills_micro_batches_sequentially_in_arrival_order() {
+        // Six equal requests, two micro-batches of three: FCFS puts 0,1,2 in the
+        // first and 3,4,5 in the second, unlike Algorithm 2's balanced spread.
+        let queue: Vec<Request> = (0..6).map(|i| req(i, 100, 10)).collect();
+        let fill = FcfsPadded.backfill(
+            &queue,
+            &cfg(2, 3, u64::MAX),
+            &[PartitionState::default(); 2],
+        );
+        let ids = |p: usize| fill.assignments[p].iter().map(|r| r.id).collect::<Vec<_>>();
+        assert_eq!(ids(0), vec![0, 1, 2]);
+        assert_eq!(ids(1), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn fcfs_padded_charges_every_request_at_the_longest_prompt() {
+        // Budget 1100 fits two padded requests (2 × (500+50) = 1100) per
+        // micro-batch even though the short requests only need 100+50 each.
+        let queue = vec![req(0, 500, 50), req(1, 100, 50), req(2, 100, 50)];
+        let result = FcfsPadded.plan(&queue, &cfg(1, 8, 1100));
+        assert_eq!(result.scheduled_requests(), 2);
+        assert_eq!(result.aborted.len(), 1);
+        // The unpadded token-budget scheduler fits all three (500+50 + 2×150).
+        let result = TokenBudget.plan(&queue, &cfg(1, 8, 1100));
+        assert_eq!(result.scheduled_requests(), 3);
+    }
+
+    #[test]
+    fn token_budget_keeps_arrival_order_not_length_order() {
+        // A long request arriving last must not jump the queue.
+        let queue = vec![req(0, 10, 10), req(1, 20, 10), req(2, 400, 10)];
+        let fill = TokenBudget.backfill(
+            &queue,
+            &cfg(1, 2, u64::MAX),
+            &[PartitionState::default(); 1],
+        );
+        let admitted: Vec<u64> = fill.assignments[0].iter().map(|r| r.id).collect();
+        assert_eq!(admitted, vec![0, 1]);
+        assert_eq!(fill.deferred[0].id, 2);
+        // Algorithm 2 admits the long one first instead.
+        let fill = Algorithm2.backfill(
+            &queue,
+            &cfg(1, 2, u64::MAX),
+            &[PartitionState::default(); 1],
+        );
+        assert!(fill.assignments[0].iter().any(|r| r.id == 2));
+    }
+
+    #[test]
+    fn shortest_job_first_admits_short_generations_first() {
+        let queue = vec![req(0, 100, 200), req(1, 100, 10), req(2, 100, 50)];
+        let fill = ShortestJobFirst.backfill(
+            &queue,
+            &cfg(1, 2, u64::MAX),
+            &[PartitionState::default(); 1],
+        );
+        let admitted: Vec<u64> = fill.assignments[0].iter().map(|r| r.id).collect();
+        assert_eq!(admitted, vec![1, 2], "shortest gen_len goes first");
+        assert_eq!(fill.deferred[0].id, 0);
+    }
+
+    #[test]
+    fn shortest_job_first_balances_like_algorithm_2() {
+        // 8 requests at 2 per micro-batch fill all 4 micro-batches evenly.
+        let queue: Vec<Request> = (0..8).map(|i| req(i, 100, 10)).collect();
+        let fill = ShortestJobFirst.backfill(
+            &queue,
+            &cfg(4, 2, u64::MAX),
+            &[PartitionState::default(); 4],
+        );
+        assert!(fill.assignments.iter().all(|a| a.len() == 2));
+    }
+
+    #[test]
+    fn plan_emits_full_micro_batches_before_partial_ones() {
+        // 7 requests, ubs 3: FCFS fills mb0 and mb1 fully, mb2 gets one.
+        let queue: Vec<Request> = (0..7).map(|i| req(i, 50, 5)).collect();
+        let result = FcfsPadded.plan(&queue, &cfg(3, 3, u64::MAX));
+        assert_eq!(result.micro_batches.len(), 3);
+        assert_eq!(result.micro_batches[0].len(), 3);
+        assert_eq!(result.micro_batches[1].len(), 3);
+        assert_eq!(result.micro_batches[2].len(), 1);
+    }
+
+    #[test]
+    fn open_set_grows_on_demand_when_kv_fragmentation_needs_more_micro_batches() {
+        // ceil(total KV / budget) says 6 micro-batches suffice for 10 requests
+        // of 600 KV tokens under a 1000-token budget, but each micro-batch can
+        // physically hold only one such request — the scheduler must open the
+        // remaining empty micro-batches instead of deferring feasible work.
+        let queue: Vec<Request> = (0..10).map(|i| req(i, 500, 100)).collect();
+        for scheduler in builtin_schedulers() {
+            let result = scheduler.plan(&queue, &cfg(8, 8, 1000));
+            assert_eq!(
+                result.scheduled_requests(),
+                8,
+                "{}: every micro-batch must be usable",
+                scheduler.name()
+            );
+            assert_eq!(result.aborted.len(), 2);
+            assert_eq!(result.micro_batches.len(), 8);
+        }
+    }
+
+    #[test]
+    fn every_scheduler_defers_beyond_the_total_cap() {
+        let queue: Vec<Request> = (0..20).map(|i| req(i, 50, 5)).collect();
+        let mut config = cfg(4, 8, u64::MAX);
+        config.max_scheduled_requests = 10;
+        for scheduler in builtin_schedulers() {
+            let result = scheduler.plan(&queue, &config);
+            assert_eq!(
+                result.scheduled_requests(),
+                10,
+                "{} must admit exactly the cap",
+                scheduler.name()
+            );
+            assert_eq!(result.aborted.len(), 10);
+        }
+    }
+
+    #[test]
+    fn open_set_sizing_counts_only_the_admissible_prefix() {
+        // A total cap of 8 admits one micro-batch's worth of requests; sizing on
+        // the full 64-request queue would open all 8 micro-batches and spread
+        // the 8 admitted requests one per micro-batch.
+        let queue: Vec<Request> = (0..64).map(|i| req(i, 50, 5)).collect();
+        let mut config = cfg(8, 8, u64::MAX);
+        config.max_scheduled_requests = 8;
+        let result = Algorithm2.plan(&queue, &config);
+        assert_eq!(result.scheduled_requests(), 8);
+        assert_eq!(
+            result.micro_batches.len(),
+            1,
+            "a capped admission must stay concentrated"
+        );
+        assert_eq!(result.micro_batches[0].len(), 8);
+    }
+
+    #[test]
+    fn reopening_a_micro_batch_respects_residual_kv_reservations() {
+        // A micro-batch with no in-flight requests can still carry KV
+        // reservations (e.g. zero-gen requests completing at prefill). Opening
+        // it on demand must apply the same headroom check as any placement.
+        let occupied = [
+            PartitionState {
+                requests: 1,
+                prompt_tokens: 200,
+                cache_tokens: 250,
+            },
+            PartitionState {
+                requests: 1,
+                prompt_tokens: 200,
+                cache_tokens: 250,
+            },
+            PartitionState {
+                requests: 0,
+                prompt_tokens: 0,
+                cache_tokens: 300,
+            },
+        ];
+        let big = req(0, 900, 100); // cost 1000
+        for scheduler in builtin_schedulers() {
+            let fill = scheduler.backfill(&[big], &cfg(3, 8, 1200), &occupied);
+            assert_eq!(
+                fill.admitted(),
+                0,
+                "{}: no micro-batch has 1000 tokens of headroom",
+                scheduler.name()
+            );
+            assert_eq!(fill.deferred.len(), 1);
+        }
+        // With a lighter residual reservation, the same on-demand opening
+        // admits the request into the reopened micro-batch.
+        let mut light = occupied;
+        light[2].cache_tokens = 100; // headroom 1100 >= cost 1000
+        let fill = Algorithm2.backfill(&[big], &cfg(3, 8, 1200), &light);
+        assert_eq!(fill.admitted(), 1);
+        assert_eq!(fill.assignments[2].len(), 1);
+    }
+
+    #[test]
+    fn trait_objects_are_usable_through_dyn_dispatch() {
+        let scheduler: &dyn Scheduler = &Algorithm2;
+        let queue = vec![req(0, 10, 5)];
+        let result = scheduler.plan(&queue, &cfg(2, 4, 1000));
+        assert_eq!(result.scheduled_requests(), 1);
+        assert!(format!("{scheduler:?}").contains("Algorithm2"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_requests() -> impl Strategy<Value = Vec<Request>> {
+        proptest::collection::vec((1u64..2048, 1u64..256), 1..120).prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (input_len, gen_len))| Request::new(i as u64, input_len, gen_len))
+                .collect()
+        })
+    }
+
+    /// A random but *consistent* pre-occupancy: per micro-batch, at most the
+    /// request cap and at most the cache budget already in use.
+    fn arbitrary_occupancy(
+        n_ub: usize,
+        ubs: usize,
+        cache: u64,
+    ) -> impl Strategy<Value = Vec<PartitionState>> {
+        proptest::collection::vec((0f64..1.0, 0f64..1.0), n_ub).prop_map(move |v| {
+            v.into_iter()
+                .map(|(rf, cf)| {
+                    let requests = (rf * ubs as f64) as usize;
+                    let cache_tokens = (cf * cache as f64) as u64;
+                    PartitionState {
+                        requests,
+                        prompt_tokens: cache_tokens / 2,
+                        cache_tokens,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Invariant 1: request conservation. Every input request comes back
+        /// exactly once, admitted or aborted, from every scheduler.
+        #[test]
+        fn every_scheduler_conserves_requests(
+            reqs in arbitrary_requests(),
+            n_ub in 1usize..8,
+            ubs in 1usize..32,
+            cache in 100u64..50_000,
+            cap in 1usize..256,
+        ) {
+            let cfg = BatchingConfig {
+                num_micro_batches: n_ub,
+                max_requests_per_micro_batch: ubs,
+                max_scheduled_requests: cap,
+                cache_tokens_per_micro_batch: cache,
+            };
+            for scheduler in builtin_schedulers() {
+                let result = scheduler.plan(&reqs, &cfg);
+                let mut seen: Vec<u64> = result
+                    .micro_batches
+                    .iter()
+                    .flat_map(|mb| mb.requests.iter().map(|r| r.id))
+                    .chain(result.aborted.iter().map(|r| r.id))
+                    .collect();
+                seen.sort_unstable();
+                let mut expected: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+                expected.sort_unstable();
+                prop_assert_eq!(seen, expected, "{} lost or duplicated requests", scheduler.name());
+            }
+        }
+
+        /// Invariant 2: capacity. No scheduler exceeds the per-micro-batch
+        /// request cap, the per-micro-batch KV budget, or the total cap.
+        #[test]
+        fn every_scheduler_respects_all_caps(
+            reqs in arbitrary_requests(),
+            n_ub in 1usize..8,
+            ubs in 1usize..32,
+            cache in 500u64..50_000,
+            cap in 1usize..256,
+        ) {
+            let cfg = BatchingConfig {
+                num_micro_batches: n_ub,
+                max_requests_per_micro_batch: ubs,
+                max_scheduled_requests: cap,
+                cache_tokens_per_micro_batch: cache,
+            };
+            for scheduler in builtin_schedulers() {
+                let result = scheduler.plan(&reqs, &cfg);
+                prop_assert!(result.scheduled_requests() <= cap);
+                prop_assert!(result.micro_batches.len() <= n_ub);
+                for mb in &result.micro_batches {
+                    prop_assert!(mb.len() <= ubs, "{}: {} > ubs {}", scheduler.name(), mb.len(), ubs);
+                    prop_assert!(
+                        mb.max_cache_tokens() <= cache,
+                        "{}: micro-batch needs {} KV tokens, budget {}",
+                        scheduler.name(), mb.max_cache_tokens(), cache
+                    );
+                }
+            }
+        }
+
+        /// Invariant 3: backfill over a partially occupied pipeline (a scheduling
+        /// event mid-flight) keeps every per-micro-batch limit and the total cap,
+        /// counting the in-flight requests.
+        #[test]
+        fn every_scheduler_backfills_within_budget_at_scheduling_events(
+            (reqs, n_ub, ubs, cache, cap, occupied) in (
+                arbitrary_requests(),
+                1usize..6,
+                1usize..24,
+                1_000u64..40_000,
+                1usize..160,
+            )
+                .prop_flat_map(|(reqs, n_ub, ubs, cache, cap)| {
+                    (
+                        Just(reqs),
+                        Just(n_ub),
+                        Just(ubs),
+                        Just(cache),
+                        Just(cap),
+                        arbitrary_occupancy(n_ub, ubs, cache),
+                    )
+                }),
+        ) {
+            let cfg = BatchingConfig {
+                num_micro_batches: n_ub,
+                max_requests_per_micro_batch: ubs,
+                max_scheduled_requests: cap,
+                cache_tokens_per_micro_batch: cache,
+            };
+            let in_flight: usize = occupied.iter().map(|p| p.requests).sum();
+            for scheduler in builtin_schedulers() {
+                let fill = scheduler.backfill(&reqs, &cfg, &occupied);
+                // Conservation at the event: admitted + deferred = queue.
+                prop_assert_eq!(fill.admitted() + fill.deferred.len(), reqs.len());
+                // Total cap counts the in-flight requests.
+                prop_assert!(
+                    in_flight + fill.admitted() <= cap.max(in_flight),
+                    "{}: {} in flight + {} admitted > cap {}",
+                    scheduler.name(), in_flight, fill.admitted(), cap
+                );
+                for (i, admitted) in fill.assignments.iter().enumerate() {
+                    prop_assert!(occupied[i].requests + admitted.len() <= ubs);
+                    // Real KV usage never exceeds the budget (padded schedulers
+                    // charge an upper bound, so this holds a fortiori).
+                    let added: u64 = admitted.iter().map(Request::max_context).sum();
+                    prop_assert!(
+                        occupied[i].cache_tokens + added <= cache,
+                        "{}: micro-batch {} holds {} + {} new > budget {}",
+                        scheduler.name(), i, occupied[i].cache_tokens, added, cache
+                    );
+                }
+            }
+        }
+    }
+}

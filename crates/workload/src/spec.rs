@@ -103,6 +103,39 @@ impl ArrivalProcess {
     }
 }
 
+/// How generation lengths are assigned when synthesizing a request queue
+/// (the `gen_len` axis of a serving scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GenLens {
+    /// Every request generates exactly this many tokens.
+    Uniform(u64),
+    /// Generation lengths drawn uniformly from the workload's
+    /// `default_gen_lens` — the heterogeneous queue continuous batching is
+    /// designed for, where short requests free KV capacity mid-flight.
+    MixedDefaults,
+}
+
+impl GenLens {
+    /// The generation length capacity plans (policies, KV budgets) are sized
+    /// for: the uniform length, or the *mean* of the workload defaults for
+    /// mixed queues. Provisioning a mixed queue for its expected load admits a
+    /// far larger batch than worst-case sizing; keeping the tail within budget
+    /// is the batch scheduler's admission-control job.
+    pub fn policy_gen_for(&self, spec: &WorkloadSpec) -> u64 {
+        match *self {
+            GenLens::Uniform(gen) => gen,
+            GenLens::MixedDefaults => {
+                let lens = &spec.default_gen_lens;
+                if lens.is_empty() {
+                    1
+                } else {
+                    (lens.iter().sum::<u64>() as f64 / lens.len() as f64).round() as u64
+                }
+            }
+        }
+    }
+}
+
 /// A benchmark workload description (Tab. 3 of the paper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -159,9 +192,14 @@ impl WorkloadSpec {
 
     /// Samples `count` requests with the given generation length.
     ///
-    /// Prompt lengths are drawn from a two-sided triangular-ish distribution around
-    /// the average, clamped to `[1, max_prompt_len]`, so the sample mean matches
-    /// `avg_prompt_len` and the maximum never exceeds `max_prompt_len`.
+    /// Prompt lengths are drawn so the sample mean matches `avg_prompt_len` and
+    /// the support spans up to `max_prompt_len` (Tab. 3's `s_max`). Workloads
+    /// whose maximum sits close to the average (the HELM pair) use a symmetric
+    /// uniform spread around the average; workloads with a long tail (MTBench:
+    /// `s_avg` = 77 but `s_max` = 418) use a two-component mixture — most
+    /// prompts short (uniform in `[1, s_avg]`), a mean-preserving fraction long
+    /// (uniform in `[s_avg, s_max]`) — so batch formation actually faces the
+    /// length imbalance the paper's Algorithm 2 is designed for.
     ///
     /// # Panics
     ///
@@ -170,17 +208,25 @@ impl WorkloadSpec {
         assert!(count > 0, "cannot sample an empty workload");
         let mut rng = StdRng::seed_from_u64(seed);
         let avg = self.avg_prompt_len as f64;
-        let max = self.max_prompt_len as f64;
-        // Spread below/above the mean: keep the mean by mirroring the offsets.
-        let down = (avg - 1.0).min(avg * 0.6);
-        let up = (max - avg).min(avg * 0.6 * ((max - avg) / (avg - 1.0).max(1.0)).min(1.0));
+        let up = (self.max_prompt_len - self.avg_prompt_len) as f64;
+        let down = (self.avg_prompt_len - 1) as f64;
+        // Probability of drawing from the long component; E[uniform(avg, max)]
+        // exceeds the average by up/2 and E[uniform(1, avg)] undershoots by
+        // down/2, so this weight makes the two offsets cancel exactly.
+        let long_fraction = if up + down > 0.0 {
+            down / (up + down)
+        } else {
+            0.0
+        };
         (0..count)
             .map(|i| {
-                let u: f64 = rng.gen_range(-1.0..1.0);
-                let len = if u < 0.0 {
-                    avg + u * down
+                let len = if up <= down {
+                    // Narrow spread: symmetric uniform around the average.
+                    rng.gen_range((avg - up)..=(avg + up))
+                } else if rng.gen_range(0.0..1.0) < long_fraction {
+                    rng.gen_range(avg..=(avg + up))
                 } else {
-                    avg + u * up
+                    rng.gen_range((avg - down)..=avg)
                 };
                 Request::new(
                     i as u64,
@@ -260,7 +306,40 @@ impl WorkloadSpec {
         padded: bool,
         arrivals: &ArrivalProcess,
     ) -> Vec<Request> {
-        let mut queue = self.request_queue(count, gen_len, seed, padded);
+        self.synthesize_queue(count, GenLens::Uniform(gen_len), seed, padded, arrivals)
+    }
+
+    /// Synthesizes the full request queue of a serving scenario: prompt lengths
+    /// per the workload (padded systems see `max_prompt_len`), generation
+    /// lengths per `gen` ([`GenLens::Uniform`] or the mixed default lengths),
+    /// and arrival times stamped by `arrivals`. This is the queue-synthesis
+    /// entry point behind the core crate's `ServeSpec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, if `gen` is [`GenLens::MixedDefaults`] on a
+    /// workload without default generation lengths, or if the arrival process
+    /// parameters are invalid.
+    pub fn synthesize_queue(
+        &self,
+        count: usize,
+        gen: GenLens,
+        seed: u64,
+        padded: bool,
+        arrivals: &ArrivalProcess,
+    ) -> Vec<Request> {
+        let mut queue = match gen {
+            GenLens::Uniform(gen_len) => self.request_queue(count, gen_len, seed, padded),
+            GenLens::MixedDefaults => {
+                let mut queue = self.sample_requests_mixed_gen(count, seed);
+                if padded {
+                    for r in &mut queue {
+                        r.input_len = self.max_prompt_len;
+                    }
+                }
+                queue
+            }
+        };
         arrivals.stamp(&mut queue, seed.wrapping_add(0x51_7c_c1_b7));
         queue
     }
@@ -419,6 +498,63 @@ mod tests {
         assert_eq!(
             spec.sample_requests_mixed_gen(500, 7),
             spec.sample_requests_mixed_gen(500, 7)
+        );
+    }
+
+    #[test]
+    fn synthesize_queue_covers_every_scenario_axis() {
+        let spec = WorkloadSpec::mtbench();
+        // Uniform gen, unpadded, immediate: identical to the legacy helper.
+        let uniform = spec.synthesize_queue(
+            30,
+            GenLens::Uniform(64),
+            5,
+            false,
+            &ArrivalProcess::Immediate,
+        );
+        assert_eq!(uniform, spec.request_queue(30, 64, 5, false));
+        // Mixed gen draws from the workload defaults.
+        let mixed = spec.synthesize_queue(
+            200,
+            GenLens::MixedDefaults,
+            5,
+            false,
+            &ArrivalProcess::Immediate,
+        );
+        assert!(mixed
+            .iter()
+            .all(|r| spec.default_gen_lens.contains(&r.gen_len)));
+        assert!(mixed.iter().any(|r| r.gen_len != mixed[0].gen_len));
+        // Padded + mixed: prompts at the maximum, gen lengths still mixed.
+        let padded = spec.synthesize_queue(
+            200,
+            GenLens::MixedDefaults,
+            5,
+            true,
+            &ArrivalProcess::Immediate,
+        );
+        assert!(padded.iter().all(|r| r.input_len == spec.max_prompt_len));
+        assert!(padded.iter().any(|r| r.gen_len != padded[0].gen_len));
+        // Arrivals are stamped.
+        let online = spec.synthesize_queue(
+            50,
+            GenLens::Uniform(32),
+            5,
+            false,
+            &ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+        );
+        assert!(online.iter().any(|r| r.arrival > Seconds::ZERO));
+    }
+
+    #[test]
+    fn policy_sizing_uses_the_expected_generation_length() {
+        let spec = WorkloadSpec::mtbench();
+        assert_eq!(GenLens::Uniform(96).policy_gen_for(&spec), 96);
+        // Mean of {32, 64, 128, 256}.
+        assert_eq!(GenLens::MixedDefaults.policy_gen_for(&spec), 120);
+        assert_eq!(
+            GenLens::MixedDefaults.policy_gen_for(&WorkloadSpec::summarization()),
+            64
         );
     }
 

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example mtbench_throughput`.
 
 use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
-use moe_workload::{batch_requests, BatchingConfig, WorkloadSpec};
+use moe_workload::{Algorithm2, BatchingConfig, Scheduler, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let setting = EvalSetting::S1;
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show how MoE-Lightning forms its micro-batches for the best gen=128 policy.
     let result = evaluator.evaluate(SystemKind::MoeLightning, &spec, 128)?;
     let requests = spec.sample_requests(result.policy.batch_size as usize, 128, 42);
-    let batches = batch_requests(
+    let batches = Algorithm2.plan(
         &requests,
         &BatchingConfig {
             num_micro_batches: result.policy.num_micro_batches() as usize,

@@ -1,10 +1,11 @@
 //! Quickstart: search an offloading policy for Mixtral 8x7B on a single 16 GB T4
-//! (the paper's S1 setting) and estimate the end-to-end generation throughput of
-//! MoE-Lightning against the FlexGen and DeepSpeed baselines.
+//! (the paper's S1 setting), estimate the end-to-end generation throughput of
+//! MoE-Lightning against the FlexGen and DeepSpeed baselines, then serve a small
+//! request queue through the `ServeSpec` serving API.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
+use moe_lightning::{EvalSetting, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,6 +37,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nMoE-Lightning's CGOPipe schedule plus the HRM-searched policy should come out on top."
+    );
+
+    // Serve an actual (small) request queue through the request-level loop:
+    // variable-length prompts, continuous batching, Algorithm 2 scheduling.
+    let report = evaluator.run(
+        &ServeSpec::new(SystemKind::MoeLightning, workload)
+            .with_count(64)
+            .with_gen_len(gen_len)
+            .with_mode(ServingMode::Continuous),
+    )?;
+    println!(
+        "\nServed {} MTBench requests continuously with the '{}' scheduler: \
+         {:.1} tokens/s, TTFT p50 {:.2}s, {} admission waves",
+        report.served_requests(),
+        report.scheduler,
+        report.generation_throughput(),
+        report.ttft().p50.as_secs(),
+        report.rounds.len(),
     );
     Ok(())
 }

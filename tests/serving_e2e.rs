@@ -1,20 +1,27 @@
 //! End-to-end tests of the request-level serving core: a variable-length MTBench
 //! queue served through Algorithm 2 micro-batches (the ISSUE 1 acceptance tests).
 
-use moe_lightning::{EvalSetting, ServingSession, SystemEvaluator, SystemKind};
+use moe_lightning::{EvalSetting, ServeSpec, ServingSession, SystemEvaluator, SystemKind};
 use moe_workload::{Request, WorkloadSpec};
 
 fn evaluator() -> SystemEvaluator {
     SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
 }
 
+/// An offline MTBench scenario (all requests at time zero, Algorithm 2).
+fn scenario(system: SystemKind, count: usize, gen_len: u64, seed: u64) -> ServeSpec {
+    ServeSpec::new(system, WorkloadSpec::mtbench())
+        .with_count(count)
+        .with_gen_len(gen_len)
+        .with_seed(seed)
+}
+
 #[test]
 fn every_request_is_served_or_accounted_aborted() {
     let eval = evaluator();
-    let spec = WorkloadSpec::mtbench();
     let count = 1500;
     let report = eval
-        .serve(SystemKind::MoeLightning, &spec, count, 128, 42)
+        .run(&scenario(SystemKind::MoeLightning, count, 128, 42))
         .unwrap();
 
     // (a) no request vanishes: served + aborted ids partition the input queue.
@@ -31,9 +38,8 @@ fn every_request_is_served_or_accounted_aborted() {
 #[test]
 fn generated_tokens_equal_sum_over_requests() {
     let eval = evaluator();
-    let spec = WorkloadSpec::mtbench();
     let report = eval
-        .serve(SystemKind::MoeLightning, &spec, 800, 64, 23)
+        .run(&scenario(SystemKind::MoeLightning, 800, 64, 23))
         .unwrap();
 
     // (b) token accounting: totals equal the per-request and per-round sums.
@@ -53,12 +59,11 @@ fn generated_tokens_equal_sum_over_requests() {
 #[test]
 fn unpadded_moe_lightning_beats_padded_on_the_serving_path() {
     let eval = evaluator();
-    let spec = WorkloadSpec::mtbench();
     let padded = eval
-        .serve(SystemKind::MoeLightningPadded, &spec, 1000, 64, 3)
+        .run(&scenario(SystemKind::MoeLightningPadded, 1000, 64, 3))
         .unwrap();
     let unpadded = eval
-        .serve(SystemKind::MoeLightning, &spec, 1000, 64, 3)
+        .run(&scenario(SystemKind::MoeLightning, 1000, 64, 3))
         .unwrap();
 
     // (c) variable-length batching is the whole point: the unpadded system must
@@ -74,9 +79,8 @@ fn unpadded_moe_lightning_beats_padded_on_the_serving_path() {
 #[test]
 fn serving_reports_latency_percentiles() {
     let eval = evaluator();
-    let spec = WorkloadSpec::mtbench();
     let report = eval
-        .serve(SystemKind::MoeLightning, &spec, 1200, 128, 5)
+        .run(&scenario(SystemKind::MoeLightning, 1200, 128, 5))
         .unwrap();
     let ttft = report.ttft();
     let tok = report.per_token();
@@ -96,7 +100,7 @@ fn micro_batch_imbalance_shows_up_in_round_reports() {
     let eval = evaluator();
     let spec = WorkloadSpec::mtbench();
     let report = eval
-        .serve(SystemKind::MoeLightning, &spec, 2000, 64, 19)
+        .run(&scenario(SystemKind::MoeLightning, 2000, 64, 19))
         .unwrap();
     for round in &report.rounds {
         let (min, max) = round.prompt_token_spread;
