@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the `Scheduler::plan` / `Scheduler::backfill`
+//! hot path: the batch-formation work every serving round (and, with the
+//! cluster layer, every replica admission wave) pays. Algorithm 2 (sort +
+//! token-balanced placement) is compared against the length-blind
+//! `TokenBudget` port at 1k and 8k request queues, so scheduler and router
+//! changes have a perf baseline.
+//!
+//! Run with `cargo bench -p moe-bench --bench scheduler_hot_path`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moe_workload::{
+    Algorithm2, BatchingConfig, PartitionState, Request, Scheduler, TokenBudget, WorkloadSpec,
+};
+
+/// The S1-like batching regime: enough micro-batches and KV budget that the
+/// whole queue is in play, so the assignment loop (not early deferral)
+/// dominates.
+fn config() -> BatchingConfig {
+    BatchingConfig {
+        num_micro_batches: 20,
+        max_requests_per_micro_batch: 256,
+        max_scheduled_requests: 5120,
+        cache_tokens_per_micro_batch: 1 << 20,
+    }
+}
+
+fn queue(len: usize) -> Vec<Request> {
+    WorkloadSpec::mtbench().sample_requests_mixed_gen(len, 7)
+}
+
+/// A half-occupied pipeline: the mid-flight state `backfill` sees at a
+/// continuous-batching scheduling event.
+fn half_occupied(cfg: &BatchingConfig) -> Vec<PartitionState> {
+    (0..cfg.num_micro_batches)
+        .map(|i| PartitionState {
+            requests: cfg.max_requests_per_micro_batch / 2,
+            prompt_tokens: 4000 + 100 * i as u64,
+            cache_tokens: 20_000 + 500 * i as u64,
+        })
+        .collect()
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let cfg = config();
+    for len in [1000usize, 8000] {
+        let requests = queue(len);
+        c.bench_function(&format!("scheduler/plan/algo2/{len}"), |b| {
+            b.iter(|| Algorithm2.plan(&requests, &cfg).scheduled_requests())
+        });
+        c.bench_function(&format!("scheduler/plan/token-budget/{len}"), |b| {
+            b.iter(|| TokenBudget.plan(&requests, &cfg).scheduled_requests())
+        });
+    }
+}
+
+fn bench_backfill(c: &mut Criterion) {
+    let cfg = config();
+    let occupied = half_occupied(&cfg);
+    for len in [1000usize, 8000] {
+        let requests = queue(len);
+        c.bench_function(&format!("scheduler/backfill/algo2/{len}"), |b| {
+            b.iter(|| Algorithm2.backfill(&requests, &cfg, &occupied).admitted())
+        });
+        c.bench_function(&format!("scheduler/backfill/token-budget/{len}"), |b| {
+            b.iter(|| TokenBudget.backfill(&requests, &cfg, &occupied).admitted())
+        });
+    }
+}
+
+criterion_group!(benches, bench_plan, bench_backfill);
+criterion_main!(benches);

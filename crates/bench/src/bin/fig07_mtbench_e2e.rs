@@ -17,9 +17,12 @@
 //! Set `FIG07_QUEUE_LEN` (default 1000) to shrink the queues, e.g. for CI smoke
 //! runs.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{
+    fmt3, json_output_path, obj, print_csv, print_header, print_row, write_rows, JsonValue,
+};
 use moe_lightning::{
-    EvalSetting, ServeSpec, ServingMode, ServingReport, SystemEvaluator, SystemKind,
+    builtin_routers, ClusterEvaluator, ClusterSpec, EvalSetting, Policy, ReplicaSpec, Seconds,
+    ServeSpec, ServingMode, ServingReport, SloSpec, SystemEvaluator, SystemKind,
 };
 use moe_workload::{ArrivalProcess, WorkloadSpec};
 
@@ -47,6 +50,7 @@ fn row_label(system: SystemKind, mode: ServingMode) -> String {
 fn main() {
     let spec = WorkloadSpec::mtbench();
     let queue_len = queue_len();
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     let gen_lens = [32u64, 64, 128, 256];
     let settings = [
         EvalSetting::S1,
@@ -92,6 +96,14 @@ fn main() {
                     let cell = match evaluator.run(&scenario) {
                         Ok(report) => {
                             let cell = fmt3(report.generation_throughput());
+                            json_rows.push(obj(vec![
+                                ("table", "throughput".into()),
+                                ("setting", setting.to_string().into()),
+                                ("system", system.name().into()),
+                                ("mode", mode.label().into()),
+                                ("gen_len", gen.into()),
+                                ("tokens_per_sec", report.generation_throughput().into()),
+                            ]));
                             if gen == LATENCY_GEN_LEN {
                                 latency_reports.push((label.clone(), Ok(report)));
                             }
@@ -129,6 +141,18 @@ fn main() {
                 Ok(report) => {
                     let ttft = report.ttft();
                     let tok = report.per_token();
+                    json_rows.push(obj(vec![
+                        ("table", "latency".into()),
+                        ("setting", setting.to_string().into()),
+                        ("system", report.system.name().into()),
+                        ("mode", report.mode.label().into()),
+                        ("gen_len", LATENCY_GEN_LEN.into()),
+                        ("ttft_p50_s", ttft.p50.as_secs().into()),
+                        ("ttft_p90_s", ttft.p90.as_secs().into()),
+                        ("per_token_mean_s", tok.mean.as_secs().into()),
+                        ("rounds", report.rounds.len().into()),
+                        ("aborted", report.aborted.len().into()),
+                    ]));
                     let row = [
                         label.clone(),
                         fmt3(ttft.p50.as_secs()),
@@ -163,18 +187,173 @@ fn main() {
         }
     }
 
-    online_arrival_table(&spec, queue_len);
+    online_arrival_table(&spec, queue_len, &mut json_rows);
+    router_ablation_table(&spec, queue_len, &mut json_rows);
 
     println!("\n(throughput in generated tokens/s; higher is better. ttft = time to first");
     println!("token measured from each request's arrival; tok_lat = mean per-token decode");
     println!("latency per request. [rtc] = round-to-completion, [cont] = continuous batching)");
+
+    if let Some(path) = json_output_path() {
+        write_rows(&path, "fig07", json_rows);
+    }
+}
+
+/// The router ablation: a homogeneous T4 fleet of 1/2/4/8 replicas serving an
+/// online Poisson queue through each built-in `Router`, in both serving modes.
+/// The fleet is driven at its aggregate service rate (per-replica rate × N,
+/// one shared arrival stream) with a capacity-bound policy, so routing — not
+/// raw capacity — decides the tail latency, and goodput is judged against a
+/// TTFT + per-token SLO derived from the unloaded single-replica latency.
+fn router_ablation_table(spec: &WorkloadSpec, queue_len: usize, json_rows: &mut Vec<JsonValue>) {
+    let setting = EvalSetting::S1;
+    let system = SystemKind::MoeLightning;
+    let gen = 64u64;
+    // Capacity-bound policy: 64 concurrent requests per replica, so admission
+    // control genuinely queues at the offered load (the searched S1 policy
+    // admits thousands and would never differentiate routers).
+    let policy = Policy::offload_default(64, 16);
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    let offline = match evaluator.run(
+        &ServeSpec::new(system, spec.clone())
+            .with_count(queue_len.min(300))
+            .with_gen_len(gen)
+            .with_seed(SEED)
+            .with_policy(policy)
+            .with_mode(ServingMode::Continuous),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            println!("\n-- router ablation @ {setting}: n/a ({e}) --");
+            return;
+        }
+    };
+    let per_replica_rate =
+        offline.served_requests() as f64 / offline.total_time().as_secs().max(1e-9);
+    // SLO deadlines come from an *unloaded* replica — a queue that fits one
+    // admission wave — so attainment measures queueing, not raw service time
+    // (the offline calibration run's TTFT is queue-dominated by design).
+    let slo = match evaluator.run(
+        &ServeSpec::new(system, spec.clone())
+            .with_count(policy.batch_size as usize)
+            .with_gen_len(gen)
+            .with_seed(SEED)
+            .with_policy(policy)
+            .with_mode(ServingMode::Continuous),
+    ) {
+        Ok(unloaded) => SloSpec {
+            ttft: unloaded.ttft().p50.scale(4.0),
+            per_token: Seconds::from_secs(unloaded.per_token().mean.as_secs() * 1.5),
+        },
+        Err(e) => {
+            println!("\n-- router ablation @ {setting}: n/a ({e}) --");
+            return;
+        }
+    };
+    let base = ArrivalProcess::Poisson {
+        rate_per_sec: per_replica_rate,
+    };
+    let cluster_eval = ClusterEvaluator::new(setting.model());
+
+    println!(
+        "\n== Router ablation @ {setting}, {} x T4 fleet, gen={gen}, {queue_len} requests, \
+         Poisson at {per_replica_rate:.3} req/s per replica ==",
+        system.name()
+    );
+    println!(
+        "(SLO: ttft <= {:.1}s, per-token <= {:.1}s)",
+        slo.ttft.as_secs(),
+        slo.per_token.as_secs()
+    );
+    let widths = [10usize, 14, 6, 10, 12, 12, 8, 10];
+    print_header(
+        &[
+            "replicas",
+            "router",
+            "mode",
+            "tokens/s",
+            "ttft_p50 s",
+            "ttft_p99 s",
+            "slo %",
+            "goodput",
+        ],
+        &widths,
+    );
+    for replicas in [1usize, 2, 4, 8] {
+        for mode in MODES {
+            for router in builtin_routers() {
+                let mut scenario = ClusterSpec::new(system, spec.clone())
+                    .with_count(queue_len)
+                    .with_gen_len(gen)
+                    .with_seed(SEED)
+                    .with_mode(mode)
+                    .with_arrivals(base.scaled(replicas as f64))
+                    .with_router(router)
+                    .with_slo(slo);
+                for _ in 0..replicas {
+                    scenario =
+                        scenario.with_replica(ReplicaSpec::new(setting.node()).with_policy(policy));
+                }
+                match cluster_eval.run(&scenario) {
+                    Ok(report) => {
+                        let ttft = report.ttft();
+                        let row = [
+                            replicas.to_string(),
+                            report.router.clone(),
+                            mode.label().to_owned(),
+                            fmt3(report.fleet_throughput()),
+                            fmt3(ttft.p50.as_secs()),
+                            fmt3(ttft.p99.as_secs()),
+                            format!("{:.1}", report.slo_attainment_pct(&slo)),
+                            fmt3(report.goodput(&slo)),
+                        ];
+                        print_csv(&{
+                            let mut csv = vec!["router-ablation".to_owned()];
+                            csv.extend(row.iter().cloned());
+                            csv
+                        });
+                        print_row(row.as_ref(), &widths);
+                        json_rows.push(obj(vec![
+                            ("table", "router-ablation".into()),
+                            ("setting", setting.to_string().into()),
+                            ("replicas", replicas.into()),
+                            ("router", report.router.clone().into()),
+                            ("mode", mode.label().into()),
+                            ("tokens_per_sec", report.fleet_throughput().into()),
+                            ("ttft_p50_s", ttft.p50.as_secs().into()),
+                            ("ttft_p99_s", ttft.p99.as_secs().into()),
+                            ("slo_attainment_pct", report.slo_attainment_pct(&slo).into()),
+                            ("goodput_tokens_per_sec", report.goodput(&slo).into()),
+                        ]));
+                    }
+                    Err(e) => print_row(
+                        &[
+                            replicas.to_string(),
+                            scenario.router_name().to_owned(),
+                            mode.label().to_owned(),
+                            format!("n/a ({e})"),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ],
+                        &widths,
+                    ),
+                }
+            }
+        }
+    }
+    println!("\n(round-robin is load-blind; least-tokens routes by outstanding work;");
+    println!("power-of-two samples two replicas and keeps the emptier; kv-aware routes");
+    println!("by projected KV headroom. Fleet throughput = generated tokens over the");
+    println!("global makespan; goodput counts only SLO-attaining requests.)");
 }
 
 /// Serves an online Poisson-arrival MTBench queue at S1 in both modes: the
 /// arrival rate is set to ~120% of the round-to-completion service rate, so the
 /// scheduler runs under sustained load and the continuous mode's earlier slot
 /// release shows up in queue-aware TTFT and completion time.
-fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize) {
+fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize, json_rows: &mut Vec<JsonValue>) {
     let setting = EvalSetting::S1;
     let system = SystemKind::MoeLightning;
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
@@ -224,6 +403,16 @@ fn online_arrival_table(spec: &WorkloadSpec, queue_len: usize) {
             Ok(report) => {
                 let ttft = report.ttft();
                 let completion = report.completion();
+                json_rows.push(obj(vec![
+                    ("table", "online-poisson".into()),
+                    ("setting", setting.to_string().into()),
+                    ("mode", mode.label().into()),
+                    ("gen_len", LATENCY_GEN_LEN.into()),
+                    ("ttft_p50_s", ttft.p50.as_secs().into()),
+                    ("ttft_p99_s", ttft.p99.as_secs().into()),
+                    ("completion_mean_s", completion.mean.as_secs().into()),
+                    ("tokens_per_sec", report.generation_throughput().into()),
+                ]));
                 let row = [
                     mode.to_string(),
                     fmt3(ttft.p50.as_secs()),

@@ -17,8 +17,13 @@
 //!
 //! Run with `cargo run --release -p moe-bench --bin tab05_policy_ablation`.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
-use moe_lightning::{EvalSetting, Policy, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
+use moe_bench::{
+    fmt3, json_output_path, obj, print_csv, print_header, print_row, write_rows, JsonValue,
+};
+use moe_lightning::{
+    ClusterEvaluator, EvalSetting, LeastOutstandingTokens, Policy, ServeSpec, ServingMode,
+    SystemEvaluator, SystemKind,
+};
 use moe_workload::{builtin_schedulers, Scheduler, WorkloadSpec};
 use std::sync::Arc;
 
@@ -39,13 +44,22 @@ fn main() {
     let setting = EvalSetting::S1;
     let spec = WorkloadSpec::mtbench();
     let evaluator = SystemEvaluator::new(setting.node(), setting.model());
-    policy_ablation(&evaluator, &spec);
-    scheduler_ablation(&evaluator, &spec);
+    let mut json_rows: Vec<JsonValue> = Vec::new();
+    policy_ablation(&evaluator, &spec, &mut json_rows);
+    scheduler_ablation(&evaluator, &spec, &mut json_rows);
+    cluster_rerun(&spec, &mut json_rows);
+    if let Some(path) = json_output_path() {
+        write_rows(&path, "tab05", json_rows);
+    }
 }
 
 /// FlexGen's schedule with their/our policies vs MoE-Lightning(p): isolates the
 /// contribution of CGOPipe + the HRM policy, as in the paper's Tab. 5.
-fn policy_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
+fn policy_ablation(
+    evaluator: &SystemEvaluator,
+    spec: &WorkloadSpec,
+    json_rows: &mut Vec<JsonValue>,
+) {
     let gen = 128u64;
     let widths = [38usize, 6, 8, 8, 14, 10];
     println!("== Policy ablation, MTBench @ S1, generation length {gen} ==");
@@ -116,6 +130,14 @@ fn policy_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
                         policy.batch_size.to_string(),
                         fmt3(throughput),
                     ]);
+                    json_rows.push(obj(vec![
+                        ("table", "policy-ablation".into()),
+                        ("variant", label.into()),
+                        ("mode", mode.label().into()),
+                        ("mu", policy.micro_batch_size.into()),
+                        ("n", policy.batch_size.into()),
+                        ("tokens_per_sec", throughput.into()),
+                    ]));
                 }
                 Err(e) => print_row(
                     &[
@@ -135,7 +157,11 @@ fn policy_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
 
 /// Every `Scheduler` implementation on the same mixed-`gen_len` MTBench queue
 /// (unpadded MoE-Lightning): the batch-formation axis the trait layer opened.
-fn scheduler_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
+fn scheduler_ablation(
+    evaluator: &SystemEvaluator,
+    spec: &WorkloadSpec,
+    json_rows: &mut Vec<JsonValue>,
+) {
     let widths = [14usize, 6, 12, 12, 14, 10, 10];
     println!("\n== Scheduler ablation, MTBench @ S1, mixed gen_len, MoE-Lightning ==");
     print_header(
@@ -195,6 +221,18 @@ fn scheduler_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
                         fmt3(report.completion().mean.as_secs()),
                         report.aborted.len().to_string(),
                     ]);
+                    json_rows.push(obj(vec![
+                        ("table", "scheduler-ablation".into()),
+                        ("scheduler", report.scheduler.clone().into()),
+                        ("mode", mode.label().into()),
+                        ("tokens_per_sec", throughput.into()),
+                        ("ttft_p50_s", report.ttft().p50.as_secs().into()),
+                        (
+                            "completion_mean_s",
+                            report.completion().mean.as_secs().into(),
+                        ),
+                        ("aborted", report.aborted.len().into()),
+                    ]));
                 }
                 Err(e) => print_row(
                     &[
@@ -217,4 +255,93 @@ fn scheduler_ablation(evaluator: &SystemEvaluator, spec: &WorkloadSpec) {
     println!("fcfs-pad = FlexGen-style FCFS with KV reservations padded to the longest");
     println!("prompt. Length-blind and padded strategies straddle or waste the KV");
     println!("budget, costing extra rounds that token balance avoids.)");
+}
+
+/// The pinned scheduler-ablation scenario (1000 mixed-`gen_len` MTBench
+/// requests, seed 11) rerun on a 4-replica homogeneous S1 fleet behind
+/// least-outstanding-tokens routing: each scheduler's fleet throughput and the
+/// speedup over its own single-node run from the table above.
+fn cluster_rerun(spec: &WorkloadSpec, json_rows: &mut Vec<JsonValue>) {
+    let setting = EvalSetting::S1;
+    let widths = [14usize, 6, 14, 14, 12, 10];
+    println!("\n== Scheduler ablation on a 4-replica fleet (same pinned scenario) @ {setting} ==");
+    print_header(
+        &[
+            "scheduler",
+            "mode",
+            "fleet tok/s",
+            "1-node tok/s",
+            "ttft_p50 s",
+            "speedup",
+        ],
+        &widths,
+    );
+    let single_eval = SystemEvaluator::new(setting.node(), setting.model());
+    let cluster_eval = ClusterEvaluator::new(setting.model());
+    let schedulers: Vec<Arc<dyn Scheduler>> =
+        builtin_schedulers().into_iter().map(Arc::from).collect();
+    for mode in MODES {
+        for scheduler in &schedulers {
+            let pinned = ServeSpec::new(SystemKind::MoeLightning, spec.clone())
+                .with_count(ABLATION_QUEUE_LEN)
+                .with_mixed_gen_lens()
+                .with_seed(ABLATION_SEED)
+                .with_mode(mode)
+                .with_scheduler(Arc::clone(scheduler));
+            let single = single_eval.run(&pinned);
+            let fleet = cluster_eval.run(
+                &pinned
+                    .clone()
+                    .into_cluster(setting.node().replicated(4))
+                    .with_router(Arc::new(LeastOutstandingTokens)),
+            );
+            match (single, fleet) {
+                (Ok(single), Ok(fleet)) => {
+                    // Both are tokens over the makespan of the offline
+                    // (time-zero-arrival) queue: busy time on one node, global
+                    // makespan on the fleet.
+                    let single_rate = single.generation_throughput();
+                    let row = [
+                        scheduler.name().to_owned(),
+                        mode.label().to_owned(),
+                        fmt3(fleet.fleet_throughput()),
+                        fmt3(single_rate),
+                        fmt3(fleet.ttft().p50.as_secs()),
+                        format!("{:.2}x", fleet.fleet_throughput() / single_rate),
+                    ];
+                    print_csv(&{
+                        let mut csv = vec!["cluster-rerun".to_owned()];
+                        csv.extend(row.iter().cloned());
+                        csv
+                    });
+                    print_row(row.as_ref(), &widths);
+                    json_rows.push(obj(vec![
+                        ("table", "cluster-rerun".into()),
+                        ("scheduler", scheduler.name().into()),
+                        ("mode", mode.label().into()),
+                        ("replicas", 4usize.into()),
+                        ("router", "least-tokens".into()),
+                        ("fleet_tokens_per_sec", fleet.fleet_throughput().into()),
+                        ("single_tokens_per_sec", single_rate.into()),
+                        ("ttft_p50_s", fleet.ttft().p50.as_secs().into()),
+                    ]));
+                }
+                (Err(e), _) | (_, Err(e)) => print_row(
+                    &[
+                        scheduler.name().to_owned(),
+                        mode.label().to_owned(),
+                        format!("n/a ({e})"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &widths,
+                ),
+            }
+        }
+    }
+    println!("\n(the fleet serves the identical fleet-wide queue; with all arrivals at");
+    println!("time zero the 1000-request queue underfills even one replica's policy");
+    println!("batch, so the speedup shows how much of the queue each scheduler lets");
+    println!("the fleet actually parallelize rather than a full 4x.)");
 }

@@ -7,6 +7,10 @@
 //! plotting dependencies. See `EXPERIMENTS.md` at the workspace root for the
 //! recorded outputs and the paper-vs-reproduction discussion.
 
+pub mod json;
+
+pub use json::{json_output_path, obj, write_rows, JsonValue};
+
 /// Prints a row of a fixed-width table.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

@@ -1,0 +1,1670 @@
+//! Cluster-level serving: a fleet of replicas behind a pluggable request
+//! [`Router`].
+//!
+//! The single-node serving loop ([`crate::ServingSession`], driven by a
+//! [`ServeSpec`] through [`SystemEvaluator::run`]) is the one-replica special
+//! case of this layer. A [`ClusterSpec`] describes a fleet of N replicas —
+//! each an optionally heterogeneous [`moe_hardware::NodeSpec`] with its own
+//! policy and [`Scheduler`] (e.g. a mixed T4/L4 fleet) — plus the fleet-wide
+//! workload: arrivals are sampled **once** for the whole fleet (an
+//! [`ArrivalProcess`] stamps one global queue) and a [`Router`] assigns each
+//! request to a replica at its arrival instant.
+//!
+//! [`ClusterEvaluator::run`] merges the per-replica event streams into one
+//! global clock: completions, admission waves and arrivals are processed in
+//! global time order, so a routing decision sees every replica's state as of
+//! the decision instant and queue-aware TTFT / per-token latency remain
+//! correct across the fleet. Four routing strategies ship on one dispatch
+//! engine ([`RoundRobin`], [`LeastOutstandingTokens`], [`PowerOfTwoChoices`],
+//! [`KvAware`]); custom strategies implement [`Router`].
+//!
+//! The outcome is a [`ClusterReport`]: per-replica [`ServingReport`]s plus
+//! fleet-wide latency summaries, fleet throughput over the global makespan,
+//! and goodput under per-request SLOs ([`SloSpec`]: TTFT and per-token
+//! deadlines, attainment percentage).
+
+use crate::engine::{EngineError, SystemEvaluator};
+use crate::serving::{
+    batching_for, mean_decode_context, RoundReport, ServeSpec, ServingMode, ServingReport,
+};
+use crate::system::SystemKind;
+use moe_hardware::{NodeSpec, Seconds};
+use moe_model::MoeModelConfig;
+use moe_policy::{Policy, WorkloadShape};
+use moe_schedule::ScheduleKind;
+use moe_workload::{
+    Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary,
+    PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one replica within a cluster: its index into the fleet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ReplicaId(pub usize);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Router-visible snapshot of one replica at a routing decision: the request
+/// metadata a production front-end could actually observe (queue depths,
+/// outstanding work, projected KV usage) — never the simulator's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaView {
+    /// The replica this view describes.
+    pub id: ReplicaId,
+    /// Requests routed to the replica but not yet admitted to a micro-batch.
+    pub queued_requests: usize,
+    /// Requests currently decoding (or held by an in-flight round).
+    pub active_requests: usize,
+    /// Outstanding work in tokens: prompt + generation for queued requests plus
+    /// the tokens still to generate for active ones (as of the decision
+    /// instant).
+    pub outstanding_tokens: u64,
+    /// Total KV-cache token capacity across the replica's micro-batches, from
+    /// its policy's capacity plan.
+    pub kv_capacity: u64,
+    /// KV tokens already reserved by active requests plus the end-of-generation
+    /// projection of everything queued.
+    pub kv_projected: u64,
+}
+
+impl ReplicaView {
+    /// Projected KV-cache headroom: capacity minus reserved-plus-queued
+    /// projections (saturating at zero when the queue over-commits).
+    pub fn kv_headroom(&self) -> u64 {
+        self.kv_capacity.saturating_sub(self.kv_projected)
+    }
+
+    /// Requests on the replica in any state (queued or active).
+    pub fn outstanding_requests(&self) -> usize {
+        self.queued_requests + self.active_requests
+    }
+}
+
+/// Deterministic per-run routing state handed to every [`Router`] call by the
+/// dispatch engine, so stateless strategies can still round-robin or randomize
+/// reproducibly (the RNG is seeded from the [`ClusterSpec`] seed).
+#[derive(Debug)]
+pub struct RouterCtx {
+    /// Zero-based index of the routing decision (how many requests the engine
+    /// has dispatched so far).
+    pub decision: u64,
+    /// Seeded RNG for randomized strategies ([`PowerOfTwoChoices`]).
+    pub rng: StdRng,
+}
+
+impl RouterCtx {
+    /// A fresh context whose RNG is seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RouterCtx {
+            decision: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// A request-routing strategy over a fleet of replicas.
+///
+/// The dispatch engine calls [`Router::route`] once per arriving request with
+/// a view of every replica that could *ever* serve it (replicas whose
+/// per-micro-batch KV budget the request alone would overflow are masked out),
+/// and [`Router::on_complete`] when a routed request finishes, so stateful
+/// strategies can track in-flight work. `route` must return the id of one of
+/// the offered views; the engine falls back to the first offered view
+/// otherwise.
+pub trait Router: fmt::Debug + Send + Sync {
+    /// Short stable identifier recorded in cluster reports and table rows.
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica that will serve `request`. `replicas` is non-empty and
+    /// ordered by replica id.
+    fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId;
+
+    /// Completion callback: `request` finished on `replica` (in
+    /// round-to-completion mode, fired when the request's round retires).
+    fn on_complete(&self, _request: &Request, _replica: ReplicaId, _ctx: &mut RouterCtx) {}
+}
+
+/// Cycles through the offered replicas in id order, one request each — the
+/// classic load-blind baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas[(ctx.decision % replicas.len() as u64) as usize].id
+    }
+}
+
+/// Routes to the replica with the fewest outstanding tokens (queued prompt +
+/// generation work plus tokens still decoding), ties by id. Adapts to
+/// heterogeneous replica speeds without knowing them: a slower replica's
+/// backlog persists, steering new work away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastOutstandingTokens;
+
+impl Router for LeastOutstandingTokens {
+    fn name(&self) -> &'static str {
+        "least-tokens"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        _ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas
+            .iter()
+            .min_by_key(|v| (v.outstanding_tokens, v.id))
+            .expect("route is called with a non-empty view slice")
+            .id
+    }
+}
+
+/// Samples two distinct replicas with the seeded RNG and keeps the one with
+/// fewer outstanding tokens — the classic O(1) approximation of
+/// [`LeastOutstandingTokens`] that avoids herding in distributed routers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerOfTwoChoices;
+
+impl Router for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        if replicas.len() == 1 {
+            return replicas[0].id;
+        }
+        let first = ctx.rng.gen_range(0..replicas.len());
+        let mut second = ctx.rng.gen_range(0..replicas.len() - 1);
+        if second >= first {
+            second += 1;
+        }
+        let (a, b) = (&replicas[first], &replicas[second]);
+        if (a.outstanding_tokens, a.id) <= (b.outstanding_tokens, b.id) {
+            a.id
+        } else {
+            b.id
+        }
+    }
+}
+
+/// Routes by projected KV headroom from each replica's policy: the request goes
+/// to the replica whose capacity plan has the most uncommitted KV-cache tokens
+/// (ties by fewer outstanding tokens, then id). Naturally favours replicas with
+/// larger KV budgets in heterogeneous fleets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvAware;
+
+impl Router for KvAware {
+    fn name(&self) -> &'static str {
+        "kv-aware"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        _ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas
+            .iter()
+            .min_by_key(|v| {
+                (
+                    std::cmp::Reverse(v.kv_headroom()),
+                    v.outstanding_tokens,
+                    v.id,
+                )
+            })
+            .expect("route is called with a non-empty view slice")
+            .id
+    }
+}
+
+/// All built-in routers, in the order used by the fig. 7 router ablation.
+pub fn builtin_routers() -> Vec<Arc<dyn Router>> {
+    vec![
+        Arc::new(RoundRobin),
+        Arc::new(LeastOutstandingTokens),
+        Arc::new(PowerOfTwoChoices),
+        Arc::new(KvAware),
+    ]
+}
+
+/// Per-request service-level objective: deadlines on queue-aware TTFT and mean
+/// per-token latency. A served request *attains* the SLO when it meets both.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Deadline on time-to-first-token, measured from the request's arrival.
+    pub ttft: Seconds,
+    /// Deadline on the request's mean per-token decode latency.
+    pub per_token: Seconds,
+}
+
+impl SloSpec {
+    /// Whether a served request met both deadlines.
+    pub fn attained(&self, latency: &RequestLatency) -> bool {
+        latency.ttft <= self.ttft && latency.per_token <= self.per_token
+    }
+}
+
+/// Why a [`ClusterSpec`] is unusable (see [`ClusterSpec::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ClusterSpecError {
+    /// The fleet is empty — no replica could ever serve a request.
+    NoReplicas,
+    /// The scenario asks for zero requests — nothing to route or serve.
+    ZeroRequests,
+}
+
+impl fmt::Display for ClusterSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterSpecError::NoReplicas => f.write_str("the fleet has zero replicas"),
+            ClusterSpecError::ZeroRequests => f.write_str("the scenario has zero requests"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterSpecError {}
+
+/// One replica of a cluster: a hardware node plus (optionally) an explicit
+/// policy override and a batch-formation strategy. Replicas of one fleet may
+/// be heterogeneous in all three.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    pub(crate) node: NodeSpec,
+    pub(crate) policy: Option<Policy>,
+    pub(crate) scheduler: Arc<dyn Scheduler>,
+}
+
+impl ReplicaSpec {
+    /// A replica on `node` with the system's searched policy and the paper's
+    /// [`Algorithm2`] batcher.
+    pub fn new(node: NodeSpec) -> Self {
+        ReplicaSpec {
+            node,
+            policy: None,
+            scheduler: Arc::new(Algorithm2),
+        }
+    }
+
+    /// Overrides the policy instead of searching one for the replica's node.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the replica's batch-formation strategy.
+    pub fn with_scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The hardware node this replica runs on.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+}
+
+/// A declarative cluster serving scenario: the fleet (per-replica node, policy
+/// and scheduler), the fleet-wide workload (request count, generation lengths,
+/// seed, serving mode, arrival process — sampled once for the whole fleet),
+/// the [`Router`], and an optional [`SloSpec`]. Consumed by
+/// [`ClusterEvaluator::run`].
+///
+/// A single-node [`ServeSpec`] lifts into a cluster with
+/// [`ServeSpec::into_cluster`]; a one-replica cluster reproduces the
+/// single-node scenario.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    pub(crate) system: SystemKind,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) replicas: Vec<ReplicaSpec>,
+    pub(crate) count: usize,
+    pub(crate) gen: GenLens,
+    pub(crate) seed: u64,
+    pub(crate) mode: ServingMode,
+    pub(crate) arrivals: ArrivalProcess,
+    pub(crate) router: Arc<dyn Router>,
+    pub(crate) slo: Option<SloSpec>,
+}
+
+impl ClusterSpec {
+    /// An empty-fleet scenario with the same defaults as [`ServeSpec::new`]:
+    /// 1000 requests, the workload's first default generation length, seed 0,
+    /// round-to-completion mode, immediate arrivals, [`RoundRobin`] routing.
+    /// Add replicas with [`Self::with_replica`] / [`Self::with_node`].
+    pub fn new(system: SystemKind, workload: WorkloadSpec) -> Self {
+        let gen = GenLens::Uniform(workload.default_gen_lens.first().copied().unwrap_or(128));
+        ClusterSpec {
+            system,
+            workload,
+            replicas: Vec::new(),
+            count: 1000,
+            gen,
+            seed: 0,
+            mode: ServingMode::default(),
+            arrivals: ArrivalProcess::Immediate,
+            router: Arc::new(RoundRobin),
+            slo: None,
+        }
+    }
+
+    /// A homogeneous fleet: `n` replicas of the same node.
+    pub fn homogeneous(
+        system: SystemKind,
+        workload: WorkloadSpec,
+        node: &NodeSpec,
+        n: usize,
+    ) -> Self {
+        let mut spec = Self::new(system, workload);
+        for _ in 0..n {
+            spec = spec.with_node(node.clone());
+        }
+        spec
+    }
+
+    /// Appends a replica to the fleet.
+    pub fn with_replica(mut self, replica: ReplicaSpec) -> Self {
+        self.replicas.push(replica);
+        self
+    }
+
+    /// Appends a default-configured replica on `node` (shorthand for
+    /// [`Self::with_replica`] of [`ReplicaSpec::new`]).
+    pub fn with_node(self, node: NodeSpec) -> Self {
+        self.with_replica(ReplicaSpec::new(node))
+    }
+
+    /// Sets the fleet-wide number of requests.
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Gives every request the same generation length.
+    pub fn with_gen_len(mut self, gen_len: u64) -> Self {
+        self.gen = GenLens::Uniform(gen_len);
+        self
+    }
+
+    /// Draws each request's generation length uniformly from the workload's
+    /// `default_gen_lens`.
+    pub fn with_mixed_gen_lens(mut self) -> Self {
+        self.gen = GenLens::MixedDefaults;
+        self
+    }
+
+    /// Sets the queue-synthesis (and router RNG) seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the serving mode every replica runs in.
+    pub fn with_mode(mut self, mode: ServingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Stamps fleet-wide arrival times from `arrivals` (sampled once for the
+    /// whole fleet, not per replica).
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the request-routing strategy.
+    pub fn with_router(mut self, router: Arc<dyn Router>) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Records the per-request SLO the report's goodput is judged against.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Checks that the scenario can serve at least one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (empty fleet, zero requests).
+    pub fn validate(&self) -> Result<(), ClusterSpecError> {
+        if self.replicas.is_empty() {
+            return Err(ClusterSpecError::NoReplicas);
+        }
+        if self.count == 0 {
+            return Err(ClusterSpecError::ZeroRequests);
+        }
+        Ok(())
+    }
+
+    /// Number of replicas in the fleet.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The serving mode every replica runs in.
+    pub fn mode(&self) -> ServingMode {
+        self.mode
+    }
+
+    /// The name of the routing strategy.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+}
+
+impl ServeSpec {
+    /// Lifts this single-node scenario into a cluster over `fleet`: every
+    /// replica inherits the spec's scheduler (and policy override, if any),
+    /// and the queue axes (count, generation lengths, seed, mode, arrivals)
+    /// carry over unchanged. Routing defaults to [`RoundRobin`]; a one-node
+    /// fleet reproduces the single-node scenario.
+    pub fn into_cluster(self, fleet: impl IntoIterator<Item = NodeSpec>) -> ClusterSpec {
+        let replicas: Vec<ReplicaSpec> = fleet
+            .into_iter()
+            .map(|node| {
+                let mut replica =
+                    ReplicaSpec::new(node).with_scheduler(Arc::clone(&self.scheduler));
+                if let Some(policy) = self.policy {
+                    replica = replica.with_policy(policy);
+                }
+                replica
+            })
+            .collect();
+        ClusterSpec {
+            system: self.system,
+            workload: self.workload,
+            replicas,
+            count: self.count,
+            gen: self.gen,
+            seed: self.seed,
+            mode: self.mode,
+            arrivals: self.arrivals,
+            router: Arc::new(RoundRobin),
+            slo: None,
+        }
+    }
+}
+
+/// One replica's outcome within a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Which replica this is.
+    pub id: ReplicaId,
+    /// Human-readable node description (e.g. `"1xNVIDIA T4 + …"`).
+    pub node: String,
+    /// The per-micro-batch KV-cache budget the replica enforced.
+    pub kv_budget_per_micro_batch: u64,
+    /// The replica's full single-node serving report.
+    pub report: ServingReport,
+}
+
+/// Aggregate outcome of serving one fleet-wide request queue on a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Name of the [`Router`] that dispatched the queue.
+    pub router: String,
+    /// The serving mode every replica ran in.
+    pub mode: ServingMode,
+    /// Per-replica reports, in replica-id order.
+    pub replicas: Vec<ReplicaReport>,
+    /// Requests no replica could ever serve (their prompt + generation alone
+    /// overflows every replica's per-micro-batch KV budget), in arrival order.
+    pub fleet_aborted: Vec<Request>,
+    /// The SLO recorded on the scenario, if any.
+    pub slo: Option<SloSpec>,
+    /// Combined token/time totals across all replicas.
+    pub totals: BatchRunReport,
+}
+
+impl ClusterReport {
+    /// Number of requests served to completion across the fleet.
+    pub fn served_requests(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.report.served_requests())
+            .sum()
+    }
+
+    /// Number of aborted requests (fleet-level plus per-replica).
+    pub fn aborted_requests(&self) -> usize {
+        self.fleet_aborted.len()
+            + self
+                .replicas
+                .iter()
+                .map(|r| r.report.aborted.len())
+                .sum::<usize>()
+    }
+
+    /// Every served request's latency record, across all replicas.
+    pub fn latencies(&self) -> Vec<RequestLatency> {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.report.latencies.iter().copied())
+            .collect()
+    }
+
+    /// Global makespan: the latest absolute completion instant (arrival +
+    /// completion latency) over all served requests.
+    pub fn makespan(&self) -> Seconds {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.report.latencies.iter())
+            .map(|l| l.request.arrival + l.completion_time)
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Fleet generation throughput in tokens/s: generated tokens over the
+    /// global makespan (wall-clock from the first arrival at time zero to the
+    /// last completion, idle gaps included — the fleet-level metric).
+    pub fn fleet_throughput(&self) -> f64 {
+        let span = self.makespan().as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.totals.generated_tokens as f64 / span
+    }
+
+    /// Fleet-wide time-to-first-token summary (queue-aware).
+    pub fn ttft(&self) -> LatencySummary {
+        LatencySummary::ttft(&self.latencies())
+    }
+
+    /// Fleet-wide per-token latency summary.
+    pub fn per_token(&self) -> LatencySummary {
+        LatencySummary::per_token(&self.latencies())
+    }
+
+    /// Fleet-wide completion-time summary (queue-aware).
+    pub fn completion(&self) -> LatencySummary {
+        LatencySummary::completion(&self.latencies())
+    }
+
+    /// Percentage (0–100) of *all* requests that were served and met `slo`
+    /// (aborted requests count as missed).
+    pub fn slo_attainment_pct(&self, slo: &SloSpec) -> f64 {
+        let total = self.served_requests() + self.aborted_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        let attained = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.report.latencies.iter())
+            .filter(|l| slo.attained(l))
+            .count();
+        100.0 * attained as f64 / total as f64
+    }
+
+    /// Fleet goodput in tokens/s: generated tokens of SLO-attaining requests
+    /// over the global makespan.
+    pub fn goodput(&self, slo: &SloSpec) -> f64 {
+        let span = self.makespan().as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let attained_tokens: u64 = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.report.latencies.iter())
+            .filter(|l| slo.attained(l))
+            .map(|l| l.request.gen_len)
+            .sum();
+        attained_tokens as f64 / span
+    }
+}
+
+/// Evaluates cluster serving scenarios: one shared model, per-replica
+/// [`SystemEvaluator`]s built from each replica's node.
+#[derive(Debug, Clone)]
+pub struct ClusterEvaluator {
+    model: MoeModelConfig,
+    simulated_layers: Option<u32>,
+}
+
+impl ClusterEvaluator {
+    /// Creates a cluster evaluator for `model` (every replica serves the same
+    /// model; the hardware may differ per replica).
+    pub fn new(model: MoeModelConfig) -> Self {
+        ClusterEvaluator {
+            model,
+            simulated_layers: None,
+        }
+    }
+
+    /// Overrides how many layers each replica's discrete-event engine
+    /// simulates (see [`SystemEvaluator::with_simulated_layers`]).
+    pub fn with_simulated_layers(mut self, layers: u32) -> Self {
+        self.simulated_layers = Some(layers);
+        self
+    }
+
+    /// The model the fleet serves.
+    pub fn model(&self) -> &MoeModelConfig {
+        &self.model
+    }
+
+    /// Executes one cluster scenario: synthesizes the fleet-wide request queue
+    /// (arrivals sampled once), sizes or adopts each replica's policy, routes
+    /// every request through the scenario's [`Router`] at its arrival instant,
+    /// and drains each replica's stream on a merged global clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidClusterSpec`] for an unusable fleet,
+    /// [`EngineError::NoFeasiblePolicy`] if some replica cannot run at all,
+    /// and propagates batching/simulation errors.
+    pub fn run(&self, spec: &ClusterSpec) -> Result<ClusterReport, EngineError> {
+        spec.validate()
+            .map_err(|reason| EngineError::InvalidClusterSpec { reason })?;
+        let policy_gen = spec.gen.policy_gen_for(&spec.workload);
+        let mut replicas: Vec<ReplicaEngine> = Vec::with_capacity(spec.replicas.len());
+        for (index, replica) in spec.replicas.iter().enumerate() {
+            let mut evaluator = SystemEvaluator::new(replica.node.clone(), self.model.clone());
+            if let Some(layers) = self.simulated_layers {
+                evaluator = evaluator.with_simulated_layers(layers);
+            }
+            let shape = evaluator.workload_shape(spec.system, &spec.workload, policy_gen);
+            let policy = match replica.policy {
+                Some(policy) => policy,
+                None => evaluator.policy_for(spec.system, &shape)?,
+            };
+            let batching = batching_for(&policy, &shape);
+            batching
+                .validate()
+                .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
+            replicas.push(ReplicaEngine::new(
+                ReplicaId(index),
+                evaluator,
+                spec.system,
+                policy,
+                batching,
+                spec.mode,
+                Arc::clone(&replica.scheduler),
+            ));
+        }
+
+        // One fleet-wide queue: arrivals are sampled once, not per replica.
+        let mut queue = spec.workload.synthesize_queue(
+            spec.count,
+            spec.gen,
+            spec.seed,
+            spec.system.pads_requests(),
+            &spec.arrivals,
+        );
+        queue.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+
+        let router = spec.router.as_ref();
+        let mut ctx = RouterCtx::new(spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a));
+        let mut fleet_aborted: Vec<Request> = Vec::new();
+        let mut next = 0usize;
+        loop {
+            // The earliest pending event across the fleet: a replica-internal
+            // event (completion, round end, pending admission) or the next
+            // arrival. Ties go to the arrival so a batch of co-timed requests
+            // (e.g. the offline all-at-time-zero queue, or one burst) is fully
+            // routed before any replica forms a round from it — the same
+            // ingest-then-schedule order as the single-node loop.
+            let internal = replicas
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.next_event().map(|t| (t, i)))
+                .min_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                });
+            let arrival = queue.get(next).map(|r| r.arrival);
+            let take_internal = match (internal, arrival) {
+                (Some((t, _)), Some(a)) => t < a,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_internal {
+                let (t, index) = internal.expect("internal event selected");
+                let completed = replicas[index].step_to(t)?;
+                for request in completed {
+                    router.on_complete(&request, ReplicaId(index), &mut ctx);
+                }
+            } else {
+                let request = queue[next];
+                next += 1;
+                let now = request.arrival;
+                let views: Vec<ReplicaView> = replicas
+                    .iter()
+                    .filter(|r| r.can_ever_serve(&request))
+                    .map(|r| r.view(now))
+                    .collect();
+                if views.is_empty() {
+                    fleet_aborted.push(request);
+                    continue;
+                }
+                let chosen = router.route(&request, &views, &mut ctx);
+                ctx.decision += 1;
+                let id = if views.iter().any(|v| v.id == chosen) {
+                    chosen
+                } else {
+                    views[0].id
+                };
+                replicas[id.0].enqueue(request, now);
+            }
+        }
+
+        let replica_reports: Vec<ReplicaReport> = replicas
+            .into_iter()
+            .map(ReplicaEngine::into_report)
+            .collect();
+        let totals = replica_reports
+            .iter()
+            .fold(BatchRunReport::default(), |acc, r| {
+                acc.combine(&r.report.totals)
+            });
+        Ok(ClusterReport {
+            router: router.name().to_owned(),
+            mode: spec.mode,
+            replicas: replica_reports,
+            fleet_aborted,
+            slo: spec.slo,
+            totals,
+        })
+    }
+}
+
+/// One in-flight request in a replica's continuous-batching pipeline.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request: Request,
+    partition: usize,
+    remaining: u64,
+    first_token: Option<Seconds>,
+    decode_start: Seconds,
+    wave: usize,
+}
+
+/// The per-replica serving state machine behind [`ClusterEvaluator::run`]: the
+/// single-node serving loops re-expressed as an event interface (`next_event`
+/// / `step_to`) so the cluster can interleave many replicas on one global
+/// clock. Mirrors `ServingSession::serve` semantics in both modes.
+struct ReplicaEngine {
+    id: ReplicaId,
+    evaluator: SystemEvaluator,
+    system: SystemKind,
+    schedule: ScheduleKind,
+    scheduler: Arc<dyn Scheduler>,
+    policy: Policy,
+    batching: BatchingConfig,
+    mode: ServingMode,
+    node_desc: String,
+    // Dynamic state.
+    clock: Seconds,
+    segment_start: Seconds,
+    step: Seconds,
+    parts: Vec<PartitionState>,
+    active: Vec<InFlight>,
+    ready: Vec<Request>,
+    pending_admission: Option<Seconds>,
+    round_start: Seconds,
+    round_end: Option<Seconds>,
+    in_round: Vec<Request>,
+    kv_in_round: u64,
+    step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds>,
+    // Accounting.
+    rounds: Vec<RoundReport>,
+    latencies: Vec<RequestLatency>,
+    aborted: Vec<Request>,
+    totals: BatchRunReport,
+}
+
+impl ReplicaEngine {
+    fn new(
+        id: ReplicaId,
+        evaluator: SystemEvaluator,
+        system: SystemKind,
+        policy: Policy,
+        batching: BatchingConfig,
+        mode: ServingMode,
+        scheduler: Arc<dyn Scheduler>,
+    ) -> Self {
+        let node_desc = evaluator.node().describe();
+        let parts = vec![PartitionState::default(); batching.num_micro_batches];
+        ReplicaEngine {
+            id,
+            evaluator,
+            system,
+            schedule: system.schedule(),
+            scheduler,
+            policy,
+            batching,
+            mode,
+            node_desc,
+            clock: Seconds::ZERO,
+            segment_start: Seconds::ZERO,
+            step: Seconds::ZERO,
+            parts,
+            active: Vec::new(),
+            ready: Vec::new(),
+            pending_admission: None,
+            round_start: Seconds::ZERO,
+            round_end: None,
+            in_round: Vec::new(),
+            kv_in_round: 0,
+            step_memo: HashMap::new(),
+            rounds: Vec::new(),
+            latencies: Vec::new(),
+            aborted: Vec::new(),
+            totals: BatchRunReport::default(),
+        }
+    }
+
+    /// Whether the request could ever be admitted here: its own prompt +
+    /// generation fits the per-micro-batch KV budget.
+    fn can_ever_serve(&self, request: &Request) -> bool {
+        request.max_context() <= self.batching.cache_tokens_per_micro_batch
+    }
+
+    fn kv_capacity(&self) -> u64 {
+        self.batching.cache_tokens_per_micro_batch * self.batching.num_micro_batches as u64
+    }
+
+    /// Router-visible snapshot as of `now` (between events, decode progress is
+    /// interpolated in whole steps; KV reservations are exact).
+    fn view(&self, now: Seconds) -> ReplicaView {
+        let queued_tokens: u64 = self.ready.iter().map(Request::max_context).sum();
+        let queued_kv = queued_tokens; // end-of-generation projection
+        let (active_requests, active_tokens, kv_active) = match self.mode {
+            ServingMode::Continuous => {
+                let steps_done = if self.step.as_secs() > 0.0 {
+                    ((now - self.segment_start).as_secs() / self.step.as_secs()).floor() as u64
+                } else {
+                    0
+                };
+                let tokens: u64 = self
+                    .active
+                    .iter()
+                    .map(|a| {
+                        a.remaining
+                            .saturating_sub(steps_done.min(a.remaining.saturating_sub(1)))
+                    })
+                    .sum();
+                let kv: u64 = self.parts.iter().map(|p| p.cache_tokens).sum();
+                (self.active.len(), tokens, kv)
+            }
+            ServingMode::RoundToCompletion => {
+                let tokens = match self.round_end {
+                    Some(end) => {
+                        let total: u64 = self.in_round.iter().map(|r| r.gen_len).sum();
+                        let span = (end - self.round_start).as_secs();
+                        let left = (end - now.min(end)).as_secs();
+                        let frac = if span > 0.0 {
+                            (left / span).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        (total as f64 * frac).ceil() as u64
+                    }
+                    None => 0,
+                };
+                (self.in_round.len(), tokens, self.kv_in_round)
+            }
+        };
+        ReplicaView {
+            id: self.id,
+            queued_requests: self.ready.len(),
+            active_requests,
+            outstanding_tokens: queued_tokens + active_tokens,
+            kv_capacity: self.kv_capacity(),
+            kv_projected: kv_active + queued_kv,
+        }
+    }
+
+    /// Accepts a routed request at global time `now`, arming the next
+    /// admission event.
+    fn enqueue(&mut self, request: Request, now: Seconds) {
+        self.ready.push(request);
+        let effective = now.max(self.clock);
+        let at = match self.mode {
+            ServingMode::RoundToCompletion => {
+                if self.round_end.is_some() {
+                    // The queue is only reconsidered when the round finishes.
+                    return;
+                }
+                effective
+            }
+            ServingMode::Continuous => {
+                if self.active.is_empty() {
+                    effective
+                } else {
+                    // Mid-flight admissions land on decode-step boundaries,
+                    // like the single-node loop's arrival-capped segments.
+                    self.next_step_boundary(effective)
+                }
+            }
+        };
+        self.pending_admission = Some(match self.pending_admission {
+            Some(previous) => previous.min(at),
+            None => at,
+        });
+    }
+
+    fn next_step_boundary(&self, t: Seconds) -> Seconds {
+        if self.step.as_secs() <= 0.0 {
+            return t;
+        }
+        let elapsed = (t - self.segment_start).as_secs();
+        let k = (elapsed / self.step.as_secs()).ceil();
+        self.segment_start + self.step.scale(k)
+    }
+
+    /// Time of the replica's next internal event (completion, round end or
+    /// pending admission), if any work is pending.
+    fn next_event(&self) -> Option<Seconds> {
+        let admission = if self.ready.is_empty() {
+            None
+        } else {
+            self.pending_admission
+        };
+        let completion = match self.mode {
+            ServingMode::RoundToCompletion => self.round_end,
+            ServingMode::Continuous => {
+                if self.active.is_empty() {
+                    None
+                } else {
+                    let min_remaining = self
+                        .active
+                        .iter()
+                        .map(|a| a.remaining)
+                        .min()
+                        .expect("active is non-empty");
+                    Some(self.segment_start + self.step.scale(min_remaining as f64))
+                }
+            }
+        };
+        match (admission, completion) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (a, None) => a,
+            (None, c) => c,
+        }
+    }
+
+    /// Processes the replica's internal events due at time `t`; returns the
+    /// requests that completed (for the router's completion callback).
+    fn step_to(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
+        match self.mode {
+            ServingMode::RoundToCompletion => self.step_rtc(t),
+            ServingMode::Continuous => self.step_continuous(t),
+        }
+    }
+
+    fn step_continuous(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
+        let mut completed: Vec<Request> = Vec::new();
+        if self.active.is_empty() {
+            // Idle until the event; idle time is not billed.
+            self.clock = self.clock.max(t);
+            self.segment_start = self.clock;
+        } else if t > self.segment_start {
+            let min_remaining = self
+                .active
+                .iter()
+                .map(|a| a.remaining)
+                .min()
+                .expect("active is non-empty");
+            let steps = if self.step.as_secs() <= 0.0 {
+                min_remaining
+            } else {
+                (((t - self.segment_start).as_secs() / self.step.as_secs()).round() as u64)
+                    .min(min_remaining)
+            };
+            if steps > 0 {
+                self.advance_decode(steps);
+            }
+        }
+
+        // Retire completed requests, releasing their KV reservations.
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining > 0 {
+                i += 1;
+                continue;
+            }
+            let done = self.active.swap_remove(i);
+            self.parts[done.partition].release(&done.request);
+            let per_token =
+                (self.clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
+            self.latencies.push(RequestLatency {
+                request: done.request,
+                round: done.wave,
+                ttft: done.first_token.expect("completed requests decoded") - done.request.arrival,
+                per_token,
+                completion_time: self.clock - done.request.arrival,
+            });
+            self.totals.per_token_sum += per_token;
+            self.rounds[done.wave].report.per_token_sum += per_token;
+            completed.push(done.request);
+        }
+
+        // Backfill freed slots (or run a due admission) with the waiting queue.
+        let mut membership_changed = !completed.is_empty();
+        let due = matches!(self.pending_admission, Some(p) if p <= t);
+        if !self.ready.is_empty() && (due || membership_changed) {
+            // Any pass consumes the pending admission: deferred requests
+            // re-arm on the next completion or enqueue instead of stalling on
+            // a stale timestamp.
+            self.pending_admission = None;
+            membership_changed |= self.admit_continuous(&mut completed)?;
+        } else if due {
+            self.pending_admission = None;
+        }
+        if membership_changed {
+            self.refresh_step()?;
+        }
+        Ok(completed)
+    }
+
+    /// Advances decode by `steps` whole steps from the current segment start.
+    fn advance_decode(&mut self, steps: u64) {
+        let advance = self.step.scale(steps as f64);
+        let first_token_at = self.segment_start + self.step;
+        self.clock = self.segment_start + advance;
+        self.segment_start = self.clock;
+        self.totals.decode_time += advance;
+        if let Some(last) = self.rounds.last_mut() {
+            last.report.decode_time += advance;
+        }
+        for a in self.active.iter_mut() {
+            if a.first_token.is_none() {
+                a.first_token = Some(first_token_at);
+            }
+            a.remaining = a.remaining.saturating_sub(steps);
+        }
+    }
+
+    /// Backfills the waiting queue until no further progress is possible;
+    /// returns whether anything was admitted. Mirrors the single-node
+    /// continuous loop's admission wave, including the
+    /// cold-start-vs-overlapped prefill distinction. Loops because a wave of
+    /// zero-generation requests completes inside the pass (at prefill end) and
+    /// leaves the pipeline empty again — the deferred remainder must get
+    /// another pass, exactly as the single-node loop re-runs backfill every
+    /// iteration, or those requests would be silently dropped.
+    fn admit_continuous(&mut self, completed: &mut Vec<Request>) -> Result<bool, EngineError> {
+        let mut any = false;
+        loop {
+            let progressed = self.admit_continuous_once(completed)?;
+            any |= progressed;
+            if !progressed || !self.active.is_empty() || self.ready.is_empty() {
+                return Ok(any);
+            }
+        }
+    }
+
+    /// One backfill pass over the waiting queue; returns whether anything was
+    /// admitted.
+    fn admit_continuous_once(&mut self, completed: &mut Vec<Request>) -> Result<bool, EngineError> {
+        let fill = self
+            .scheduler
+            .backfill(&self.ready, &self.batching, &self.parts);
+        let admitted = fill.admitted();
+        self.ready = fill.deferred;
+        if admitted == 0 {
+            if self.active.is_empty() && !self.ready.is_empty() {
+                // An empty pipeline refused the whole queue (padded KV charges
+                // can overflow the budget): abort rather than stall forever.
+                self.aborted.append(&mut self.ready);
+            }
+            return Ok(false);
+        }
+        let wave = self.rounds.len();
+        let count = admitted as u64;
+        let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
+        let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
+        let max_gen = fill
+            .assignments
+            .iter()
+            .flatten()
+            .map(|r| r.gen_len)
+            .max()
+            .unwrap_or(0);
+        let mean_prompt = prompt.div_ceil(count).max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+        let policy = Policy {
+            batch_size: count,
+            micro_batch_size: self.policy.micro_batch_size.min(count),
+            ..self.policy
+        };
+        let prefill = if self.active.is_empty() {
+            self.evaluator.cost_model().prefill_time(&policy, &shape)
+        } else {
+            self.evaluator
+                .cost_model()
+                .backfill_prefill_time(&policy, &shape)
+        };
+        self.clock += prefill;
+        for (partition, requests) in fill.assignments.into_iter().enumerate() {
+            for request in requests {
+                self.parts[partition].admit(&request);
+                if request.gen_len == 0 {
+                    // Nothing to decode: complete at prefill end.
+                    self.parts[partition].release(&request);
+                    self.latencies.push(RequestLatency {
+                        request,
+                        round: wave,
+                        ttft: self.clock - request.arrival,
+                        per_token: Seconds::ZERO,
+                        completion_time: self.clock - request.arrival,
+                    });
+                    completed.push(request);
+                    continue;
+                }
+                self.active.push(InFlight {
+                    request,
+                    partition,
+                    remaining: request.gen_len,
+                    first_token: None,
+                    decode_start: self.clock,
+                    wave,
+                });
+            }
+        }
+        let report = BatchRunReport {
+            requests: count,
+            prompt_tokens: prompt,
+            generated_tokens: generated,
+            prefill_time: prefill,
+            decode_time: Seconds::ZERO,
+            per_token_sum: Seconds::ZERO,
+        };
+        self.totals = self.totals.combine(&report);
+        self.rounds.push(RoundReport {
+            round: wave,
+            occupancy: self.parts.iter().map(|p| p.requests as u64).collect(),
+            kv_reserved: self.parts.iter().map(|p| p.cache_tokens).collect(),
+            prompt_token_spread: {
+                let min = self
+                    .parts
+                    .iter()
+                    .map(|p| p.prompt_tokens)
+                    .min()
+                    .unwrap_or(0);
+                let max = self
+                    .parts
+                    .iter()
+                    .map(|p| p.prompt_tokens)
+                    .max()
+                    .unwrap_or(0);
+                (min, max)
+            },
+            report,
+        });
+        Ok(true)
+    }
+
+    /// Re-derives the decode-step latency for the current occupancy and KV
+    /// load, resetting the segment origin (memoized like the single-node
+    /// loop).
+    fn refresh_step(&mut self) -> Result<(), EngineError> {
+        self.segment_start = self.clock;
+        if self.active.is_empty() {
+            self.step = Seconds::ZERO;
+            return Ok(());
+        }
+        let occupancy: Vec<u64> = self
+            .parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| p.requests as u64)
+            .collect();
+        let contexts: Vec<u64> = self
+            .parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
+            .collect();
+        let key = (occupancy.clone(), contexts.clone());
+        if let Some(&step) = self.step_memo.get(&key) {
+            self.step = step;
+            return Ok(());
+        }
+        let total_active = self.active.len() as u64;
+        let prompt_sum: u64 = self.active.iter().map(|a| a.request.input_len).sum();
+        let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
+        let max_gen = self
+            .active
+            .iter()
+            .map(|a| a.request.gen_len)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen);
+        let policy = Policy {
+            batch_size: total_active,
+            micro_batch_size: self.policy.micro_batch_size.min(total_active),
+            ..self.policy
+        };
+        let step = self.evaluator.decode_step_latency_with_loads(
+            self.schedule,
+            &policy,
+            &shape,
+            Some(&occupancy),
+            Some(&contexts),
+        )?;
+        self.step_memo.insert(key, step);
+        self.step = step;
+        Ok(())
+    }
+
+    fn step_rtc(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
+        let mut completed: Vec<Request> = Vec::new();
+        if let Some(end) = self.round_end {
+            if end <= t {
+                self.clock = end;
+                self.round_end = None;
+                self.kv_in_round = 0;
+                completed.append(&mut self.in_round);
+            }
+        }
+        if self.round_end.is_none() {
+            self.clock = self.clock.max(t);
+            let due = matches!(self.pending_admission, Some(p) if p <= t);
+            self.pending_admission = None;
+            if !self.ready.is_empty() && (due || !completed.is_empty()) {
+                self.admit_round()?;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Forms one round-to-completion round from the waiting queue; mirrors the
+    /// single-node round loop's costing and latency bookkeeping.
+    fn admit_round(&mut self) -> Result<(), EngineError> {
+        let formed = self.scheduler.plan(&self.ready, &self.batching);
+        self.ready.clear();
+        if formed.scheduled_requests() == 0 {
+            // No scheduler progress on an empty pipeline (padded KV charge
+            // overflow): abort rather than loop.
+            self.aborted.extend(formed.aborted);
+            return Ok(());
+        }
+        let round = self.rounds.len();
+        let occupancy: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.len() as u64)
+            .collect();
+        let kv_reserved: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.max_cache_tokens())
+            .collect();
+        let contexts: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| {
+                mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
+            })
+            .collect();
+        let requests: u64 = occupancy.iter().sum();
+        let prompt_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.prompt_tokens())
+            .sum();
+        let generated_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .sum();
+        let max_gen = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .max()
+            .unwrap_or(0);
+        let mean_prompt = prompt_tokens.div_ceil(requests).max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+        let policy = Policy {
+            batch_size: requests,
+            micro_batch_size: self.policy.micro_batch_size.min(requests),
+            ..self.policy
+        };
+        let key = (occupancy.clone(), contexts.clone());
+        let step = match self.step_memo.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = self.evaluator.decode_step_latency_with_loads(
+                    self.schedule,
+                    &policy,
+                    &shape,
+                    Some(&occupancy),
+                    Some(&contexts),
+                )?;
+                self.step_memo.insert(key, s);
+                s
+            }
+        };
+        let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
+        let decode_time = step.scale(max_gen as f64);
+        self.in_round = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter().copied())
+            .collect();
+        for request in &self.in_round {
+            self.latencies.push(RequestLatency {
+                request: *request,
+                round,
+                ttft: self.clock + prefill_time + step - request.arrival,
+                per_token: step,
+                completion_time: self.clock + prefill_time + step.scale(request.gen_len as f64)
+                    - request.arrival,
+            });
+        }
+        self.kv_in_round = kv_reserved.iter().sum();
+        self.round_start = self.clock;
+        self.round_end = Some(self.clock + prefill_time + decode_time);
+        let report = BatchRunReport {
+            requests,
+            prompt_tokens,
+            generated_tokens,
+            prefill_time,
+            decode_time,
+            per_token_sum: step.scale(requests as f64),
+        };
+        self.totals = self.totals.combine(&report);
+        self.rounds.push(RoundReport {
+            round,
+            occupancy,
+            kv_reserved,
+            prompt_token_spread: formed.prompt_token_spread(),
+            report,
+        });
+        self.ready = formed.aborted;
+        Ok(())
+    }
+
+    fn into_report(self) -> ReplicaReport {
+        ReplicaReport {
+            id: self.id,
+            node: self.node_desc,
+            kv_budget_per_micro_batch: self.batching.cache_tokens_per_micro_batch,
+            report: ServingReport {
+                system: self.system,
+                mode: self.mode,
+                scheduler: self.scheduler.name().to_owned(),
+                policy: self.policy,
+                schedule: self.schedule,
+                rounds: self.rounds,
+                latencies: self.latencies,
+                aborted: self.aborted,
+                totals: self.totals,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::EvalSetting;
+
+    fn view(id: usize, outstanding: u64, headroom: u64) -> ReplicaView {
+        ReplicaView {
+            id: ReplicaId(id),
+            queued_requests: 0,
+            active_requests: 0,
+            outstanding_tokens: outstanding,
+            kv_capacity: 10_000,
+            kv_projected: 10_000 - headroom,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_the_offered_views() {
+        let views = [view(0, 0, 0), view(1, 0, 0), view(2, 0, 0)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            picks.push(RoundRobin.route(&request, &views, &mut ctx).0);
+            ctx.decision += 1;
+        }
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_tokens_picks_the_emptiest_replica() {
+        let views = [view(0, 500, 100), view(1, 20, 0), view(2, 500, 900)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        assert_eq!(
+            LeastOutstandingTokens.route(&request, &views, &mut ctx),
+            ReplicaId(1)
+        );
+        // Ties break towards the lower id.
+        let tied = [view(0, 20, 0), view(1, 20, 0)];
+        assert_eq!(
+            LeastOutstandingTokens.route(&request, &tied, &mut ctx),
+            ReplicaId(0)
+        );
+    }
+
+    #[test]
+    fn kv_aware_picks_the_most_headroom() {
+        let views = [view(0, 10, 100), view(1, 900, 5000), view(2, 10, 4999)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        assert_eq!(KvAware.route(&request, &views, &mut ctx), ReplicaId(1));
+    }
+
+    #[test]
+    fn power_of_two_choices_is_seeded_and_in_range() {
+        let views = [
+            view(0, 5, 0),
+            view(1, 500, 0),
+            view(2, 50, 0),
+            view(3, 1, 0),
+        ];
+        let request = Request::new(0, 10, 10);
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut ctx = RouterCtx::new(seed);
+            (0..32)
+                .map(|_| PowerOfTwoChoices.route(&request, &views, &mut ctx).0)
+                .collect()
+        };
+        assert_eq!(picks(7), picks(7), "same seed, same decisions");
+        assert!(picks(7).iter().all(|&i| i < 4));
+        // With one view there is no choice to make.
+        let mut ctx = RouterCtx::new(1);
+        assert_eq!(
+            PowerOfTwoChoices.route(&request, &views[..1], &mut ctx),
+            ReplicaId(0)
+        );
+    }
+
+    #[test]
+    fn builtin_router_names_are_stable() {
+        let names: Vec<&str> = builtin_routers().iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec!["round-robin", "least-tokens", "power-of-two", "kv-aware"]
+        );
+    }
+
+    #[test]
+    fn replica_view_accessors() {
+        let v = ReplicaView {
+            id: ReplicaId(3),
+            queued_requests: 2,
+            active_requests: 5,
+            outstanding_tokens: 700,
+            kv_capacity: 1000,
+            kv_projected: 1200,
+        };
+        assert_eq!(v.outstanding_requests(), 7);
+        assert_eq!(v.kv_headroom(), 0, "over-commit saturates at zero");
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn slo_attainment_requires_both_deadlines() {
+        let slo = SloSpec {
+            ttft: Seconds::from_secs(10.0),
+            per_token: Seconds::from_secs(1.0),
+        };
+        let latency = |ttft: f64, per_token: f64| RequestLatency {
+            request: Request::new(0, 10, 10),
+            round: 0,
+            ttft: Seconds::from_secs(ttft),
+            per_token: Seconds::from_secs(per_token),
+            completion_time: Seconds::from_secs(ttft + 10.0 * per_token),
+        };
+        assert!(slo.attained(&latency(10.0, 1.0)));
+        assert!(!slo.attained(&latency(10.1, 1.0)));
+        assert!(!slo.attained(&latency(10.0, 1.1)));
+    }
+
+    #[test]
+    fn validate_rejects_empty_fleets_and_zero_requests() {
+        let spec = ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench());
+        assert_eq!(spec.validate(), Err(ClusterSpecError::NoReplicas));
+        let spec = spec.with_node(NodeSpec::t4_single());
+        assert_eq!(spec.validate(), Ok(()));
+        let spec = spec.with_count(0);
+        assert_eq!(spec.validate(), Err(ClusterSpecError::ZeroRequests));
+        // And the evaluator surfaces the typed error.
+        let empty = ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench());
+        let err = ClusterEvaluator::new(EvalSetting::S1.model())
+            .run(&empty)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidClusterSpec {
+                reason: ClusterSpecError::NoReplicas
+            }
+        ));
+        assert!(err.to_string().contains("zero replicas"));
+    }
+
+    #[test]
+    fn serve_spec_lifts_into_a_cluster() {
+        let spec = ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_count(64)
+            .with_seed(3)
+            .with_mode(ServingMode::Continuous)
+            .into_cluster(vec![NodeSpec::t4_single(), NodeSpec::l4_single()]);
+        assert_eq!(spec.replica_count(), 2);
+        assert_eq!(spec.mode(), ServingMode::Continuous);
+        assert_eq!(spec.router_name(), "round-robin");
+        assert_eq!(spec.replicas[0].scheduler.name(), "algo2");
+        assert_eq!(
+            spec.replicas[1].node().describe(),
+            NodeSpec::l4_single().describe()
+        );
+        assert_eq!(spec.count, 64);
+        assert_eq!(spec.seed, 3);
+    }
+
+    #[test]
+    fn homogeneous_builder_replicates_the_node() {
+        let spec = ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            4,
+        );
+        assert_eq!(spec.replica_count(), 4);
+        assert!(spec
+            .replicas
+            .iter()
+            .all(|r| r.node().describe() == NodeSpec::t4_single().describe()));
+    }
+
+    #[test]
+    fn zero_generation_queues_are_conserved_in_continuous_mode() {
+        // Regression: a wave of gen_len == 0 requests completes at prefill end
+        // and leaves the pipeline empty again; the deferred remainder used to
+        // be dropped (never re-offered, never aborted). The admission pass now
+        // loops until the queue drains, like the single-node loop.
+        let policy = Policy::offload_default(16, 8);
+        let spec = ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_replica(ReplicaSpec::new(NodeSpec::t4_single()).with_policy(policy))
+            .with_count(100)
+            .with_gen_len(0)
+            .with_seed(7)
+            .with_mode(ServingMode::Continuous);
+        let report = ClusterEvaluator::new(EvalSetting::S1.model())
+            .run(&spec)
+            .unwrap();
+        assert_eq!(
+            report.served_requests() + report.aborted_requests(),
+            100,
+            "every zero-generation request must be served or aborted"
+        );
+        assert_eq!(report.served_requests(), 100);
+        assert!(
+            report.replicas[0].report.rounds.len() >= 100 / 16,
+            "the 16-request batch cap forces multiple admission waves"
+        );
+    }
+
+    #[test]
+    fn one_replica_cluster_serves_every_request_like_a_single_node() {
+        let spec = ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_count(120)
+            .with_gen_len(32)
+            .with_seed(9)
+            .with_mode(ServingMode::Continuous);
+        let single = SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
+            .run(&spec.clone())
+            .unwrap();
+        let cluster = ClusterEvaluator::new(EvalSetting::S1.model())
+            .run(&spec.into_cluster(vec![EvalSetting::S1.node()]))
+            .unwrap();
+        assert_eq!(cluster.replicas.len(), 1);
+        assert_eq!(cluster.served_requests(), single.served_requests());
+        assert_eq!(
+            cluster.totals.generated_tokens,
+            single.totals.generated_tokens
+        );
+        assert!(cluster.fleet_aborted.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! simulated pipeline schedules into the generation-throughput numbers reported in
 //! the paper's evaluation (Fig. 7, Fig. 8, Tab. 4, Tab. 5).
 
+use crate::cluster::ClusterSpecError;
 use crate::system::SystemKind;
 use moe_hardware::{NodeSpec, Seconds};
 use moe_model::MoeModelConfig;
@@ -23,7 +24,12 @@ use std::fmt;
 pub const DEFAULT_SIMULATED_LAYERS: u32 = 4;
 
 /// Errors produced by the evaluator.
+///
+/// Marked `#[non_exhaustive]`: new serving layers add typed variants (the
+/// cluster layer added [`EngineError::InvalidClusterSpec`]), so downstream
+/// matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// No feasible policy exists for the system on this node/workload.
     NoFeasiblePolicy {
@@ -41,6 +47,12 @@ pub enum EngineError {
         /// The violated constraint.
         reason: BatchingConfigError,
     },
+    /// A cluster scenario was configured with an unusable fleet (see
+    /// [`crate::cluster::ClusterSpec::validate`]).
+    InvalidClusterSpec {
+        /// The violated constraint.
+        reason: ClusterSpecError,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -57,6 +69,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidBatchingConfig { reason } => {
                 write!(f, "invalid batching configuration: {reason}")
+            }
+            EngineError::InvalidClusterSpec { reason } => {
+                write!(f, "invalid cluster specification: {reason}")
             }
         }
     }

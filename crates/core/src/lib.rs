@@ -9,6 +9,9 @@
 //! * [`engine::SystemEvaluator`] — generates each system's policy, simulates its
 //!   decode pipeline on the discrete-event simulator and reports generation
 //!   throughput.
+//! * [`cluster::ClusterEvaluator`] — serves one fleet-wide request queue on N
+//!   (optionally heterogeneous) replicas behind a pluggable [`cluster::Router`],
+//!   merging per-replica event streams on one global clock.
 //!
 //! # Examples
 //!
@@ -28,11 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod engine;
 pub mod serving;
 pub mod settings;
 pub mod system;
 
+pub use cluster::{
+    builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, ClusterSpecError, KvAware,
+    LeastOutstandingTokens, PowerOfTwoChoices, ReplicaId, ReplicaReport, ReplicaSpec, ReplicaView,
+    RoundRobin, Router, RouterCtx, SloSpec,
+};
 pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
 pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSession};
 pub use settings::EvalSetting;

@@ -162,6 +162,35 @@ impl ServingReport {
     }
 }
 
+/// The Algorithm 2 batching limits a policy implies for a workload shape.
+///
+/// The KV budget the schedulers enforce per micro-batch is exactly the
+/// reservation the moe-policy capacity model sized the policy with:
+/// `batch_size × max_context` cache tokens, split evenly across the policy's
+/// micro-batches. The total request cap never exceeds the batch the capacity
+/// model admitted, even when `batch_size` is not a multiple of
+/// `micro_batch_size` (n_ub × μ > N). Shared by [`ServingSession`] and the
+/// per-replica engines of the cluster layer ([`crate::cluster`]).
+pub(crate) fn batching_for(policy: &Policy, shape: &WorkloadShape) -> BatchingConfig {
+    let n_ub = policy.num_micro_batches();
+    BatchingConfig {
+        num_micro_batches: n_ub as usize,
+        max_requests_per_micro_batch: policy.micro_batch_size as usize,
+        max_scheduled_requests: policy.batch_size as usize,
+        cache_tokens_per_micro_batch: (policy.batch_size * shape.max_context()).div_ceil(n_ub),
+    }
+}
+
+/// Mean decode context of one micro-batch: `(prompt + end-of-generation KV) /
+/// 2` per request — the token balance the scheduler produced, fed to the
+/// simulator so KV-heavy micro-batches straggle. Shared by both serving loops
+/// and the cluster layer's per-replica engines so the costing cannot drift.
+pub(crate) fn mean_decode_context(prompt_tokens: u64, cache_tokens: u64, requests: u64) -> u64 {
+    (prompt_tokens + cache_tokens)
+        .div_ceil(2 * requests.max(1))
+        .max(1)
+}
+
 /// A request decoding in the continuous-batching pipeline.
 #[derive(Debug, Clone, Copy)]
 struct ActiveRequest {
@@ -212,19 +241,7 @@ impl<'a> ServingSession<'a> {
         policy: Policy,
         shape: WorkloadShape,
     ) -> Self {
-        // The KV budget Algorithm 2 enforces per micro-batch is exactly the
-        // reservation the moe-policy capacity model sized the policy with:
-        // `batch_size × max_context` cache tokens, split evenly across the
-        // policy's micro-batches.
-        let n_ub = policy.num_micro_batches();
-        let batching = BatchingConfig {
-            num_micro_batches: n_ub as usize,
-            max_requests_per_micro_batch: policy.micro_batch_size as usize,
-            // Rounds never exceed the batch the capacity model admitted, even when
-            // `batch_size` is not a multiple of `micro_batch_size` (n_ub × μ > N).
-            max_scheduled_requests: policy.batch_size as usize,
-            cache_tokens_per_micro_batch: (policy.batch_size * shape.max_context()).div_ceil(n_ub),
-        };
+        let batching = batching_for(&policy, &shape);
         ServingSession {
             evaluator,
             system,
@@ -355,16 +372,11 @@ impl<'a> ServingSession<'a> {
                 .iter()
                 .map(|mb| mb.max_cache_tokens())
                 .collect();
-            // Mean decode context per micro-batch ((prompt + end-of-gen) / 2 per
-            // request): the scheduler's token balance, fed to the simulator so
-            // KV-heavy micro-batches straggle.
             let contexts: Vec<u64> = formed
                 .micro_batches
                 .iter()
                 .map(|mb| {
-                    (mb.prompt_tokens() + mb.max_cache_tokens())
-                        .div_ceil(2 * mb.len() as u64)
-                        .max(1)
+                    mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
                 })
                 .collect();
             let requests: u64 = occupancy.iter().sum();
@@ -597,11 +609,7 @@ impl<'a> ServingSession<'a> {
             let contexts: Vec<u64> = parts
                 .iter()
                 .filter(|p| p.requests > 0)
-                .map(|p| {
-                    (p.prompt_tokens + p.cache_tokens)
-                        .div_ceil(2 * p.requests as u64)
-                        .max(1)
-                })
+                .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
                 .collect();
             let total_active = active.len() as u64;
             let prompt_sum: u64 = active.iter().map(|a| a.request.input_len).sum();
@@ -738,15 +746,15 @@ impl<'a> ServingSession<'a> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ServeSpec {
-    system: SystemKind,
-    workload: WorkloadSpec,
-    count: usize,
-    gen: GenLens,
-    seed: u64,
-    mode: ServingMode,
-    arrivals: ArrivalProcess,
-    scheduler: Arc<dyn Scheduler>,
-    policy: Option<Policy>,
+    pub(crate) system: SystemKind,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) count: usize,
+    pub(crate) gen: GenLens,
+    pub(crate) seed: u64,
+    pub(crate) mode: ServingMode,
+    pub(crate) arrivals: ArrivalProcess,
+    pub(crate) scheduler: Arc<dyn Scheduler>,
+    pub(crate) policy: Option<Policy>,
 }
 
 impl ServeSpec {

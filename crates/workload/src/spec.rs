@@ -69,6 +69,28 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Scales the offered load by `factor` — the fleet-wide arrival sampling
+    /// used by cluster serving, where an N-replica fleet is driven at N times
+    /// the single-replica rate from *one* shared arrival stream: Poisson rates
+    /// multiply, burst periods divide, and immediate arrivals are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(factor > 0.0, "load scale factor must be positive");
+        match *self {
+            ArrivalProcess::Immediate => ArrivalProcess::Immediate,
+            ArrivalProcess::Poisson { rate_per_sec } => ArrivalProcess::Poisson {
+                rate_per_sec: rate_per_sec * factor,
+            },
+            ArrivalProcess::Burst { size, period_secs } => ArrivalProcess::Burst {
+                size,
+                period_secs: period_secs / factor,
+            },
+        }
+    }
+
     /// Stamps `requests` (in id order) with arrival times drawn from this process.
     ///
     /// # Panics
@@ -454,6 +476,36 @@ mod tests {
             (span - 500.0).abs() / 500.0 < 0.15,
             "2000 arrivals at 4 rps should span ~500 s, got {span}"
         );
+    }
+
+    #[test]
+    fn scaled_arrivals_multiply_the_offered_load() {
+        let poisson = ArrivalProcess::Poisson { rate_per_sec: 2.0 };
+        assert_eq!(
+            poisson.scaled(4.0),
+            ArrivalProcess::Poisson { rate_per_sec: 8.0 }
+        );
+        let burst = ArrivalProcess::Burst {
+            size: 10,
+            period_secs: 8.0,
+        };
+        assert_eq!(
+            burst.scaled(4.0),
+            ArrivalProcess::Burst {
+                size: 10,
+                period_secs: 2.0,
+            }
+        );
+        assert_eq!(
+            ArrivalProcess::Immediate.scaled(4.0),
+            ArrivalProcess::Immediate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scaling_by_zero_panics() {
+        let _ = ArrivalProcess::Poisson { rate_per_sec: 1.0 }.scaled(0.0);
     }
 
     #[test]
