@@ -2,9 +2,12 @@
 //! 2×T4 (S8) and 4×T4 (S9), MTBench prompts, generation lengths {32, 64, 128, 256}.
 //! Also reports the Mixtral 8x22B S6→S7 scaling shown in Fig. 7.
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig08_tensor_parallel`.
+//! Run with `cargo run --release -p moe-bench --bin fig08_tensor_parallel`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{
+    fmt3, json_output_path, obj, print_csv, print_header, print_row, write_rows, JsonValue,
+};
 use moe_lightning::{EvalSetting, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
@@ -12,6 +15,7 @@ fn main() {
     let spec = WorkloadSpec::mtbench();
     let gen_lens = [32u64, 64, 128, 256];
     let widths = [28usize, 10, 10, 10, 10];
+    let mut json_rows: Vec<JsonValue> = Vec::new();
 
     for (pair, system) in [
         ([EvalSetting::S8, EvalSetting::S9], SystemKind::MoeLightning),
@@ -39,6 +43,13 @@ fn main() {
                 row.push(throughput);
                 cells.push(fmt3(throughput));
                 csv.push(fmt3(throughput));
+                json_rows.push(obj(vec![
+                    ("setting", setting.to_string().into()),
+                    ("node", setting.node().describe().into()),
+                    ("system", system.name().into()),
+                    ("gen_len", gen.into()),
+                    ("tokens_per_sec", throughput.into()),
+                ]));
             }
             per_setting.push(row);
             print_row(&cells, &widths);
@@ -46,8 +57,14 @@ fn main() {
         }
         if per_setting.len() == 2 {
             let mut cells = vec!["scaling (4xT4 / 2xT4)".to_owned()];
-            for (a, b) in per_setting[0].iter().zip(&per_setting[1]) {
+            for ((a, b), gen) in per_setting[0].iter().zip(&per_setting[1]).zip(gen_lens) {
                 cells.push(if *a > 0.0 {
+                    json_rows.push(obj(vec![
+                        ("setting", "scaling".into()),
+                        ("system", system.name().into()),
+                        ("gen_len", gen.into()),
+                        ("speedup", (b / a).into()),
+                    ]));
                     format!("{:.2}x", b / a)
                 } else {
                     "n/a".into()
@@ -57,4 +74,8 @@ fn main() {
         }
     }
     println!("\n(throughput in generated tokens/s)");
+
+    if let Some(path) = json_output_path() {
+        write_rows(&path, "fig08", json_rows);
+    }
 }

@@ -5,9 +5,12 @@
 //! Each system's policy comes from its `PolicyGenerator` (the `policy` column),
 //! iterated generically through `SystemEvaluator::policy_generator`.
 //!
-//! Run with `cargo run --release -p moe-bench --bin tab04_helm`.
+//! Run with `cargo run --release -p moe-bench --bin tab04_helm`; pass
+//! `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{
+    fmt3, json_output_path, obj, print_csv, print_header, print_row, write_rows, JsonValue,
+};
 use moe_lightning::{EvalSetting, ServeSpec, ServingMode, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
@@ -30,6 +33,7 @@ fn main() {
     ];
     let modes = [ServingMode::RoundToCompletion, ServingMode::Continuous];
     let widths = [22usize, 12, 6, 14, 8, 8, 12];
+    let mut json_rows: Vec<JsonValue> = Vec::new();
 
     for spec in &workloads {
         let gen = spec.default_gen_lens[0];
@@ -85,6 +89,18 @@ fn main() {
                                 n_over_mu.to_string(),
                                 fmt3(ttft.as_secs()),
                             ]);
+                            json_rows.push(obj(vec![
+                                ("workload", spec.name.clone().into()),
+                                ("setting", setting.to_string().into()),
+                                ("system", system.name().into()),
+                                ("generator", generator.into()),
+                                ("mode", mode.label().into()),
+                                ("gen_len", gen.into()),
+                                ("tokens_per_sec", throughput.into()),
+                                ("micro_batch_size", mu.into()),
+                                ("num_micro_batches", n_over_mu.into()),
+                                ("ttft_p50_s", ttft.as_secs().into()),
+                            ]));
                         }
                         Err(e) => print_row(
                             &[
@@ -102,5 +118,9 @@ fn main() {
                 }
             }
         }
+    }
+
+    if let Some(path) = json_output_path() {
+        write_rows(&path, "tab04", json_rows);
     }
 }

@@ -7,6 +7,7 @@
 //! plotting dependencies. See `EXPERIMENTS.md` at the workspace root for the
 //! recorded outputs and the paper-vs-reproduction discussion.
 
+pub mod fleet;
 pub mod json;
 
 pub use json::{json_output_path, obj, write_rows, JsonValue};

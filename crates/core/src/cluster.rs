@@ -22,7 +22,17 @@
 //! fleet-wide latency summaries, fleet throughput over the global makespan,
 //! and goodput under per-request SLOs ([`SloSpec`]: TTFT and per-token
 //! deadlines, attainment percentage).
+//!
+//! The fleet is not necessarily static: a [`FleetTimeline`] injects failures,
+//! drains and joins mid-run, an [`Autoscaler`] grows or shrinks the fleet from
+//! observed load, and an [`AdmissionController`] may reject hopeless arrivals
+//! outright — see [`crate::dynamics`]. The report's
+//! [`ClusterReport::availability`] section records what churn did to the run.
 
+use crate::dynamics::{
+    AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,
+    FleetView, ScaleBounds, ScaleDecision,
+};
 use crate::engine::{EngineError, SystemEvaluator};
 use crate::serving::{
     batching_for, mean_decode_context, RoundReport, ServeSpec, ServingMode, ServingReport,
@@ -33,8 +43,8 @@ use moe_model::MoeModelConfig;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
 use moe_workload::{
-    Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary,
-    PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
+    Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens,
+    LatencySummary, PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +86,12 @@ pub struct ReplicaView {
     /// KV tokens already reserved by active requests plus the end-of-generation
     /// projection of everything queued.
     pub kv_projected: u64,
+    /// Arrival time of the oldest request routed here but not yet admitted —
+    /// the head-of-queue age a production front-end tracks. `None` when
+    /// nothing is queued. Lets autoscalers spot requests that are *already*
+    /// certain to miss a TTFT deadline long before their completion records
+    /// say so.
+    pub oldest_queued_arrival: Option<Seconds>,
 }
 
 impl ReplicaView {
@@ -122,6 +138,12 @@ impl RouterCtx {
 /// strategies can track in-flight work. `route` must return the id of one of
 /// the offered views; the engine falls back to the first offered view
 /// otherwise.
+///
+/// Fleets may churn mid-run ([`crate::dynamics`]): the engine announces
+/// membership changes through [`Router::on_replica_down`] (failures and
+/// completed drains) and [`Router::on_replica_up`] (joins that finished
+/// provisioning). Both default to no-ops so existing routers compile
+/// unchanged; a draining replica simply stops appearing in the offered views.
 pub trait Router: fmt::Debug + Send + Sync {
     /// Short stable identifier recorded in cluster reports and table rows.
     fn name(&self) -> &'static str;
@@ -130,9 +152,25 @@ pub trait Router: fmt::Debug + Send + Sync {
     /// ordered by replica id.
     fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId;
 
-    /// Completion callback: `request` finished on `replica` (in
-    /// round-to-completion mode, fired when the request's round retires).
-    fn on_complete(&self, _request: &Request, _replica: ReplicaId, _ctx: &mut RouterCtx) {}
+    /// Completion callback: `request` finished on `replica` at global time
+    /// `now` — in round-to-completion mode this fires at the request's actual
+    /// completion step, not in bulk at round retirement.
+    fn on_complete(
+        &self,
+        _request: &Request,
+        _replica: ReplicaId,
+        _now: Seconds,
+        _ctx: &mut RouterCtx,
+    ) {
+    }
+
+    /// Membership callback: `replica` left the fleet at `now` (failure, or a
+    /// drain whose last in-flight request finished).
+    fn on_replica_down(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
+
+    /// Membership callback: `replica` finished provisioning at `now` and now
+    /// appears in routing views.
+    fn on_replica_up(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
 }
 
 /// Cycles through the offered replicas in id order, one request each — the
@@ -282,6 +320,9 @@ pub enum ClusterSpecError {
     NoReplicas,
     /// The scenario asks for zero requests — nothing to route or serve.
     ZeroRequests,
+    /// The autoscaler's [`ScaleBounds`] are inverted (`min_replicas` exceeds
+    /// `max_replicas`) or allow an empty fleet (`max_replicas` of zero).
+    InvalidScaleBounds,
 }
 
 impl fmt::Display for ClusterSpecError {
@@ -289,6 +330,9 @@ impl fmt::Display for ClusterSpecError {
         match self {
             ClusterSpecError::NoReplicas => f.write_str("the fleet has zero replicas"),
             ClusterSpecError::ZeroRequests => f.write_str("the scenario has zero requests"),
+            ClusterSpecError::InvalidScaleBounds => {
+                f.write_str("the autoscaler bounds are inverted or allow an empty fleet")
+            }
         }
     }
 }
@@ -355,6 +399,11 @@ pub struct ClusterSpec {
     pub(crate) arrivals: ArrivalProcess,
     pub(crate) router: Arc<dyn Router>,
     pub(crate) slo: Option<SloSpec>,
+    pub(crate) timeline: FleetTimeline,
+    pub(crate) autoscaler: Option<(Arc<dyn Autoscaler>, ScaleBounds)>,
+    pub(crate) admission: Arc<dyn AdmissionController>,
+    pub(crate) scale_template: Option<ReplicaSpec>,
+    pub(crate) fleet_scaled_arrivals: bool,
 }
 
 impl ClusterSpec {
@@ -375,6 +424,11 @@ impl ClusterSpec {
             arrivals: ArrivalProcess::Immediate,
             router: Arc::new(RoundRobin),
             slo: None,
+            timeline: FleetTimeline::new(),
+            autoscaler: None,
+            admission: Arc::new(AdmitAll),
+            scale_template: None,
+            fleet_scaled_arrivals: false,
         }
     }
 
@@ -454,17 +508,65 @@ impl ClusterSpec {
         self
     }
 
+    /// Injects a schedule of membership events (failures, drains, joins)
+    /// executed mid-run on the global clock.
+    pub fn with_timeline(mut self, timeline: FleetTimeline) -> Self {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Installs an [`Autoscaler`] whose Join/Drain decisions the control plane
+    /// executes within `bounds` (min/max fleet size, cooldown). Scale-ups
+    /// provision the scale template (see [`Self::with_scale_template`]) after
+    /// the timeline's provisioning delay.
+    pub fn with_autoscaler(mut self, scaler: Arc<dyn Autoscaler>, bounds: ScaleBounds) -> Self {
+        self.autoscaler = Some((scaler, bounds));
+        self
+    }
+
+    /// Installs an [`AdmissionController`] consulted once per arrival, after
+    /// routing: a refused request is recorded as rejected instead of queued.
+    /// Defaults to [`AdmitAll`]. Requests re-routed by a failure or drain are
+    /// not re-screened — they were already accepted into the system.
+    pub fn with_admission(mut self, admission: Arc<dyn AdmissionController>) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the replica spec autoscaler scale-ups provision (defaults to a
+    /// clone of the fleet's first replica).
+    pub fn with_scale_template(mut self, template: ReplicaSpec) -> Self {
+        self.scale_template = Some(template);
+        self
+    }
+
+    /// Stamps arrival times *incrementally*, scaling the arrival process's
+    /// instantaneous rate by the number of currently-serving replicas (see
+    /// [`ArrivalClock`]): an open-loop population whose offered load tracks
+    /// the advertised capacity. With a static fleet of `n` replicas this
+    /// reproduces `with_arrivals(process.scaled(n as f64))` exactly.
+    pub fn with_fleet_scaled_arrivals(mut self) -> Self {
+        self.fleet_scaled_arrivals = true;
+        self
+    }
+
     /// Checks that the scenario can serve at least one request.
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint (empty fleet, zero requests).
+    /// Returns the first violated constraint (empty fleet, zero requests,
+    /// inverted autoscaler bounds).
     pub fn validate(&self) -> Result<(), ClusterSpecError> {
         if self.replicas.is_empty() {
             return Err(ClusterSpecError::NoReplicas);
         }
         if self.count == 0 {
             return Err(ClusterSpecError::ZeroRequests);
+        }
+        if let Some((_, bounds)) = &self.autoscaler {
+            if bounds.min_replicas > bounds.max_replicas || bounds.max_replicas == 0 {
+                return Err(ClusterSpecError::InvalidScaleBounds);
+            }
         }
         Ok(())
     }
@@ -482,6 +584,21 @@ impl ClusterSpec {
     /// The name of the routing strategy.
     pub fn router_name(&self) -> &'static str {
         self.router.name()
+    }
+
+    /// The name of the admission controller.
+    pub fn admission_name(&self) -> &'static str {
+        self.admission.name()
+    }
+
+    /// The name of the autoscaler, if one is installed.
+    pub fn autoscaler_name(&self) -> Option<&'static str> {
+        self.autoscaler.as_ref().map(|(s, _)| s.name())
+    }
+
+    /// The injected membership-event schedule.
+    pub fn timeline(&self) -> &FleetTimeline {
+        &self.timeline
     }
 }
 
@@ -514,6 +631,11 @@ impl ServeSpec {
             arrivals: self.arrivals,
             router: Arc::new(RoundRobin),
             slo: None,
+            timeline: FleetTimeline::new(),
+            autoscaler: None,
+            admission: Arc::new(AdmitAll),
+            scale_template: None,
+            fleet_scaled_arrivals: false,
         }
     }
 }
@@ -541,10 +663,14 @@ pub struct ClusterReport {
     /// Per-replica reports, in replica-id order.
     pub replicas: Vec<ReplicaReport>,
     /// Requests no replica could ever serve (their prompt + generation alone
-    /// overflows every replica's per-micro-batch KV budget), in arrival order.
+    /// overflows every replica's per-micro-batch KV budget, or no replica was
+    /// alive to take them), in arrival order.
     pub fleet_aborted: Vec<Request>,
     /// The SLO recorded on the scenario, if any.
     pub slo: Option<SloSpec>,
+    /// What churn, autoscaling and admission control did to the run:
+    /// rejections, re-routes, membership events, replica-seconds lost.
+    pub availability: AvailabilityReport,
     /// Combined token/time totals across all replicas.
     pub totals: BatchRunReport,
 }
@@ -566,6 +692,17 @@ impl ClusterReport {
                 .iter()
                 .map(|r| r.report.aborted.len())
                 .sum::<usize>()
+    }
+
+    /// Number of requests the admission controller rejected (never queued).
+    pub fn rejected_requests(&self) -> usize {
+        self.availability.rejected.len()
+    }
+
+    /// Every request the scenario synthesized lands in exactly one bucket:
+    /// served, aborted, or rejected. This is their sum (the arrival count).
+    pub fn total_requests(&self) -> usize {
+        self.served_requests() + self.aborted_requests() + self.rejected_requests()
     }
 
     /// Every served request's latency record, across all replicas.
@@ -613,9 +750,9 @@ impl ClusterReport {
     }
 
     /// Percentage (0–100) of *all* requests that were served and met `slo`
-    /// (aborted requests count as missed).
+    /// (aborted and admission-rejected requests count as missed).
     pub fn slo_attainment_pct(&self, slo: &SloSpec) -> f64 {
-        let total = self.served_requests() + self.aborted_requests();
+        let total = self.total_requests();
         if total == 0 {
             return 0.0;
         }
@@ -640,6 +777,28 @@ impl ClusterReport {
             .iter()
             .flat_map(|r| r.report.latencies.iter())
             .filter(|l| slo.attained(l))
+            .map(|l| l.request.gen_len)
+            .sum();
+        attained_tokens as f64 / span
+    }
+
+    /// Fleet goodput in tokens/s counting only requests churn never touched:
+    /// SLO-attaining requests that were not re-routed by a failure or drain.
+    /// The gap to [`Self::goodput`] is the goodput churn-displaced requests
+    /// still salvaged; the gap to a churn-free run of the same scenario is the
+    /// goodput churn destroyed.
+    pub fn unchurned_goodput(&self, slo: &SloSpec) -> f64 {
+        let span = self.makespan().as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let rerouted: std::collections::HashSet<u64> =
+            self.availability.rerouted.iter().copied().collect();
+        let attained_tokens: u64 = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.report.latencies.iter())
+            .filter(|l| slo.attained(l) && !rerouted.contains(&l.request.id))
             .map(|l| l.request.gen_len)
             .sum();
         attained_tokens as f64 / span
@@ -676,10 +835,45 @@ impl ClusterEvaluator {
         &self.model
     }
 
+    /// Builds one replica's event machine: sizes (or adopts) its policy for
+    /// the scenario's workload shape and validates the implied batching.
+    fn build_engine(
+        &self,
+        spec: &ClusterSpec,
+        replica: &ReplicaSpec,
+        index: usize,
+        policy_gen: u64,
+    ) -> Result<ReplicaEngine, EngineError> {
+        let mut evaluator = SystemEvaluator::new(replica.node.clone(), self.model.clone());
+        if let Some(layers) = self.simulated_layers {
+            evaluator = evaluator.with_simulated_layers(layers);
+        }
+        let shape = evaluator.workload_shape(spec.system, &spec.workload, policy_gen);
+        let policy = match replica.policy {
+            Some(policy) => policy,
+            None => evaluator.policy_for(spec.system, &shape)?,
+        };
+        let batching = batching_for(&policy, &shape);
+        batching
+            .validate()
+            .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
+        Ok(ReplicaEngine::new(
+            ReplicaId(index),
+            evaluator,
+            spec.system,
+            policy,
+            batching,
+            spec.mode,
+            Arc::clone(&replica.scheduler),
+        ))
+    }
+
     /// Executes one cluster scenario: synthesizes the fleet-wide request queue
     /// (arrivals sampled once), sizes or adopts each replica's policy, routes
     /// every request through the scenario's [`Router`] at its arrival instant,
-    /// and drains each replica's stream on a merged global clock.
+    /// and drains each replica's stream on a merged global clock — executing
+    /// the scenario's [`FleetTimeline`], [`Autoscaler`] and
+    /// [`AdmissionController`] along the way.
     ///
     /// # Errors
     ///
@@ -690,105 +884,140 @@ impl ClusterEvaluator {
         spec.validate()
             .map_err(|reason| EngineError::InvalidClusterSpec { reason })?;
         let policy_gen = spec.gen.policy_gen_for(&spec.workload);
-        let mut replicas: Vec<ReplicaEngine> = Vec::with_capacity(spec.replicas.len());
+        let mut engines: Vec<ReplicaEngine> = Vec::with_capacity(spec.replicas.len());
         for (index, replica) in spec.replicas.iter().enumerate() {
-            let mut evaluator = SystemEvaluator::new(replica.node.clone(), self.model.clone());
-            if let Some(layers) = self.simulated_layers {
-                evaluator = evaluator.with_simulated_layers(layers);
-            }
-            let shape = evaluator.workload_shape(spec.system, &spec.workload, policy_gen);
-            let policy = match replica.policy {
-                Some(policy) => policy,
-                None => evaluator.policy_for(spec.system, &shape)?,
-            };
-            let batching = batching_for(&policy, &shape);
-            batching
-                .validate()
-                .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
-            replicas.push(ReplicaEngine::new(
-                ReplicaId(index),
-                evaluator,
-                spec.system,
-                policy,
-                batching,
-                spec.mode,
-                Arc::clone(&replica.scheduler),
-            ));
+            engines.push(self.build_engine(spec, replica, index, policy_gen)?);
         }
 
         // One fleet-wide queue: arrivals are sampled once, not per replica.
+        // Under fleet-scaled arrivals the stamp seed matches the pre-stamped
+        // path so a static fleet reproduces `with_arrivals(scaled(n))`.
+        let arrival_seed = spec.seed.wrapping_add(0x51_7c_c1_b7);
+        let mut arrival_clock = spec
+            .fleet_scaled_arrivals
+            .then(|| ArrivalClock::new(spec.arrivals, arrival_seed));
         let mut queue = spec.workload.synthesize_queue(
             spec.count,
             spec.gen,
             spec.seed,
             spec.system.pads_requests(),
-            &spec.arrivals,
-        );
-        queue.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-
-        let router = spec.router.as_ref();
-        let mut ctx = RouterCtx::new(spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a));
-        let mut fleet_aborted: Vec<Request> = Vec::new();
-        let mut next = 0usize;
-        loop {
-            // The earliest pending event across the fleet: a replica-internal
-            // event (completion, round end, pending admission) or the next
-            // arrival. Ties go to the arrival so a batch of co-timed requests
-            // (e.g. the offline all-at-time-zero queue, or one burst) is fully
-            // routed before any replica forms a round from it — the same
-            // ingest-then-schedule order as the single-node loop.
-            let internal = replicas
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| r.next_event().map(|t| (t, i)))
-                .min_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.1.cmp(&b.1))
-                });
-            let arrival = queue.get(next).map(|r| r.arrival);
-            let take_internal = match (internal, arrival) {
-                (Some((t, _)), Some(a)) => t < a,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if take_internal {
-                let (t, index) = internal.expect("internal event selected");
-                let completed = replicas[index].step_to(t)?;
-                for request in completed {
-                    router.on_complete(&request, ReplicaId(index), &mut ctx);
-                }
+            if spec.fleet_scaled_arrivals {
+                // Stamped lazily at dispatch, at the then-current fleet size.
+                &ArrivalProcess::Immediate
             } else {
+                &spec.arrivals
+            },
+        );
+        if !spec.fleet_scaled_arrivals {
+            queue.sort_by(|a, b| {
+                a.arrival
+                    .partial_cmp(&b.arrival)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+
+        let timeline = spec.timeline.sorted_events();
+        let mut cursor = 0usize;
+        let mut plane = FleetLoop {
+            cluster: self,
+            spec,
+            policy_gen,
+            engines,
+            ctx: RouterCtx::new(spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a)),
+            fleet_aborted: Vec::new(),
+            rejected: Vec::new(),
+            rerouted: std::collections::BTreeSet::new(),
+            failures: Vec::new(),
+            drains: Vec::new(),
+            joins: Vec::new(),
+            departures: Vec::new(),
+            cancelled_joins: 0,
+            recent: Vec::new(),
+            last_scale: None,
+        };
+
+        let mut next = 0usize;
+        let mut stamped_through = 0usize;
+        loop {
+            // Lazily stamp the next arrival at the current fleet size.
+            if let Some(clock) = arrival_clock.as_mut() {
+                if next < queue.len() && next >= stamped_through {
+                    let live = plane.serving_count().max(1);
+                    queue[next].arrival = clock.next(live as f64);
+                    stamped_through = next + 1;
+                }
+            }
+            // The earliest pending event across the fleet. Priority at ties:
+            // control events (timeline actions, provisioning completions)
+            // first — a failure at time t must not route the arrival at t to
+            // the dead replica — then arrivals, then replica-internal events,
+            // so a batch of co-timed requests (e.g. the offline
+            // all-at-time-zero queue, or one burst) is fully routed before any
+            // replica forms a round from it, the same ingest-then-schedule
+            // order as the single-node loop.
+            let timeline_next = (cursor < timeline.len()).then(|| timeline[cursor].0);
+            let ready_next = plane.next_provisioning_ready();
+            // `None` means a ready event; timeline actions win ties so an
+            // injected failure at the exact instant a join lands is still
+            // applied to the pre-join fleet.
+            let control: Option<(Seconds, Option<usize>)> = match (timeline_next, ready_next) {
+                (Some(t), Some((r, _))) if t <= r => Some((t, None)),
+                (_, Some((r, i))) => Some((r, Some(i))),
+                (Some(t), None) => Some((t, None)),
+                (None, None) => None,
+            };
+            let arrival = queue.get(next).map(|r| r.arrival);
+            let internal = plane.next_internal();
+
+            let le = |a: Seconds, b: Option<Seconds>| b.is_none_or(|b| a <= b);
+            if let Some((t, ready_index)) =
+                control.filter(|&(t, _)| le(t, arrival) && le(t, internal.map(|(time, _)| time)))
+            {
+                match ready_index {
+                    None => {
+                        let (_, action) = timeline[cursor].clone();
+                        cursor += 1;
+                        plane.apply_action(t, action)?;
+                    }
+                    Some(index) => plane.finish_provisioning(index, t),
+                }
+                // Membership just changed (or a failure re-routed late work):
+                // let the autoscaler react now, not at the next arrival.
+                plane.maybe_autoscale(t)?;
+            } else if let Some(at) = arrival.filter(|&a| le(a, internal.map(|(time, _)| time))) {
                 let request = queue[next];
                 next += 1;
-                let now = request.arrival;
-                let views: Vec<ReplicaView> = replicas
-                    .iter()
-                    .filter(|r| r.can_ever_serve(&request))
-                    .map(|r| r.view(now))
-                    .collect();
-                if views.is_empty() {
-                    fleet_aborted.push(request);
-                    continue;
+                plane.dispatch(request, at, true);
+                plane.maybe_autoscale(at)?;
+            } else if let Some((t, index)) = internal {
+                let completed = plane.engines[index].step_to(t)?;
+                let had_completions = !completed.is_empty();
+                plane.note_completions(index, completed);
+                if plane.engines[index].drain_finished() {
+                    plane.depart(index, t);
                 }
-                let chosen = router.route(&request, &views, &mut ctx);
-                ctx.decision += 1;
-                let id = if views.iter().any(|v| v.id == chosen) {
-                    chosen
-                } else {
-                    views[0].id
-                };
-                replicas[id.0].enqueue(request, now);
+                if had_completions {
+                    plane.maybe_autoscale(t)?;
+                }
+            } else {
+                break;
             }
         }
 
-        let replica_reports: Vec<ReplicaReport> = replicas
+        let FleetLoop {
+            engines,
+            fleet_aborted,
+            rejected,
+            rerouted,
+            failures,
+            drains,
+            joins,
+            departures,
+            cancelled_joins,
+            ..
+        } = plane;
+        let replica_reports: Vec<ReplicaReport> = engines
             .into_iter()
             .map(ReplicaEngine::into_report)
             .collect();
@@ -797,14 +1026,350 @@ impl ClusterEvaluator {
             .fold(BatchRunReport::default(), |acc, r| {
                 acc.combine(&r.report.totals)
             });
+        // Replica-seconds lost: departed capacity, measured to the run's end
+        // (the global makespan over every served request).
+        let end = replica_reports
+            .iter()
+            .flat_map(|r| r.report.latencies.iter())
+            .map(|l| l.request.arrival + l.completion_time)
+            .fold(Seconds::ZERO, Seconds::max);
+        let replica_seconds_lost = departures
+            .iter()
+            .fold(Seconds::ZERO, |acc, (_, at)| acc + (end - *at));
         Ok(ClusterReport {
-            router: router.name().to_owned(),
+            router: spec.router.name().to_owned(),
             mode: spec.mode,
             replicas: replica_reports,
             fleet_aborted,
             slo: spec.slo,
+            availability: AvailabilityReport {
+                rejected,
+                rerouted: rerouted.into_iter().collect(),
+                failures,
+                drains,
+                joins,
+                cancelled_joins,
+                replica_seconds_lost,
+            },
             totals,
         })
+    }
+}
+
+/// How many of the fleet's most recent completions the control plane keeps
+/// for [`Autoscaler`] observations.
+const RECENT_COMPLETION_WINDOW: usize = 128;
+
+/// The mutable state of one [`ClusterEvaluator::run`] invocation: the replica
+/// event machines plus the control plane's bookkeeping (membership, admission,
+/// autoscaling, availability accounting).
+struct FleetLoop<'a> {
+    cluster: &'a ClusterEvaluator,
+    spec: &'a ClusterSpec,
+    policy_gen: u64,
+    engines: Vec<ReplicaEngine>,
+    ctx: RouterCtx,
+    fleet_aborted: Vec<Request>,
+    rejected: Vec<Request>,
+    rerouted: std::collections::BTreeSet<u64>,
+    failures: Vec<(ReplicaId, Seconds)>,
+    drains: Vec<(ReplicaId, Seconds)>,
+    joins: Vec<(ReplicaId, Seconds)>,
+    departures: Vec<(ReplicaId, Seconds)>,
+    cancelled_joins: u64,
+    recent: Vec<RequestLatency>,
+    last_scale: Option<Seconds>,
+}
+
+impl FleetLoop<'_> {
+    fn serving_count(&self) -> usize {
+        self.engines.iter().filter(|e| e.is_serving()).count()
+    }
+
+    fn provisioning_count(&self) -> usize {
+        self.engines
+            .iter()
+            .filter(|e| matches!(e.lifecycle, Lifecycle::Provisioning { .. }))
+            .count()
+    }
+
+    fn draining_count(&self) -> usize {
+        self.engines
+            .iter()
+            .filter(|e| matches!(e.lifecycle, Lifecycle::Draining { .. }))
+            .count()
+    }
+
+    /// The earliest provisioning completion, if any replica is coming up.
+    fn next_provisioning_ready(&self) -> Option<(Seconds, usize)> {
+        self.engines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e.lifecycle {
+                Lifecycle::Provisioning { ready_at } => Some((ready_at, i)),
+                _ => None,
+            })
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            })
+    }
+
+    /// The earliest replica-internal event (completion, round end, pending
+    /// admission) across serving and draining replicas.
+    fn next_internal(&self) -> Option<(Seconds, usize)> {
+        self.engines
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.has_events())
+            .filter_map(|(i, e)| e.next_event().map(|t| (t, i)))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            })
+    }
+
+    /// Routes `request` at time `now`. Arrivals pass through the admission
+    /// controller (`screen` true); requests re-routed by churn were already
+    /// accepted and are not re-screened.
+    fn dispatch(&mut self, request: Request, now: Seconds, screen: bool) {
+        let views: Vec<ReplicaView> = self
+            .engines
+            .iter()
+            .filter(|e| e.is_serving() && e.can_ever_serve(&request))
+            .map(|e| e.view(now))
+            .collect();
+        if views.is_empty() {
+            self.fleet_aborted.push(request);
+            return;
+        }
+        let chosen = self.spec.router.route(&request, &views, &mut self.ctx);
+        self.ctx.decision += 1;
+        let id = if views.iter().any(|v| v.id == chosen) {
+            chosen
+        } else {
+            views[0].id
+        };
+        if screen {
+            let projected = self.engines[id.0].projected_ttft(&request);
+            let view = views
+                .iter()
+                .find(|v| v.id == id)
+                .expect("chosen id resolved against the offered views");
+            if !self.spec.admission.admit(&request, projected, view) {
+                self.rejected.push(request);
+                return;
+            }
+        }
+        self.engines[id.0].enqueue(request, now);
+    }
+
+    /// Fires the router's completion callback (at each request's actual
+    /// completion instant) and feeds the autoscaler's sliding window.
+    fn note_completions(&mut self, index: usize, completed: Vec<RequestLatency>) {
+        for latency in completed {
+            let at = latency.request.arrival + latency.completion_time;
+            self.spec
+                .router
+                .on_complete(&latency.request, ReplicaId(index), at, &mut self.ctx);
+            self.recent.push(latency);
+        }
+        if self.recent.len() > RECENT_COMPLETION_WINDOW {
+            let excess = self.recent.len() - RECENT_COMPLETION_WINDOW;
+            self.recent.drain(..excess);
+        }
+    }
+
+    /// Marks a replica as gone (failure, drain completion, or cancelled join)
+    /// and tells the router.
+    fn depart(&mut self, index: usize, at: Seconds) {
+        self.engines[index].lifecycle = Lifecycle::Departed { at };
+        self.departures.push((ReplicaId(index), at));
+        self.spec
+            .router
+            .on_replica_down(ReplicaId(index), at, &mut self.ctx);
+    }
+
+    /// A provisioning replica finished coming up: it starts serving and the
+    /// router learns about it.
+    fn finish_provisioning(&mut self, index: usize, at: Seconds) {
+        self.engines[index].lifecycle = Lifecycle::Serving;
+        self.joins.push((ReplicaId(index), at));
+        self.spec
+            .router
+            .on_replica_up(ReplicaId(index), at, &mut self.ctx);
+    }
+
+    /// Provisions a new replica from `template`; it starts serving after the
+    /// timeline's provisioning delay.
+    fn join_replica(&mut self, template: &ReplicaSpec, now: Seconds) -> Result<(), EngineError> {
+        let index = self.engines.len();
+        let mut engine = self
+            .cluster
+            .build_engine(self.spec, template, index, self.policy_gen)?;
+        engine.lifecycle = Lifecycle::Provisioning {
+            ready_at: now + self.spec.timeline.provisioning_delay(),
+        };
+        self.engines.push(engine);
+        Ok(())
+    }
+
+    /// Executes one timeline (or autoscaler-emitted) action at time `t`.
+    /// Actions naming a departed or unknown replica are ignored.
+    fn apply_action(&mut self, t: Seconds, action: FleetAction) -> Result<(), EngineError> {
+        match action {
+            FleetAction::Fail(rid) => {
+                let Some(lifecycle) = self.engines.get(rid.0).map(|e| e.lifecycle) else {
+                    return Ok(());
+                };
+                match lifecycle {
+                    Lifecycle::Departed { .. } => return Ok(()),
+                    Lifecycle::Provisioning { .. } => {
+                        // Died before it ever served: the join just never
+                        // lands.
+                        self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.failures.push((rid, t));
+                        return Ok(());
+                    }
+                    Lifecycle::Serving | Lifecycle::Draining { .. } => {}
+                }
+                // Settle events due strictly up to the failure instant, then
+                // kill it: whatever completed by t was delivered.
+                let completed = self.engines[rid.0].step_to(t)?;
+                self.note_completions(rid.0, completed);
+                let lost = self.engines[rid.0].fail(t);
+                self.failures.push((rid, t));
+                self.departures.push((rid, t));
+                self.spec.router.on_replica_down(rid, t, &mut self.ctx);
+                for request in lost {
+                    self.rerouted.insert(request.id);
+                    self.dispatch(request, t, false);
+                }
+            }
+            FleetAction::Drain(rid) => {
+                let Some(lifecycle) = self.engines.get(rid.0).map(|e| e.lifecycle) else {
+                    return Ok(());
+                };
+                match lifecycle {
+                    Lifecycle::Departed { .. } | Lifecycle::Draining { .. } => return Ok(()),
+                    Lifecycle::Provisioning { .. } => {
+                        // Draining a replica that never came up cancels the
+                        // join.
+                        self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.cancelled_joins += 1;
+                        return Ok(());
+                    }
+                    Lifecycle::Serving => {}
+                }
+                let completed = self.engines[rid.0].step_to(t)?;
+                self.note_completions(rid.0, completed);
+                let queued = self.engines[rid.0].begin_drain(t);
+                self.drains.push((rid, t));
+                for request in queued {
+                    self.rerouted.insert(request.id);
+                    self.dispatch(request, t, false);
+                }
+                if self.engines[rid.0].drain_finished() {
+                    self.depart(rid.0, t);
+                }
+            }
+            FleetAction::Join(spec) => {
+                self.join_replica(&spec, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One autoscaler observation at time `t`, gated by the cooldown and
+    /// executed within the configured [`ScaleBounds`].
+    fn maybe_autoscale(&mut self, t: Seconds) -> Result<(), EngineError> {
+        let Some((scaler, bounds)) = self.spec.autoscaler.as_ref() else {
+            return Ok(());
+        };
+        let (scaler, bounds) = (Arc::clone(scaler), *bounds);
+        if let Some(last) = self.last_scale {
+            if t - last < bounds.cooldown {
+                return Ok(());
+            }
+        }
+        let views: Vec<ReplicaView> = self
+            .engines
+            .iter()
+            .filter(|e| e.is_serving())
+            .map(|e| e.view(t))
+            .collect();
+        let fleet = FleetView {
+            now: t,
+            replicas: &views,
+            provisioning: self.provisioning_count(),
+            draining: self.draining_count(),
+            recent: &self.recent,
+        };
+        let decision = scaler.observe(&fleet, t);
+        drop(views);
+        let target = self.serving_count() + self.provisioning_count();
+        match decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up if target < bounds.max_replicas => {
+                let template = self
+                    .spec
+                    .scale_template
+                    .clone()
+                    .unwrap_or_else(|| self.spec.replicas[0].clone());
+                self.join_replica(&template, t)?;
+                self.last_scale = Some(t);
+            }
+            ScaleDecision::Down if target > bounds.min_replicas => {
+                // Cheapest first: cancel the join *furthest* from coming up —
+                // a join about to land carries capacity that is almost paid
+                // for, so it is the most expensive one to throw away.
+                let last_provisioning = self
+                    .engines
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| match e.lifecycle {
+                        Lifecycle::Provisioning { ready_at } => Some((ready_at, i)),
+                        _ => None,
+                    })
+                    .max_by(|a, b| {
+                        a.0.partial_cmp(&b.0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.1.cmp(&b.1))
+                    });
+                if let Some((_, index)) = last_provisioning {
+                    self.engines[index].lifecycle = Lifecycle::Departed { at: t };
+                    self.cancelled_joins += 1;
+                } else {
+                    // Drain the serving replica with the least outstanding
+                    // work.
+                    let victim = self
+                        .engines
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.is_serving())
+                        .min_by_key(|(i, e)| (e.view(t).outstanding_tokens, *i))
+                        .map(|(i, _)| i);
+                    let Some(index) = victim else {
+                        return Ok(());
+                    };
+                    let rid = ReplicaId(index);
+                    let queued = self.engines[index].begin_drain(t);
+                    self.drains.push((rid, t));
+                    for request in queued {
+                        self.rerouted.insert(request.id);
+                        self.dispatch(request, t, false);
+                    }
+                    if self.engines[index].drain_finished() {
+                        self.depart(index, t);
+                    }
+                }
+                self.last_scale = Some(t);
+            }
+            ScaleDecision::Up | ScaleDecision::Down => {}
+        }
+        Ok(())
     }
 }
 
@@ -817,6 +1382,30 @@ struct InFlight {
     first_token: Option<Seconds>,
     decode_start: Seconds,
     wave: usize,
+}
+
+/// A round-to-completion request whose completion instant is already known:
+/// its latency record is released (and the router told) when the global clock
+/// reaches `at`, not in bulk at round retirement.
+#[derive(Debug, Clone, Copy)]
+struct PendingCompletion {
+    latency: RequestLatency,
+    at: Seconds,
+}
+
+/// Where a replica is in its life: not yet up, serving, finishing in-flight
+/// work without taking new requests, or gone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lifecycle {
+    /// Provisioned (by a timeline join or an autoscaler scale-up) but not yet
+    /// serving; becomes [`Lifecycle::Serving`] at `ready_at`.
+    Provisioning { ready_at: Seconds },
+    /// In the routing views, taking and serving requests.
+    Serving,
+    /// No longer offered to the router; finishes in-flight work, then departs.
+    Draining { since: Seconds },
+    /// Left the fleet (failure, completed drain, or cancelled join).
+    Departed { at: Seconds },
 }
 
 /// The per-replica serving state machine behind [`ClusterEvaluator::run`]: the
@@ -833,6 +1422,7 @@ struct ReplicaEngine {
     batching: BatchingConfig,
     mode: ServingMode,
     node_desc: String,
+    lifecycle: Lifecycle,
     // Dynamic state.
     clock: Seconds,
     segment_start: Seconds,
@@ -843,9 +1433,13 @@ struct ReplicaEngine {
     pending_admission: Option<Seconds>,
     round_start: Seconds,
     round_end: Option<Seconds>,
-    in_round: Vec<Request>,
+    round_step: Seconds,
+    in_round: Vec<PendingCompletion>,
     kv_in_round: u64,
     step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds>,
+    /// The last computed decode-step latency and the concurrency it was
+    /// computed at — the admission controller's TTFT estimator.
+    recent_step: Option<(Seconds, u64)>,
     // Accounting.
     rounds: Vec<RoundReport>,
     latencies: Vec<RequestLatency>,
@@ -875,6 +1469,7 @@ impl ReplicaEngine {
             batching,
             mode,
             node_desc,
+            lifecycle: Lifecycle::Serving,
             clock: Seconds::ZERO,
             segment_start: Seconds::ZERO,
             step: Seconds::ZERO,
@@ -884,14 +1479,147 @@ impl ReplicaEngine {
             pending_admission: None,
             round_start: Seconds::ZERO,
             round_end: None,
+            round_step: Seconds::ZERO,
             in_round: Vec::new(),
             kv_in_round: 0,
             step_memo: HashMap::new(),
+            recent_step: None,
             rounds: Vec::new(),
             latencies: Vec::new(),
             aborted: Vec::new(),
             totals: BatchRunReport::default(),
         }
+    }
+
+    /// Whether the replica is in the routing views (serving, not draining or
+    /// provisioning).
+    fn is_serving(&self) -> bool {
+        self.lifecycle == Lifecycle::Serving
+    }
+
+    /// Whether the replica still produces internal events (serving or
+    /// draining; provisioning and departed replicas are silent).
+    fn has_events(&self) -> bool {
+        matches!(
+            self.lifecycle,
+            Lifecycle::Serving | Lifecycle::Draining { .. }
+        )
+    }
+
+    /// Whether a draining replica has finished its last in-flight request and
+    /// should leave the fleet.
+    fn drain_finished(&self) -> bool {
+        matches!(self.lifecycle, Lifecycle::Draining { .. }) && self.is_idle()
+    }
+
+    /// No queued, decoding or in-round work.
+    fn is_idle(&self) -> bool {
+        self.ready.is_empty()
+            && self.active.is_empty()
+            && self.in_round.is_empty()
+            && self.round_end.is_none()
+    }
+
+    /// Projected queue-aware TTFT for a request routed here: the work ahead
+    /// of it in *slot* terms. Every completion frees the slot the queue head
+    /// takes, so a request behind `k` queued requests waits for roughly their
+    /// generation tokens to be produced at the replica's memoized decode rate
+    /// (concurrency / step latency). Requests already decoding drain in
+    /// parallel and are not ahead of it in the slot queue. Optimistically
+    /// zero for a cold replica with no step history — admission control
+    /// should not reject into an idle fleet.
+    fn projected_ttft(&self, _request: &Request) -> Seconds {
+        let queued_gen: u64 = self.ready.iter().map(|r| r.gen_len).sum();
+        if queued_gen == 0 {
+            return Seconds::ZERO;
+        }
+        match self.recent_step {
+            Some((step, concurrent)) if concurrent > 0 && step.as_secs() > 0.0 => {
+                let rate = concurrent as f64 / step.as_secs();
+                Seconds::from_secs(queued_gen as f64 / rate)
+            }
+            _ => Seconds::ZERO,
+        }
+    }
+
+    /// Removes one admitted-but-unfinished request's contribution from the
+    /// wave it was admitted in (and the totals): its tokens were never
+    /// delivered. The time already billed stays — wasted work is real.
+    fn unwind_admission(&mut self, wave: usize, request: &Request) {
+        let report = &mut self.rounds[wave].report;
+        report.requests = report.requests.saturating_sub(1);
+        report.prompt_tokens = report.prompt_tokens.saturating_sub(request.input_len);
+        report.generated_tokens = report.generated_tokens.saturating_sub(request.gen_len);
+        self.totals.requests = self.totals.requests.saturating_sub(1);
+        self.totals.prompt_tokens = self.totals.prompt_tokens.saturating_sub(request.input_len);
+        self.totals.generated_tokens = self.totals.generated_tokens.saturating_sub(request.gen_len);
+    }
+
+    /// Kills the replica at time `t`: every not-yet-completed request (queued,
+    /// decoding, or pending in an unfinished round) is returned for
+    /// re-routing and its token accounting unwound — the KV state died with
+    /// the replica, so nothing it was still generating was delivered. Billed
+    /// time is truncated to what actually elapsed.
+    fn fail(&mut self, t: Seconds) -> Vec<Request> {
+        let mut lost: Vec<Request> = std::mem::take(&mut self.ready);
+        match self.mode {
+            ServingMode::Continuous => {
+                let active = std::mem::take(&mut self.active);
+                for a in active {
+                    self.parts[a.partition].release(&a.request);
+                    self.unwind_admission(a.wave, &a.request);
+                    lost.push(a.request);
+                }
+                self.step = Seconds::ZERO;
+                self.clock = self.clock.max(t);
+                self.segment_start = self.clock;
+            }
+            ServingMode::RoundToCompletion => {
+                let pending = std::mem::take(&mut self.in_round);
+                if self.round_end.take().is_some() {
+                    let round = self.rounds.len() - 1;
+                    for p in &pending {
+                        self.unwind_admission(round, &p.latency.request);
+                        // The per-token mean was billed for the whole round at
+                        // admission; unfinished requests never decoded to the
+                        // end.
+                        self.rounds[round].report.per_token_sum =
+                            self.rounds[round].report.per_token_sum - self.round_step;
+                        self.totals.per_token_sum = self.totals.per_token_sum - self.round_step;
+                    }
+                    // Truncate the round's billed prefill + decode time to the
+                    // span that actually elapsed before the failure.
+                    let billed = self.rounds[round].report.prefill_time
+                        + self.rounds[round].report.decode_time;
+                    let elapsed = (t - self.round_start).min(billed);
+                    let over = billed - elapsed;
+                    let decode_cut = over.min(self.rounds[round].report.decode_time);
+                    let prefill_cut = over - decode_cut;
+                    self.rounds[round].report.decode_time =
+                        self.rounds[round].report.decode_time - decode_cut;
+                    self.rounds[round].report.prefill_time =
+                        self.rounds[round].report.prefill_time - prefill_cut;
+                    self.totals.decode_time = self.totals.decode_time - decode_cut;
+                    self.totals.prefill_time = self.totals.prefill_time - prefill_cut;
+                    self.kv_in_round = 0;
+                }
+                lost.extend(pending.iter().map(|p| p.latency.request));
+                self.clock = self.clock.max(t);
+            }
+        }
+        self.pending_admission = None;
+        self.lifecycle = Lifecycle::Departed { at: t };
+        lost.sort_by_key(|r| r.id);
+        lost
+    }
+
+    /// Starts a graceful drain at time `t`: the replica takes no new work (the
+    /// dispatch engine stops offering it) and returns its queued-but-unadmitted
+    /// requests for re-routing; in-flight work finishes normally.
+    fn begin_drain(&mut self, t: Seconds) -> Vec<Request> {
+        self.lifecycle = Lifecycle::Draining { since: t };
+        self.pending_admission = None;
+        std::mem::take(&mut self.ready)
     }
 
     /// Whether the request could ever be admitted here: its own prompt +
@@ -928,20 +1656,23 @@ impl ReplicaEngine {
                 (self.active.len(), tokens, kv)
             }
             ServingMode::RoundToCompletion => {
-                let tokens = match self.round_end {
-                    Some(end) => {
-                        let total: u64 = self.in_round.iter().map(|r| r.gen_len).sum();
-                        let span = (end - self.round_start).as_secs();
-                        let left = (end - now.min(end)).as_secs();
-                        let frac = if span > 0.0 {
-                            (left / span).clamp(0.0, 1.0)
+                // Per pending request: the whole decode steps left until its
+                // known completion instant, capped at its generation length
+                // (the prefill window projects the full generation).
+                let tokens: u64 = self
+                    .in_round
+                    .iter()
+                    .map(|p| {
+                        let gen = p.latency.request.gen_len;
+                        if self.round_step.as_secs() > 0.0 {
+                            (((p.at - now.min(p.at)).as_secs() / self.round_step.as_secs()).ceil()
+                                as u64)
+                                .min(gen)
                         } else {
-                            0.0
-                        };
-                        (total as f64 * frac).ceil() as u64
-                    }
-                    None => 0,
-                };
+                            0
+                        }
+                    })
+                    .sum();
                 (self.in_round.len(), tokens, self.kv_in_round)
             }
         };
@@ -952,6 +1683,7 @@ impl ReplicaEngine {
             outstanding_tokens: queued_tokens + active_tokens,
             kv_capacity: self.kv_capacity(),
             kv_projected: kv_active + queued_kv,
+            oldest_queued_arrival: self.ready.iter().map(|r| r.arrival).reduce(Seconds::min),
         }
     }
 
@@ -993,8 +1725,8 @@ impl ReplicaEngine {
         self.segment_start + self.step.scale(k)
     }
 
-    /// Time of the replica's next internal event (completion, round end or
-    /// pending admission), if any work is pending.
+    /// Time of the replica's next internal event (per-request completion,
+    /// round end or pending admission), if any work is pending.
     fn next_event(&self) -> Option<Seconds> {
         let admission = if self.ready.is_empty() {
             None
@@ -1002,7 +1734,15 @@ impl ReplicaEngine {
             self.pending_admission
         };
         let completion = match self.mode {
-            ServingMode::RoundToCompletion => self.round_end,
+            ServingMode::RoundToCompletion => {
+                // The earliest pending per-request completion, else the round
+                // retirement itself.
+                self.in_round
+                    .iter()
+                    .map(|p| p.at)
+                    .reduce(Seconds::min)
+                    .or(self.round_end)
+            }
             ServingMode::Continuous => {
                 if self.active.is_empty() {
                     None
@@ -1025,16 +1765,17 @@ impl ReplicaEngine {
     }
 
     /// Processes the replica's internal events due at time `t`; returns the
-    /// requests that completed (for the router's completion callback).
-    fn step_to(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
+    /// latency records of the requests that completed (for the router's
+    /// completion callback and the autoscaler's window).
+    fn step_to(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
         match self.mode {
             ServingMode::RoundToCompletion => self.step_rtc(t),
             ServingMode::Continuous => self.step_continuous(t),
         }
     }
 
-    fn step_continuous(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
-        let mut completed: Vec<Request> = Vec::new();
+    fn step_continuous(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
+        let mut completed: Vec<RequestLatency> = Vec::new();
         if self.active.is_empty() {
             // Idle until the event; idle time is not billed.
             self.clock = self.clock.max(t);
@@ -1068,16 +1809,17 @@ impl ReplicaEngine {
             self.parts[done.partition].release(&done.request);
             let per_token =
                 (self.clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
-            self.latencies.push(RequestLatency {
+            let latency = RequestLatency {
                 request: done.request,
                 round: done.wave,
                 ttft: done.first_token.expect("completed requests decoded") - done.request.arrival,
                 per_token,
                 completion_time: self.clock - done.request.arrival,
-            });
+            };
+            self.latencies.push(latency);
             self.totals.per_token_sum += per_token;
             self.rounds[done.wave].report.per_token_sum += per_token;
-            completed.push(done.request);
+            completed.push(latency);
         }
 
         // Backfill freed slots (or run a due admission) with the waiting queue.
@@ -1124,7 +1866,10 @@ impl ReplicaEngine {
     /// leaves the pipeline empty again — the deferred remainder must get
     /// another pass, exactly as the single-node loop re-runs backfill every
     /// iteration, or those requests would be silently dropped.
-    fn admit_continuous(&mut self, completed: &mut Vec<Request>) -> Result<bool, EngineError> {
+    fn admit_continuous(
+        &mut self,
+        completed: &mut Vec<RequestLatency>,
+    ) -> Result<bool, EngineError> {
         let mut any = false;
         loop {
             let progressed = self.admit_continuous_once(completed)?;
@@ -1137,7 +1882,10 @@ impl ReplicaEngine {
 
     /// One backfill pass over the waiting queue; returns whether anything was
     /// admitted.
-    fn admit_continuous_once(&mut self, completed: &mut Vec<Request>) -> Result<bool, EngineError> {
+    fn admit_continuous_once(
+        &mut self,
+        completed: &mut Vec<RequestLatency>,
+    ) -> Result<bool, EngineError> {
         let fill = self
             .scheduler
             .backfill(&self.ready, &self.batching, &self.parts);
@@ -1176,6 +1924,7 @@ impl ReplicaEngine {
                 .cost_model()
                 .backfill_prefill_time(&policy, &shape)
         };
+        let admitted_at = self.clock;
         self.clock += prefill;
         for (partition, requests) in fill.assignments.into_iter().enumerate() {
             for request in requests {
@@ -1183,14 +1932,15 @@ impl ReplicaEngine {
                 if request.gen_len == 0 {
                     // Nothing to decode: complete at prefill end.
                     self.parts[partition].release(&request);
-                    self.latencies.push(RequestLatency {
+                    let latency = RequestLatency {
                         request,
                         round: wave,
                         ttft: self.clock - request.arrival,
                         per_token: Seconds::ZERO,
                         completion_time: self.clock - request.arrival,
-                    });
-                    completed.push(request);
+                    };
+                    self.latencies.push(latency);
+                    completed.push(latency);
                     continue;
                 }
                 self.active.push(InFlight {
@@ -1214,6 +1964,7 @@ impl ReplicaEngine {
         self.totals = self.totals.combine(&report);
         self.rounds.push(RoundReport {
             round: wave,
+            admitted_at,
             occupancy: self.parts.iter().map(|p| p.requests as u64).collect(),
             kv_reserved: self.parts.iter().map(|p| p.cache_tokens).collect(),
             prompt_token_spread: {
@@ -1260,6 +2011,7 @@ impl ReplicaEngine {
         let key = (occupancy.clone(), contexts.clone());
         if let Some(&step) = self.step_memo.get(&key) {
             self.step = step;
+            self.recent_step = Some((step, self.active.len() as u64));
             return Ok(());
         }
         let total_active = self.active.len() as u64;
@@ -1287,17 +2039,31 @@ impl ReplicaEngine {
         )?;
         self.step_memo.insert(key, step);
         self.step = step;
+        self.recent_step = Some((step, self.active.len() as u64));
         Ok(())
     }
 
-    fn step_rtc(&mut self, t: Seconds) -> Result<Vec<Request>, EngineError> {
-        let mut completed: Vec<Request> = Vec::new();
+    fn step_rtc(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
+        let mut completed: Vec<RequestLatency> = Vec::new();
+        // Release every pending completion due by `t` — each request finishes
+        // at its own step, not in bulk at round retirement (its micro-batch
+        // slot and KV stay held until the round ends; that is the
+        // round-to-completion semantic).
+        let mut i = 0;
+        while i < self.in_round.len() {
+            if self.in_round[i].at <= t {
+                let done = self.in_round.swap_remove(i);
+                self.latencies.push(done.latency);
+                completed.push(done.latency);
+            } else {
+                i += 1;
+            }
+        }
         if let Some(end) = self.round_end {
             if end <= t {
                 self.clock = end;
                 self.round_end = None;
                 self.kv_in_round = 0;
-                completed.append(&mut self.in_round);
             }
         }
         if self.round_end.is_none() {
@@ -1383,24 +2149,30 @@ impl ReplicaEngine {
         };
         let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
         let decode_time = step.scale(max_gen as f64);
+        // Every request's completion instant is known at admission; each is
+        // released (latency recorded, router told) at its own step instead of
+        // in bulk when the round retires.
         self.in_round = formed
             .micro_batches
             .iter()
             .flat_map(|mb| mb.requests.iter().copied())
+            .map(|request| PendingCompletion {
+                latency: RequestLatency {
+                    request,
+                    round,
+                    ttft: self.clock + prefill_time + step - request.arrival,
+                    per_token: step,
+                    completion_time: self.clock + prefill_time + step.scale(request.gen_len as f64)
+                        - request.arrival,
+                },
+                at: self.clock + prefill_time + step.scale(request.gen_len as f64),
+            })
             .collect();
-        for request in &self.in_round {
-            self.latencies.push(RequestLatency {
-                request: *request,
-                round,
-                ttft: self.clock + prefill_time + step - request.arrival,
-                per_token: step,
-                completion_time: self.clock + prefill_time + step.scale(request.gen_len as f64)
-                    - request.arrival,
-            });
-        }
         self.kv_in_round = kv_reserved.iter().sum();
         self.round_start = self.clock;
         self.round_end = Some(self.clock + prefill_time + decode_time);
+        self.round_step = step;
+        self.recent_step = Some((step, requests));
         let report = BatchRunReport {
             requests,
             prompt_tokens,
@@ -1412,6 +2184,7 @@ impl ReplicaEngine {
         self.totals = self.totals.combine(&report);
         self.rounds.push(RoundReport {
             round,
+            admitted_at: self.round_start,
             occupancy,
             kv_reserved,
             prompt_token_spread: formed.prompt_token_spread(),
@@ -1454,6 +2227,7 @@ mod tests {
             outstanding_tokens: outstanding,
             kv_capacity: 10_000,
             kv_projected: 10_000 - headroom,
+            oldest_queued_arrival: None,
         }
     }
 
@@ -1538,6 +2312,7 @@ mod tests {
             outstanding_tokens: 700,
             kv_capacity: 1000,
             kv_projected: 1200,
+            oldest_queued_arrival: Some(Seconds::from_secs(3.0)),
         };
         assert_eq!(v.outstanding_requests(), 7);
         assert_eq!(v.kv_headroom(), 0, "over-commit saturates at zero");
@@ -1601,6 +2376,35 @@ mod tests {
         );
         assert_eq!(spec.count, 64);
         assert_eq!(spec.seed, 3);
+    }
+
+    #[test]
+    fn dynamics_spec_axes_have_static_defaults() {
+        let spec = ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench());
+        assert!(spec.timeline().is_empty());
+        assert_eq!(spec.admission_name(), "admit-all");
+        assert_eq!(spec.autoscaler_name(), None);
+        let spec = spec
+            .with_node(NodeSpec::t4_single())
+            .with_admission(Arc::new(crate::dynamics::SloAdmission::new(SloSpec {
+                ttft: Seconds::from_secs(10.0),
+                per_token: Seconds::from_secs(1.0),
+            })))
+            .with_autoscaler(
+                Arc::new(crate::dynamics::QueueDepthScaler::new(8.0, 1.0)),
+                crate::dynamics::ScaleBounds::new(1, 4, Seconds::from_secs(5.0)),
+            )
+            .with_timeline(FleetTimeline::new().fail_at(Seconds::from_secs(1.0), ReplicaId(0)));
+        assert_eq!(spec.admission_name(), "slo-admission");
+        assert_eq!(spec.autoscaler_name(), Some("queue-depth"));
+        assert_eq!(spec.timeline().len(), 1);
+        assert_eq!(spec.validate(), Ok(()));
+        // Inverted bounds fail validation.
+        let bad = spec.with_autoscaler(
+            Arc::new(crate::dynamics::QueueDepthScaler::new(8.0, 1.0)),
+            crate::dynamics::ScaleBounds::new(4, 1, Seconds::from_secs(5.0)),
+        );
+        assert_eq!(bad.validate(), Err(ClusterSpecError::InvalidScaleBounds));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`cluster::ClusterEvaluator`] — serves one fleet-wide request queue on N
 //!   (optionally heterogeneous) replicas behind a pluggable [`cluster::Router`],
 //!   merging per-replica event streams on one global clock.
+//! * [`dynamics`] — the fleet control plane: injected failures/drains/joins
+//!   ([`dynamics::FleetTimeline`]), autoscaling ([`dynamics::Autoscaler`]) and
+//!   SLO admission control ([`dynamics::AdmissionController`]) executed mid-run.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod dynamics;
 pub mod engine;
 pub mod serving;
 pub mod settings;
@@ -41,6 +45,10 @@ pub use cluster::{
     builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, ClusterSpecError, KvAware,
     LeastOutstandingTokens, PowerOfTwoChoices, ReplicaId, ReplicaReport, ReplicaSpec, ReplicaView,
     RoundRobin, Router, RouterCtx, SloSpec,
+};
+pub use dynamics::{
+    AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,
+    FleetView, QueueDepthScaler, ScaleBounds, ScaleDecision, SloAdmission, SloAttainmentScaler,
 };
 pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
 pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSession};

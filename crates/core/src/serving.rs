@@ -87,6 +87,10 @@ impl std::fmt::Display for ServingMode {
 pub struct RoundReport {
     /// Zero-based round / admission-wave index.
     pub round: usize,
+    /// Global-clock instant the scheduler formed this round / admitted this
+    /// wave (before its prefill). Lets churn tests assert that a drained
+    /// replica admits nothing after its drain time.
+    pub admitted_at: Seconds,
     /// Active sequences per micro-batch right after the assignment (in continuous
     /// mode this includes requests admitted in earlier waves that are still
     /// decoding).
@@ -442,9 +446,11 @@ impl<'a> ServingSession<'a> {
                 per_token_sum: step.scale(requests as f64),
             };
             totals = totals.combine(&report);
+            let admitted_at = clock;
             clock = clock + prefill_time + decode_time;
             rounds.push(RoundReport {
                 round,
+                admitted_at,
                 occupancy,
                 kv_reserved,
                 prompt_token_spread: formed.prompt_token_spread(),
@@ -529,6 +535,7 @@ impl<'a> ServingSession<'a> {
                             .cost_model()
                             .backfill_prefill_time(&policy, &shape)
                     };
+                    let admitted_at = clock;
                     clock += prefill;
                     for (partition, reqs) in fill.assignments.into_iter().enumerate() {
                         for request in reqs {
@@ -566,6 +573,7 @@ impl<'a> ServingSession<'a> {
                     totals = totals.combine(&report);
                     rounds.push(RoundReport {
                         round: wave,
+                        admitted_at,
                         occupancy: parts.iter().map(|p| p.requests as u64).collect(),
                         kv_reserved: parts.iter().map(|p| p.cache_tokens).collect(),
                         prompt_token_spread: {

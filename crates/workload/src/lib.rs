@@ -46,7 +46,7 @@ pub use metrics::{BatchRunReport, LatencySummary, RequestLatency};
 pub use scheduler::{
     builtin_schedulers, Algorithm2, FcfsPadded, Scheduler, ShortestJobFirst, TokenBudget,
 };
-pub use spec::{ArrivalProcess, GenLens, Request, WorkloadSpec};
+pub use spec::{ArrivalClock, ArrivalProcess, GenLens, Request, WorkloadSpec};
 
 #[cfg(test)]
 mod proptests {
