@@ -3,14 +3,21 @@
 //! cluster layer, every replica admission wave) pays. Algorithm 2 (sort +
 //! token-balanced placement) is compared against the length-blind
 //! `TokenBudget` port at 1k and 8k request queues, so scheduler and router
-//! changes have a perf baseline.
+//! changes have a perf baseline. A fleet-scale case benches the whole
+//! cluster loop (indexed vs reference scan) at a 256-replica fleet.
 //!
 //! Run with `cargo bench -p moe-bench --bench scheduler_hot_path`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use moe_workload::{
-    Algorithm2, BatchingConfig, PartitionState, Request, Scheduler, TokenBudget, WorkloadSpec,
+use moe_lightning::{
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, NodeSpec, ServingMode,
+    SystemKind,
 };
+use moe_workload::{
+    Algorithm2, ArrivalProcess, BatchingConfig, PartitionState, Request, Scheduler, TokenBudget,
+    WorkloadSpec,
+};
+use std::sync::Arc;
 
 /// The S1-like batching regime: enough micro-batches and KV budget that the
 /// whole queue is in play, so the assignment loop (not early deferral)
@@ -67,5 +74,38 @@ fn bench_backfill(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_plan, bench_backfill);
+/// Fleet-scale serving: 256 T4 replicas draining 4096 Poisson arrivals under
+/// least-outstanding-tokens routing. `indexed` is the production loop (event
+/// heap + router index + sharded stepping); `reference` is the O(fleet)
+/// per-event scan it replaced — the pair tracks the cluster-loop speedup.
+fn bench_fleet_loop(c: &mut Criterion) {
+    let spec = || {
+        ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            256,
+        )
+        .with_count(4096)
+        .with_gen_len(16)
+        .with_seed(11)
+        .with_mode(ServingMode::Continuous)
+        .with_router(Arc::new(LeastOutstandingTokens))
+        .with_arrivals(ArrivalProcess::Poisson {
+            rate_per_sec: 1024.0,
+        })
+    };
+    c.bench_function("fleet/indexed/256x4096", |b| {
+        let eval = ClusterEvaluator::new(EvalSetting::S1.model());
+        let spec = spec();
+        b.iter(|| eval.run(&spec).unwrap().served_requests())
+    });
+    c.bench_function("fleet/reference/256x4096", |b| {
+        let eval = ClusterEvaluator::new(EvalSetting::S1.model()).with_reference_loop();
+        let spec = spec();
+        b.iter(|| eval.run(&spec).unwrap().served_requests())
+    });
+}
+
+criterion_group!(benches, bench_plan, bench_backfill, bench_fleet_loop);
 criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Fleet-scale hot-path sweep: wall-clock cost of simulating large fleets
+//! under heavy online load, up to 1000 replicas × 1,000,000 requests, on the
+//! indexed fleet loop (event heap + incremental router indexes + sharded
+//! replica stepping) — with a head-to-head against the O(fleet)-per-event
+//! reference scan loop at the largest fleet size.
+//!
+//! Two assertions gate the run (exit code 1 on violation):
+//!
+//! * the whole sweep finishes inside `SCALE_SWEEP_BUDGET_S` seconds
+//!   (default 600), and
+//! * at the largest fleet the indexed loop is at least
+//!   `SCALE_SWEEP_MIN_SPEEDUP`× (default 5×) faster than the reference loop
+//!   on the pinned comparison scenario.
+//!
+//! Smoke knobs: `SCALE_SWEEP_MAX_REQUESTS` caps the largest request count
+//! (default 1,000,000), `SCALE_SWEEP_REFERENCE_REQUESTS` sizes the reference
+//! head-to-head (default 20,000 — the reference loop is quadratic-ish in
+//! fleet size, so it gets a smaller queue), `SCALE_SWEEP_THREADS` pins the
+//! shard worker count.
+//!
+//! Run with `cargo run --release -p moe-bench --bin scale_sweep`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
+
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
+use moe_lightning::{
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, NodeSpec, ServingMode,
+    SystemKind,
+};
+use moe_workload::{ArrivalProcess, WorkloadSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Uniform generation length: short enough that a million requests stay in
+/// the wall-clock budget, long enough that decode (not just admission)
+/// dominates each replica's event chain.
+const GEN_LEN: u64 = 16;
+/// Offered load per replica (requests/s); the fleet rate is this × fleet
+/// size, so every fleet runs at the same per-replica utilisation.
+const RATE_PER_REPLICA: f64 = 4.0;
+const SEED: u64 = 11;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn spec(replicas: usize, count: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        SystemKind::MoeLightning,
+        WorkloadSpec::mtbench(),
+        &NodeSpec::t4_single(),
+        replicas,
+    )
+    .with_count(count)
+    .with_gen_len(GEN_LEN)
+    .with_seed(SEED)
+    .with_mode(ServingMode::Continuous)
+    .with_router(Arc::new(LeastOutstandingTokens))
+    .with_arrivals(ArrivalProcess::Poisson {
+        rate_per_sec: RATE_PER_REPLICA * replicas as f64,
+    })
+}
+
+fn main() {
+    let budget_s = env_f64("SCALE_SWEEP_BUDGET_S", 600.0);
+    let min_speedup = env_f64("SCALE_SWEEP_MIN_SPEEDUP", 5.0);
+    let max_requests = env_usize("SCALE_SWEEP_MAX_REQUESTS", 1_000_000);
+    let reference_requests = env_usize("SCALE_SWEEP_REFERENCE_REQUESTS", 20_000);
+    let threads = std::env::var("SCALE_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let evaluator = || {
+        let e = ClusterEvaluator::new(EvalSetting::S1.model());
+        match threads {
+            Some(t) => e.with_shard_threads(t),
+            None => e,
+        }
+    };
+    let started = Instant::now();
+    let mut json_rows: Vec<JsonValue> = Vec::new();
+    let mut failed = false;
+
+    println!(
+        "== Fleet-scale sweep @ S1: T4 replicas, least-outstanding routing, \
+         gen {GEN_LEN}, Poisson {RATE_PER_REPLICA} req/s/replica, seed {SEED} =="
+    );
+    let widths = [9usize, 10, 10, 10, 12, 12];
+    print_header(
+        &[
+            "replicas",
+            "requests",
+            "served",
+            "wall s",
+            "sim req/s",
+            "tokens/s",
+        ],
+        &widths,
+    );
+
+    // The grid keeps per-replica load constant: request count scales with the
+    // fleet, topping out at 1000 replicas × 1M requests.
+    let grid: [(usize, usize); 4] = [
+        (10, 10_000),
+        (100, 100_000),
+        (400, 400_000),
+        (1000, 1_000_000),
+    ];
+    for (replicas, count) in grid {
+        let count = count.min(max_requests);
+        let t0 = Instant::now();
+        let report = match evaluator().run(&spec(replicas, count)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scale_sweep: {replicas}x{count} failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        let row = [
+            replicas.to_string(),
+            count.to_string(),
+            report.served_requests().to_string(),
+            fmt3(wall),
+            fmt3(count as f64 / wall.max(1e-9)),
+            fmt3(report.fleet_throughput()),
+        ];
+        print_csv(&{
+            let mut csv = vec!["scale-sweep".to_owned()];
+            csv.extend(row.iter().cloned());
+            csv
+        });
+        print_row(row.as_ref(), &widths);
+        json_rows.push(obj(vec![
+            ("table", "scale-sweep".into()),
+            ("replicas", replicas.into()),
+            ("requests", count.into()),
+            ("served", report.served_requests().into()),
+            ("wall_s", wall.into()),
+            (
+                "sim_requests_per_sec",
+                (count as f64 / wall.max(1e-9)).into(),
+            ),
+            ("tokens_per_sec", report.fleet_throughput().into()),
+        ]));
+    }
+
+    // Head-to-head at the largest fleet: the same pinned scenario on the
+    // reference scan loop vs the indexed loop. The reference loop pays
+    // O(fleet) per event, so it gets a smaller queue; both sides run it.
+    let (replicas, count) = (grid[grid.len() - 1].0, reference_requests.min(max_requests));
+    println!("\n-- reference vs indexed @ {replicas} replicas, {count} requests --");
+    let t0 = Instant::now();
+    let reference = evaluator()
+        .with_reference_loop()
+        .run(&spec(replicas, count));
+    let reference_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let indexed = evaluator().run(&spec(replicas, count));
+    let indexed_wall = t0.elapsed().as_secs_f64();
+    match (reference, indexed) {
+        (Ok(want), Ok(got)) => {
+            let speedup = reference_wall / indexed_wall.max(1e-9);
+            println!(
+                "reference: {reference_wall:.2}s   indexed: {indexed_wall:.2}s   \
+                 speedup: {speedup:.1}x"
+            );
+            print_csv(&[
+                "speedup".to_owned(),
+                replicas.to_string(),
+                count.to_string(),
+                fmt3(reference_wall),
+                fmt3(indexed_wall),
+                fmt3(speedup),
+            ]);
+            json_rows.push(obj(vec![
+                ("table", "speedup".into()),
+                ("replicas", replicas.into()),
+                ("requests", count.into()),
+                ("reference_wall_s", reference_wall.into()),
+                ("indexed_wall_s", indexed_wall.into()),
+                ("speedup", speedup.into()),
+                ("reports_identical", JsonValue::Bool(want == got)),
+            ]));
+            if want != got {
+                eprintln!("scale_sweep: FAIL — indexed report diverged from the reference loop");
+                failed = true;
+            }
+            if speedup < min_speedup {
+                eprintln!(
+                    "scale_sweep: FAIL — speedup {speedup:.1}x under the {min_speedup:.1}x bar"
+                );
+                failed = true;
+            }
+        }
+        (r, i) => {
+            eprintln!(
+                "scale_sweep: head-to-head failed: reference={:?} indexed={:?}",
+                r.err(),
+                i.err()
+            );
+            failed = true;
+        }
+    }
+
+    let total = started.elapsed().as_secs_f64();
+    println!("\ntotal sweep wall-clock: {total:.1}s (budget {budget_s:.0}s)");
+    json_rows.push(obj(vec![
+        ("table", "budget".into()),
+        ("total_wall_s", total.into()),
+        ("budget_s", budget_s.into()),
+        ("within_budget", JsonValue::Bool(total <= budget_s)),
+    ]));
+    if let Some(path) = json_output_path() {
+        moe_bench::write_rows(&path, "scale_sweep", json_rows);
+    }
+    if total > budget_s {
+        eprintln!("scale_sweep: FAIL — wall-clock {total:.1}s over the {budget_s:.0}s budget");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -38,18 +38,20 @@ use crate::serving::{
     batching_for, mean_decode_context, RoundReport, ServeSpec, ServingMode, ServingReport,
 };
 use crate::system::SystemKind;
-use moe_hardware::{NodeSpec, Seconds};
+use moe_hardware::{NodeSpec, Seconds, TimeKey};
 use moe_model::MoeModelConfig;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
 use moe_workload::{
     Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens,
-    LatencySummary, PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
+    LatencySummary, PartitionState, QueueOrder, Request, RequestLatency, Scheduler, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -129,6 +131,211 @@ impl RouterCtx {
     }
 }
 
+/// Marker for "replica id not present" in [`RouterIndex`] position tables.
+const ABSENT: usize = usize::MAX;
+
+/// Lazily-invalidated min-heap entry: `(key..., replica id, stamp)`.
+type KvHeapEntry = Reverse<(u64, u64, usize, u64)>;
+
+/// Incrementally-maintained routing index over the serving fleet, fed by the
+/// indexed dispatch path of [`ClusterEvaluator::run`]: one cached
+/// [`ReplicaView`] per serving replica (refreshed only when that replica's
+/// state changed) plus two lazily-invalidated min-heaps answering the
+/// built-in routers' arg-min queries in `O(log n)` instead of the reference
+/// path's `O(n)` scan. Routers consume it through [`Router::route_indexed`].
+///
+/// Staleness is handled by generation stamps: every refresh bumps the
+/// replica's stamp and pushes a fresh heap entry; entries whose stamp no
+/// longer matches are dropped when they surface at a query.
+#[derive(Debug)]
+pub struct RouterIndex {
+    /// Cached views of serving replicas, ascending by replica id.
+    views: Vec<ReplicaView>,
+    /// Per-micro-batch KV budgets, parallel to `views`.
+    budgets: Vec<u64>,
+    /// Replica id → position in `views` ([`ABSENT`] when not serving).
+    pos: Vec<usize>,
+    /// Replica id → generation stamp for lazy heap invalidation.
+    stamp: Vec<u64>,
+    /// The tightest per-micro-batch KV budget across serving replicas: a
+    /// request at or under it is maskable nowhere, so the full cached slice
+    /// is the offer.
+    min_budget: u64,
+    /// Min-heap on `(outstanding_tokens, id, stamp)`.
+    out_heap: RefCell<BinaryHeap<Reverse<(u64, usize, u64)>>>,
+    /// Min-heap on `(!kv_headroom, outstanding_tokens, id, stamp)` — i.e. a
+    /// max-heap on headroom with [`KvAware`]'s exact tie-breaks.
+    kv_heap: RefCell<BinaryHeap<KvHeapEntry>>,
+}
+
+impl RouterIndex {
+    fn new() -> Self {
+        RouterIndex {
+            views: Vec::new(),
+            budgets: Vec::new(),
+            pos: Vec::new(),
+            stamp: Vec::new(),
+            min_budget: u64::MAX,
+            out_heap: RefCell::new(BinaryHeap::new()),
+            kv_heap: RefCell::new(BinaryHeap::new()),
+        }
+    }
+
+    /// The cached views of every serving replica, ordered by replica id —
+    /// exactly the slice [`Router::route`] is offered when no replica is
+    /// masked for the request.
+    pub fn views(&self) -> &[ReplicaView] {
+        &self.views
+    }
+
+    /// Number of serving replicas in the index.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no replica is currently serving.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Whether `replica` is currently serving (and thus routable).
+    pub fn contains(&self, replica: ReplicaId) -> bool {
+        self.pos.get(replica.0).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// The cached view of one serving replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is not in the index (see [`Self::contains`]).
+    pub fn view_of(&self, replica: ReplicaId) -> &ReplicaView {
+        &self.views[self.pos[replica.0]]
+    }
+
+    /// The serving replica with the fewest outstanding tokens, ties by lower
+    /// id — [`LeastOutstandingTokens`]'s arg-min in `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn least_outstanding(&self) -> ReplicaId {
+        let mut heap = self.out_heap.borrow_mut();
+        loop {
+            let &Reverse((_, id, stamp)) = heap
+                .peek()
+                .expect("the index keeps a fresh heap entry per serving replica");
+            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
+                return ReplicaId(id);
+            }
+            heap.pop();
+        }
+    }
+
+    /// The serving replica with the most projected KV headroom, ties by fewer
+    /// outstanding tokens then lower id — [`KvAware`]'s arg-min in
+    /// `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn most_kv_headroom(&self) -> ReplicaId {
+        let mut heap = self.kv_heap.borrow_mut();
+        loop {
+            let &Reverse((_, _, id, stamp)) = heap
+                .peek()
+                .expect("the index keeps a fresh heap entry per serving replica");
+            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
+                return ReplicaId(id);
+            }
+            heap.pop();
+        }
+    }
+
+    /// Inserts or refreshes one serving replica's view.
+    fn upsert(&mut self, view: ReplicaView, budget: u64) {
+        let id = view.id.0;
+        if self.pos.len() <= id {
+            self.pos.resize(id + 1, ABSENT);
+            self.stamp.resize(id + 1, 0);
+        }
+        if self.pos[id] == ABSENT {
+            // Ids are assigned in join order so inserts usually append;
+            // provisioning can finish out of id order, hence the search.
+            let at = self.views.partition_point(|v| v.id.0 < id);
+            self.views.insert(at, view);
+            self.budgets.insert(at, budget);
+            for (p, v) in self.views.iter().enumerate().skip(at) {
+                self.pos[v.id.0] = p;
+            }
+            self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
+        } else {
+            self.views[self.pos[id]] = view;
+        }
+        self.stamp[id] += 1;
+        self.push_heaps(&view);
+        self.maybe_compact();
+    }
+
+    /// Drops a replica that stopped serving (drain, failure, departure).
+    fn remove(&mut self, id: usize) {
+        let Some(&at) = self.pos.get(id) else {
+            return;
+        };
+        if at == ABSENT {
+            return;
+        }
+        self.views.remove(at);
+        self.budgets.remove(at);
+        self.pos[id] = ABSENT;
+        self.stamp[id] += 1;
+        for (p, v) in self.views.iter().enumerate().skip(at) {
+            self.pos[v.id.0] = p;
+        }
+        self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
+    }
+
+    fn push_heaps(&mut self, view: &ReplicaView) {
+        let stamp = self.stamp[view.id.0];
+        self.out_heap
+            .get_mut()
+            .push(Reverse((view.outstanding_tokens, view.id.0, stamp)));
+        self.kv_heap.get_mut().push(Reverse((
+            u64::MAX - view.kv_headroom(),
+            view.outstanding_tokens,
+            view.id.0,
+            stamp,
+        )));
+    }
+
+    /// Stale heap entries are dropped lazily at queries; long event-only
+    /// stretches (many refreshes, no routing decisions) rebuild here instead
+    /// so heap memory stays bounded by the fleet size.
+    fn maybe_compact(&mut self) {
+        let cap = 4 * self.views.len() + 1024;
+        if self.out_heap.get_mut().len() <= cap && self.kv_heap.get_mut().len() <= cap {
+            return;
+        }
+        self.out_heap.get_mut().clear();
+        self.kv_heap.get_mut().clear();
+        let views = std::mem::take(&mut self.views);
+        for view in &views {
+            self.push_heaps(view);
+        }
+        self.views = views;
+    }
+
+    /// The offer for a request some replicas are masked for: every serving
+    /// replica whose per-micro-batch KV budget admits the request alone.
+    fn eligible_views(&self, request: &Request) -> Vec<ReplicaView> {
+        self.views
+            .iter()
+            .zip(&self.budgets)
+            .filter(|(_, &budget)| request.max_context() <= budget)
+            .map(|(view, _)| *view)
+            .collect()
+    }
+}
+
 /// A request-routing strategy over a fleet of replicas.
 ///
 /// The dispatch engine calls [`Router::route`] once per arriving request with
@@ -151,6 +358,23 @@ pub trait Router: fmt::Debug + Send + Sync {
     /// Picks the replica that will serve `request`. `replicas` is non-empty and
     /// ordered by replica id.
     fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId;
+
+    /// Sub-linear fast path consulted *instead of* [`Router::route`] when the
+    /// dispatch engine maintains a [`RouterIndex`] and no replica is masked
+    /// for the request (every serving replica could take it). Return
+    /// `Some(id)` to decide from the index's incremental aggregates in
+    /// `O(log n)`, or `None` (the default) to fall back to `route` over the
+    /// index's cached views — which is still allocation-free, just a linear
+    /// scan for strategies that need one. Returning a non-serving id falls
+    /// back to the first offered view, exactly like `route`.
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        _index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        None
+    }
 
     /// Completion callback: `request` finished on `replica` at global time
     /// `now` — in round-to-completion mode this fires at the request's actual
@@ -217,6 +441,15 @@ impl Router for LeastOutstandingTokens {
             .expect("route is called with a non-empty view slice")
             .id
     }
+
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        Some(index.least_outstanding())
+    }
 }
 
 /// Samples two distinct replicas with the seeded RNG and keeps the one with
@@ -273,15 +506,18 @@ impl Router for KvAware {
     ) -> ReplicaId {
         replicas
             .iter()
-            .min_by_key(|v| {
-                (
-                    std::cmp::Reverse(v.kv_headroom()),
-                    v.outstanding_tokens,
-                    v.id,
-                )
-            })
+            .min_by_key(|v| (Reverse(v.kv_headroom()), v.outstanding_tokens, v.id))
             .expect("route is called with a non-empty view slice")
             .id
+    }
+
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        Some(index.most_kv_headroom())
     }
 }
 
@@ -807,10 +1043,23 @@ impl ClusterReport {
 
 /// Evaluates cluster serving scenarios: one shared model, per-replica
 /// [`SystemEvaluator`]s built from each replica's node.
+///
+/// Two dispatch loops produce the identical [`ClusterReport`]:
+///
+/// * the **indexed loop** (default) — an indexed min-priority event queue
+///   over the fleet, cached router views refreshed only for replicas that
+///   changed, [`Router::route_indexed`] fast paths, and replica stepping
+///   sharded across threads between global synchronization points;
+/// * the **reference loop** ([`Self::with_reference_loop`]) — a linear scan
+///   over every replica per event and per routing decision, with views
+///   rebuilt from scratch. `O(fleet)` per event; kept as the semantic
+///   baseline the indexed loop is equivalence-tested against.
 #[derive(Debug, Clone)]
 pub struct ClusterEvaluator {
     model: MoeModelConfig,
     simulated_layers: Option<u32>,
+    reference_loop: bool,
+    shard_threads: Option<usize>,
 }
 
 impl ClusterEvaluator {
@@ -820,6 +1069,8 @@ impl ClusterEvaluator {
         ClusterEvaluator {
             model,
             simulated_layers: None,
+            reference_loop: false,
+            shard_threads: None,
         }
     }
 
@@ -827,6 +1078,24 @@ impl ClusterEvaluator {
     /// simulates (see [`SystemEvaluator::with_simulated_layers`]).
     pub fn with_simulated_layers(mut self, layers: u32) -> Self {
         self.simulated_layers = Some(layers);
+        self
+    }
+
+    /// Selects the reference scan loop instead of the indexed fast path (see
+    /// the type-level docs). The report is identical; only the work per event
+    /// changes.
+    pub fn with_reference_loop(mut self) -> Self {
+        self.reference_loop = true;
+        self
+    }
+
+    /// Caps the worker threads the indexed loop uses to shard independent
+    /// replica stepping between global synchronization points. `1` forces
+    /// serial stepping; the default is the machine's available parallelism,
+    /// capped at 8. The report is deterministic and identical for every
+    /// thread count.
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = Some(threads.max(1));
         self
     }
 
@@ -843,15 +1112,26 @@ impl ClusterEvaluator {
         replica: &ReplicaSpec,
         index: usize,
         policy_gen: u64,
+        policy_cache: &mut Vec<(NodeSpec, Policy)>,
     ) -> Result<ReplicaEngine, EngineError> {
         let mut evaluator = SystemEvaluator::new(replica.node.clone(), self.model.clone());
         if let Some(layers) = self.simulated_layers {
             evaluator = evaluator.with_simulated_layers(layers);
         }
         let shape = evaluator.workload_shape(spec.system, &spec.workload, policy_gen);
+        // The policy search only depends on the node within one run (system,
+        // workload and policy generation are fixed), so a homogeneous
+        // 1000-replica fleet searches once, not 1000 times.
         let policy = match replica.policy {
             Some(policy) => policy,
-            None => evaluator.policy_for(spec.system, &shape)?,
+            None => match policy_cache.iter().find(|(node, _)| *node == replica.node) {
+                Some(&(_, policy)) => policy,
+                None => {
+                    let policy = evaluator.policy_for(spec.system, &shape)?;
+                    policy_cache.push((replica.node.clone(), policy));
+                    policy
+                }
+            },
         };
         let batching = batching_for(&policy, &shape);
         batching
@@ -884,9 +1164,10 @@ impl ClusterEvaluator {
         spec.validate()
             .map_err(|reason| EngineError::InvalidClusterSpec { reason })?;
         let policy_gen = spec.gen.policy_gen_for(&spec.workload);
+        let mut policy_cache: Vec<(NodeSpec, Policy)> = Vec::new();
         let mut engines: Vec<ReplicaEngine> = Vec::with_capacity(spec.replicas.len());
         for (index, replica) in spec.replicas.iter().enumerate() {
-            engines.push(self.build_engine(spec, replica, index, policy_gen)?);
+            engines.push(self.build_engine(spec, replica, index, policy_gen, &mut policy_cache)?);
         }
 
         // One fleet-wide queue: arrivals are sampled once, not per replica.
@@ -909,16 +1190,17 @@ impl ClusterEvaluator {
             },
         );
         if !spec.fleet_scaled_arrivals {
-            queue.sort_by(|a, b| {
-                a.arrival
-                    .partial_cmp(&b.arrival)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            });
+            queue.sort_by_key(|r| (r.arrival.key(), r.id));
         }
 
         let timeline = spec.timeline.sorted_events();
         let mut cursor = 0usize;
+        let fleet_size = engines.len();
+        let indexed = !self.reference_loop;
+        let threads = match self.shard_threads {
+            Some(n) => n,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        };
         let mut plane = FleetLoop {
             cluster: self,
             spec,
@@ -935,15 +1217,32 @@ impl ClusterEvaluator {
             cancelled_joins: 0,
             recent: Vec::new(),
             last_scale: None,
+            indexed,
+            threads,
+            events: EventHeap::default(),
+            index: RouterIndex::new(),
+            dirty: Vec::new(),
+            is_dirty: vec![false; fleet_size],
+            provisioning: 0,
+            policy_cache,
         };
+        if indexed {
+            for i in 0..fleet_size {
+                plane.mark_dirty(i);
+            }
+        }
 
         let mut next = 0usize;
         let mut stamped_through = 0usize;
         loop {
+            // Bring the event queue and router index up to date with every
+            // replica touched since the last decision (no-op on the
+            // reference loop, which scans instead).
+            plane.flush_dirty();
             // Lazily stamp the next arrival at the current fleet size.
             if let Some(clock) = arrival_clock.as_mut() {
                 if next < queue.len() && next >= stamped_through {
-                    let live = plane.serving_count().max(1);
+                    let live = plane.serving_count_fast().max(1);
                     queue[next].arrival = clock.next(live as f64);
                     stamped_through = next + 1;
                 }
@@ -968,7 +1267,11 @@ impl ClusterEvaluator {
                 (None, None) => None,
             };
             let arrival = queue.get(next).map(|r| r.arrival);
-            let internal = plane.next_internal();
+            let internal = if plane.indexed {
+                plane.events.peek()
+            } else {
+                plane.next_internal()
+            };
 
             let le = |a: Seconds, b: Option<Seconds>| b.is_none_or(|b| a <= b);
             if let Some((t, ready_index)) =
@@ -990,6 +1293,15 @@ impl ClusterEvaluator {
                 next += 1;
                 plane.dispatch(request, at, true);
                 plane.maybe_autoscale(at)?;
+            } else if plane.indexed && internal.is_some() {
+                // Everything strictly before the next arrival or control
+                // event is replica-internal and independent across
+                // replicas: drain it as one sharded window.
+                let bound = match (control.map(|(ct, _)| ct), arrival) {
+                    (Some(c), Some(a)) => Some(c.min(a)),
+                    (c, a) => c.or(a),
+                };
+                plane.step_window(bound)?;
             } else if let Some((t, index)) = internal {
                 let completed = plane.engines[index].step_to(t)?;
                 let had_completions = !completed.is_empty();
@@ -1079,11 +1391,156 @@ struct FleetLoop<'a> {
     cancelled_joins: u64,
     recent: Vec<RequestLatency>,
     last_scale: Option<Seconds>,
+    /// `false` runs the original O(fleet) reference scans instead of the
+    /// event heap / router index (see
+    /// [`ClusterEvaluator::with_reference_loop`]).
+    indexed: bool,
+    /// Worker threads for sharded replica stepping inside
+    /// [`FleetLoop::step_window`].
+    threads: usize,
+    /// Min-heap over each replica's next internal event (indexed loop only).
+    events: EventHeap,
+    /// Incrementally maintained serving-replica views for routing (indexed
+    /// loop only).
+    index: RouterIndex,
+    /// Replicas touched since the last [`FleetLoop::flush_dirty`].
+    dirty: Vec<usize>,
+    /// Dedup membership for `dirty`, indexed by replica id.
+    is_dirty: Vec<bool>,
+    /// Count of engines currently in [`Lifecycle::Provisioning`], maintained
+    /// at every transition so the per-iteration provisioning scan can be
+    /// skipped when nothing is coming up.
+    provisioning: usize,
+    /// Per-node memo of the policy search (see
+    /// [`ClusterEvaluator::build_engine`]), shared with joins.
+    policy_cache: Vec<(NodeSpec, Policy)>,
 }
+
+/// Fleet-wide min-priority queue over each replica's next internal event,
+/// with lazy invalidation: a per-replica generation stamp retires stale heap
+/// entries at `peek` time instead of searching the heap on every update.
+///
+/// Ordering is `(TimeKey, replica index)` — identical to the reference scan's
+/// `min_by_key(|&(t, i)| (t.key(), i))`, so ties resolve to the lowest
+/// replica index on both paths.
+#[derive(Debug, Default)]
+struct EventHeap {
+    heap: BinaryHeap<Reverse<(TimeKey, usize, u64)>>,
+    /// Latest stamp per replica; heap entries with an older stamp are stale.
+    stamp: Vec<u64>,
+    /// The authoritative next event per replica (`None`: no pending event).
+    next_at: Vec<Option<Seconds>>,
+}
+
+impl EventHeap {
+    fn grow(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.next_at.resize(n, None);
+        }
+    }
+
+    /// Records that replica `index`'s next internal event is now `next`,
+    /// invalidating any entry previously pushed for it.
+    fn refresh(&mut self, index: usize, next: Option<Seconds>) {
+        self.grow(index + 1);
+        self.stamp[index] += 1;
+        self.next_at[index] = next;
+        if let Some(t) = next {
+            self.heap.push(Reverse((t.key(), index, self.stamp[index])));
+        }
+        // Compact once stale entries dominate, bounding heap memory at
+        // O(fleet) without per-update removal.
+        if self.heap.len() > 2 * self.stamp.len() + 1024 {
+            self.heap.clear();
+            for (i, at) in self.next_at.iter().enumerate() {
+                if let Some(t) = at {
+                    self.heap.push(Reverse((t.key(), i, self.stamp[i])));
+                }
+            }
+        }
+    }
+
+    /// The fleet-wide earliest pending internal event, dropping stale
+    /// entries encountered on the way.
+    fn peek(&mut self) -> Option<(Seconds, usize)> {
+        while let Some(&Reverse((_, index, stamp))) = self.heap.peek() {
+            if self.stamp[index] == stamp {
+                let t = self.next_at[index].expect("fresh heap entries track a pending event");
+                return Some((t, index));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// One settled event from a replica's independent window drain: the instant,
+/// any request completions released at it, and whether the replica's drain
+/// finished there.
+struct WindowEvent {
+    at: Seconds,
+    completed: Vec<RequestLatency>,
+    departed: bool,
+}
+
+/// Below this many due replicas a sharded window falls back to serial
+/// stepping — thread spawn overhead would exceed the work.
+const MIN_SHARD_REPLICAS: usize = 4;
+
+/// One shard worker's outcome: `(replica index, its drained events)` per
+/// claimed replica, or the first engine error the shard hit.
+type ShardOutcome = Result<Vec<(usize, Vec<WindowEvent>)>, EngineError>;
 
 impl FleetLoop<'_> {
     fn serving_count(&self) -> usize {
         self.engines.iter().filter(|e| e.is_serving()).count()
+    }
+
+    /// Serving-replica count without the O(fleet) scan when the router index
+    /// is maintained (its membership is exactly the serving replicas).
+    fn serving_count_fast(&self) -> usize {
+        if self.indexed {
+            self.index.len()
+        } else {
+            self.serving_count()
+        }
+    }
+
+    /// Queues replica `index` for re-synchronisation of its event-heap entry
+    /// and router-index view. No-op on the reference loop.
+    fn mark_dirty(&mut self, index: usize) {
+        if !self.indexed {
+            return;
+        }
+        if self.is_dirty.len() <= index {
+            self.is_dirty.resize(index + 1, false);
+        }
+        if !self.is_dirty[index] {
+            self.is_dirty[index] = true;
+            self.dirty.push(index);
+        }
+    }
+
+    /// Brings the event heap and router index up to date with every replica
+    /// marked dirty since the last flush.
+    fn flush_dirty(&mut self) {
+        while let Some(index) = self.dirty.pop() {
+            self.is_dirty[index] = false;
+            let engine = &self.engines[index];
+            let next = if engine.has_events() {
+                engine.next_event()
+            } else {
+                None
+            };
+            self.events.refresh(index, next);
+            if engine.is_serving() {
+                self.index
+                    .upsert(engine.view(), engine.batching.cache_tokens_per_micro_batch);
+            } else {
+                self.index.remove(index);
+            }
+        }
     }
 
     fn provisioning_count(&self) -> usize {
@@ -1102,6 +1559,9 @@ impl FleetLoop<'_> {
 
     /// The earliest provisioning completion, if any replica is coming up.
     fn next_provisioning_ready(&self) -> Option<(Seconds, usize)> {
+        if self.provisioning == 0 {
+            return None;
+        }
         self.engines
             .iter()
             .enumerate()
@@ -1109,11 +1569,7 @@ impl FleetLoop<'_> {
                 Lifecycle::Provisioning { ready_at } => Some((ready_at, i)),
                 _ => None,
             })
-            .min_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
-            })
+            .min_by_key(|&(t, i)| (t.key(), i))
     }
 
     /// The earliest replica-internal event (completion, round end, pending
@@ -1124,22 +1580,28 @@ impl FleetLoop<'_> {
             .enumerate()
             .filter(|(_, e)| e.has_events())
             .filter_map(|(i, e)| e.next_event().map(|t| (t, i)))
-            .min_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
-            })
+            .min_by_key(|&(t, i)| (t.key(), i))
     }
 
     /// Routes `request` at time `now`. Arrivals pass through the admission
     /// controller (`screen` true); requests re-routed by churn were already
     /// accepted and are not re-screened.
     fn dispatch(&mut self, request: Request, now: Seconds, screen: bool) {
+        if self.indexed {
+            self.dispatch_indexed(request, now, screen);
+        } else {
+            self.dispatch_scan(request, now, screen);
+        }
+    }
+
+    /// Reference dispatch: scan the fleet, snapshot eligible views into a
+    /// fresh `Vec`, route over the slice.
+    fn dispatch_scan(&mut self, request: Request, now: Seconds, screen: bool) {
         let views: Vec<ReplicaView> = self
             .engines
             .iter()
             .filter(|e| e.is_serving() && e.can_ever_serve(&request))
-            .map(|e| e.view(now))
+            .map(|e| e.view())
             .collect();
         if views.is_empty() {
             self.fleet_aborted.push(request);
@@ -1166,6 +1628,64 @@ impl FleetLoop<'_> {
         self.engines[id.0].enqueue(request, now);
     }
 
+    /// Indexed dispatch: route over the maintained [`RouterIndex`] without
+    /// rebuilding per-replica views or allocating a fresh view buffer. When
+    /// the request fits every indexed replica (the common case — checked
+    /// against the fleet's minimum KV budget in O(1)), routers with an
+    /// incremental index answer in O(log fleet); otherwise the eligible
+    /// subset is materialised exactly like the reference scan.
+    fn dispatch_indexed(&mut self, request: Request, now: Seconds, screen: bool) {
+        self.flush_dirty();
+        if self.index.is_empty() {
+            self.fleet_aborted.push(request);
+            return;
+        }
+        let router = &self.spec.router;
+        let full = request.max_context() <= self.index.min_budget;
+        let filtered;
+        let offered: &[ReplicaView] = if full {
+            self.index.views()
+        } else {
+            filtered = self.index.eligible_views(&request);
+            if filtered.is_empty() {
+                self.fleet_aborted.push(request);
+                return;
+            }
+            &filtered
+        };
+        let chosen = if full {
+            router
+                .route_indexed(&request, &self.index, &mut self.ctx)
+                .unwrap_or_else(|| router.route(&request, offered, &mut self.ctx))
+        } else {
+            router.route(&request, offered, &mut self.ctx)
+        };
+        self.ctx.decision += 1;
+        let valid = if full {
+            self.index.contains(chosen)
+        } else {
+            offered.iter().any(|v| v.id == chosen)
+        };
+        let id = if valid { chosen } else { offered[0].id };
+        if screen {
+            let projected = self.engines[id.0].projected_ttft(&request);
+            let view = if full {
+                self.index.view_of(id)
+            } else {
+                offered
+                    .iter()
+                    .find(|v| v.id == id)
+                    .expect("chosen id resolved against the offered views")
+            };
+            if !self.spec.admission.admit(&request, projected, view) {
+                self.rejected.push(request);
+                return;
+            }
+        }
+        self.engines[id.0].enqueue(request, now);
+        self.mark_dirty(id.0);
+    }
+
     /// Fires the router's completion callback (at each request's actual
     /// completion instant) and feeds the autoscaler's sliding window.
     fn note_completions(&mut self, index: usize, completed: Vec<RequestLatency>) {
@@ -1187,6 +1707,7 @@ impl FleetLoop<'_> {
     fn depart(&mut self, index: usize, at: Seconds) {
         self.engines[index].lifecycle = Lifecycle::Departed { at };
         self.departures.push((ReplicaId(index), at));
+        self.mark_dirty(index);
         self.spec
             .router
             .on_replica_down(ReplicaId(index), at, &mut self.ctx);
@@ -1196,7 +1717,9 @@ impl FleetLoop<'_> {
     /// router learns about it.
     fn finish_provisioning(&mut self, index: usize, at: Seconds) {
         self.engines[index].lifecycle = Lifecycle::Serving;
+        self.provisioning = self.provisioning.saturating_sub(1);
         self.joins.push((ReplicaId(index), at));
+        self.mark_dirty(index);
         self.spec
             .router
             .on_replica_up(ReplicaId(index), at, &mut self.ctx);
@@ -1206,13 +1729,19 @@ impl FleetLoop<'_> {
     /// timeline's provisioning delay.
     fn join_replica(&mut self, template: &ReplicaSpec, now: Seconds) -> Result<(), EngineError> {
         let index = self.engines.len();
-        let mut engine = self
-            .cluster
-            .build_engine(self.spec, template, index, self.policy_gen)?;
+        let mut engine = self.cluster.build_engine(
+            self.spec,
+            template,
+            index,
+            self.policy_gen,
+            &mut self.policy_cache,
+        )?;
         engine.lifecycle = Lifecycle::Provisioning {
             ready_at: now + self.spec.timeline.provisioning_delay(),
         };
         self.engines.push(engine);
+        self.provisioning += 1;
+        self.mark_dirty(index);
         Ok(())
     }
 
@@ -1230,7 +1759,9 @@ impl FleetLoop<'_> {
                         // Died before it ever served: the join just never
                         // lands.
                         self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.provisioning = self.provisioning.saturating_sub(1);
                         self.failures.push((rid, t));
+                        self.mark_dirty(rid.0);
                         return Ok(());
                     }
                     Lifecycle::Serving | Lifecycle::Draining { .. } => {}
@@ -1240,6 +1771,7 @@ impl FleetLoop<'_> {
                 let completed = self.engines[rid.0].step_to(t)?;
                 self.note_completions(rid.0, completed);
                 let lost = self.engines[rid.0].fail(t);
+                self.mark_dirty(rid.0);
                 self.failures.push((rid, t));
                 self.departures.push((rid, t));
                 self.spec.router.on_replica_down(rid, t, &mut self.ctx);
@@ -1258,7 +1790,9 @@ impl FleetLoop<'_> {
                         // Draining a replica that never came up cancels the
                         // join.
                         self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.provisioning = self.provisioning.saturating_sub(1);
                         self.cancelled_joins += 1;
+                        self.mark_dirty(rid.0);
                         return Ok(());
                     }
                     Lifecycle::Serving => {}
@@ -1266,6 +1800,7 @@ impl FleetLoop<'_> {
                 let completed = self.engines[rid.0].step_to(t)?;
                 self.note_completions(rid.0, completed);
                 let queued = self.engines[rid.0].begin_drain(t);
+                self.mark_dirty(rid.0);
                 self.drains.push((rid, t));
                 for request in queued {
                     self.rerouted.insert(request.id);
@@ -1298,7 +1833,7 @@ impl FleetLoop<'_> {
             .engines
             .iter()
             .filter(|e| e.is_serving())
-            .map(|e| e.view(t))
+            .map(|e| e.view())
             .collect();
         let fleet = FleetView {
             now: t,
@@ -1333,14 +1868,12 @@ impl FleetLoop<'_> {
                         Lifecycle::Provisioning { ready_at } => Some((ready_at, i)),
                         _ => None,
                     })
-                    .max_by(|a, b| {
-                        a.0.partial_cmp(&b.0)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.1.cmp(&b.1))
-                    });
+                    .max_by_key(|&(t, i)| (t.key(), i));
                 if let Some((_, index)) = last_provisioning {
                     self.engines[index].lifecycle = Lifecycle::Departed { at: t };
+                    self.provisioning = self.provisioning.saturating_sub(1);
                     self.cancelled_joins += 1;
+                    self.mark_dirty(index);
                 } else {
                     // Drain the serving replica with the least outstanding
                     // work.
@@ -1349,13 +1882,14 @@ impl FleetLoop<'_> {
                         .iter()
                         .enumerate()
                         .filter(|(_, e)| e.is_serving())
-                        .min_by_key(|(i, e)| (e.view(t).outstanding_tokens, *i))
+                        .min_by_key(|(i, e)| (e.view().outstanding_tokens, *i))
                         .map(|(i, _)| i);
                     let Some(index) = victim else {
                         return Ok(());
                     };
                     let rid = ReplicaId(index);
                     let queued = self.engines[index].begin_drain(t);
+                    self.mark_dirty(index);
                     self.drains.push((rid, t));
                     for request in queued {
                         self.rerouted.insert(request.id);
@@ -1368,6 +1902,122 @@ impl FleetLoop<'_> {
                 self.last_scale = Some(t);
             }
             ScaleDecision::Up | ScaleDecision::Down => {}
+        }
+        Ok(())
+    }
+
+    /// Processes the replica-internal events due strictly before `bound`
+    /// (all pending events when `bound` is `None`). Indexed loop only.
+    ///
+    /// Between two global sync points (arrivals, timeline actions,
+    /// provisioning completions) replicas do not interact, so each due
+    /// replica's event chain is drained independently — sharded across
+    /// `self.threads` workers when enough replicas are due — and the settled
+    /// events are merged back in `(time, replica index)` order. That is
+    /// exactly the reference loop's one-global-min-at-a-time processing
+    /// order: ties go to the lower replica index, and each replica's own
+    /// events stay chronological.
+    ///
+    /// With an autoscaler installed the window degenerates to a single
+    /// event: the autoscaler may react to every completion batch, and its
+    /// actions are global sync points that end the window.
+    fn step_window(&mut self, bound: Option<Seconds>) -> Result<(), EngineError> {
+        let before = |t: Seconds| bound.is_none_or(|b| t < b);
+        if self.spec.autoscaler.is_some() {
+            let Some((t, index)) = self.events.peek() else {
+                return Ok(());
+            };
+            if !before(t) {
+                return Ok(());
+            }
+            let completed = self.engines[index].step_to(t)?;
+            self.mark_dirty(index);
+            let had_completions = !completed.is_empty();
+            self.note_completions(index, completed);
+            if self.engines[index].drain_finished() {
+                self.depart(index, t);
+            }
+            if had_completions {
+                self.maybe_autoscale(t)?;
+            }
+            return Ok(());
+        }
+
+        // Claim every replica whose next event falls inside the window,
+        // retiring their heap entries up front; the dirty set re-syncs their
+        // refreshed state after the drain.
+        let mut due: Vec<usize> = Vec::new();
+        while let Some((t, index)) = self.events.peek() {
+            if !before(t) {
+                break;
+            }
+            self.events.refresh(index, None);
+            self.mark_dirty(index);
+            due.push(index);
+        }
+        if due.is_empty() {
+            return Ok(());
+        }
+
+        let batches: Vec<(usize, Vec<WindowEvent>)> =
+            if self.threads <= 1 || due.len() < MIN_SHARD_REPLICAS {
+                let mut out = Vec::with_capacity(due.len());
+                for index in due {
+                    out.push((index, self.engines[index].drain_window(bound)?));
+                }
+                out
+            } else {
+                let mut is_due = vec![false; self.engines.len()];
+                for &index in &due {
+                    is_due[index] = true;
+                }
+                let mut workers: Vec<(usize, &mut ReplicaEngine)> = self
+                    .engines
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(i, _)| is_due[*i])
+                    .collect();
+                let per_worker = workers.len().div_ceil(self.threads);
+                let results: Vec<ShardOutcome> = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = workers
+                        .chunks_mut(per_worker)
+                        .map(|shard| {
+                            s.spawn(move || {
+                                shard
+                                    .iter_mut()
+                                    .map(|(index, engine)| {
+                                        engine.drain_window(bound).map(|events| (*index, events))
+                                    })
+                                    .collect::<ShardOutcome>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                })
+                .expect("scope never errors");
+                let mut out = Vec::with_capacity(due.len());
+                for result in results {
+                    out.extend(result?);
+                }
+                out
+            };
+
+        // Merge the per-replica chronological event lists back into the
+        // reference loop's global processing order (stable on equal keys, so
+        // each replica's own events keep their order).
+        let mut ordered: Vec<(Seconds, usize, WindowEvent)> = batches
+            .into_iter()
+            .flat_map(|(index, events)| events.into_iter().map(move |e| (e.at, index, e)))
+            .collect();
+        ordered.sort_by_key(|&(t, index, _)| (t.key(), index));
+        for (t, index, event) in ordered {
+            self.note_completions(index, event.completed);
+            if event.departed {
+                self.depart(index, t);
+            }
         }
         Ok(())
     }
@@ -1429,7 +2079,20 @@ struct ReplicaEngine {
     step: Seconds,
     parts: Vec<PartitionState>,
     active: Vec<InFlight>,
+    /// Waiting queue, kept sorted in `queue_order` so admission passes can use
+    /// the scheduler's presorted fast path ([`Scheduler::backfill_sorted`]).
     ready: Vec<Request>,
+    queue_order: QueueOrder,
+    // Incrementally-maintained aggregates that make `view()` O(1): the
+    // waiting queue's end-of-generation token projection, its total
+    // generation length (the admission controller's TTFT numerator), its
+    // oldest arrival, the tokens still to decode across active requests
+    // (continuous mode) and across in-flight rounds (round-to-completion).
+    ready_tokens: u64,
+    ready_gen: u64,
+    ready_oldest: Option<Seconds>,
+    active_remaining: u64,
+    in_round_gen: u64,
     pending_admission: Option<Seconds>,
     round_start: Seconds,
     round_end: Option<Seconds>,
@@ -1459,6 +2122,7 @@ impl ReplicaEngine {
     ) -> Self {
         let node_desc = evaluator.node().describe();
         let parts = vec![PartitionState::default(); batching.num_micro_batches];
+        let queue_order = scheduler.queue_order();
         ReplicaEngine {
             id,
             evaluator,
@@ -1476,6 +2140,12 @@ impl ReplicaEngine {
             parts,
             active: Vec::new(),
             ready: Vec::new(),
+            queue_order,
+            ready_tokens: 0,
+            ready_gen: 0,
+            ready_oldest: None,
+            active_remaining: 0,
+            in_round_gen: 0,
             pending_admission: None,
             round_start: Seconds::ZERO,
             round_end: None,
@@ -1529,7 +2199,7 @@ impl ReplicaEngine {
     /// zero for a cold replica with no step history — admission control
     /// should not reject into an idle fleet.
     fn projected_ttft(&self, _request: &Request) -> Seconds {
-        let queued_gen: u64 = self.ready.iter().map(|r| r.gen_len).sum();
+        let queued_gen: u64 = self.ready_gen;
         if queued_gen == 0 {
             return Seconds::ZERO;
         }
@@ -1561,10 +2231,11 @@ impl ReplicaEngine {
     /// the replica, so nothing it was still generating was delivered. Billed
     /// time is truncated to what actually elapsed.
     fn fail(&mut self, t: Seconds) -> Vec<Request> {
-        let mut lost: Vec<Request> = std::mem::take(&mut self.ready);
+        let mut lost: Vec<Request> = self.take_ready();
         match self.mode {
             ServingMode::Continuous => {
                 let active = std::mem::take(&mut self.active);
+                self.active_remaining = 0;
                 for a in active {
                     self.parts[a.partition].release(&a.request);
                     self.unwind_admission(a.wave, &a.request);
@@ -1576,6 +2247,7 @@ impl ReplicaEngine {
             }
             ServingMode::RoundToCompletion => {
                 let pending = std::mem::take(&mut self.in_round);
+                self.in_round_gen = 0;
                 if self.round_end.take().is_some() {
                     let round = self.rounds.len() - 1;
                     for p in &pending {
@@ -1619,7 +2291,7 @@ impl ReplicaEngine {
     fn begin_drain(&mut self, t: Seconds) -> Vec<Request> {
         self.lifecycle = Lifecycle::Draining { since: t };
         self.pending_admission = None;
-        std::mem::take(&mut self.ready)
+        self.take_ready()
     }
 
     /// Whether the request could ever be admitted here: its own prompt +
@@ -1632,65 +2304,72 @@ impl ReplicaEngine {
         self.batching.cache_tokens_per_micro_batch * self.batching.num_micro_batches as u64
     }
 
-    /// Router-visible snapshot as of `now` (between events, decode progress is
-    /// interpolated in whole steps; KV reservations are exact).
-    fn view(&self, now: Seconds) -> ReplicaView {
-        let queued_tokens: u64 = self.ready.iter().map(Request::max_context).sum();
-        let queued_kv = queued_tokens; // end-of-generation projection
+    /// Router-visible snapshot of the replica *as of its last processed
+    /// event*: queued work exactly, active work as the tokens still to be
+    /// delivered (continuous mode) or committed to the in-flight round
+    /// (round-to-completion). The view is a pure function of engine state —
+    /// decode progress between events is not interpolated — which is what
+    /// lets the indexed dispatch path cache one view per replica and keep the
+    /// routers' incremental indexes exact.
+    fn view(&self) -> ReplicaView {
         let (active_requests, active_tokens, kv_active) = match self.mode {
             ServingMode::Continuous => {
-                let steps_done = if self.step.as_secs() > 0.0 {
-                    ((now - self.segment_start).as_secs() / self.step.as_secs()).floor() as u64
-                } else {
-                    0
-                };
-                let tokens: u64 = self
-                    .active
-                    .iter()
-                    .map(|a| {
-                        a.remaining
-                            .saturating_sub(steps_done.min(a.remaining.saturating_sub(1)))
-                    })
-                    .sum();
                 let kv: u64 = self.parts.iter().map(|p| p.cache_tokens).sum();
-                (self.active.len(), tokens, kv)
+                (self.active.len(), self.active_remaining, kv)
             }
             ServingMode::RoundToCompletion => {
-                // Per pending request: the whole decode steps left until its
-                // known completion instant, capped at its generation length
-                // (the prefill window projects the full generation).
-                let tokens: u64 = self
-                    .in_round
-                    .iter()
-                    .map(|p| {
-                        let gen = p.latency.request.gen_len;
-                        if self.round_step.as_secs() > 0.0 {
-                            (((p.at - now.min(p.at)).as_secs() / self.round_step.as_secs()).ceil()
-                                as u64)
-                                .min(gen)
-                        } else {
-                            0
-                        }
-                    })
-                    .sum();
-                (self.in_round.len(), tokens, self.kv_in_round)
+                (self.in_round.len(), self.in_round_gen, self.kv_in_round)
             }
         };
         ReplicaView {
             id: self.id,
             queued_requests: self.ready.len(),
             active_requests,
-            outstanding_tokens: queued_tokens + active_tokens,
+            outstanding_tokens: self.ready_tokens + active_tokens,
             kv_capacity: self.kv_capacity(),
-            kv_projected: kv_active + queued_kv,
-            oldest_queued_arrival: self.ready.iter().map(|r| r.arrival).reduce(Seconds::min),
+            kv_projected: kv_active + self.ready_tokens,
+            oldest_queued_arrival: self.ready_oldest,
         }
+    }
+
+    /// Inserts a request into the waiting queue at its scheduler-order
+    /// position and maintains the queue aggregates.
+    fn push_ready(&mut self, request: Request) {
+        self.ready_tokens += request.max_context();
+        self.ready_gen += request.gen_len;
+        self.ready_oldest = Some(match self.ready_oldest {
+            Some(oldest) => oldest.min(request.arrival),
+            None => request.arrival,
+        });
+        let at = self.queue_order.insertion_point(&self.ready, &request);
+        self.ready.insert(at, request);
+    }
+
+    /// Replaces the waiting queue (already in scheduler order — deferred
+    /// requests come back in admission order) and recomputes the aggregates.
+    fn set_ready(&mut self, ready: Vec<Request>) {
+        self.ready = ready;
+        self.ready_tokens = self.ready.iter().map(Request::max_context).sum();
+        self.ready_gen = self.ready.iter().map(|r| r.gen_len).sum();
+        self.ready_oldest = self.ready.iter().map(|r| r.arrival).reduce(Seconds::min);
+        debug_assert!(self
+            .ready
+            .windows(2)
+            .all(|w| self.queue_order.cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater));
+    }
+
+    /// Takes the waiting queue, leaving it empty with zeroed aggregates.
+    fn take_ready(&mut self) -> Vec<Request> {
+        self.ready_tokens = 0;
+        self.ready_gen = 0;
+        self.ready_oldest = None;
+        std::mem::take(&mut self.ready)
     }
 
     /// Accepts a routed request at global time `now`, arming the next
     /// admission event.
     fn enqueue(&mut self, request: Request, now: Seconds) {
-        self.ready.push(request);
+        self.push_ready(request);
         let effective = now.max(self.clock);
         let at = match self.mode {
             ServingMode::RoundToCompletion => {
@@ -1774,6 +2453,35 @@ impl ReplicaEngine {
         }
     }
 
+    /// Settles every internal event due strictly before `bound` (all pending
+    /// events when `bound` is `None`), independently of the rest of the
+    /// fleet. Returns the settled events in chronological order, keeping
+    /// only the ones the control plane must observe (completions or a drain
+    /// finishing); stops at a finished drain — the departure is a
+    /// fleet-level transition the control plane applies first.
+    fn drain_window(&mut self, bound: Option<Seconds>) -> Result<Vec<WindowEvent>, EngineError> {
+        let mut out = Vec::new();
+        while self.has_events() {
+            let Some(t) = self.next_event() else { break };
+            if bound.is_some_and(|b| t >= b) {
+                break;
+            }
+            let completed = self.step_to(t)?;
+            let departed = self.drain_finished();
+            if !completed.is_empty() || departed {
+                out.push(WindowEvent {
+                    at: t,
+                    completed,
+                    departed,
+                });
+            }
+            if departed {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
     fn step_continuous(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
         let mut completed: Vec<RequestLatency> = Vec::new();
         if self.active.is_empty() {
@@ -1841,7 +2549,12 @@ impl ReplicaEngine {
     }
 
     /// Advances decode by `steps` whole steps from the current segment start.
+    /// Callers cap `steps` at the minimum remaining generation, so the
+    /// fleet-wide remaining-token aggregate decreases exactly in lockstep.
     fn advance_decode(&mut self, steps: u64) {
+        self.active_remaining = self
+            .active_remaining
+            .saturating_sub(steps.saturating_mul(self.active.len() as u64));
         let advance = self.step.scale(steps as f64);
         let first_token_at = self.segment_start + self.step;
         self.clock = self.segment_start + advance;
@@ -1886,16 +2599,31 @@ impl ReplicaEngine {
         &mut self,
         completed: &mut Vec<RequestLatency>,
     ) -> Result<bool, EngineError> {
+        // Saturation precheck: when the total-admission cap or every request
+        // slot is already exhausted the scheduler cannot admit anything, so
+        // skip the pass entirely. The abort-on-empty-pipeline path below is
+        // unreachable in that state — a saturated pipeline implies in-flight
+        // work (both caps are validated non-zero).
+        let in_flight: usize = self.parts.iter().map(|p| p.requests).sum();
+        if in_flight >= self.batching.max_scheduled_requests
+            || self
+                .parts
+                .iter()
+                .all(|p| p.requests >= self.batching.max_requests_per_micro_batch)
+        {
+            return Ok(false);
+        }
         let fill = self
             .scheduler
-            .backfill(&self.ready, &self.batching, &self.parts);
+            .backfill_sorted(&self.ready, &self.batching, &self.parts);
         let admitted = fill.admitted();
-        self.ready = fill.deferred;
+        self.set_ready(fill.deferred);
         if admitted == 0 {
             if self.active.is_empty() && !self.ready.is_empty() {
                 // An empty pipeline refused the whole queue (padded KV charges
                 // can overflow the budget): abort rather than stall forever.
-                self.aborted.append(&mut self.ready);
+                let mut refused = self.take_ready();
+                self.aborted.append(&mut refused);
             }
             return Ok(false);
         }
@@ -1943,6 +2671,7 @@ impl ReplicaEngine {
                     completed.push(latency);
                     continue;
                 }
+                self.active_remaining += request.gen_len;
                 self.active.push(InFlight {
                     request,
                     partition,
@@ -2053,6 +2782,9 @@ impl ReplicaEngine {
         while i < self.in_round.len() {
             if self.in_round[i].at <= t {
                 let done = self.in_round.swap_remove(i);
+                self.in_round_gen = self
+                    .in_round_gen
+                    .saturating_sub(done.latency.request.gen_len);
                 self.latencies.push(done.latency);
                 completed.push(done.latency);
             } else {
@@ -2080,8 +2812,8 @@ impl ReplicaEngine {
     /// Forms one round-to-completion round from the waiting queue; mirrors the
     /// single-node round loop's costing and latency bookkeeping.
     fn admit_round(&mut self) -> Result<(), EngineError> {
-        let formed = self.scheduler.plan(&self.ready, &self.batching);
-        self.ready.clear();
+        let formed = self.scheduler.plan_sorted(&self.ready, &self.batching);
+        self.take_ready();
         if formed.scheduled_requests() == 0 {
             // No scheduler progress on an empty pipeline (padded KV charge
             // overflow): abort rather than loop.
@@ -2168,6 +2900,7 @@ impl ReplicaEngine {
                 at: self.clock + prefill_time + step.scale(request.gen_len as f64),
             })
             .collect();
+        self.in_round_gen = generated_tokens;
         self.kv_in_round = kv_reserved.iter().sum();
         self.round_start = self.clock;
         self.round_end = Some(self.clock + prefill_time + decode_time);
@@ -2190,7 +2923,7 @@ impl ReplicaEngine {
             prompt_token_spread: formed.prompt_token_spread(),
             report,
         });
-        self.ready = formed.aborted;
+        self.set_ready(formed.aborted);
         Ok(())
     }
 

@@ -144,7 +144,7 @@ impl FleetTimeline {
     /// The events in execution order (stable: ties keep insertion order).
     pub(crate) fn sorted_events(&self) -> Vec<(Seconds, FleetAction)> {
         let mut events = self.events.clone();
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        events.sort_by_key(|e| e.0.key());
         events
     }
 }

@@ -56,7 +56,7 @@ pub use settings::EvalSetting;
 pub use system::SystemKind;
 
 // Re-export the most used building blocks so downstream users need only this crate.
-pub use moe_hardware::{ByteSize, NodeSpec, Seconds};
+pub use moe_hardware::{ByteSize, NodeSpec, Seconds, TimeKey};
 pub use moe_model::MoeModelConfig;
 pub use moe_policy::{Policy, PolicyGenerator, PolicyOptimizer, WorkloadShape};
 pub use moe_runtime::{EngineConfig, PipelinedMoeEngine};

@@ -320,12 +320,7 @@ impl<'a> ServingSession<'a> {
 
     /// Sorts by arrival time (ties by id) so both loops can ingest in order.
     fn sort_by_arrival(queue: &mut [Request]) {
-        queue.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        queue.sort_by_key(|r| (r.arrival.key(), r.id));
     }
 
     fn serve_round_to_completion(

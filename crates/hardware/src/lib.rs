@@ -42,7 +42,7 @@ pub mod units;
 pub use devices::{CpuSpec, GpuSpec, LinkSpec};
 pub use dtype::{DType, ParseDTypeError};
 pub use node::NodeSpec;
-pub use units::{Bandwidth, ByteSize, ComputeRate, FlopCount, Seconds};
+pub use units::{Bandwidth, ByteSize, ComputeRate, FlopCount, Seconds, TimeKey};
 
 #[cfg(test)]
 mod proptests {

@@ -478,6 +478,52 @@ impl Seconds {
     pub fn is_zero(self) -> bool {
         self.0 == 0.0
     }
+
+    /// Total-order sort key for this instant (see [`TimeKey`]).
+    ///
+    /// `Seconds` is only [`PartialOrd`] because it wraps an `f64`;
+    /// event-selection code that sorts, min-reduces or heap-orders simulated
+    /// times must not silently treat NaN as equal (the classic
+    /// `partial_cmp(..).unwrap_or(Equal)` bug: a NaN-stamped event compares
+    /// equal to *everything* and event order becomes dependent on scan
+    /// order). `TimeKey` uses IEEE-754 `total_cmp` semantics, so ordering is
+    /// total, deterministic, and agrees with `<` on ordinary values.
+    pub fn key(self) -> TimeKey {
+        TimeKey::new(self.0)
+    }
+}
+
+/// A totally ordered key for a [`Seconds`] instant.
+///
+/// Wraps the IEEE-754 total order (`f64::total_cmp`) in an `Ord` type so
+/// simulated times can key binary heaps, `sort_by_key` and `min_by_key`
+/// without the NaN-as-equal pitfall of `partial_cmp(..).unwrap_or(Equal)`.
+/// On ordinary (non-NaN) durations the order agrees with `<` exactly; NaN
+/// sorts after every finite value and +∞, so a corrupted timestamp lands
+/// deterministically at the *end* of any schedule instead of anywhere the
+/// scan happens to leave it. Shared by the fleet loop's event heap, the
+/// router indexes and the workload schedulers' arrival sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeKey(u64);
+
+impl TimeKey {
+    /// Builds the key from raw seconds: the sign-folded bit pattern that makes
+    /// lexicographic `u64` order equal `f64::total_cmp` order.
+    fn new(secs: f64) -> Self {
+        let bits = secs.to_bits() as i64;
+        // Non-negative floats order by their bit pattern; negative floats
+        // order reversed. Flipping all bits of negatives (and only the sign
+        // bit of non-negatives) makes the whole line monotone in unsigned
+        // order — exactly `total_cmp`.
+        let folded = bits ^ ((bits >> 63) | i64::MIN);
+        TimeKey(folded as u64)
+    }
+}
+
+impl From<Seconds> for TimeKey {
+    fn from(s: Seconds) -> Self {
+        s.key()
+    }
 }
 
 impl fmt::Display for Seconds {
@@ -669,6 +715,29 @@ mod tests {
         assert_eq!(format!("{}", Seconds::from_secs(2.0)), "2.000 s");
         assert_eq!(format!("{}", Seconds::from_millis(2.0)), "2.000 ms");
         assert_eq!(format!("{}", Seconds::from_micros(2.0)), "2.000 µs");
+    }
+
+    #[test]
+    fn time_key_is_a_total_order_matching_f64_comparison() {
+        let times = [0.0, 1e-12, 0.5, 1.0, 1e9, f64::INFINITY];
+        for w in times.windows(2) {
+            assert!(
+                Seconds::from_secs(w[0]).key() < Seconds::from_secs(w[1]).key(),
+                "{} must key below {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(
+            Seconds::from_secs(3.25).key(),
+            Seconds::from_secs(3.25).key()
+        );
+        assert_eq!(TimeKey::from(Seconds::ZERO), Seconds::ZERO.key());
+        // NaN keys deterministically *after* every ordinary instant (instead
+        // of comparing equal to everything, the partial_cmp pitfall).
+        let nan = Seconds(f64::NAN).key();
+        assert!(nan > Seconds::from_secs(f64::INFINITY).key());
+        assert_eq!(nan, Seconds(f64::NAN).key(), "NaN keys are stable");
     }
 
     #[test]

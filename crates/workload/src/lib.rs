@@ -44,7 +44,8 @@ pub use batching::{
 };
 pub use metrics::{BatchRunReport, LatencySummary, RequestLatency};
 pub use scheduler::{
-    builtin_schedulers, Algorithm2, FcfsPadded, Scheduler, ShortestJobFirst, TokenBudget,
+    builtin_schedulers, Algorithm2, FcfsPadded, QueueOrder, Scheduler, ShortestJobFirst,
+    TokenBudget,
 };
 pub use spec::{ArrivalClock, ArrivalProcess, GenLens, Request, WorkloadSpec};
 

@@ -57,6 +57,35 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     /// Short stable identifier recorded in serving reports and table rows.
     fn name(&self) -> &'static str;
 
+    /// The admission order this strategy sorts the queue into, if any.
+    ///
+    /// A serving loop that keeps its waiting queue sorted in this order (one
+    /// binary-search insertion per arrival) may call
+    /// [`Scheduler::backfill_sorted`] instead of [`Scheduler::backfill`] and
+    /// skip the per-event re-sort — the incremental re-planning path. The
+    /// default is [`QueueOrder::Unordered`], which forces the sorting path.
+    fn queue_order(&self) -> QueueOrder {
+        QueueOrder::Unordered
+    }
+
+    /// Like [`Scheduler::backfill`], but `queue` is promised to already be in
+    /// this scheduler's [`Scheduler::queue_order`] — the caller maintained it
+    /// incrementally across scheduling events, so re-planning does not pay
+    /// the O(n log n) sort every continuous-batching backfill.
+    ///
+    /// The default implementation ignores the promise and delegates to
+    /// [`Scheduler::backfill`] (always correct); implementations with a
+    /// declared order override it to skip the sort. Results must be
+    /// *identical* to [`Scheduler::backfill`] on a correctly sorted queue.
+    fn backfill_sorted(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        self.backfill(queue, cfg, occupied)
+    }
+
     /// Runs the assignment over micro-batches that may already hold in-flight
     /// requests (`occupied`, one entry per micro-batch): the continuous-batching
     /// path that re-fills slots freed by completed requests.
@@ -83,17 +112,69 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
         let empty = vec![PartitionState::default(); cfg.num_micro_batches];
         self.backfill(queue, cfg, &empty).into_batching_result()
     }
+
+    /// Like [`Scheduler::plan`], but `queue` is promised to already be in this
+    /// scheduler's [`Scheduler::queue_order`] (see
+    /// [`Scheduler::backfill_sorted`]).
+    fn plan_sorted(&self, queue: &[Request], cfg: &BatchingConfig) -> BatchingResult {
+        let empty = vec![PartitionState::default(); cfg.num_micro_batches];
+        self.backfill_sorted(queue, cfg, &empty)
+            .into_batching_result()
+    }
 }
 
-/// Admission order over the waiting queue.
-#[derive(Debug, Clone, Copy)]
-enum Order {
+/// Admission order over the waiting queue (see [`Scheduler::queue_order`]).
+///
+/// Every order is *total* (ties ultimately break by request id), so a queue
+/// maintained in it by binary-search insertion is byte-identical to one
+/// produced by a full sort — the property the incremental
+/// [`Scheduler::backfill_sorted`] path relies on. Arrival comparisons go
+/// through [`moe_hardware::TimeKey`], so a NaN-stamped arrival orders
+/// deterministically instead of comparing equal to everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOrder {
     /// Longest prompt first (Algorithm 2's sort), ties by id.
     LongestPromptFirst,
     /// Arrival time, ties by id (first come, first served).
     Arrival,
     /// Shortest generation first, ties by prompt length then id.
     ShortestJobFirst,
+    /// No declared order: the scheduler sorts internally on every call.
+    Unordered,
+}
+
+impl QueueOrder {
+    /// Compares two requests in this order. [`QueueOrder::Unordered`] compares
+    /// by id alone (a stable fallback; schedulers declaring it never rely on
+    /// caller-side ordering).
+    pub fn cmp(self, a: &Request, b: &Request) -> std::cmp::Ordering {
+        match self {
+            QueueOrder::LongestPromptFirst => b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)),
+            QueueOrder::Arrival => (a.arrival.key(), a.id).cmp(&(b.arrival.key(), b.id)),
+            QueueOrder::ShortestJobFirst => a
+                .gen_len
+                .cmp(&b.gen_len)
+                .then(a.input_len.cmp(&b.input_len))
+                .then(a.id.cmp(&b.id)),
+            QueueOrder::Unordered => a.id.cmp(&b.id),
+        }
+    }
+
+    /// Sorts `queue` into this order ([`QueueOrder::Unordered`] leaves it
+    /// untouched).
+    pub fn sort(self, queue: &mut [Request]) {
+        if self != QueueOrder::Unordered {
+            queue.sort_by(|a, b| self.cmp(a, b));
+        }
+    }
+
+    /// Where to insert `req` to keep an already-sorted `queue` sorted.
+    pub fn insertion_point(self, queue: &[Request], req: &Request) -> usize {
+        if self == QueueOrder::Unordered {
+            return queue.len();
+        }
+        queue.partition_point(|probe| self.cmp(probe, req) == std::cmp::Ordering::Less)
+    }
 }
 
 /// Placement rule for an admitted request.
@@ -119,9 +200,10 @@ fn run_assignment(
     queue: &[Request],
     cfg: &BatchingConfig,
     occupied: &[PartitionState],
-    order: Order,
+    order: QueueOrder,
     placement: Placement,
     padded: bool,
+    presorted: bool,
 ) -> BackfillResult {
     assert!(cfg.num_micro_batches > 0, "need at least one micro-batch");
     assert!(
@@ -145,28 +227,24 @@ fn run_assignment(
         0
     };
 
-    let mut sorted: Vec<Request> = queue.to_vec();
-    match order {
-        Order::LongestPromptFirst => {
-            sorted.sort_by(|a, b| b.input_len.cmp(&a.input_len).then(a.id.cmp(&b.id)));
-        }
-        Order::Arrival => {
-            sorted.sort_by(|a, b| {
-                a.arrival
-                    .partial_cmp(&b.arrival)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-        Order::ShortestJobFirst => {
-            sorted.sort_by(|a, b| {
-                a.gen_len
-                    .cmp(&b.gen_len)
-                    .then(a.input_len.cmp(&b.input_len))
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-    }
+    // The incremental path: a caller that kept its queue in admission order
+    // (binary-search insertion per arrival) skips the O(n log n) re-sort every
+    // scheduling event pays otherwise.
+    let owned: Vec<Request>;
+    let sorted: &[Request] = if presorted {
+        debug_assert!(
+            queue.windows(2).all(|w| order.cmp(&w[0], &w[1]).is_lt()),
+            "caller promised a queue sorted in {order:?} order"
+        );
+        queue
+    } else {
+        owned = {
+            let mut q = queue.to_vec();
+            order.sort(&mut q);
+            q
+        };
+        &owned
+    };
 
     let kv_cost = |r: &Request| {
         if padded {
@@ -215,11 +293,17 @@ fn run_assignment(
     open.extend(closed.drain(..empty_needed.min(closed.len())));
     open.sort_unstable();
 
+    let slot_capacity = cfg.num_micro_batches * cfg.max_requests_per_micro_batch;
+    let mut total_requests: usize = state.iter().map(|p| p.requests).sum();
     let mut scheduled = in_flight;
-    for req in sorted {
-        if scheduled >= cfg.max_scheduled_requests {
-            deferred.push(req);
-            continue;
+    for (pos, req) in sorted.iter().copied().enumerate() {
+        // Once the total-admission cap or every request slot is exhausted,
+        // nothing further can ever be admitted — defer the rest in bulk
+        // instead of probing each request against a saturated pipeline (the
+        // common steady state of a loaded continuous-batching replica).
+        if scheduled >= cfg.max_scheduled_requests || total_requests >= slot_capacity {
+            deferred.extend_from_slice(&sorted[pos..]);
+            break;
         }
         let cost = kv_cost(&req);
         // Eligibility: a free request slot and KV headroom for this request.
@@ -267,6 +351,7 @@ fn run_assignment(
         state[idx].cache_tokens += cost;
         assignments[idx].push(req);
         scheduled += 1;
+        total_requests += 1;
         if state[idx].requests == cfg.max_requests_per_micro_batch {
             filled_order.push(idx);
         }
@@ -290,6 +375,10 @@ impl Scheduler for Algorithm2 {
         "algo2"
     }
 
+    fn queue_order(&self) -> QueueOrder {
+        QueueOrder::LongestPromptFirst
+    }
+
     fn backfill(
         &self,
         queue: &[Request],
@@ -300,9 +389,27 @@ impl Scheduler for Algorithm2 {
             queue,
             cfg,
             occupied,
-            Order::LongestPromptFirst,
+            QueueOrder::LongestPromptFirst,
             Placement::Balanced,
             false,
+            false,
+        )
+    }
+
+    fn backfill_sorted(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            QueueOrder::LongestPromptFirst,
+            Placement::Balanced,
+            false,
+            true,
         )
     }
 }
@@ -326,6 +433,10 @@ impl Scheduler for FcfsPadded {
         "fcfs-pad"
     }
 
+    fn queue_order(&self) -> QueueOrder {
+        QueueOrder::Arrival
+    }
+
     fn backfill(
         &self,
         queue: &[Request],
@@ -336,8 +447,26 @@ impl Scheduler for FcfsPadded {
             queue,
             cfg,
             occupied,
-            Order::Arrival,
+            QueueOrder::Arrival,
             Placement::FirstFit,
+            true,
+            false,
+        )
+    }
+
+    fn backfill_sorted(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            QueueOrder::Arrival,
+            Placement::FirstFit,
+            true,
             true,
         )
     }
@@ -357,6 +486,10 @@ impl Scheduler for TokenBudget {
         "token-budget"
     }
 
+    fn queue_order(&self) -> QueueOrder {
+        QueueOrder::Arrival
+    }
+
     fn backfill(
         &self,
         queue: &[Request],
@@ -367,9 +500,27 @@ impl Scheduler for TokenBudget {
             queue,
             cfg,
             occupied,
-            Order::Arrival,
+            QueueOrder::Arrival,
             Placement::CountBalanced,
             false,
+            false,
+        )
+    }
+
+    fn backfill_sorted(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            QueueOrder::Arrival,
+            Placement::CountBalanced,
+            false,
+            true,
         )
     }
 }
@@ -386,6 +537,10 @@ impl Scheduler for ShortestJobFirst {
         "sjf"
     }
 
+    fn queue_order(&self) -> QueueOrder {
+        QueueOrder::ShortestJobFirst
+    }
+
     fn backfill(
         &self,
         queue: &[Request],
@@ -396,9 +551,27 @@ impl Scheduler for ShortestJobFirst {
             queue,
             cfg,
             occupied,
-            Order::ShortestJobFirst,
+            QueueOrder::ShortestJobFirst,
             Placement::Balanced,
             false,
+            false,
+        )
+    }
+
+    fn backfill_sorted(
+        &self,
+        queue: &[Request],
+        cfg: &BatchingConfig,
+        occupied: &[PartitionState],
+    ) -> BackfillResult {
+        run_assignment(
+            queue,
+            cfg,
+            occupied,
+            QueueOrder::ShortestJobFirst,
+            Placement::Balanced,
+            false,
+            true,
         )
     }
 }
@@ -629,6 +802,85 @@ mod tests {
     }
 
     #[test]
+    fn queue_orders_are_declared_and_total() {
+        assert_eq!(Algorithm2.queue_order(), QueueOrder::LongestPromptFirst);
+        assert_eq!(FcfsPadded.queue_order(), QueueOrder::Arrival);
+        assert_eq!(TokenBudget.queue_order(), QueueOrder::Arrival);
+        assert_eq!(ShortestJobFirst.queue_order(), QueueOrder::ShortestJobFirst);
+        // Binary-search insertion reproduces the full sort exactly.
+        let queue = vec![req(3, 50, 5), req(0, 500, 2), req(1, 50, 9), req(2, 120, 5)];
+        for order in [
+            QueueOrder::LongestPromptFirst,
+            QueueOrder::Arrival,
+            QueueOrder::ShortestJobFirst,
+        ] {
+            let mut sorted = queue.clone();
+            order.sort(&mut sorted);
+            let mut incremental: Vec<Request> = Vec::new();
+            for r in &queue {
+                let at = order.insertion_point(&incremental, r);
+                incremental.insert(at, *r);
+            }
+            let ids = |v: &[Request]| v.iter().map(|r| r.id).collect::<Vec<_>>();
+            assert_eq!(ids(&incremental), ids(&sorted), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn backfill_sorted_matches_backfill_for_every_scheduler() {
+        let queue: Vec<Request> = (0..40)
+            .map(|i| req(i, 37 + (i * 97) % 400, (i * 13) % 64))
+            .collect();
+        let occupied = [
+            PartitionState {
+                requests: 2,
+                prompt_tokens: 300,
+                cache_tokens: 400,
+            },
+            PartitionState::default(),
+            PartitionState::default(),
+        ];
+        let config = cfg(3, 4, 2_000);
+        for scheduler in builtin_schedulers() {
+            let mut sorted = queue.clone();
+            scheduler.queue_order().sort(&mut sorted);
+            let fast = scheduler.backfill_sorted(&sorted, &config, &occupied);
+            let slow = scheduler.backfill(&queue, &config, &occupied);
+            assert_eq!(
+                fast,
+                slow,
+                "{}: the presorted path must be byte-identical",
+                scheduler.name()
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_pipelines_defer_the_tail_in_order() {
+        // Every slot is taken: the early-exit bulk deferral must return the
+        // whole queue, in admission order, exactly like the per-item path.
+        let queue: Vec<Request> = (0..30).map(|i| req(i, 60 + i, 5)).collect();
+        let full = [PartitionState {
+            requests: 4,
+            prompt_tokens: 100,
+            cache_tokens: 100,
+        }; 2];
+        for scheduler in builtin_schedulers() {
+            let fill = scheduler.backfill(&queue, &cfg(2, 4, 10_000), &full);
+            assert_eq!(fill.admitted(), 0, "{}", scheduler.name());
+            assert_eq!(fill.deferred.len(), 30);
+            let mut expected = queue.clone();
+            scheduler.queue_order().sort(&mut expected);
+            assert_eq!(
+                fill.deferred.iter().map(|r| r.id).collect::<Vec<_>>(),
+                expected.iter().map(|r| r.id).collect::<Vec<_>>(),
+                "{}: deferral keeps admission order",
+                scheduler.name()
+            );
+        }
+    }
+
+    #[test]
     fn trait_objects_are_usable_through_dyn_dispatch() {
         let scheduler: &dyn Scheduler = &Algorithm2;
         let queue = vec![req(0, 10, 5)];
@@ -736,6 +988,44 @@ mod proptests {
                         scheduler.name(), mb.max_cache_tokens(), cache
                     );
                 }
+            }
+        }
+
+        /// Incremental path: `backfill_sorted` on a pre-sorted queue is
+        /// byte-identical to `backfill` on the unsorted one, for every
+        /// scheduler, arbitrary queues and occupancies.
+        #[test]
+        fn backfill_sorted_is_equivalent_to_backfill(
+            (reqs, n_ub, ubs, cache, cap, occupied) in (
+                arbitrary_requests(),
+                1usize..6,
+                1usize..24,
+                1_000u64..40_000,
+                1usize..160,
+            )
+                .prop_flat_map(|(reqs, n_ub, ubs, cache, cap)| {
+                    (
+                        Just(reqs),
+                        Just(n_ub),
+                        Just(ubs),
+                        Just(cache),
+                        Just(cap),
+                        arbitrary_occupancy(n_ub, ubs, cache),
+                    )
+                }),
+        ) {
+            let cfg = BatchingConfig {
+                num_micro_batches: n_ub,
+                max_requests_per_micro_batch: ubs,
+                max_scheduled_requests: cap,
+                cache_tokens_per_micro_batch: cache,
+            };
+            for scheduler in builtin_schedulers() {
+                let mut sorted = reqs.clone();
+                scheduler.queue_order().sort(&mut sorted);
+                let fast = scheduler.backfill_sorted(&sorted, &cfg, &occupied);
+                let slow = scheduler.backfill(&reqs, &cfg, &occupied);
+                prop_assert_eq!(fast, slow, "{} diverged on the presorted path", scheduler.name());
             }
         }
 

@@ -1,0 +1,264 @@
+//! Loop-equivalence suite for the fleet-scale hot path: the indexed fleet
+//! loop (event heap, incremental router indexes, sharded replica stepping)
+//! must reproduce the reference scan loop's [`ClusterReport`] *exactly* —
+//! same routing decisions, same completion instants, same availability
+//! accounting — on pinned seeds, under churn, in both serving modes, for
+//! every built-in router, and at every shard thread count.
+
+use moe_lightning::{
+    builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, EvalSetting, FleetTimeline,
+    NodeSpec, Policy, QueueDepthScaler, ReplicaId, ReplicaSpec, Router, ScaleBounds, Seconds,
+    ServingMode, SystemKind,
+};
+use moe_workload::{ArrivalProcess, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MODES: [ServingMode; 2] = [ServingMode::RoundToCompletion, ServingMode::Continuous];
+
+fn reference() -> ClusterEvaluator {
+    ClusterEvaluator::new(EvalSetting::S1.model()).with_reference_loop()
+}
+
+fn indexed(threads: usize) -> ClusterEvaluator {
+    ClusterEvaluator::new(EvalSetting::S1.model()).with_shard_threads(threads)
+}
+
+fn secs(s: f64) -> Seconds {
+    Seconds::from_secs(s)
+}
+
+/// The pinned seed-11 churn scenario: a 4-replica T4 fleet under Poisson
+/// load with a mid-run failure, a delayed join and a drain — every control
+/// transition the loop handles, in one timeline.
+fn churn_spec(mode: ServingMode, router: Arc<dyn Router>) -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        SystemKind::MoeLightning,
+        WorkloadSpec::mtbench(),
+        &NodeSpec::t4_single(),
+        4,
+    )
+    .with_count(400)
+    .with_mixed_gen_lens()
+    .with_seed(11)
+    .with_mode(mode)
+    .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 2.0 })
+    .with_router(router)
+    .with_timeline(
+        FleetTimeline::new()
+            .fail_at(secs(50.0), ReplicaId(1))
+            .join_at(secs(60.0), ReplicaSpec::new(NodeSpec::t4_single()))
+            .drain_at(secs(90.0), ReplicaId(0))
+            .with_provisioning_delay(secs(20.0)),
+    )
+}
+
+fn assert_reports_identical(a: &ClusterReport, b: &ClusterReport, label: &str) {
+    // One field-by-field pass first so a mismatch names the diverging part
+    // instead of dumping two full reports.
+    assert_eq!(
+        a.availability, b.availability,
+        "{label}: availability accounting diverged"
+    );
+    assert_eq!(a.totals, b.totals, "{label}: fleet totals diverged");
+    assert_eq!(
+        a.replicas.len(),
+        b.replicas.len(),
+        "{label}: replica count diverged"
+    );
+    for (ra, rb) in a.replicas.iter().zip(&b.replicas) {
+        assert_eq!(
+            ra, rb,
+            "{label}: replica {:?} diverged",
+            ra.kv_budget_per_micro_batch
+        );
+    }
+    assert_eq!(a, b, "{label}: reports diverged");
+}
+
+/// Tentpole equivalence: for every built-in router in both serving modes,
+/// the indexed loop's report equals the reference scan loop's bit-for-bit on
+/// the pinned churn scenario.
+#[test]
+fn indexed_loop_matches_reference_for_every_router_under_churn() {
+    for mode in MODES {
+        for router in builtin_routers() {
+            let name = router.name();
+            let want = reference().run(&churn_spec(mode, router.clone())).unwrap();
+            let got = indexed(1).run(&churn_spec(mode, router)).unwrap();
+            assert_reports_identical(&want, &got, &format!("{name} [{mode}]"));
+        }
+    }
+}
+
+/// Sharded stepping is deterministic and thread-count-independent: 1, 2 and
+/// 4 worker threads all reproduce the reference report on a fleet large
+/// enough that windows actually shard.
+#[test]
+fn sharded_stepping_matches_reference_at_every_thread_count() {
+    for mode in MODES {
+        for router in builtin_routers() {
+            let name = router.name();
+            let spec = |r: Arc<dyn Router>| {
+                ClusterSpec::homogeneous(
+                    SystemKind::MoeLightning,
+                    WorkloadSpec::mtbench(),
+                    &NodeSpec::t4_single(),
+                    8,
+                )
+                .with_count(400)
+                .with_mixed_gen_lens()
+                .with_seed(11)
+                .with_mode(mode)
+                .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 6.0 })
+                .with_router(r)
+            };
+            let want = reference().run(&spec(router.clone())).unwrap();
+            for threads in [1, 2, 4] {
+                let got = indexed(threads).run(&spec(router.clone())).unwrap();
+                assert_reports_identical(
+                    &want,
+                    &got,
+                    &format!("{name} [{mode}] threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// With an autoscaler installed the indexed loop degenerates to per-event
+/// stepping so the scaler observes every completion batch — and still
+/// matches the reference loop exactly, including the scale decisions.
+#[test]
+fn indexed_loop_matches_reference_with_an_autoscaler() {
+    for mode in MODES {
+        let spec = || {
+            ClusterSpec::homogeneous(
+                SystemKind::MoeLightning,
+                WorkloadSpec::mtbench(),
+                &NodeSpec::t4_single(),
+                2,
+            )
+            .with_count(300)
+            .with_gen_len(32)
+            .with_seed(11)
+            .with_mode(mode)
+            .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 3.0 })
+            .with_timeline(FleetTimeline::new().with_provisioning_delay(secs(10.0)))
+            .with_autoscaler(
+                Arc::new(QueueDepthScaler::new(8.0, 1.0)),
+                ScaleBounds::new(1, 6, secs(15.0)),
+            )
+        };
+        let want = reference().run(&spec()).unwrap();
+        let got = indexed(4).run(&spec()).unwrap();
+        assert_reports_identical(&want, &got, &format!("autoscaled [{mode}]"));
+        assert!(
+            !want.availability.joins.is_empty() || !want.availability.drains.is_empty(),
+            "[{mode}] the scenario must actually exercise the autoscaler"
+        );
+    }
+}
+
+/// Fleet-scaled arrivals stamp each request lazily at the then-current
+/// serving count; the indexed loop's O(1) serving count must agree with the
+/// reference scan at every stamping instant.
+#[test]
+fn indexed_loop_matches_reference_with_fleet_scaled_arrivals() {
+    let spec = || {
+        ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            3,
+        )
+        .with_count(300)
+        .with_gen_len(32)
+        .with_seed(11)
+        .with_mode(ServingMode::Continuous)
+        .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 0.8 })
+        .with_fleet_scaled_arrivals()
+        .with_timeline(
+            FleetTimeline::new()
+                .fail_at(secs(40.0), ReplicaId(2))
+                .join_at(secs(70.0), ReplicaSpec::new(NodeSpec::t4_single()))
+                .with_provisioning_delay(secs(5.0)),
+        )
+    };
+    let want = reference().run(&spec()).unwrap();
+    let got = indexed(2).run(&spec()).unwrap();
+    assert_reports_identical(&want, &got, "fleet-scaled arrivals");
+}
+
+/// A heterogeneous fleet (different KV budgets per replica) exercises the
+/// indexed dispatch's eligible-subset fallback; the chosen replicas must
+/// still match the reference filter scan.
+#[test]
+fn indexed_loop_matches_reference_on_heterogeneous_budgets() {
+    for mode in MODES {
+        let spec = || {
+            ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+                .with_replica(
+                    ReplicaSpec::new(NodeSpec::t4_single())
+                        .with_policy(Policy::offload_default(64, 16)),
+                )
+                .with_replica(
+                    ReplicaSpec::new(NodeSpec::t4_single())
+                        .with_policy(Policy::offload_default(16, 4)),
+                )
+                .with_replica(
+                    ReplicaSpec::new(NodeSpec::t4_single())
+                        .with_policy(Policy::offload_default(32, 8)),
+                )
+                .with_count(240)
+                .with_mixed_gen_lens()
+                .with_seed(11)
+                .with_mode(mode)
+                .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 1.5 })
+        };
+        let want = reference().run(&spec()).unwrap();
+        let got = indexed(2).run(&spec()).unwrap();
+        assert_reports_identical(&want, &got, &format!("heterogeneous [{mode}]"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the tentpole guarantee: over random seeds, fleet
+    /// sizes, loads and serving modes, the indexed sharded loop and the
+    /// reference scan loop produce identical reports.
+    #[test]
+    fn indexed_loop_matches_reference_on_random_scenarios(
+        seed in 0u64..1000,
+        replicas in 1usize..6,
+        count in 50usize..250,
+        rate_x10 in 5u64..40,
+        mode_seed in 0u8..2,
+        threads in 1usize..4,
+    ) {
+        let mode = if mode_seed == 0 {
+            ServingMode::RoundToCompletion
+        } else {
+            ServingMode::Continuous
+        };
+        let spec = || {
+            ClusterSpec::homogeneous(
+                SystemKind::MoeLightning,
+                WorkloadSpec::mtbench(),
+                &NodeSpec::t4_single(),
+                replicas,
+            )
+            .with_count(count)
+            .with_mixed_gen_lens()
+            .with_seed(seed)
+            .with_mode(mode)
+            .with_arrivals(ArrivalProcess::Poisson {
+                rate_per_sec: rate_x10 as f64 / 10.0,
+            })
+        };
+        let want = reference().run(&spec()).unwrap();
+        let got = indexed(threads).run(&spec()).unwrap();
+        prop_assert_eq!(&want, &got);
+    }
+}

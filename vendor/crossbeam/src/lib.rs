@@ -1,5 +1,107 @@
-//! Offline shim for `crossbeam`: only the `channel::{unbounded, Sender, Receiver}`
-//! subset the workspace uses, implemented over `std::sync::mpsc`.
+//! Offline shim for `crossbeam`: only the subset the workspace uses — the
+//! `channel::{unbounded, Sender, Receiver}` API implemented over
+//! `std::sync::mpsc`, and `thread::scope` for borrowing scoped workers
+//! implemented over `std::thread::scope`.
+
+/// Scoped threads (`crossbeam::thread` subset).
+///
+/// Mirrors `crossbeam::thread::scope` closely enough for the workspace: the
+/// closure receives a [`Scope`](thread::Scope) whose
+/// [`spawn`](thread::Scope::spawn) may borrow from the
+/// enclosing stack frame, and every spawned thread is joined before `scope`
+/// returns. One divergence from the real crate: `spawn` takes a plain
+/// `FnOnce()` (the real crate passes `&Scope` back into the closure for
+/// nested spawns, which nothing here needs).
+pub mod thread {
+    /// Handle to a scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow non-`'static` data from the
+        /// enclosing frame; it is joined (at the latest) when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; unjoined threads are
+    /// joined automatically before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (kept for crossbeam API compatibility): panics in
+    /// unjoined child threads propagate as a panic here instead.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(|s| Ok(f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .sum()
+            })
+            .expect("scope never errors");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn scoped_threads_can_mutate_disjoint_chunks() {
+            let mut data = vec![0u64; 8];
+            super::scope(|s| {
+                let mut handles = Vec::new();
+                for (i, chunk) in data.chunks_mut(4).enumerate() {
+                    handles.push(s.spawn(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (i * 4 + j) as u64;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker panicked");
+                }
+            })
+            .expect("scope never errors");
+            assert_eq!(data, (0..8).collect::<Vec<u64>>());
+        }
+    }
+}
 
 /// Multi-producer channels (`crossbeam::channel` subset).
 pub mod channel {
