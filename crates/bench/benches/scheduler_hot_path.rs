@@ -4,14 +4,17 @@
 //! token-balanced placement) is compared against the length-blind
 //! `TokenBudget` port at 1k and 8k request queues, so scheduler and router
 //! changes have a perf baseline. A fleet-scale case benches the whole
-//! cluster loop (indexed vs reference scan) at a 256-replica fleet.
+//! cluster loop (indexed vs reference scan) at a 256-replica fleet, and a
+//! single-node case benches the engine-backed `ServingSession::serve`
+//! against the preserved legacy loops (the ISSUE 7 rebase must not be
+//! slower).
 //!
 //! Run with `cargo bench -p moe-bench --bench scheduler_hot_path`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use moe_lightning::{
     ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, NodeSpec, ServingMode,
-    SystemKind,
+    ServingSession, SystemEvaluator, SystemKind,
 };
 use moe_workload::{
     Algorithm2, ArrivalProcess, BatchingConfig, PartitionState, Request, Scheduler, TokenBudget,
@@ -107,5 +110,37 @@ fn bench_fleet_loop(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_plan, bench_backfill, bench_fleet_loop);
+/// Single-node serving: the engine-backed `ServingSession::serve` (one
+/// `ReplicaEngine` driven by arrival interleaving) against the pre-refactor
+/// loops preserved in `moe_lightning::reference`, in both serving modes on a
+/// 1k mixed-generation Poisson queue.
+fn bench_single_node(c: &mut Criterion) {
+    let eval = SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model());
+    let workload = WorkloadSpec::mtbench();
+    let mut requests = queue(1000);
+    ArrivalProcess::Poisson { rate_per_sec: 2.0 }.stamp(&mut requests, 7);
+    for mode in [ServingMode::RoundToCompletion, ServingMode::Continuous] {
+        let session = ServingSession::new(&eval, SystemKind::MoeLightning, &workload, 64)
+            .unwrap()
+            .with_mode(mode);
+        c.bench_function(&format!("single_node/engine/{}/1000", mode.label()), |b| {
+            b.iter(|| session.serve(requests.clone()).unwrap().served_requests())
+        });
+        c.bench_function(&format!("single_node/legacy/{}/1000", mode.label()), |b| {
+            b.iter(|| {
+                moe_lightning::reference::serve(&session, requests.clone())
+                    .unwrap()
+                    .served_requests()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_backfill,
+    bench_fleet_loop,
+    bench_single_node
+);
 criterion_main!(benches);

@@ -33,503 +33,28 @@ use crate::dynamics::{
     AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,
     FleetView, ScaleBounds, ScaleDecision,
 };
-use crate::engine::{EngineError, SystemEvaluator};
-use crate::serving::{
-    batching_for, mean_decode_context, RoundReport, ServeSpec, ServingMode, ServingReport,
+use crate::engine::{
+    batching_for, EngineError, Lifecycle, ReplicaEngine, SystemEvaluator, WindowEvent,
 };
+use crate::serving::{ServeSpec, ServingMode, ServingReport};
 use crate::system::SystemKind;
 use moe_hardware::{NodeSpec, Seconds, TimeKey};
 use moe_model::MoeModelConfig;
-use moe_policy::{Policy, WorkloadShape};
-use moe_schedule::ScheduleKind;
+use moe_policy::Policy;
 use moe_workload::{
-    Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens,
-    LatencySummary, PartitionState, QueueOrder, Request, RequestLatency, Scheduler, WorkloadSpec,
+    Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, GenLens, LatencySummary, Request,
+    RequestLatency, Scheduler, WorkloadSpec,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
-/// Identifies one replica within a cluster: its index into the fleet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-pub struct ReplicaId(pub usize);
-
-impl fmt::Display for ReplicaId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "r{}", self.0)
-    }
-}
-
-/// Router-visible snapshot of one replica at a routing decision: the request
-/// metadata a production front-end could actually observe (queue depths,
-/// outstanding work, projected KV usage) — never the simulator's internals.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ReplicaView {
-    /// The replica this view describes.
-    pub id: ReplicaId,
-    /// Requests routed to the replica but not yet admitted to a micro-batch.
-    pub queued_requests: usize,
-    /// Requests currently decoding (or held by an in-flight round).
-    pub active_requests: usize,
-    /// Outstanding work in tokens: prompt + generation for queued requests plus
-    /// the tokens still to generate for active ones (as of the decision
-    /// instant).
-    pub outstanding_tokens: u64,
-    /// Total KV-cache token capacity across the replica's micro-batches, from
-    /// its policy's capacity plan.
-    pub kv_capacity: u64,
-    /// KV tokens already reserved by active requests plus the end-of-generation
-    /// projection of everything queued.
-    pub kv_projected: u64,
-    /// Arrival time of the oldest request routed here but not yet admitted —
-    /// the head-of-queue age a production front-end tracks. `None` when
-    /// nothing is queued. Lets autoscalers spot requests that are *already*
-    /// certain to miss a TTFT deadline long before their completion records
-    /// say so.
-    pub oldest_queued_arrival: Option<Seconds>,
-}
-
-impl ReplicaView {
-    /// Projected KV-cache headroom: capacity minus reserved-plus-queued
-    /// projections (saturating at zero when the queue over-commits).
-    pub fn kv_headroom(&self) -> u64 {
-        self.kv_capacity.saturating_sub(self.kv_projected)
-    }
-
-    /// Requests on the replica in any state (queued or active).
-    pub fn outstanding_requests(&self) -> usize {
-        self.queued_requests + self.active_requests
-    }
-}
-
-/// Deterministic per-run routing state handed to every [`Router`] call by the
-/// dispatch engine, so stateless strategies can still round-robin or randomize
-/// reproducibly (the RNG is seeded from the [`ClusterSpec`] seed).
-#[derive(Debug)]
-pub struct RouterCtx {
-    /// Zero-based index of the routing decision (how many requests the engine
-    /// has dispatched so far).
-    pub decision: u64,
-    /// Seeded RNG for randomized strategies ([`PowerOfTwoChoices`]).
-    pub rng: StdRng,
-}
-
-impl RouterCtx {
-    /// A fresh context whose RNG is seeded from `seed`.
-    pub fn new(seed: u64) -> Self {
-        RouterCtx {
-            decision: 0,
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-}
-
-/// Marker for "replica id not present" in [`RouterIndex`] position tables.
-const ABSENT: usize = usize::MAX;
-
-/// Lazily-invalidated min-heap entry: `(key..., replica id, stamp)`.
-type KvHeapEntry = Reverse<(u64, u64, usize, u64)>;
-
-/// Incrementally-maintained routing index over the serving fleet, fed by the
-/// indexed dispatch path of [`ClusterEvaluator::run`]: one cached
-/// [`ReplicaView`] per serving replica (refreshed only when that replica's
-/// state changed) plus two lazily-invalidated min-heaps answering the
-/// built-in routers' arg-min queries in `O(log n)` instead of the reference
-/// path's `O(n)` scan. Routers consume it through [`Router::route_indexed`].
-///
-/// Staleness is handled by generation stamps: every refresh bumps the
-/// replica's stamp and pushes a fresh heap entry; entries whose stamp no
-/// longer matches are dropped when they surface at a query.
-#[derive(Debug)]
-pub struct RouterIndex {
-    /// Cached views of serving replicas, ascending by replica id.
-    views: Vec<ReplicaView>,
-    /// Per-micro-batch KV budgets, parallel to `views`.
-    budgets: Vec<u64>,
-    /// Replica id → position in `views` ([`ABSENT`] when not serving).
-    pos: Vec<usize>,
-    /// Replica id → generation stamp for lazy heap invalidation.
-    stamp: Vec<u64>,
-    /// The tightest per-micro-batch KV budget across serving replicas: a
-    /// request at or under it is maskable nowhere, so the full cached slice
-    /// is the offer.
-    min_budget: u64,
-    /// Min-heap on `(outstanding_tokens, id, stamp)`.
-    out_heap: RefCell<BinaryHeap<Reverse<(u64, usize, u64)>>>,
-    /// Min-heap on `(!kv_headroom, outstanding_tokens, id, stamp)` — i.e. a
-    /// max-heap on headroom with [`KvAware`]'s exact tie-breaks.
-    kv_heap: RefCell<BinaryHeap<KvHeapEntry>>,
-}
-
-impl RouterIndex {
-    fn new() -> Self {
-        RouterIndex {
-            views: Vec::new(),
-            budgets: Vec::new(),
-            pos: Vec::new(),
-            stamp: Vec::new(),
-            min_budget: u64::MAX,
-            out_heap: RefCell::new(BinaryHeap::new()),
-            kv_heap: RefCell::new(BinaryHeap::new()),
-        }
-    }
-
-    /// The cached views of every serving replica, ordered by replica id —
-    /// exactly the slice [`Router::route`] is offered when no replica is
-    /// masked for the request.
-    pub fn views(&self) -> &[ReplicaView] {
-        &self.views
-    }
-
-    /// Number of serving replicas in the index.
-    pub fn len(&self) -> usize {
-        self.views.len()
-    }
-
-    /// Whether no replica is currently serving.
-    pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
-    }
-
-    /// Whether `replica` is currently serving (and thus routable).
-    pub fn contains(&self, replica: ReplicaId) -> bool {
-        self.pos.get(replica.0).is_some_and(|&p| p != ABSENT)
-    }
-
-    /// The cached view of one serving replica.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `replica` is not in the index (see [`Self::contains`]).
-    pub fn view_of(&self, replica: ReplicaId) -> &ReplicaView {
-        &self.views[self.pos[replica.0]]
-    }
-
-    /// The serving replica with the fewest outstanding tokens, ties by lower
-    /// id — [`LeastOutstandingTokens`]'s arg-min in `O(log n)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the index is empty.
-    pub fn least_outstanding(&self) -> ReplicaId {
-        let mut heap = self.out_heap.borrow_mut();
-        loop {
-            let &Reverse((_, id, stamp)) = heap
-                .peek()
-                .expect("the index keeps a fresh heap entry per serving replica");
-            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
-                return ReplicaId(id);
-            }
-            heap.pop();
-        }
-    }
-
-    /// The serving replica with the most projected KV headroom, ties by fewer
-    /// outstanding tokens then lower id — [`KvAware`]'s arg-min in
-    /// `O(log n)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the index is empty.
-    pub fn most_kv_headroom(&self) -> ReplicaId {
-        let mut heap = self.kv_heap.borrow_mut();
-        loop {
-            let &Reverse((_, _, id, stamp)) = heap
-                .peek()
-                .expect("the index keeps a fresh heap entry per serving replica");
-            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
-                return ReplicaId(id);
-            }
-            heap.pop();
-        }
-    }
-
-    /// Inserts or refreshes one serving replica's view.
-    fn upsert(&mut self, view: ReplicaView, budget: u64) {
-        let id = view.id.0;
-        if self.pos.len() <= id {
-            self.pos.resize(id + 1, ABSENT);
-            self.stamp.resize(id + 1, 0);
-        }
-        if self.pos[id] == ABSENT {
-            // Ids are assigned in join order so inserts usually append;
-            // provisioning can finish out of id order, hence the search.
-            let at = self.views.partition_point(|v| v.id.0 < id);
-            self.views.insert(at, view);
-            self.budgets.insert(at, budget);
-            for (p, v) in self.views.iter().enumerate().skip(at) {
-                self.pos[v.id.0] = p;
-            }
-            self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
-        } else {
-            self.views[self.pos[id]] = view;
-        }
-        self.stamp[id] += 1;
-        self.push_heaps(&view);
-        self.maybe_compact();
-    }
-
-    /// Drops a replica that stopped serving (drain, failure, departure).
-    fn remove(&mut self, id: usize) {
-        let Some(&at) = self.pos.get(id) else {
-            return;
-        };
-        if at == ABSENT {
-            return;
-        }
-        self.views.remove(at);
-        self.budgets.remove(at);
-        self.pos[id] = ABSENT;
-        self.stamp[id] += 1;
-        for (p, v) in self.views.iter().enumerate().skip(at) {
-            self.pos[v.id.0] = p;
-        }
-        self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
-    }
-
-    fn push_heaps(&mut self, view: &ReplicaView) {
-        let stamp = self.stamp[view.id.0];
-        self.out_heap
-            .get_mut()
-            .push(Reverse((view.outstanding_tokens, view.id.0, stamp)));
-        self.kv_heap.get_mut().push(Reverse((
-            u64::MAX - view.kv_headroom(),
-            view.outstanding_tokens,
-            view.id.0,
-            stamp,
-        )));
-    }
-
-    /// Stale heap entries are dropped lazily at queries; long event-only
-    /// stretches (many refreshes, no routing decisions) rebuild here instead
-    /// so heap memory stays bounded by the fleet size.
-    fn maybe_compact(&mut self) {
-        let cap = 4 * self.views.len() + 1024;
-        if self.out_heap.get_mut().len() <= cap && self.kv_heap.get_mut().len() <= cap {
-            return;
-        }
-        self.out_heap.get_mut().clear();
-        self.kv_heap.get_mut().clear();
-        let views = std::mem::take(&mut self.views);
-        for view in &views {
-            self.push_heaps(view);
-        }
-        self.views = views;
-    }
-
-    /// The offer for a request some replicas are masked for: every serving
-    /// replica whose per-micro-batch KV budget admits the request alone.
-    fn eligible_views(&self, request: &Request) -> Vec<ReplicaView> {
-        self.views
-            .iter()
-            .zip(&self.budgets)
-            .filter(|(_, &budget)| request.max_context() <= budget)
-            .map(|(view, _)| *view)
-            .collect()
-    }
-}
-
-/// A request-routing strategy over a fleet of replicas.
-///
-/// The dispatch engine calls [`Router::route`] once per arriving request with
-/// a view of every replica that could *ever* serve it (replicas whose
-/// per-micro-batch KV budget the request alone would overflow are masked out),
-/// and [`Router::on_complete`] when a routed request finishes, so stateful
-/// strategies can track in-flight work. `route` must return the id of one of
-/// the offered views; the engine falls back to the first offered view
-/// otherwise.
-///
-/// Fleets may churn mid-run ([`crate::dynamics`]): the engine announces
-/// membership changes through [`Router::on_replica_down`] (failures and
-/// completed drains) and [`Router::on_replica_up`] (joins that finished
-/// provisioning). Both default to no-ops so existing routers compile
-/// unchanged; a draining replica simply stops appearing in the offered views.
-pub trait Router: fmt::Debug + Send + Sync {
-    /// Short stable identifier recorded in cluster reports and table rows.
-    fn name(&self) -> &'static str;
-
-    /// Picks the replica that will serve `request`. `replicas` is non-empty and
-    /// ordered by replica id.
-    fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId;
-
-    /// Sub-linear fast path consulted *instead of* [`Router::route`] when the
-    /// dispatch engine maintains a [`RouterIndex`] and no replica is masked
-    /// for the request (every serving replica could take it). Return
-    /// `Some(id)` to decide from the index's incremental aggregates in
-    /// `O(log n)`, or `None` (the default) to fall back to `route` over the
-    /// index's cached views — which is still allocation-free, just a linear
-    /// scan for strategies that need one. Returning a non-serving id falls
-    /// back to the first offered view, exactly like `route`.
-    fn route_indexed(
-        &self,
-        _request: &Request,
-        _index: &RouterIndex,
-        _ctx: &mut RouterCtx,
-    ) -> Option<ReplicaId> {
-        None
-    }
-
-    /// Completion callback: `request` finished on `replica` at global time
-    /// `now` — in round-to-completion mode this fires at the request's actual
-    /// completion step, not in bulk at round retirement.
-    fn on_complete(
-        &self,
-        _request: &Request,
-        _replica: ReplicaId,
-        _now: Seconds,
-        _ctx: &mut RouterCtx,
-    ) {
-    }
-
-    /// Membership callback: `replica` left the fleet at `now` (failure, or a
-    /// drain whose last in-flight request finished).
-    fn on_replica_down(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
-
-    /// Membership callback: `replica` finished provisioning at `now` and now
-    /// appears in routing views.
-    fn on_replica_up(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
-}
-
-/// Cycles through the offered replicas in id order, one request each — the
-/// classic load-blind baseline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RoundRobin;
-
-impl Router for RoundRobin {
-    fn name(&self) -> &'static str {
-        "round-robin"
-    }
-
-    fn route(
-        &self,
-        _request: &Request,
-        replicas: &[ReplicaView],
-        ctx: &mut RouterCtx,
-    ) -> ReplicaId {
-        replicas[(ctx.decision % replicas.len() as u64) as usize].id
-    }
-}
-
-/// Routes to the replica with the fewest outstanding tokens (queued prompt +
-/// generation work plus tokens still decoding), ties by id. Adapts to
-/// heterogeneous replica speeds without knowing them: a slower replica's
-/// backlog persists, steering new work away.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LeastOutstandingTokens;
-
-impl Router for LeastOutstandingTokens {
-    fn name(&self) -> &'static str {
-        "least-tokens"
-    }
-
-    fn route(
-        &self,
-        _request: &Request,
-        replicas: &[ReplicaView],
-        _ctx: &mut RouterCtx,
-    ) -> ReplicaId {
-        replicas
-            .iter()
-            .min_by_key(|v| (v.outstanding_tokens, v.id))
-            .expect("route is called with a non-empty view slice")
-            .id
-    }
-
-    fn route_indexed(
-        &self,
-        _request: &Request,
-        index: &RouterIndex,
-        _ctx: &mut RouterCtx,
-    ) -> Option<ReplicaId> {
-        Some(index.least_outstanding())
-    }
-}
-
-/// Samples two distinct replicas with the seeded RNG and keeps the one with
-/// fewer outstanding tokens — the classic O(1) approximation of
-/// [`LeastOutstandingTokens`] that avoids herding in distributed routers.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PowerOfTwoChoices;
-
-impl Router for PowerOfTwoChoices {
-    fn name(&self) -> &'static str {
-        "power-of-two"
-    }
-
-    fn route(
-        &self,
-        _request: &Request,
-        replicas: &[ReplicaView],
-        ctx: &mut RouterCtx,
-    ) -> ReplicaId {
-        if replicas.len() == 1 {
-            return replicas[0].id;
-        }
-        let first = ctx.rng.gen_range(0..replicas.len());
-        let mut second = ctx.rng.gen_range(0..replicas.len() - 1);
-        if second >= first {
-            second += 1;
-        }
-        let (a, b) = (&replicas[first], &replicas[second]);
-        if (a.outstanding_tokens, a.id) <= (b.outstanding_tokens, b.id) {
-            a.id
-        } else {
-            b.id
-        }
-    }
-}
-
-/// Routes by projected KV headroom from each replica's policy: the request goes
-/// to the replica whose capacity plan has the most uncommitted KV-cache tokens
-/// (ties by fewer outstanding tokens, then id). Naturally favours replicas with
-/// larger KV budgets in heterogeneous fleets.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct KvAware;
-
-impl Router for KvAware {
-    fn name(&self) -> &'static str {
-        "kv-aware"
-    }
-
-    fn route(
-        &self,
-        _request: &Request,
-        replicas: &[ReplicaView],
-        _ctx: &mut RouterCtx,
-    ) -> ReplicaId {
-        replicas
-            .iter()
-            .min_by_key(|v| (Reverse(v.kv_headroom()), v.outstanding_tokens, v.id))
-            .expect("route is called with a non-empty view slice")
-            .id
-    }
-
-    fn route_indexed(
-        &self,
-        _request: &Request,
-        index: &RouterIndex,
-        _ctx: &mut RouterCtx,
-    ) -> Option<ReplicaId> {
-        Some(index.most_kv_headroom())
-    }
-}
-
-/// All built-in routers, in the order used by the fig. 7 router ablation.
-pub fn builtin_routers() -> Vec<Arc<dyn Router>> {
-    vec![
-        Arc::new(RoundRobin),
-        Arc::new(LeastOutstandingTokens),
-        Arc::new(PowerOfTwoChoices),
-        Arc::new(KvAware),
-    ]
-}
+pub use crate::router::{
+    builtin_routers, KvAware, LeastOutstandingTokens, PowerOfTwoChoices, ReplicaId, ReplicaView,
+    RoundRobin, Router, RouterCtx, RouterIndex,
+};
 
 /// Per-request service-level objective: deadlines on queue-aware TTFT and mean
 /// per-token latency. A served request *attains* the SLO when it meets both.
@@ -1329,10 +854,7 @@ impl ClusterEvaluator {
             cancelled_joins,
             ..
         } = plane;
-        let replica_reports: Vec<ReplicaReport> = engines
-            .into_iter()
-            .map(ReplicaEngine::into_report)
-            .collect();
+        let replica_reports: Vec<ReplicaReport> = engines.into_iter().map(replica_report).collect();
         let totals = replica_reports
             .iter()
             .fold(BatchRunReport::default(), |acc, r| {
@@ -1473,15 +995,6 @@ impl EventHeap {
         }
         None
     }
-}
-
-/// One settled event from a replica's independent window drain: the instant,
-/// any request completions released at it, and whether the replica's drain
-/// finished there.
-struct WindowEvent {
-    at: Seconds,
-    completed: Vec<RequestLatency>,
-    departed: bool,
 }
 
 /// Below this many due replicas a sharded window falls back to serial
@@ -2023,927 +1536,18 @@ impl FleetLoop<'_> {
     }
 }
 
-/// One in-flight request in a replica's continuous-batching pipeline.
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    request: Request,
-    partition: usize,
-    remaining: u64,
-    first_token: Option<Seconds>,
-    decode_start: Seconds,
-    wave: usize,
-}
-
-/// A round-to-completion request whose completion instant is already known:
-/// its latency record is released (and the router told) when the global clock
-/// reaches `at`, not in bulk at round retirement.
-#[derive(Debug, Clone, Copy)]
-struct PendingCompletion {
-    latency: RequestLatency,
-    at: Seconds,
-}
-
-/// Where a replica is in its life: not yet up, serving, finishing in-flight
-/// work without taking new requests, or gone.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Lifecycle {
-    /// Provisioned (by a timeline join or an autoscaler scale-up) but not yet
-    /// serving; becomes [`Lifecycle::Serving`] at `ready_at`.
-    Provisioning { ready_at: Seconds },
-    /// In the routing views, taking and serving requests.
-    Serving,
-    /// No longer offered to the router; finishes in-flight work, then departs.
-    Draining { since: Seconds },
-    /// Left the fleet (failure, completed drain, or cancelled join).
-    Departed { at: Seconds },
-}
-
-/// The per-replica serving state machine behind [`ClusterEvaluator::run`]: the
-/// single-node serving loops re-expressed as an event interface (`next_event`
-/// / `step_to`) so the cluster can interleave many replicas on one global
-/// clock. Mirrors `ServingSession::serve` semantics in both modes.
-struct ReplicaEngine {
-    id: ReplicaId,
-    evaluator: SystemEvaluator,
-    system: SystemKind,
-    schedule: ScheduleKind,
-    scheduler: Arc<dyn Scheduler>,
-    policy: Policy,
-    batching: BatchingConfig,
-    mode: ServingMode,
-    node_desc: String,
-    lifecycle: Lifecycle,
-    // Dynamic state.
-    clock: Seconds,
-    segment_start: Seconds,
-    step: Seconds,
-    parts: Vec<PartitionState>,
-    active: Vec<InFlight>,
-    /// Waiting queue, kept sorted in `queue_order` so admission passes can use
-    /// the scheduler's presorted fast path ([`Scheduler::backfill_sorted`]).
-    ready: Vec<Request>,
-    queue_order: QueueOrder,
-    // Incrementally-maintained aggregates that make `view()` O(1): the
-    // waiting queue's end-of-generation token projection, its total
-    // generation length (the admission controller's TTFT numerator), its
-    // oldest arrival, the tokens still to decode across active requests
-    // (continuous mode) and across in-flight rounds (round-to-completion).
-    ready_tokens: u64,
-    ready_gen: u64,
-    ready_oldest: Option<Seconds>,
-    active_remaining: u64,
-    in_round_gen: u64,
-    pending_admission: Option<Seconds>,
-    round_start: Seconds,
-    round_end: Option<Seconds>,
-    round_step: Seconds,
-    in_round: Vec<PendingCompletion>,
-    kv_in_round: u64,
-    step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds>,
-    /// The last computed decode-step latency and the concurrency it was
-    /// computed at — the admission controller's TTFT estimator.
-    recent_step: Option<(Seconds, u64)>,
-    // Accounting.
-    rounds: Vec<RoundReport>,
-    latencies: Vec<RequestLatency>,
-    aborted: Vec<Request>,
-    totals: BatchRunReport,
-}
-
-impl ReplicaEngine {
-    fn new(
-        id: ReplicaId,
-        evaluator: SystemEvaluator,
-        system: SystemKind,
-        policy: Policy,
-        batching: BatchingConfig,
-        mode: ServingMode,
-        scheduler: Arc<dyn Scheduler>,
-    ) -> Self {
-        let node_desc = evaluator.node().describe();
-        let parts = vec![PartitionState::default(); batching.num_micro_batches];
-        let queue_order = scheduler.queue_order();
-        ReplicaEngine {
-            id,
-            evaluator,
-            system,
-            schedule: system.schedule(),
-            scheduler,
-            policy,
-            batching,
-            mode,
-            node_desc,
-            lifecycle: Lifecycle::Serving,
-            clock: Seconds::ZERO,
-            segment_start: Seconds::ZERO,
-            step: Seconds::ZERO,
-            parts,
-            active: Vec::new(),
-            ready: Vec::new(),
-            queue_order,
-            ready_tokens: 0,
-            ready_gen: 0,
-            ready_oldest: None,
-            active_remaining: 0,
-            in_round_gen: 0,
-            pending_admission: None,
-            round_start: Seconds::ZERO,
-            round_end: None,
-            round_step: Seconds::ZERO,
-            in_round: Vec::new(),
-            kv_in_round: 0,
-            step_memo: HashMap::new(),
-            recent_step: None,
-            rounds: Vec::new(),
-            latencies: Vec::new(),
-            aborted: Vec::new(),
-            totals: BatchRunReport::default(),
-        }
-    }
-
-    /// Whether the replica is in the routing views (serving, not draining or
-    /// provisioning).
-    fn is_serving(&self) -> bool {
-        self.lifecycle == Lifecycle::Serving
-    }
-
-    /// Whether the replica still produces internal events (serving or
-    /// draining; provisioning and departed replicas are silent).
-    fn has_events(&self) -> bool {
-        matches!(
-            self.lifecycle,
-            Lifecycle::Serving | Lifecycle::Draining { .. }
-        )
-    }
-
-    /// Whether a draining replica has finished its last in-flight request and
-    /// should leave the fleet.
-    fn drain_finished(&self) -> bool {
-        matches!(self.lifecycle, Lifecycle::Draining { .. }) && self.is_idle()
-    }
-
-    /// No queued, decoding or in-round work.
-    fn is_idle(&self) -> bool {
-        self.ready.is_empty()
-            && self.active.is_empty()
-            && self.in_round.is_empty()
-            && self.round_end.is_none()
-    }
-
-    /// Projected queue-aware TTFT for a request routed here: the work ahead
-    /// of it in *slot* terms. Every completion frees the slot the queue head
-    /// takes, so a request behind `k` queued requests waits for roughly their
-    /// generation tokens to be produced at the replica's memoized decode rate
-    /// (concurrency / step latency). Requests already decoding drain in
-    /// parallel and are not ahead of it in the slot queue. Optimistically
-    /// zero for a cold replica with no step history — admission control
-    /// should not reject into an idle fleet.
-    fn projected_ttft(&self, _request: &Request) -> Seconds {
-        let queued_gen: u64 = self.ready_gen;
-        if queued_gen == 0 {
-            return Seconds::ZERO;
-        }
-        match self.recent_step {
-            Some((step, concurrent)) if concurrent > 0 && step.as_secs() > 0.0 => {
-                let rate = concurrent as f64 / step.as_secs();
-                Seconds::from_secs(queued_gen as f64 / rate)
-            }
-            _ => Seconds::ZERO,
-        }
-    }
-
-    /// Removes one admitted-but-unfinished request's contribution from the
-    /// wave it was admitted in (and the totals): its tokens were never
-    /// delivered. The time already billed stays — wasted work is real.
-    fn unwind_admission(&mut self, wave: usize, request: &Request) {
-        let report = &mut self.rounds[wave].report;
-        report.requests = report.requests.saturating_sub(1);
-        report.prompt_tokens = report.prompt_tokens.saturating_sub(request.input_len);
-        report.generated_tokens = report.generated_tokens.saturating_sub(request.gen_len);
-        self.totals.requests = self.totals.requests.saturating_sub(1);
-        self.totals.prompt_tokens = self.totals.prompt_tokens.saturating_sub(request.input_len);
-        self.totals.generated_tokens = self.totals.generated_tokens.saturating_sub(request.gen_len);
-    }
-
-    /// Kills the replica at time `t`: every not-yet-completed request (queued,
-    /// decoding, or pending in an unfinished round) is returned for
-    /// re-routing and its token accounting unwound — the KV state died with
-    /// the replica, so nothing it was still generating was delivered. Billed
-    /// time is truncated to what actually elapsed.
-    fn fail(&mut self, t: Seconds) -> Vec<Request> {
-        let mut lost: Vec<Request> = self.take_ready();
-        match self.mode {
-            ServingMode::Continuous => {
-                let active = std::mem::take(&mut self.active);
-                self.active_remaining = 0;
-                for a in active {
-                    self.parts[a.partition].release(&a.request);
-                    self.unwind_admission(a.wave, &a.request);
-                    lost.push(a.request);
-                }
-                self.step = Seconds::ZERO;
-                self.clock = self.clock.max(t);
-                self.segment_start = self.clock;
-            }
-            ServingMode::RoundToCompletion => {
-                let pending = std::mem::take(&mut self.in_round);
-                self.in_round_gen = 0;
-                if self.round_end.take().is_some() {
-                    let round = self.rounds.len() - 1;
-                    for p in &pending {
-                        self.unwind_admission(round, &p.latency.request);
-                        // The per-token mean was billed for the whole round at
-                        // admission; unfinished requests never decoded to the
-                        // end.
-                        self.rounds[round].report.per_token_sum =
-                            self.rounds[round].report.per_token_sum - self.round_step;
-                        self.totals.per_token_sum = self.totals.per_token_sum - self.round_step;
-                    }
-                    // Truncate the round's billed prefill + decode time to the
-                    // span that actually elapsed before the failure.
-                    let billed = self.rounds[round].report.prefill_time
-                        + self.rounds[round].report.decode_time;
-                    let elapsed = (t - self.round_start).min(billed);
-                    let over = billed - elapsed;
-                    let decode_cut = over.min(self.rounds[round].report.decode_time);
-                    let prefill_cut = over - decode_cut;
-                    self.rounds[round].report.decode_time =
-                        self.rounds[round].report.decode_time - decode_cut;
-                    self.rounds[round].report.prefill_time =
-                        self.rounds[round].report.prefill_time - prefill_cut;
-                    self.totals.decode_time = self.totals.decode_time - decode_cut;
-                    self.totals.prefill_time = self.totals.prefill_time - prefill_cut;
-                    self.kv_in_round = 0;
-                }
-                lost.extend(pending.iter().map(|p| p.latency.request));
-                self.clock = self.clock.max(t);
-            }
-        }
-        self.pending_admission = None;
-        self.lifecycle = Lifecycle::Departed { at: t };
-        lost.sort_by_key(|r| r.id);
-        lost
-    }
-
-    /// Starts a graceful drain at time `t`: the replica takes no new work (the
-    /// dispatch engine stops offering it) and returns its queued-but-unadmitted
-    /// requests for re-routing; in-flight work finishes normally.
-    fn begin_drain(&mut self, t: Seconds) -> Vec<Request> {
-        self.lifecycle = Lifecycle::Draining { since: t };
-        self.pending_admission = None;
-        self.take_ready()
-    }
-
-    /// Whether the request could ever be admitted here: its own prompt +
-    /// generation fits the per-micro-batch KV budget.
-    fn can_ever_serve(&self, request: &Request) -> bool {
-        request.max_context() <= self.batching.cache_tokens_per_micro_batch
-    }
-
-    fn kv_capacity(&self) -> u64 {
-        self.batching.cache_tokens_per_micro_batch * self.batching.num_micro_batches as u64
-    }
-
-    /// Router-visible snapshot of the replica *as of its last processed
-    /// event*: queued work exactly, active work as the tokens still to be
-    /// delivered (continuous mode) or committed to the in-flight round
-    /// (round-to-completion). The view is a pure function of engine state —
-    /// decode progress between events is not interpolated — which is what
-    /// lets the indexed dispatch path cache one view per replica and keep the
-    /// routers' incremental indexes exact.
-    fn view(&self) -> ReplicaView {
-        let (active_requests, active_tokens, kv_active) = match self.mode {
-            ServingMode::Continuous => {
-                let kv: u64 = self.parts.iter().map(|p| p.cache_tokens).sum();
-                (self.active.len(), self.active_remaining, kv)
-            }
-            ServingMode::RoundToCompletion => {
-                (self.in_round.len(), self.in_round_gen, self.kv_in_round)
-            }
-        };
-        ReplicaView {
-            id: self.id,
-            queued_requests: self.ready.len(),
-            active_requests,
-            outstanding_tokens: self.ready_tokens + active_tokens,
-            kv_capacity: self.kv_capacity(),
-            kv_projected: kv_active + self.ready_tokens,
-            oldest_queued_arrival: self.ready_oldest,
-        }
-    }
-
-    /// Inserts a request into the waiting queue at its scheduler-order
-    /// position and maintains the queue aggregates.
-    fn push_ready(&mut self, request: Request) {
-        self.ready_tokens += request.max_context();
-        self.ready_gen += request.gen_len;
-        self.ready_oldest = Some(match self.ready_oldest {
-            Some(oldest) => oldest.min(request.arrival),
-            None => request.arrival,
-        });
-        let at = self.queue_order.insertion_point(&self.ready, &request);
-        self.ready.insert(at, request);
-    }
-
-    /// Replaces the waiting queue (already in scheduler order — deferred
-    /// requests come back in admission order) and recomputes the aggregates.
-    fn set_ready(&mut self, ready: Vec<Request>) {
-        self.ready = ready;
-        self.ready_tokens = self.ready.iter().map(Request::max_context).sum();
-        self.ready_gen = self.ready.iter().map(|r| r.gen_len).sum();
-        self.ready_oldest = self.ready.iter().map(|r| r.arrival).reduce(Seconds::min);
-        debug_assert!(self
-            .ready
-            .windows(2)
-            .all(|w| self.queue_order.cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater));
-    }
-
-    /// Takes the waiting queue, leaving it empty with zeroed aggregates.
-    fn take_ready(&mut self) -> Vec<Request> {
-        self.ready_tokens = 0;
-        self.ready_gen = 0;
-        self.ready_oldest = None;
-        std::mem::take(&mut self.ready)
-    }
-
-    /// Accepts a routed request at global time `now`, arming the next
-    /// admission event.
-    fn enqueue(&mut self, request: Request, now: Seconds) {
-        self.push_ready(request);
-        let effective = now.max(self.clock);
-        let at = match self.mode {
-            ServingMode::RoundToCompletion => {
-                if self.round_end.is_some() {
-                    // The queue is only reconsidered when the round finishes.
-                    return;
-                }
-                effective
-            }
-            ServingMode::Continuous => {
-                if self.active.is_empty() {
-                    effective
-                } else {
-                    // Mid-flight admissions land on decode-step boundaries,
-                    // like the single-node loop's arrival-capped segments.
-                    self.next_step_boundary(effective)
-                }
-            }
-        };
-        self.pending_admission = Some(match self.pending_admission {
-            Some(previous) => previous.min(at),
-            None => at,
-        });
-    }
-
-    fn next_step_boundary(&self, t: Seconds) -> Seconds {
-        if self.step.as_secs() <= 0.0 {
-            return t;
-        }
-        let elapsed = (t - self.segment_start).as_secs();
-        let k = (elapsed / self.step.as_secs()).ceil();
-        self.segment_start + self.step.scale(k)
-    }
-
-    /// Time of the replica's next internal event (per-request completion,
-    /// round end or pending admission), if any work is pending.
-    fn next_event(&self) -> Option<Seconds> {
-        let admission = if self.ready.is_empty() {
-            None
-        } else {
-            self.pending_admission
-        };
-        let completion = match self.mode {
-            ServingMode::RoundToCompletion => {
-                // The earliest pending per-request completion, else the round
-                // retirement itself.
-                self.in_round
-                    .iter()
-                    .map(|p| p.at)
-                    .reduce(Seconds::min)
-                    .or(self.round_end)
-            }
-            ServingMode::Continuous => {
-                if self.active.is_empty() {
-                    None
-                } else {
-                    let min_remaining = self
-                        .active
-                        .iter()
-                        .map(|a| a.remaining)
-                        .min()
-                        .expect("active is non-empty");
-                    Some(self.segment_start + self.step.scale(min_remaining as f64))
-                }
-            }
-        };
-        match (admission, completion) {
-            (Some(a), Some(c)) => Some(a.min(c)),
-            (a, None) => a,
-            (None, c) => c,
-        }
-    }
-
-    /// Processes the replica's internal events due at time `t`; returns the
-    /// latency records of the requests that completed (for the router's
-    /// completion callback and the autoscaler's window).
-    fn step_to(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
-        match self.mode {
-            ServingMode::RoundToCompletion => self.step_rtc(t),
-            ServingMode::Continuous => self.step_continuous(t),
-        }
-    }
-
-    /// Settles every internal event due strictly before `bound` (all pending
-    /// events when `bound` is `None`), independently of the rest of the
-    /// fleet. Returns the settled events in chronological order, keeping
-    /// only the ones the control plane must observe (completions or a drain
-    /// finishing); stops at a finished drain — the departure is a
-    /// fleet-level transition the control plane applies first.
-    fn drain_window(&mut self, bound: Option<Seconds>) -> Result<Vec<WindowEvent>, EngineError> {
-        let mut out = Vec::new();
-        while self.has_events() {
-            let Some(t) = self.next_event() else { break };
-            if bound.is_some_and(|b| t >= b) {
-                break;
-            }
-            let completed = self.step_to(t)?;
-            let departed = self.drain_finished();
-            if !completed.is_empty() || departed {
-                out.push(WindowEvent {
-                    at: t,
-                    completed,
-                    departed,
-                });
-            }
-            if departed {
-                break;
-            }
-        }
-        Ok(out)
-    }
-
-    fn step_continuous(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
-        let mut completed: Vec<RequestLatency> = Vec::new();
-        if self.active.is_empty() {
-            // Idle until the event; idle time is not billed.
-            self.clock = self.clock.max(t);
-            self.segment_start = self.clock;
-        } else if t > self.segment_start {
-            let min_remaining = self
-                .active
-                .iter()
-                .map(|a| a.remaining)
-                .min()
-                .expect("active is non-empty");
-            let steps = if self.step.as_secs() <= 0.0 {
-                min_remaining
-            } else {
-                (((t - self.segment_start).as_secs() / self.step.as_secs()).round() as u64)
-                    .min(min_remaining)
-            };
-            if steps > 0 {
-                self.advance_decode(steps);
-            }
-        }
-
-        // Retire completed requests, releasing their KV reservations.
-        let mut i = 0;
-        while i < self.active.len() {
-            if self.active[i].remaining > 0 {
-                i += 1;
-                continue;
-            }
-            let done = self.active.swap_remove(i);
-            self.parts[done.partition].release(&done.request);
-            let per_token =
-                (self.clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
-            let latency = RequestLatency {
-                request: done.request,
-                round: done.wave,
-                ttft: done.first_token.expect("completed requests decoded") - done.request.arrival,
-                per_token,
-                completion_time: self.clock - done.request.arrival,
-            };
-            self.latencies.push(latency);
-            self.totals.per_token_sum += per_token;
-            self.rounds[done.wave].report.per_token_sum += per_token;
-            completed.push(latency);
-        }
-
-        // Backfill freed slots (or run a due admission) with the waiting queue.
-        let mut membership_changed = !completed.is_empty();
-        let due = matches!(self.pending_admission, Some(p) if p <= t);
-        if !self.ready.is_empty() && (due || membership_changed) {
-            // Any pass consumes the pending admission: deferred requests
-            // re-arm on the next completion or enqueue instead of stalling on
-            // a stale timestamp.
-            self.pending_admission = None;
-            membership_changed |= self.admit_continuous(&mut completed)?;
-        } else if due {
-            self.pending_admission = None;
-        }
-        if membership_changed {
-            self.refresh_step()?;
-        }
-        Ok(completed)
-    }
-
-    /// Advances decode by `steps` whole steps from the current segment start.
-    /// Callers cap `steps` at the minimum remaining generation, so the
-    /// fleet-wide remaining-token aggregate decreases exactly in lockstep.
-    fn advance_decode(&mut self, steps: u64) {
-        self.active_remaining = self
-            .active_remaining
-            .saturating_sub(steps.saturating_mul(self.active.len() as u64));
-        let advance = self.step.scale(steps as f64);
-        let first_token_at = self.segment_start + self.step;
-        self.clock = self.segment_start + advance;
-        self.segment_start = self.clock;
-        self.totals.decode_time += advance;
-        if let Some(last) = self.rounds.last_mut() {
-            last.report.decode_time += advance;
-        }
-        for a in self.active.iter_mut() {
-            if a.first_token.is_none() {
-                a.first_token = Some(first_token_at);
-            }
-            a.remaining = a.remaining.saturating_sub(steps);
-        }
-    }
-
-    /// Backfills the waiting queue until no further progress is possible;
-    /// returns whether anything was admitted. Mirrors the single-node
-    /// continuous loop's admission wave, including the
-    /// cold-start-vs-overlapped prefill distinction. Loops because a wave of
-    /// zero-generation requests completes inside the pass (at prefill end) and
-    /// leaves the pipeline empty again — the deferred remainder must get
-    /// another pass, exactly as the single-node loop re-runs backfill every
-    /// iteration, or those requests would be silently dropped.
-    fn admit_continuous(
-        &mut self,
-        completed: &mut Vec<RequestLatency>,
-    ) -> Result<bool, EngineError> {
-        let mut any = false;
-        loop {
-            let progressed = self.admit_continuous_once(completed)?;
-            any |= progressed;
-            if !progressed || !self.active.is_empty() || self.ready.is_empty() {
-                return Ok(any);
-            }
-        }
-    }
-
-    /// One backfill pass over the waiting queue; returns whether anything was
-    /// admitted.
-    fn admit_continuous_once(
-        &mut self,
-        completed: &mut Vec<RequestLatency>,
-    ) -> Result<bool, EngineError> {
-        // Saturation precheck: when the total-admission cap or every request
-        // slot is already exhausted the scheduler cannot admit anything, so
-        // skip the pass entirely. The abort-on-empty-pipeline path below is
-        // unreachable in that state — a saturated pipeline implies in-flight
-        // work (both caps are validated non-zero).
-        let in_flight: usize = self.parts.iter().map(|p| p.requests).sum();
-        if in_flight >= self.batching.max_scheduled_requests
-            || self
-                .parts
-                .iter()
-                .all(|p| p.requests >= self.batching.max_requests_per_micro_batch)
-        {
-            return Ok(false);
-        }
-        let fill = self
-            .scheduler
-            .backfill_sorted(&self.ready, &self.batching, &self.parts);
-        let admitted = fill.admitted();
-        self.set_ready(fill.deferred);
-        if admitted == 0 {
-            if self.active.is_empty() && !self.ready.is_empty() {
-                // An empty pipeline refused the whole queue (padded KV charges
-                // can overflow the budget): abort rather than stall forever.
-                let mut refused = self.take_ready();
-                self.aborted.append(&mut refused);
-            }
-            return Ok(false);
-        }
-        let wave = self.rounds.len();
-        let count = admitted as u64;
-        let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
-        let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
-        let max_gen = fill
-            .assignments
-            .iter()
-            .flatten()
-            .map(|r| r.gen_len)
-            .max()
-            .unwrap_or(0);
-        let mean_prompt = prompt.div_ceil(count).max(1);
-        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
-        let policy = Policy {
-            batch_size: count,
-            micro_batch_size: self.policy.micro_batch_size.min(count),
-            ..self.policy
-        };
-        let prefill = if self.active.is_empty() {
-            self.evaluator.cost_model().prefill_time(&policy, &shape)
-        } else {
-            self.evaluator
-                .cost_model()
-                .backfill_prefill_time(&policy, &shape)
-        };
-        let admitted_at = self.clock;
-        self.clock += prefill;
-        for (partition, requests) in fill.assignments.into_iter().enumerate() {
-            for request in requests {
-                self.parts[partition].admit(&request);
-                if request.gen_len == 0 {
-                    // Nothing to decode: complete at prefill end.
-                    self.parts[partition].release(&request);
-                    let latency = RequestLatency {
-                        request,
-                        round: wave,
-                        ttft: self.clock - request.arrival,
-                        per_token: Seconds::ZERO,
-                        completion_time: self.clock - request.arrival,
-                    };
-                    self.latencies.push(latency);
-                    completed.push(latency);
-                    continue;
-                }
-                self.active_remaining += request.gen_len;
-                self.active.push(InFlight {
-                    request,
-                    partition,
-                    remaining: request.gen_len,
-                    first_token: None,
-                    decode_start: self.clock,
-                    wave,
-                });
-            }
-        }
-        let report = BatchRunReport {
-            requests: count,
-            prompt_tokens: prompt,
-            generated_tokens: generated,
-            prefill_time: prefill,
-            decode_time: Seconds::ZERO,
-            per_token_sum: Seconds::ZERO,
-        };
-        self.totals = self.totals.combine(&report);
-        self.rounds.push(RoundReport {
-            round: wave,
-            admitted_at,
-            occupancy: self.parts.iter().map(|p| p.requests as u64).collect(),
-            kv_reserved: self.parts.iter().map(|p| p.cache_tokens).collect(),
-            prompt_token_spread: {
-                let min = self
-                    .parts
-                    .iter()
-                    .map(|p| p.prompt_tokens)
-                    .min()
-                    .unwrap_or(0);
-                let max = self
-                    .parts
-                    .iter()
-                    .map(|p| p.prompt_tokens)
-                    .max()
-                    .unwrap_or(0);
-                (min, max)
-            },
-            report,
-        });
-        Ok(true)
-    }
-
-    /// Re-derives the decode-step latency for the current occupancy and KV
-    /// load, resetting the segment origin (memoized like the single-node
-    /// loop).
-    fn refresh_step(&mut self) -> Result<(), EngineError> {
-        self.segment_start = self.clock;
-        if self.active.is_empty() {
-            self.step = Seconds::ZERO;
-            return Ok(());
-        }
-        let occupancy: Vec<u64> = self
-            .parts
-            .iter()
-            .filter(|p| p.requests > 0)
-            .map(|p| p.requests as u64)
-            .collect();
-        let contexts: Vec<u64> = self
-            .parts
-            .iter()
-            .filter(|p| p.requests > 0)
-            .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
-            .collect();
-        let key = (occupancy.clone(), contexts.clone());
-        if let Some(&step) = self.step_memo.get(&key) {
-            self.step = step;
-            self.recent_step = Some((step, self.active.len() as u64));
-            return Ok(());
-        }
-        let total_active = self.active.len() as u64;
-        let prompt_sum: u64 = self.active.iter().map(|a| a.request.input_len).sum();
-        let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
-        let max_gen = self
-            .active
-            .iter()
-            .map(|a| a.request.gen_len)
-            .max()
-            .unwrap_or(1)
-            .max(1);
-        let shape = WorkloadShape::new(mean_prompt, max_gen);
-        let policy = Policy {
-            batch_size: total_active,
-            micro_batch_size: self.policy.micro_batch_size.min(total_active),
-            ..self.policy
-        };
-        let step = self.evaluator.decode_step_latency_with_loads(
-            self.schedule,
-            &policy,
-            &shape,
-            Some(&occupancy),
-            Some(&contexts),
-        )?;
-        self.step_memo.insert(key, step);
-        self.step = step;
-        self.recent_step = Some((step, self.active.len() as u64));
-        Ok(())
-    }
-
-    fn step_rtc(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
-        let mut completed: Vec<RequestLatency> = Vec::new();
-        // Release every pending completion due by `t` — each request finishes
-        // at its own step, not in bulk at round retirement (its micro-batch
-        // slot and KV stay held until the round ends; that is the
-        // round-to-completion semantic).
-        let mut i = 0;
-        while i < self.in_round.len() {
-            if self.in_round[i].at <= t {
-                let done = self.in_round.swap_remove(i);
-                self.in_round_gen = self
-                    .in_round_gen
-                    .saturating_sub(done.latency.request.gen_len);
-                self.latencies.push(done.latency);
-                completed.push(done.latency);
-            } else {
-                i += 1;
-            }
-        }
-        if let Some(end) = self.round_end {
-            if end <= t {
-                self.clock = end;
-                self.round_end = None;
-                self.kv_in_round = 0;
-            }
-        }
-        if self.round_end.is_none() {
-            self.clock = self.clock.max(t);
-            let due = matches!(self.pending_admission, Some(p) if p <= t);
-            self.pending_admission = None;
-            if !self.ready.is_empty() && (due || !completed.is_empty()) {
-                self.admit_round()?;
-            }
-        }
-        Ok(completed)
-    }
-
-    /// Forms one round-to-completion round from the waiting queue; mirrors the
-    /// single-node round loop's costing and latency bookkeeping.
-    fn admit_round(&mut self) -> Result<(), EngineError> {
-        let formed = self.scheduler.plan_sorted(&self.ready, &self.batching);
-        self.take_ready();
-        if formed.scheduled_requests() == 0 {
-            // No scheduler progress on an empty pipeline (padded KV charge
-            // overflow): abort rather than loop.
-            self.aborted.extend(formed.aborted);
-            return Ok(());
-        }
-        let round = self.rounds.len();
-        let occupancy: Vec<u64> = formed
-            .micro_batches
-            .iter()
-            .map(|mb| mb.len() as u64)
-            .collect();
-        let kv_reserved: Vec<u64> = formed
-            .micro_batches
-            .iter()
-            .map(|mb| mb.max_cache_tokens())
-            .collect();
-        let contexts: Vec<u64> = formed
-            .micro_batches
-            .iter()
-            .map(|mb| {
-                mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
-            })
-            .collect();
-        let requests: u64 = occupancy.iter().sum();
-        let prompt_tokens: u64 = formed
-            .micro_batches
-            .iter()
-            .map(|mb| mb.prompt_tokens())
-            .sum();
-        let generated_tokens: u64 = formed
-            .micro_batches
-            .iter()
-            .flat_map(|mb| mb.requests.iter())
-            .map(|r| r.gen_len)
-            .sum();
-        let max_gen = formed
-            .micro_batches
-            .iter()
-            .flat_map(|mb| mb.requests.iter())
-            .map(|r| r.gen_len)
-            .max()
-            .unwrap_or(0);
-        let mean_prompt = prompt_tokens.div_ceil(requests).max(1);
-        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
-        let policy = Policy {
-            batch_size: requests,
-            micro_batch_size: self.policy.micro_batch_size.min(requests),
-            ..self.policy
-        };
-        let key = (occupancy.clone(), contexts.clone());
-        let step = match self.step_memo.get(&key) {
-            Some(&s) => s,
-            None => {
-                let s = self.evaluator.decode_step_latency_with_loads(
-                    self.schedule,
-                    &policy,
-                    &shape,
-                    Some(&occupancy),
-                    Some(&contexts),
-                )?;
-                self.step_memo.insert(key, s);
-                s
-            }
-        };
-        let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
-        let decode_time = step.scale(max_gen as f64);
-        // Every request's completion instant is known at admission; each is
-        // released (latency recorded, router told) at its own step instead of
-        // in bulk when the round retires.
-        self.in_round = formed
-            .micro_batches
-            .iter()
-            .flat_map(|mb| mb.requests.iter().copied())
-            .map(|request| PendingCompletion {
-                latency: RequestLatency {
-                    request,
-                    round,
-                    ttft: self.clock + prefill_time + step - request.arrival,
-                    per_token: step,
-                    completion_time: self.clock + prefill_time + step.scale(request.gen_len as f64)
-                        - request.arrival,
-                },
-                at: self.clock + prefill_time + step.scale(request.gen_len as f64),
-            })
-            .collect();
-        self.in_round_gen = generated_tokens;
-        self.kv_in_round = kv_reserved.iter().sum();
-        self.round_start = self.clock;
-        self.round_end = Some(self.clock + prefill_time + decode_time);
-        self.round_step = step;
-        self.recent_step = Some((step, requests));
-        let report = BatchRunReport {
-            requests,
-            prompt_tokens,
-            generated_tokens,
-            prefill_time,
-            decode_time,
-            per_token_sum: step.scale(requests as f64),
-        };
-        self.totals = self.totals.combine(&report);
-        self.rounds.push(RoundReport {
-            round,
-            admitted_at: self.round_start,
-            occupancy,
-            kv_reserved,
-            prompt_token_spread: formed.prompt_token_spread(),
-            report,
-        });
-        self.set_ready(formed.aborted);
-        Ok(())
-    }
-
-    fn into_report(self) -> ReplicaReport {
-        ReplicaReport {
-            id: self.id,
-            node: self.node_desc,
-            kv_budget_per_micro_batch: self.batching.cache_tokens_per_micro_batch,
-            report: ServingReport {
-                system: self.system,
-                mode: self.mode,
-                scheduler: self.scheduler.name().to_owned(),
-                policy: self.policy,
-                schedule: self.schedule,
-                rounds: self.rounds,
-                latencies: self.latencies,
-                aborted: self.aborted,
-                totals: self.totals,
-            },
-        }
+/// Wraps a finished engine into its per-replica report, capturing the
+/// identity fields the [`ServingReport`] does not carry before the engine is
+/// consumed into it.
+fn replica_report(engine: ReplicaEngine) -> ReplicaReport {
+    let id = engine.id;
+    let node = engine.node_desc.clone();
+    let kv_budget_per_micro_batch = engine.batching.cache_tokens_per_micro_batch;
+    ReplicaReport {
+        id,
+        node,
+        kv_budget_per_micro_batch,
+        report: engine.into_report(),
     }
 }
 
@@ -2951,106 +1555,6 @@ impl ReplicaEngine {
 mod tests {
     use super::*;
     use crate::settings::EvalSetting;
-
-    fn view(id: usize, outstanding: u64, headroom: u64) -> ReplicaView {
-        ReplicaView {
-            id: ReplicaId(id),
-            queued_requests: 0,
-            active_requests: 0,
-            outstanding_tokens: outstanding,
-            kv_capacity: 10_000,
-            kv_projected: 10_000 - headroom,
-            oldest_queued_arrival: None,
-        }
-    }
-
-    #[test]
-    fn round_robin_cycles_through_the_offered_views() {
-        let views = [view(0, 0, 0), view(1, 0, 0), view(2, 0, 0)];
-        let mut ctx = RouterCtx::new(0);
-        let request = Request::new(0, 10, 10);
-        let mut picks = Vec::new();
-        for _ in 0..6 {
-            picks.push(RoundRobin.route(&request, &views, &mut ctx).0);
-            ctx.decision += 1;
-        }
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn least_outstanding_tokens_picks_the_emptiest_replica() {
-        let views = [view(0, 500, 100), view(1, 20, 0), view(2, 500, 900)];
-        let mut ctx = RouterCtx::new(0);
-        let request = Request::new(0, 10, 10);
-        assert_eq!(
-            LeastOutstandingTokens.route(&request, &views, &mut ctx),
-            ReplicaId(1)
-        );
-        // Ties break towards the lower id.
-        let tied = [view(0, 20, 0), view(1, 20, 0)];
-        assert_eq!(
-            LeastOutstandingTokens.route(&request, &tied, &mut ctx),
-            ReplicaId(0)
-        );
-    }
-
-    #[test]
-    fn kv_aware_picks_the_most_headroom() {
-        let views = [view(0, 10, 100), view(1, 900, 5000), view(2, 10, 4999)];
-        let mut ctx = RouterCtx::new(0);
-        let request = Request::new(0, 10, 10);
-        assert_eq!(KvAware.route(&request, &views, &mut ctx), ReplicaId(1));
-    }
-
-    #[test]
-    fn power_of_two_choices_is_seeded_and_in_range() {
-        let views = [
-            view(0, 5, 0),
-            view(1, 500, 0),
-            view(2, 50, 0),
-            view(3, 1, 0),
-        ];
-        let request = Request::new(0, 10, 10);
-        let picks = |seed: u64| -> Vec<usize> {
-            let mut ctx = RouterCtx::new(seed);
-            (0..32)
-                .map(|_| PowerOfTwoChoices.route(&request, &views, &mut ctx).0)
-                .collect()
-        };
-        assert_eq!(picks(7), picks(7), "same seed, same decisions");
-        assert!(picks(7).iter().all(|&i| i < 4));
-        // With one view there is no choice to make.
-        let mut ctx = RouterCtx::new(1);
-        assert_eq!(
-            PowerOfTwoChoices.route(&request, &views[..1], &mut ctx),
-            ReplicaId(0)
-        );
-    }
-
-    #[test]
-    fn builtin_router_names_are_stable() {
-        let names: Vec<&str> = builtin_routers().iter().map(|r| r.name()).collect();
-        assert_eq!(
-            names,
-            vec!["round-robin", "least-tokens", "power-of-two", "kv-aware"]
-        );
-    }
-
-    #[test]
-    fn replica_view_accessors() {
-        let v = ReplicaView {
-            id: ReplicaId(3),
-            queued_requests: 2,
-            active_requests: 5,
-            outstanding_tokens: 700,
-            kv_capacity: 1000,
-            kv_projected: 1200,
-            oldest_queued_arrival: Some(Seconds::from_secs(3.0)),
-        };
-        assert_eq!(v.outstanding_requests(), 7);
-        assert_eq!(v.kv_headroom(), 0, "over-commit saturates at zero");
-        assert_eq!(ReplicaId(3).to_string(), "r3");
-    }
 
     #[test]
     fn slo_attainment_requires_both_deadlines() {

@@ -1,579 +1,1098 @@
-//! The end-to-end evaluator: combines policy generation, the HRM cost model and the
-//! simulated pipeline schedules into the generation-throughput numbers reported in
-//! the paper's evaluation (Fig. 7, Fig. 8, Tab. 4, Tab. 5).
+//! The one serving engine: [`ReplicaEngine`], the per-replica event machine
+//! every serving path in this crate runs on.
+//!
+//! Both execution layers drive the same machine:
+//!
+//! * the single-node [`crate::ServingSession`] serves a queue on a 1-replica
+//!   engine, interleaving arrivals with the engine's internal events on one
+//!   clock;
+//! * the cluster layer ([`crate::cluster::ClusterEvaluator`]) interleaves many
+//!   engines on one *global* clock behind a [`crate::router::Router`].
+//!
+//! The engine exposes serving as a discrete-event interface: [`ReplicaEngine::enqueue`]
+//! accepts a routed request and arms the next admission instant,
+//! [`ReplicaEngine::next_event`] reports the earliest pending internal event
+//! (a per-request completion, a round retirement or a due admission), and
+//! [`ReplicaEngine::step_to`] settles everything due at that instant —
+//! admitting waves through the pluggable [`Scheduler`], costing prefills and
+//! decode steps on the simulated pipeline, and releasing per-request latency
+//! records at each request's own completion step. Both [`crate::ServingMode`]s
+//! are implemented here exactly once; wave costing, KV release, backfill and
+//! latency bookkeeping have no second copy (the retired duplicate loops are
+//! preserved verbatim in [`crate::reference`] as the parity baseline).
+//!
+//! This module also re-exports the costing stack ([`SystemEvaluator`],
+//! [`EngineError`], …) from [`crate::evaluator`], where it moved when the
+//! serving engine took this file — `moe_lightning::engine::SystemEvaluator`
+//! and friends keep resolving.
 
-use crate::cluster::ClusterSpecError;
-use crate::system::SystemKind;
-use moe_hardware::{NodeSpec, Seconds};
-use moe_model::MoeModelConfig;
-use moe_policy::{
-    CostModel, DeepSpeedPolicy, FlexGenPolicy, Policy, PolicyGenerator, PolicyOptimizer,
-    WorkloadShape,
+pub use crate::evaluator::{
+    EngineError, SystemEvaluation, SystemEvaluator, DEFAULT_SIMULATED_LAYERS,
 };
-use moe_schedule::{DecodeScheduleBuilder, ScheduleKind};
-use moe_sim::simulate;
-use moe_workload::{BatchRunReport, BatchingConfigError, WorkloadSpec};
-use serde::{Deserialize, Serialize};
-use std::fmt;
 
-/// Default number of layers actually simulated by the discrete-event engine; the
-/// decode-step makespan is extrapolated linearly to the full depth (layer pipelines
-/// are homogeneous, so the approximation error is limited to the prologue of the
-/// first simulated layer). Override per evaluator with
-/// [`SystemEvaluator::with_simulated_layers`].
-pub const DEFAULT_SIMULATED_LAYERS: u32 = 4;
+use crate::router::{ReplicaId, ReplicaView};
+use crate::serving::{RoundReport, ServingMode, ServingReport};
+use crate::system::SystemKind;
+use moe_hardware::Seconds;
+use moe_policy::{Policy, WorkloadShape};
+use moe_schedule::ScheduleKind;
+use moe_workload::{
+    BatchRunReport, BatchingConfig, PartitionState, QueueOrder, Request, RequestLatency, Scheduler,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Errors produced by the evaluator.
+/// The Algorithm 2 batching limits a policy implies for a workload shape.
 ///
-/// Marked `#[non_exhaustive]`: new serving layers add typed variants (the
-/// cluster layer added [`EngineError::InvalidClusterSpec`]), so downstream
-/// matches must keep a wildcard arm.
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum EngineError {
-    /// No feasible policy exists for the system on this node/workload.
-    NoFeasiblePolicy {
-        /// The system being evaluated.
+/// The KV budget the schedulers enforce per micro-batch is exactly the
+/// reservation the moe-policy capacity model sized the policy with:
+/// `batch_size × max_context` cache tokens, split evenly across the policy's
+/// micro-batches. The total request cap never exceeds the batch the capacity
+/// model admitted, even when `batch_size` is not a multiple of
+/// `micro_batch_size` (n_ub × μ > N). Shared by [`crate::ServingSession`] and
+/// the per-replica engines of the cluster layer ([`crate::cluster`]).
+pub(crate) fn batching_for(policy: &Policy, shape: &WorkloadShape) -> BatchingConfig {
+    let n_ub = policy.num_micro_batches();
+    BatchingConfig {
+        num_micro_batches: n_ub as usize,
+        max_requests_per_micro_batch: policy.micro_batch_size as usize,
+        max_scheduled_requests: policy.batch_size as usize,
+        cache_tokens_per_micro_batch: (policy.batch_size * shape.max_context()).div_ceil(n_ub),
+    }
+}
+
+/// Mean decode context of one micro-batch: `(prompt + end-of-generation KV) /
+/// 2` per request — the token balance the scheduler produced, fed to the
+/// simulator so KV-heavy micro-batches straggle. Lives next to the engine so
+/// the costing cannot drift between serving paths.
+pub(crate) fn mean_decode_context(prompt_tokens: u64, cache_tokens: u64, requests: u64) -> u64 {
+    (prompt_tokens + cache_tokens)
+        .div_ceil(2 * requests.max(1))
+        .max(1)
+}
+
+/// One in-flight request in a replica's continuous-batching pipeline.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request: Request,
+    partition: usize,
+    remaining: u64,
+    first_token: Option<Seconds>,
+    decode_start: Seconds,
+    wave: usize,
+}
+
+/// A round-to-completion request whose completion instant is already known:
+/// its latency record is released (and the router told) when the global clock
+/// reaches `at`, not in bulk at round retirement.
+#[derive(Debug, Clone, Copy)]
+struct PendingCompletion {
+    latency: RequestLatency,
+    at: Seconds,
+}
+
+/// Where a replica is in its life: not yet up, serving, finishing in-flight
+/// work without taking new requests, or gone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Lifecycle {
+    /// Provisioned (by a timeline join or an autoscaler scale-up) but not yet
+    /// serving; becomes [`Lifecycle::Serving`] at `ready_at`.
+    Provisioning { ready_at: Seconds },
+    /// In the routing views, taking and serving requests.
+    Serving,
+    /// No longer offered to the router; finishes in-flight work, then departs.
+    Draining { since: Seconds },
+    /// Left the fleet (failure, completed drain, or cancelled join).
+    Departed { at: Seconds },
+}
+
+/// One settled event from a replica's independent window drain: the instant,
+/// any request completions released at it, and whether the replica's drain
+/// finished there.
+pub(crate) struct WindowEvent {
+    pub(crate) at: Seconds,
+    pub(crate) completed: Vec<RequestLatency>,
+    pub(crate) departed: bool,
+}
+
+/// The per-replica serving state machine: both single-node serving loops
+/// re-expressed as an event interface ([`Self::next_event`] /
+/// [`Self::step_to`]) so one replica can serve a queue on its own clock and a
+/// cluster can interleave many replicas on one global clock.
+pub struct ReplicaEngine {
+    pub(crate) id: ReplicaId,
+    pub(crate) evaluator: SystemEvaluator,
+    pub(crate) system: SystemKind,
+    pub(crate) schedule: ScheduleKind,
+    pub(crate) scheduler: Arc<dyn Scheduler>,
+    pub(crate) policy: Policy,
+    pub(crate) batching: BatchingConfig,
+    pub(crate) mode: ServingMode,
+    pub(crate) node_desc: String,
+    pub(crate) lifecycle: Lifecycle,
+    // Dynamic state.
+    clock: Seconds,
+    segment_start: Seconds,
+    step: Seconds,
+    parts: Vec<PartitionState>,
+    active: Vec<InFlight>,
+    /// Waiting queue, kept in `queue_order` so admission passes can use the
+    /// scheduler's presorted fast path ([`Scheduler::backfill_sorted`]).
+    /// Arrivals are appended and the order restored lazily (`settle_ready`)
+    /// before each scheduling pass; `ready_dirty` marks an out-of-order tail.
+    ready: Vec<Request>,
+    ready_dirty: bool,
+    queue_order: QueueOrder,
+    // Incrementally-maintained aggregates that make `view()` O(1): the
+    // waiting queue's end-of-generation token projection, its total
+    // generation length (the admission controller's TTFT numerator), its
+    // oldest arrival, the tokens still to decode across active requests
+    // (continuous mode) and across in-flight rounds (round-to-completion).
+    ready_tokens: u64,
+    ready_gen: u64,
+    ready_oldest: Option<Seconds>,
+    active_remaining: u64,
+    /// Minimum `remaining` over `active` (continuous mode; meaningless when
+    /// `active` is empty). Decremented in lockstep by `advance_decode` and
+    /// recomputed once per membership change, so `next_event` — called once
+    /// per driver iteration, including every arrival ingest — stays O(1)
+    /// instead of re-scanning the in-flight set.
+    active_min_remaining: u64,
+    /// The decode-step latency has not been re-derived since the last
+    /// membership change: costing is deferred while an admission re-pass is
+    /// armed at the current instant, so intermediate wave states are never
+    /// simulated.
+    step_stale: bool,
+    in_round_gen: u64,
+    pending_admission: Option<Seconds>,
+    round_start: Seconds,
+    round_end: Option<Seconds>,
+    round_step: Seconds,
+    in_round: Vec<PendingCompletion>,
+    kv_in_round: u64,
+    step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds>,
+    /// The last computed decode-step latency and the concurrency it was
+    /// computed at — the admission controller's TTFT estimator.
+    recent_step: Option<(Seconds, u64)>,
+    // Accounting.
+    rounds: Vec<RoundReport>,
+    latencies: Vec<RequestLatency>,
+    aborted: Vec<Request>,
+    totals: BatchRunReport,
+}
+
+impl ReplicaEngine {
+    /// Creates an idle serving engine for one replica: `policy` and `batching`
+    /// are the replica's sized capacity plan (see `batching_for`), `scheduler`
+    /// its batch-formation strategy, and `evaluator` the costing stack for its
+    /// hardware node. The engine starts in the serving lifecycle at clock zero
+    /// with an empty queue.
+    pub fn new(
+        id: ReplicaId,
+        evaluator: SystemEvaluator,
         system: SystemKind,
-    },
-    /// The schedule simulation failed (indicates an internal bug).
-    Simulation {
-        /// Formatted simulator error.
-        message: String,
-    },
-    /// A serving session was configured with batching limits that can never
-    /// schedule a request (zero micro-batches, capacity, or cache budget).
-    InvalidBatchingConfig {
-        /// The violated constraint.
-        reason: BatchingConfigError,
-    },
-    /// A cluster scenario was configured with an unusable fleet (see
-    /// [`crate::cluster::ClusterSpec::validate`]).
-    InvalidClusterSpec {
-        /// The violated constraint.
-        reason: ClusterSpecError,
-    },
-}
-
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::NoFeasiblePolicy { system } => {
-                write!(
-                    f,
-                    "no feasible policy for {system} on this node and workload"
-                )
-            }
-            EngineError::Simulation { message } => {
-                write!(f, "schedule simulation failed: {message}")
-            }
-            EngineError::InvalidBatchingConfig { reason } => {
-                write!(f, "invalid batching configuration: {reason}")
-            }
-            EngineError::InvalidClusterSpec { reason } => {
-                write!(f, "invalid cluster specification: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Result of evaluating one system on one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SystemEvaluation {
-    /// The system evaluated.
-    pub system: SystemKind,
-    /// The policy it ran with.
-    pub policy: Policy,
-    /// The schedule it used.
-    pub schedule: ScheduleKind,
-    /// Prefill/decode time and token accounting for one batch.
-    pub report: BatchRunReport,
-    /// Generation throughput in tokens/s (the paper's metric).
-    pub throughput: f64,
-}
-
-/// Evaluates inference systems on a (model, node) pair.
-#[derive(Debug, Clone)]
-pub struct SystemEvaluator {
-    node: NodeSpec,
-    model: MoeModelConfig,
-    cost: CostModel,
-    simulated_layers: u32,
-}
-
-impl SystemEvaluator {
-    /// Creates an evaluator. The discrete-event simulation covers
-    /// [`DEFAULT_SIMULATED_LAYERS`] layers (or the full model if shallower) and is
-    /// extrapolated linearly to the model's depth.
-    pub fn new(node: NodeSpec, model: MoeModelConfig) -> Self {
-        let cost = CostModel::new(node.clone(), model.clone());
-        let simulated_layers = DEFAULT_SIMULATED_LAYERS.min(model.num_layers);
-        SystemEvaluator {
-            node,
-            model,
-            cost,
-            simulated_layers,
+        policy: Policy,
+        batching: BatchingConfig,
+        mode: ServingMode,
+        scheduler: Arc<dyn Scheduler>,
+    ) -> Self {
+        let node_desc = evaluator.node().describe();
+        let parts = vec![PartitionState::default(); batching.num_micro_batches];
+        let queue_order = scheduler.queue_order();
+        ReplicaEngine {
+            id,
+            evaluator,
+            system,
+            schedule: system.schedule(),
+            scheduler,
+            policy,
+            batching,
+            mode,
+            node_desc,
+            lifecycle: Lifecycle::Serving,
+            clock: Seconds::ZERO,
+            segment_start: Seconds::ZERO,
+            step: Seconds::ZERO,
+            parts,
+            active: Vec::new(),
+            ready: Vec::new(),
+            ready_dirty: false,
+            queue_order,
+            ready_tokens: 0,
+            ready_gen: 0,
+            ready_oldest: None,
+            active_remaining: 0,
+            active_min_remaining: 0,
+            step_stale: false,
+            in_round_gen: 0,
+            pending_admission: None,
+            round_start: Seconds::ZERO,
+            round_end: None,
+            round_step: Seconds::ZERO,
+            in_round: Vec::new(),
+            kv_in_round: 0,
+            step_memo: HashMap::new(),
+            recent_step: None,
+            rounds: Vec::new(),
+            latencies: Vec::new(),
+            aborted: Vec::new(),
+            totals: BatchRunReport::default(),
         }
     }
 
-    /// Overrides how many layers the discrete-event engine simulates before the
-    /// makespan is extrapolated to the full depth. More layers cost simulation time
-    /// but shrink the prologue approximation error.
+    /// Whether the replica is in the routing views (serving, not draining or
+    /// provisioning).
+    pub(crate) fn is_serving(&self) -> bool {
+        self.lifecycle == Lifecycle::Serving
+    }
+
+    /// Whether the replica still produces internal events (serving or
+    /// draining; provisioning and departed replicas are silent).
+    pub(crate) fn has_events(&self) -> bool {
+        matches!(
+            self.lifecycle,
+            Lifecycle::Serving | Lifecycle::Draining { .. }
+        )
+    }
+
+    /// Whether a draining replica has finished its last in-flight request and
+    /// should leave the fleet.
+    pub(crate) fn drain_finished(&self) -> bool {
+        matches!(self.lifecycle, Lifecycle::Draining { .. }) && self.is_idle()
+    }
+
+    /// No queued, decoding or in-round work.
+    fn is_idle(&self) -> bool {
+        self.ready.is_empty()
+            && self.active.is_empty()
+            && self.in_round.is_empty()
+            && self.round_end.is_none()
+    }
+
+    /// Projected queue-aware TTFT for a request routed here: the work ahead
+    /// of it in *slot* terms. Every completion frees the slot the queue head
+    /// takes, so a request behind `k` queued requests waits for roughly their
+    /// generation tokens to be produced at the replica's memoized decode rate
+    /// (concurrency / step latency). Requests already decoding drain in
+    /// parallel and are not ahead of it in the slot queue. Optimistically
+    /// zero for a cold replica with no step history — admission control
+    /// should not reject into an idle fleet.
+    pub(crate) fn projected_ttft(&self, _request: &Request) -> Seconds {
+        let queued_gen: u64 = self.ready_gen;
+        if queued_gen == 0 {
+            return Seconds::ZERO;
+        }
+        match self.recent_step {
+            Some((step, concurrent)) if concurrent > 0 && step.as_secs() > 0.0 => {
+                let rate = concurrent as f64 / step.as_secs();
+                Seconds::from_secs(queued_gen as f64 / rate)
+            }
+            _ => Seconds::ZERO,
+        }
+    }
+
+    /// Removes one admitted-but-unfinished request's contribution from the
+    /// wave it was admitted in (and the totals): its tokens were never
+    /// delivered. The time already billed stays — wasted work is real.
+    fn unwind_admission(&mut self, wave: usize, request: &Request) {
+        let report = &mut self.rounds[wave].report;
+        report.requests = report.requests.saturating_sub(1);
+        report.prompt_tokens = report.prompt_tokens.saturating_sub(request.input_len);
+        report.generated_tokens = report.generated_tokens.saturating_sub(request.gen_len);
+        self.totals.requests = self.totals.requests.saturating_sub(1);
+        self.totals.prompt_tokens = self.totals.prompt_tokens.saturating_sub(request.input_len);
+        self.totals.generated_tokens = self.totals.generated_tokens.saturating_sub(request.gen_len);
+    }
+
+    /// Kills the replica at time `t`: every not-yet-completed request (queued,
+    /// decoding, or pending in an unfinished round) is returned for
+    /// re-routing and its token accounting unwound — the KV state died with
+    /// the replica, so nothing it was still generating was delivered. Billed
+    /// time is truncated to what actually elapsed.
+    pub(crate) fn fail(&mut self, t: Seconds) -> Vec<Request> {
+        let mut lost: Vec<Request> = self.take_ready();
+        match self.mode {
+            ServingMode::Continuous => {
+                let active = std::mem::take(&mut self.active);
+                self.active_remaining = 0;
+                self.active_min_remaining = 0;
+                for a in active {
+                    self.parts[a.partition].release(&a.request);
+                    self.unwind_admission(a.wave, &a.request);
+                    lost.push(a.request);
+                }
+                self.step = Seconds::ZERO;
+                self.step_stale = false;
+                self.clock = self.clock.max(t);
+                self.segment_start = self.clock;
+            }
+            ServingMode::RoundToCompletion => {
+                let pending = std::mem::take(&mut self.in_round);
+                self.in_round_gen = 0;
+                if self.round_end.take().is_some() {
+                    let round = self.rounds.len() - 1;
+                    for p in &pending {
+                        self.unwind_admission(round, &p.latency.request);
+                        // The per-token mean was billed for the whole round at
+                        // admission; unfinished requests never decoded to the
+                        // end.
+                        self.rounds[round].report.per_token_sum =
+                            self.rounds[round].report.per_token_sum - self.round_step;
+                        self.totals.per_token_sum = self.totals.per_token_sum - self.round_step;
+                    }
+                    // Truncate the round's billed prefill + decode time to the
+                    // span that actually elapsed before the failure.
+                    let billed = self.rounds[round].report.prefill_time
+                        + self.rounds[round].report.decode_time;
+                    let elapsed = (t - self.round_start).min(billed);
+                    let over = billed - elapsed;
+                    let decode_cut = over.min(self.rounds[round].report.decode_time);
+                    let prefill_cut = over - decode_cut;
+                    self.rounds[round].report.decode_time =
+                        self.rounds[round].report.decode_time - decode_cut;
+                    self.rounds[round].report.prefill_time =
+                        self.rounds[round].report.prefill_time - prefill_cut;
+                    self.totals.decode_time = self.totals.decode_time - decode_cut;
+                    self.totals.prefill_time = self.totals.prefill_time - prefill_cut;
+                    self.kv_in_round = 0;
+                }
+                lost.extend(pending.iter().map(|p| p.latency.request));
+                self.clock = self.clock.max(t);
+            }
+        }
+        self.pending_admission = None;
+        self.lifecycle = Lifecycle::Departed { at: t };
+        lost.sort_by_key(|r| r.id);
+        lost
+    }
+
+    /// Starts a graceful drain at time `t`: the replica takes no new work (the
+    /// dispatch engine stops offering it) and returns its queued-but-unadmitted
+    /// requests for re-routing; in-flight work finishes normally.
+    pub(crate) fn begin_drain(&mut self, t: Seconds) -> Vec<Request> {
+        self.lifecycle = Lifecycle::Draining { since: t };
+        self.pending_admission = None;
+        self.settle_ready();
+        self.take_ready()
+    }
+
+    /// Whether the request could ever be admitted here: its own prompt +
+    /// generation fits the per-micro-batch KV budget.
+    pub(crate) fn can_ever_serve(&self, request: &Request) -> bool {
+        request.max_context() <= self.batching.cache_tokens_per_micro_batch
+    }
+
+    fn kv_capacity(&self) -> u64 {
+        self.batching.cache_tokens_per_micro_batch * self.batching.num_micro_batches as u64
+    }
+
+    /// Router-visible snapshot of the replica *as of its last processed
+    /// event*: queued work exactly, active work as the tokens still to be
+    /// delivered (continuous mode) or committed to the in-flight round
+    /// (round-to-completion). The view is a pure function of engine state —
+    /// decode progress between events is not interpolated — which is what
+    /// lets the indexed dispatch path cache one view per replica and keep the
+    /// routers' incremental indexes exact.
+    pub fn view(&self) -> ReplicaView {
+        let (active_requests, active_tokens, kv_active) = match self.mode {
+            ServingMode::Continuous => {
+                let kv: u64 = self.parts.iter().map(|p| p.cache_tokens).sum();
+                (self.active.len(), self.active_remaining, kv)
+            }
+            ServingMode::RoundToCompletion => {
+                (self.in_round.len(), self.in_round_gen, self.kv_in_round)
+            }
+        };
+        ReplicaView {
+            id: self.id,
+            queued_requests: self.ready.len(),
+            active_requests,
+            outstanding_tokens: self.ready_tokens + active_tokens,
+            kv_capacity: self.kv_capacity(),
+            kv_projected: kv_active + self.ready_tokens,
+            oldest_queued_arrival: self.ready_oldest,
+        }
+    }
+
+    /// Appends a request to the waiting queue and maintains the queue
+    /// aggregates. Scheduler order is restored lazily ([`Self::settle_ready`])
+    /// just before the next scheduling pass, so a burst of co-timed arrivals
+    /// costs one sort instead of per-request sorted inserts.
+    fn push_ready(&mut self, request: Request) {
+        self.ready_tokens += request.max_context();
+        self.ready_gen += request.gen_len;
+        self.ready_oldest = Some(match self.ready_oldest {
+            Some(oldest) => oldest.min(request.arrival),
+            None => request.arrival,
+        });
+        if self
+            .ready
+            .last()
+            .is_some_and(|last| self.queue_order.cmp(last, &request) == std::cmp::Ordering::Greater)
+        {
+            self.ready_dirty = true;
+        }
+        self.ready.push(request);
+    }
+
+    /// Restores scheduler order on the waiting queue. A no-op unless an
+    /// out-of-order arrival was appended since the last scheduling pass (the
+    /// common append-in-order case never pays a sort).
+    fn settle_ready(&mut self) {
+        if self.ready_dirty {
+            self.queue_order.sort(&mut self.ready);
+            self.ready_dirty = false;
+        }
+    }
+
+    /// Replaces the waiting queue (already in scheduler order — deferred
+    /// requests come back in admission order) and recomputes the aggregates.
     ///
-    /// # Panics
-    ///
-    /// Panics if `layers` is zero or exceeds the model's layer count.
-    pub fn with_simulated_layers(mut self, layers: u32) -> Self {
-        assert!(layers >= 1, "must simulate at least one layer");
-        assert!(
-            layers <= self.model.num_layers,
-            "cannot simulate {layers} layers of a {}-layer model",
-            self.model.num_layers
+    /// Schedulers declaring [`QueueOrder::Unordered`] sort internally and may
+    /// hand deferrals back in *their* order, so no invariant is asserted for
+    /// them — the engine's queue order is then merely insertion order.
+    fn set_ready(&mut self, ready: Vec<Request>) {
+        self.ready = ready;
+        self.ready_dirty = false;
+        self.ready_tokens = 0;
+        self.ready_gen = 0;
+        self.ready_oldest = None;
+        for r in &self.ready {
+            self.ready_tokens += r.max_context();
+            self.ready_gen += r.gen_len;
+            self.ready_oldest = Some(match self.ready_oldest {
+                Some(oldest) => oldest.min(r.arrival),
+                None => r.arrival,
+            });
+        }
+        debug_assert!(
+            self.queue_order == QueueOrder::Unordered
+                || self
+                    .ready
+                    .windows(2)
+                    .all(|w| self.queue_order.cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
         );
-        self.simulated_layers = layers;
-        self
     }
 
-    /// Number of layers the discrete-event engine simulates before extrapolation.
-    pub fn simulated_layers(&self) -> u32 {
-        self.simulated_layers
+    /// Takes the waiting queue, leaving it empty with zeroed aggregates.
+    fn take_ready(&mut self) -> Vec<Request> {
+        self.ready_tokens = 0;
+        self.ready_gen = 0;
+        self.ready_oldest = None;
+        self.ready_dirty = false;
+        std::mem::take(&mut self.ready)
     }
 
-    /// The underlying cost model.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+    /// Accepts a routed request at time `now`, arming the next admission
+    /// event: immediately when the pipeline is idle, at the next
+    /// decode-step boundary mid-flight (continuous mode), or at the current
+    /// round's retirement (round-to-completion).
+    pub fn enqueue(&mut self, request: Request, now: Seconds) {
+        self.push_ready(request);
+        let effective = now.max(self.clock);
+        let at = match self.mode {
+            ServingMode::RoundToCompletion => {
+                if self.round_end.is_some() {
+                    // The queue is only reconsidered when the round finishes.
+                    return;
+                }
+                effective
+            }
+            ServingMode::Continuous => {
+                if self.active.is_empty() {
+                    effective
+                } else {
+                    // Mid-flight admissions land on decode-step boundaries,
+                    // like the single-node loop's arrival-capped segments.
+                    self.next_step_boundary(effective)
+                }
+            }
+        };
+        self.pending_admission = Some(match self.pending_admission {
+            Some(previous) => previous.min(at),
+            None => at,
+        });
     }
 
-    /// The node this evaluator targets.
-    pub fn node(&self) -> &NodeSpec {
-        &self.node
+    fn next_step_boundary(&self, t: Seconds) -> Seconds {
+        if self.step.as_secs() <= 0.0 {
+            return t;
+        }
+        let elapsed = (t - self.segment_start).as_secs();
+        let k = (elapsed / self.step.as_secs()).ceil();
+        self.segment_start + self.step.scale(k)
     }
 
-    /// The model this evaluator targets.
-    pub fn model(&self) -> &MoeModelConfig {
-        &self.model
-    }
-
-    /// The workload shape a system sees for a given workload spec: padded systems
-    /// process every prompt at the maximum length, the others at the average length.
-    pub fn workload_shape(
-        &self,
-        system: SystemKind,
-        spec: &WorkloadSpec,
-        gen_len: u64,
-    ) -> WorkloadShape {
-        if system.pads_requests() {
-            WorkloadShape::new(spec.max_prompt_len, gen_len)
+    /// Time of the replica's next internal event (per-request completion,
+    /// round end or pending admission), if any work is pending. Drivers
+    /// interleave this with arrivals: every arrival at or before the returned
+    /// instant must be [`Self::enqueue`]d before [`Self::step_to`] settles it,
+    /// so co-timed requests are fully ingested before a round forms.
+    pub fn next_event(&self) -> Option<Seconds> {
+        let admission = if self.ready.is_empty() {
+            None
         } else {
-            WorkloadShape::new(spec.avg_prompt_len, gen_len)
+            self.pending_admission
+        };
+        let completion = match self.mode {
+            ServingMode::RoundToCompletion => {
+                // The earliest pending per-request completion (the back of the
+                // latest-first list), else the round retirement itself.
+                self.in_round.last().map(|p| p.at).or(self.round_end)
+            }
+            ServingMode::Continuous => {
+                if self.active.is_empty() {
+                    None
+                } else {
+                    Some(self.segment_start + self.step.scale(self.active_min_remaining as f64))
+                }
+            }
+        };
+        match (admission, completion) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (a, None) => a,
+            (None, c) => c,
         }
     }
 
-    /// The [`PolicyGenerator`] a system searches policies with: the HRM
-    /// optimizer for MoE-Lightning, the mimicking baseline generators for
-    /// FlexGen / FlexGen(c) / DeepSpeed. Returned as a trait object so callers
-    /// (e.g. the Tab. 4 binary) iterate over systems generically.
-    pub fn policy_generator(&self, system: SystemKind) -> Box<dyn PolicyGenerator> {
-        match system {
-            SystemKind::MoeLightning | SystemKind::MoeLightningPadded => {
-                Box::new(PolicyOptimizer::new(self.node.clone(), self.model.clone()))
-            }
-            SystemKind::FlexGen => {
-                Box::new(FlexGenPolicy::new(self.node.clone(), self.model.clone()))
-            }
-            SystemKind::FlexGenCpuAttention => Box::new(FlexGenPolicy::with_cpu_attention(
-                self.node.clone(),
-                self.model.clone(),
-            )),
-            SystemKind::DeepSpeedZero => {
-                Box::new(DeepSpeedPolicy::new(self.node.clone(), self.model.clone()))
-            }
+    /// Processes the replica's internal events due at time `t`; returns the
+    /// latency records of the requests that completed there (for the router's
+    /// completion callback and the autoscaler's window).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from costing a freshly formed wave.
+    pub fn step_to(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
+        match self.mode {
+            ServingMode::RoundToCompletion => self.step_rtc(t),
+            ServingMode::Continuous => self.step_continuous(t),
         }
     }
 
-    /// Generates the policy a system would use for a workload.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::NoFeasiblePolicy`] if the system cannot run at all.
-    pub fn policy_for(
-        &self,
-        system: SystemKind,
-        workload: &WorkloadShape,
-    ) -> Result<Policy, EngineError> {
-        self.policy_generator(system)
-            .generate(workload)
-            .ok_or(EngineError::NoFeasiblePolicy { system })
+    /// Settles every internal event due strictly before `bound` (all pending
+    /// events when `bound` is `None`), independently of the rest of the
+    /// fleet. Returns the settled events in chronological order, keeping
+    /// only the ones the control plane must observe (completions or a drain
+    /// finishing); stops at a finished drain — the departure is a
+    /// fleet-level transition the control plane applies first.
+    pub(crate) fn drain_window(
+        &mut self,
+        bound: Option<Seconds>,
+    ) -> Result<Vec<WindowEvent>, EngineError> {
+        let mut out = Vec::new();
+        while self.has_events() {
+            let Some(t) = self.next_event() else { break };
+            if bound.is_some_and(|b| t >= b) {
+                break;
+            }
+            let completed = self.step_to(t)?;
+            let departed = self.drain_finished();
+            if !completed.is_empty() || departed {
+                out.push(WindowEvent {
+                    at: t,
+                    completed,
+                    departed,
+                });
+            }
+            if departed {
+                break;
+            }
+        }
+        Ok(out)
     }
 
-    /// Simulated decode-step latency (all layers, one token per sequence) of a policy
-    /// under a schedule.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Simulation`] if the schedule cannot be simulated.
-    pub fn decode_step_latency(
-        &self,
-        schedule: ScheduleKind,
-        policy: &Policy,
-        workload: &WorkloadShape,
-    ) -> Result<Seconds, EngineError> {
-        self.decode_step_latency_with_occupancy(schedule, policy, workload, None)
+    fn step_continuous(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
+        let mut completed: Vec<RequestLatency> = Vec::new();
+        if self.active.is_empty() {
+            // Idle until the event; idle time is not billed.
+            self.clock = self.clock.max(t);
+            self.segment_start = self.clock;
+        } else if t > self.segment_start {
+            let min_remaining = self.active_min_remaining;
+            let steps = if self.step.as_secs() <= 0.0 {
+                min_remaining
+            } else {
+                (((t - self.segment_start).as_secs() / self.step.as_secs()).round() as u64)
+                    .min(min_remaining)
+            };
+            if steps > 0 {
+                self.advance_decode(steps);
+            }
+        }
+
+        // Retire completed requests, releasing their KV reservations. The
+        // cached minimum proves the scan unnecessary on admission-only
+        // events: nothing can have completed while it is still positive.
+        let mut i = if self.active_min_remaining > 0 {
+            self.active.len()
+        } else {
+            0
+        };
+        while i < self.active.len() {
+            if self.active[i].remaining > 0 {
+                i += 1;
+                continue;
+            }
+            let done = self.active.swap_remove(i);
+            self.parts[done.partition].release(&done.request);
+            let per_token =
+                (self.clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
+            let latency = RequestLatency {
+                request: done.request,
+                round: done.wave,
+                ttft: done.first_token.expect("completed requests decoded") - done.request.arrival,
+                per_token,
+                completion_time: self.clock - done.request.arrival,
+            };
+            self.latencies.push(latency);
+            self.totals.per_token_sum += per_token;
+            self.rounds[done.wave].report.per_token_sum += per_token;
+            completed.push(latency);
+        }
+
+        // Backfill freed slots (or run a due admission) with the waiting queue.
+        let mut membership_changed = !completed.is_empty();
+        let due = matches!(self.pending_admission, Some(p) if p <= t);
+        if !self.ready.is_empty() && (due || membership_changed) {
+            // Any pass consumes the pending admission: deferred requests
+            // re-arm on the next completion or enqueue instead of stalling on
+            // a stale timestamp.
+            self.pending_admission = None;
+            membership_changed |= self.admit_continuous(&mut completed)?;
+        } else if due {
+            self.pending_admission = None;
+        }
+        if membership_changed {
+            self.active_min_remaining = self.active.iter().map(|a| a.remaining).min().unwrap_or(0);
+        }
+        if membership_changed || self.step_stale {
+            if self.pending_admission == Some(self.clock) {
+                // Another admission pass is armed at this very instant (the
+                // re-pass cadence of `admit_continuous`): no decode can run
+                // before the cascade settles, so only the settled membership
+                // is worth costing — exactly the states the single-node loop
+                // costed. Re-anchoring the segment keeps the stale step
+                // harmless: the pending admission is never later than any
+                // projected completion, so it is the next event settled, and
+                // `step_stale` guarantees the refresh still happens there
+                // even if that pass admits nothing.
+                self.step_stale = true;
+                self.segment_start = self.clock;
+            } else {
+                self.refresh_step()?;
+                self.step_stale = false;
+            }
+        }
+        Ok(completed)
     }
 
-    /// Simulated decode-step latency with explicit per-micro-batch occupancies
-    /// (active sequences per micro-batch). `None` falls back to the policy's
-    /// uniform split; the request-level serving loop passes the actual Algorithm 2
-    /// assignment so pipeline bubbles reflect real imbalance.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Simulation`] if the schedule cannot be simulated.
-    pub fn decode_step_latency_with_occupancy(
-        &self,
-        schedule: ScheduleKind,
-        policy: &Policy,
-        workload: &WorkloadShape,
-        occupancy: Option<&[u64]>,
-    ) -> Result<Seconds, EngineError> {
-        self.decode_step_latency_with_loads(schedule, policy, workload, occupancy, None)
+    /// Advances decode by `steps` whole steps from the current segment start.
+    /// Callers cap `steps` at the minimum remaining generation, so the
+    /// fleet-wide remaining-token aggregate decreases exactly in lockstep.
+    fn advance_decode(&mut self, steps: u64) {
+        self.active_remaining = self
+            .active_remaining
+            .saturating_sub(steps.saturating_mul(self.active.len() as u64));
+        self.active_min_remaining = self.active_min_remaining.saturating_sub(steps);
+        let advance = self.step.scale(steps as f64);
+        let first_token_at = self.segment_start + self.step;
+        self.clock = self.segment_start + advance;
+        self.segment_start = self.clock;
+        self.totals.decode_time += advance;
+        if let Some(last) = self.rounds.last_mut() {
+            last.report.decode_time += advance;
+        }
+        for a in self.active.iter_mut() {
+            if a.first_token.is_none() {
+                a.first_token = Some(first_token_at);
+            }
+            a.remaining = a.remaining.saturating_sub(steps);
+        }
     }
 
-    /// Simulated decode-step latency with explicit per-micro-batch occupancies
-    /// *and* mean decode contexts (KV tokens each active sequence reads), so the
-    /// pipeline sees both kinds of imbalance a batch-formation strategy can
-    /// produce: sequence-count skew and token-load skew. `contexts` requires
-    /// `occupancy` of the same length.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Simulation`] if `contexts` is given without an
-    /// `occupancy` of the same length, or if the schedule cannot be simulated.
-    pub fn decode_step_latency_with_loads(
-        &self,
-        schedule: ScheduleKind,
-        policy: &Policy,
-        workload: &WorkloadShape,
-        occupancy: Option<&[u64]>,
-        contexts: Option<&[u64]>,
-    ) -> Result<Seconds, EngineError> {
-        if let Some(ctx) = contexts {
-            let matching = occupancy.is_some_and(|occ| occ.len() == ctx.len());
-            if !matching {
-                return Err(EngineError::Simulation {
-                    message: format!(
-                        "per-micro-batch contexts ({} entries) require occupancies of the same \
-                         length, got {:?}",
-                        ctx.len(),
-                        occupancy.map(<[u64]>::len),
-                    ),
+    /// Runs one admission wave over the waiting queue; returns whether
+    /// anything was admitted. Mirrors the single-node continuous loop's
+    /// admission cadence, including the cold-start-vs-overlapped prefill
+    /// distinction: after a wave that made progress but left requests
+    /// waiting, the pending admission is re-armed at the post-prefill clock
+    /// so the *next* event is another pass at the same instant — with the
+    /// driver ingesting any arrivals that landed during the prefill stall in
+    /// between, exactly like the loop's ingest-then-backfill iteration. The
+    /// re-pass matters beyond arrivals: a zero-generation wave completes
+    /// inside the pass and leaves the pipeline empty again, and a padded
+    /// scheduler's per-request KV charge shrinks as the queue shrinks, so
+    /// the deferred remainder can be admissible immediately.
+    fn admit_continuous(
+        &mut self,
+        completed: &mut Vec<RequestLatency>,
+    ) -> Result<bool, EngineError> {
+        let progressed = self.admit_continuous_once(completed)?;
+        if progressed && !self.ready.is_empty() {
+            self.pending_admission = Some(match self.pending_admission {
+                Some(previous) => previous.min(self.clock),
+                None => self.clock,
+            });
+        }
+        Ok(progressed)
+    }
+
+    /// One backfill pass over the waiting queue; returns whether anything was
+    /// admitted. Requests the scheduler refuses stay in the waiting queue —
+    /// even on an empty pipeline (a padded scheduler's inflated KV charge can
+    /// overflow the budget) they are re-offered at the next enqueue or
+    /// completion, and only classified as aborted when the run ends with them
+    /// still waiting ([`Self::into_report`]) or the replica drains/fails.
+    fn admit_continuous_once(
+        &mut self,
+        completed: &mut Vec<RequestLatency>,
+    ) -> Result<bool, EngineError> {
+        // Saturation precheck: when the total-admission cap or every request
+        // slot is already exhausted the scheduler cannot admit anything, so
+        // skip the pass entirely.
+        let in_flight: usize = self.parts.iter().map(|p| p.requests).sum();
+        if in_flight >= self.batching.max_scheduled_requests
+            || self
+                .parts
+                .iter()
+                .all(|p| p.requests >= self.batching.max_requests_per_micro_batch)
+        {
+            return Ok(false);
+        }
+        self.settle_ready();
+        let fill = self
+            .scheduler
+            .backfill_sorted(&self.ready, &self.batching, &self.parts);
+        let admitted = fill.admitted();
+        if admitted == 0 {
+            // Nothing left the queue: same multiset, possibly re-ordered by
+            // the scheduler, so the incremental aggregates are still exact
+            // and the full recompute in `set_ready` can be skipped.
+            self.ready = fill.deferred;
+            self.ready_dirty = false;
+            return Ok(false);
+        }
+        self.set_ready(fill.deferred);
+        let wave = self.rounds.len();
+        let count = admitted as u64;
+        let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
+        let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
+        let max_gen = fill
+            .assignments
+            .iter()
+            .flatten()
+            .map(|r| r.gen_len)
+            .max()
+            .unwrap_or(0);
+        let mean_prompt = prompt.div_ceil(count).max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+        let policy = Policy {
+            batch_size: count,
+            micro_batch_size: self.policy.micro_batch_size.min(count),
+            ..self.policy
+        };
+        let prefill = if self.active.is_empty() {
+            self.evaluator.cost_model().prefill_time(&policy, &shape)
+        } else {
+            self.evaluator
+                .cost_model()
+                .backfill_prefill_time(&policy, &shape)
+        };
+        let admitted_at = self.clock;
+        self.clock += prefill;
+        for (partition, requests) in fill.assignments.into_iter().enumerate() {
+            for request in requests {
+                self.parts[partition].admit(&request);
+                if request.gen_len == 0 {
+                    // Nothing to decode: complete at prefill end.
+                    self.parts[partition].release(&request);
+                    let latency = RequestLatency {
+                        request,
+                        round: wave,
+                        ttft: self.clock - request.arrival,
+                        per_token: Seconds::ZERO,
+                        completion_time: self.clock - request.arrival,
+                    };
+                    self.latencies.push(latency);
+                    completed.push(latency);
+                    continue;
+                }
+                self.active_remaining += request.gen_len;
+                self.active.push(InFlight {
+                    request,
+                    partition,
+                    remaining: request.gen_len,
+                    first_token: None,
+                    decode_start: self.clock,
+                    wave,
                 });
             }
         }
-        let layers = self.model.num_layers.min(self.simulated_layers);
-        let mut builder =
-            DecodeScheduleBuilder::new(&self.cost, *policy, *workload).with_layers(layers);
-        if let Some(tokens) = occupancy {
-            builder = builder.with_micro_batch_tokens(tokens);
-        }
-        if let Some(ctx) = contexts {
-            builder = builder.with_micro_batch_contexts(ctx);
-        }
-        let graph = builder
-            .build(schedule)
-            .map_err(|e| EngineError::Simulation {
-                message: e.to_string(),
-            })?;
-        let result = simulate(&graph).map_err(|e| EngineError::Simulation {
-            message: e.to_string(),
-        })?;
-        let scale = f64::from(self.model.num_layers) / f64::from(layers);
-        Ok(result.makespan.scale(scale))
+        let report = BatchRunReport {
+            requests: count,
+            prompt_tokens: prompt,
+            generated_tokens: generated,
+            prefill_time: prefill,
+            decode_time: Seconds::ZERO,
+            per_token_sum: Seconds::ZERO,
+        };
+        self.totals = self.totals.combine(&report);
+        self.rounds.push(RoundReport {
+            round: wave,
+            admitted_at,
+            occupancy: self.parts.iter().map(|p| p.requests as u64).collect(),
+            kv_reserved: self.parts.iter().map(|p| p.cache_tokens).collect(),
+            prompt_token_spread: {
+                let min = self
+                    .parts
+                    .iter()
+                    .map(|p| p.prompt_tokens)
+                    .min()
+                    .unwrap_or(0);
+                let max = self
+                    .parts
+                    .iter()
+                    .map(|p| p.prompt_tokens)
+                    .max()
+                    .unwrap_or(0);
+                (min, max)
+            },
+            report,
+        });
+        Ok(true)
     }
 
-    /// Evaluates a system on a workload with an explicit policy (used by the Tab. 5
-    /// ablation, which mixes FlexGen's schedule with MoE-Lightning's policy).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation errors.
-    pub fn evaluate_with_policy(
-        &self,
-        system: SystemKind,
-        policy: Policy,
-        spec: &WorkloadSpec,
-        gen_len: u64,
-    ) -> Result<SystemEvaluation, EngineError> {
-        let workload = self.workload_shape(system, spec, gen_len);
-        let schedule = system.schedule();
-        let step = self.decode_step_latency(schedule, &policy, &workload)?;
-        let decode_time = step.scale(gen_len as f64);
-        let prefill_time = self.cost.prefill_time(&policy, &workload);
-        let report = BatchRunReport::uniform_round(
-            policy.batch_size,
-            policy.batch_size * workload.prompt_len,
-            policy.batch_size * gen_len,
+    /// Re-derives the decode-step latency for the current occupancy and KV
+    /// load, resetting the segment origin (memoized like the single-node
+    /// loop).
+    fn refresh_step(&mut self) -> Result<(), EngineError> {
+        self.segment_start = self.clock;
+        if self.active.is_empty() {
+            self.step = Seconds::ZERO;
+            return Ok(());
+        }
+        let occupancy: Vec<u64> = self
+            .parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| p.requests as u64)
+            .collect();
+        let contexts: Vec<u64> = self
+            .parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
+            .collect();
+        let key = (occupancy.clone(), contexts.clone());
+        if let Some(&step) = self.step_memo.get(&key) {
+            self.step = step;
+            self.recent_step = Some((step, self.active.len() as u64));
+            return Ok(());
+        }
+        let total_active = self.active.len() as u64;
+        let prompt_sum: u64 = self.active.iter().map(|a| a.request.input_len).sum();
+        let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
+        let max_gen = self
+            .active
+            .iter()
+            .map(|a| a.request.gen_len)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen);
+        let policy = Policy {
+            batch_size: total_active,
+            micro_batch_size: self.policy.micro_batch_size.min(total_active),
+            ..self.policy
+        };
+        let step = self.evaluator.decode_step_latency_with_loads(
+            self.schedule,
+            &policy,
+            &shape,
+            Some(&occupancy),
+            Some(&contexts),
+        )?;
+        self.step_memo.insert(key, step);
+        self.step = step;
+        self.recent_step = Some((step, self.active.len() as u64));
+        Ok(())
+    }
+
+    fn step_rtc(&mut self, t: Seconds) -> Result<Vec<RequestLatency>, EngineError> {
+        let mut completed: Vec<RequestLatency> = Vec::new();
+        // Release every pending completion due by `t` — each request finishes
+        // at its own step, not in bulk at round retirement (its micro-batch
+        // slot and KV stay held until the round ends; that is the
+        // round-to-completion semantic). The list is sorted latest-first, so
+        // due releases pop off the back in chronological order.
+        while self.in_round.last().is_some_and(|p| p.at <= t) {
+            let done = self.in_round.pop().expect("checked non-empty");
+            self.in_round_gen = self
+                .in_round_gen
+                .saturating_sub(done.latency.request.gen_len);
+            self.latencies.push(done.latency);
+            completed.push(done.latency);
+        }
+        if let Some(end) = self.round_end {
+            if end <= t {
+                self.clock = end;
+                self.round_end = None;
+                self.kv_in_round = 0;
+            }
+        }
+        if self.round_end.is_none() {
+            self.clock = self.clock.max(t);
+            let due = matches!(self.pending_admission, Some(p) if p <= t);
+            self.pending_admission = None;
+            if !self.ready.is_empty() && (due || !completed.is_empty()) {
+                self.admit_round()?;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Forms one round-to-completion round from the waiting queue; mirrors the
+    /// single-node round loop's costing and latency bookkeeping.
+    fn admit_round(&mut self) -> Result<(), EngineError> {
+        self.settle_ready();
+        let formed = self.scheduler.plan_sorted(&self.ready, &self.batching);
+        self.take_ready();
+        if formed.scheduled_requests() == 0 {
+            // No scheduler progress on an empty pipeline (padded KV charge
+            // overflow): abort rather than loop.
+            self.aborted.extend(formed.aborted);
+            return Ok(());
+        }
+        let round = self.rounds.len();
+        let occupancy: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.len() as u64)
+            .collect();
+        let kv_reserved: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.max_cache_tokens())
+            .collect();
+        let contexts: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| {
+                mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
+            })
+            .collect();
+        let requests: u64 = occupancy.iter().sum();
+        let prompt_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.prompt_tokens())
+            .sum();
+        let generated_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .sum();
+        let max_gen = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .max()
+            .unwrap_or(0);
+        let mean_prompt = prompt_tokens.div_ceil(requests).max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+        let policy = Policy {
+            batch_size: requests,
+            micro_batch_size: self.policy.micro_batch_size.min(requests),
+            ..self.policy
+        };
+        let key = (occupancy.clone(), contexts.clone());
+        let step = match self.step_memo.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = self.evaluator.decode_step_latency_with_loads(
+                    self.schedule,
+                    &policy,
+                    &shape,
+                    Some(&occupancy),
+                    Some(&contexts),
+                )?;
+                self.step_memo.insert(key, s);
+                s
+            }
+        };
+        let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
+        let decode_time = step.scale(max_gen as f64);
+        // Every request's completion instant is known at admission; each is
+        // released (latency recorded, router told) at its own step instead of
+        // in bulk when the round retires. Kept sorted latest-first so
+        // [`Self::next_event`] peeks and [`Self::step_rtc`] pops due releases
+        // from the back in O(1) instead of re-scanning the round per event.
+        self.in_round = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter().copied())
+            .map(|request| PendingCompletion {
+                latency: RequestLatency {
+                    request,
+                    round,
+                    ttft: self.clock + prefill_time + step - request.arrival,
+                    per_token: step,
+                    completion_time: self.clock + prefill_time + step.scale(request.gen_len as f64)
+                        - request.arrival,
+                },
+                at: self.clock + prefill_time + step.scale(request.gen_len as f64),
+            })
+            .collect();
+        self.in_round.sort_unstable_by(|a, b| {
+            (b.at.key(), b.latency.request.id).cmp(&(a.at.key(), a.latency.request.id))
+        });
+        self.in_round_gen = generated_tokens;
+        self.kv_in_round = kv_reserved.iter().sum();
+        self.round_start = self.clock;
+        self.round_end = Some(self.clock + prefill_time + decode_time);
+        self.round_step = step;
+        self.recent_step = Some((step, requests));
+        let report = BatchRunReport {
+            requests,
+            prompt_tokens,
+            generated_tokens,
             prefill_time,
             decode_time,
-        );
-        Ok(SystemEvaluation {
-            system,
-            policy,
-            schedule,
-            throughput: report.generation_throughput(),
+            per_token_sum: step.scale(requests as f64),
+        };
+        self.totals = self.totals.combine(&report);
+        self.rounds.push(RoundReport {
+            round,
+            admitted_at: self.round_start,
+            occupancy,
+            kv_reserved,
+            prompt_token_spread: formed.prompt_token_spread(),
             report,
-        })
+        });
+        self.set_ready(formed.aborted);
+        Ok(())
     }
 
-    /// Evaluates a system end to end: policy generation, prefill estimate and the
-    /// simulated decode pipeline.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if no policy fits or the simulation fails.
-    pub fn evaluate(
-        &self,
-        system: SystemKind,
-        spec: &WorkloadSpec,
-        gen_len: u64,
-    ) -> Result<SystemEvaluation, EngineError> {
-        let workload = self.workload_shape(system, spec, gen_len);
-        let policy = self.policy_for(system, &workload)?;
-        self.evaluate_with_policy(system, policy, spec, gen_len)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::settings::EvalSetting;
-
-    fn s1() -> SystemEvaluator {
-        SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
-    }
-
-    #[test]
-    fn moe_lightning_beats_all_baselines_on_s1_mtbench() {
-        // The headline Fig. 7 comparison at generation length 128.
-        let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let ml = eval
-            .evaluate(SystemKind::MoeLightningPadded, &spec, 128)
-            .unwrap();
-        for baseline in [
-            SystemKind::FlexGen,
-            SystemKind::FlexGenCpuAttention,
-            SystemKind::DeepSpeedZero,
-        ] {
-            let b = eval.evaluate(baseline, &spec, 128).unwrap();
-            assert!(
-                ml.throughput > b.throughput,
-                "MoE-Lightning(p) ({:.1} tok/s) must beat {} ({:.1} tok/s)",
-                ml.throughput,
-                baseline,
-                b.throughput
-            );
+    /// Consumes the engine into its [`ServingReport`]. Requests still waiting
+    /// when the run ends were refused by an empty pipeline (a padded
+    /// scheduler's inflated KV charge can overflow the budget) and no further
+    /// event can admit them: they are flushed into the report's aborted list,
+    /// in queue order.
+    pub fn into_report(mut self) -> ServingReport {
+        self.settle_ready();
+        let mut leftover = self.take_ready();
+        self.aborted.append(&mut leftover);
+        ServingReport {
+            system: self.system,
+            mode: self.mode,
+            scheduler: self.scheduler.name().to_owned(),
+            policy: self.policy,
+            schedule: self.schedule,
+            rounds: self.rounds,
+            latencies: self.latencies,
+            aborted: self.aborted,
+            totals: self.totals,
         }
-    }
-
-    #[test]
-    fn unpadded_moe_lightning_beats_padded_variant() {
-        let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let padded = eval
-            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
-            .unwrap();
-        let unpadded = eval.evaluate(SystemKind::MoeLightning, &spec, 64).unwrap();
-        assert!(
-            unpadded.throughput > padded.throughput,
-            "padding wastes memory and attention compute: {} vs {}",
-            unpadded.throughput,
-            padded.throughput
-        );
-    }
-
-    #[test]
-    fn workload_shape_depends_on_padding() {
-        let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        assert_eq!(
-            eval.workload_shape(SystemKind::MoeLightning, &spec, 32)
-                .prompt_len,
-            77
-        );
-        assert_eq!(
-            eval.workload_shape(SystemKind::FlexGen, &spec, 32)
-                .prompt_len,
-            418
-        );
-    }
-
-    #[test]
-    fn evaluation_report_is_internally_consistent() {
-        let eval = s1();
-        let spec = WorkloadSpec::synthetic_reasoning();
-        let e = eval
-            .evaluate(SystemKind::MoeLightningPadded, &spec, 50)
-            .unwrap();
-        assert_eq!(e.report.generated_tokens, e.policy.batch_size * 50);
-        assert_eq!(e.report.prompt_tokens, e.policy.batch_size * 256);
-        assert!(e.report.prefill_time.as_secs() > 0.0);
-        assert!(e.report.decode_time.as_secs() > 0.0);
-        assert!((e.throughput - e.report.generation_throughput()).abs() < 1e-9);
-        assert_eq!(e.schedule, ScheduleKind::CgoPipe);
-    }
-
-    #[test]
-    fn policy_generators_are_named_and_consistent_with_policy_for() {
-        let eval = s1();
-        let names: Vec<&str> = [
-            SystemKind::MoeLightning,
-            SystemKind::FlexGen,
-            SystemKind::FlexGenCpuAttention,
-            SystemKind::DeepSpeedZero,
-        ]
-        .iter()
-        .map(|&s| eval.policy_generator(s).name())
-        .collect();
-        assert_eq!(names, vec!["hrm", "flexgen", "flexgen(c)", "deepspeed"]);
-        // policy_for is exactly the generator's output for every system.
-        let workload = WorkloadShape::new(418, 128);
-        for system in SystemKind::all() {
-            let direct = eval.policy_generator(system).generate(&workload);
-            assert_eq!(direct, eval.policy_for(system, &workload).ok());
-        }
-    }
-
-    #[test]
-    fn contexts_without_matching_occupancy_is_a_typed_error() {
-        let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let workload = eval.workload_shape(SystemKind::MoeLightning, &spec, 64);
-        let policy = eval
-            .policy_for(SystemKind::MoeLightning, &workload)
-            .unwrap();
-        for occupancy in [None, Some([8u64, 8].as_slice())] {
-            let err = eval
-                .decode_step_latency_with_loads(
-                    ScheduleKind::CgoPipe,
-                    &policy,
-                    &workload,
-                    occupancy,
-                    Some(&[100, 100, 100]),
-                )
-                .unwrap_err();
-            assert!(matches!(err, EngineError::Simulation { .. }));
-            assert!(err.to_string().contains("same length"));
-        }
-    }
-
-    #[test]
-    fn no_feasible_policy_is_reported_for_impossible_nodes() {
-        let node = NodeSpec::t4_single().with_cpu_memory(moe_hardware::ByteSize::from_gib(4.0));
-        let eval = SystemEvaluator::new(node, MoeModelConfig::mixtral_8x7b());
-        let err = eval
-            .evaluate(SystemKind::FlexGen, &WorkloadSpec::mtbench(), 32)
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            EngineError::NoFeasiblePolicy {
-                system: SystemKind::FlexGen
-            }
-        ));
-        assert!(err.to_string().contains("FlexGen"));
-    }
-
-    #[test]
-    fn tab5_ablation_ordering_holds() {
-        // Tab. 5: FlexGen w/ our policy > FlexGen w/ their policy, and
-        // MoE-Lightning(p) > FlexGen w/ our policy (same policy, better schedule).
-        let eval = s1();
-        let spec = WorkloadSpec::mtbench();
-        let gen = 128;
-        let flexgen_theirs = eval.evaluate(SystemKind::FlexGen, &spec, gen).unwrap();
-        let our_policy = eval
-            .policy_for(
-                SystemKind::MoeLightningPadded,
-                &eval.workload_shape(SystemKind::MoeLightningPadded, &spec, gen),
-            )
-            .unwrap();
-        let flexgen_ours = eval
-            .evaluate_with_policy(SystemKind::FlexGen, our_policy, &spec, gen)
-            .unwrap();
-        let ml = eval
-            .evaluate_with_policy(SystemKind::MoeLightningPadded, our_policy, &spec, gen)
-            .unwrap();
-        assert!(
-            flexgen_ours.throughput >= flexgen_theirs.throughput * 0.95,
-            "our policy should not hurt FlexGen: {} vs {}",
-            flexgen_ours.throughput,
-            flexgen_theirs.throughput
-        );
-        assert!(
-            ml.throughput > flexgen_ours.throughput,
-            "CGOPipe must beat FlexGen's schedule under the same policy: {} vs {}",
-            ml.throughput,
-            flexgen_ours.throughput
-        );
-    }
-
-    #[test]
-    fn simulated_layers_knob_is_clamped_and_overridable() {
-        let eval = s1();
-        assert_eq!(eval.simulated_layers(), DEFAULT_SIMULATED_LAYERS);
-        let deeper = s1().with_simulated_layers(8);
-        assert_eq!(deeper.simulated_layers(), 8);
-        // More simulated layers shrink the extrapolated prologue share, so the
-        // estimate can only move by a bounded amount.
-        let spec = WorkloadSpec::mtbench();
-        let workload = deeper.workload_shape(SystemKind::MoeLightningPadded, &spec, 64);
-        let policy = deeper
-            .policy_for(SystemKind::MoeLightningPadded, &workload)
-            .unwrap();
-        let coarse = eval
-            .decode_step_latency(ScheduleKind::CgoPipe, &policy, &workload)
-            .unwrap();
-        let fine = deeper
-            .decode_step_latency(ScheduleKind::CgoPipe, &policy, &workload)
-            .unwrap();
-        let rel = (coarse.as_secs() - fine.as_secs()).abs() / fine.as_secs();
-        assert!(
-            rel < 0.35,
-            "extrapolation should be stable: {coarse} vs {fine}"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot simulate")]
-    fn simulated_layers_above_model_depth_panics() {
-        let eval = s1();
-        let depth = eval.model().num_layers;
-        let _ = eval.with_simulated_layers(depth + 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one layer")]
-    fn zero_simulated_layers_panics() {
-        let _ = s1().with_simulated_layers(0);
-    }
-
-    #[test]
-    fn tensor_parallelism_scales_throughput_s6_to_s7() {
-        // Fig. 7 right: Mixtral 8x22B throughput grows strongly from 2×T4 to 4×T4.
-        let spec = WorkloadSpec::mtbench();
-        let s6 = SystemEvaluator::new(EvalSetting::S6.node(), EvalSetting::S6.model())
-            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
-            .unwrap();
-        let s7 = SystemEvaluator::new(EvalSetting::S7.node(), EvalSetting::S7.model())
-            .evaluate(SystemKind::MoeLightningPadded, &spec, 64)
-            .unwrap();
-        assert!(
-            s7.throughput > 1.5 * s6.throughput,
-            "4xT4 ({:.2}) should be well above 2xT4 ({:.2})",
-            s7.throughput,
-            s6.throughput
-        );
     }
 }

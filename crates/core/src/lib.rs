@@ -9,6 +9,11 @@
 //! * [`engine::SystemEvaluator`] — generates each system's policy, simulates its
 //!   decode pipeline on the discrete-event simulator and reports generation
 //!   throughput.
+//! * [`engine::ReplicaEngine`] — the one serving engine: the per-replica event
+//!   machine that [`serving::ServingSession`] drives for a single node and
+//!   the cluster layer interleaves per replica.
+//! * [`router`] — the [`router::Router`] strategy trait, its four built-ins
+//!   and the incremental [`router::RouterIndex`] behind sub-linear dispatch.
 //! * [`cluster::ClusterEvaluator`] — serves one fleet-wide request queue on N
 //!   (optionally heterogeneous) replicas behind a pluggable [`cluster::Router`],
 //!   merging per-replica event streams on one global clock.
@@ -37,6 +42,9 @@
 pub mod cluster;
 pub mod dynamics;
 pub mod engine;
+pub mod evaluator;
+pub mod reference;
+pub mod router;
 pub mod serving;
 pub mod settings;
 pub mod system;
@@ -50,7 +58,7 @@ pub use dynamics::{
     AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,
     FleetView, QueueDepthScaler, ScaleBounds, ScaleDecision, SloAdmission, SloAttainmentScaler,
 };
-pub use engine::{EngineError, SystemEvaluation, SystemEvaluator};
+pub use engine::{EngineError, ReplicaEngine, SystemEvaluation, SystemEvaluator};
 pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSession};
 pub use settings::EvalSetting;
 pub use system::SystemKind;

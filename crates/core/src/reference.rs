@@ -1,0 +1,449 @@
+//! The retired single-node serving loops, preserved verbatim as the parity
+//! baseline for the one true engine.
+//!
+//! Before the engine extraction, [`crate::ServingSession::serve`] carried its
+//! own round-to-completion and continuous loops; they now run on a
+//! single-replica [`crate::engine::ReplicaEngine`]. This module keeps the
+//! pre-refactor loop bodies, byte-for-byte where possible, behind one entry
+//! point ([`serve`]) so `tests/engine_parity.rs` can assert field-by-field
+//! [`ServingReport`] equality between the engine-backed session and the
+//! legacy semantics across schedulers, modes and arrival processes — the same
+//! differential-baseline pattern as `ClusterEvaluator::with_reference_loop`.
+//!
+//! Like that reference scan loop, this module is scaffolding with a
+//! retirement date: once a few PRs of parity runs have passed in CI it can be
+//! deleted together with the differential half of the parity suite (the
+//! pinned fixtures stay).
+
+use crate::engine::{mean_decode_context, EngineError};
+use crate::serving::{RoundReport, ServingMode, ServingReport, ServingSession};
+use moe_hardware::Seconds;
+use moe_policy::{Policy, WorkloadShape};
+use moe_workload::{BatchRunReport, PartitionState, Request, RequestLatency};
+use std::collections::HashMap;
+
+/// A request decoding in the continuous-batching pipeline.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRequest {
+    request: Request,
+    partition: usize,
+    remaining: u64,
+    first_token: Option<Seconds>,
+    decode_start: Seconds,
+    wave: usize,
+}
+
+/// Serves `queue` with the *legacy* pre-engine loops, in the session's
+/// [`ServingMode`] — the reference implementation the engine-backed
+/// [`crate::ServingSession::serve`] is parity-tested against.
+///
+/// # Errors
+///
+/// Exactly as [`crate::ServingSession::serve`]: an invalid batching config is
+/// a typed error, and simulation errors propagate.
+pub fn serve(
+    session: &ServingSession<'_>,
+    queue: Vec<Request>,
+) -> Result<ServingReport, EngineError> {
+    session
+        .batching
+        .validate()
+        .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
+    let budget = session.batching.cache_tokens_per_micro_batch;
+    let (feasible, aborted): (Vec<Request>, Vec<Request>) =
+        queue.into_iter().partition(|r| r.max_context() <= budget);
+    match session.mode {
+        ServingMode::RoundToCompletion => serve_round_to_completion(session, feasible, aborted),
+        ServingMode::Continuous => serve_continuous(session, feasible, aborted),
+    }
+}
+
+/// Sorts by arrival time (ties by id) so both loops can ingest in order.
+fn sort_by_arrival(queue: &mut [Request]) {
+    queue.sort_by_key(|r| (r.arrival.key(), r.id));
+}
+
+fn serve_round_to_completion(
+    session: &ServingSession<'_>,
+    mut queue: Vec<Request>,
+    mut aborted: Vec<Request>,
+) -> Result<ServingReport, EngineError> {
+    sort_by_arrival(&mut queue);
+    let mut next = 0usize;
+    let mut pending: Vec<Request> = Vec::new();
+    let mut rounds: Vec<RoundReport> = Vec::new();
+    let mut latencies: Vec<RequestLatency> = Vec::new();
+    let mut totals = BatchRunReport::default();
+    let mut clock = Seconds::ZERO;
+
+    loop {
+        while next < queue.len() && queue[next].arrival <= clock {
+            pending.push(queue[next]);
+            next += 1;
+        }
+        if pending.is_empty() {
+            if next >= queue.len() {
+                break;
+            }
+            // Idle until the next arrival; idle time is not billed to totals.
+            clock = queue[next].arrival;
+            continue;
+        }
+
+        let formed = session.scheduler.plan(&pending, &session.batching);
+        if formed.scheduled_requests() == 0 {
+            // No scheduler progress on an empty pipeline: unreachable for
+            // Algorithm 2 after the oversized prefilter (any feasible request
+            // fits an empty round), but reachable for padded schedulers whose
+            // inflated KV charge exceeds the budget. Abort rather than loop.
+            aborted.append(&mut pending);
+            continue;
+        }
+
+        let round = rounds.len();
+        let occupancy: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.len() as u64)
+            .collect();
+        let kv_reserved: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.max_cache_tokens())
+            .collect();
+        let contexts: Vec<u64> = formed
+            .micro_batches
+            .iter()
+            .map(|mb| {
+                mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
+            })
+            .collect();
+        let requests: u64 = occupancy.iter().sum();
+        let prompt_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .map(|mb| mb.prompt_tokens())
+            .sum();
+        let generated_tokens: u64 = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .sum();
+        let max_gen = formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+            .map(|r| r.gen_len)
+            .max()
+            .unwrap_or(0);
+
+        // Cost the round at its actual shape: the mean prompt of the scheduled
+        // requests and a batch of exactly the scheduled sequences.
+        let mean_prompt = prompt_tokens.div_ceil(requests).max(1);
+        let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+        let policy = Policy {
+            batch_size: requests,
+            micro_batch_size: session.policy.micro_batch_size.min(requests),
+            ..session.policy
+        };
+        let step = session.evaluator.decode_step_latency_with_loads(
+            session.schedule,
+            &policy,
+            &shape,
+            Some(&occupancy),
+            Some(&contexts),
+        )?;
+        let prefill_time = session.evaluator.cost_model().prefill_time(&policy, &shape);
+        let decode_time = step.scale(max_gen as f64);
+
+        for request in formed
+            .micro_batches
+            .iter()
+            .flat_map(|mb| mb.requests.iter())
+        {
+            latencies.push(RequestLatency {
+                request: *request,
+                round,
+                ttft: clock + prefill_time + step - request.arrival,
+                per_token: step,
+                completion_time: clock + prefill_time + step.scale(request.gen_len as f64)
+                    - request.arrival,
+            });
+        }
+
+        let report = BatchRunReport {
+            requests,
+            prompt_tokens,
+            generated_tokens,
+            prefill_time,
+            decode_time,
+            per_token_sum: step.scale(requests as f64),
+        };
+        totals = totals.combine(&report);
+        let admitted_at = clock;
+        clock = clock + prefill_time + decode_time;
+        rounds.push(RoundReport {
+            round,
+            admitted_at,
+            occupancy,
+            kv_reserved,
+            prompt_token_spread: formed.prompt_token_spread(),
+            report,
+        });
+        pending = formed.aborted;
+    }
+
+    Ok(ServingReport {
+        system: session.system,
+        mode: ServingMode::RoundToCompletion,
+        scheduler: session.scheduler.name().to_owned(),
+        policy: session.policy,
+        schedule: session.schedule,
+        rounds,
+        latencies,
+        aborted,
+        totals,
+    })
+}
+
+fn serve_continuous(
+    session: &ServingSession<'_>,
+    mut queue: Vec<Request>,
+    mut aborted: Vec<Request>,
+) -> Result<ServingReport, EngineError> {
+    sort_by_arrival(&mut queue);
+    let cfg = &session.batching;
+    let mut next = 0usize;
+    let mut ready: Vec<Request> = Vec::new();
+    let mut active: Vec<ActiveRequest> = Vec::new();
+    let mut parts: Vec<PartitionState> = vec![PartitionState::default(); cfg.num_micro_batches];
+    let mut rounds: Vec<RoundReport> = Vec::new();
+    let mut latencies: Vec<RequestLatency> = Vec::new();
+    let mut totals = BatchRunReport::default();
+    let mut clock = Seconds::ZERO;
+    // The discrete-event simulation is deterministic in (occupancy, context)
+    // per micro-batch, so repeated configurations (common under uniform
+    // gen_len) hit this memo.
+    let mut step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds> = HashMap::new();
+
+    loop {
+        while next < queue.len() && queue[next].arrival <= clock {
+            ready.push(queue[next]);
+            next += 1;
+        }
+
+        // Re-run Algorithm 2 over the waiting queue to backfill freed slots.
+        if !ready.is_empty() {
+            let fill = session.scheduler.backfill(&ready, cfg, &parts);
+            let admitted = fill.admitted();
+            ready = fill.deferred;
+            if admitted > 0 {
+                let wave = rounds.len();
+                let count = admitted as u64;
+                let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
+                let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
+                let max_gen = fill
+                    .assignments
+                    .iter()
+                    .flatten()
+                    .map(|r| r.gen_len)
+                    .max()
+                    .unwrap_or(0);
+                let mean_prompt = prompt.div_ceil(count).max(1);
+                let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
+                let policy = Policy {
+                    batch_size: count,
+                    micro_batch_size: session.policy.micro_batch_size.min(count),
+                    ..session.policy
+                };
+                // A wave admitted while requests are still decoding prefills
+                // under the already-cycling weight stream; a wave admitted
+                // into a drained pipeline (the first one, or after an idle
+                // gap / a fully completed uniform wave) is a cold start and
+                // pays the one-shot weight stream, exactly like a
+                // round-to-completion round.
+                let prefill = if active.is_empty() {
+                    session.evaluator.cost_model().prefill_time(&policy, &shape)
+                } else {
+                    session
+                        .evaluator
+                        .cost_model()
+                        .backfill_prefill_time(&policy, &shape)
+                };
+                let admitted_at = clock;
+                clock += prefill;
+                for (partition, reqs) in fill.assignments.into_iter().enumerate() {
+                    for request in reqs {
+                        parts[partition].admit(&request);
+                        if request.gen_len == 0 {
+                            // Nothing to decode: complete at prefill end.
+                            parts[partition].release(&request);
+                            latencies.push(RequestLatency {
+                                request,
+                                round: wave,
+                                ttft: clock - request.arrival,
+                                per_token: Seconds::ZERO,
+                                completion_time: clock - request.arrival,
+                            });
+                            continue;
+                        }
+                        active.push(ActiveRequest {
+                            request,
+                            partition,
+                            remaining: request.gen_len,
+                            first_token: None,
+                            decode_start: clock,
+                            wave,
+                        });
+                    }
+                }
+                let report = BatchRunReport {
+                    requests: count,
+                    prompt_tokens: prompt,
+                    generated_tokens: generated,
+                    prefill_time: prefill,
+                    decode_time: Seconds::ZERO,
+                    per_token_sum: Seconds::ZERO,
+                };
+                totals = totals.combine(&report);
+                rounds.push(RoundReport {
+                    round: wave,
+                    admitted_at,
+                    occupancy: parts.iter().map(|p| p.requests as u64).collect(),
+                    kv_reserved: parts.iter().map(|p| p.cache_tokens).collect(),
+                    prompt_token_spread: {
+                        let min = parts.iter().map(|p| p.prompt_tokens).min().unwrap_or(0);
+                        let max = parts.iter().map(|p| p.prompt_tokens).max().unwrap_or(0);
+                        (min, max)
+                    },
+                    report,
+                });
+                // Arrivals may have landed during the prefill stall; ingest
+                // and admit them before decoding on.
+                continue;
+            }
+        }
+
+        if active.is_empty() {
+            if next >= queue.len() {
+                // Nothing in flight and no future arrivals. Any leftover ready
+                // requests were refused by an empty pipeline — unreachable for
+                // Algorithm 2 after the oversized prefilter, reachable for
+                // padded schedulers whose inflated KV charge exceeds the
+                // budget. Abort rather than loop.
+                aborted.append(&mut ready);
+                break;
+            }
+            if clock < queue[next].arrival {
+                // Idle until the next arrival; idle time is not billed.
+                clock = queue[next].arrival;
+            }
+            continue;
+        }
+
+        // Step latency at the current occupancy and per-micro-batch KV load
+        // (empty micro-batches carry no tasks and are omitted from the
+        // simulated pipeline).
+        let occupancy: Vec<u64> = parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| p.requests as u64)
+            .collect();
+        let contexts: Vec<u64> = parts
+            .iter()
+            .filter(|p| p.requests > 0)
+            .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
+            .collect();
+        let total_active = active.len() as u64;
+        let prompt_sum: u64 = active.iter().map(|a| a.request.input_len).sum();
+        let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
+        let max_gen = active
+            .iter()
+            .map(|a| a.request.gen_len)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let key = (occupancy.clone(), contexts.clone());
+        let step = match step_memo.get(&key) {
+            Some(&s) => s,
+            None => {
+                let shape = WorkloadShape::new(mean_prompt, max_gen);
+                let policy = Policy {
+                    batch_size: total_active,
+                    micro_batch_size: session.policy.micro_batch_size.min(total_active),
+                    ..session.policy
+                };
+                let s = session.evaluator.decode_step_latency_with_loads(
+                    session.schedule,
+                    &policy,
+                    &shape,
+                    Some(&occupancy),
+                    Some(&contexts),
+                )?;
+                step_memo.insert(key, s);
+                s
+            }
+        };
+
+        // Advance to the next event: a completion frees KV (re-run Algorithm 2)
+        // or an arrival joins the waiting queue.
+        let mut steps = active
+            .iter()
+            .map(|a| a.remaining)
+            .min()
+            .expect("active is non-empty");
+        if next < queue.len() {
+            let gap = (queue[next].arrival - clock).as_secs();
+            let until_arrival = ((gap / step.as_secs()).ceil() as u64).max(1);
+            steps = steps.min(until_arrival);
+        }
+        let segment_start = clock;
+        let advance = step.scale(steps as f64);
+        clock += advance;
+        totals.decode_time += advance;
+        if let Some(last) = rounds.last_mut() {
+            last.report.decode_time += advance;
+        }
+        for a in active.iter_mut() {
+            if a.first_token.is_none() {
+                a.first_token = Some(segment_start + step);
+            }
+            a.remaining -= steps;
+        }
+
+        // Retire completed requests, releasing their KV reservations so the
+        // next loop iteration can backfill the freed slots.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].remaining > 0 {
+                i += 1;
+                continue;
+            }
+            let done = active.swap_remove(i);
+            parts[done.partition].release(&done.request);
+            let per_token = (clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
+            latencies.push(RequestLatency {
+                request: done.request,
+                round: done.wave,
+                ttft: done.first_token.expect("completed requests decoded") - done.request.arrival,
+                per_token,
+                completion_time: clock - done.request.arrival,
+            });
+            totals.per_token_sum += per_token;
+            rounds[done.wave].report.per_token_sum += per_token;
+        }
+    }
+
+    Ok(ServingReport {
+        system: session.system,
+        mode: ServingMode::Continuous,
+        scheduler: session.scheduler.name().to_owned(),
+        policy: session.policy,
+        schedule: session.schedule,
+        rounds,
+        latencies,
+        aborted,
+        totals,
+    })
+}

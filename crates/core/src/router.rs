@@ -1,0 +1,604 @@
+//! Request routing over a fleet of replicas: the [`Router`] strategy trait,
+//! the four built-in strategies ([`RoundRobin`], [`LeastOutstandingTokens`],
+//! [`PowerOfTwoChoices`], [`KvAware`]), and the state they consume — the
+//! per-decision [`ReplicaView`] snapshot and the incrementally-maintained
+//! [`RouterIndex`] behind the cluster layer's sub-linear dispatch path.
+//!
+//! Routers are pure strategy: they never see the simulator's internals, only
+//! the request metadata a production front-end could observe (queue depths,
+//! outstanding work, projected KV usage). The dispatch engine that feeds them
+//! lives in [`crate::cluster`]; the per-replica state the views are snapshots
+//! of lives in [`crate::engine`].
+
+use moe_hardware::Seconds;
+use moe_workload::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one replica within a cluster: its index into the fleet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ReplicaId(pub usize);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Router-visible snapshot of one replica at a routing decision: the request
+/// metadata a production front-end could actually observe (queue depths,
+/// outstanding work, projected KV usage) — never the simulator's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaView {
+    /// The replica this view describes.
+    pub id: ReplicaId,
+    /// Requests routed to the replica but not yet admitted to a micro-batch.
+    pub queued_requests: usize,
+    /// Requests currently decoding (or held by an in-flight round).
+    pub active_requests: usize,
+    /// Outstanding work in tokens: prompt + generation for queued requests plus
+    /// the tokens still to generate for active ones (as of the decision
+    /// instant).
+    pub outstanding_tokens: u64,
+    /// Total KV-cache token capacity across the replica's micro-batches, from
+    /// its policy's capacity plan.
+    pub kv_capacity: u64,
+    /// KV tokens already reserved by active requests plus the end-of-generation
+    /// projection of everything queued.
+    pub kv_projected: u64,
+    /// Arrival time of the oldest request routed here but not yet admitted —
+    /// the head-of-queue age a production front-end tracks. `None` when
+    /// nothing is queued. Lets autoscalers spot requests that are *already*
+    /// certain to miss a TTFT deadline long before their completion records
+    /// say so.
+    pub oldest_queued_arrival: Option<Seconds>,
+}
+
+impl ReplicaView {
+    /// Projected KV-cache headroom: capacity minus reserved-plus-queued
+    /// projections (saturating at zero when the queue over-commits).
+    pub fn kv_headroom(&self) -> u64 {
+        self.kv_capacity.saturating_sub(self.kv_projected)
+    }
+
+    /// Requests on the replica in any state (queued or active).
+    pub fn outstanding_requests(&self) -> usize {
+        self.queued_requests + self.active_requests
+    }
+}
+
+/// Deterministic per-run routing state handed to every [`Router`] call by the
+/// dispatch engine, so stateless strategies can still round-robin or randomize
+/// reproducibly (the RNG is seeded from the cluster spec's seed).
+#[derive(Debug)]
+pub struct RouterCtx {
+    /// Zero-based index of the routing decision (how many requests the engine
+    /// has dispatched so far).
+    pub decision: u64,
+    /// Seeded RNG for randomized strategies ([`PowerOfTwoChoices`]).
+    pub rng: StdRng,
+}
+
+impl RouterCtx {
+    /// A fresh context whose RNG is seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RouterCtx {
+            decision: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Marker for "replica id not present" in [`RouterIndex`] position tables.
+const ABSENT: usize = usize::MAX;
+
+/// Lazily-invalidated min-heap entry: `(key..., replica id, stamp)`.
+type KvHeapEntry = Reverse<(u64, u64, usize, u64)>;
+
+/// Incrementally-maintained routing index over the serving fleet, fed by the
+/// indexed dispatch path of [`crate::cluster::ClusterEvaluator::run`]: one
+/// cached [`ReplicaView`] per serving replica (refreshed only when that
+/// replica's state changed) plus two lazily-invalidated min-heaps answering
+/// the built-in routers' arg-min queries in `O(log n)` instead of the
+/// reference path's `O(n)` scan. Routers consume it through
+/// [`Router::route_indexed`].
+///
+/// Staleness is handled by generation stamps: every refresh bumps the
+/// replica's stamp and pushes a fresh heap entry; entries whose stamp no
+/// longer matches are dropped when they surface at a query.
+#[derive(Debug)]
+pub struct RouterIndex {
+    /// Cached views of serving replicas, ascending by replica id.
+    views: Vec<ReplicaView>,
+    /// Per-micro-batch KV budgets, parallel to `views`.
+    budgets: Vec<u64>,
+    /// Replica id → position in `views` ([`ABSENT`] when not serving).
+    pos: Vec<usize>,
+    /// Replica id → generation stamp for lazy heap invalidation.
+    stamp: Vec<u64>,
+    /// The tightest per-micro-batch KV budget across serving replicas: a
+    /// request at or under it is maskable nowhere, so the full cached slice
+    /// is the offer.
+    pub(crate) min_budget: u64,
+    /// Min-heap on `(outstanding_tokens, id, stamp)`.
+    out_heap: RefCell<BinaryHeap<Reverse<(u64, usize, u64)>>>,
+    /// Min-heap on `(!kv_headroom, outstanding_tokens, id, stamp)` — i.e. a
+    /// max-heap on headroom with [`KvAware`]'s exact tie-breaks.
+    kv_heap: RefCell<BinaryHeap<KvHeapEntry>>,
+}
+
+impl RouterIndex {
+    pub(crate) fn new() -> Self {
+        RouterIndex {
+            views: Vec::new(),
+            budgets: Vec::new(),
+            pos: Vec::new(),
+            stamp: Vec::new(),
+            min_budget: u64::MAX,
+            out_heap: RefCell::new(BinaryHeap::new()),
+            kv_heap: RefCell::new(BinaryHeap::new()),
+        }
+    }
+
+    /// The cached views of every serving replica, ordered by replica id —
+    /// exactly the slice [`Router::route`] is offered when no replica is
+    /// masked for the request.
+    pub fn views(&self) -> &[ReplicaView] {
+        &self.views
+    }
+
+    /// Number of serving replicas in the index.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no replica is currently serving.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Whether `replica` is currently serving (and thus routable).
+    pub fn contains(&self, replica: ReplicaId) -> bool {
+        self.pos.get(replica.0).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// The cached view of one serving replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is not in the index (see [`Self::contains`]).
+    pub fn view_of(&self, replica: ReplicaId) -> &ReplicaView {
+        &self.views[self.pos[replica.0]]
+    }
+
+    /// The serving replica with the fewest outstanding tokens, ties by lower
+    /// id — [`LeastOutstandingTokens`]'s arg-min in `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn least_outstanding(&self) -> ReplicaId {
+        let mut heap = self.out_heap.borrow_mut();
+        loop {
+            let &Reverse((_, id, stamp)) = heap
+                .peek()
+                .expect("the index keeps a fresh heap entry per serving replica");
+            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
+                return ReplicaId(id);
+            }
+            heap.pop();
+        }
+    }
+
+    /// The serving replica with the most projected KV headroom, ties by fewer
+    /// outstanding tokens then lower id — [`KvAware`]'s arg-min in
+    /// `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn most_kv_headroom(&self) -> ReplicaId {
+        let mut heap = self.kv_heap.borrow_mut();
+        loop {
+            let &Reverse((_, _, id, stamp)) = heap
+                .peek()
+                .expect("the index keeps a fresh heap entry per serving replica");
+            if self.stamp[id] == stamp && self.pos[id] != ABSENT {
+                return ReplicaId(id);
+            }
+            heap.pop();
+        }
+    }
+
+    /// Inserts or refreshes one serving replica's view.
+    pub(crate) fn upsert(&mut self, view: ReplicaView, budget: u64) {
+        let id = view.id.0;
+        if self.pos.len() <= id {
+            self.pos.resize(id + 1, ABSENT);
+            self.stamp.resize(id + 1, 0);
+        }
+        if self.pos[id] == ABSENT {
+            // Ids are assigned in join order so inserts usually append;
+            // provisioning can finish out of id order, hence the search.
+            let at = self.views.partition_point(|v| v.id.0 < id);
+            self.views.insert(at, view);
+            self.budgets.insert(at, budget);
+            for (p, v) in self.views.iter().enumerate().skip(at) {
+                self.pos[v.id.0] = p;
+            }
+            self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
+        } else {
+            self.views[self.pos[id]] = view;
+        }
+        self.stamp[id] += 1;
+        self.push_heaps(&view);
+        self.maybe_compact();
+    }
+
+    /// Drops a replica that stopped serving (drain, failure, departure).
+    pub(crate) fn remove(&mut self, id: usize) {
+        let Some(&at) = self.pos.get(id) else {
+            return;
+        };
+        if at == ABSENT {
+            return;
+        }
+        self.views.remove(at);
+        self.budgets.remove(at);
+        self.pos[id] = ABSENT;
+        self.stamp[id] += 1;
+        for (p, v) in self.views.iter().enumerate().skip(at) {
+            self.pos[v.id.0] = p;
+        }
+        self.min_budget = self.budgets.iter().copied().min().unwrap_or(u64::MAX);
+    }
+
+    fn push_heaps(&mut self, view: &ReplicaView) {
+        let stamp = self.stamp[view.id.0];
+        self.out_heap
+            .get_mut()
+            .push(Reverse((view.outstanding_tokens, view.id.0, stamp)));
+        self.kv_heap.get_mut().push(Reverse((
+            u64::MAX - view.kv_headroom(),
+            view.outstanding_tokens,
+            view.id.0,
+            stamp,
+        )));
+    }
+
+    /// Stale heap entries are dropped lazily at queries; long event-only
+    /// stretches (many refreshes, no routing decisions) rebuild here instead
+    /// so heap memory stays bounded by the fleet size.
+    fn maybe_compact(&mut self) {
+        let cap = 4 * self.views.len() + 1024;
+        if self.out_heap.get_mut().len() <= cap && self.kv_heap.get_mut().len() <= cap {
+            return;
+        }
+        self.out_heap.get_mut().clear();
+        self.kv_heap.get_mut().clear();
+        let views = std::mem::take(&mut self.views);
+        for view in &views {
+            self.push_heaps(view);
+        }
+        self.views = views;
+    }
+
+    /// The offer for a request some replicas are masked for: every serving
+    /// replica whose per-micro-batch KV budget admits the request alone.
+    pub(crate) fn eligible_views(&self, request: &Request) -> Vec<ReplicaView> {
+        self.views
+            .iter()
+            .zip(&self.budgets)
+            .filter(|(_, &budget)| request.max_context() <= budget)
+            .map(|(view, _)| *view)
+            .collect()
+    }
+}
+
+/// A request-routing strategy over a fleet of replicas.
+///
+/// The dispatch engine calls [`Router::route`] once per arriving request with
+/// a view of every replica that could *ever* serve it (replicas whose
+/// per-micro-batch KV budget the request alone would overflow are masked out),
+/// and [`Router::on_complete`] when a routed request finishes, so stateful
+/// strategies can track in-flight work. `route` must return the id of one of
+/// the offered views; the engine falls back to the first offered view
+/// otherwise.
+///
+/// Fleets may churn mid-run ([`crate::dynamics`]): the engine announces
+/// membership changes through [`Router::on_replica_down`] (failures and
+/// completed drains) and [`Router::on_replica_up`] (joins that finished
+/// provisioning). Both default to no-ops so existing routers compile
+/// unchanged; a draining replica simply stops appearing in the offered views.
+pub trait Router: fmt::Debug + Send + Sync {
+    /// Short stable identifier recorded in cluster reports and table rows.
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica that will serve `request`. `replicas` is non-empty and
+    /// ordered by replica id.
+    fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId;
+
+    /// Sub-linear fast path consulted *instead of* [`Router::route`] when the
+    /// dispatch engine maintains a [`RouterIndex`] and no replica is masked
+    /// for the request (every serving replica could take it). Return
+    /// `Some(id)` to decide from the index's incremental aggregates in
+    /// `O(log n)`, or `None` (the default) to fall back to `route` over the
+    /// index's cached views — which is still allocation-free, just a linear
+    /// scan for strategies that need one. Returning a non-serving id falls
+    /// back to the first offered view, exactly like `route`.
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        _index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        None
+    }
+
+    /// Completion callback: `request` finished on `replica` at global time
+    /// `now` — in round-to-completion mode this fires at the request's actual
+    /// completion step, not in bulk at round retirement.
+    fn on_complete(
+        &self,
+        _request: &Request,
+        _replica: ReplicaId,
+        _now: Seconds,
+        _ctx: &mut RouterCtx,
+    ) {
+    }
+
+    /// Membership callback: `replica` left the fleet at `now` (failure, or a
+    /// drain whose last in-flight request finished).
+    fn on_replica_down(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
+
+    /// Membership callback: `replica` finished provisioning at `now` and now
+    /// appears in routing views.
+    fn on_replica_up(&self, _replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {}
+}
+
+/// Cycles through the offered replicas in id order, one request each — the
+/// classic load-blind baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas[(ctx.decision % replicas.len() as u64) as usize].id
+    }
+}
+
+/// Routes to the replica with the fewest outstanding tokens (queued prompt +
+/// generation work plus tokens still decoding), ties by id. Adapts to
+/// heterogeneous replica speeds without knowing them: a slower replica's
+/// backlog persists, steering new work away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastOutstandingTokens;
+
+impl Router for LeastOutstandingTokens {
+    fn name(&self) -> &'static str {
+        "least-tokens"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        _ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas
+            .iter()
+            .min_by_key(|v| (v.outstanding_tokens, v.id))
+            .expect("route is called with a non-empty view slice")
+            .id
+    }
+
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        Some(index.least_outstanding())
+    }
+}
+
+/// Samples two distinct replicas with the seeded RNG and keeps the one with
+/// fewer outstanding tokens — the classic O(1) approximation of
+/// [`LeastOutstandingTokens`] that avoids herding in distributed routers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerOfTwoChoices;
+
+impl Router for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        if replicas.len() == 1 {
+            return replicas[0].id;
+        }
+        let first = ctx.rng.gen_range(0..replicas.len());
+        let mut second = ctx.rng.gen_range(0..replicas.len() - 1);
+        if second >= first {
+            second += 1;
+        }
+        let (a, b) = (&replicas[first], &replicas[second]);
+        if (a.outstanding_tokens, a.id) <= (b.outstanding_tokens, b.id) {
+            a.id
+        } else {
+            b.id
+        }
+    }
+}
+
+/// Routes by projected KV headroom from each replica's policy: the request goes
+/// to the replica whose capacity plan has the most uncommitted KV-cache tokens
+/// (ties by fewer outstanding tokens, then id). Naturally favours replicas with
+/// larger KV budgets in heterogeneous fleets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvAware;
+
+impl Router for KvAware {
+    fn name(&self) -> &'static str {
+        "kv-aware"
+    }
+
+    fn route(
+        &self,
+        _request: &Request,
+        replicas: &[ReplicaView],
+        _ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        replicas
+            .iter()
+            .min_by_key(|v| (Reverse(v.kv_headroom()), v.outstanding_tokens, v.id))
+            .expect("route is called with a non-empty view slice")
+            .id
+    }
+
+    fn route_indexed(
+        &self,
+        _request: &Request,
+        index: &RouterIndex,
+        _ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        Some(index.most_kv_headroom())
+    }
+}
+
+/// All built-in routers, in the order used by the fig. 7 router ablation.
+pub fn builtin_routers() -> Vec<Arc<dyn Router>> {
+    vec![
+        Arc::new(RoundRobin),
+        Arc::new(LeastOutstandingTokens),
+        Arc::new(PowerOfTwoChoices),
+        Arc::new(KvAware),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, outstanding: u64, headroom: u64) -> ReplicaView {
+        ReplicaView {
+            id: ReplicaId(id),
+            queued_requests: 0,
+            active_requests: 0,
+            outstanding_tokens: outstanding,
+            kv_capacity: 10_000,
+            kv_projected: 10_000 - headroom,
+            oldest_queued_arrival: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_the_offered_views() {
+        let views = [view(0, 0, 0), view(1, 0, 0), view(2, 0, 0)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            picks.push(RoundRobin.route(&request, &views, &mut ctx).0);
+            ctx.decision += 1;
+        }
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_tokens_picks_the_emptiest_replica() {
+        let views = [view(0, 500, 100), view(1, 20, 0), view(2, 500, 900)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        assert_eq!(
+            LeastOutstandingTokens.route(&request, &views, &mut ctx),
+            ReplicaId(1)
+        );
+        // Ties break towards the lower id.
+        let tied = [view(0, 20, 0), view(1, 20, 0)];
+        assert_eq!(
+            LeastOutstandingTokens.route(&request, &tied, &mut ctx),
+            ReplicaId(0)
+        );
+    }
+
+    #[test]
+    fn kv_aware_picks_the_most_headroom() {
+        let views = [view(0, 10, 100), view(1, 900, 5000), view(2, 10, 4999)];
+        let mut ctx = RouterCtx::new(0);
+        let request = Request::new(0, 10, 10);
+        assert_eq!(KvAware.route(&request, &views, &mut ctx), ReplicaId(1));
+    }
+
+    #[test]
+    fn power_of_two_choices_is_seeded_and_in_range() {
+        let views = [
+            view(0, 5, 0),
+            view(1, 500, 0),
+            view(2, 50, 0),
+            view(3, 1, 0),
+        ];
+        let request = Request::new(0, 10, 10);
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut ctx = RouterCtx::new(seed);
+            (0..32)
+                .map(|_| PowerOfTwoChoices.route(&request, &views, &mut ctx).0)
+                .collect()
+        };
+        assert_eq!(picks(7), picks(7), "same seed, same decisions");
+        assert!(picks(7).iter().all(|&i| i < 4));
+        // With one view there is no choice to make.
+        let mut ctx = RouterCtx::new(1);
+        assert_eq!(
+            PowerOfTwoChoices.route(&request, &views[..1], &mut ctx),
+            ReplicaId(0)
+        );
+    }
+
+    #[test]
+    fn builtin_router_names_are_stable() {
+        let names: Vec<&str> = builtin_routers().iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec!["round-robin", "least-tokens", "power-of-two", "kv-aware"]
+        );
+    }
+
+    #[test]
+    fn replica_view_accessors() {
+        let v = ReplicaView {
+            id: ReplicaId(3),
+            queued_requests: 2,
+            active_requests: 5,
+            outstanding_tokens: 700,
+            kv_capacity: 1000,
+            kv_projected: 1200,
+            oldest_queued_arrival: Some(Seconds::from_secs(3.0)),
+        };
+        assert_eq!(v.outstanding_requests(), 7);
+        assert_eq!(v.kv_headroom(), 0, "over-commit saturates at zero");
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+    }
+}

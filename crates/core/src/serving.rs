@@ -1,5 +1,6 @@
-//! Request-level serving: the loops that turn a queue of variable-length
-//! requests into micro-batched work on the simulated pipeline.
+//! Request-level serving: a queue of variable-length requests turned into
+//! micro-batched work on the simulated pipeline, driven by the one serving
+//! engine.
 //!
 //! This is the execution model behind the paper's headline numbers (Fig. 7,
 //! Tab. 4/5). Requests are pulled from a queue as they arrive (each [`Request`]
@@ -23,6 +24,15 @@
 //!   (`CostModel::backfill_prefill_time`); only the first admission pays the
 //!   cold-start weight stream.
 //!
+//! Since the engine extraction, [`ServingSession::serve`] carries **no loop
+//! of its own**: it drives a single-replica [`crate::engine::ReplicaEngine`]
+//! — the same event machine the cluster layer interleaves per replica —
+//! feeding arrivals into the engine's event stream in arrival order. Wave
+//! costing, KV release, backfill and latency bookkeeping exist exactly once,
+//! in [`crate::engine`]; the retired loop bodies are preserved verbatim in
+//! [`crate::reference`] as the differential baseline for
+//! `tests/engine_parity.rs`.
+//!
 //! A serving scenario — system, workload, queue size, generation lengths,
 //! seed, mode, arrival process, scheduler — is described declaratively by a
 //! [`ServeSpec`] and executed by [`SystemEvaluator::run`], which replaced the
@@ -36,17 +46,17 @@
 //! ([`crate::SystemEvaluator::evaluate`]) remains as the padded-systems special
 //! case.
 
-use crate::engine::{EngineError, SystemEvaluator};
+use crate::engine::{batching_for, EngineError, ReplicaEngine, SystemEvaluator};
+use crate::router::ReplicaId;
 use crate::system::SystemKind;
 use moe_hardware::Seconds;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
 use moe_workload::{
-    Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary,
-    PartitionState, Request, RequestLatency, Scheduler, WorkloadSpec,
+    Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary, Request,
+    RequestLatency, Scheduler, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How a [`ServingSession`] schedules decode work over time.
@@ -124,8 +134,10 @@ pub struct ServingReport {
     pub rounds: Vec<RoundReport>,
     /// Per-request latency records for every served request.
     pub latencies: Vec<RequestLatency>,
-    /// Requests that could never be scheduled (individually exceed the
-    /// per-micro-batch KV-cache budget), in queue order.
+    /// Requests that could never be scheduled, in queue order: those whose
+    /// prompt + generation alone exceeds the per-micro-batch KV-cache budget
+    /// (classified up front), followed by any a scheduler refused on an empty
+    /// pipeline that were still waiting when the run ended.
     pub aborted: Vec<Request>,
     /// Combined token/time totals across all rounds.
     pub totals: BatchRunReport,
@@ -166,57 +178,20 @@ impl ServingReport {
     }
 }
 
-/// The Algorithm 2 batching limits a policy implies for a workload shape.
-///
-/// The KV budget the schedulers enforce per micro-batch is exactly the
-/// reservation the moe-policy capacity model sized the policy with:
-/// `batch_size × max_context` cache tokens, split evenly across the policy's
-/// micro-batches. The total request cap never exceeds the batch the capacity
-/// model admitted, even when `batch_size` is not a multiple of
-/// `micro_batch_size` (n_ub × μ > N). Shared by [`ServingSession`] and the
-/// per-replica engines of the cluster layer ([`crate::cluster`]).
-pub(crate) fn batching_for(policy: &Policy, shape: &WorkloadShape) -> BatchingConfig {
-    let n_ub = policy.num_micro_batches();
-    BatchingConfig {
-        num_micro_batches: n_ub as usize,
-        max_requests_per_micro_batch: policy.micro_batch_size as usize,
-        max_scheduled_requests: policy.batch_size as usize,
-        cache_tokens_per_micro_batch: (policy.batch_size * shape.max_context()).div_ceil(n_ub),
-    }
-}
-
-/// Mean decode context of one micro-batch: `(prompt + end-of-generation KV) /
-/// 2` per request — the token balance the scheduler produced, fed to the
-/// simulator so KV-heavy micro-batches straggle. Shared by both serving loops
-/// and the cluster layer's per-replica engines so the costing cannot drift.
-pub(crate) fn mean_decode_context(prompt_tokens: u64, cache_tokens: u64, requests: u64) -> u64 {
-    (prompt_tokens + cache_tokens)
-        .div_ceil(2 * requests.max(1))
-        .max(1)
-}
-
-/// A request decoding in the continuous-batching pipeline.
-#[derive(Debug, Clone, Copy)]
-struct ActiveRequest {
-    request: Request,
-    partition: usize,
-    remaining: u64,
-    first_token: Option<Seconds>,
-    decode_start: Seconds,
-    wave: usize,
-}
-
 /// A serving session: one (system, policy, schedule) triple bound to an evaluator,
 /// ready to drain request queues in either [`ServingMode`].
+///
+/// Fields are crate-visible so [`crate::reference`] (the legacy-loop parity
+/// baseline) can serve from the same session state.
 #[derive(Debug, Clone)]
 pub struct ServingSession<'a> {
-    evaluator: &'a SystemEvaluator,
-    system: SystemKind,
-    policy: Policy,
-    schedule: ScheduleKind,
-    batching: BatchingConfig,
-    mode: ServingMode,
-    scheduler: Arc<dyn Scheduler>,
+    pub(crate) evaluator: &'a SystemEvaluator,
+    pub(crate) system: SystemKind,
+    pub(crate) policy: Policy,
+    pub(crate) schedule: ScheduleKind,
+    pub(crate) batching: BatchingConfig,
+    pub(crate) mode: ServingMode,
+    pub(crate) scheduler: Arc<dyn Scheduler>,
 }
 
 impl<'a> ServingSession<'a> {
@@ -290,7 +265,12 @@ impl<'a> ServingSession<'a> {
         &self.batching
     }
 
-    /// Serves `queue` to completion in the session's [`ServingMode`].
+    /// Serves `queue` to completion in the session's [`ServingMode`] by
+    /// driving a single-replica [`ReplicaEngine`] — the same event machine
+    /// the cluster layer runs per replica — interleaving arrivals with the
+    /// engine's internal events in global time order. Arrivals win ties: a
+    /// batch of co-timed requests is fully ingested before the engine settles
+    /// the instant, the same ingest-then-schedule order as the cluster loop.
     ///
     /// Every input request appears in the result exactly once: either in
     /// [`ServingReport::latencies`] (served) or [`ServingReport::aborted`].
@@ -310,403 +290,44 @@ impl<'a> ServingSession<'a> {
         // here keeps every later Algorithm 2 pass free of requests it would only
         // re-sort and re-reject.
         let budget = self.batching.cache_tokens_per_micro_batch;
-        let (feasible, aborted): (Vec<Request>, Vec<Request>) =
+        let (mut feasible, oversized): (Vec<Request>, Vec<Request>) =
             queue.into_iter().partition(|r| r.max_context() <= budget);
-        match self.mode {
-            ServingMode::RoundToCompletion => self.serve_round_to_completion(feasible, aborted),
-            ServingMode::Continuous => self.serve_continuous(feasible, aborted),
-        }
-    }
-
-    /// Sorts by arrival time (ties by id) so both loops can ingest in order.
-    fn sort_by_arrival(queue: &mut [Request]) {
-        queue.sort_by_key(|r| (r.arrival.key(), r.id));
-    }
-
-    fn serve_round_to_completion(
-        &self,
-        mut queue: Vec<Request>,
-        mut aborted: Vec<Request>,
-    ) -> Result<ServingReport, EngineError> {
-        Self::sort_by_arrival(&mut queue);
+        feasible.sort_by_key(|r| (r.arrival.key(), r.id));
+        let mut engine = ReplicaEngine::new(
+            ReplicaId(0),
+            self.evaluator.clone(),
+            self.system,
+            self.policy,
+            self.batching,
+            self.mode,
+            Arc::clone(&self.scheduler),
+        );
         let mut next = 0usize;
-        let mut pending: Vec<Request> = Vec::new();
-        let mut rounds: Vec<RoundReport> = Vec::new();
-        let mut latencies: Vec<RequestLatency> = Vec::new();
-        let mut totals = BatchRunReport::default();
-        let mut clock = Seconds::ZERO;
-
         loop {
-            while next < queue.len() && queue[next].arrival <= clock {
-                pending.push(queue[next]);
-                next += 1;
-            }
-            if pending.is_empty() {
-                if next >= queue.len() {
-                    break;
+            let internal = engine.next_event();
+            match feasible.get(next) {
+                Some(r) if internal.is_none_or(|t| r.arrival <= t) => {
+                    let request = *r;
+                    next += 1;
+                    engine.enqueue(request, request.arrival);
                 }
-                // Idle until the next arrival; idle time is not billed to totals.
-                clock = queue[next].arrival;
-                continue;
-            }
-
-            let formed = self.scheduler.plan(&pending, &self.batching);
-            if formed.scheduled_requests() == 0 {
-                // No scheduler progress on an empty pipeline: unreachable for
-                // Algorithm 2 after the oversized prefilter (any feasible request
-                // fits an empty round), but reachable for padded schedulers whose
-                // inflated KV charge exceeds the budget. Abort rather than loop.
-                aborted.append(&mut pending);
-                continue;
-            }
-
-            let round = rounds.len();
-            let occupancy: Vec<u64> = formed
-                .micro_batches
-                .iter()
-                .map(|mb| mb.len() as u64)
-                .collect();
-            let kv_reserved: Vec<u64> = formed
-                .micro_batches
-                .iter()
-                .map(|mb| mb.max_cache_tokens())
-                .collect();
-            let contexts: Vec<u64> = formed
-                .micro_batches
-                .iter()
-                .map(|mb| {
-                    mean_decode_context(mb.prompt_tokens(), mb.max_cache_tokens(), mb.len() as u64)
-                })
-                .collect();
-            let requests: u64 = occupancy.iter().sum();
-            let prompt_tokens: u64 = formed
-                .micro_batches
-                .iter()
-                .map(|mb| mb.prompt_tokens())
-                .sum();
-            let generated_tokens: u64 = formed
-                .micro_batches
-                .iter()
-                .flat_map(|mb| mb.requests.iter())
-                .map(|r| r.gen_len)
-                .sum();
-            let max_gen = formed
-                .micro_batches
-                .iter()
-                .flat_map(|mb| mb.requests.iter())
-                .map(|r| r.gen_len)
-                .max()
-                .unwrap_or(0);
-
-            // Cost the round at its actual shape: the mean prompt of the scheduled
-            // requests and a batch of exactly the scheduled sequences.
-            let mean_prompt = prompt_tokens.div_ceil(requests).max(1);
-            let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
-            let policy = Policy {
-                batch_size: requests,
-                micro_batch_size: self.policy.micro_batch_size.min(requests),
-                ..self.policy
-            };
-            let step = self.evaluator.decode_step_latency_with_loads(
-                self.schedule,
-                &policy,
-                &shape,
-                Some(&occupancy),
-                Some(&contexts),
-            )?;
-            let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
-            let decode_time = step.scale(max_gen as f64);
-
-            for request in formed
-                .micro_batches
-                .iter()
-                .flat_map(|mb| mb.requests.iter())
-            {
-                latencies.push(RequestLatency {
-                    request: *request,
-                    round,
-                    ttft: clock + prefill_time + step - request.arrival,
-                    per_token: step,
-                    completion_time: clock + prefill_time + step.scale(request.gen_len as f64)
-                        - request.arrival,
-                });
-            }
-
-            let report = BatchRunReport {
-                requests,
-                prompt_tokens,
-                generated_tokens,
-                prefill_time,
-                decode_time,
-                per_token_sum: step.scale(requests as f64),
-            };
-            totals = totals.combine(&report);
-            let admitted_at = clock;
-            clock = clock + prefill_time + decode_time;
-            rounds.push(RoundReport {
-                round,
-                admitted_at,
-                occupancy,
-                kv_reserved,
-                prompt_token_spread: formed.prompt_token_spread(),
-                report,
-            });
-            pending = formed.aborted;
-        }
-
-        Ok(ServingReport {
-            system: self.system,
-            mode: ServingMode::RoundToCompletion,
-            scheduler: self.scheduler.name().to_owned(),
-            policy: self.policy,
-            schedule: self.schedule,
-            rounds,
-            latencies,
-            aborted,
-            totals,
-        })
-    }
-
-    fn serve_continuous(
-        &self,
-        mut queue: Vec<Request>,
-        mut aborted: Vec<Request>,
-    ) -> Result<ServingReport, EngineError> {
-        Self::sort_by_arrival(&mut queue);
-        let cfg = &self.batching;
-        let mut next = 0usize;
-        let mut ready: Vec<Request> = Vec::new();
-        let mut active: Vec<ActiveRequest> = Vec::new();
-        let mut parts: Vec<PartitionState> = vec![PartitionState::default(); cfg.num_micro_batches];
-        let mut rounds: Vec<RoundReport> = Vec::new();
-        let mut latencies: Vec<RequestLatency> = Vec::new();
-        let mut totals = BatchRunReport::default();
-        let mut clock = Seconds::ZERO;
-        // The discrete-event simulation is deterministic in (occupancy, context)
-        // per micro-batch, so repeated configurations (common under uniform
-        // gen_len) hit this memo.
-        let mut step_memo: HashMap<(Vec<u64>, Vec<u64>), Seconds> = HashMap::new();
-
-        loop {
-            while next < queue.len() && queue[next].arrival <= clock {
-                ready.push(queue[next]);
-                next += 1;
-            }
-
-            // Re-run Algorithm 2 over the waiting queue to backfill freed slots.
-            if !ready.is_empty() {
-                let fill = self.scheduler.backfill(&ready, cfg, &parts);
-                let admitted = fill.admitted();
-                ready = fill.deferred;
-                if admitted > 0 {
-                    let wave = rounds.len();
-                    let count = admitted as u64;
-                    let prompt: u64 = fill.assignments.iter().flatten().map(|r| r.input_len).sum();
-                    let generated: u64 = fill.assignments.iter().flatten().map(|r| r.gen_len).sum();
-                    let max_gen = fill
-                        .assignments
-                        .iter()
-                        .flatten()
-                        .map(|r| r.gen_len)
-                        .max()
-                        .unwrap_or(0);
-                    let mean_prompt = prompt.div_ceil(count).max(1);
-                    let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
-                    let policy = Policy {
-                        batch_size: count,
-                        micro_batch_size: self.policy.micro_batch_size.min(count),
-                        ..self.policy
-                    };
-                    // A wave admitted while requests are still decoding prefills
-                    // under the already-cycling weight stream; a wave admitted
-                    // into a drained pipeline (the first one, or after an idle
-                    // gap / a fully completed uniform wave) is a cold start and
-                    // pays the one-shot weight stream, exactly like a
-                    // round-to-completion round.
-                    let prefill = if active.is_empty() {
-                        self.evaluator.cost_model().prefill_time(&policy, &shape)
-                    } else {
-                        self.evaluator
-                            .cost_model()
-                            .backfill_prefill_time(&policy, &shape)
-                    };
-                    let admitted_at = clock;
-                    clock += prefill;
-                    for (partition, reqs) in fill.assignments.into_iter().enumerate() {
-                        for request in reqs {
-                            parts[partition].admit(&request);
-                            if request.gen_len == 0 {
-                                // Nothing to decode: complete at prefill end.
-                                parts[partition].release(&request);
-                                latencies.push(RequestLatency {
-                                    request,
-                                    round: wave,
-                                    ttft: clock - request.arrival,
-                                    per_token: Seconds::ZERO,
-                                    completion_time: clock - request.arrival,
-                                });
-                                continue;
-                            }
-                            active.push(ActiveRequest {
-                                request,
-                                partition,
-                                remaining: request.gen_len,
-                                first_token: None,
-                                decode_start: clock,
-                                wave,
-                            });
-                        }
+                _ => match internal {
+                    Some(t) => {
+                        engine.step_to(t)?;
                     }
-                    let report = BatchRunReport {
-                        requests: count,
-                        prompt_tokens: prompt,
-                        generated_tokens: generated,
-                        prefill_time: prefill,
-                        decode_time: Seconds::ZERO,
-                        per_token_sum: Seconds::ZERO,
-                    };
-                    totals = totals.combine(&report);
-                    rounds.push(RoundReport {
-                        round: wave,
-                        admitted_at,
-                        occupancy: parts.iter().map(|p| p.requests as u64).collect(),
-                        kv_reserved: parts.iter().map(|p| p.cache_tokens).collect(),
-                        prompt_token_spread: {
-                            let min = parts.iter().map(|p| p.prompt_tokens).min().unwrap_or(0);
-                            let max = parts.iter().map(|p| p.prompt_tokens).max().unwrap_or(0);
-                            (min, max)
-                        },
-                        report,
-                    });
-                    // Arrivals may have landed during the prefill stall; ingest
-                    // and admit them before decoding on.
-                    continue;
-                }
-            }
-
-            if active.is_empty() {
-                if next >= queue.len() {
-                    // Nothing in flight and no future arrivals. Any leftover ready
-                    // requests were refused by an empty pipeline — unreachable for
-                    // Algorithm 2 after the oversized prefilter, reachable for
-                    // padded schedulers whose inflated KV charge exceeds the
-                    // budget. Abort rather than loop.
-                    aborted.append(&mut ready);
-                    break;
-                }
-                if clock < queue[next].arrival {
-                    // Idle until the next arrival; idle time is not billed.
-                    clock = queue[next].arrival;
-                }
-                continue;
-            }
-
-            // Step latency at the current occupancy and per-micro-batch KV load
-            // (empty micro-batches carry no tasks and are omitted from the
-            // simulated pipeline).
-            let occupancy: Vec<u64> = parts
-                .iter()
-                .filter(|p| p.requests > 0)
-                .map(|p| p.requests as u64)
-                .collect();
-            let contexts: Vec<u64> = parts
-                .iter()
-                .filter(|p| p.requests > 0)
-                .map(|p| mean_decode_context(p.prompt_tokens, p.cache_tokens, p.requests as u64))
-                .collect();
-            let total_active = active.len() as u64;
-            let prompt_sum: u64 = active.iter().map(|a| a.request.input_len).sum();
-            let mean_prompt = prompt_sum.div_ceil(total_active).max(1);
-            let max_gen = active
-                .iter()
-                .map(|a| a.request.gen_len)
-                .max()
-                .unwrap_or(1)
-                .max(1);
-            let key = (occupancy.clone(), contexts.clone());
-            let step = match step_memo.get(&key) {
-                Some(&s) => s,
-                None => {
-                    let shape = WorkloadShape::new(mean_prompt, max_gen);
-                    let policy = Policy {
-                        batch_size: total_active,
-                        micro_batch_size: self.policy.micro_batch_size.min(total_active),
-                        ..self.policy
-                    };
-                    let s = self.evaluator.decode_step_latency_with_loads(
-                        self.schedule,
-                        &policy,
-                        &shape,
-                        Some(&occupancy),
-                        Some(&contexts),
-                    )?;
-                    step_memo.insert(key, s);
-                    s
-                }
-            };
-
-            // Advance to the next event: a completion frees KV (re-run Algorithm 2)
-            // or an arrival joins the waiting queue.
-            let mut steps = active
-                .iter()
-                .map(|a| a.remaining)
-                .min()
-                .expect("active is non-empty");
-            if next < queue.len() {
-                let gap = (queue[next].arrival - clock).as_secs();
-                let until_arrival = ((gap / step.as_secs()).ceil() as u64).max(1);
-                steps = steps.min(until_arrival);
-            }
-            let segment_start = clock;
-            let advance = step.scale(steps as f64);
-            clock += advance;
-            totals.decode_time += advance;
-            if let Some(last) = rounds.last_mut() {
-                last.report.decode_time += advance;
-            }
-            for a in active.iter_mut() {
-                if a.first_token.is_none() {
-                    a.first_token = Some(segment_start + step);
-                }
-                a.remaining -= steps;
-            }
-
-            // Retire completed requests, releasing their KV reservations so the
-            // next loop iteration can backfill the freed slots.
-            let mut i = 0;
-            while i < active.len() {
-                if active[i].remaining > 0 {
-                    i += 1;
-                    continue;
-                }
-                let done = active.swap_remove(i);
-                parts[done.partition].release(&done.request);
-                let per_token =
-                    (clock - done.decode_start).scale(1.0 / done.request.gen_len as f64);
-                latencies.push(RequestLatency {
-                    request: done.request,
-                    round: done.wave,
-                    ttft: done.first_token.expect("completed requests decoded")
-                        - done.request.arrival,
-                    per_token,
-                    completion_time: clock - done.request.arrival,
-                });
-                totals.per_token_sum += per_token;
-                rounds[done.wave].report.per_token_sum += per_token;
+                    None => break,
+                },
             }
         }
-
-        Ok(ServingReport {
-            system: self.system,
-            mode: ServingMode::Continuous,
-            scheduler: self.scheduler.name().to_owned(),
-            policy: self.policy,
-            schedule: self.schedule,
-            rounds,
-            latencies,
-            aborted,
-            totals,
-        })
+        let mut report = engine.into_report();
+        if !oversized.is_empty() {
+            // Oversized-up-front first, in queue order, then anything the
+            // scheduler refused on an empty pipeline.
+            let mut aborted = oversized;
+            aborted.append(&mut report.aborted);
+            report.aborted = aborted;
+        }
+        Ok(report)
     }
 }
 

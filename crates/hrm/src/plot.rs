@@ -28,7 +28,7 @@ impl RoofSeries {
             .min_by(|a, b| {
                 let da = (a.0 - intensity).abs();
                 let db = (b.0 - intensity).abs();
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                da.total_cmp(&db)
             })
             .map(|p| p.1)
     }

@@ -51,11 +51,7 @@ impl LayerLatencyBreakdown {
         ];
         pairs
             .into_iter()
-            .max_by(|a, b| {
-                a.1.as_secs()
-                    .partial_cmp(&b.1.as_secs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by_key(|&(_, t)| t.key())
             .map(|(r, _)| r)
             .unwrap_or(BottleneckResource::GpuCompute)
     }

@@ -149,13 +149,7 @@ pub fn simulate(graph: &TaskGraph) -> Result<SimulationResult, SimError> {
         }
     }
 
-    timeline.sort_by(|a, b| {
-        a.start
-            .as_secs()
-            .partial_cmp(&b.start.as_secs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.task.0.cmp(&b.task.0))
-    });
+    timeline.sort_by_key(|e| (e.start.key(), e.task.0));
 
     let makespan = timeline
         .iter()

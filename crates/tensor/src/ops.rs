@@ -168,11 +168,7 @@ pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<(usize, f32)>, TensorError>
         });
     }
     let mut indexed: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     indexed.truncate(k);
     Ok(indexed)
 }

@@ -168,7 +168,7 @@ impl LatencySummary {
             };
         }
         let mut sorted: Vec<f64> = samples.iter().map(|s| s.as_secs()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         let pct = |p: f64| {
             let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
             Seconds::from_secs(sorted[rank.clamp(1, sorted.len()) - 1])

@@ -91,6 +91,55 @@ fn kv_reservation_never_exceeds_budget_at_any_scheduling_event() {
 }
 
 #[test]
+fn kv_budget_holds_at_every_event_under_online_arrivals() {
+    // The offline KV invariant, repeated under Poisson arrivals: mid-flight
+    // admissions on the engine-backed session must respect the budget at
+    // every admission wave too, not just when the whole queue is present at
+    // time zero.
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let mut queue = mixed_gen_queue(600, 29);
+    ArrivalProcess::Poisson { rate_per_sec: 2.5 }.stamp(&mut queue, 17);
+    for mode in [ServingMode::RoundToCompletion, ServingMode::Continuous] {
+        let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 128)
+            .unwrap()
+            .with_mode(mode);
+        let budget = session.batching_config().cache_tokens_per_micro_batch;
+        let report = session.serve(queue.clone()).unwrap();
+        assert_exactly_once(&report, 600);
+        for round in &report.rounds {
+            for (i, &reserved) in round.kv_reserved.iter().enumerate() {
+                assert!(
+                    reserved <= budget,
+                    "{mode}: event {} micro-batch {i} reserves {reserved} > budget {budget}",
+                    round.round
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_requests_abort_exactly_once_under_online_arrivals() {
+    // Permanently oversized requests are classified up front even when they
+    // would only have arrived mid-run; the feasible remainder is unaffected.
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 64)
+        .unwrap()
+        .with_mode(ServingMode::Continuous);
+    let mut queue = mixed_gen_queue(200, 41);
+    let next_id = queue.len() as u64;
+    queue.push(Request::new(next_id, 1_000_000, 64));
+    queue.push(Request::new(next_id + 1, 1_000_000, 64));
+    ArrivalProcess::Poisson { rate_per_sec: 3.0 }.stamp(&mut queue, 19);
+    let report = session.serve(queue).unwrap();
+    assert_exactly_once(&report, 202);
+    let aborted_ids: Vec<u64> = report.aborted.iter().map(|r| r.id).collect();
+    assert_eq!(aborted_ids, vec![next_id, next_id + 1]);
+}
+
+#[test]
 fn continuous_batching_beats_round_to_completion_on_mixed_gen_lens() {
     // The acceptance comparison: on a variable-gen_len MTBench queue, releasing
     // slots at completion and backfilling mid-flight must strictly beat holding

@@ -1,0 +1,529 @@
+//! Parity suite gating the ISSUE 7 rebase of [`ServingSession::serve`] onto a
+//! single-replica [`moe_lightning::ReplicaEngine`]: the engine-backed session
+//! must reproduce the pre-refactor serving loops' [`ServingReport`]
+//! field-by-field across every built-in scheduler, both serving modes and
+//! three arrival processes — differentially against the preserved legacy
+//! loops in `moe_lightning::reference`, against pinned fixture rows captured
+//! from the pre-refactor code, and on randomized scenarios via proptest
+//! (mirroring how `tests/loop_equivalence.rs` gated PR 6).
+//!
+//! Report ordering note: the legacy round-to-completion loop records served
+//! latencies in admission (micro-batch) order while the engine records them at
+//! their completion instants, so `latencies`/`aborted` are normalized to
+//! request-id order on both sides before comparison. Every other field —
+//! per-round accounting, totals, policy, schedule — must match exactly,
+//! including float-for-float completion times inside each latency record.
+
+use moe_lightning::{
+    EvalSetting, Policy, ServeSpec, ServingMode, ServingReport, ServingSession, SystemEvaluator,
+    SystemKind,
+};
+use moe_workload::{
+    Algorithm2, ArrivalProcess, FcfsPadded, GenLens, Request, Scheduler, ShortestJobFirst,
+    TokenBudget, WorkloadSpec,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MODES: [ServingMode; 2] = [ServingMode::RoundToCompletion, ServingMode::Continuous];
+
+fn schedulers() -> Vec<Arc<dyn Scheduler>> {
+    vec![
+        Arc::new(Algorithm2),
+        Arc::new(ShortestJobFirst),
+        Arc::new(TokenBudget),
+        Arc::new(FcfsPadded),
+    ]
+}
+
+fn arrivals() -> [(&'static str, ArrivalProcess); 3] {
+    [
+        ("imm", ArrivalProcess::Immediate),
+        ("poisson", ArrivalProcess::Poisson { rate_per_sec: 2.0 }),
+        (
+            "burst",
+            ArrivalProcess::Burst {
+                size: 40,
+                period_secs: 120.0,
+            },
+        ),
+    ]
+}
+
+fn evaluator() -> SystemEvaluator {
+    SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
+}
+
+/// Serves the same queue through the engine-backed session and through the
+/// preserved legacy loops, returning both reports.
+fn both_reports(
+    eval: &SystemEvaluator,
+    scheduler: Arc<dyn Scheduler>,
+    mode: ServingMode,
+    queue: Vec<Request>,
+    policy: Policy,
+) -> (ServingReport, ServingReport) {
+    let workload = WorkloadSpec::mtbench();
+    let shape = eval.workload_shape(
+        SystemKind::MoeLightning,
+        &workload,
+        GenLens::MixedDefaults.policy_gen_for(&workload),
+    );
+    let session = ServingSession::with_policy(eval, SystemKind::MoeLightning, policy, shape)
+        .with_mode(mode)
+        .with_scheduler(scheduler);
+    let engine = session.serve(queue.clone()).unwrap();
+    let legacy = moe_lightning::reference::serve(&session, queue).unwrap();
+    (engine, legacy)
+}
+
+/// Sorts the per-request collections into request-id order; all other fields
+/// are left untouched so the comparison stays exact.
+fn normalized(mut report: ServingReport) -> ServingReport {
+    report.latencies.sort_by_key(|l| l.request.id);
+    report.aborted.sort_by_key(|r| r.id);
+    report
+}
+
+/// Field-by-field equality with labelled failures, then a whole-report check.
+fn assert_reports_identical(engine: ServingReport, legacy: ServingReport, label: &str) {
+    let engine = normalized(engine);
+    let legacy = normalized(legacy);
+    assert_eq!(engine.system, legacy.system, "{label}: system diverged");
+    assert_eq!(engine.mode, legacy.mode, "{label}: mode diverged");
+    assert_eq!(
+        engine.scheduler, legacy.scheduler,
+        "{label}: scheduler name diverged"
+    );
+    assert_eq!(engine.policy, legacy.policy, "{label}: policy diverged");
+    assert_eq!(
+        engine.schedule, legacy.schedule,
+        "{label}: schedule diverged"
+    );
+    assert_eq!(
+        engine.rounds.len(),
+        legacy.rounds.len(),
+        "{label}: round count diverged"
+    );
+    for (e, l) in engine.rounds.iter().zip(&legacy.rounds) {
+        assert_eq!(e, l, "{label}: round {} diverged", l.round);
+    }
+    assert_eq!(
+        engine.latencies.len(),
+        legacy.latencies.len(),
+        "{label}: served count diverged"
+    );
+    for (e, l) in engine.latencies.iter().zip(&legacy.latencies) {
+        assert_eq!(
+            e, l,
+            "{label}: latency of request {} diverged",
+            l.request.id
+        );
+    }
+    assert_eq!(engine.aborted, legacy.aborted, "{label}: aborted diverged");
+    assert_eq!(engine.totals, legacy.totals, "{label}: totals diverged");
+    assert_eq!(engine, legacy, "{label}: reports diverged");
+}
+
+/// Tentpole differential: for every built-in scheduler, in both modes, under
+/// offline and online arrivals, the engine-backed session reproduces the
+/// legacy loops' report on the pinned seed-11 mixed-generation queue.
+#[test]
+fn engine_matches_legacy_for_every_scheduler_mode_and_arrival() {
+    let eval = evaluator();
+    let workload = WorkloadSpec::mtbench();
+    for scheduler in schedulers() {
+        for mode in MODES {
+            for (aname, arrival) in arrivals() {
+                let queue =
+                    workload.synthesize_queue(400, GenLens::MixedDefaults, 11, false, &arrival);
+                let (engine, legacy) = both_reports(
+                    &eval,
+                    Arc::clone(&scheduler),
+                    mode,
+                    queue,
+                    Policy::offload_default(48, 12),
+                );
+                let label = format!("{} [{}] {aname}", scheduler.name(), mode.label());
+                assert_reports_identical(engine, legacy, &label);
+            }
+        }
+    }
+}
+
+/// Abort parity: requests whose prompt + generation alone exceed the
+/// per-micro-batch KV budget are classified identically (and in the same
+/// order) by both implementations, alongside the served remainder.
+#[test]
+fn engine_matches_legacy_with_oversized_requests() {
+    let eval = evaluator();
+    for mode in MODES {
+        let mut queue: Vec<Request> = (0..30).map(|i| Request::new(i, 100, 64)).collect();
+        // Interleave requests that can never fit the offload_default(48, 12)
+        // budget at several queue positions.
+        for (slot, id) in [(3usize, 30u64), (17, 31), (29, 32)] {
+            queue.insert(slot, Request::new(id, 60_000, 64));
+        }
+        let (engine, legacy) = both_reports(
+            &eval,
+            Arc::new(Algorithm2),
+            mode,
+            queue,
+            Policy::offload_default(48, 12),
+        );
+        assert_eq!(engine.aborted.len(), 3, "[{mode}] oversized must abort");
+        assert_eq!(engine.served_requests(), 30);
+        assert_reports_identical(engine, legacy, &format!("oversized [{mode}]"));
+    }
+}
+
+/// Pinned fixtures captured from the *pre-refactor* `ServingSession::serve`
+/// loops (commit 98a040b) on the seed-11 scenario grid: the engine-backed
+/// session must keep reproducing them even after `crate::reference` retires.
+/// Counts are exact; throughput and TTFT p50 were recorded to 9 decimal
+/// digits, so they are compared at 1e-6 relative tolerance.
+#[test]
+fn engine_reproduces_pinned_legacy_fixtures() {
+    #[allow(clippy::type_complexity)]
+    const FIXTURES: [(&str, &str, &str, usize, usize, usize, u64, f64, f64); 24] = [
+        (
+            "algo2",
+            "rtc",
+            "imm",
+            400,
+            0,
+            10,
+            46368,
+            2.339405782,
+            9904.846394827,
+        ),
+        (
+            "algo2",
+            "rtc",
+            "poisson",
+            400,
+            0,
+            11,
+            46368,
+            2.286981924,
+            10306.386802759,
+        ),
+        (
+            "algo2",
+            "rtc",
+            "burst",
+            400,
+            0,
+            10,
+            46368,
+            2.339356317,
+            9424.107542113,
+        ),
+        (
+            "algo2",
+            "cont",
+            "imm",
+            400,
+            0,
+            37,
+            46368,
+            4.277323375,
+            4945.140111894,
+        ),
+        (
+            "algo2",
+            "cont",
+            "poisson",
+            400,
+            0,
+            127,
+            46368,
+            4.268927950,
+            3307.150610239,
+        ),
+        (
+            "algo2",
+            "cont",
+            "burst",
+            400,
+            0,
+            71,
+            46368,
+            4.274560581,
+            3494.863907386,
+        ),
+        (
+            "sjf",
+            "rtc",
+            "imm",
+            400,
+            0,
+            11,
+            46368,
+            3.480643215,
+            1529.037230043,
+        ),
+        (
+            "sjf",
+            "rtc",
+            "poisson",
+            400,
+            0,
+            12,
+            46368,
+            3.361648652,
+            1847.869721253,
+        ),
+        (
+            "sjf",
+            "rtc",
+            "burst",
+            400,
+            0,
+            11,
+            46368,
+            3.082009480,
+            2538.444447109,
+        ),
+        (
+            "sjf",
+            "cont",
+            "imm",
+            400,
+            0,
+            33,
+            46368,
+            3.775505888,
+            1519.646674144,
+        ),
+        (
+            "sjf",
+            "cont",
+            "poisson",
+            400,
+            0,
+            77,
+            46368,
+            4.010052475,
+            1583.585534068,
+        ),
+        (
+            "sjf",
+            "cont",
+            "burst",
+            400,
+            0,
+            67,
+            46368,
+            3.896866530,
+            1044.526596419,
+        ),
+        (
+            "token-budget",
+            "rtc",
+            "imm",
+            400,
+            0,
+            9,
+            46368,
+            2.594627255,
+            7958.640723126,
+        ),
+        (
+            "token-budget",
+            "rtc",
+            "poisson",
+            400,
+            0,
+            10,
+            46368,
+            2.527797536,
+            8333.453129520,
+        ),
+        (
+            "token-budget",
+            "rtc",
+            "burst",
+            400,
+            0,
+            9,
+            46368,
+            2.594752519,
+            7476.683139035,
+        ),
+        (
+            "token-budget",
+            "cont",
+            "imm",
+            400,
+            0,
+            38,
+            46368,
+            4.185307033,
+            3726.883665232,
+        ),
+        (
+            "token-budget",
+            "cont",
+            "poisson",
+            400,
+            0,
+            113,
+            46368,
+            4.267310680,
+            3148.184017178,
+        ),
+        (
+            "token-budget",
+            "cont",
+            "burst",
+            400,
+            0,
+            91,
+            46368,
+            4.183759779,
+            2999.992345742,
+        ),
+        (
+            "fcfs-pad",
+            "rtc",
+            "imm",
+            400,
+            0,
+            24,
+            46368,
+            1.009920606,
+            22474.102826029,
+        ),
+        (
+            "fcfs-pad",
+            "rtc",
+            "poisson",
+            400,
+            0,
+            25,
+            46368,
+            1.021448840,
+            22857.422985776,
+        ),
+        (
+            "fcfs-pad",
+            "rtc",
+            "burst",
+            400,
+            0,
+            24,
+            46368,
+            1.032203700,
+            21885.706217558,
+        ),
+        (
+            "fcfs-pad",
+            "cont",
+            "imm",
+            400,
+            0,
+            137,
+            46368,
+            3.697451884,
+            5196.165087537,
+        ),
+        (
+            "fcfs-pad",
+            "cont",
+            "poisson",
+            400,
+            0,
+            191,
+            46368,
+            3.766730716,
+            4853.864195301,
+        ),
+        (
+            "fcfs-pad",
+            "cont",
+            "burst",
+            400,
+            0,
+            143,
+            46368,
+            3.698560017,
+            4470.686759378,
+        ),
+    ];
+
+    fn close(got: f64, want: f64, what: &str, label: &str) {
+        assert!(
+            (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+            "{label}: {what} {got:.9} != pinned {want:.9}"
+        );
+    }
+
+    let eval = evaluator();
+    for scheduler in schedulers() {
+        for mode in MODES {
+            for (aname, arrival) in arrivals() {
+                let spec = ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+                    .with_count(400)
+                    .with_mixed_gen_lens()
+                    .with_seed(11)
+                    .with_mode(mode)
+                    .with_arrivals(arrival)
+                    .with_scheduler(Arc::clone(&scheduler))
+                    .with_policy(Policy::offload_default(48, 12));
+                let report = eval.run(&spec).unwrap();
+                let label = format!("{} [{}] {aname}", scheduler.name(), mode.label());
+                let row = FIXTURES
+                    .iter()
+                    .find(|r| r.0 == scheduler.name() && r.1 == mode.label() && r.2 == aname)
+                    .unwrap_or_else(|| panic!("{label}: no pinned fixture row"));
+                assert_eq!(report.served_requests(), row.3, "{label}: served diverged");
+                assert_eq!(report.aborted.len(), row.4, "{label}: aborted diverged");
+                assert_eq!(report.rounds.len(), row.5, "{label}: rounds diverged");
+                assert_eq!(
+                    report.totals.generated_tokens, row.6,
+                    "{label}: generated tokens diverged"
+                );
+                close(report.generation_throughput(), row.7, "throughput", &label);
+                close(report.ttft().p50.as_secs(), row.8, "TTFT p50", &label);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the parity guarantee: over random seeds, queue sizes,
+    /// arrival rates, schedulers and serving modes, the engine-backed session
+    /// and the legacy loops produce identical (id-order-normalized) reports.
+    #[test]
+    fn engine_matches_legacy_on_random_scenarios(
+        seed in 0u64..1000,
+        count in 40usize..200,
+        rate_x10 in 5u64..40,
+        mode_seed in 0u8..2,
+        scheduler_idx in 0usize..4,
+    ) {
+        let mode = MODES[mode_seed as usize];
+        let scheduler = schedulers().swap_remove(scheduler_idx);
+        let eval = evaluator();
+        let queue = WorkloadSpec::mtbench().synthesize_queue(
+            count,
+            GenLens::MixedDefaults,
+            seed,
+            false,
+            &ArrivalProcess::Poisson {
+                rate_per_sec: rate_x10 as f64 / 10.0,
+            },
+        );
+        let (engine, legacy) = both_reports(
+            &eval,
+            scheduler,
+            mode,
+            queue,
+            Policy::offload_default(48, 12),
+        );
+        prop_assert_eq!(normalized(engine), normalized(legacy));
+    }
+}

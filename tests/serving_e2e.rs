@@ -1,8 +1,10 @@
 //! End-to-end tests of the request-level serving core: a variable-length MTBench
 //! queue served through Algorithm 2 micro-batches (the ISSUE 1 acceptance tests).
 
-use moe_lightning::{EvalSetting, ServeSpec, ServingSession, SystemEvaluator, SystemKind};
-use moe_workload::{Request, WorkloadSpec};
+use moe_lightning::{
+    EvalSetting, ServeSpec, ServingMode, ServingSession, SystemEvaluator, SystemKind,
+};
+use moe_workload::{ArrivalProcess, Request, WorkloadSpec};
 
 fn evaluator() -> SystemEvaluator {
     SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model())
@@ -116,6 +118,55 @@ fn micro_batch_imbalance_shows_up_in_round_reports() {
             round.report.requests,
             "occupancy must account for every request in the round"
         );
+    }
+}
+
+#[test]
+fn zero_generation_requests_complete_at_prefill_end() {
+    // The engine-backed session completes gen_len == 0 requests inside the
+    // admission pass (nothing to decode), without stalling the wave loop.
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 64)
+        .unwrap()
+        .with_mode(ServingMode::Continuous);
+    let mut queue: Vec<Request> = (0..20).map(|i| Request::new(i, 100, 64)).collect();
+    queue.extend((20..25).map(|i| Request::new(i, 100, 0)));
+    let report = session.serve(queue).unwrap();
+    assert_eq!(report.served_requests(), 25);
+    for l in report.latencies.iter().filter(|l| l.request.gen_len == 0) {
+        assert_eq!(l.per_token.as_secs(), 0.0);
+        assert_eq!(
+            l.completion_time, l.ttft,
+            "zero-gen completes at first token"
+        );
+    }
+}
+
+#[test]
+fn admission_events_are_chronological_under_online_arrivals() {
+    // One global engine clock in both modes: rounds/waves are reported in
+    // execution order with non-decreasing admission instants, and arrivals
+    // are never admitted before they exist.
+    let eval = evaluator();
+    let spec = WorkloadSpec::mtbench();
+    let mut queue = spec.sample_requests_mixed_gen(300, 7);
+    ArrivalProcess::Poisson { rate_per_sec: 1.5 }.stamp(&mut queue, 13);
+    for mode in [ServingMode::RoundToCompletion, ServingMode::Continuous] {
+        let session = ServingSession::new(&eval, SystemKind::MoeLightning, &spec, 64)
+            .unwrap()
+            .with_mode(mode);
+        let report = session.serve(queue.clone()).unwrap();
+        assert_eq!(report.served_requests() + report.aborted.len(), 300);
+        for pair in report.rounds.windows(2) {
+            assert!(
+                pair[0].admitted_at <= pair[1].admitted_at,
+                "{mode}: admission instants must be chronological"
+            );
+        }
+        for l in &report.latencies {
+            assert!(l.ttft.as_secs() >= 0.0, "{mode}: no service before arrival");
+        }
     }
 }
 
