@@ -2,15 +2,17 @@
 //! (a) an existing system with its own policy (FlexGen), (b) the existing system
 //! driven by MoE-Lightning's policy, and (c) MoE-Lightning — Mixtral 8x7B on a T4.
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig01_cpu_memory_sweep`.
+//! Run with `cargo run --release -p moe-bench --bin fig01_cpu_memory_sweep`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_hardware::{ByteSize, NodeSpec};
 use moe_lightning::{MoeModelConfig, SystemEvaluator, SystemKind};
 use moe_workload::WorkloadSpec;
 
 fn main() {
     let spec = WorkloadSpec::mtbench();
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     let gen = 128u64;
     let widths = [14usize, 24, 24, 18];
     println!("== Fig. 1: throughput vs CPU memory (Mixtral 8x7B, 1xT4, MTBench, gen={gen}) ==");
@@ -64,6 +66,19 @@ fn main() {
             fmt3(flexgen_our_policy),
             fmt3(moe_lightning),
         ]);
+        json_rows.push(obj(vec![
+            ("cpu_mem_gib", cpu_gib.into()),
+            ("flexgen_tokens_per_sec", flexgen.into()),
+            (
+                "flexgen_our_policy_tokens_per_sec",
+                flexgen_our_policy.into(),
+            ),
+            ("moe_lightning_tokens_per_sec", moe_lightning.into()),
+        ]));
     }
     println!("\n(MoE-Lightning reaches its peak with far less CPU memory than the baselines)");
+
+    if let Some(path) = json_output_path() {
+        moe_bench::write_rows(&path, "fig01", json_rows);
+    }
 }

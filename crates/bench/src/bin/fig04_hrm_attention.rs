@@ -2,9 +2,10 @@
 //! block in the decode stage on the L4 instance (context length 512), with f16 and
 //! int4 KV-cache operational-intensity markers and the P1 turning point.
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig04_hrm_attention`.
+//! Run with `cargo run --release -p moe-bench --bin fig04_hrm_attention`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_hardware::{DType, NodeSpec};
 use moe_hrm::HierarchicalRoofline;
 use moe_model::{LayerOps, MoeModelConfig};
@@ -89,4 +90,30 @@ fn main() {
         print_csv(&fields);
     }
     println!("\n(values in GFLOPS/s; roofs as in the paper's Fig. 4)");
+
+    if let Some(path) = json_output_path() {
+        let mut json_rows: Vec<JsonValue> = plot
+            .markers
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("marker", m.name.as_str().into()),
+                    ("intensity_flops_per_byte", m.intensity.into()),
+                ])
+            })
+            .collect();
+        for (row_idx, intensity) in grid.iter().enumerate() {
+            let mut pairs: Vec<(&str, JsonValue)> =
+                vec![("intensity_flops_per_byte", (*intensity).into())];
+            for name in series_names {
+                let value = plot
+                    .series_named(name)
+                    .map(|s| s.points[row_idx].1)
+                    .unwrap_or(0.0);
+                pairs.push((name, value.into()));
+            }
+            json_rows.push(obj(pairs));
+        }
+        moe_bench::write_rows(&path, "fig04", json_rows);
+    }
 }

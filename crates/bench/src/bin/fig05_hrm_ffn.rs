@@ -2,9 +2,10 @@
 //! decode stage on the L4 instance, with batch-size markers (N ∈ {32, 128, 1024,
 //! 16384}), the kernel performance at μ=128 and the turning points P1/P2.
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig05_hrm_ffn`.
+//! Run with `cargo run --release -p moe-bench --bin fig05_hrm_ffn`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_hardware::NodeSpec;
 use moe_hrm::HierarchicalRoofline;
 use moe_model::{LayerOps, MoeModelConfig};
@@ -52,6 +53,12 @@ fn main() {
         &["N", "I_cpu (FLOP/B)", "roof-limited GF/s", "binding roof"],
         &widths,
     );
+    let mut json_rows: Vec<JsonValue> = vec![obj(vec![
+        ("p1_flops_per_byte", p1.into()),
+        ("p2_flops_per_byte", p2.into()),
+        ("balance_flops_per_byte", balance.into()),
+        ("kernel_local_intensity", local_intensity.into()),
+    ])];
     for n in [32u64, 128, 512, 1024, 4096, 16384] {
         let batch_cost = ops.moe_ffn(n);
         let cross_intensity = batch_cost.intensity_wrt(ops.ffn_weight_bytes());
@@ -77,10 +84,20 @@ fn main() {
             fmt3(attainable),
             format!("{roof:?}"),
         ]);
+        json_rows.push(obj(vec![
+            ("batch_size", n.into()),
+            ("cross_intensity_flops_per_byte", cross_intensity.into()),
+            ("attainable_gflops_per_sec", attainable.into()),
+            ("binding_roof", format!("{roof:?}").into()),
+        ]));
     }
     println!(
         "\nBelow P1 ({}) offloading to the GPU is not worthwhile; between P1 and P2 the",
         fmt3(p1)
     );
     println!("CPU-GPU link binds; beyond the balance point larger N no longer helps (paper §3.3).");
+
+    if let Some(path) = json_output_path() {
+        moe_bench::write_rows(&path, "fig05", json_rows);
+    }
 }

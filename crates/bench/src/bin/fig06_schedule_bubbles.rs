@@ -2,9 +2,10 @@
 //! and DeepSpeed-style layer streaming) for one decode step of Mixtral 8x7B @ S1:
 //! per-lane busy time, GPU idle bubbles and the resulting makespan.
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig06_schedule_bubbles`.
+//! Run with `cargo run --release -p moe-bench --bin fig06_schedule_bubbles`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_lightning::{EvalSetting, Policy, WorkloadShape};
 use moe_policy::CostModel;
 use moe_schedule::{DecodeScheduleBuilder, ScheduleKind};
@@ -47,6 +48,7 @@ fn main() {
         ScheduleKind::FlexGenCpuAttention,
         ScheduleKind::FlexGenGpuAttention,
     ];
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     for kind in kinds {
         // S4 and layer streaming are GPU-attention schedules; give them the matching policy.
         let p = if kind.uses_cpu_attention() {
@@ -69,7 +71,29 @@ fn main() {
         ];
         print_csv(&cells);
         print_row(&cells, &widths);
+        json_rows.push(obj(vec![
+            ("schedule", kind.name().into()),
+            ("makespan_ms", ms(result.makespan).into()),
+            ("gpu_busy_ms", ms(result.lane(Lane::GpuCompute).busy).into()),
+            (
+                "gpu_bubble_ms",
+                ms(result.lane(Lane::GpuCompute).bubble).into(),
+            ),
+            ("cpu_busy_ms", ms(result.lane(Lane::CpuCompute).busy).into()),
+            (
+                "htod_busy_ms",
+                ms(result.lane(Lane::HostToDevice).busy).into(),
+            ),
+            (
+                "dtoh_busy_ms",
+                ms(result.lane(Lane::DeviceToHost).busy).into(),
+            ),
+        ]));
     }
     println!("\n(all times in milliseconds for {layers} simulated layers; smaller makespan and");
     println!("smaller GPU bubbles are better — CGOPipe removes the idle gaps of S2/S3/S4)");
+
+    if let Some(path) = json_output_path() {
+        moe_bench::write_rows(&path, "fig06", json_rows);
+    }
 }

@@ -3,9 +3,10 @@
 //! CPU-GPU interconnect bandwidth and the CPU scaling ratio, for Mixtral 8x7B on a
 //! 2×A100-80G node (prompt 512, generation 32).
 //!
-//! Run with `cargo run --release -p moe-bench --bin fig10_policy_heatmap`.
+//! Run with `cargo run --release -p moe-bench --bin fig10_policy_heatmap`;
+//! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
 
-use moe_bench::{fmt3, print_csv, print_header, print_row};
+use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_hardware::NodeSpec;
 use moe_lightning::MoeModelConfig;
 use moe_policy::{PolicyOptimizer, SearchSpace, WorkloadShape};
@@ -29,6 +30,7 @@ fn main() {
         ],
         &widths,
     );
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     for link in bandwidths {
         for ratio in cpu_ratios {
             let node = NodeSpec::a100_case_study(link, ratio);
@@ -53,6 +55,13 @@ fn main() {
                     ];
                     print_csv(&cells);
                     print_row(&cells, &widths);
+                    json_rows.push(obj(vec![
+                        ("link_gb_per_sec", link.into()),
+                        ("cpu_scale", ratio.into()),
+                        ("weights_on_cpu_ratio", weights_on_cpu.into()),
+                        ("kv_on_cpu_ratio", kv_on_cpu.into()),
+                        ("attention", attn.into()),
+                    ]));
                 }
                 Err(e) => print_row(
                     &[
@@ -70,4 +79,8 @@ fn main() {
     }
     println!("Expected shape (paper §6.3): faster CPU-GPU links shift weights onto the CPU;");
     println!("KV-cache offloading (and CPU attention) only pays off once the CPU is scaled up.");
+
+    if let Some(path) = json_output_path() {
+        moe_bench::write_rows(&path, "fig10", json_rows);
+    }
 }

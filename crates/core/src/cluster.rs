@@ -38,12 +38,13 @@ use crate::engine::{
 };
 use crate::serving::{ServeSpec, ServingMode, ServingReport};
 use crate::system::SystemKind;
+use crate::tap::ArrivalTap;
 use moe_hardware::{NodeSpec, Seconds, TimeKey};
 use moe_model::MoeModelConfig;
 use moe_policy::Policy;
 use moe_workload::{
     Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, GenLens, LatencySummary, Request,
-    RequestLatency, Scheduler, WorkloadSpec,
+    RequestLatency, Scheduler, SloClass, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -165,6 +166,8 @@ pub struct ClusterSpec {
     pub(crate) admission: Arc<dyn AdmissionController>,
     pub(crate) scale_template: Option<ReplicaSpec>,
     pub(crate) fleet_scaled_arrivals: bool,
+    pub(crate) queue: Option<Vec<Request>>,
+    pub(crate) tap: Option<Arc<dyn ArrivalTap>>,
 }
 
 impl ClusterSpec {
@@ -190,6 +193,8 @@ impl ClusterSpec {
             admission: Arc::new(AdmitAll),
             scale_template: None,
             fleet_scaled_arrivals: false,
+            queue: None,
+            tap: None,
         }
     }
 
@@ -311,6 +316,24 @@ impl ClusterSpec {
         self
     }
 
+    /// Replaces workload synthesis with an explicit, pre-stamped request
+    /// queue (the replay side of the trace subsystem). Sets `count` to the
+    /// queue length; requests are served in `(arrival, id)` order. Arrival
+    /// stamps are taken as-is, so fleet-scaled arrival stamping is disabled
+    /// for the run (the queue already *is* a realized arrival stream).
+    pub fn with_queue(mut self, queue: Vec<Request>) -> Self {
+        self.count = queue.len();
+        self.queue = Some(queue);
+        self
+    }
+
+    /// Installs an [`ArrivalTap`] that observes every dispatched arrival
+    /// (the record side of the trace subsystem). See [`crate::tap`].
+    pub fn with_tap(mut self, tap: Arc<dyn ArrivalTap>) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
     /// Checks that the scenario can serve at least one request.
     ///
     /// # Errors
@@ -397,6 +420,8 @@ impl ServeSpec {
             admission: Arc::new(AdmitAll),
             scale_template: None,
             fleet_scaled_arrivals: false,
+            queue: self.queue,
+            tap: self.tap,
         }
     }
 }
@@ -541,6 +566,40 @@ impl ClusterReport {
             .map(|l| l.request.gen_len)
             .sum();
         attained_tokens as f64 / span
+    }
+
+    /// SLO attainment broken out by [`SloClass`]: for every class with at
+    /// least one request in the run, the percentage (0–100) of that class's
+    /// requests that were served and met `slo` (aborted and
+    /// admission-rejected requests count as missed, like
+    /// [`Self::slo_attainment_pct`]). Classes absent from the run are
+    /// omitted; entries follow [`SloClass::ALL`] order.
+    pub fn slo_attainment_by_class(&self, slo: &SloSpec) -> Vec<(SloClass, f64)> {
+        let mut total = [0usize; SloClass::ALL.len()];
+        let mut attained = [0usize; SloClass::ALL.len()];
+        for request in self
+            .fleet_aborted
+            .iter()
+            .chain(self.availability.rejected.iter())
+            .chain(self.replicas.iter().flat_map(|r| r.report.aborted.iter()))
+        {
+            total[request.slo_class.index()] += 1;
+        }
+        for latency in self.replicas.iter().flat_map(|r| r.report.latencies.iter()) {
+            let class = latency.request.slo_class.index();
+            total[class] += 1;
+            if slo.attained(latency) {
+                attained[class] += 1;
+            }
+        }
+        SloClass::ALL
+            .into_iter()
+            .filter(|class| total[class.index()] > 0)
+            .map(|class| {
+                let idx = class.index();
+                (class, 100.0 * attained[idx] as f64 / total[idx] as f64)
+            })
+            .collect()
     }
 
     /// Fleet goodput in tokens/s counting only requests churn never touched:
@@ -699,22 +758,26 @@ impl ClusterEvaluator {
         // Under fleet-scaled arrivals the stamp seed matches the pre-stamped
         // path so a static fleet reproduces `with_arrivals(scaled(n))`.
         let arrival_seed = spec.seed.wrapping_add(0x51_7c_c1_b7);
-        let mut arrival_clock = spec
-            .fleet_scaled_arrivals
+        let mut arrival_clock = (spec.fleet_scaled_arrivals && spec.queue.is_none())
             .then(|| ArrivalClock::new(spec.arrivals, arrival_seed));
-        let mut queue = spec.workload.synthesize_queue(
-            spec.count,
-            spec.gen,
-            spec.seed,
-            spec.system.pads_requests(),
-            if spec.fleet_scaled_arrivals {
-                // Stamped lazily at dispatch, at the then-current fleet size.
-                &ArrivalProcess::Immediate
-            } else {
-                &spec.arrivals
-            },
-        );
-        if !spec.fleet_scaled_arrivals {
+        let mut queue = match &spec.queue {
+            // An explicit queue is already a realized arrival stream: stamps
+            // are final, so fleet-scaled lazy stamping stays off.
+            Some(explicit) => explicit.clone(),
+            None => spec.workload.synthesize_queue(
+                spec.count,
+                spec.gen,
+                spec.seed,
+                spec.system.pads_requests(),
+                if spec.fleet_scaled_arrivals {
+                    // Stamped lazily at dispatch, at the then-current fleet size.
+                    &ArrivalProcess::Immediate
+                } else {
+                    &spec.arrivals
+                },
+            ),
+        };
+        if spec.queue.is_some() || !spec.fleet_scaled_arrivals {
             queue.sort_by_key(|r| (r.arrival.key(), r.id));
         }
 
@@ -1100,6 +1163,14 @@ impl FleetLoop<'_> {
     /// controller (`screen` true); requests re-routed by churn were already
     /// accepted and are not re-screened.
     fn dispatch(&mut self, request: Request, now: Seconds, screen: bool) {
+        // New arrivals (screen) reach the tap with their final stamp — lazily
+        // stamped fleet-scaled arrivals included. Churn re-routes are the same
+        // request again, not a new arrival, and are not re-recorded.
+        if screen {
+            if let Some(tap) = &self.spec.tap {
+                tap.record(&request);
+            }
+        }
         if self.indexed {
             self.dispatch_indexed(request, now, screen);
         } else {
@@ -1685,6 +1756,74 @@ mod tests {
             report.replicas[0].report.rounds.len() >= 100 / 16,
             "the 16-request batch cap forces multiple admission waves"
         );
+    }
+
+    #[test]
+    fn explicit_queues_are_recorded_and_replay_identically() {
+        #[derive(Debug, Default)]
+        struct CollectingTap(std::sync::Mutex<Vec<Request>>);
+        impl ArrivalTap for CollectingTap {
+            fn record(&self, request: &Request) {
+                self.0.lock().unwrap().push(*request);
+            }
+        }
+
+        let queue: Vec<Request> = (0..48)
+            .map(|id| {
+                let mut r = Request::new(id, 64 + 13 * (id % 7), 24)
+                    .with_session(id / 3)
+                    .with_slo_class(SloClass::ALL[(id % 3) as usize]);
+                r.arrival = Seconds::from_secs(0.15 * id as f64);
+                r
+            })
+            .collect();
+        let tap = Arc::new(CollectingTap::default());
+        let spec = ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            2,
+        )
+        .with_mode(ServingMode::Continuous)
+        .with_queue(queue.clone())
+        .with_tap(Arc::clone(&tap) as Arc<dyn ArrivalTap>);
+        assert_eq!(spec.count, queue.len());
+        let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
+        let report = evaluator.run(&spec).unwrap();
+        assert_eq!(report.total_requests(), queue.len());
+        // The tap saw the offered load, in realized arrival order.
+        let recorded = tap.0.lock().unwrap().clone();
+        assert_eq!(recorded, queue);
+        // Replaying the recorded stream reproduces the report exactly.
+        let replay_spec = ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            2,
+        )
+        .with_mode(ServingMode::Continuous)
+        .with_queue(recorded);
+        assert_eq!(evaluator.run(&replay_spec).unwrap(), report);
+        // Per-class attainment is consistent with the overall figure.
+        let slo = SloSpec {
+            ttft: Seconds::from_secs(1e6),
+            per_token: Seconds::from_secs(1e6),
+        };
+        let by_class = report.slo_attainment_by_class(&slo);
+        assert_eq!(by_class.len(), SloClass::ALL.len());
+        for (class, pct) in &by_class {
+            assert!(
+                (*pct - 100.0).abs() < 1e-9,
+                "unloaded SLO should be attained for {class}: {pct}"
+            );
+        }
+        let strict = SloSpec {
+            ttft: Seconds::ZERO,
+            per_token: Seconds::ZERO,
+        };
+        for (_, pct) in report.slo_attainment_by_class(&strict) {
+            assert_eq!(pct, 0.0);
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod router;
 pub mod serving;
 pub mod settings;
 pub mod system;
+pub mod tap;
 
 pub use cluster::{
     builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, ClusterSpecError, KvAware,
@@ -62,6 +63,7 @@ pub use engine::{EngineError, ReplicaEngine, SystemEvaluation, SystemEvaluator};
 pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSession};
 pub use settings::EvalSetting;
 pub use system::SystemKind;
+pub use tap::ArrivalTap;
 
 // Re-export the most used building blocks so downstream users need only this crate.
 pub use moe_hardware::{ByteSize, NodeSpec, Seconds, TimeKey};
@@ -70,6 +72,6 @@ pub use moe_policy::{Policy, PolicyGenerator, PolicyOptimizer, WorkloadShape};
 pub use moe_runtime::{EngineConfig, PipelinedMoeEngine};
 pub use moe_schedule::ScheduleKind;
 pub use moe_workload::{
-    Algorithm2, ArrivalProcess, FcfsPadded, GenLens, Scheduler, ShortestJobFirst, TokenBudget,
-    WorkloadSpec,
+    Algorithm2, ArrivalProcess, FcfsPadded, GenLens, Scheduler, ShortestJobFirst, SloClass,
+    TokenBudget, WorkloadSpec,
 };

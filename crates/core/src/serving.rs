@@ -49,6 +49,7 @@
 use crate::engine::{batching_for, EngineError, ReplicaEngine, SystemEvaluator};
 use crate::router::ReplicaId;
 use crate::system::SystemKind;
+use crate::tap::ArrivalTap;
 use moe_hardware::Seconds;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
@@ -379,6 +380,8 @@ pub struct ServeSpec {
     pub(crate) arrivals: ArrivalProcess,
     pub(crate) scheduler: Arc<dyn Scheduler>,
     pub(crate) policy: Option<Policy>,
+    pub(crate) queue: Option<Vec<Request>>,
+    pub(crate) tap: Option<Arc<dyn ArrivalTap>>,
 }
 
 impl ServeSpec {
@@ -398,6 +401,8 @@ impl ServeSpec {
             arrivals: ArrivalProcess::Immediate,
             scheduler: Arc::new(Algorithm2),
             policy: None,
+            queue: None,
+            tap: None,
         }
     }
 
@@ -452,6 +457,25 @@ impl ServeSpec {
         self
     }
 
+    /// Serves an explicit, pre-stamped request queue instead of synthesizing
+    /// one — the trace-replay path. The count is taken from the queue's
+    /// length, and the workload/count/gen/seed/arrival axes no longer shape
+    /// the queue itself (the workload and `gen` still size the policy, so a
+    /// replay sized like its originating run reproduces it exactly).
+    pub fn with_queue(mut self, queue: Vec<Request>) -> Self {
+        self.count = queue.len();
+        self.queue = Some(queue);
+        self
+    }
+
+    /// Installs an observer of the realized arrival stream (e.g. the
+    /// `moe-trace` recorder): every request of the run is reported once, in
+    /// arrival order, before feasibility screening.
+    pub fn with_tap(mut self, tap: Arc<dyn ArrivalTap>) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
     /// The system this scenario serves on.
     pub fn system(&self) -> SystemKind {
         self.system
@@ -492,13 +516,25 @@ impl SystemEvaluator {
             Some(policy) => policy,
             None => self.policy_for(spec.system, &shape)?,
         };
-        let queue = spec.workload.synthesize_queue(
-            spec.count,
-            spec.gen,
-            spec.seed,
-            spec.system.pads_requests(),
-            &spec.arrivals,
-        );
+        let queue = match &spec.queue {
+            Some(queue) => queue.clone(),
+            None => spec.workload.synthesize_queue(
+                spec.count,
+                spec.gen,
+                spec.seed,
+                spec.system.pads_requests(),
+                &spec.arrivals,
+            ),
+        };
+        if let Some(tap) = &spec.tap {
+            // The realized arrival stream: the whole queue in arrival order
+            // (the order `serve` ingests it), before feasibility screening.
+            let mut ordered = queue.clone();
+            ordered.sort_by_key(|r| (r.arrival.key(), r.id));
+            for request in &ordered {
+                tap.record(request);
+            }
+        }
         ServingSession::with_policy(self, spec.system, policy, shape)
             .with_mode(spec.mode)
             .with_scheduler(Arc::clone(&spec.scheduler))

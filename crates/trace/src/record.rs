@@ -1,0 +1,70 @@
+//! Recording: turn any serving run into a [`Trace`].
+
+use crate::format::Trace;
+use moe_lightning::ArrivalTap;
+use moe_workload::Request;
+use parking_lot::Mutex;
+
+/// An [`ArrivalTap`] that collects the realized arrival stream of a run.
+///
+/// Install it on a spec with `with_tap`, run the scenario, then call
+/// [`TraceRecorder::trace`] to get the recorded stream as a serializable
+/// [`Trace`]:
+///
+/// ```no_run
+/// use moe_lightning::{ClusterEvaluator, ClusterSpec, EvalSetting, SystemKind};
+/// use moe_trace::TraceRecorder;
+/// use moe_workload::WorkloadSpec;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let recorder = Arc::new(TraceRecorder::new());
+/// let spec = ClusterSpec::homogeneous(
+///     SystemKind::MoeLightning,
+///     WorkloadSpec::mtbench(),
+///     &EvalSetting::S1.node(),
+///     4,
+/// )
+/// .with_tap(recorder.clone());
+/// ClusterEvaluator::new(EvalSetting::S1.model()).run(&spec)?;
+/// recorder.trace().save("run.trace")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    requests: Mutex<Vec<Request>>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arrivals recorded so far.
+    pub fn len(&self) -> usize {
+        self.requests.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.requests.lock().is_empty()
+    }
+
+    /// Discards everything recorded so far (reuse one recorder across runs).
+    pub fn clear(&self) {
+        self.requests.lock().clear();
+    }
+
+    /// The recorded stream as a canonical [`Trace`] (sorted, re-numbered).
+    pub fn trace(&self) -> Trace {
+        Trace::new(self.requests.lock().clone())
+    }
+}
+
+impl ArrivalTap for TraceRecorder {
+    fn record(&self, request: &Request) {
+        self.requests.lock().push(*request);
+    }
+}

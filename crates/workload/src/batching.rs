@@ -261,7 +261,6 @@ pub fn batch_requests(queue: &[Request], cfg: &BatchingConfig) -> BatchingResult
 mod tests {
     use super::*;
     use crate::spec::WorkloadSpec;
-    use moe_hardware::Seconds;
 
     fn cfg(n_ub: usize, ubs: usize, cache: u64) -> BatchingConfig {
         BatchingConfig {
@@ -273,12 +272,7 @@ mod tests {
     }
 
     fn req(id: u64, len: u64) -> Request {
-        Request {
-            id,
-            input_len: len,
-            gen_len: 32,
-            arrival: Seconds::ZERO,
-        }
+        Request::new(id, len, 32)
     }
 
     #[test]
@@ -356,26 +350,9 @@ mod tests {
         // but almost no generation, so it keeps cache headroom. The final small
         // request's token-minimal micro-batch is p0 — which cannot hold it — and
         // the fixed algorithm must spill it to p1 instead of aborting.
-        let giant = Request {
-            id: 0,
-            input_len: 900,
-            gen_len: 150,
-            arrival: Seconds::ZERO,
-        };
-        let fillers: Vec<Request> = (1..=2)
-            .map(|id| Request {
-                id,
-                input_len: 500,
-                gen_len: 1,
-                arrival: Seconds::ZERO,
-            })
-            .collect();
-        let small = Request {
-            id: 3,
-            input_len: 60,
-            gen_len: 1,
-            arrival: Seconds::ZERO,
-        };
+        let giant = Request::new(0, 900, 150);
+        let fillers: Vec<Request> = (1..=2).map(|id| Request::new(id, 500, 1)).collect();
+        let small = Request::new(3, 60, 1);
         let queue = [giant, fillers[0], fillers[1], small];
         let result = batch_requests(&queue, &cfg(2, 8, 1100));
         assert!(
@@ -409,14 +386,7 @@ mod tests {
             },
             PartitionState::default(),
         ];
-        let queue: Vec<Request> = (0..3)
-            .map(|id| Request {
-                id,
-                input_len: 200,
-                gen_len: 100,
-                arrival: Seconds::ZERO,
-            })
-            .collect();
+        let queue: Vec<Request> = (0..3).map(|id| Request::new(id, 200, 100)).collect();
         let fill = backfill_requests(&queue, &cfg(2, 4, 1000), &occupied);
         // All three fit the empty micro-batch (3 × 300 = 900 ≤ 1000); the occupied
         // one can only take one more (700 + 300 = 1000).
@@ -439,14 +409,7 @@ mod tests {
         }];
         let mut config = cfg(1, 8, u64::MAX);
         config.max_scheduled_requests = 4;
-        let queue: Vec<Request> = (0..3)
-            .map(|id| Request {
-                id,
-                input_len: 100,
-                gen_len: 10,
-                arrival: Seconds::ZERO,
-            })
-            .collect();
+        let queue: Vec<Request> = (0..3).map(|id| Request::new(id, 100, 10)).collect();
         let fill = backfill_requests(&queue, &config, &occupied);
         assert_eq!(fill.admitted(), 1);
         assert_eq!(fill.deferred.len(), 2);

@@ -589,7 +589,6 @@ pub fn builtin_schedulers() -> Vec<Box<dyn Scheduler>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moe_hardware::Seconds;
 
     fn cfg(n_ub: usize, ubs: usize, cache: u64) -> BatchingConfig {
         BatchingConfig {
@@ -601,12 +600,7 @@ mod tests {
     }
 
     fn req(id: u64, input: u64, gen: u64) -> Request {
-        Request {
-            id,
-            input_len: input,
-            gen_len: gen,
-            arrival: Seconds::ZERO,
-        }
+        Request::new(id, input, gen)
     }
 
     #[test]

@@ -15,6 +15,57 @@ use moe_hardware::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The service-level-objective class a request is judged (and, in later
+/// scheduling work, prioritized) under. Trace files carry the class per
+/// request; reports can break SLO attainment down by class.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum SloClass {
+    /// Latency-critical interactive traffic (chat front-ends).
+    Interactive,
+    /// The default tier for unclassified traffic.
+    #[default]
+    Standard,
+    /// Throughput-oriented background traffic (batch pipelines, evals).
+    Batch,
+}
+
+impl SloClass {
+    /// Every class, in a stable order (the per-class report/array order).
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+
+    /// Stable short label, also the on-disk trace-format token.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into the class.
+    pub fn from_label(label: &str) -> Option<SloClass> {
+        SloClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+
+    /// The class's position in [`Self::ALL`] (for per-class accumulators).
+    pub fn index(&self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A single inference request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,17 +78,39 @@ pub struct Request {
     pub gen_len: u64,
     /// Time the request entered the serving queue (zero for offline batches).
     pub arrival: Seconds,
+    /// The session (conversation) this request belongs to. Defaults to the
+    /// request's own id — the one-shot case; multi-turn traffic shares one
+    /// session id across turns (the sticky-routing axis of ROADMAP item 3).
+    pub session_id: u64,
+    /// The SLO class the request is judged under (defaults to
+    /// [`SloClass::Standard`]).
+    pub slo_class: SloClass,
 }
 
 impl Request {
-    /// A request arriving at time zero (the offline, pre-filled-queue case).
+    /// A request arriving at time zero (the offline, pre-filled-queue case),
+    /// in its own one-shot session, under the standard SLO class.
     pub fn new(id: u64, input_len: u64, gen_len: u64) -> Self {
         Request {
             id,
             input_len,
             gen_len,
             arrival: Seconds::ZERO,
+            session_id: id,
+            slo_class: SloClass::Standard,
         }
+    }
+
+    /// Assigns the request to a multi-turn session (builder style).
+    pub fn with_session(mut self, session_id: u64) -> Self {
+        self.session_id = session_id;
+        self
+    }
+
+    /// Sets the request's SLO class (builder style).
+    pub fn with_slo_class(mut self, slo_class: SloClass) -> Self {
+        self.slo_class = slo_class;
+        self
     }
 
     /// Total context length once generation finishes.
@@ -520,6 +593,22 @@ mod tests {
         let sampled = spec.request_queue(20, 64, 5, false);
         assert_eq!(sampled, spec.sample_requests(20, 64, 5));
         assert!(sampled.iter().any(|r| r.input_len != spec.max_prompt_len));
+    }
+
+    #[test]
+    fn requests_default_to_one_shot_standard_class() {
+        let r = Request::new(7, 100, 32);
+        assert_eq!(r.session_id, 7, "default session is the request's own id");
+        assert_eq!(r.slo_class, SloClass::Standard);
+        let r = r.with_session(3).with_slo_class(SloClass::Batch);
+        assert_eq!((r.session_id, r.slo_class), (3, SloClass::Batch));
+        for class in SloClass::ALL {
+            assert_eq!(SloClass::from_label(class.label()), Some(class));
+            assert_eq!(SloClass::ALL[class.index()], class);
+        }
+        assert_eq!(SloClass::from_label("gold"), None);
+        assert_eq!(SloClass::Interactive.to_string(), "interactive");
+        assert_eq!(SloClass::default(), SloClass::Standard);
     }
 
     #[test]

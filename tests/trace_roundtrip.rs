@@ -1,0 +1,125 @@
+//! Record→replay determinism gate for the ISSUE 8 trace subsystem.
+//!
+//! Records a run's realized arrival stream through [`TraceRecorder`],
+//! round-trips it through the `MOETRACE` text format, replays it via
+//! `with_queue`, and requires the replay to reproduce the originating
+//! [`ClusterReport`] / [`ServingReport`] field-by-field — across both
+//! dispatch loops (indexed and reference), multiple routers (including the
+//! rng-consuming power-of-two-choices), fleet-scaled lazily-stamped
+//! arrivals, and the single-node path.
+
+use moe_lightning::{
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, PowerOfTwoChoices, Router,
+    ServeSpec, ServingMode, SystemEvaluator, SystemKind,
+};
+use moe_trace::{Trace, TraceRecorder};
+use moe_workload::{ArrivalProcess, WorkloadSpec};
+use std::sync::Arc;
+
+const COUNT: usize = 96;
+const SEED: u64 = 17;
+
+fn base_spec(router: Arc<dyn Router>) -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        SystemKind::MoeLightning,
+        WorkloadSpec::mtbench(),
+        &EvalSetting::S1.node(),
+        3,
+    )
+    .with_count(COUNT)
+    .with_mixed_gen_lens()
+    .with_seed(SEED)
+    .with_mode(ServingMode::Continuous)
+    .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 2.0 })
+    .with_router(router)
+}
+
+fn routers() -> Vec<Arc<dyn Router>> {
+    vec![
+        Arc::new(LeastOutstandingTokens),
+        Arc::new(PowerOfTwoChoices),
+    ]
+}
+
+#[test]
+fn replay_reproduces_the_cluster_report_across_loops_and_routers() {
+    let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
+    let reference = evaluator.clone().with_reference_loop();
+    for router in routers() {
+        for (label, runner) in [("indexed", &evaluator), ("reference", &reference)] {
+            let recorder = Arc::new(TraceRecorder::new());
+            let spec = base_spec(Arc::clone(&router)).with_tap(Arc::clone(&recorder) as _);
+            let original = runner.run(&spec).unwrap();
+            assert_eq!(
+                recorder.len(),
+                original.total_requests(),
+                "{label}/{}: the tap must see the whole offered load",
+                router.name()
+            );
+
+            // Round-trip the recorded stream through the text format before
+            // replaying: the replay consumes exactly what a file would hold.
+            let trace = Trace::parse(&recorder.trace().render()).unwrap();
+            let replay_spec = trace.replay_into_cluster(base_spec(Arc::clone(&router)));
+            let replayed = runner.run(&replay_spec).unwrap();
+            assert_eq!(
+                replayed,
+                original,
+                "{label}/{}: replay must reproduce the originating report",
+                router.name()
+            );
+
+            // And replay is deterministic with itself.
+            let again = runner.run(&replay_spec).unwrap();
+            assert_eq!(again, replayed);
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_fleet_scaled_lazily_stamped_arrivals() {
+    let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
+    let recorder = Arc::new(TraceRecorder::new());
+    let spec = base_spec(Arc::new(LeastOutstandingTokens))
+        .with_fleet_scaled_arrivals()
+        .with_tap(Arc::clone(&recorder) as _);
+    let original = evaluator.run(&spec).unwrap();
+    assert_eq!(recorder.len(), original.total_requests());
+    // The tap saw the stamps the arrival clock assigned at dispatch time.
+    let trace = recorder.trace();
+    assert!(trace.duration().as_secs() > 0.0);
+
+    // Replaying an explicit queue must disable lazy stamping even though the
+    // spec still asks for it — the stream is already realized.
+    let replay_spec = trace.replay_into_cluster(
+        base_spec(Arc::new(LeastOutstandingTokens)).with_fleet_scaled_arrivals(),
+    );
+    let replayed = evaluator.run(&replay_spec).unwrap();
+    assert_eq!(replayed, original);
+}
+
+#[test]
+fn replay_reproduces_the_single_node_serving_report() {
+    let setting = EvalSetting::S1;
+    let evaluator = SystemEvaluator::new(setting.node(), setting.model());
+    let recorder = Arc::new(TraceRecorder::new());
+    let spec = ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+        .with_count(COUNT)
+        .with_mixed_gen_lens()
+        .with_seed(SEED)
+        .with_mode(ServingMode::Continuous)
+        .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 3.0 })
+        .with_tap(Arc::clone(&recorder) as _);
+    let original = evaluator.run(&spec.clone()).unwrap();
+    assert_eq!(recorder.len(), COUNT);
+
+    let trace = Trace::parse(&recorder.trace().render()).unwrap();
+    let replay_spec = trace.replay_into_serve(
+        ServeSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_mixed_gen_lens()
+            .with_seed(SEED)
+            .with_mode(ServingMode::Continuous),
+    );
+    let replayed = evaluator.run(&replay_spec).unwrap();
+    assert_eq!(replayed, original);
+}
