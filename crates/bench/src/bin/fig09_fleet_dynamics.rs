@@ -15,12 +15,22 @@
 //! Run with `cargo run --release -p moe-bench --bin fig09_fleet_dynamics`.
 //! Set `FIG09_QUEUE_LEN` (default 600) to shrink the queue for smoke runs;
 //! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
+//!
+//! Pass `--trace <path>` (or set `FIG09_TRACE`) to replay a recorded trace
+//! (recorded via `moe_trace::TraceRecorder` / saved with `Trace::save`, or
+//! synthesized with `fig11_trace_day`) through the failure × scaler grid
+//! instead of the synthesized Poisson queue: the trace's own arrival stamps
+//! and prompt/generation lengths drive every cell, so the churn response is
+//! measured against real recorded load. The SLO and service-rate calibration
+//! still come from the pinned scenario; the admission-control table keeps its
+//! synthesized overload arrivals either way.
 
 use moe_bench::fleet::{FleetScenario, REPLICAS};
 use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_lightning::{
     ClusterEvaluator, ClusterSpec, EvalSetting, QueueDepthScaler, ReplicaId, SloAdmission,
 };
+use moe_trace::Trace;
 use moe_workload::ArrivalProcess;
 use std::sync::Arc;
 
@@ -31,8 +41,31 @@ fn queue_len() -> usize {
         .unwrap_or(600)
 }
 
+/// Trace to replay through the grid: `--trace <path>` wins over `FIG09_TRACE`.
+fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("FIG09_TRACE").ok())
+}
+
 fn main() {
-    let count = queue_len();
+    let mut count = queue_len();
+    let trace = match trace_path() {
+        Some(path) => match Trace::load(&path) {
+            Ok(t) => {
+                count = t.len();
+                println!("(replaying trace {path}: {count} requests)");
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("fig09: cannot load trace {path}: {e}");
+                return;
+            }
+        },
+        None => None,
+    };
     let scenario = match FleetScenario::pinned(count) {
         Ok(s) => s,
         Err(e) => {
@@ -44,8 +77,13 @@ fn main() {
     let mut json_rows: Vec<JsonValue> = Vec::new();
 
     println!(
-        "== Fleet dynamics @ S1: {REPLICAS}x T4, {count} requests, Poisson at \
+        "== Fleet dynamics @ S1: {REPLICAS}x T4, {count} requests, {} at \
          {:.3} req/s/replica, seed 11 ==",
+        if trace.is_some() {
+            "trace arrivals, calibrated"
+        } else {
+            "Poisson"
+        },
         scenario.per_replica_rate
     );
     println!(
@@ -111,6 +149,10 @@ fn main() {
             ),
         ];
         for (label, spec) in scalers {
+            let spec = match &trace {
+                Some(t) => t.replay_into_cluster(spec),
+                None => spec,
+            };
             match evaluator.run(&spec) {
                 Ok(report) => {
                     let goodput = report.goodput(&scenario.slo);

@@ -29,6 +29,7 @@
 //! outright — see [`crate::dynamics`]. The report's
 //! [`ClusterReport::availability`] section records what churn did to the run.
 
+use crate::disagg::{self, CacheStats, DisaggState, InterconnectSpec, PrefixCache, ReplicaRole};
 use crate::dynamics::{
     AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,
     FleetView, ScaleBounds, ScaleDecision,
@@ -85,6 +86,10 @@ pub enum ClusterSpecError {
     /// The autoscaler's [`ScaleBounds`] are inverted (`min_replicas` exceeds
     /// `max_replicas`) or allow an empty fleet (`max_replicas` of zero).
     InvalidScaleBounds,
+    /// The disaggregated pools cannot serve: with role pools in play the
+    /// fleet needs at least one replica taking arrivals (prefill or unified)
+    /// and one taking migrations (decode or unified).
+    IncompletePools,
 }
 
 impl fmt::Display for ClusterSpecError {
@@ -95,6 +100,9 @@ impl fmt::Display for ClusterSpecError {
             ClusterSpecError::InvalidScaleBounds => {
                 f.write_str("the autoscaler bounds are inverted or allow an empty fleet")
             }
+            ClusterSpecError::IncompletePools => f.write_str(
+                "disaggregated pools need an arrival-taking and a migration-taking replica",
+            ),
         }
     }
 }
@@ -109,6 +117,7 @@ pub struct ReplicaSpec {
     pub(crate) node: NodeSpec,
     pub(crate) policy: Option<Policy>,
     pub(crate) scheduler: Arc<dyn Scheduler>,
+    pub(crate) role: ReplicaRole,
 }
 
 impl ReplicaSpec {
@@ -119,6 +128,7 @@ impl ReplicaSpec {
             node,
             policy: None,
             scheduler: Arc::new(Algorithm2),
+            role: ReplicaRole::Unified,
         }
     }
 
@@ -168,6 +178,8 @@ pub struct ClusterSpec {
     pub(crate) fleet_scaled_arrivals: bool,
     pub(crate) queue: Option<Vec<Request>>,
     pub(crate) tap: Option<Arc<dyn ArrivalTap>>,
+    pub(crate) interconnect: InterconnectSpec,
+    pub(crate) prefix_cache: Option<u64>,
 }
 
 impl ClusterSpec {
@@ -195,6 +207,8 @@ impl ClusterSpec {
             fleet_scaled_arrivals: false,
             queue: None,
             tap: None,
+            interconnect: InterconnectSpec::default(),
+            prefix_cache: None,
         }
     }
 
@@ -352,6 +366,12 @@ impl ClusterSpec {
                 return Err(ClusterSpecError::InvalidScaleBounds);
             }
         }
+        if self.has_role_pools()
+            && (!self.replicas.iter().any(|r| r.role.takes_arrivals())
+                || !self.replicas.iter().any(|r| r.role.takes_migrations()))
+        {
+            return Err(ClusterSpecError::IncompletePools);
+        }
         Ok(())
     }
 
@@ -422,6 +442,8 @@ impl ServeSpec {
             fleet_scaled_arrivals: false,
             queue: self.queue,
             tap: self.tap,
+            interconnect: InterconnectSpec::default(),
+            prefix_cache: None,
         }
     }
 }
@@ -435,6 +457,9 @@ pub struct ReplicaReport {
     pub node: String,
     /// The per-micro-batch KV-cache budget the replica enforced.
     pub kv_budget_per_micro_batch: u64,
+    /// Final prefix-cache statistics, when the replica carried one (see
+    /// [`ClusterSpec::with_prefix_cache`]).
+    pub cache: Option<CacheStats>,
     /// The replica's full single-node serving report.
     pub report: ServingReport,
 }
@@ -721,7 +746,7 @@ impl ClusterEvaluator {
         batching
             .validate()
             .map_err(|reason| EngineError::InvalidBatchingConfig { reason })?;
-        Ok(ReplicaEngine::new(
+        let mut engine = ReplicaEngine::new(
             ReplicaId(index),
             evaluator,
             spec.system,
@@ -729,7 +754,10 @@ impl ClusterEvaluator {
             batching,
             spec.mode,
             Arc::clone(&replica.scheduler),
-        ))
+        );
+        engine.role = replica.role;
+        engine.prefix_cache = spec.prefix_cache.map(PrefixCache::new);
+        Ok(engine)
     }
 
     /// Executes one cluster scenario: synthesizes the fleet-wide request queue
@@ -813,6 +841,7 @@ impl ClusterEvaluator {
             is_dirty: vec![false; fleet_size],
             provisioning: 0,
             policy_cache,
+            disagg: DisaggState::new(spec.has_role_pools()),
         };
         if indexed {
             for i in 0..fleet_size {
@@ -845,15 +874,22 @@ impl ClusterEvaluator {
             // order as the single-node loop.
             let timeline_next = (cursor < timeline.len()).then(|| timeline[cursor].0);
             let ready_next = plane.next_provisioning_ready();
-            // `None` means a ready event; timeline actions win ties so an
-            // injected failure at the exact instant a join lands is still
-            // applied to the pre-join fleet.
-            let control: Option<(Seconds, Option<usize>)> = match (timeline_next, ready_next) {
-                (Some(t), Some((r, _))) if t <= r => Some((t, None)),
-                (_, Some((r, i))) => Some((r, Some(i))),
-                (Some(t), None) => Some((t, None)),
+            // Timeline actions win ties (an injected failure at the exact
+            // instant a join lands is applied to the pre-join fleet), and a
+            // KV-migration landing is control-class too — but only strictly
+            // earlier ones, so a failure at the landing instant still kills
+            // the destination first.
+            let mut control: Option<(Seconds, Ctl)> = match (timeline_next, ready_next) {
+                (Some(t), Some((r, _))) if t <= r => Some((t, Ctl::Timeline)),
+                (_, Some((r, i))) => Some((r, Ctl::Ready(i))),
+                (Some(t), None) => Some((t, Ctl::Timeline)),
                 (None, None) => None,
             };
+            if let Some(m) = plane.disagg.next_migration_at() {
+                if control.is_none_or(|(c, _)| m < c) {
+                    control = Some((m, Ctl::Migration));
+                }
+            }
             let arrival = queue.get(next).map(|r| r.arrival);
             let internal = if plane.indexed {
                 plane.events.peek()
@@ -862,16 +898,17 @@ impl ClusterEvaluator {
             };
 
             let le = |a: Seconds, b: Option<Seconds>| b.is_none_or(|b| a <= b);
-            if let Some((t, ready_index)) =
+            if let Some((t, ctl)) =
                 control.filter(|&(t, _)| le(t, arrival) && le(t, internal.map(|(time, _)| time)))
             {
-                match ready_index {
-                    None => {
+                match ctl {
+                    Ctl::Timeline => {
                         let (_, action) = timeline[cursor].clone();
                         cursor += 1;
                         plane.apply_action(t, action)?;
                     }
-                    Some(index) => plane.finish_provisioning(index, t),
+                    Ctl::Ready(index) => plane.finish_provisioning(index, t),
+                    Ctl::Migration => plane.complete_next_migration(t),
                 }
                 // Membership just changed (or a failure re-routed late work):
                 // let the autoscaler react now, not at the next arrival.
@@ -915,9 +952,15 @@ impl ClusterEvaluator {
             joins,
             departures,
             cancelled_joins,
+            disagg: disagg_state,
             ..
         } = plane;
-        let replica_reports: Vec<ReplicaReport> = engines.into_iter().map(replica_report).collect();
+        let mut replica_reports: Vec<ReplicaReport> =
+            engines.into_iter().map(replica_report).collect();
+        // Prefill-stub completions are plumbing, not served requests; aborted
+        // stubs are the original request aborted. (Billed totals keep the
+        // prefill replica's prompt work — wasted or not, it ran.)
+        disagg::scrub_handoff_reports(&mut replica_reports, &disagg_state);
         let totals = replica_reports
             .iter()
             .fold(BatchRunReport::default(), |acc, r| {
@@ -957,18 +1000,28 @@ impl ClusterEvaluator {
 /// for [`Autoscaler`] observations.
 const RECENT_COMPLETION_WINDOW: usize = 128;
 
+/// Which control-class event fires next in [`ClusterEvaluator::run`]'s merged
+/// loop: a timeline action, a provisioning completion, or a KV-migration
+/// landing.
+#[derive(Debug, Clone, Copy)]
+enum Ctl {
+    Timeline,
+    Ready(usize),
+    Migration,
+}
+
 /// The mutable state of one [`ClusterEvaluator::run`] invocation: the replica
 /// event machines plus the control plane's bookkeeping (membership, admission,
 /// autoscaling, availability accounting).
-struct FleetLoop<'a> {
+pub(crate) struct FleetLoop<'a> {
     cluster: &'a ClusterEvaluator,
-    spec: &'a ClusterSpec,
+    pub(crate) spec: &'a ClusterSpec,
     policy_gen: u64,
-    engines: Vec<ReplicaEngine>,
-    ctx: RouterCtx,
-    fleet_aborted: Vec<Request>,
-    rejected: Vec<Request>,
-    rerouted: std::collections::BTreeSet<u64>,
+    pub(crate) engines: Vec<ReplicaEngine>,
+    pub(crate) ctx: RouterCtx,
+    pub(crate) fleet_aborted: Vec<Request>,
+    pub(crate) rejected: Vec<Request>,
+    pub(crate) rerouted: std::collections::BTreeSet<u64>,
     failures: Vec<(ReplicaId, Seconds)>,
     drains: Vec<(ReplicaId, Seconds)>,
     joins: Vec<(ReplicaId, Seconds)>,
@@ -999,6 +1052,9 @@ struct FleetLoop<'a> {
     /// Per-node memo of the policy search (see
     /// [`ClusterEvaluator::build_engine`]), shared with joins.
     policy_cache: Vec<(NodeSpec, Policy)>,
+    /// Disaggregation bookkeeping: in-flight KV migrations and the
+    /// prefill-stub ledger (see [`crate::disagg`]).
+    pub(crate) disagg: DisaggState,
 }
 
 /// Fleet-wide min-priority queue over each replica's next internal event,
@@ -1085,7 +1141,7 @@ impl FleetLoop<'_> {
 
     /// Queues replica `index` for re-synchronisation of its event-heap entry
     /// and router-index view. No-op on the reference loop.
-    fn mark_dirty(&mut self, index: usize) {
+    pub(crate) fn mark_dirty(&mut self, index: usize) {
         if !self.indexed {
             return;
         }
@@ -1162,7 +1218,7 @@ impl FleetLoop<'_> {
     /// Routes `request` at time `now`. Arrivals pass through the admission
     /// controller (`screen` true); requests re-routed by churn were already
     /// accepted and are not re-screened.
-    fn dispatch(&mut self, request: Request, now: Seconds, screen: bool) {
+    pub(crate) fn dispatch(&mut self, request: Request, now: Seconds, screen: bool) {
         // New arrivals (screen) reach the tap with their final stamp — lazily
         // stamped fleet-scaled arrivals included. Churn re-routes are the same
         // request again, not a new arrival, and are not re-recorded.
@@ -1171,7 +1227,11 @@ impl FleetLoop<'_> {
                 tap.record(&request);
             }
         }
-        if self.indexed {
+        if self.disagg.enabled {
+            // Role pools filter the offer per request, which precludes the
+            // whole-fleet index fast path: both loops dispatch by scan.
+            self.dispatch_disagg(request, now, screen);
+        } else if self.indexed {
             self.dispatch_indexed(request, now, screen);
         } else {
             self.dispatch_scan(request, now, screen);
@@ -1275,6 +1335,11 @@ impl FleetLoop<'_> {
     fn note_completions(&mut self, index: usize, completed: Vec<RequestLatency>) {
         for latency in completed {
             let at = latency.request.arrival + latency.completion_time;
+            // A prefill stub finishing its prompt wave is a handoff, not a
+            // completion: its KV starts migrating instead.
+            if self.disagg.enabled && self.intercept_handoff(index, &latency, at) {
+                continue;
+            }
             self.spec
                 .router
                 .on_complete(&latency.request, ReplicaId(index), at, &mut self.ctx);
@@ -1360,9 +1425,13 @@ impl FleetLoop<'_> {
                 self.departures.push((rid, t));
                 self.spec.router.on_replica_down(rid, t, &mut self.ctx);
                 for request in lost {
+                    let request = self.restore_origin(request);
                     self.rerouted.insert(request.id);
                     self.dispatch(request, t, false);
                 }
+                // In-flight migrated KV headed to the dead replica is lost
+                // with it.
+                self.lose_migrations_to(rid.0, t);
             }
             FleetAction::Drain(rid) => {
                 let Some(lifecycle) = self.engines.get(rid.0).map(|e| e.lifecycle) else {
@@ -1387,6 +1456,7 @@ impl FleetLoop<'_> {
                 self.mark_dirty(rid.0);
                 self.drains.push((rid, t));
                 for request in queued {
+                    let request = self.restore_origin(request);
                     self.rerouted.insert(request.id);
                     self.dispatch(request, t, false);
                 }
@@ -1476,6 +1546,7 @@ impl FleetLoop<'_> {
                     self.mark_dirty(index);
                     self.drains.push((rid, t));
                     for request in queued {
+                        let request = self.restore_origin(request);
                         self.rerouted.insert(request.id);
                         self.dispatch(request, t, false);
                     }
@@ -1504,10 +1575,13 @@ impl FleetLoop<'_> {
     ///
     /// With an autoscaler installed the window degenerates to a single
     /// event: the autoscaler may react to every completion batch, and its
-    /// actions are global sync points that end the window.
+    /// actions are global sync points that end the window. Disaggregated
+    /// runs degenerate the same way — a completion may start a KV migration,
+    /// and the migration's landing is a control event that must be merged in
+    /// global order, so no window may run past it.
     fn step_window(&mut self, bound: Option<Seconds>) -> Result<(), EngineError> {
         let before = |t: Seconds| bound.is_none_or(|b| t < b);
-        if self.spec.autoscaler.is_some() {
+        if self.spec.autoscaler.is_some() || self.disagg.enabled {
             let Some((t, index)) = self.events.peek() else {
                 return Ok(());
             };
@@ -1614,10 +1688,12 @@ fn replica_report(engine: ReplicaEngine) -> ReplicaReport {
     let id = engine.id;
     let node = engine.node_desc.clone();
     let kv_budget_per_micro_batch = engine.batching.cache_tokens_per_micro_batch;
+    let cache = engine.prefix_cache.as_ref().map(|c| c.stats());
     ReplicaReport {
         id,
         node,
         kv_budget_per_micro_batch,
+        cache,
         report: engine.into_report(),
     }
 }

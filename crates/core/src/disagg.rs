@@ -1,0 +1,990 @@
+//! Disaggregated prefill/decode serving: pool roles, KV migration over an
+//! interconnect, per-replica prefix caches, and cache/session/speed-aware
+//! routing.
+//!
+//! Production MoE serving splits prefill and decode onto separate replica
+//! pools (the DistServe/Splitwise design point): a [`ReplicaRole::Prefill`]
+//! replica runs a request's prompt wave, then hands the KV slice to a
+//! [`ReplicaRole::Decode`] (or [`ReplicaRole::Unified`]) replica over the
+//! fleet's [`InterconnectSpec`]. The handoff is a priced, latency-modeled
+//! migration event (`CostModel::kv_migrate`) on the global clock: the
+//! destination reserves headroom for the in-flight KV
+//! ([`crate::ReplicaView::kv_migrating_in`]) the moment the transfer starts
+//! and admits the request with its prefill already credited when it lands.
+//! A destination that fails mid-transfer loses the KV: the request re-enters
+//! at the front door and pays its prefill again.
+//!
+//! Orthogonally, every replica may carry a [`PrefixCache`] — a token-prefix
+//! trie with capacity + LRU eviction modeling multi-turn shared history
+//! within a session; a hit skips the cached prefix's prefill tokens. Two
+//! routers exploit it: [`StickySession`] pins sessions to their previous
+//! replica, and [`PrefixAware`] trades the estimated cache benefit against
+//! queue imbalance using the router-visible measured decode rate
+//! ([`crate::ReplicaView::decode_rate`], an EWMA in tokens/s — speed, not
+//! just backlog).
+//!
+//! The fleet-level migration machinery (`DisaggState` and the
+//! `FleetLoop` methods below) lives here rather than in [`crate::cluster`]
+//! so the cluster module stays within the repository's module-size tripwire;
+//! it is `pub(crate)` plumbing behind [`crate::cluster::ClusterEvaluator`].
+
+use crate::cluster::{ClusterSpec, FleetLoop, ReplicaReport, ReplicaSpec};
+use crate::engine::ReplicaEngine;
+use crate::router::{ReplicaId, ReplicaView, Router, RouterCtx, RouterIndex};
+use moe_hardware::{Bandwidth, Seconds};
+use moe_workload::{Request, RequestLatency};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Which phase of serving a replica's pool runs (see [`ReplicaSpec::with_role`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReplicaRole {
+    /// Runs both phases on one replica — the classic colocated default.
+    #[default]
+    Unified,
+    /// Runs prompt waves only: generation-bearing requests are admitted as
+    /// prefill-only work and their KV migrates to a decode-capable replica
+    /// when the prompt wave completes.
+    Prefill,
+    /// Runs decode only: receives migrated KV; never offered new arrivals.
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Short stable identifier used in table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaRole::Unified => "unified",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        }
+    }
+
+    /// Whether new arrivals may be routed to a replica of this role.
+    pub fn takes_arrivals(&self) -> bool {
+        matches!(self, ReplicaRole::Unified | ReplicaRole::Prefill)
+    }
+
+    /// Whether migrated KV may be handed to a replica of this role.
+    pub fn takes_migrations(&self) -> bool {
+        matches!(self, ReplicaRole::Unified | ReplicaRole::Decode)
+    }
+}
+
+impl fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The replica↔replica interconnect KV migrations move over: a bandwidth plus
+/// a per-transfer latency floor (`CostModel::kv_migrate` prices one handoff
+/// as `kv_bytes(context) / bandwidth + latency`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    gb_per_sec: f64,
+    latency: Seconds,
+}
+
+impl Default for InterconnectSpec {
+    /// A 200 GbE RDMA-class fabric: 25 GB/s per link, 10 µs per transfer.
+    fn default() -> Self {
+        InterconnectSpec {
+            gb_per_sec: 25.0,
+            latency: Seconds::from_micros(10.0),
+        }
+    }
+}
+
+impl InterconnectSpec {
+    /// An interconnect of `gb_per_sec` GB/s with a per-transfer `latency`.
+    pub fn new(gb_per_sec: f64, latency: Seconds) -> Self {
+        InterconnectSpec {
+            gb_per_sec,
+            latency,
+        }
+    }
+
+    /// The link bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.gb_per_sec)
+    }
+
+    /// The per-transfer latency floor.
+    pub fn latency(&self) -> Seconds {
+        self.latency
+    }
+}
+
+/// Router-visible statistics of one replica's [`PrefixCache`] (zeroed when
+/// the replica has no cache). Snapshotted into
+/// [`crate::ReplicaView::cache_stats`] and the per-replica cluster report.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// The cache's capacity in tokens.
+    pub capacity_tokens: u64,
+    /// Tokens currently resident.
+    pub resident_tokens: u64,
+    /// Lookups that matched at least one block.
+    pub hits: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Total prefill tokens skipped by cache hits.
+    pub hit_tokens: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit (0.0 with no observations).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
+    }
+
+    /// Estimated prefill tokens a request of `input_len` would skip here:
+    /// the observed hit rate scaled over the prompt, optimistically the whole
+    /// prompt while the cache is warm but unobserved. Zero for an empty
+    /// cache — this is the scoring signal [`PrefixAware`] routes on.
+    pub fn estimated_hit_tokens(&self, input_len: u64) -> u64 {
+        if self.resident_tokens == 0 {
+            return 0;
+        }
+        let rate = if self.lookups() == 0 {
+            1.0
+        } else {
+            self.hit_rate()
+        };
+        (input_len as f64 * rate) as u64
+    }
+}
+
+/// Tokens per prefix-cache block: hits are counted in whole blocks, like a
+/// paged KV cache reusing full pages only.
+pub const PREFIX_BLOCK_TOKENS: u64 = 32;
+
+/// Arena slot of one cached block in the trie.
+#[derive(Debug, Clone)]
+struct CacheNode {
+    children: HashMap<u64, usize>,
+    parent: usize,
+    key: u64,
+    last_used: u64,
+    in_use: bool,
+}
+
+/// Index of the trie root (a sentinel holding no tokens).
+const CACHE_ROOT: usize = 0;
+
+/// A per-replica prefix cache: a block-granular prefix trie with a token
+/// capacity and LRU leaf eviction. A hit skips the matched prefix's prefill
+/// tokens (the engine credits them at admission).
+///
+/// The simulator has no token *content*, so blocks are keyed by
+/// `(session, block index)`: the cache models multi-turn shared history
+/// within a session — exactly the reuse [`StickySession`] and
+/// [`PrefixAware`] routing make reachable — not cross-session sharing.
+#[derive(Debug, Clone)]
+pub struct PrefixCache {
+    capacity_tokens: u64,
+    nodes: Vec<CacheNode>,
+    free: Vec<usize>,
+    resident_tokens: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    hit_tokens: u64,
+}
+
+/// Mixes a session id and block index into one trie edge key (splitmix64).
+fn block_key(session: u64, index: u64) -> u64 {
+    let mut z = session ^ index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PrefixCache {
+    /// An empty cache holding at most `capacity_tokens` tokens.
+    pub fn new(capacity_tokens: u64) -> Self {
+        PrefixCache {
+            capacity_tokens,
+            nodes: vec![CacheNode {
+                children: HashMap::new(),
+                parent: CACHE_ROOT,
+                key: 0,
+                last_used: 0,
+                in_use: true,
+            }],
+            free: Vec::new(),
+            resident_tokens: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            hit_tokens: 0,
+        }
+    }
+
+    /// Longest cached prefix of a `input_len`-token prompt from `session`, in
+    /// tokens (whole blocks). Touches the matched path for LRU and records
+    /// the hit/miss.
+    pub fn lookup(&mut self, session: u64, input_len: u64) -> u64 {
+        let blocks = input_len / PREFIX_BLOCK_TOKENS;
+        if blocks == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let mut node = CACHE_ROOT;
+        let mut matched = 0u64;
+        for i in 0..blocks {
+            match self.nodes[node].children.get(&block_key(session, i)) {
+                Some(&child) => {
+                    node = child;
+                    self.nodes[node].last_used = self.tick;
+                    matched += 1;
+                }
+                None => break,
+            }
+        }
+        let hit_tokens = matched * PREFIX_BLOCK_TOKENS;
+        if matched > 0 {
+            self.hits += 1;
+            self.hit_tokens += hit_tokens;
+        } else {
+            self.misses += 1;
+        }
+        hit_tokens
+    }
+
+    /// Inserts the whole-block prefix of a `input_len`-token prompt from
+    /// `session`, evicting least-recently-used leaves while over capacity.
+    pub fn insert(&mut self, session: u64, input_len: u64) {
+        let blocks = input_len / PREFIX_BLOCK_TOKENS;
+        if blocks == 0 || self.capacity_tokens == 0 {
+            return;
+        }
+        self.tick += 1;
+        let mut node = CACHE_ROOT;
+        for i in 0..blocks {
+            let key = block_key(session, i);
+            if let Some(&child) = self.nodes[node].children.get(&key) {
+                node = child;
+                self.nodes[node].last_used = self.tick;
+            } else {
+                let child = self.alloc(node, key);
+                self.nodes[node].children.insert(key, child);
+                node = child;
+                self.resident_tokens += PREFIX_BLOCK_TOKENS;
+            }
+        }
+        self.evict_over_capacity();
+    }
+
+    fn alloc(&mut self, parent: usize, key: u64) -> usize {
+        let node = CacheNode {
+            children: HashMap::new(),
+            parent,
+            key,
+            last_used: self.tick,
+            in_use: true,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Evicts least-recently-used leaves (deepest blocks first, since only
+    /// leaves are evictable) until resident tokens fit the capacity.
+    fn evict_over_capacity(&mut self) {
+        while self.resident_tokens > self.capacity_tokens {
+            let victim = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, n)| *i != CACHE_ROOT && n.in_use && n.children.is_empty())
+                .min_by_key(|(i, n)| (n.last_used, *i))
+                .map(|(i, _)| i);
+            let Some(victim) = victim else { break };
+            let parent = self.nodes[victim].parent;
+            let key = self.nodes[victim].key;
+            self.nodes[parent].children.remove(&key);
+            self.nodes[victim].in_use = false;
+            self.free.push(victim);
+            self.resident_tokens -= PREFIX_BLOCK_TOKENS;
+        }
+    }
+
+    /// Router-visible statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            capacity_tokens: self.capacity_tokens,
+            resident_tokens: self.resident_tokens,
+            hits: self.hits,
+            misses: self.misses,
+            hit_tokens: self.hit_tokens,
+        }
+    }
+}
+
+/// Session-affinity wrapper: requests of a session the fleet has seen before
+/// go back to the replica that served it (keeping its KV/prefix state hot);
+/// unseen sessions are routed by the wrapped strategy. A session whose home
+/// replica left the fleet is re-homed by the inner router on its next
+/// request.
+#[derive(Debug)]
+pub struct StickySession {
+    inner: Arc<dyn Router>,
+    sessions: Mutex<HashMap<u64, ReplicaId>>,
+}
+
+impl StickySession {
+    /// Pins sessions over `inner`'s placement decisions.
+    pub fn new(inner: Arc<dyn Router>) -> Self {
+        StickySession {
+            inner,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Router for StickySession {
+    fn name(&self) -> &'static str {
+        "sticky-session"
+    }
+
+    fn route(&self, request: &Request, replicas: &[ReplicaView], ctx: &mut RouterCtx) -> ReplicaId {
+        let mut sessions = self.sessions.lock().expect("sticky-session map poisoned");
+        if let Some(&home) = sessions.get(&request.session_id) {
+            if replicas.iter().any(|v| v.id == home) {
+                return home;
+            }
+        }
+        let chosen = self.inner.route(request, replicas, ctx);
+        let chosen = if replicas.iter().any(|v| v.id == chosen) {
+            chosen
+        } else {
+            replicas[0].id
+        };
+        sessions.insert(request.session_id, chosen);
+        chosen
+    }
+
+    fn route_indexed(
+        &self,
+        request: &Request,
+        index: &RouterIndex,
+        ctx: &mut RouterCtx,
+    ) -> Option<ReplicaId> {
+        let mut sessions = self.sessions.lock().expect("sticky-session map poisoned");
+        if let Some(&home) = sessions.get(&request.session_id) {
+            if index.contains(home) {
+                return Some(home);
+            }
+        }
+        // Inherit the inner router's fast path; an inner `None` falls back to
+        // `route` over the index's cached views, which re-runs the sticky
+        // logic there — both paths record the same placement.
+        let chosen = self.inner.route_indexed(request, index, ctx)?;
+        if index.contains(chosen) {
+            sessions.insert(request.session_id, chosen);
+        }
+        Some(chosen)
+    }
+
+    fn on_complete(
+        &self,
+        request: &Request,
+        replica: ReplicaId,
+        now: Seconds,
+        ctx: &mut RouterCtx,
+    ) {
+        self.inner.on_complete(request, replica, now, ctx);
+    }
+
+    fn on_replica_down(&self, replica: ReplicaId, now: Seconds, ctx: &mut RouterCtx) {
+        self.sessions
+            .lock()
+            .expect("sticky-session map poisoned")
+            .retain(|_, home| *home != replica);
+        self.inner.on_replica_down(replica, now, ctx);
+    }
+
+    fn on_replica_up(&self, replica: ReplicaId, now: Seconds, ctx: &mut RouterCtx) {
+        self.inner.on_replica_up(replica, now, ctx);
+    }
+}
+
+/// How many backlog tokens one estimated cache-hit token is worth to
+/// [`PrefixAware`]: cached prefill tokens are skipped outright, while backlog
+/// tokens still cost decode steps, so affinity survives moderate imbalance.
+const PREFIX_STICKINESS: u64 = 64;
+
+/// Estimated seconds to drain a replica's outstanding tokens at its measured
+/// decode speed — the speed-aware load signal ([`crate::ReplicaView`]'s EWMA
+/// `decode_rate`). The EWMA is an aggregate rate (concurrent requests per
+/// step), so it is normalized by the live concurrency to a per-slot hardware
+/// speed; otherwise a deeply-batched replica would look fast purely because
+/// it is busy. Replicas with no measurement yet are scored by raw backlog (a
+/// cold replica has none, so it still looks cheapest).
+fn drain_seconds(view: &ReplicaView) -> f64 {
+    let slots = view.active_requests.max(1) as f64;
+    let rate = if view.decode_rate > 0.0 {
+        view.decode_rate / slots
+    } else {
+        1.0
+    };
+    view.outstanding_tokens as f64 / rate
+}
+
+/// Prefix-cache- and speed-aware routing: a session goes back to its home
+/// replica while the estimated prefill tokens its cache would skip
+/// ([`CacheStats::estimated_hit_tokens`]) outweigh the home's backlog excess
+/// over the fleet's fastest-draining replica; otherwise it is re-homed on
+/// that replica (minimum drain time: outstanding tokens over the measured
+/// EWMA decode rate, not just backlog).
+#[derive(Debug, Default)]
+pub struct PrefixAware {
+    sessions: Mutex<HashMap<u64, ReplicaId>>,
+}
+
+impl PrefixAware {
+    /// A fresh router with no session placements.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Router for PrefixAware {
+    fn name(&self) -> &'static str {
+        "prefix-aware"
+    }
+
+    fn route(
+        &self,
+        request: &Request,
+        replicas: &[ReplicaView],
+        _ctx: &mut RouterCtx,
+    ) -> ReplicaId {
+        let mut sessions = self.sessions.lock().expect("prefix-aware map poisoned");
+        let fastest = replicas
+            .iter()
+            .min_by(|a, b| {
+                drain_seconds(a)
+                    .total_cmp(&drain_seconds(b))
+                    .then(a.id.cmp(&b.id))
+            })
+            .expect("route is called with a non-empty view slice");
+        let home = sessions
+            .get(&request.session_id)
+            .and_then(|home| replicas.iter().find(|v| v.id == *home));
+        let chosen = match home {
+            Some(home) => {
+                let benefit = home.cache_stats.estimated_hit_tokens(request.input_len);
+                let penalty = home
+                    .outstanding_tokens
+                    .saturating_sub(fastest.outstanding_tokens);
+                if penalty <= benefit.saturating_mul(PREFIX_STICKINESS) {
+                    home.id
+                } else {
+                    fastest.id
+                }
+            }
+            None => fastest.id,
+        };
+        sessions.insert(request.session_id, chosen);
+        chosen
+    }
+
+    fn on_replica_down(&self, replica: ReplicaId, _now: Seconds, _ctx: &mut RouterCtx) {
+        self.sessions
+            .lock()
+            .expect("prefix-aware map poisoned")
+            .retain(|_, home| *home != replica);
+    }
+}
+
+impl ReplicaSpec {
+    /// Assigns the replica to a disaggregated pool (default
+    /// [`ReplicaRole::Unified`]). Any non-unified role puts the whole run in
+    /// disaggregated dispatch: arrivals go to prefill/unified replicas and
+    /// prefill-pool KV migrates to decode/unified replicas.
+    pub fn with_role(mut self, role: ReplicaRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// The pool this replica serves in.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+}
+
+impl ClusterSpec {
+    /// Sets the replica↔replica interconnect KV migrations are priced on
+    /// (default: [`InterconnectSpec::default`]).
+    pub fn with_interconnect(mut self, interconnect: InterconnectSpec) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Gives every replica a [`PrefixCache`] of `capacity_tokens` tokens.
+    /// Off by default — without a cache the engine's costing is bit-for-bit
+    /// the classic full-prefill path.
+    pub fn with_prefix_cache(mut self, capacity_tokens: u64) -> Self {
+        self.prefix_cache = Some(capacity_tokens);
+        self
+    }
+
+    /// The interconnect KV migrations move over.
+    pub fn interconnect(&self) -> InterconnectSpec {
+        self.interconnect
+    }
+
+    /// Per-replica prefix-cache capacity in tokens, if caching is enabled.
+    pub fn prefix_cache_capacity(&self) -> Option<u64> {
+        self.prefix_cache
+    }
+
+    /// Whether any replica (or the autoscaler's scale template) is assigned
+    /// to a non-unified pool — the switch into disaggregated dispatch.
+    pub fn has_role_pools(&self) -> bool {
+        self.replicas.iter().any(|r| r.role != ReplicaRole::Unified)
+            || self
+                .scale_template
+                .as_ref()
+                .is_some_and(|t| t.role != ReplicaRole::Unified)
+    }
+}
+
+/// One KV slice in flight between replicas: the original (generation-bearing)
+/// request, its destination, and the arrival instant on the global clock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MigrationInFlight {
+    pub(crate) at: Seconds,
+    pub(crate) seq: u64,
+    pub(crate) request: Request,
+    pub(crate) dest: usize,
+}
+
+/// The fleet loop's disaggregation bookkeeping: in-flight migrations plus the
+/// prefill-stub ledger (original requests keyed by id while their prompt wave
+/// runs on a prefill replica).
+#[derive(Debug, Default)]
+pub(crate) struct DisaggState {
+    /// Whether the run dispatches disaggregated (any non-unified role).
+    pub(crate) enabled: bool,
+    /// KV transfers currently on the wire, unordered (popped by `(at, seq)`).
+    pub(crate) migrations: Vec<MigrationInFlight>,
+    /// Original request per handed-off id — kept for the whole run so stub
+    /// completions can be pruned from the final reports and churn-returned
+    /// stubs restored to their originals.
+    pub(crate) handoff_origin: HashMap<u64, Request>,
+    /// Ids whose prefill stub is currently queued or running on a prefill
+    /// replica; its completion starts the migration instead of reaching the
+    /// router's completion callback.
+    pub(crate) awaiting: HashSet<u64>,
+    seq: u64,
+}
+
+impl DisaggState {
+    pub(crate) fn new(enabled: bool) -> Self {
+        DisaggState {
+            enabled,
+            ..Self::default()
+        }
+    }
+
+    /// The earliest in-flight migration arrival, if any.
+    pub(crate) fn next_migration_at(&self) -> Option<Seconds> {
+        self.migrations
+            .iter()
+            .min_by_key(|m| (m.at.key(), m.seq))
+            .map(|m| m.at)
+    }
+
+    fn push_migration(&mut self, at: Seconds, request: Request, dest: usize) {
+        self.migrations.push(MigrationInFlight {
+            at,
+            seq: self.seq,
+            request,
+            dest,
+        });
+        self.seq += 1;
+    }
+
+    fn pop_due(&mut self) -> MigrationInFlight {
+        let i = self
+            .migrations
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| (m.at.key(), m.seq))
+            .map(|(i, _)| i)
+            .expect("a migration event was scheduled");
+        self.migrations.swap_remove(i)
+    }
+
+    /// Drains every in-flight migration headed to `dest` (its KV dies with
+    /// the replica), in request-id order.
+    fn take_migrations_to(&mut self, dest: usize) -> Vec<Request> {
+        let mut lost = Vec::new();
+        self.migrations.retain(|m| {
+            if m.dest == dest {
+                lost.push(m.request);
+                false
+            } else {
+                true
+            }
+        });
+        lost.sort_by_key(|r| r.id);
+        lost
+    }
+}
+
+/// Whether an arrival may be routed to `engine` under disaggregated dispatch:
+/// prefill replicas only ever hold the prompt's KV (the stub generates
+/// nothing), unified replicas need the full context to fit.
+fn arrival_fits(engine: &ReplicaEngine, request: &Request) -> bool {
+    match engine.role {
+        ReplicaRole::Prefill => request.input_len <= engine.batching.cache_tokens_per_micro_batch,
+        _ => engine.can_ever_serve(request),
+    }
+}
+
+impl FleetLoop<'_> {
+    /// Disaggregated dispatch: arrivals are offered the prefill∪unified
+    /// serving pool (one linear scan — role filters preclude the router
+    /// index's whole-fleet fast path, and disaggregated fleets are small).
+    /// A generation-bearing request routed to a prefill replica is enqueued
+    /// as a prefill-only *stub* (`gen_len` 0) and its original parked in the
+    /// handoff ledger; everything else is served in place.
+    pub(crate) fn dispatch_disagg(&mut self, request: Request, now: Seconds, screen: bool) {
+        let views: Vec<ReplicaView> = self
+            .engines
+            .iter()
+            .filter(|e| e.is_serving() && e.role.takes_arrivals() && arrival_fits(e, &request))
+            .map(|e| e.view())
+            .collect();
+        if views.is_empty() {
+            self.fleet_aborted.push(request);
+            return;
+        }
+        let chosen = self.spec.router.route(&request, &views, &mut self.ctx);
+        self.ctx.decision += 1;
+        let id = if views.iter().any(|v| v.id == chosen) {
+            chosen
+        } else {
+            views[0].id
+        };
+        if screen {
+            let projected = self.engines[id.0].projected_ttft(&request);
+            let view = views
+                .iter()
+                .find(|v| v.id == id)
+                .expect("chosen id resolved against the offered views");
+            if !self.spec.admission.admit(&request, projected, view) {
+                self.rejected.push(request);
+                return;
+            }
+        }
+        if self.engines[id.0].role == ReplicaRole::Prefill && request.gen_len > 0 {
+            self.disagg.handoff_origin.insert(request.id, request);
+            self.disagg.awaiting.insert(request.id);
+            let stub = Request {
+                gen_len: 0,
+                ..request
+            };
+            self.engines[id.0].enqueue(stub, now);
+        } else {
+            self.engines[id.0].enqueue(request, now);
+        }
+        self.mark_dirty(id.0);
+    }
+
+    /// Completion interception for prefill stubs: when a stub's prompt wave
+    /// finishes, its KV starts migrating instead of the completion reaching
+    /// the router callback or the autoscaler window. Returns whether the
+    /// completion was a handoff.
+    pub(crate) fn intercept_handoff(
+        &mut self,
+        from: usize,
+        latency: &RequestLatency,
+        at: Seconds,
+    ) -> bool {
+        if !self.disagg.awaiting.remove(&latency.request.id) {
+            return false;
+        }
+        let origin = self.disagg.handoff_origin[&latency.request.id];
+        self.start_migration(origin, from, at);
+        true
+    }
+
+    /// Picks a decode-capable destination with the scenario's router and puts
+    /// the KV slice on the wire: the transfer is priced by the source
+    /// replica's cost model over the fleet interconnect, and the destination
+    /// reserves `max_context` KV headroom for the whole flight.
+    fn start_migration(&mut self, origin: Request, from: usize, t: Seconds) {
+        let views: Vec<ReplicaView> = self
+            .engines
+            .iter()
+            .filter(|e| e.is_serving() && e.role.takes_migrations() && e.can_ever_serve(&origin))
+            .map(|e| e.view())
+            .collect();
+        if views.is_empty() {
+            // No decode-capable replica is alive: the prefill was wasted work
+            // and the request is aborted at fleet level.
+            self.fleet_aborted.push(origin);
+            return;
+        }
+        let chosen = self.spec.router.route(&origin, &views, &mut self.ctx);
+        self.ctx.decision += 1;
+        let dest = if views.iter().any(|v| v.id == chosen) {
+            chosen
+        } else {
+            views[0].id
+        };
+        let interconnect = self.spec.interconnect;
+        let delay = self.engines[from].evaluator.cost_model().kv_migrate(
+            origin.input_len,
+            interconnect.bandwidth(),
+            interconnect.latency(),
+        );
+        self.engines[dest.0].reserve_migration(origin.max_context());
+        self.mark_dirty(dest.0);
+        self.disagg.push_migration(t + delay, origin, dest.0);
+    }
+
+    /// Lands the earliest in-flight migration at time `t`: the destination
+    /// releases its reservation and admits the request with the migrated
+    /// prefill credited — unless it left the fleet mid-transfer, in which
+    /// case the KV is lost and the request re-enters at the front door.
+    pub(crate) fn complete_next_migration(&mut self, t: Seconds) {
+        let migration = self.disagg.pop_due();
+        let dest = migration.dest;
+        self.engines[dest].release_migration(migration.request.max_context());
+        self.mark_dirty(dest);
+        if self.engines[dest].is_serving() {
+            self.engines[dest].enqueue_prefilled(migration.request, migration.request.input_len, t);
+        } else {
+            self.rerouted.insert(migration.request.id);
+            self.dispatch(migration.request, t, false);
+        }
+    }
+
+    /// A decode-capable replica failed: every migration still on the wire to
+    /// it loses its KV (ROADMAP's "failed decode replica loses in-flight
+    /// migrated KV") and re-enters at the front door, paying prefill again.
+    pub(crate) fn lose_migrations_to(&mut self, dest: usize, t: Seconds) {
+        if self.disagg.migrations.is_empty() {
+            return;
+        }
+        for request in self.disagg.take_migrations_to(dest) {
+            self.rerouted.insert(request.id);
+            self.dispatch(request, t, false);
+        }
+    }
+
+    /// Maps a churn-returned request back to its original: a prefill stub
+    /// returned by `fail`/`begin_drain` re-enters as the generation-bearing
+    /// request it stood for.
+    pub(crate) fn restore_origin(&mut self, request: Request) -> Request {
+        match self.disagg.handoff_origin.get(&request.id) {
+            Some(&origin) if request.gen_len == 0 && origin.gen_len > 0 => {
+                self.disagg.awaiting.remove(&request.id);
+                origin
+            }
+            _ => request,
+        }
+    }
+}
+
+/// Removes prefill-stub artifacts from the finished per-replica reports: a
+/// handed-off request's stub completion on its prefill replica is plumbing
+/// (the request completes for real on its decode replica), and a stub left
+/// aborted is the original request aborted.
+pub(crate) fn scrub_handoff_reports(reports: &mut [ReplicaReport], disagg: &DisaggState) {
+    if disagg.handoff_origin.is_empty() {
+        return;
+    }
+    let stub_origin = |r: &Request| match disagg.handoff_origin.get(&r.id) {
+        Some(&origin) if r.gen_len == 0 && origin.gen_len > 0 => Some(origin),
+        _ => None,
+    };
+    for replica in reports.iter_mut() {
+        replica
+            .report
+            .latencies
+            .retain(|l| stub_origin(&l.request).is_none());
+        for aborted in replica.report.aborted.iter_mut() {
+            if let Some(origin) = stub_origin(aborted) {
+                *aborted = origin;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, outstanding: u64) -> ReplicaView {
+        ReplicaView {
+            id: ReplicaId(id),
+            outstanding_tokens: outstanding,
+            kv_capacity: 10_000,
+            ..ReplicaView::default()
+        }
+    }
+
+    #[test]
+    fn roles_partition_arrivals_and_migrations() {
+        assert!(ReplicaRole::Unified.takes_arrivals() && ReplicaRole::Unified.takes_migrations());
+        assert!(ReplicaRole::Prefill.takes_arrivals() && !ReplicaRole::Prefill.takes_migrations());
+        assert!(!ReplicaRole::Decode.takes_arrivals() && ReplicaRole::Decode.takes_migrations());
+        assert_eq!(ReplicaRole::default(), ReplicaRole::Unified);
+        assert_eq!(ReplicaRole::Prefill.to_string(), "prefill");
+    }
+
+    #[test]
+    fn prefix_cache_hits_grow_with_shared_session_history() {
+        let mut cache = PrefixCache::new(10_000);
+        // First turn: nothing cached.
+        assert_eq!(cache.lookup(7, 256), 0);
+        cache.insert(7, 256);
+        // Second turn extends the same session's history: the shared 256
+        // tokens (8 blocks) hit.
+        assert_eq!(cache.lookup(7, 512), 256);
+        cache.insert(7, 512);
+        // A different session shares nothing.
+        assert_eq!(cache.lookup(8, 512), 0);
+        // Sub-block prompts neither hit nor insert, and are not counted as
+        // lookups at all.
+        assert_eq!(cache.lookup(9, PREFIX_BLOCK_TOKENS - 1), 0);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hit_tokens, 256);
+        assert_eq!(stats.resident_tokens, 512);
+    }
+
+    #[test]
+    fn prefix_cache_evicts_least_recently_used_leaves() {
+        // Capacity of exactly two blocks.
+        let mut cache = PrefixCache::new(2 * PREFIX_BLOCK_TOKENS);
+        cache.insert(1, PREFIX_BLOCK_TOKENS);
+        cache.insert(2, PREFIX_BLOCK_TOKENS);
+        assert_eq!(cache.stats().resident_tokens, 2 * PREFIX_BLOCK_TOKENS);
+        // Touch session 1 so session 2 is the LRU victim.
+        assert_eq!(cache.lookup(1, PREFIX_BLOCK_TOKENS), PREFIX_BLOCK_TOKENS);
+        cache.insert(3, PREFIX_BLOCK_TOKENS);
+        assert_eq!(cache.stats().resident_tokens, 2 * PREFIX_BLOCK_TOKENS);
+        assert_eq!(cache.lookup(1, PREFIX_BLOCK_TOKENS), PREFIX_BLOCK_TOKENS);
+        assert_eq!(cache.lookup(2, PREFIX_BLOCK_TOKENS), 0, "evicted");
+        assert_eq!(cache.lookup(3, PREFIX_BLOCK_TOKENS), PREFIX_BLOCK_TOKENS);
+    }
+
+    #[test]
+    fn prefix_cache_with_zero_capacity_stays_empty() {
+        let mut cache = PrefixCache::new(0);
+        cache.insert(1, 4096);
+        assert_eq!(cache.stats().resident_tokens, 0);
+        assert_eq!(cache.lookup(1, 4096), 0);
+    }
+
+    #[test]
+    fn sticky_session_pins_and_rehomes_after_replica_down() {
+        let sticky = StickySession::new(Arc::new(crate::router::LeastOutstandingTokens));
+        let mut ctx = RouterCtx::new(0);
+        let views = [view(0, 500), view(1, 20)];
+        let first = Request::new(1, 64, 16).with_session(42);
+        assert_eq!(sticky.route(&first, &views, &mut ctx), ReplicaId(1));
+        // The session stays home even when the load flips.
+        let flipped = [view(0, 0), view(1, 9_000)];
+        let second = Request::new(2, 64, 16).with_session(42);
+        assert_eq!(sticky.route(&second, &flipped, &mut ctx), ReplicaId(1));
+        // Losing the home replica re-homes the session by load.
+        sticky.on_replica_down(ReplicaId(1), Seconds::ZERO, &mut ctx);
+        let third = Request::new(3, 64, 16).with_session(42);
+        assert_eq!(sticky.route(&third, &flipped, &mut ctx), ReplicaId(0));
+    }
+
+    #[test]
+    fn prefix_aware_trades_cache_benefit_against_backlog_and_speed() {
+        let router = PrefixAware::new();
+        let mut ctx = RouterCtx::new(0);
+        // A measured-fast replica beats a backlog-light but slow one.
+        let mut fast = view(0, 4_000);
+        fast.decode_rate = 1_000.0;
+        let mut slow = view(1, 1_000);
+        slow.decode_rate = 10.0;
+        let first = Request::new(1, 256, 16).with_session(5);
+        assert_eq!(router.route(&first, &[fast, slow], &mut ctx), ReplicaId(0));
+        // With a warm cache at home, moderate imbalance doesn't move the
+        // session...
+        let mut home = fast;
+        home.cache_stats = CacheStats {
+            capacity_tokens: 10_000,
+            resident_tokens: 512,
+            hits: 9,
+            misses: 1,
+            hit_tokens: 2_000,
+        };
+        home.outstanding_tokens = 4_800;
+        let mut other = slow;
+        other.decode_rate = 1_000.0;
+        other.outstanding_tokens = 4_000;
+        let second = Request::new(2, 256, 16).with_session(5);
+        assert_eq!(
+            router.route(&second, &[home, other], &mut ctx),
+            ReplicaId(0)
+        );
+        // ...but a massive imbalance outweighs the cache benefit.
+        home.outstanding_tokens = 40_000;
+        let third = Request::new(3, 256, 16).with_session(5);
+        assert_eq!(router.route(&third, &[home, other], &mut ctx), ReplicaId(1));
+    }
+
+    #[test]
+    fn estimated_hit_tokens_is_optimistic_only_when_warm() {
+        let cold = CacheStats::default();
+        assert_eq!(cold.estimated_hit_tokens(1_000), 0);
+        let warm_unobserved = CacheStats {
+            capacity_tokens: 10_000,
+            resident_tokens: 256,
+            ..CacheStats::default()
+        };
+        assert_eq!(warm_unobserved.estimated_hit_tokens(1_000), 1_000);
+        let measured = CacheStats {
+            capacity_tokens: 10_000,
+            resident_tokens: 256,
+            hits: 1,
+            misses: 3,
+            hit_tokens: 64,
+        };
+        assert_eq!(measured.estimated_hit_tokens(1_000), 250);
+        assert_eq!(measured.hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn interconnect_defaults_are_sane() {
+        let ic = InterconnectSpec::default();
+        assert!(ic.bandwidth().as_bytes_per_sec() > 0.0);
+        assert!(ic.latency().as_secs() > 0.0);
+        let starved = InterconnectSpec::new(0.01, Seconds::from_secs(0.05));
+        assert!(starved.bandwidth().as_bytes_per_sec() < ic.bandwidth().as_bytes_per_sec());
+    }
+}

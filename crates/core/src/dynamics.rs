@@ -499,11 +499,9 @@ mod tests {
         ReplicaView {
             id: ReplicaId(id),
             queued_requests: queued,
-            active_requests: 0,
             outstanding_tokens: outstanding,
             kv_capacity: 10_000,
-            kv_projected: 0,
-            oldest_queued_arrival: None,
+            ..ReplicaView::default()
         }
     }
 

@@ -30,6 +30,7 @@ pub use crate::evaluator::{
     EngineError, SystemEvaluation, SystemEvaluator, DEFAULT_SIMULATED_LAYERS,
 };
 
+use crate::disagg::{PrefixCache, ReplicaRole};
 use crate::router::{ReplicaId, ReplicaView};
 use crate::serving::{RoundReport, ServingMode, ServingReport};
 use crate::system::SystemKind;
@@ -130,6 +131,29 @@ pub struct ReplicaEngine {
     pub(crate) mode: ServingMode,
     pub(crate) node_desc: String,
     pub(crate) lifecycle: Lifecycle,
+    /// The disaggregated pool this replica serves in ([`ReplicaRole::Unified`]
+    /// outside disaggregated runs). The engine itself is role-oblivious — the
+    /// fleet layer routes arrivals and migrations by role; the only
+    /// engine-side effect is which requests are ever offered here.
+    pub(crate) role: ReplicaRole,
+    /// Per-replica prefix cache, when the cluster enables one. Consulted at
+    /// [`Self::enqueue`] (a hit credits the matched tokens) and fed at
+    /// admission; `None` keeps the costing bit-for-bit the classic
+    /// full-prefill path.
+    pub(crate) prefix_cache: Option<PrefixCache>,
+    /// Prefill tokens already resident per queued request id — from a prefix
+    /// cache hit or a completed KV migration. Consumed (removed) at
+    /// admission, where the credited tokens are skipped in prefill costing
+    /// only: decode still pays the full context. Dropped for requests a
+    /// `fail`/`begin_drain` returns, so a re-route never carries credit for
+    /// KV that lives on the replica it left.
+    prefill_credit: HashMap<u64, u64>,
+    /// KV tokens reserved for migrations in flight to this replica; held in
+    /// the router-visible projection so nobody over-commits the headroom.
+    kv_migrating_in: u64,
+    /// EWMA of the replica's decode rate in tokens/s (zero until the first
+    /// decode step) — the router-visible speed signal.
+    decode_rate: f64,
     // Dynamic state.
     clock: Seconds,
     segment_start: Seconds,
@@ -210,6 +234,11 @@ impl ReplicaEngine {
             mode,
             node_desc,
             lifecycle: Lifecycle::Serving,
+            role: ReplicaRole::Unified,
+            prefix_cache: None,
+            prefill_credit: HashMap::new(),
+            kv_migrating_in: 0,
+            decode_rate: 0.0,
             clock: Seconds::ZERO,
             segment_start: Seconds::ZERO,
             step: Seconds::ZERO,
@@ -363,17 +392,46 @@ impl ReplicaEngine {
         self.pending_admission = None;
         self.lifecycle = Lifecycle::Departed { at: t };
         lost.sort_by_key(|r| r.id);
+        // Prefill credits point at KV that died with the replica: a re-routed
+        // request pays its full prefill wherever it lands.
+        for r in &lost {
+            self.prefill_credit.remove(&r.id);
+        }
         lost
     }
 
     /// Starts a graceful drain at time `t`: the replica takes no new work (the
     /// dispatch engine stops offering it) and returns its queued-but-unadmitted
-    /// requests for re-routing; in-flight work finishes normally.
+    /// requests for re-routing; in-flight work finishes normally. The
+    /// returned requests' prefill credits are dropped (their cached KV stays
+    /// behind) and every queue aggregate the router-visible view reads
+    /// (`outstanding_tokens`, projected KV, `oldest_queued_arrival`) is
+    /// recomputed here, so an admission controller consulted at the drain
+    /// instant never screens against the frozen pre-drain snapshot.
     pub(crate) fn begin_drain(&mut self, t: Seconds) -> Vec<Request> {
         self.lifecycle = Lifecycle::Draining { since: t };
         self.pending_admission = None;
         self.settle_ready();
-        self.take_ready()
+        let returned = self.take_ready();
+        for r in &returned {
+            self.prefill_credit.remove(&r.id);
+        }
+        debug_assert!(
+            self.ready_tokens == 0 && self.ready_gen == 0 && self.ready_oldest.is_none(),
+            "begin_drain must leave the view's queue aggregates zeroed"
+        );
+        returned
+    }
+
+    /// Reserves KV headroom for a migration in flight to this replica: the
+    /// tokens appear in the router-visible projection for the whole transfer.
+    pub(crate) fn reserve_migration(&mut self, tokens: u64) {
+        self.kv_migrating_in += tokens;
+    }
+
+    /// Releases a migration reservation (the transfer landed or was lost).
+    pub(crate) fn release_migration(&mut self, tokens: u64) {
+        self.kv_migrating_in = self.kv_migrating_in.saturating_sub(tokens);
     }
 
     /// Whether the request could ever be admitted here: its own prompt +
@@ -409,7 +467,14 @@ impl ReplicaEngine {
             active_requests,
             outstanding_tokens: self.ready_tokens + active_tokens,
             kv_capacity: self.kv_capacity(),
-            kv_projected: kv_active + self.ready_tokens,
+            kv_projected: kv_active + self.ready_tokens + self.kv_migrating_in,
+            kv_migrating_in: self.kv_migrating_in,
+            decode_rate: self.decode_rate,
+            cache_stats: self
+                .prefix_cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
             oldest_queued_arrival: self.ready_oldest,
         }
     }
@@ -486,8 +551,32 @@ impl ReplicaEngine {
     /// Accepts a routed request at time `now`, arming the next admission
     /// event: immediately when the pipeline is idle, at the next
     /// decode-step boundary mid-flight (continuous mode), or at the current
-    /// round's retirement (round-to-completion).
+    /// round's retirement (round-to-completion). When the replica carries a
+    /// prefix cache, the request's longest cached session prefix is credited
+    /// here — those tokens are skipped at prefill costing.
     pub fn enqueue(&mut self, request: Request, now: Seconds) {
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            let credit = cache.lookup(request.session_id, request.input_len);
+            if credit > 0 {
+                self.prefill_credit.insert(request.id, credit);
+            }
+        }
+        self.enqueue_uncredited(request, now);
+    }
+
+    /// Accepts a request whose first `credit` prompt tokens are already
+    /// resident here (a completed KV migration): they are skipped at prefill
+    /// costing, on top of nothing — a migrated request never double-credits
+    /// through the prefix cache.
+    pub(crate) fn enqueue_prefilled(&mut self, request: Request, credit: u64, now: Seconds) {
+        let credit = credit.min(request.input_len);
+        if credit > 0 {
+            self.prefill_credit.insert(request.id, credit);
+        }
+        self.enqueue_uncredited(request, now);
+    }
+
+    fn enqueue_uncredited(&mut self, request: Request, now: Seconds) {
         self.push_ready(request);
         let effective = now.max(self.clock);
         let at = match self.mode {
@@ -783,14 +872,23 @@ impl ReplicaEngine {
             .map(|r| r.gen_len)
             .max()
             .unwrap_or(0);
-        let mean_prompt = prompt.div_ceil(count).max(1);
+        // Credited tokens (prefix-cache hits, migrated KV) are already
+        // resident and skip the prompt pass; with no credit the shape below
+        // is bit-for-bit the classic full-prefill costing. Decode is
+        // untouched either way — the full context still occupies KV.
+        let credited = self.credit_admitted(fill.assignments.iter().flatten());
+        let to_prefill = prompt.saturating_sub(credited);
+        let mean_prompt = to_prefill.div_ceil(count).max(1);
         let shape = WorkloadShape::new(mean_prompt, max_gen.max(1));
         let policy = Policy {
             batch_size: count,
             micro_batch_size: self.policy.micro_batch_size.min(count),
             ..self.policy
         };
-        let prefill = if self.active.is_empty() {
+        let prefill = if credited >= prompt && credited > 0 {
+            // Every admitted prompt is fully resident: no prompt pass runs.
+            Seconds::ZERO
+        } else if self.active.is_empty() {
             self.evaluator.cost_model().prefill_time(&policy, &shape)
         } else {
             self.evaluator
@@ -861,6 +959,43 @@ impl ReplicaEngine {
         Ok(true)
     }
 
+    /// EWMA weight of the newest observation in the router-visible decode
+    /// rate.
+    const DECODE_RATE_ALPHA: f64 = 0.3;
+
+    /// Folds one decode-step observation (`concurrent` requests each
+    /// producing a token per `step`) into the router-visible EWMA rate.
+    fn note_decode_rate(&mut self, step: Seconds, concurrent: u64) {
+        if concurrent == 0 || step.as_secs() <= 0.0 {
+            return;
+        }
+        let inst = concurrent as f64 / step.as_secs();
+        self.decode_rate = if self.decode_rate > 0.0 {
+            Self::DECODE_RATE_ALPHA * inst + (1.0 - Self::DECODE_RATE_ALPHA) * self.decode_rate
+        } else {
+            inst
+        };
+    }
+
+    /// Consumes the admitted requests' prefill credits (prefix-cache hits or
+    /// migrated KV, capped per request at its prompt length) and records each
+    /// admitted prompt in the prefix cache; returns the total credited
+    /// tokens.
+    fn credit_admitted<'a>(&mut self, admitted: impl Iterator<Item = &'a Request> + Clone) -> u64 {
+        let mut credited = 0;
+        for r in admitted.clone() {
+            if let Some(c) = self.prefill_credit.remove(&r.id) {
+                credited += c.min(r.input_len);
+            }
+        }
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            for r in admitted {
+                cache.insert(r.session_id, r.input_len);
+            }
+        }
+        credited
+    }
+
     /// Re-derives the decode-step latency for the current occupancy and KV
     /// load, resetting the segment origin (memoized like the single-node
     /// loop).
@@ -886,6 +1021,7 @@ impl ReplicaEngine {
         if let Some(&step) = self.step_memo.get(&key) {
             self.step = step;
             self.recent_step = Some((step, self.active.len() as u64));
+            self.note_decode_rate(step, self.active.len() as u64);
             return Ok(());
         }
         let total_active = self.active.len() as u64;
@@ -914,6 +1050,7 @@ impl ReplicaEngine {
         self.step_memo.insert(key, step);
         self.step = step;
         self.recent_step = Some((step, self.active.len() as u64));
+        self.note_decode_rate(step, self.active.len() as u64);
         Ok(())
     }
 
@@ -1021,7 +1158,26 @@ impl ReplicaEngine {
                 s
             }
         };
-        let prefill_time = self.evaluator.cost_model().prefill_time(&policy, &shape);
+        // Credited tokens skip the prompt pass only; the decode step above
+        // was costed on the full context, which still occupies KV here.
+        let credited = self.credit_admitted(
+            formed
+                .micro_batches
+                .iter()
+                .flat_map(|mb| mb.requests.iter()),
+        );
+        let prefill_time = if credited >= prompt_tokens && credited > 0 {
+            Seconds::ZERO
+        } else if credited == 0 {
+            self.evaluator.cost_model().prefill_time(&policy, &shape)
+        } else {
+            let to_prefill = prompt_tokens - credited;
+            let prefill_shape =
+                WorkloadShape::new(to_prefill.div_ceil(requests).max(1), max_gen.max(1));
+            self.evaluator
+                .cost_model()
+                .prefill_time(&policy, &prefill_shape)
+        };
         let decode_time = step.scale(max_gen as f64);
         // Every request's completion instant is known at admission; each is
         // released (latency recorded, router told) at its own step instead of
@@ -1053,6 +1209,7 @@ impl ReplicaEngine {
         self.round_end = Some(self.clock + prefill_time + decode_time);
         self.round_step = step;
         self.recent_step = Some((step, requests));
+        self.note_decode_rate(step, requests);
         let report = BatchRunReport {
             requests,
             prompt_tokens,

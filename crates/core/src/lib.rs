@@ -20,6 +20,10 @@
 //! * [`dynamics`] — the fleet control plane: injected failures/drains/joins
 //!   ([`dynamics::FleetTimeline`]), autoscaling ([`dynamics::Autoscaler`]) and
 //!   SLO admission control ([`dynamics::AdmissionController`]) executed mid-run.
+//! * [`disagg`] — disaggregated prefill/decode pools with priced KV migration
+//!   ([`disagg::ReplicaRole`], [`disagg::InterconnectSpec`]), per-replica
+//!   prefix caches ([`disagg::PrefixCache`]) and cache/session/speed-aware
+//!   routing ([`disagg::StickySession`], [`disagg::PrefixAware`]).
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod disagg;
 pub mod dynamics;
 pub mod engine;
 pub mod evaluator;
@@ -54,6 +59,9 @@ pub use cluster::{
     builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, ClusterSpecError, KvAware,
     LeastOutstandingTokens, PowerOfTwoChoices, ReplicaId, ReplicaReport, ReplicaSpec, ReplicaView,
     RoundRobin, Router, RouterCtx, SloSpec,
+};
+pub use disagg::{
+    CacheStats, InterconnectSpec, PrefixAware, PrefixCache, ReplicaRole, StickySession,
 };
 pub use dynamics::{
     AdmissionController, AdmitAll, Autoscaler, AvailabilityReport, FleetAction, FleetTimeline,

@@ -10,6 +10,7 @@
 //! lives in [`crate::cluster`]; the per-replica state the views are snapshots
 //! of lives in [`crate::engine`].
 
+use crate::disagg::CacheStats;
 use moe_hardware::Seconds;
 use moe_workload::Request;
 use rand::rngs::StdRng;
@@ -36,7 +37,7 @@ impl fmt::Display for ReplicaId {
 /// Router-visible snapshot of one replica at a routing decision: the request
 /// metadata a production front-end could actually observe (queue depths,
 /// outstanding work, projected KV usage) — never the simulator's internals.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ReplicaView {
     /// The replica this view describes.
     pub id: ReplicaId,
@@ -52,8 +53,23 @@ pub struct ReplicaView {
     /// its policy's capacity plan.
     pub kv_capacity: u64,
     /// KV tokens already reserved by active requests plus the end-of-generation
-    /// projection of everything queued.
+    /// projection of everything queued — including headroom held for KV
+    /// slices currently migrating in ([`Self::kv_migrating_in`]).
     pub kv_projected: u64,
+    /// KV tokens reserved for in-flight migrations headed here (disaggregated
+    /// serving): the destination holds headroom from the moment the transfer
+    /// starts, so routers never over-commit a replica that is about to
+    /// receive migrated context. Zero outside disaggregated runs.
+    pub kv_migrating_in: u64,
+    /// Measured decode rate in tokens per second — an EWMA over the replica's
+    /// recent decode steps, zero until the first step completes. The
+    /// speed-aware routing signal: backlog alone cannot distinguish a loaded
+    /// fast replica from an idle slow one.
+    pub decode_rate: f64,
+    /// Snapshot of the replica's prefix-cache statistics (zeroed when the
+    /// replica has no cache) — the signal [`crate::disagg::PrefixAware`]
+    /// scores placements with.
+    pub cache_stats: CacheStats,
     /// Arrival time of the oldest request routed here but not yet admitted —
     /// the head-of-queue age a production front-end tracks. `None` when
     /// nothing is queued. Lets autoscalers spot requests that are *already*
@@ -505,12 +521,10 @@ mod tests {
     fn view(id: usize, outstanding: u64, headroom: u64) -> ReplicaView {
         ReplicaView {
             id: ReplicaId(id),
-            queued_requests: 0,
-            active_requests: 0,
             outstanding_tokens: outstanding,
             kv_capacity: 10_000,
             kv_projected: 10_000 - headroom,
-            oldest_queued_arrival: None,
+            ..ReplicaView::default()
         }
     }
 
@@ -596,6 +610,7 @@ mod tests {
             kv_capacity: 1000,
             kv_projected: 1200,
             oldest_queued_arrival: Some(Seconds::from_secs(3.0)),
+            ..ReplicaView::default()
         };
         assert_eq!(v.outstanding_requests(), 7);
         assert_eq!(v.kv_headroom(), 0, "over-commit saturates at zero");

@@ -212,6 +212,17 @@ impl CostModel {
         bytes / self.h2d() + self.link_latency()
     }
 
+    /// Replica↔replica migration of `context_len` tokens of KV cache over the
+    /// serving interconnect: the cross-replica hop of a disaggregated
+    /// prefill→decode handoff. Where [`Self::kv_transfer`] prices the CPU↔GPU
+    /// hop *inside* one replica (transfer D4), this prices the full KV slice
+    /// (every layer) moving between replicas at the interconnect's `bandwidth`
+    /// plus one per-transfer `latency` charge. Charged on the fleet's global
+    /// clock by the disaggregation layer.
+    pub fn kv_migrate(&self, context_len: u64, bandwidth: Bandwidth, latency: Seconds) -> Seconds {
+        self.model.kv_bytes_per_token() * context_len / bandwidth + latency
+    }
+
     /// Host-side copy from pageable DRAM into the pinned staging buffer.
     pub fn pinned_copy(&self, bytes: ByteSize) -> Seconds {
         bytes / self.cpu_bw()
@@ -383,6 +394,22 @@ mod tests {
 
     fn mtbench() -> WorkloadShape {
         WorkloadShape::new(77, 128)
+    }
+
+    #[test]
+    fn kv_migrate_scales_with_context_and_pays_the_latency_floor() {
+        let cm = s1_cost();
+        let bw = Bandwidth::from_gb_per_sec(64.0);
+        let latency = Seconds::from_micros(5.0);
+        let short = cm.kv_migrate(128, bw, latency);
+        let long = cm.kv_migrate(4096, bw, latency);
+        assert!(long > short, "more KV tokens must take longer to migrate");
+        // Zero tokens still pays the per-transfer latency.
+        assert_eq!(cm.kv_migrate(0, bw, latency), latency);
+        // A starved interconnect dominates: 1000x less bandwidth is ~1000x
+        // slower once the transfer dwarfs the latency floor.
+        let starved = cm.kv_migrate(4096, Bandwidth::from_gb_per_sec(0.064), latency);
+        assert!(starved.as_secs() > 100.0 * long.as_secs());
     }
 
     #[test]

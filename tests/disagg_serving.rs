@@ -1,0 +1,341 @@
+//! End-to-end tests of disaggregated prefill/decode serving (ISSUE 9):
+//! exactly-once request conservation under churn on split fleets for every
+//! built-in router in both serving modes, indexed==reference loop equivalence
+//! in disaggregated dispatch, migration latency landing on the TTFT path,
+//! prefix-cache + session-sticky routing accounting, and a property sweep
+//! over random pool splits.
+
+use moe_lightning::{
+    builtin_routers, ClusterEvaluator, ClusterReport, ClusterSpec, EvalSetting, FleetTimeline,
+    InterconnectSpec, LeastOutstandingTokens, NodeSpec, Policy, PrefixAware, ReplicaId,
+    ReplicaRole, ReplicaSpec, Router, Seconds, ServingMode, StickySession, SystemKind,
+};
+use moe_workload::{ArrivalProcess, GenLens, Request, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MODES: [ServingMode; 2] = [ServingMode::RoundToCompletion, ServingMode::Continuous];
+
+fn evaluator() -> ClusterEvaluator {
+    ClusterEvaluator::new(EvalSetting::S1.model())
+}
+
+fn reference() -> ClusterEvaluator {
+    evaluator().with_reference_loop()
+}
+
+fn secs(s: f64) -> Seconds {
+    Seconds::from_secs(s)
+}
+
+fn policy() -> Policy {
+    Policy::offload_default(64, 16)
+}
+
+/// A 4-replica T4 fleet split `prefill` prefill + rest decode (or fully
+/// unified at `prefill == 0`), under online Poisson load.
+fn split_fleet(prefill: usize, count: usize, seed: u64, mode: ServingMode) -> ClusterSpec {
+    let node = NodeSpec::t4_single();
+    let mut spec = ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+        .with_count(count)
+        .with_mixed_gen_lens()
+        .with_seed(seed)
+        .with_mode(mode)
+        .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 2.0 });
+    for i in 0..4 {
+        let role = if prefill == 0 {
+            ReplicaRole::Unified
+        } else if i < prefill {
+            ReplicaRole::Prefill
+        } else {
+            ReplicaRole::Decode
+        };
+        spec = spec.with_replica(
+            ReplicaSpec::new(node.clone())
+                .with_policy(policy())
+                .with_role(role),
+        );
+    }
+    spec
+}
+
+/// Every synthesized request must land in exactly one of served / aborted /
+/// rejected, exactly once, with token accounting intact.
+fn assert_conserved(report: &ClusterReport, count: usize, label: &str) {
+    let mut ids: Vec<u64> = report
+        .replicas
+        .iter()
+        .flat_map(|r| {
+            r.report
+                .latencies
+                .iter()
+                .map(|l| l.request.id)
+                .chain(r.report.aborted.iter().map(|req| req.id))
+        })
+        .chain(report.fleet_aborted.iter().map(|req| req.id))
+        .chain(report.availability.rejected.iter().map(|req| req.id))
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..count as u64).collect::<Vec<u64>>(),
+        "{label}: completed + rejected + aborted must equal arrived, exactly once"
+    );
+    let generated: u64 = report
+        .replicas
+        .iter()
+        .flat_map(|r| r.report.latencies.iter())
+        .map(|l| l.request.gen_len)
+        .sum();
+    assert_eq!(
+        report.totals.generated_tokens, generated,
+        "{label}: handoff stubs must not leave phantom generated tokens"
+    );
+}
+
+fn assert_reports_identical(a: &ClusterReport, b: &ClusterReport, label: &str) {
+    assert_eq!(
+        a.availability, b.availability,
+        "{label}: availability accounting diverged"
+    );
+    assert_eq!(a.totals, b.totals, "{label}: fleet totals diverged");
+    assert_eq!(a, b, "{label}: reports diverged");
+}
+
+/// Exactly-once accounting on a disaggregated 2p+2d fleet under full churn —
+/// a decode failure (losing in-flight migrated KV), a delayed unified join
+/// and a prefill drain — for every built-in router in both serving modes.
+#[test]
+fn disagg_churn_conserves_every_request_for_every_router_in_both_modes() {
+    let eval = evaluator();
+    for mode in MODES {
+        for router in builtin_routers() {
+            let name = router.name();
+            let spec = split_fleet(2, 400, 17, mode)
+                .with_router(router)
+                .with_timeline(
+                    FleetTimeline::new()
+                        .fail_at(secs(50.0), ReplicaId(3))
+                        .join_at(secs(60.0), ReplicaSpec::new(NodeSpec::t4_single()))
+                        .drain_at(secs(90.0), ReplicaId(0))
+                        .with_provisioning_delay(secs(20.0)),
+                );
+            let report = eval.run(&spec).unwrap();
+            assert_conserved(&report, 400, &format!("{name} [{mode}]"));
+            assert_eq!(
+                report.availability.failures,
+                vec![(ReplicaId(3), secs(50.0))],
+                "{name} [{mode}]"
+            );
+            assert!(
+                !report.availability.rerouted.is_empty(),
+                "{name} [{mode}]: losing a decode replica mid-run must re-route work"
+            );
+        }
+    }
+}
+
+/// The indexed fleet loop must reproduce the reference scan loop bit-for-bit
+/// in disaggregated dispatch (where migrations force per-event stepping),
+/// for every built-in router in both serving modes.
+#[test]
+fn indexed_loop_matches_reference_in_disagg_mode() {
+    for mode in MODES {
+        for router in builtin_routers() {
+            let name = router.name();
+            let want = reference()
+                .run(&split_fleet(1, 200, 11, mode).with_router(router.clone()))
+                .unwrap();
+            let got = evaluator()
+                .run(&split_fleet(1, 200, 11, mode).with_router(router))
+                .unwrap();
+            assert_reports_identical(&want, &got, &format!("{name} [{mode}] disagg"));
+        }
+    }
+}
+
+/// Prefill replicas do real prompt work but never deliver a generation:
+/// after handoff scrubbing, every served latency lives on a decode replica.
+#[test]
+fn prefill_replicas_deliver_no_generations() {
+    let report = evaluator()
+        .run(&split_fleet(2, 200, 11, ServingMode::Continuous))
+        .unwrap();
+    assert_conserved(&report, 200, "2p+2d");
+    for prefill in &report.replicas[..2] {
+        assert!(
+            prefill.report.latencies.is_empty(),
+            "replica {:?} is prefill-only: its stub completions are plumbing, \
+             not served requests",
+            prefill.id
+        );
+    }
+    let decode_served: usize = report.replicas[2..]
+        .iter()
+        .map(|r| r.report.served_requests())
+        .sum();
+    assert_eq!(decode_served, report.served_requests());
+    assert!(decode_served > 0, "the decode pool must actually serve");
+}
+
+/// KV migration is priced on the fleet interconnect and lands on the TTFT
+/// path: the same split fleet on a starved link has strictly worse first-token
+/// latency than on the default RDMA-class fabric, while a unified fleet is
+/// indifferent to the link (it never migrates).
+#[test]
+fn migration_latency_lands_on_the_ttft_path() {
+    let eval = evaluator();
+    let fast = eval
+        .run(&split_fleet(2, 200, 11, ServingMode::Continuous))
+        .unwrap();
+    let starved_link = InterconnectSpec::new(0.005, secs(2.0));
+    let starved = eval
+        .run(&split_fleet(2, 200, 11, ServingMode::Continuous).with_interconnect(starved_link))
+        .unwrap();
+    assert!(
+        starved.ttft().p50 > fast.ttft().p50 + secs(1.0),
+        "a 2 s/transfer link must add at least its latency floor to median \
+         TTFT: {:.2}s vs {:.2}s",
+        starved.ttft().p50.as_secs(),
+        fast.ttft().p50.as_secs()
+    );
+    assert_conserved(&starved, 200, "starved link");
+    let unified_fast = eval
+        .run(&split_fleet(0, 200, 11, ServingMode::Continuous))
+        .unwrap();
+    let unified_starved = eval
+        .run(&split_fleet(0, 200, 11, ServingMode::Continuous).with_interconnect(starved_link))
+        .unwrap();
+    assert_eq!(
+        unified_fast, unified_starved,
+        "a unified fleet never touches the interconnect"
+    );
+}
+
+/// The multi-turn session queue: `count` requests re-sessioned into
+/// `count / turns` conversations, preserving the calibrated arrival stamps.
+fn session_queue(count: usize, turns: u64, seed: u64) -> Vec<Request> {
+    WorkloadSpec::mtbench()
+        .synthesize_queue(
+            count,
+            GenLens::Uniform(64),
+            seed,
+            false,
+            &ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+        )
+        .into_iter()
+        .map(|r| {
+            let session = r.id / turns;
+            r.with_session(session)
+        })
+        .collect()
+}
+
+/// Prefix caches + session-affine routing: sticky and prefix-aware routers
+/// actually produce cache hits on a multi-turn queue, accounting stays
+/// exactly-once, and cached prefill never changes *what* is generated — only
+/// how fast the prompt side goes.
+#[test]
+fn prefix_caches_hit_under_session_affine_routing() {
+    let eval = evaluator();
+    let queue = session_queue(240, 8, 29);
+    let base = || {
+        split_fleet(0, 240, 29, ServingMode::Continuous)
+            .with_queue(queue.clone())
+            .with_prefix_cache(64 * 1024)
+    };
+    // Fresh router instances per run: session maps are stateful.
+    let routers: Vec<(&str, Arc<dyn Router>)> = vec![
+        (
+            "sticky-session",
+            Arc::new(StickySession::new(Arc::new(LeastOutstandingTokens))),
+        ),
+        ("prefix-aware", Arc::new(PrefixAware::new())),
+    ];
+    let uncached = eval
+        .run(
+            &split_fleet(0, 240, 29, ServingMode::Continuous)
+                .with_queue(queue.clone())
+                .with_router(Arc::new(StickySession::new(Arc::new(
+                    LeastOutstandingTokens,
+                )))),
+        )
+        .unwrap();
+    assert!(
+        uncached.replicas.iter().all(|r| r.cache.is_none()),
+        "no cache configured, none reported"
+    );
+    for (name, router) in routers {
+        let report = eval.run(&base().with_router(router)).unwrap();
+        assert_conserved(&report, 240, name);
+        let stats: Vec<_> = report
+            .replicas
+            .iter()
+            .map(|r| r.cache.expect("every replica carries a cache"))
+            .collect();
+        let hits: u64 = stats.iter().map(|s| s.hits).sum();
+        let hit_tokens: u64 = stats.iter().map(|s| s.hit_tokens).sum();
+        assert!(
+            hits > 0 && hit_tokens > 0,
+            "{name}: an 8-turn session queue must produce prefix hits"
+        );
+        assert!(
+            stats.iter().all(|s| s.resident_tokens <= s.capacity_tokens),
+            "{name}: eviction must keep every cache within capacity"
+        );
+        assert_eq!(
+            report.totals.generated_tokens, uncached.totals.generated_tokens,
+            "{name}: cached prefill skips prompt tokens, never generated ones"
+        );
+    }
+}
+
+/// Disaggregation composes with prefix caches and sticky routing without
+/// breaking conservation or loop equivalence.
+#[test]
+fn disagg_with_caches_and_sticky_routing_stays_conserved_and_equivalent() {
+    let queue = session_queue(200, 8, 31);
+    let spec = || {
+        split_fleet(1, 200, 31, ServingMode::Continuous)
+            .with_queue(queue.clone())
+            .with_prefix_cache(64 * 1024)
+            .with_router(Arc::new(StickySession::new(Arc::new(
+                LeastOutstandingTokens,
+            ))))
+    };
+    let want = reference().run(&spec()).unwrap();
+    let got = evaluator().run(&spec()).unwrap();
+    assert_reports_identical(&want, &got, "disagg + cache + sticky");
+    assert_conserved(&got, 200, "disagg + cache + sticky");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form: over random seeds, pool splits, loads and serving
+    /// modes, disaggregated fleets conserve every request exactly once and
+    /// the indexed loop matches the reference loop.
+    #[test]
+    fn disagg_conservation_and_equivalence_on_random_splits(
+        seed in 0u64..1000,
+        prefill in 1usize..4,
+        count in 50usize..150,
+        rate_x10 in 5u64..30,
+        mode_seed in 0u8..2,
+    ) {
+        let mode = if mode_seed == 0 {
+            ServingMode::RoundToCompletion
+        } else {
+            ServingMode::Continuous
+        };
+        let spec = || {
+            split_fleet(prefill, count, seed, mode).with_arrivals(ArrivalProcess::Poisson {
+                rate_per_sec: rate_x10 as f64 / 10.0,
+            })
+        };
+        let want = reference().run(&spec()).unwrap();
+        let got = evaluator().run(&spec()).unwrap();
+        prop_assert_eq!(&want, &got);
+        assert_conserved(&got, count, "random split");
+    }
+}

@@ -376,6 +376,45 @@ fn slo_admission_rejects_hopeless_arrivals_under_overload() {
     );
 }
 
+/// Regression for the begin-drain view fix (ISSUE 9 satellite): a drain must
+/// leave the drained replica's router-visible view coherent — admission
+/// projections and routing after the drain run on recomputed queue state, so
+/// an `SloAdmission`-gated run with a mid-run drain produces the identical
+/// report on the indexed and reference loops, with conservation intact.
+#[test]
+fn slo_admission_with_a_drain_matches_across_loops() {
+    let slo = SloSpec {
+        ttft: secs(120.0),
+        per_token: secs(1e9),
+    };
+    let spec = || {
+        ClusterSpec::homogeneous(
+            SystemKind::MoeLightning,
+            WorkloadSpec::mtbench(),
+            &NodeSpec::t4_single(),
+            3,
+        )
+        .with_count(300)
+        .with_gen_len(64)
+        .with_seed(11)
+        .with_mode(ServingMode::Continuous)
+        .with_arrivals(ArrivalProcess::Poisson { rate_per_sec: 2.0 })
+        .with_slo(slo)
+        .with_admission(Arc::new(SloAdmission::new(slo)))
+        .with_timeline(FleetTimeline::new().drain_at(secs(40.0), ReplicaId(1)))
+    };
+    let eval = cluster_evaluator();
+    let reference = eval.clone().with_reference_loop();
+    let want = reference.run(&spec()).unwrap();
+    let got = eval.run(&spec()).unwrap();
+    assert_eq!(
+        want, got,
+        "indexed and reference loops diverged after drain"
+    );
+    assert_eq!(got.total_requests(), 300);
+    assert_eq!(got.availability.drains, vec![(ReplicaId(1), secs(40.0))]);
+}
+
 /// Fleet-scaled arrivals on a *static* fleet reproduce the pre-scaled
 /// stamping exactly; the spec-level axis only changes behaviour once the
 /// fleet actually churns.

@@ -9,8 +9,9 @@
 //! arrivals, and the single-node path.
 
 use moe_lightning::{
-    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, PowerOfTwoChoices, Router,
-    ServeSpec, ServingMode, SystemEvaluator, SystemKind,
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, PowerOfTwoChoices,
+    ReplicaRole, ReplicaSpec, Router, ServeSpec, ServingMode, StickySession, SystemEvaluator,
+    SystemKind,
 };
 use moe_trace::{Trace, TraceRecorder};
 use moe_workload::{ArrivalProcess, WorkloadSpec};
@@ -96,6 +97,76 @@ fn replay_reproduces_fleet_scaled_lazily_stamped_arrivals() {
     );
     let replayed = evaluator.run(&replay_spec).unwrap();
     assert_eq!(replayed, original);
+}
+
+/// Record→replay stays bit-for-bit with the ISSUE 9 serving features on:
+/// sticky-session routing, per-replica prefix caches, multi-turn sessions
+/// and a disaggregated prefill/decode split. The session ids ride the trace
+/// format, and each run gets a fresh router instance (session maps are
+/// stateful), so the replay reconstructs the same placements.
+#[test]
+fn replay_reproduces_disagg_fleets_with_sticky_sessions_and_prefix_caches() {
+    let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
+    let queue: Vec<_> = WorkloadSpec::mtbench()
+        .synthesize_queue(
+            COUNT,
+            moe_workload::GenLens::Uniform(64),
+            SEED,
+            false,
+            &ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+        )
+        .into_iter()
+        .map(|r| {
+            let session = r.id / 6;
+            r.with_session(session)
+        })
+        .collect();
+    let spec = |router: Arc<dyn Router>| {
+        let node = EvalSetting::S1.node();
+        ClusterSpec::new(SystemKind::MoeLightning, WorkloadSpec::mtbench())
+            .with_replica(ReplicaSpec::new(node.clone()).with_role(ReplicaRole::Prefill))
+            .with_replica(ReplicaSpec::new(node.clone()).with_role(ReplicaRole::Decode))
+            .with_replica(ReplicaSpec::new(node).with_role(ReplicaRole::Decode))
+            .with_seed(SEED)
+            .with_mode(ServingMode::Continuous)
+            .with_prefix_cache(64 * 1024)
+            .with_router(router)
+    };
+    let sticky =
+        || -> Arc<dyn Router> { Arc::new(StickySession::new(Arc::new(LeastOutstandingTokens))) };
+
+    let recorder = Arc::new(TraceRecorder::new());
+    let original = evaluator
+        .run(
+            &spec(sticky())
+                .with_queue(queue.clone())
+                .with_tap(Arc::clone(&recorder) as _),
+        )
+        .unwrap();
+    assert_eq!(recorder.len(), original.total_requests());
+
+    let trace = Trace::parse(&recorder.trace().render()).unwrap();
+    assert_eq!(
+        trace.stats().sessions,
+        COUNT.div_ceil(6),
+        "session ids must survive the text format"
+    );
+    let replayed = evaluator
+        .run(&trace.replay_into_cluster(spec(sticky())))
+        .unwrap();
+    assert_eq!(
+        replayed, original,
+        "replay must reproduce the disagg + cache + sticky report bit-for-bit"
+    );
+    assert!(
+        replayed
+            .replicas
+            .iter()
+            .map(|r| r.cache.expect("caches configured").hits)
+            .sum::<u64>()
+            > 0,
+        "the multi-turn queue must actually exercise the caches"
+    );
 }
 
 #[test]
