@@ -4,10 +4,9 @@
 //! token-balanced placement) is compared against the length-blind
 //! `TokenBudget` port at 1k and 8k request queues, so scheduler and router
 //! changes have a perf baseline. A fleet-scale case benches the whole
-//! cluster loop (indexed vs reference scan) at a 256-replica fleet, and a
-//! single-node case benches the engine-backed `ServingSession::serve`
-//! against the preserved legacy loops (the ISSUE 7 rebase must not be
-//! slower).
+//! cluster loop (indexed vs linear scan) at a 256-replica fleet, and a
+//! single-node case benches the engine-backed `ServingSession::serve` in
+//! both serving modes.
 //!
 //! Run with `cargo bench -p moe-bench --bench scheduler_hot_path`.
 
@@ -79,7 +78,7 @@ fn bench_backfill(c: &mut Criterion) {
 
 /// Fleet-scale serving: 256 T4 replicas draining 4096 Poisson arrivals under
 /// least-outstanding-tokens routing. `indexed` is the production loop (event
-/// heap + router index + sharded stepping); `reference` is the O(fleet)
+/// heap + router index + sharded stepping); `scan` is the O(fleet)
 /// per-event scan it replaced — the pair tracks the cluster-loop speedup.
 fn bench_fleet_loop(c: &mut Criterion) {
     let spec = || {
@@ -103,17 +102,16 @@ fn bench_fleet_loop(c: &mut Criterion) {
         let spec = spec();
         b.iter(|| eval.run(&spec).unwrap().served_requests())
     });
-    c.bench_function("fleet/reference/256x4096", |b| {
-        let eval = ClusterEvaluator::new(EvalSetting::S1.model()).with_reference_loop();
+    c.bench_function("fleet/scan/256x4096", |b| {
+        let eval = ClusterEvaluator::new(EvalSetting::S1.model()).with_scan_loop();
         let spec = spec();
         b.iter(|| eval.run(&spec).unwrap().served_requests())
     });
 }
 
 /// Single-node serving: the engine-backed `ServingSession::serve` (one
-/// `ReplicaEngine` driven by arrival interleaving) against the pre-refactor
-/// loops preserved in `moe_lightning::reference`, in both serving modes on a
-/// 1k mixed-generation Poisson queue.
+/// `ReplicaEngine` driven by arrival interleaving), in both serving modes on
+/// a 1k mixed-generation Poisson queue.
 fn bench_single_node(c: &mut Criterion) {
     let eval = SystemEvaluator::new(EvalSetting::S1.node(), EvalSetting::S1.model());
     let workload = WorkloadSpec::mtbench();
@@ -125,13 +123,6 @@ fn bench_single_node(c: &mut Criterion) {
             .with_mode(mode);
         c.bench_function(&format!("single_node/engine/{}/1000", mode.label()), |b| {
             b.iter(|| session.serve(requests.clone()).unwrap().served_requests())
-        });
-        c.bench_function(&format!("single_node/legacy/{}/1000", mode.label()), |b| {
-            b.iter(|| {
-                moe_lightning::reference::serve(&session, requests.clone())
-                    .unwrap()
-                    .served_requests()
-            })
         });
     }
 }

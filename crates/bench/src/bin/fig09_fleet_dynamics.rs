@@ -15,6 +15,9 @@
 //! Run with `cargo run --release -p moe-bench --bin fig09_fleet_dynamics`.
 //! Set `FIG09_QUEUE_LEN` (default 600) to shrink the queue for smoke runs;
 //! pass `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
+//! Pass `--metrics <path>` (or set `BENCH_METRICS`) to export the telemetry
+//! time-series (queue depths, outstanding tokens, lifecycle census) of the
+//! one-failure queue-depth-autoscaled cell — the figure's headline recovery.
 //!
 //! Pass `--trace <path>` (or set `FIG09_TRACE`) to replay a recorded trace
 //! (recorded via `moe_trace::TraceRecorder` / saved with `Trace::save`, or
@@ -26,9 +29,11 @@
 //! synthesized overload arrivals either way.
 
 use moe_bench::fleet::{FleetScenario, REPLICAS};
-use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
+use moe_bench::{
+    fmt3, json_output_path, metrics_output_path, obj, print_csv, print_header, print_row, JsonValue,
+};
 use moe_lightning::{
-    ClusterEvaluator, ClusterSpec, EvalSetting, QueueDepthScaler, ReplicaId, SloAdmission,
+    ClusterEvaluator, ClusterSpec, EvalSetting, QueueDepthScaler, Recorder, ReplicaId, SloAdmission,
 };
 use moe_trace::Trace;
 use moe_workload::ArrivalProcess;
@@ -75,6 +80,13 @@ fn main() {
     };
     let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
     let mut json_rows: Vec<JsonValue> = Vec::new();
+    // The metrics export instruments the one-failure queue-depth cell: a
+    // sampling interval of 1/64 of the time-to-failure (itself 25% of the
+    // expected span) gives ~256 samples across the whole run.
+    let metrics = metrics_output_path().map(|path| {
+        let interval = (scenario.fail_time.as_secs() / 64.0).max(1e-3);
+        (path, Arc::new(Recorder::new().with_interval(interval)))
+    });
 
     println!(
         "== Fleet dynamics @ S1: {REPLICAS}x T4, {count} requests, {} at \
@@ -149,10 +161,15 @@ fn main() {
             ),
         ];
         for (label, spec) in scalers {
-            let spec = match &trace {
+            let mut spec = match &trace {
                 Some(t) => t.replay_into_cluster(spec),
                 None => spec,
             };
+            if failures == 1 && label == "queue-depth" {
+                if let Some((_, recorder)) = &metrics {
+                    spec = spec.with_telemetry(Arc::clone(recorder) as _);
+                }
+            }
             match evaluator.run(&spec) {
                 Ok(report) => {
                     let goodput = report.goodput(&scenario.slo);
@@ -240,6 +257,9 @@ fn main() {
 
     if let Some(path) = json_output_path() {
         moe_bench::write_rows(&path, "fig09", json_rows);
+    }
+    if let Some((path, recorder)) = metrics {
+        moe_bench::write_metrics(&path, &recorder);
     }
 }
 

@@ -17,6 +17,10 @@
 //! `FIG11_WINDOWS` (default 96), `FIG11_PHASES` (default 8),
 //! `FIG11_LOAD` (fraction of fleet capacity, default 0.65); pass
 //! `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
+//! Pass `--metrics <path>` (or set `BENCH_METRICS`) to export the full-day
+//! run's telemetry time-series, sampled once per phase window — the diurnal
+//! swing, spike and failover burst show up directly in the queue-depth and
+//! outstanding-token gauges.
 //!
 //! The default load keeps the burst-induced overload short: phase sampling
 //! is stateless across windows, so queue backlog carried out of an
@@ -26,10 +30,12 @@
 //! reason.
 
 use moe_bench::fleet::{FleetScenario, GEN_LEN, REPLICAS, SEED};
-use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row};
+use moe_bench::{
+    fmt3, json_output_path, metrics_output_path, obj, print_csv, print_header, print_row,
+};
 use moe_lightning::{
-    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, ReplicaSpec, Seconds,
-    ServingMode, SystemKind,
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, Recorder, ReplicaSpec,
+    Seconds, ServingMode, SystemKind,
 };
 use moe_trace::{estimate_day, sample_phases, DaySpec, PhaseConfig, Trace};
 use moe_workload::WorkloadSpec;
@@ -117,9 +123,19 @@ fn main() {
 
     let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
 
-    // Ground truth: the whole day, end to end.
+    // Ground truth: the whole day, end to end. The metrics export samples
+    // the gauges once per phase window so the telemetry series lines up
+    // with the sampler's windowing.
+    let metrics = metrics_output_path().map(|path| {
+        let interval = (day.duration().as_secs() / windows as f64).max(1e-3);
+        (path, Arc::new(Recorder::new().with_interval(interval)))
+    });
+    let mut full_spec = day_spec(&scenario, &day);
+    if let Some((_, recorder)) = &metrics {
+        full_spec = full_spec.with_telemetry(Arc::clone(recorder) as _);
+    }
     let full_start = std::time::Instant::now();
-    let full = match evaluator.run(&day_spec(&scenario, &day)) {
+    let full = match evaluator.run(&full_spec) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fig11: full-day run failed: {e}");
@@ -260,6 +276,10 @@ fn main() {
                 ("request_reduction", reduction.into()),
             ])],
         );
+    }
+
+    if let Some((path, recorder)) = metrics {
+        moe_bench::write_metrics(&path, &recorder);
     }
 
     // The acceptance bar: within 5% on both day-level SLO metrics, at an

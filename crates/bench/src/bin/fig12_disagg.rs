@@ -20,12 +20,18 @@
 //! Set `FIG12_QUEUE_LEN` (default 400) to shrink the queue for smoke runs
 //! (the crossover assertions arm only at ≥ 300 requests); pass
 //! `--json <path>` (or set `BENCH_JSON`) for machine-readable output.
+//! Pass `--metrics <path>` (or set `BENCH_METRICS`) to export the telemetry
+//! time-series of the prefill-heavy 2p+2d fast-link cell — the
+//! migrations-in-flight and per-pool queue gauges show the prefill→decode
+//! handoff pipeline directly.
 
-use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
+use moe_bench::{
+    fmt3, json_output_path, metrics_output_path, obj, print_csv, print_header, print_row, JsonValue,
+};
 use moe_lightning::{
     ClusterEvaluator, ClusterReport, ClusterSpec, EvalSetting, InterconnectSpec,
-    LeastOutstandingTokens, Policy, PrefixAware, ReplicaRole, ReplicaSpec, Router, Seconds,
-    ServeSpec, ServingMode, SloSpec, StickySession, SystemEvaluator, SystemKind,
+    LeastOutstandingTokens, Policy, PrefixAware, Recorder, ReplicaRole, ReplicaSpec, Router,
+    Seconds, ServeSpec, ServingMode, SloSpec, StickySession, SystemEvaluator, SystemKind,
 };
 use moe_workload::{ArrivalProcess, Request, WorkloadSpec};
 use std::sync::Arc;
@@ -247,6 +253,10 @@ fn main() {
     let count = queue_len();
     let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
     let mut json_rows: Vec<JsonValue> = Vec::new();
+    // The metrics export instruments the prefill-heavy 2p+2d fast-link cell:
+    // a 1s sampling interval resolves the prefill→decode migration pipeline.
+    let metrics =
+        metrics_output_path().map(|path| (path, Arc::new(Recorder::new().with_interval(1.0))));
 
     println!(
         "== Disaggregated prefill/decode @ S1: {REPLICAS} replicas, {count} requests, \
@@ -300,7 +310,12 @@ fn main() {
                 ]
             };
             for (ic_label, ic) in ics {
-                let spec = fleet_spec(&mix, &cal, count, &split).with_interconnect(*ic);
+                let mut spec = fleet_spec(&mix, &cal, count, &split).with_interconnect(*ic);
+                if mix.label == "prefill-heavy" && split.label == "2p+2d" && *ic_label == "fast" {
+                    if let Some((_, recorder)) = &metrics {
+                        spec = spec.with_telemetry(Arc::clone(recorder) as _);
+                    }
+                }
                 match evaluator.run(&spec) {
                     Ok(report) => {
                         let goodput = report_row(
@@ -373,6 +388,9 @@ fn main() {
 
     if let Some(path) = json_output_path() {
         moe_bench::write_rows(&path, "fig12", json_rows);
+    }
+    if let Some((path, recorder)) = metrics {
+        moe_bench::write_metrics(&path, &recorder);
     }
 }
 

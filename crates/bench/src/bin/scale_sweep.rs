@@ -2,19 +2,24 @@
 //! under heavy online load, up to 1000 replicas × 1,000,000 requests, on the
 //! indexed fleet loop (event heap + incremental router indexes + sharded
 //! replica stepping) — with a head-to-head against the O(fleet)-per-event
-//! reference scan loop at the largest fleet size.
+//! linear scan loop at the largest fleet size, and a telemetry-overhead leg
+//! that re-runs the same scenario with a recording `TelemetrySink` attached.
 //!
-//! Two assertions gate the run (exit code 1 on violation):
+//! Three assertions gate the run (exit code 1 on violation):
 //!
 //! * the whole sweep finishes inside `SCALE_SWEEP_BUDGET_S` seconds
-//!   (default 600), and
+//!   (default 600),
 //! * at the largest fleet the indexed loop is at least
-//!   `SCALE_SWEEP_MIN_SPEEDUP`× (default 5×) faster than the reference loop
-//!   on the pinned comparison scenario.
+//!   `SCALE_SWEEP_MIN_SPEEDUP`× (default 5×) faster than the scan loop
+//!   on the pinned comparison scenario, and
+//! * with a `Recorder` sink attached (events + sampled time-series +
+//!   profiling spans) the indexed loop stays within
+//!   `SCALE_SWEEP_TELEMETRY_OVERHEAD_PCT` percent (default 10) of the
+//!   no-sink wall clock, and produces a bit-identical `ClusterReport`.
 //!
 //! Smoke knobs: `SCALE_SWEEP_MAX_REQUESTS` caps the largest request count
-//! (default 1,000,000), `SCALE_SWEEP_REFERENCE_REQUESTS` sizes the reference
-//! head-to-head (default 20,000 — the reference loop is quadratic-ish in
+//! (default 1,000,000), `SCALE_SWEEP_SCAN_REQUESTS` sizes the scan
+//! head-to-head (default 20,000 — the scan loop is quadratic-ish in
 //! fleet size, so it gets a smaller queue), `SCALE_SWEEP_THREADS` pins the
 //! shard worker count.
 //!
@@ -23,8 +28,8 @@
 
 use moe_bench::{fmt3, json_output_path, obj, print_csv, print_header, print_row, JsonValue};
 use moe_lightning::{
-    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, NodeSpec, ServingMode,
-    SystemKind,
+    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, NodeSpec, Recorder,
+    ServingMode, SystemKind,
 };
 use moe_workload::{ArrivalProcess, WorkloadSpec};
 use std::sync::Arc;
@@ -74,7 +79,8 @@ fn main() {
     let budget_s = env_f64("SCALE_SWEEP_BUDGET_S", 600.0);
     let min_speedup = env_f64("SCALE_SWEEP_MIN_SPEEDUP", 5.0);
     let max_requests = env_usize("SCALE_SWEEP_MAX_REQUESTS", 1_000_000);
-    let reference_requests = env_usize("SCALE_SWEEP_REFERENCE_REQUESTS", 20_000);
+    let scan_requests = env_usize("SCALE_SWEEP_SCAN_REQUESTS", 20_000);
+    let telemetry_pct = env_f64("SCALE_SWEEP_TELEMETRY_OVERHEAD_PCT", 10.0);
     let threads = std::env::var("SCALE_SWEEP_THREADS")
         .ok()
         .and_then(|v| v.parse().ok());
@@ -156,30 +162,28 @@ fn main() {
     }
 
     // Head-to-head at the largest fleet: the same pinned scenario on the
-    // reference scan loop vs the indexed loop. The reference loop pays
-    // O(fleet) per event, so it gets a smaller queue; both sides run it.
-    let (replicas, count) = (grid[grid.len() - 1].0, reference_requests.min(max_requests));
-    println!("\n-- reference vs indexed @ {replicas} replicas, {count} requests --");
+    // linear scan loop vs the indexed loop. The scan loop pays O(fleet) per
+    // event, so it gets a smaller queue; both sides run it.
+    let (replicas, count) = (grid[grid.len() - 1].0, scan_requests.min(max_requests));
+    println!("\n-- scan vs indexed @ {replicas} replicas, {count} requests --");
     let t0 = Instant::now();
-    let reference = evaluator()
-        .with_reference_loop()
-        .run(&spec(replicas, count));
-    let reference_wall = t0.elapsed().as_secs_f64();
+    let scan = evaluator().with_scan_loop().run(&spec(replicas, count));
+    let scan_wall = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let indexed = evaluator().run(&spec(replicas, count));
     let indexed_wall = t0.elapsed().as_secs_f64();
-    match (reference, indexed) {
+    match (scan, indexed) {
         (Ok(want), Ok(got)) => {
-            let speedup = reference_wall / indexed_wall.max(1e-9);
+            let speedup = scan_wall / indexed_wall.max(1e-9);
             println!(
-                "reference: {reference_wall:.2}s   indexed: {indexed_wall:.2}s   \
+                "scan: {scan_wall:.2}s   indexed: {indexed_wall:.2}s   \
                  speedup: {speedup:.1}x"
             );
             print_csv(&[
                 "speedup".to_owned(),
                 replicas.to_string(),
                 count.to_string(),
-                fmt3(reference_wall),
+                fmt3(scan_wall),
                 fmt3(indexed_wall),
                 fmt3(speedup),
             ]);
@@ -187,13 +191,13 @@ fn main() {
                 ("table", "speedup".into()),
                 ("replicas", replicas.into()),
                 ("requests", count.into()),
-                ("reference_wall_s", reference_wall.into()),
+                ("scan_wall_s", scan_wall.into()),
                 ("indexed_wall_s", indexed_wall.into()),
                 ("speedup", speedup.into()),
                 ("reports_identical", JsonValue::Bool(want == got)),
             ]));
             if want != got {
-                eprintln!("scale_sweep: FAIL — indexed report diverged from the reference loop");
+                eprintln!("scale_sweep: FAIL — indexed report diverged from the scan loop");
                 failed = true;
             }
             if speedup < min_speedup {
@@ -202,10 +206,61 @@ fn main() {
                 );
                 failed = true;
             }
+
+            // Telemetry-overhead leg: the same indexed scenario with a full
+            // recording sink (events + time-series samples + spans). The
+            // +0.15s floor keeps the gate meaningful on smoke-sized runs
+            // where the baseline wall clock is tiny.
+            let recorder = Arc::new(Recorder::new().with_interval(5.0));
+            let t0 = Instant::now();
+            let telemetry =
+                evaluator().run(&spec(replicas, count).with_telemetry(recorder.clone() as Arc<_>));
+            let telemetry_wall = t0.elapsed().as_secs_f64();
+            let overhead_pct = 100.0 * (telemetry_wall - indexed_wall) / indexed_wall.max(1e-9);
+            let allowed = indexed_wall * (1.0 + telemetry_pct / 100.0) + 0.15;
+            match telemetry {
+                Ok(observed) => {
+                    let counters = recorder.counters();
+                    println!(
+                        "telemetry: {telemetry_wall:.2}s   overhead: {overhead_pct:+.1}%   \
+                         events: {}   samples: {}",
+                        counters.arrivals + counters.completed,
+                        recorder.series().len()
+                    );
+                    json_rows.push(obj(vec![
+                        ("table", "telemetry-overhead".into()),
+                        ("replicas", replicas.into()),
+                        ("requests", count.into()),
+                        ("indexed_wall_s", indexed_wall.into()),
+                        ("telemetry_wall_s", telemetry_wall.into()),
+                        ("overhead_pct", overhead_pct.into()),
+                        ("allowed_pct", telemetry_pct.into()),
+                        ("samples", recorder.series().len().into()),
+                        ("reports_identical", JsonValue::Bool(observed == got)),
+                    ]));
+                    if observed != got {
+                        eprintln!(
+                            "scale_sweep: FAIL — report changed with a telemetry sink attached"
+                        );
+                        failed = true;
+                    }
+                    if telemetry_wall > allowed {
+                        eprintln!(
+                            "scale_sweep: FAIL — telemetry wall {telemetry_wall:.2}s over the \
+                             {telemetry_pct:.0}% overhead bar ({allowed:.2}s)"
+                        );
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("scale_sweep: telemetry leg failed: {e}");
+                    failed = true;
+                }
+            }
         }
         (r, i) => {
             eprintln!(
-                "scale_sweep: head-to-head failed: reference={:?} indexed={:?}",
+                "scale_sweep: head-to-head failed: scan={:?} indexed={:?}",
                 r.err(),
                 i.err()
             );

@@ -10,7 +10,7 @@
 pub mod fleet;
 pub mod json;
 
-pub use json::{json_output_path, obj, write_rows, JsonValue};
+pub use json::{json_output_path, metrics_output_path, obj, write_metrics, write_rows, JsonValue};
 
 /// Prints a row of a fixed-width table.
 pub fn print_row(cells: &[String], widths: &[usize]) {

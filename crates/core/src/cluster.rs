@@ -37,12 +37,14 @@ use crate::dynamics::{
 use crate::engine::{
     batching_for, EngineError, Lifecycle, ReplicaEngine, SystemEvaluator, WindowEvent,
 };
+use crate::observe::ObsState;
 use crate::serving::{ServeSpec, ServingMode, ServingReport};
 use crate::system::SystemKind;
 use crate::tap::ArrivalTap;
 use moe_hardware::{NodeSpec, Seconds, TimeKey};
 use moe_model::MoeModelConfig;
 use moe_policy::Policy;
+use moe_telemetry::{Section, TelemetrySink};
 use moe_workload::{
     Algorithm2, ArrivalClock, ArrivalProcess, BatchRunReport, GenLens, LatencySummary, Request,
     RequestLatency, Scheduler, SloClass, WorkloadSpec,
@@ -178,6 +180,7 @@ pub struct ClusterSpec {
     pub(crate) fleet_scaled_arrivals: bool,
     pub(crate) queue: Option<Vec<Request>>,
     pub(crate) tap: Option<Arc<dyn ArrivalTap>>,
+    pub(crate) telemetry: Option<Arc<dyn TelemetrySink>>,
     pub(crate) interconnect: InterconnectSpec,
     pub(crate) prefix_cache: Option<u64>,
 }
@@ -207,6 +210,7 @@ impl ClusterSpec {
             fleet_scaled_arrivals: false,
             queue: None,
             tap: None,
+            telemetry: None,
             interconnect: InterconnectSpec::default(),
             prefix_cache: None,
         }
@@ -442,6 +446,7 @@ impl ServeSpec {
             fleet_scaled_arrivals: false,
             queue: self.queue,
             tap: self.tap,
+            telemetry: self.telemetry,
             interconnect: InterconnectSpec::default(),
             prefix_cache: None,
         }
@@ -659,15 +664,16 @@ impl ClusterReport {
 ///   over the fleet, cached router views refreshed only for replicas that
 ///   changed, [`Router::route_indexed`] fast paths, and replica stepping
 ///   sharded across threads between global synchronization points;
-/// * the **reference loop** ([`Self::with_reference_loop`]) — a linear scan
-///   over every replica per event and per routing decision, with views
-///   rebuilt from scratch. `O(fleet)` per event; kept as the semantic
-///   baseline the indexed loop is equivalence-tested against.
+/// * the **scan loop** ([`Self::with_scan_loop`]) — a linear scan over every
+///   replica per event and per routing decision, with views rebuilt from
+///   scratch. `O(fleet)` per event; kept as the semantic baseline the indexed
+///   loop's self-check fixtures and the `scale_sweep` speedup gate measure
+///   against.
 #[derive(Debug, Clone)]
 pub struct ClusterEvaluator {
     model: MoeModelConfig,
     simulated_layers: Option<u32>,
-    reference_loop: bool,
+    scan_loop: bool,
     shard_threads: Option<usize>,
 }
 
@@ -678,7 +684,7 @@ impl ClusterEvaluator {
         ClusterEvaluator {
             model,
             simulated_layers: None,
-            reference_loop: false,
+            scan_loop: false,
             shard_threads: None,
         }
     }
@@ -690,11 +696,13 @@ impl ClusterEvaluator {
         self
     }
 
-    /// Selects the reference scan loop instead of the indexed fast path (see
-    /// the type-level docs). The report is identical; only the work per event
-    /// changes.
-    pub fn with_reference_loop(mut self) -> Self {
-        self.reference_loop = true;
+    /// Selects the linear scan loop instead of the indexed fast path (see the
+    /// type-level docs). The report is identical; only the work per event
+    /// changes. Exposed for the self-check fixtures and the `scale_sweep`
+    /// speedup baseline, not for production use.
+    #[doc(hidden)]
+    pub fn with_scan_loop(mut self) -> Self {
+        self.scan_loop = true;
         self
     }
 
@@ -757,6 +765,7 @@ impl ClusterEvaluator {
         );
         engine.role = replica.role;
         engine.prefix_cache = spec.prefix_cache.map(PrefixCache::new);
+        engine.profile = spec.telemetry.is_some();
         Ok(engine)
     }
 
@@ -812,7 +821,7 @@ impl ClusterEvaluator {
         let timeline = spec.timeline.sorted_events();
         let mut cursor = 0usize;
         let fleet_size = engines.len();
-        let indexed = !self.reference_loop;
+        let indexed = !self.scan_loop;
         let threads = match self.shard_threads {
             Some(n) => n,
             None => std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
@@ -842,6 +851,7 @@ impl ClusterEvaluator {
             provisioning: 0,
             policy_cache,
             disagg: DisaggState::new(spec.has_role_pools()),
+            obs: ObsState::new(spec),
         };
         if indexed {
             for i in 0..fleet_size {
@@ -852,9 +862,10 @@ impl ClusterEvaluator {
         let mut next = 0usize;
         let mut stamped_through = 0usize;
         loop {
+            let prof_select = plane.prof_start();
             // Bring the event queue and router index up to date with every
-            // replica touched since the last decision (no-op on the
-            // reference loop, which scans instead).
+            // replica touched since the last decision (no-op on the scan
+            // loop, which scans instead).
             plane.flush_dirty();
             // Lazily stamp the next arrival at the current fleet size.
             if let Some(clock) = arrival_clock.as_mut() {
@@ -896,11 +907,13 @@ impl ClusterEvaluator {
             } else {
                 plane.next_internal()
             };
+            plane.prof_end(Section::EventSelection, prof_select);
 
             let le = |a: Seconds, b: Option<Seconds>| b.is_none_or(|b| a <= b);
             if let Some((t, ctl)) =
                 control.filter(|&(t, _)| le(t, arrival) && le(t, internal.map(|(time, _)| time)))
             {
+                plane.maybe_sample_to(t);
                 match ctl {
                     Ctl::Timeline => {
                         let (_, action) = timeline[cursor].clone();
@@ -916,19 +929,31 @@ impl ClusterEvaluator {
             } else if let Some(at) = arrival.filter(|&a| le(a, internal.map(|(time, _)| time))) {
                 let request = queue[next];
                 next += 1;
+                plane.maybe_sample_to(at);
+                let prof_route = plane.prof_start();
                 plane.dispatch(request, at, true);
+                plane.prof_end(Section::Routing, prof_route);
                 plane.maybe_autoscale(at)?;
             } else if plane.indexed && internal.is_some() {
                 // Everything strictly before the next arrival or control
                 // event is replica-internal and independent across
-                // replicas: drain it as one sharded window.
+                // replicas: drain it as one sharded window. Sampling first
+                // advances the cursor past the earliest internal event, and
+                // `obs_bound` caps the window at the next sample instant, so
+                // every gauge snapshot is taken from event-exact state.
+                plane.maybe_sample_to(internal.map(|(time, _)| time).unwrap_or(Seconds::ZERO));
                 let bound = match (control.map(|(ct, _)| ct), arrival) {
                     (Some(c), Some(a)) => Some(c.min(a)),
                     (c, a) => c.or(a),
                 };
-                plane.step_window(bound)?;
+                let prof_step = plane.prof_start();
+                plane.step_window(plane.obs_bound(bound))?;
+                plane.prof_end(Section::ShardStep, prof_step);
             } else if let Some((t, index)) = internal {
+                plane.maybe_sample_to(t);
+                let prof_step = plane.prof_start();
                 let completed = plane.engines[index].step_to(t)?;
+                plane.prof_end(Section::ShardStep, prof_step);
                 let had_completions = !completed.is_empty();
                 plane.note_completions(index, completed);
                 if plane.engines[index].drain_finished() {
@@ -941,6 +966,7 @@ impl ClusterEvaluator {
                 break;
             }
         }
+        plane.finish_observation();
 
         let FleetLoop {
             engines,
@@ -1029,9 +1055,9 @@ pub(crate) struct FleetLoop<'a> {
     cancelled_joins: u64,
     recent: Vec<RequestLatency>,
     last_scale: Option<Seconds>,
-    /// `false` runs the original O(fleet) reference scans instead of the
+    /// `false` runs the original O(fleet) linear scans instead of the
     /// event heap / router index (see
-    /// [`ClusterEvaluator::with_reference_loop`]).
+    /// [`ClusterEvaluator::with_scan_loop`]).
     indexed: bool,
     /// Worker threads for sharded replica stepping inside
     /// [`FleetLoop::step_window`].
@@ -1055,6 +1081,9 @@ pub(crate) struct FleetLoop<'a> {
     /// Disaggregation bookkeeping: in-flight KV migrations and the
     /// prefill-stub ledger (see [`crate::disagg`]).
     pub(crate) disagg: DisaggState,
+    /// Telemetry sampling cursor and self-profiling accumulators (see
+    /// [`crate::observe`]).
+    pub(crate) obs: ObsState,
 }
 
 /// Fleet-wide min-priority queue over each replica's next internal event,
@@ -1226,6 +1255,7 @@ impl FleetLoop<'_> {
             if let Some(tap) = &self.spec.tap {
                 tap.record(&request);
             }
+            self.note_arrival(&request, now);
         }
         if self.disagg.enabled {
             // Role pools filter the offer per request, which precludes the
@@ -1248,7 +1278,7 @@ impl FleetLoop<'_> {
             .map(|e| e.view())
             .collect();
         if views.is_empty() {
-            self.fleet_aborted.push(request);
+            self.abort(request, now);
             return;
         }
         let chosen = self.spec.router.route(&request, &views, &mut self.ctx);
@@ -1258,6 +1288,7 @@ impl FleetLoop<'_> {
         } else {
             views[0].id
         };
+        self.note_routed(&request, id, views.len(), now);
         if screen {
             let projected = self.engines[id.0].projected_ttft(&request);
             let view = views
@@ -1265,10 +1296,11 @@ impl FleetLoop<'_> {
                 .find(|v| v.id == id)
                 .expect("chosen id resolved against the offered views");
             if !self.spec.admission.admit(&request, projected, view) {
-                self.rejected.push(request);
+                self.reject(request, id, projected, now);
                 return;
             }
         }
+        self.note_admitted(&request, id, now);
         self.engines[id.0].enqueue(request, now);
     }
 
@@ -1281,7 +1313,7 @@ impl FleetLoop<'_> {
     fn dispatch_indexed(&mut self, request: Request, now: Seconds, screen: bool) {
         self.flush_dirty();
         if self.index.is_empty() {
-            self.fleet_aborted.push(request);
+            self.abort(request, now);
             return;
         }
         let router = &self.spec.router;
@@ -1292,7 +1324,7 @@ impl FleetLoop<'_> {
         } else {
             filtered = self.index.eligible_views(&request);
             if filtered.is_empty() {
-                self.fleet_aborted.push(request);
+                self.abort(request, now);
                 return;
             }
             &filtered
@@ -1311,6 +1343,7 @@ impl FleetLoop<'_> {
             offered.iter().any(|v| v.id == chosen)
         };
         let id = if valid { chosen } else { offered[0].id };
+        self.note_routed(&request, id, offered.len(), now);
         if screen {
             let projected = self.engines[id.0].projected_ttft(&request);
             let view = if full {
@@ -1322,10 +1355,11 @@ impl FleetLoop<'_> {
                     .expect("chosen id resolved against the offered views")
             };
             if !self.spec.admission.admit(&request, projected, view) {
-                self.rejected.push(request);
+                self.reject(request, id, projected, now);
                 return;
             }
         }
+        self.note_admitted(&request, id, now);
         self.engines[id.0].enqueue(request, now);
         self.mark_dirty(id.0);
     }
@@ -1340,6 +1374,7 @@ impl FleetLoop<'_> {
             if self.disagg.enabled && self.intercept_handoff(index, &latency, at) {
                 continue;
             }
+            self.note_completed(index, &latency, at);
             self.spec
                 .router
                 .on_complete(&latency.request, ReplicaId(index), at, &mut self.ctx);
@@ -1355,6 +1390,7 @@ impl FleetLoop<'_> {
     /// and tells the router.
     fn depart(&mut self, index: usize, at: Seconds) {
         self.engines[index].lifecycle = Lifecycle::Departed { at };
+        self.note_lifecycle(index, "departed", at);
         self.departures.push((ReplicaId(index), at));
         self.mark_dirty(index);
         self.spec
@@ -1366,6 +1402,7 @@ impl FleetLoop<'_> {
     /// router learns about it.
     fn finish_provisioning(&mut self, index: usize, at: Seconds) {
         self.engines[index].lifecycle = Lifecycle::Serving;
+        self.note_lifecycle(index, "serving", at);
         self.provisioning = self.provisioning.saturating_sub(1);
         self.joins.push((ReplicaId(index), at));
         self.mark_dirty(index);
@@ -1389,6 +1426,7 @@ impl FleetLoop<'_> {
             ready_at: now + self.spec.timeline.provisioning_delay(),
         };
         self.engines.push(engine);
+        self.note_lifecycle(index, "provisioning", now);
         self.provisioning += 1;
         self.mark_dirty(index);
         Ok(())
@@ -1408,6 +1446,7 @@ impl FleetLoop<'_> {
                         // Died before it ever served: the join just never
                         // lands.
                         self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.note_lifecycle(rid.0, "failed", t);
                         self.provisioning = self.provisioning.saturating_sub(1);
                         self.failures.push((rid, t));
                         self.mark_dirty(rid.0);
@@ -1421,13 +1460,13 @@ impl FleetLoop<'_> {
                 self.note_completions(rid.0, completed);
                 let lost = self.engines[rid.0].fail(t);
                 self.mark_dirty(rid.0);
+                self.note_lifecycle(rid.0, "failed", t);
                 self.failures.push((rid, t));
                 self.departures.push((rid, t));
                 self.spec.router.on_replica_down(rid, t, &mut self.ctx);
                 for request in lost {
                     let request = self.restore_origin(request);
-                    self.rerouted.insert(request.id);
-                    self.dispatch(request, t, false);
+                    self.redispatch(request, t);
                 }
                 // In-flight migrated KV headed to the dead replica is lost
                 // with it.
@@ -1443,6 +1482,7 @@ impl FleetLoop<'_> {
                         // Draining a replica that never came up cancels the
                         // join.
                         self.engines[rid.0].lifecycle = Lifecycle::Departed { at: t };
+                        self.note_lifecycle(rid.0, "departed", t);
                         self.provisioning = self.provisioning.saturating_sub(1);
                         self.cancelled_joins += 1;
                         self.mark_dirty(rid.0);
@@ -1454,11 +1494,11 @@ impl FleetLoop<'_> {
                 self.note_completions(rid.0, completed);
                 let queued = self.engines[rid.0].begin_drain(t);
                 self.mark_dirty(rid.0);
+                self.note_lifecycle(rid.0, "draining", t);
                 self.drains.push((rid, t));
                 for request in queued {
                     let request = self.restore_origin(request);
-                    self.rerouted.insert(request.id);
-                    self.dispatch(request, t, false);
+                    self.redispatch(request, t);
                 }
                 if self.engines[rid.0].drain_finished() {
                     self.depart(rid.0, t);
@@ -1502,6 +1542,7 @@ impl FleetLoop<'_> {
         match decision {
             ScaleDecision::Hold => {}
             ScaleDecision::Up if target < bounds.max_replicas => {
+                self.note_scale("up", t);
                 let template = self
                     .spec
                     .scale_template
@@ -1511,6 +1552,7 @@ impl FleetLoop<'_> {
                 self.last_scale = Some(t);
             }
             ScaleDecision::Down if target > bounds.min_replicas => {
+                self.note_scale("down", t);
                 // Cheapest first: cancel the join *furthest* from coming up —
                 // a join about to land carries capacity that is almost paid
                 // for, so it is the most expensive one to throw away.
@@ -1525,6 +1567,7 @@ impl FleetLoop<'_> {
                     .max_by_key(|&(t, i)| (t.key(), i));
                 if let Some((_, index)) = last_provisioning {
                     self.engines[index].lifecycle = Lifecycle::Departed { at: t };
+                    self.note_lifecycle(index, "departed", t);
                     self.provisioning = self.provisioning.saturating_sub(1);
                     self.cancelled_joins += 1;
                     self.mark_dirty(index);
@@ -1544,11 +1587,11 @@ impl FleetLoop<'_> {
                     let rid = ReplicaId(index);
                     let queued = self.engines[index].begin_drain(t);
                     self.mark_dirty(index);
+                    self.note_lifecycle(index, "draining", t);
                     self.drains.push((rid, t));
                     for request in queued {
                         let request = self.restore_origin(request);
-                        self.rerouted.insert(request.id);
-                        self.dispatch(request, t, false);
+                        self.redispatch(request, t);
                     }
                     if self.engines[index].drain_finished() {
                         self.depart(index, t);

@@ -680,7 +680,7 @@ impl FleetLoop<'_> {
             .map(|e| e.view())
             .collect();
         if views.is_empty() {
-            self.fleet_aborted.push(request);
+            self.abort(request, now);
             return;
         }
         let chosen = self.spec.router.route(&request, &views, &mut self.ctx);
@@ -690,6 +690,7 @@ impl FleetLoop<'_> {
         } else {
             views[0].id
         };
+        self.note_routed(&request, id, views.len(), now);
         if screen {
             let projected = self.engines[id.0].projected_ttft(&request);
             let view = views
@@ -697,10 +698,11 @@ impl FleetLoop<'_> {
                 .find(|v| v.id == id)
                 .expect("chosen id resolved against the offered views");
             if !self.spec.admission.admit(&request, projected, view) {
-                self.rejected.push(request);
+                self.reject(request, id, projected, now);
                 return;
             }
         }
+        self.note_admitted(&request, id, now);
         if self.engines[id.0].role == ReplicaRole::Prefill && request.gen_len > 0 {
             self.disagg.handoff_origin.insert(request.id, request);
             self.disagg.awaiting.insert(request.id);
@@ -747,7 +749,7 @@ impl FleetLoop<'_> {
         if views.is_empty() {
             // No decode-capable replica is alive: the prefill was wasted work
             // and the request is aborted at fleet level.
-            self.fleet_aborted.push(origin);
+            self.abort(origin, t);
             return;
         }
         let chosen = self.spec.router.route(&origin, &views, &mut self.ctx);
@@ -765,6 +767,7 @@ impl FleetLoop<'_> {
         );
         self.engines[dest.0].reserve_migration(origin.max_context());
         self.mark_dirty(dest.0);
+        self.note_migration_start(&origin, from, dest.0, t + delay, t);
         self.disagg.push_migration(t + delay, origin, dest.0);
     }
 
@@ -778,10 +781,11 @@ impl FleetLoop<'_> {
         self.engines[dest].release_migration(migration.request.max_context());
         self.mark_dirty(dest);
         if self.engines[dest].is_serving() {
+            self.note_migration_end(&migration.request, dest, true, t);
             self.engines[dest].enqueue_prefilled(migration.request, migration.request.input_len, t);
         } else {
-            self.rerouted.insert(migration.request.id);
-            self.dispatch(migration.request, t, false);
+            self.note_migration_end(&migration.request, dest, false, t);
+            self.redispatch(migration.request, t);
         }
     }
 
@@ -793,8 +797,8 @@ impl FleetLoop<'_> {
             return;
         }
         for request in self.disagg.take_migrations_to(dest) {
-            self.rerouted.insert(request.id);
-            self.dispatch(request, t, false);
+            self.note_migration_end(&request, dest, false, t);
+            self.redispatch(request, t);
         }
     }
 

@@ -18,8 +18,8 @@
 //! decode steps on the simulated pipeline, and releasing per-request latency
 //! records at each request's own completion step. Both [`crate::ServingMode`]s
 //! are implemented here exactly once; wave costing, KV release, backfill and
-//! latency bookkeeping have no second copy (the retired duplicate loops are
-//! preserved verbatim in [`crate::reference`] as the parity baseline).
+//! latency bookkeeping have no second copy (`tests/self_check.rs` pins the
+//! reports against committed fixtures).
 //!
 //! This module also re-exports the costing stack ([`SystemEvaluator`],
 //! [`EngineError`], …) from [`crate::evaluator`], where it moved when the
@@ -203,6 +203,12 @@ pub struct ReplicaEngine {
     latencies: Vec<RequestLatency>,
     aborted: Vec<Request>,
     totals: BatchRunReport,
+    /// Whether a telemetry sink is attached to the run: gates the wall-clock
+    /// spans around scheduler planning so unobserved runs never touch the
+    /// clock (see [`crate::observe`]).
+    pub(crate) profile: bool,
+    plan_calls: u64,
+    plan_nanos: u64,
 }
 
 impl ReplicaEngine {
@@ -266,6 +272,34 @@ impl ReplicaEngine {
             latencies: Vec::new(),
             aborted: Vec::new(),
             totals: BatchRunReport::default(),
+            profile: false,
+            plan_calls: 0,
+            plan_nanos: 0,
+        }
+    }
+
+    /// The engine's current clock (the instant of the last settled event).
+    pub(crate) fn now(&self) -> Seconds {
+        self.clock
+    }
+
+    /// The requests still waiting in the ready queue (the ones
+    /// [`Self::into_report`] will flush as aborted if the run ends here).
+    pub(crate) fn queued_requests(&self) -> &[Request] {
+        &self.ready
+    }
+
+    /// Accumulated scheduler-planning profile: `(calls, wall-clock nanos)`
+    /// across every backfill/plan pass. Zero unless `profile` is set.
+    pub(crate) fn plan_profile(&self) -> (u64, u64) {
+        (self.plan_calls, self.plan_nanos)
+    }
+
+    /// Closes a planning span opened when `profile` is set.
+    fn note_plan(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.plan_calls += 1;
+            self.plan_nanos += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -848,9 +882,11 @@ impl ReplicaEngine {
             return Ok(false);
         }
         self.settle_ready();
+        let t0 = self.profile.then(std::time::Instant::now);
         let fill = self
             .scheduler
             .backfill_sorted(&self.ready, &self.batching, &self.parts);
+        self.note_plan(t0);
         let admitted = fill.admitted();
         if admitted == 0 {
             // Nothing left the queue: same multiset, possibly re-ordered by
@@ -1091,7 +1127,9 @@ impl ReplicaEngine {
     /// single-node round loop's costing and latency bookkeeping.
     fn admit_round(&mut self) -> Result<(), EngineError> {
         self.settle_ready();
+        let t0 = self.profile.then(std::time::Instant::now);
         let formed = self.scheduler.plan_sorted(&self.ready, &self.batching);
+        self.note_plan(t0);
         self.take_ready();
         if formed.scheduled_requests() == 0 {
             // No scheduler progress on an empty pipeline (padded KV charge

@@ -24,6 +24,10 @@
 //!   ([`disagg::ReplicaRole`], [`disagg::InterconnectSpec`]), per-replica
 //!   prefix caches ([`disagg::PrefixCache`]) and cache/session/speed-aware
 //!   routing ([`disagg::StickySession`], [`disagg::PrefixAware`]).
+//! * [`observe`] — fleet-wide telemetry: a [`moe_telemetry::TelemetrySink`]
+//!   attached via [`cluster::ClusterSpec::with_telemetry`] receives structured
+//!   events, gauge time-series samples and the simulator's self-profiling
+//!   roll-up, without perturbing the report.
 //!
 //! # Examples
 //!
@@ -48,7 +52,7 @@ pub mod disagg;
 pub mod dynamics;
 pub mod engine;
 pub mod evaluator;
-pub mod reference;
+pub mod observe;
 pub mod router;
 pub mod serving;
 pub mod settings;
@@ -72,6 +76,13 @@ pub use serving::{RoundReport, ServeSpec, ServingMode, ServingReport, ServingSes
 pub use settings::EvalSetting;
 pub use system::SystemKind;
 pub use tap::ArrivalTap;
+
+// Re-export the telemetry vocabulary so downstream crates can attach sinks
+// without depending on `moe-telemetry` directly.
+pub use moe_telemetry::{
+    Counters, FleetSample, NoopSink, Recorder, ReplicaSample, Section, SpanReport, TelemetryEvent,
+    TelemetrySink,
+};
 
 // Re-export the most used building blocks so downstream users need only this crate.
 pub use moe_hardware::{ByteSize, NodeSpec, Seconds, TimeKey};

@@ -29,9 +29,8 @@
 //! — the same event machine the cluster layer interleaves per replica —
 //! feeding arrivals into the engine's event stream in arrival order. Wave
 //! costing, KV release, backfill and latency bookkeeping exist exactly once,
-//! in [`crate::engine`]; the retired loop bodies are preserved verbatim in
-//! [`crate::reference`] as the differential baseline for
-//! `tests/engine_parity.rs`.
+//! in [`crate::engine`]; `tests/self_check.rs` pins the reports against
+//! committed fixtures.
 //!
 //! A serving scenario — system, workload, queue size, generation lengths,
 //! seed, mode, arrival process, scheduler — is described declaratively by a
@@ -53,6 +52,7 @@ use crate::tap::ArrivalTap;
 use moe_hardware::Seconds;
 use moe_policy::{Policy, WorkloadShape};
 use moe_schedule::ScheduleKind;
+use moe_telemetry::{TelemetryEvent, TelemetrySink};
 use moe_workload::{
     Algorithm2, ArrivalProcess, BatchRunReport, BatchingConfig, GenLens, LatencySummary, Request,
     RequestLatency, Scheduler, WorkloadSpec,
@@ -181,18 +181,15 @@ impl ServingReport {
 
 /// A serving session: one (system, policy, schedule) triple bound to an evaluator,
 /// ready to drain request queues in either [`ServingMode`].
-///
-/// Fields are crate-visible so [`crate::reference`] (the legacy-loop parity
-/// baseline) can serve from the same session state.
 #[derive(Debug, Clone)]
 pub struct ServingSession<'a> {
     pub(crate) evaluator: &'a SystemEvaluator,
     pub(crate) system: SystemKind,
     pub(crate) policy: Policy,
-    pub(crate) schedule: ScheduleKind,
     pub(crate) batching: BatchingConfig,
     pub(crate) mode: ServingMode,
     pub(crate) scheduler: Arc<dyn Scheduler>,
+    pub(crate) telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl<'a> ServingSession<'a> {
@@ -226,16 +223,25 @@ impl<'a> ServingSession<'a> {
             evaluator,
             system,
             policy,
-            schedule: system.schedule(),
             batching,
             mode: ServingMode::default(),
             scheduler: Arc::new(Algorithm2),
+            telemetry: None,
         }
     }
 
     /// Sets the scheduling mode (builder style).
     pub fn with_mode(mut self, mode: ServingMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Installs a [`TelemetrySink`] receiving this session's per-request
+    /// completion events (builder style). Single-node runs emit arrivals and
+    /// completions only; the fleet axes — routing, lifecycle, gauge sampling
+    /// — have no one-replica counterpart.
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -314,7 +320,13 @@ impl<'a> ServingSession<'a> {
                 }
                 _ => match internal {
                     Some(t) => {
-                        engine.step_to(t)?;
+                        let completed = engine.step_to(t)?;
+                        if let Some(sink) = &self.telemetry {
+                            for latency in &completed {
+                                let at = latency.request.arrival + latency.completion_time;
+                                sink.event(&crate::observe::completion_event(latency, 0, at));
+                            }
+                        }
                     }
                     None => break,
                 },
@@ -382,6 +394,7 @@ pub struct ServeSpec {
     pub(crate) policy: Option<Policy>,
     pub(crate) queue: Option<Vec<Request>>,
     pub(crate) tap: Option<Arc<dyn ArrivalTap>>,
+    pub(crate) telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl ServeSpec {
@@ -403,6 +416,7 @@ impl ServeSpec {
             policy: None,
             queue: None,
             tap: None,
+            telemetry: None,
         }
     }
 
@@ -526,19 +540,30 @@ impl SystemEvaluator {
                 &spec.arrivals,
             ),
         };
-        if let Some(tap) = &spec.tap {
+        if spec.tap.is_some() || spec.telemetry.is_some() {
             // The realized arrival stream: the whole queue in arrival order
             // (the order `serve` ingests it), before feasibility screening.
             let mut ordered = queue.clone();
             ordered.sort_by_key(|r| (r.arrival.key(), r.id));
             for request in &ordered {
-                tap.record(request);
+                if let Some(tap) = &spec.tap {
+                    tap.record(request);
+                }
+                if let Some(sink) = &spec.telemetry {
+                    sink.event(&TelemetryEvent::Arrival {
+                        id: request.id,
+                        at: request.arrival.as_secs(),
+                    });
+                }
             }
         }
-        ServingSession::with_policy(self, spec.system, policy, shape)
+        let mut session = ServingSession::with_policy(self, spec.system, policy, shape)
             .with_mode(spec.mode)
-            .with_scheduler(Arc::clone(&spec.scheduler))
-            .serve(queue)
+            .with_scheduler(Arc::clone(&spec.scheduler));
+        if let Some(sink) = &spec.telemetry {
+            session = session.with_telemetry(Arc::clone(sink));
+        }
+        session.serve(queue)
     }
 }
 

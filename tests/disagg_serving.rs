@@ -1,6 +1,6 @@
 //! End-to-end tests of disaggregated prefill/decode serving (ISSUE 9):
 //! exactly-once request conservation under churn on split fleets for every
-//! built-in router in both serving modes, indexed==reference loop equivalence
+//! built-in router in both serving modes, indexed==scan loop equivalence
 //! in disaggregated dispatch, migration latency landing on the TTFT path,
 //! prefix-cache + session-sticky routing accounting, and a property sweep
 //! over random pool splits.
@@ -20,8 +20,8 @@ fn evaluator() -> ClusterEvaluator {
     ClusterEvaluator::new(EvalSetting::S1.model())
 }
 
-fn reference() -> ClusterEvaluator {
-    evaluator().with_reference_loop()
+fn scan() -> ClusterEvaluator {
+    evaluator().with_scan_loop()
 }
 
 fn secs(s: f64) -> Seconds {
@@ -135,15 +135,15 @@ fn disagg_churn_conserves_every_request_for_every_router_in_both_modes() {
     }
 }
 
-/// The indexed fleet loop must reproduce the reference scan loop bit-for-bit
+/// The indexed fleet loop must reproduce the linear scan loop bit-for-bit
 /// in disaggregated dispatch (where migrations force per-event stepping),
 /// for every built-in router in both serving modes.
 #[test]
-fn indexed_loop_matches_reference_in_disagg_mode() {
+fn indexed_loop_matches_scan_in_disagg_mode() {
     for mode in MODES {
         for router in builtin_routers() {
             let name = router.name();
-            let want = reference()
+            let want = scan()
                 .run(&split_fleet(1, 200, 11, mode).with_router(router.clone()))
                 .unwrap();
             let got = evaluator()
@@ -303,7 +303,7 @@ fn disagg_with_caches_and_sticky_routing_stays_conserved_and_equivalent() {
                 LeastOutstandingTokens,
             ))))
     };
-    let want = reference().run(&spec()).unwrap();
+    let want = scan().run(&spec()).unwrap();
     let got = evaluator().run(&spec()).unwrap();
     assert_reports_identical(&want, &got, "disagg + cache + sticky");
     assert_conserved(&got, 200, "disagg + cache + sticky");
@@ -314,7 +314,7 @@ proptest! {
 
     /// Property form: over random seeds, pool splits, loads and serving
     /// modes, disaggregated fleets conserve every request exactly once and
-    /// the indexed loop matches the reference loop.
+    /// the indexed loop matches the scan loop.
     #[test]
     fn disagg_conservation_and_equivalence_on_random_splits(
         seed in 0u64..1000,
@@ -333,7 +333,7 @@ proptest! {
                 rate_per_sec: rate_x10 as f64 / 10.0,
             })
         };
-        let want = reference().run(&spec()).unwrap();
+        let want = scan().run(&spec()).unwrap();
         let got = evaluator().run(&spec()).unwrap();
         prop_assert_eq!(&want, &got);
         assert_conserved(&got, count, "random split");

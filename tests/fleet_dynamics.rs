@@ -380,7 +380,7 @@ fn slo_admission_rejects_hopeless_arrivals_under_overload() {
 /// leave the drained replica's router-visible view coherent — admission
 /// projections and routing after the drain run on recomputed queue state, so
 /// an `SloAdmission`-gated run with a mid-run drain produces the identical
-/// report on the indexed and reference loops, with conservation intact.
+/// report on the indexed and scan loops, with conservation intact.
 #[test]
 fn slo_admission_with_a_drain_matches_across_loops() {
     let slo = SloSpec {
@@ -404,13 +404,10 @@ fn slo_admission_with_a_drain_matches_across_loops() {
         .with_timeline(FleetTimeline::new().drain_at(secs(40.0), ReplicaId(1)))
     };
     let eval = cluster_evaluator();
-    let reference = eval.clone().with_reference_loop();
-    let want = reference.run(&spec()).unwrap();
+    let scan = eval.clone().with_scan_loop();
+    let want = scan.run(&spec()).unwrap();
     let got = eval.run(&spec()).unwrap();
-    assert_eq!(
-        want, got,
-        "indexed and reference loops diverged after drain"
-    );
+    assert_eq!(want, got, "indexed and scan loops diverged after drain");
     assert_eq!(got.total_requests(), 300);
     assert_eq!(got.availability.drains, vec![(ReplicaId(1), secs(40.0))]);
 }

@@ -4,16 +4,16 @@
 //! round-trips it through the `MOETRACE` text format, replays it via
 //! `with_queue`, and requires the replay to reproduce the originating
 //! [`ClusterReport`] / [`ServingReport`] field-by-field — across both
-//! dispatch loops (indexed and reference), multiple routers (including the
+//! dispatch loops (indexed and scan), multiple routers (including the
 //! rng-consuming power-of-two-choices), fleet-scaled lazily-stamped
 //! arrivals, and the single-node path.
 
 use moe_lightning::{
-    ClusterEvaluator, ClusterSpec, EvalSetting, LeastOutstandingTokens, PowerOfTwoChoices,
-    ReplicaRole, ReplicaSpec, Router, ServeSpec, ServingMode, StickySession, SystemEvaluator,
-    SystemKind,
+    ClusterEvaluator, ClusterSpec, EvalSetting, FleetTimeline, LeastOutstandingTokens,
+    PowerOfTwoChoices, ReplicaId, ReplicaRole, ReplicaSpec, Router, Seconds, ServeSpec,
+    ServingMode, StickySession, SystemEvaluator, SystemKind,
 };
-use moe_trace::{Trace, TraceRecorder};
+use moe_trace::{OutcomeKind, OutcomeLog, OutcomeRecorder, Trace, TraceRecorder};
 use moe_workload::{ArrivalProcess, WorkloadSpec};
 use std::sync::Arc;
 
@@ -45,9 +45,9 @@ fn routers() -> Vec<Arc<dyn Router>> {
 #[test]
 fn replay_reproduces_the_cluster_report_across_loops_and_routers() {
     let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
-    let reference = evaluator.clone().with_reference_loop();
+    let scan = evaluator.clone().with_scan_loop();
     for router in routers() {
-        for (label, runner) in [("indexed", &evaluator), ("reference", &reference)] {
+        for (label, runner) in [("indexed", &evaluator), ("scan", &scan)] {
             let recorder = Arc::new(TraceRecorder::new());
             let spec = base_spec(Arc::clone(&router)).with_tap(Arc::clone(&recorder) as _);
             let original = runner.run(&spec).unwrap();
@@ -167,6 +167,65 @@ fn replay_reproduces_disagg_fleets_with_sticky_sessions_and_prefix_caches() {
             > 0,
         "the multi-turn queue must actually exercise the caches"
     );
+}
+
+/// Outcome sidecar roundtrip: record the arrival stream *and* every
+/// request's terminal verdict on a churny fleet run, round-trip both through
+/// their text formats, replay the trace, and require the replay to produce
+/// the identical outcome log. The log must also reconcile exactly with the
+/// report's served/rejected/aborted accounting.
+#[test]
+fn replay_reproduces_the_outcome_sidecar_under_churn() {
+    let evaluator = ClusterEvaluator::new(EvalSetting::S1.model());
+    let spec = || {
+        base_spec(Arc::new(LeastOutstandingTokens))
+            .with_count(200)
+            .with_timeline(
+                FleetTimeline::new()
+                    .fail_at(Seconds::from_secs(30.0), ReplicaId(1))
+                    .drain_at(Seconds::from_secs(60.0), ReplicaId(0)),
+            )
+    };
+
+    let arrivals = Arc::new(TraceRecorder::new());
+    let outcomes = Arc::new(OutcomeRecorder::new());
+    let original = evaluator
+        .run(
+            &spec()
+                .with_tap(Arc::clone(&arrivals) as _)
+                .with_telemetry(Arc::clone(&outcomes) as _),
+        )
+        .unwrap();
+
+    // One terminal verdict per offered request, reconciling with the report.
+    let log = OutcomeLog::parse(&outcomes.log().render()).unwrap();
+    assert_eq!(log.len(), original.total_requests());
+    assert_eq!(
+        log.count(OutcomeKind::Completed),
+        original.served_requests()
+    );
+    assert_eq!(
+        log.count(OutcomeKind::Rejected),
+        original.rejected_requests()
+    );
+    assert_eq!(log.count(OutcomeKind::Aborted), original.aborted_requests());
+    assert!(
+        original.availability.failures.len() == 1,
+        "the timeline's failure must land for the scenario to mean anything"
+    );
+
+    // Replaying the recorded trace reproduces the sidecar verdict-for-verdict.
+    let trace = Trace::parse(&arrivals.trace().render()).unwrap();
+    let replay_outcomes = Arc::new(OutcomeRecorder::new());
+    let replayed = evaluator
+        .run(
+            &trace
+                .replay_into_cluster(spec())
+                .with_telemetry(Arc::clone(&replay_outcomes) as _),
+        )
+        .unwrap();
+    assert_eq!(replayed, original);
+    assert_eq!(replay_outcomes.log(), log);
 }
 
 #[test]
